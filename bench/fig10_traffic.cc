@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig 10: interconnect traffic (flits) for Baseline (B), CPElide (C),
+ * and HMG (H) on a 4-chiplet GPU, normalized to Baseline, split into
+ * L1-L2, L2-L3, and remote components.
+ *
+ * Paper headline: CPElide cuts total traffic 14% vs Baseline and 17%
+ * vs HMG; CPElide has 37% less L2-L3 traffic than HMG (write-through
+ * L2s) and HMG has 23% more remote traffic (4-line directory entries).
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+int
+main()
+{
+    const double scale = envScale();
+    printConfigBanner(4);
+    std::puts("== Fig 10: NoC traffic (flits), normalized to Baseline "
+              "==");
+    std::puts("(breakdown: L1-L2 / L2-L3 / remote)\n");
+
+    AsciiTable t({"application", "C total", "H total", "C breakdown",
+                  "H breakdown"});
+    std::vector<double> cTot, hTot;
+    double cL23 = 0, hL23 = 0, cRem = 0, hRem = 0;
+    bool ruleDone = false;
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        if (!info.highReuse && !ruleDone) {
+            t.addRule();
+            ruleDone = true;
+        }
+        const RunResult b =
+            runWorkload(info.name, ProtocolKind::Baseline, 4, scale);
+        const RunResult c =
+            runWorkload(info.name, ProtocolKind::CpElide, 4, scale);
+        const RunResult h =
+            runWorkload(info.name, ProtocolKind::Hmg, 4, scale);
+        const double norm = static_cast<double>(b.flits.total());
+        cTot.push_back(c.flits.total() / norm);
+        hTot.push_back(h.flits.total() / norm);
+        cL23 += static_cast<double>(c.flits.l2l3);
+        hL23 += static_cast<double>(h.flits.l2l3);
+        cRem += static_cast<double>(c.flits.remote);
+        hRem += static_cast<double>(h.flits.remote);
+        auto bd = [&](const FlitCounts &f) {
+            return fmt(f.l1l2 / norm, 3) + "/" + fmt(f.l2l3 / norm, 3) +
+                   "/" + fmt(f.remote / norm, 3);
+        };
+        t.addRow({info.name, fmt(c.flits.total() / norm, 3),
+                  fmt(h.flits.total() / norm, 3), bd(c.flits),
+                  bd(h.flits)});
+    }
+    t.addRule();
+    t.addRow({"mean", fmt(mean(cTot), 3), fmt(mean(hTot), 3), "", ""});
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\nCPElide traffic vs Baseline: %s (paper: -14%%)\n",
+                fmtPct(mean(cTot) - 1.0).c_str());
+    std::printf("CPElide traffic vs HMG: %s (paper: -17%%)\n",
+                fmtPct(mean(cTot) / mean(hTot) - 1.0).c_str());
+    std::printf("CPElide L2-L3 vs HMG: %s (paper: -37%%)\n",
+                fmtPct(cL23 / hL23 - 1.0).c_str());
+    std::printf("HMG remote vs CPElide: %s (paper: +23%%)\n",
+                fmtPct(hRem / cRem - 1.0).c_str());
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig 2: performance loss of the 4-chiplet Baseline versus the
+ * equivalent (infeasible to build) monolithic GPU, caused by the lack
+ * of inter-kernel L2 reuse. Paper: 54% average loss (prior work:
+ * 29%-45%).
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+int
+main()
+{
+    const double scale = envScale();
+    printConfigBanner(4);
+    std::puts("== Fig 2: 4-chiplet Baseline vs equivalent monolithic "
+              "GPU ==\n");
+
+    AsciiTable t({"application", "monolithic cycles", "baseline cycles",
+                  "perf loss"});
+    std::vector<double> losses;
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        const RunResult mono =
+            runWorkload(info.name, ProtocolKind::Monolithic, 4, scale);
+        const RunResult base =
+            runWorkload(info.name, ProtocolKind::Baseline, 4, scale);
+        // Loss = extra runtime relative to monolithic.
+        const double loss =
+            static_cast<double>(base.cycles) / mono.cycles - 1.0;
+        losses.push_back(loss);
+        t.addRow({info.name, std::to_string(mono.cycles),
+                  std::to_string(base.cycles), fmtPct(loss)});
+    }
+    t.addRule();
+    t.addRow({"average", "", "", fmtPct(mean(losses))});
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\naverage performance loss: %s (paper: ~54%%; prior "
+                "work 29-45%%)\n",
+                fmtPct(mean(losses)).c_str());
+    return 0;
+}

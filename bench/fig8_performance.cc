@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig 8: performance of CPElide and HMG on 2-, 4-, 6- and 7-chiplet
+ * GPUs, normalized to the Baseline at each chiplet count, for all 24
+ * workloads plus the reuse-group and overall means.
+ *
+ * Paper headline (4 chiplets): CPElide +13% over Baseline and +19%
+ * over HMG on average (+17%/+20% for the moderate-or-higher reuse
+ * group); trends hold at 2/6/7 chiplets and CPElide never hurts the
+ * low-reuse group.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+int
+main()
+{
+    const double scale = envScale();
+    printConfigBanner(4);
+
+    for (int chiplets : {2, 4, 6, 7}) {
+        std::printf("== Fig 8 (%d chiplets): speedup over Baseline ==\n",
+                    chiplets);
+        AsciiTable t({"application", "HMG", "CPElide"});
+        std::vector<double> hmgAll, elideAll, hmgHigh, elideHigh;
+        bool ruleDone = false;
+        for (const auto &factory : allWorkloadFactories()) {
+            const auto info = factory()->info();
+            if (!info.highReuse && !ruleDone) {
+                t.addRule();
+                ruleDone = true;
+            }
+            const RunResult base = runWorkload(
+                info.name, ProtocolKind::Baseline, chiplets, scale);
+            const RunResult hmg = runWorkload(
+                info.name, ProtocolKind::Hmg, chiplets, scale);
+            const RunResult elide = runWorkload(
+                info.name, ProtocolKind::CpElide, chiplets, scale);
+            const double sh = static_cast<double>(base.cycles) /
+                              hmg.cycles;
+            const double se = static_cast<double>(base.cycles) /
+                              elide.cycles;
+            hmgAll.push_back(sh);
+            elideAll.push_back(se);
+            if (info.highReuse) {
+                hmgHigh.push_back(sh);
+                elideHigh.push_back(se);
+            }
+            t.addRow({info.name, fmt(sh), fmt(se)});
+        }
+        t.addRule();
+        t.addRow({"mean (reuse group)", fmt(mean(hmgHigh)),
+                  fmt(mean(elideHigh))});
+        t.addRow({"mean (all)", fmt(mean(hmgAll)), fmt(mean(elideAll))});
+        std::fputs(t.render().c_str(), stdout);
+        std::printf("CPElide vs Baseline: %s   CPElide vs HMG: %s\n\n",
+                    fmtPct(mean(elideAll) - 1.0).c_str(),
+                    fmtPct(mean(elideAll) / mean(hmgAll) - 1.0).c_str());
+    }
+    std::puts("paper (4 chiplets): CPElide +13% vs Baseline, +19% vs "
+              "HMG\n(+17%/+20% for the moderate-or-higher reuse group)");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig 9: 4-chiplet memory-subsystem energy for Baseline (B), CPElide
+ * (C), and HMG (H), normalized to Baseline, split into L1I, L1D, LDS,
+ * L2, NoC, and DRAM.
+ *
+ * Paper headline: CPElide reduces average energy by 14% vs Baseline
+ * and 11% vs HMG, with the differences concentrated in NoC and DRAM.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+std::string
+breakdownStr(const EnergyBreakdown &e, double norm)
+{
+    return fmt(e.l1i / norm, 3) + "/" + fmt(e.l1d / norm, 3) + "/" +
+           fmt(e.lds / norm, 3) + "/" + fmt(e.l2 / norm, 3) + "/" +
+           fmt(e.noc / norm, 3) + "/" + fmt(e.dram / norm, 3);
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = envScale();
+    printConfigBanner(4);
+    std::puts("== Fig 9: memory subsystem energy, normalized to "
+              "Baseline ==");
+    std::puts("(columns: total; breakdown L1I/L1D/LDS/L2/NoC/DRAM)\n");
+
+    AsciiTable t({"application", "B total", "C total", "H total",
+                  "C breakdown", "H breakdown"});
+    std::vector<double> cTotals, hTotals;
+    bool ruleDone = false;
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        if (!info.highReuse && !ruleDone) {
+            t.addRule();
+            ruleDone = true;
+        }
+        const RunResult b =
+            runWorkload(info.name, ProtocolKind::Baseline, 4, scale);
+        const RunResult c =
+            runWorkload(info.name, ProtocolKind::CpElide, 4, scale);
+        const RunResult h =
+            runWorkload(info.name, ProtocolKind::Hmg, 4, scale);
+        const double norm = b.energy.total();
+        cTotals.push_back(c.energy.total() / norm);
+        hTotals.push_back(h.energy.total() / norm);
+        t.addRow({info.name, "1.000", fmt(c.energy.total() / norm, 3),
+                  fmt(h.energy.total() / norm, 3),
+                  breakdownStr(c.energy, norm),
+                  breakdownStr(h.energy, norm)});
+    }
+    t.addRule();
+    t.addRow({"mean", "1.000", fmt(mean(cTotals), 3),
+              fmt(mean(hTotals), 3), "", ""});
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\nCPElide energy vs Baseline: %s (paper: -14%%)\n",
+                fmtPct(mean(cTotals) - 1.0).c_str());
+    std::printf("CPElide energy vs HMG: %s (paper: -11%%)\n",
+                fmtPct(mean(cTotals) / mean(hTotals) - 1.0).c_str());
+    return 0;
+}

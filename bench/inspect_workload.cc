@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Diagnostic CLI: run one workload under every configuration and dump
+ * the full measurement record side by side.
+ *
+ * Usage: inspect_workload <workload> [chiplets] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/harness.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "Square";
+    const int chiplets = argc > 2 ? std::atoi(argv[2]) : 4;
+    const double scale = argc > 3 ? std::atof(argv[3]) : envScale();
+
+    AsciiTable t({"metric", "Monolithic", "Baseline", "CPElide", "HMG",
+                  "HMG-WB"});
+    RunResult r[5];
+    const ProtocolKind kinds[5] = {
+        ProtocolKind::Monolithic, ProtocolKind::Baseline,
+        ProtocolKind::CpElide, ProtocolKind::Hmg,
+        ProtocolKind::HmgWriteBack};
+    for (int i = 0; i < 5; ++i)
+        r[i] = runWorkload(name, kinds[i], chiplets, scale);
+
+    auto row = [&](const std::string &label, auto getter, int decimals) {
+        std::vector<std::string> cells = {label};
+        for (int i = 0; i < 5; ++i)
+            cells.push_back(fmt(static_cast<double>(getter(r[i])),
+                                decimals));
+        t.addRow(cells);
+    };
+    row("cycles", [](const RunResult &x) { return x.cycles; }, 0);
+    row("kernels", [](const RunResult &x) { return x.kernels; }, 0);
+    row("accesses", [](const RunResult &x) { return x.accesses; }, 0);
+    row("L1 hit%", [](const RunResult &x) { return 100 * x.l1.hitRate(); },
+        1);
+    row("L2 hit%", [](const RunResult &x) { return 100 * x.l2.hitRate(); },
+        1);
+    row("L2 accesses",
+        [](const RunResult &x) { return x.l2.accesses(); }, 0);
+    row("L3 accesses",
+        [](const RunResult &x) { return x.l3.accesses(); }, 0);
+    row("L3 hit%", [](const RunResult &x) { return 100 * x.l3.hitRate(); },
+        1);
+    row("DRAM accesses",
+        [](const RunResult &x) { return x.dramAccesses; }, 0);
+    row("flits l1l2", [](const RunResult &x) { return x.flits.l1l2; }, 0);
+    row("flits l2l3", [](const RunResult &x) { return x.flits.l2l3; }, 0);
+    row("flits remote",
+        [](const RunResult &x) { return x.flits.remote; }, 0);
+    row("sync stall",
+        [](const RunResult &x) { return x.syncStallCycles; }, 0);
+    row("L2 flushes",
+        [](const RunResult &x) { return x.l2FlushesIssued; }, 0);
+    row("L2 invals",
+        [](const RunResult &x) { return x.l2InvalidatesIssued; }, 0);
+    row("lines written back",
+        [](const RunResult &x) { return x.linesWrittenBack; }, 0);
+    row("dir evictions",
+        [](const RunResult &x) { return x.directoryEvictions; }, 0);
+    row("sharer invals",
+        [](const RunResult &x) { return x.sharerInvalidations; }, 0);
+    row("table max",
+        [](const RunResult &x) { return x.tableMaxEntries; }, 0);
+    row("stale reads", [](const RunResult &x) { return x.staleReads; },
+        0);
+    row("energy (uJ)",
+        [](const RunResult &x) { return x.energy.total() / 1e6; }, 1);
+    std::printf("%s on %d chiplets (scale %.2f)\n", name.c_str(),
+                chiplets, scale);
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the CP-side data structures:
+ * Chiplet Coherence Table lookups and whole ElideEngine launch
+ * decisions. The paper budgets ~6 us of CP time per kernel for these
+ * operations (Section IV-B) — these benches show the algorithmic cost
+ * is trivially within that on any embedded core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/elide_engine.hh"
+#include "mem/cache.hh"
+
+namespace
+{
+
+using namespace cpelide;
+
+LaunchDecl
+makeDecl(int args, Addr base, bool rw)
+{
+    LaunchDecl d;
+    d.chiplets = {0, 1, 2, 3};
+    for (int i = 0; i < args; ++i) {
+        KernelArgAccess a;
+        a.span = {base + Addr(i) * 0x100000,
+                  base + Addr(i) * 0x100000 + 0x40000};
+        a.mode = rw ? AccessMode::ReadWrite : AccessMode::ReadOnly;
+        for (int c = 0; c < 4; ++c) {
+            a.perChiplet.push_back(
+                {a.span.lo + (a.span.hi - a.span.lo) * c / 4,
+                 a.span.lo + (a.span.hi - a.span.lo) * (c + 1) / 4});
+        }
+        d.args.push_back(a);
+    }
+    return d;
+}
+
+void
+BM_TableLookup(benchmark::State &state)
+{
+    CoherenceTable t(4, 64);
+    for (int i = 0; i < 64; ++i)
+        t.insert({Addr(i) * 0x10000, Addr(i) * 0x10000 + 0x8000});
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            t.findOverlapping({probe, probe + 64}));
+        probe = (probe + 0x10000) % (64 * 0x10000);
+    }
+}
+BENCHMARK(BM_TableLookup);
+
+void
+BM_ElideLaunchSteadyState(benchmark::State &state)
+{
+    ElideEngine engine(4, 8, 64);
+    const LaunchDecl decl =
+        makeDecl(static_cast<int>(state.range(0)), 0x1000000, true);
+    engine.onKernelLaunch(decl); // warm up rows
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.onKernelLaunch(decl));
+    }
+}
+BENCHMARK(BM_ElideLaunchSteadyState)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_ElideLaunchWithCoarsening(benchmark::State &state)
+{
+    ElideEngine engine(4, 8, 64);
+    const LaunchDecl decl = makeDecl(12, 0x1000000, true); // > 8 args
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.onKernelLaunch(decl));
+    }
+}
+BENCHMARK(BM_ElideLaunchWithCoarsening);
+
+void
+BM_ElideProducerConsumerFlip(benchmark::State &state)
+{
+    ElideEngine engine(4, 8, 64);
+    const LaunchDecl writer = makeDecl(4, 0x1000000, true);
+    LaunchDecl reader = makeDecl(4, 0x1000000, false);
+    for (auto &a : reader.args)
+        a.perChiplet.assign(4, a.span); // Full-range reads
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.onKernelLaunch(writer));
+        benchmark::DoNotOptimize(engine.onKernelLaunch(reader));
+    }
+}
+BENCHMARK(BM_ElideProducerConsumerFlip);
+
+void
+BM_L2FlushDirtyLines(benchmark::State &state)
+{
+    // Cost of the software side of a flush over a dirtied 8 MB L2.
+    SetAssocCache l2("l2", CacheGeometry{8ull * 1024 * 1024, 32});
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (std::uint64_t l = 0; l < std::uint64_t(state.range(0)); ++l)
+            l2.insert(l * kLineBytes, 1, 0, 0, true, nullptr);
+        state.ResumeTiming();
+        std::uint64_t sink = 0;
+        l2.flushAll([&](const Evicted &e) { sink += e.version; });
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_L2FlushDirtyLines)->Arg(1024)->Arg(16384);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table I: print the simulated system configuration for every chiplet
+ * count evaluated in the paper (2/4/6/7) plus the monolithic
+ * equivalents used by Fig 2.
+ */
+
+#include <cstdio>
+
+#include "harness/harness.hh"
+
+using namespace cpelide;
+
+int
+main()
+{
+    std::puts("== Table I: Simulated baseline GPU parameters ==\n");
+    for (int chiplets : {2, 4, 6, 7}) {
+        std::printf("---- %d-chiplet configuration ----\n", chiplets);
+        printConfigBanner(chiplets);
+    }
+    std::puts("---- Equivalent monolithic GPU (Fig 2 reference) ----");
+    const GpuConfig mono = GpuConfig::monolithicEquivalent(4);
+    std::fputs(mono.describe().c_str(), stdout);
+    return 0;
+}

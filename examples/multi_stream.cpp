@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Domain example: two independent streams bound to disjoint chiplet
+ * halves (the paper's hipSetDevice binding, Section VI "Multi-Stream
+ * Workloads").
+ *
+ * Each stream iterates its own streaming kernel. With CPElide, each
+ * launch synchronizes only the chiplets its stream touches, so the
+ * streams never stall each other; the Baseline's implicit
+ * synchronization is GPU-wide and serializes everything.
+ */
+
+#include <cstdio>
+
+#include "runtime/runtime.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+RunResult
+runTwoStreams(ProtocolKind kind)
+{
+    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
+    rt.setStreamChiplets(0, {0, 1});
+    rt.setStreamChiplets(1, {2, 3});
+
+    constexpr std::uint64_t kBytes = 2ull * 1024 * 1024;
+    constexpr int kWgs = 120; // half the GPU per stream
+    const DevArray bufs[2] = {rt.malloc("stream0_buf", kBytes),
+                              rt.malloc("stream1_buf", kBytes)};
+
+    for (int it = 0; it < 10; ++it) {
+        for (int s = 0; s < 2; ++s) {
+            const DevArray buf = bufs[s];
+            const std::uint64_t lines = buf.numLines();
+            KernelDesc k;
+            k.name = "stream" + std::to_string(s) + "_iter";
+            k.streamId = s;
+            k.numWgs = kWgs;
+            k.mlp = 24;
+            rt.setAccessMode(k, buf, AccessMode::ReadWrite);
+            k.trace = [buf, lines](int wg, TraceSink &sink) {
+                for (std::uint64_t l = lines * wg / kWgs;
+                     l < lines * (wg + 1) / kWgs; ++l) {
+                    sink.touch(buf.id, l, false);
+                    sink.touch(buf.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(k));
+        }
+    }
+    return rt.deviceSynchronize("two_streams");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("Two independent streams on disjoint chiplet halves\n");
+
+    AsciiTable t({"config", "cycles", "sync stall cycles",
+                  "L2 invalidates", "L2 hit rate"});
+    RunResult base{};
+    for (ProtocolKind kind : {ProtocolKind::Baseline, ProtocolKind::Hmg,
+                              ProtocolKind::CpElide}) {
+        const RunResult r = runTwoStreams(kind);
+        if (kind == ProtocolKind::Baseline)
+            base = r;
+        t.addRow({protocolName(kind), std::to_string(r.cycles),
+                  std::to_string(r.syncStallCycles),
+                  std::to_string(r.l2InvalidatesIssued),
+                  fmtPct(r.l2.hitRate())});
+        if (kind == ProtocolKind::CpElide) {
+            std::printf("CPElide vs Baseline: %.2fx\n",
+                        static_cast<double>(base.cycles) / r.cycles);
+        }
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: the paper's Listing-1 "square" program on a 4-chiplet
+ * GPU, run under Baseline and CPElide, printing the headline effect —
+ * CPElide elides every per-kernel L2 flush/invalidate for this
+ * perfectly affine workload and runs measurably faster.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "runtime/runtime.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+RunResult
+runSquare(ProtocolKind kind)
+{
+    // A 4-chiplet Radeon VII-class GPU (paper Table I).
+    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
+
+    // Listing 1: square kernel with A (R) as input, C (R/W) as output.
+    constexpr std::uint64_t kFloats = 524288;
+    const DevArray a = rt.malloc("A", kFloats * 4);
+    const DevArray c = rt.malloc("C", kFloats * 4);
+    const std::uint64_t lines = a.numLines();
+    constexpr int kWgs = 240;
+
+    for (int iter = 0; iter < 20; ++iter) {
+        KernelDesc square;
+        square.name = "square";
+        square.numWgs = kWgs;
+        square.mlp = 24;
+        rt.setAccessMode(square, a, AccessMode::ReadOnly);
+        rt.setAccessMode(square, c, AccessMode::ReadWrite);
+        square.trace = [a, c, lines](int wg, TraceSink &sink) {
+            for (std::uint64_t l = lines * wg / kWgs;
+                 l < lines * (wg + 1) / kWgs; ++l) {
+                sink.touch(a.id, l, false); // load A[i]
+                sink.touch(c.id, l, true);  // store C[i] = A[i]*A[i]
+            }
+        };
+        rt.launchKernel(std::move(square));
+    }
+    return rt.deviceSynchronize("square");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("CPElide quickstart: 20 x square on a 4-chiplet GPU\n");
+
+    const RunResult base = runSquare(ProtocolKind::Baseline);
+    const RunResult elide = runSquare(ProtocolKind::CpElide);
+
+    AsciiTable t({"metric", "Baseline", "CPElide"});
+    t.addRow({"cycles", std::to_string(base.cycles),
+              std::to_string(elide.cycles)});
+    t.addRow({"L2 hit rate", fmtPct(base.l2.hitRate()),
+              fmtPct(elide.l2.hitRate())});
+    t.addRow({"L2 flushes", std::to_string(base.l2FlushesIssued),
+              std::to_string(elide.l2FlushesIssued)});
+    t.addRow({"L2 invalidates",
+              std::to_string(base.l2InvalidatesIssued),
+              std::to_string(elide.l2InvalidatesIssued)});
+    t.addRow({"NoC flits", std::to_string(base.flits.total()),
+              std::to_string(elide.flits.total())});
+    t.addRow({"energy (uJ)", fmt(base.energy.total() / 1e6),
+              fmt(elide.energy.total() / 1e6)});
+    std::fputs(t.render().c_str(), stdout);
+
+    const double speedup = static_cast<double>(base.cycles) /
+                           static_cast<double>(elide.cycles);
+    std::printf("\nCPElide speedup over Baseline: %.2fx\n", speedup);
+    std::printf("Stale reads detected (must be 0): %llu + %llu\n",
+                static_cast<unsigned long long>(base.staleReads),
+                static_cast<unsigned long long>(elide.staleReads));
+    return 0;
+}

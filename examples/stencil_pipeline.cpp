@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Domain example: an iterative 2D heat-diffusion stencil (the
+ * Hotspot3D-class workload the paper's intro motivates).
+ *
+ * Shows the producer-consumer annotation pattern: the output array is
+ * R/W with CP-derived affine ranges, the ping-pong input is R with a
+ * Full range (halo rows cross chiplets). CPElide turns the per-kernel
+ * GPU-wide flush+invalidate into per-chiplet releases only — clean
+ * data stays resident, which is where the paper's +37% on Hotspot3D
+ * comes from.
+ */
+
+#include <cstdio>
+
+#include "runtime/runtime.hh"
+#include "stats/report.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+constexpr std::uint64_t kGrid = 1024;
+constexpr std::uint64_t kRowLines = kGrid * 4 / kLineBytes;
+constexpr int kWgs = 240;
+constexpr int kIterations = 16;
+
+RunResult
+runStencil(ProtocolKind kind)
+{
+    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
+    const DevArray tA = rt.malloc("temp_a", kGrid * kGrid * 4);
+    const DevArray tB = rt.malloc("temp_b", kGrid * kGrid * 4);
+
+    // Device-side initialization performs the first touch: pages land
+    // on the chiplet that will own them, and the CP's home model
+    // learns the same partition. Skipping this would leave the
+    // placement unknown to the CP, degrading CPElide to conservative
+    // invalidates (try deleting it and watch the table below change).
+    {
+        KernelDesc init;
+        init.name = "init";
+        init.numWgs = kWgs;
+        rt.setAccessMode(init, tA, AccessMode::ReadWrite);
+        rt.setAccessMode(init, tB, AccessMode::ReadWrite);
+        init.trace = [tA, tB](int wg, TraceSink &sink) {
+            const std::uint64_t lo =
+                kGrid * kRowLines * std::uint64_t(wg) / kWgs;
+            const std::uint64_t hi =
+                kGrid * kRowLines * std::uint64_t(wg + 1) / kWgs;
+            for (std::uint64_t l = lo; l < hi; ++l) {
+                sink.touch(tA.id, l, true);
+                sink.touch(tB.id, l, true);
+            }
+        };
+        rt.launchKernel(std::move(init));
+    }
+
+    for (int it = 0; it < kIterations; ++it) {
+        const DevArray &src = (it % 2 == 0) ? tA : tB;
+        const DevArray &dst = (it % 2 == 0) ? tB : tA;
+
+        KernelDesc step;
+        step.name = "diffuse";
+        step.numWgs = kWgs;
+        step.mlp = 16;
+        step.computeCyclesPerWg = 128;
+        // Halo reads cross chiplet boundaries: declare Full.
+        rt.setAccessMode(step, src, AccessMode::ReadOnly,
+                         RangeKind::Full);
+        // Writes are perfectly row-partitioned: the CP derives ranges.
+        rt.setAccessMode(step, dst, AccessMode::ReadWrite);
+        step.trace = [src, dst](int wg, TraceSink &sink) {
+            const std::uint64_t rLo = kGrid * std::uint64_t(wg) / kWgs;
+            const std::uint64_t rHi =
+                kGrid * std::uint64_t(wg + 1) / kWgs;
+            const std::uint64_t hLo = rLo > 0 ? rLo - 1 : 0;
+            const std::uint64_t hHi = rHi < kGrid ? rHi + 1 : kGrid;
+            for (std::uint64_t r = hLo; r < hHi; ++r) {
+                for (std::uint64_t l = 0; l < kRowLines; ++l)
+                    sink.touch(src.id, r * kRowLines + l, false);
+            }
+            for (std::uint64_t r = rLo; r < rHi; ++r) {
+                for (std::uint64_t l = 0; l < kRowLines; ++l)
+                    sink.touch(dst.id, r * kRowLines + l, true);
+            }
+        };
+        rt.launchKernel(std::move(step));
+    }
+    return rt.deviceSynchronize("stencil");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("Iterative 2D stencil on a 4-chiplet GPU\n");
+
+    AsciiTable t({"config", "cycles", "L2 hit rate", "flushes",
+                  "invalidates", "DRAM accesses"});
+    RunResult base{};
+    for (ProtocolKind kind : {ProtocolKind::Baseline,
+                              ProtocolKind::Hmg,
+                              ProtocolKind::CpElide}) {
+        const RunResult r = runStencil(kind);
+        if (kind == ProtocolKind::Baseline)
+            base = r;
+        t.addRow({protocolName(kind), std::to_string(r.cycles),
+                  fmtPct(r.l2.hitRate()),
+                  std::to_string(r.l2FlushesIssued),
+                  std::to_string(r.l2InvalidatesIssued),
+                  std::to_string(r.dramAccesses)});
+        if (kind == ProtocolKind::CpElide) {
+            std::printf(
+                "CPElide vs Baseline: %.2fx, invalidates elided: %llu\n",
+                static_cast<double>(base.cycles) / r.cycles,
+                static_cast<unsigned long long>(r.l2InvalidatesElided));
+        }
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,350 @@
+#include "coherence/hmg.hh"
+
+#include <string>
+
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+// ---------------------------------------------------------------------------
+// HmgDirectory
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint32_t kDirAssoc = 8;
+
+std::uint64_t
+floorPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+HmgDirectory::HmgDirectory(std::uint32_t entries, std::uint32_t assoc)
+    : _assoc(assoc), _numSets(floorPow2(entries / assoc))
+{
+    panicIf(_numSets == 0, "directory too small");
+    _entries.resize(_numSets * _assoc);
+}
+
+HmgDirectory::Entry *
+HmgDirectory::find(Addr region)
+{
+    Entry *set = &_entries[setIndex(region) * _assoc];
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        if (set[w].valid && set[w].region == region)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const HmgDirectory::Entry *
+HmgDirectory::find(Addr region) const
+{
+    return const_cast<HmgDirectory *>(this)->find(region);
+}
+
+HmgDirectory::Entry *
+HmgDirectory::allocate(Addr region, VictimRegion *victim)
+{
+    if (victim)
+        victim->valid = false;
+    Entry *set = &_entries[setIndex(region) * _assoc];
+    Entry *slot = nullptr;
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        if (!set[w].valid) {
+            slot = &set[w];
+            break;
+        }
+        if (!slot || set[w].lastUse < slot->lastUse)
+            slot = &set[w];
+    }
+    if (slot->valid) {
+        ++_evictions;
+        if (victim) {
+            victim->valid = true;
+            victim->regionAddr = slot->region;
+            victim->sharers = slot->sharers;
+        }
+    }
+    slot->valid = true;
+    slot->region = region;
+    slot->sharers = 0;
+    slot->lastUse = ++_useClock;
+    return slot;
+}
+
+void
+HmgDirectory::addSharer(Addr addr, ChipletId sharer, VictimRegion *victim)
+{
+    const Addr region = regionAlign(addr);
+    Entry *e = find(region);
+    if (!e) {
+        e = allocate(region, victim);
+    } else if (victim) {
+        victim->valid = false;
+    }
+    e->sharers |= 1u << sharer;
+    e->lastUse = ++_useClock;
+}
+
+std::uint32_t
+HmgDirectory::sharersOf(Addr addr) const
+{
+    const Entry *e = find(regionAlign(addr));
+    return e ? e->sharers : 0;
+}
+
+void
+HmgDirectory::setSharers(Addr addr, std::uint32_t sharers,
+                         VictimRegion *victim)
+{
+    const Addr region = regionAlign(addr);
+    Entry *e = find(region);
+    if (!e) {
+        e = allocate(region, victim);
+    } else if (victim) {
+        victim->valid = false;
+    }
+    e->sharers = sharers;
+    e->lastUse = ++_useClock;
+}
+
+void
+HmgDirectory::remove(Addr addr)
+{
+    if (Entry *e = find(regionAlign(addr)))
+        e->valid = false;
+}
+
+// ---------------------------------------------------------------------------
+// HmgMemSystem
+// ---------------------------------------------------------------------------
+
+HmgMemSystem::HmgMemSystem(const GpuConfig &cfg, DataSpace &space,
+                           bool write_through)
+    : MemSystem(cfg, space), _writeThrough(write_through)
+{
+    _dirs.reserve(cfg.numChiplets);
+    for (int c = 0; c < cfg.numChiplets; ++c)
+        _dirs.emplace_back(kHmgEntriesPerChiplet, kDirAssoc);
+}
+
+std::uint64_t
+HmgMemSystem::directoryEvictions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : _dirs)
+        total += d.evictions();
+    return total;
+}
+
+void
+HmgMemSystem::fillL2(ChipletId c, Addr addr, std::uint32_t version,
+                     DsId ds, std::uint64_t line, bool dirty)
+{
+    // The fill write occupies the L2 array pipeline (fill port).
+    _noc.addL2Bytes(c, kDataBytes / 2);
+    Evicted victim;
+    _l2s[c]->insert(addr, version, ds, static_cast<std::uint32_t>(line),
+                    dirty, &victim);
+    if (victim.valid && victim.dirty) {
+        // Dirty lines live only at their home L2 in the write-back
+        // variant, so the victim is homed here.
+        writebackVictim(c, victim);
+    }
+}
+
+Cycles
+HmgMemSystem::invalidateRegion(ChipletId home, Addr regionAddr,
+                               std::uint32_t sharerMask, ChipletId except1,
+                               ChipletId except2)
+{
+    Cycles penalty = 0;
+    for (ChipletId s = 0; s < _cfg.numChiplets; ++s) {
+        if (!(sharerMask & (1u << s)) || s == except1 || s == except2)
+            continue;
+        // Invalidate message + ack across the crossbar (home-local
+        // sharers use the on-chip path; counted only when remote).
+        if (s != home) {
+            remoteCtrlHop(home, s);
+            remoteCtrlHop(s, home);
+            // The displacing request waits for the ack round trip.
+            penalty = 2 * _cfg.xbarUnicast;
+        }
+        for (std::uint64_t i = 0; i < kHmgLinesPerEntry; ++i) {
+            const Addr a = regionAddr + i * kLineBytes;
+            Evicted e;
+            if (_l2s[s]->extractLine(a, &e)) {
+                ++_sharerInvalidations;
+                if (s != home) {
+                    // Per-line invalidation + ack on the crossbar.
+                    remoteCtrlHop(home, s);
+                    remoteCtrlHop(s, home);
+                }
+                if (e.dirty)
+                    writebackVictim(s, e);
+            }
+        }
+    }
+    return penalty;
+}
+
+Cycles
+HmgMemSystem::trackSharer(ChipletId home, Addr addr, ChipletId sharer)
+{
+    // The directory lives beside the home L2's tags; every update
+    // occupies that pipeline (a big part of why HMG falls behind the
+    // Baseline on miss-heavy, low-reuse workloads in the paper).
+    _noc.addL2Bytes(home, 32);
+    HmgDirectory::VictimRegion victim;
+    _dirs[home].addSharer(addr, sharer, &victim);
+    if (victim.valid) {
+        // Directory eviction: back-invalidate the region everywhere;
+        // the displacing request stalls for the acknowledgments.
+        return invalidateRegion(home, victim.regionAddr, victim.sharers,
+                                kNoChiplet, kNoChiplet);
+    }
+    return 0;
+}
+
+Cycles
+HmgMemSystem::readBelowL1(const AccessContext &ctx, DsId ds,
+                          std::uint64_t line, Addr addr,
+                          std::uint32_t *versionOut)
+{
+    SetAssocCache &own = *_l2s[ctx.chiplet];
+    _energy.countL2();
+    _noc.addL2Bytes(ctx.chiplet, kDataBytes);
+    if (own.probe(addr, versionOut)) {
+        ++_l2Stats.hits;
+        return _cfg.l2LocalLatency;
+    }
+    ++_l2Stats.misses;
+
+    const ChipletId home = _pages.homeOf(addr, ctx.chiplet);
+    Cycles lat;
+    if (home == ctx.chiplet) {
+        lat = l3Read(home, ds, line, addr, versionOut, _cfg.l3Latency);
+    } else {
+        // Forward to the home chiplet's L2 (HMG's hierarchical step).
+        remoteCtrlHop(ctx.chiplet, home);
+        lat = _cfg.l2RemoteLatency;
+        _energy.countL2();
+        _noc.addL2Bytes(home, kDataBytes);
+        bool homeDirty = false;
+        _l2s[home]->peek(addr, nullptr, &homeDirty);
+        if (_l2s[home]->probe(addr, versionOut)) {
+            ++_l2Stats.hits;
+            if (!_writeThrough && homeDirty) {
+                // Write-back variant: the home L2 owns the only copy;
+                // fetching dirty data needs the owner-forwarding step
+                // (part of why the paper found WB 13% slower).
+                lat += _cfg.l3Latency;
+            }
+        } else {
+            ++_l2Stats.misses;
+            lat = l3Read(home, ds, line, addr, versionOut,
+                         _cfg.l2RemoteLatency);
+            // The home node caches remote-requested data, displacing
+            // its own local data (a pathology the paper measures).
+            fillL2(home, addr, *versionOut, ds, line, /*dirty=*/false);
+            lat += trackSharer(home, addr, home);
+        }
+        remoteDataHop(home, ctx.chiplet);
+    }
+
+    fillL2(ctx.chiplet, addr, *versionOut, ds, line, /*dirty=*/false);
+    lat += trackSharer(home, addr, ctx.chiplet);
+    return lat;
+}
+
+Cycles
+HmgMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
+                           std::uint64_t line, Addr addr,
+                           std::uint32_t version)
+{
+    const ChipletId home = _pages.homeOf(addr, ctx.chiplet);
+    const Addr region = HmgDirectory::regionAlign(addr);
+
+    // Invalidate every other sharer's copies of the whole 4-line region
+    // (entry granularity is the directory's, not the line's). The
+    // writer waits for the acknowledgments. The lookup + sharer-set
+    // update occupy the home directory's pipeline.
+    _noc.addL2Bytes(home, 64);
+    const std::uint32_t mask = _dirs[home].sharersOf(addr);
+    Cycles penalty =
+        invalidateRegion(home, region, mask, ctx.chiplet, home);
+
+    _energy.countL2();
+    // A write-through store occupies the L2 pipeline twice: once to
+    // update the array, once to drain toward the LLC/memory.
+    _noc.addL2Bytes(ctx.chiplet,
+                    _writeThrough ? 2 * kDataBytes : kDataBytes);
+    if (_writeThrough) {
+        // Sender and home retain valid (clean) copies; the store is
+        // written through to the home's LLC bank / memory.
+        fillL2(ctx.chiplet, addr, version, ds, line, /*dirty=*/false);
+        if (home != ctx.chiplet) {
+            remoteDataHop(ctx.chiplet, home);
+            _energy.countL2();
+            _noc.addL2Bytes(home, kDataBytes);
+            fillL2(home, addr, version, ds, line, /*dirty=*/false);
+        }
+        _noc.countL2L3Data();
+        _noc.countL2L3Ctrl(); // write-through ack
+        // The store is written through to memory. The memory
+        // controller write-combines back-to-back stores to a line
+        // already in flight (dirty in the LLC); a line's first
+        // write-through since its last eviction reaches DRAM.
+        {
+            bool l3Dirty = false;
+            const bool present = l3(home).peek(addr, nullptr, &l3Dirty);
+            if (!present || !l3Dirty) {
+                ++_dramAccesses;
+                _energy.countDram();
+                _noc.addDramBytes(home, kDataBytes);
+            }
+        }
+        l3Write(home, ds, line, addr, version);
+        _space.commitToMemory(ds, line, version);
+    } else {
+        // Write-back ablation: the home L2 owns the only dirty copy;
+        // the sender does not allocate (losing sender-side locality,
+        // the "reduced precise tracking benefit" the paper describes).
+        if (home == ctx.chiplet) {
+            if (!_l2s[home]->writeHit(addr, version)) {
+                // No read-for-ownership (dirty-byte masks).
+                fillL2(home, addr, version, ds, line, /*dirty=*/true);
+            }
+        } else {
+            remoteDataHop(ctx.chiplet, home);
+            _energy.countL2();
+            _noc.addL2Bytes(home, kDataBytes);
+            _l2s[ctx.chiplet]->updateIfPresent(addr, version,
+                                               /*markDirty=*/false);
+            if (!_l2s[home]->writeHit(addr, version)) {
+                fillL2(home, addr, version, ds, line, /*dirty=*/true);
+            }
+        }
+    }
+
+    HmgDirectory::VictimRegion victim;
+    _dirs[home].setSharers(
+        addr, (1u << ctx.chiplet) | (1u << home), &victim);
+    if (victim.valid) {
+        penalty += invalidateRegion(home, victim.regionAddr,
+                                    victim.sharers, kNoChiplet,
+                                    kNoChiplet);
+    }
+    return _cfg.l1Latency + penalty;
+}
+
+} // namespace cpelide

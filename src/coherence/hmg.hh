@@ -1,0 +1,164 @@
+/**
+ * @file
+ * HMG — Hierarchical Multi-GPU coherence (Ren et al., HPCA 2020) —
+ * re-implemented for an MCM-GPU per the paper's Section IV-C.
+ *
+ * HMG extends coherence across chiplets so no kernel-boundary L2
+ * operations are needed:
+ *  - each chiplet's L2 may cache remote lines;
+ *  - remote read misses are serviced by the *home chiplet's L2*, which
+ *    also caches the line ("HMG caches remote accesses at their home
+ *    node"), displacing the home's local data;
+ *  - a per-chiplet directory tracks sharers at a granularity of one
+ *    entry per FOUR cache lines (12K entries per chiplet); a write
+ *    invalidates every other sharer's copies of the whole 4-line
+ *    region, and a directory eviction back-invalidates the region in
+ *    all sharers — the two pathologies the paper measures;
+ *  - the default (paper-preferred) variant writes through every store
+ *    to memory, retaining valid copies in the sender and home L2s; the
+ *    write-back ablation keeps dirty data at the home L2 only.
+ */
+
+#ifndef CPELIDE_COHERENCE_HMG_HH
+#define CPELIDE_COHERENCE_HMG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "coherence/mem_system.hh"
+
+namespace cpelide
+{
+
+/** Lines covered by one directory entry (the paper's pathology knob). */
+constexpr std::uint64_t kHmgLinesPerEntry = 4;
+/** Directory entries per chiplet (largest size HMG studied, in gem5). */
+constexpr std::uint32_t kHmgEntriesPerChiplet = 12 * 1024;
+
+/**
+ * Set-associative sharer directory for lines homed at one chiplet.
+ * Entries are allocated on any L2 fill of a covered line and evicted
+ * LRU; eviction reports the victim region + sharer set so the protocol
+ * can back-invalidate.
+ */
+class HmgDirectory
+{
+  public:
+    /** A region evicted to make room. */
+    struct VictimRegion
+    {
+        bool valid = false;
+        Addr regionAddr = 0;       //!< first byte of the 4-line region
+        std::uint32_t sharers = 0; //!< chiplet bitmask
+    };
+
+    HmgDirectory(std::uint32_t entries, std::uint32_t assoc);
+
+    /**
+     * Ensure an entry for @p addr's region exists and set @p sharer's
+     * bit. @p victim receives any region evicted to make room.
+     */
+    void addSharer(Addr addr, ChipletId sharer, VictimRegion *victim);
+
+    /** Sharer bitmask of @p addr's region (0 if untracked). */
+    std::uint32_t sharersOf(Addr addr) const;
+
+    /**
+     * Replace the region's sharer set (after a write invalidates other
+     * sharers). Allocates if absent. @p victim as in addSharer.
+     */
+    void setSharers(Addr addr, std::uint32_t sharers, VictimRegion *victim);
+
+    /** Drop the entry for @p addr's region, if any. */
+    void remove(Addr addr);
+
+    std::uint64_t evictions() const { return _evictions; }
+
+    static Addr regionAlign(Addr a)
+    {
+        return a & ~(kHmgLinesPerEntry * kLineBytes - 1);
+    }
+
+  private:
+    struct Entry
+    {
+        Addr region = 0;
+        std::uint32_t sharers = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setIndex(Addr region) const
+    {
+        return (region / (kHmgLinesPerEntry * kLineBytes)) & (_numSets - 1);
+    }
+
+    Entry *find(Addr region);
+    const Entry *find(Addr region) const;
+    /** Allocate a slot for @p region, reporting the LRU victim. */
+    Entry *allocate(Addr region, VictimRegion *victim);
+
+    std::uint32_t _assoc;
+    std::uint64_t _numSets;
+    std::vector<Entry> _entries;
+    std::uint64_t _useClock = 0;
+    std::uint64_t _evictions = 0;
+};
+
+/** HMG memory system; see file header. */
+class HmgMemSystem : public MemSystem
+{
+  public:
+    HmgMemSystem(const GpuConfig &cfg, DataSpace &space, bool write_through);
+
+    bool boundarySyncsL2() const override { return false; }
+    Cycles kernelBoundaryL2() override { return 0; }
+
+    std::uint64_t directoryEvictions() const override;
+    std::uint64_t sharerInvalidations() const override
+    {
+        return _sharerInvalidations;
+    }
+
+    /** Directory of lines homed at @p c (tests). */
+    HmgDirectory &directory(ChipletId c) { return _dirs[c]; }
+
+  protected:
+    Cycles readBelowL1(const AccessContext &ctx, DsId ds,
+                       std::uint64_t line, Addr addr,
+                       std::uint32_t *versionOut) override;
+    Cycles writeBelowL1(const AccessContext &ctx, DsId ds,
+                        std::uint64_t line, Addr addr,
+                        std::uint32_t version) override;
+
+  private:
+    /**
+     * Invalidate the 4-line region @p regionAddr in every chiplet of
+     * @p sharerMask except @p except1/@p except2, writing back any
+     * dirty copies (write-back variant). Counts invalidation traffic
+     * from home @p home.
+     * @return crossbar round-trip cycles if any sharer was reached.
+     */
+    Cycles invalidateRegion(ChipletId home, Addr regionAddr,
+                            std::uint32_t sharerMask, ChipletId except1,
+                            ChipletId except2);
+
+    /**
+     * Register @p sharer for @p addr, handling directory evictions.
+     * @return invalidation round-trip cycles charged to the access
+     *         that displaced the entry (the requester waits for acks).
+     */
+    Cycles trackSharer(ChipletId home, Addr addr, ChipletId sharer);
+
+    /** Write a line into chiplet @p c's L2, handling dirty victims. */
+    void fillL2(ChipletId c, Addr addr, std::uint32_t version, DsId ds,
+                std::uint64_t line, bool dirty);
+
+    bool _writeThrough;
+    std::vector<HmgDirectory> _dirs;
+    std::uint64_t _sharerInvalidations = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_COHERENCE_HMG_HH

@@ -1,0 +1,390 @@
+#include "coherence/mem_system.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "coherence/hmg.hh"
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+MemSystem::MemSystem(const GpuConfig &cfg, DataSpace &space)
+    : _cfg(cfg), _space(space), _pages(cfg.numChiplets),
+      _noc(cfg.numChiplets)
+{
+    const int num_cus = cfg.totalCus();
+    _l1s.reserve(num_cus);
+    for (int i = 0; i < num_cus; ++i) {
+        _l1s.push_back(std::make_unique<SetAssocCache>(
+            "l1." + std::to_string(i),
+            CacheGeometry{cfg.l1SizeBytes, cfg.l1Assoc}));
+    }
+    for (int c = 0; c < cfg.numChiplets; ++c) {
+        _l2s.push_back(std::make_unique<SetAssocCache>(
+            "l2." + std::to_string(c),
+            CacheGeometry{cfg.l2SizeBytesPerChiplet, cfg.l2Assoc}));
+    }
+    // L3 slices: the LLC divides across chiplets. Round each slice
+    // down to a power-of-two set count (6- and 7-chiplet packages get
+    // slightly less than total/chiplets of LLC, as real designs do).
+    const std::uint64_t ideal = cfg.l3SizeBytesTotal / cfg.numChiplets;
+    std::uint64_t slice = cfg.l3Assoc * kLineBytes;
+    while (slice * 2 <= ideal)
+        slice *= 2;
+    for (int c = 0; c < cfg.numChiplets; ++c) {
+        _l3s.push_back(std::make_unique<SetAssocCache>(
+            "l3." + std::to_string(c), CacheGeometry{slice, cfg.l3Assoc}));
+    }
+}
+
+Cycles
+MemSystem::access(const AccessContext &ctx, DsId ds, std::uint64_t line,
+                  bool isWrite)
+{
+    ++_accesses;
+    const Addr addr = _space.alloc(ds).lineAddr(line);
+    SetAssocCache &l1c = *_l1s[l1Index(ctx)];
+    _energy.countL1d();
+
+    if (isWrite) {
+        // Write-through, no-allocate L1: update an existing copy so
+        // later reads by this CU stay coherent, then push below.
+        const std::uint32_t version = _space.recordStore(ds, line);
+        l1c.updateIfPresent(addr, version, /*markDirty=*/false);
+        _noc.countL1L2Data();
+        return writeBelowL1(ctx, ds, line, addr, version);
+    }
+
+    std::uint32_t version = 0;
+    if (l1c.probe(addr, &version)) {
+        ++_l1Stats.hits;
+        _space.checkObserved(ds, line, version);
+        return _cfg.l1Latency;
+    }
+    ++_l1Stats.misses;
+    _noc.countL1L2Ctrl();
+
+    const Cycles below = readBelowL1(ctx, ds, line, addr, &version);
+    _noc.countL1L2Data();
+
+    Evicted victim;
+    l1c.insert(addr, version, ds, static_cast<std::uint32_t>(line),
+               /*dirty=*/false, &victim);
+    // L1 is write-through: victims are clean, nothing to do.
+    _space.checkObserved(ds, line, version);
+    // Table I latencies are load-to-use totals per hit level.
+    return below;
+}
+
+Cycles
+MemSystem::accessBypass(const AccessContext &ctx, DsId ds,
+                        std::uint64_t line, bool isWrite)
+{
+    ++_accesses;
+    const Addr addr = _space.alloc(ds).lineAddr(line);
+    const ChipletId home = _pages.homeOf(addr, ctx.chiplet);
+    const bool local = home == ctx.chiplet;
+
+    if (isWrite) {
+        const std::uint32_t version = _space.recordStore(ds, line);
+        if (!local)
+            remoteDataHop(ctx.chiplet, home);
+        _noc.countL2L3Data();
+        l3Write(home, ds, line, addr, version);
+        return _cfg.l1Latency; // fire-and-forget through the queues
+    }
+
+    std::uint32_t version = 0;
+    Cycles lat;
+    if (!local) {
+        remoteCtrlHop(ctx.chiplet, home);
+        lat = l3Read(home, ds, line, addr, &version,
+                     _cfg.l2RemoteLatency);
+        remoteDataHop(home, ctx.chiplet);
+    } else {
+        lat = l3Read(home, ds, line, addr, &version, _cfg.l3Latency);
+    }
+    _space.checkObserved(ds, line, version);
+    return lat;
+}
+
+Cycles
+MemSystem::kernelBoundaryL1()
+{
+    for (auto &l1c : _l1s)
+        l1c->invalidateAll();
+    return _cfg.invalidateCycles;
+}
+
+Cycles
+MemSystem::l2Release(ChipletId c)
+{
+    SetAssocCache &l2c = *_l2s[l2Index(c)];
+    const std::uint64_t dirty = l2c.dirtyLines();
+    ++_l2Flushes;
+    const std::uint64_t flushed = l2c.flushAll([&](const Evicted &e) {
+        // Only locally-homed lines are ever dirty (remote stores write
+        // through), so the writeback target is this chiplet's L3 bank.
+        writebackVictim(c, e);
+    });
+    _linesWrittenBack += flushed;
+    return flushCost(dirty);
+}
+
+Cycles
+MemSystem::l2Acquire(ChipletId c)
+{
+    SetAssocCache &l2c = *_l2s[l2Index(c)];
+    Cycles cost = 0;
+    if (l2c.dirtyLines() > 0)
+        cost += l2Release(c);
+    l2c.invalidateAll();
+    ++_l2Invalidates;
+    return cost + _cfg.invalidateCycles;
+}
+
+Cycles
+MemSystem::l3Read(ChipletId home, DsId ds, std::uint64_t line, Addr addr,
+                  std::uint32_t *versionOut, Cycles base_latency)
+{
+    _noc.countL2L3Ctrl();
+    SetAssocCache &slice = *_l3s[l3Index(home)];
+    _energy.countL3();
+    if (slice.probe(addr, versionOut)) {
+        ++_l3Stats.hits;
+        _noc.countL2L3Data();
+        _noc.addL2l3Bytes(home, kDataBytes);
+        return base_latency;
+    }
+    ++_l3Stats.misses;
+    // Fill from this chiplet's HBM stack.
+    ++_dramAccesses;
+    _energy.countDram();
+    _noc.addDramBytes(home, kDataBytes);
+    *versionOut = _space.memoryVersion(ds, line);
+    Evicted victim;
+    slice.insert(addr, *versionOut, ds, static_cast<std::uint32_t>(line),
+                 /*dirty=*/false, &victim);
+    if (victim.valid && victim.dirty) {
+        ++_dramAccesses;
+        _energy.countDram();
+        _noc.addDramBytes(home, kDataBytes);
+        _space.commitToMemory(victim.ds, victim.dsLine, victim.version);
+    }
+    _noc.countL2L3Data();
+    _noc.addL2l3Bytes(home, kDataBytes);
+    return base_latency + _cfg.dramLatency;
+}
+
+void
+MemSystem::l3Write(ChipletId home, DsId ds, std::uint64_t line, Addr addr,
+                   std::uint32_t version)
+{
+    SetAssocCache &slice = *_l3s[l3Index(home)];
+    _energy.countL3();
+    _noc.addL2l3Bytes(home, kDataBytes);
+    Evicted victim;
+    slice.insert(addr, version, ds, static_cast<std::uint32_t>(line),
+                 /*dirty=*/true, &victim);
+    if (victim.valid && victim.dirty) {
+        ++_dramAccesses;
+        _energy.countDram();
+        _noc.addDramBytes(home, kDataBytes);
+        _space.commitToMemory(victim.ds, victim.dsLine, victim.version);
+    }
+}
+
+void
+MemSystem::writebackVictim(ChipletId home, const Evicted &victim)
+{
+    _noc.countL2L3Data();
+    _energy.countL2();
+    _noc.addL2Bytes(home, kDataBytes);
+    l3Write(home, victim.ds, victim.dsLine, victim.addr, victim.version);
+}
+
+void
+MemSystem::remoteDataHop(ChipletId a, ChipletId b)
+{
+    _noc.countRemoteData();
+    _noc.addXlinkBytes(a, kDataBytes);
+    _noc.addXlinkBytes(b, kDataBytes);
+}
+
+void
+MemSystem::remoteCtrlHop(ChipletId a, ChipletId b)
+{
+    _noc.countRemoteCtrl();
+    // A control message occupies a full flit slot on each link.
+    _noc.addXlinkBytes(a, 32);
+    _noc.addXlinkBytes(b, 32);
+}
+
+Cycles
+MemSystem::flushCost(std::uint64_t dirty_lines) const
+{
+    const double walk = static_cast<double>(
+                            _cfg.l2SizeBytesPerChiplet / kLineBytes) /
+                        _cfg.flushWalkLinesPerCycle;
+    const double drain = static_cast<double>(dirty_lines * kLineBytes) /
+                         _cfg.flushBytesPerCycle;
+    return static_cast<Cycles>(std::max(walk, drain)) + _cfg.l3Latency;
+}
+
+// ---------------------------------------------------------------------------
+// ViperMemSystem
+//
+// Chiplet i's L2 caches only lines homed at chiplet i. Remote requests
+// are forwarded to the *home node's* L3 bank (the memory-side, shared
+// ordering point) and are never allocated in any L2 — the per-chiplet
+// L2s are incoherent with the rest of the system (Section II-A), so
+// caching remote data would be unsafe, and indeed the paper notes
+// "CPElide does not cache remote reads". This is also why implicit
+// kernel-boundary synchronization is required: a store by chiplet j to a
+// line homed at i goes straight to i's L3 bank, leaving any clean copy
+// in i's L2 stale until i invalidates; and a dirty line in i's L2 is
+// invisible to j's reads (which go to the L3 bank) until i flushes.
+// ---------------------------------------------------------------------------
+
+ViperMemSystem::ViperMemSystem(const GpuConfig &cfg, DataSpace &space,
+                               bool boundary_syncs_l2)
+    : MemSystem(cfg, space), _boundarySyncsL2(boundary_syncs_l2)
+{}
+
+Cycles
+ViperMemSystem::kernelBoundaryL2()
+{
+    if (!_boundarySyncsL2)
+        return 0;
+    // Conservative implicit release + acquire on every chiplet; the
+    // chiplets flush/invalidate in parallel, so the critical path is
+    // the slowest one.
+    Cycles worst = 0;
+    for (ChipletId c = 0; c < _cfg.numChiplets; ++c)
+        worst = std::max(worst, l2Acquire(c));
+    return worst;
+}
+
+Cycles
+ViperMemSystem::readBelowL1(const AccessContext &ctx, DsId ds,
+                            std::uint64_t line, Addr addr,
+                            std::uint32_t *versionOut)
+{
+    const ChipletId home = _pages.homeOf(addr, ctx.chiplet);
+    if (home != ctx.chiplet) {
+        // Remote read: forwarded to the home node's L3 bank; never
+        // cached in an L2 (CPElide/baseline do not cache remote reads).
+        // Table I: 390 cycles load-to-use for a remote bank hit.
+        remoteCtrlHop(ctx.chiplet, home);
+        const Cycles lat = l3Read(home, ds, line, addr, versionOut,
+                                  _cfg.l2RemoteLatency);
+        remoteDataHop(home, ctx.chiplet);
+        return lat;
+    }
+
+    SetAssocCache &l2c = *_l2s[l2Index(home)];
+    _energy.countL2();
+    _noc.addL2Bytes(home, kDataBytes);
+    if (l2c.probe(addr, versionOut)) {
+        ++_l2Stats.hits;
+        return _cfg.l2LocalLatency;
+    }
+    ++_l2Stats.misses;
+    if (std::getenv("CPELIDE_MISS_DEBUG")) {
+        static std::uint64_t n = 0;
+        if (++n % 4096 == 1) {
+            std::fprintf(stderr, "[rmiss] ds=%d line=%llu chiplet=%d\n",
+                         ds, (unsigned long long)line, ctx.chiplet);
+        }
+    }
+    const Cycles lat =
+        l3Read(home, ds, line, addr, versionOut, _cfg.l3Latency);
+    // The fill write occupies the L2 array pipeline as well (fills
+    // use the dedicated fill port: half the occupancy of a demand
+    // access).
+    _noc.addL2Bytes(home, kDataBytes / 2);
+    Evicted victim;
+    l2c.insert(addr, *versionOut, ds, static_cast<std::uint32_t>(line),
+               /*dirty=*/false, &victim);
+    if (victim.valid && victim.dirty)
+        writebackVictim(home, victim);
+    return lat;
+}
+
+Cycles
+ViperMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
+                             std::uint64_t line, Addr addr,
+                             std::uint32_t version)
+{
+    const ChipletId home = _pages.homeOf(addr, ctx.chiplet);
+
+    if (home == ctx.chiplet) {
+        // Local store: write back — allocate dirty in the home L2.
+        SetAssocCache &l2c = *_l2s[l2Index(home)];
+        _energy.countL2();
+        _noc.addL2Bytes(home, kDataBytes);
+        if (l2c.writeHit(addr, version)) {
+            ++_l2Stats.hits;
+        } else {
+            ++_l2Stats.misses;
+            if (std::getenv("CPELIDE_MISS_DEBUG")) {
+                static std::uint64_t n = 0;
+                if (++n % 4096 == 1) {
+                    std::fprintf(stderr, "[wmiss] ds=%d line=%llu "
+                                 "chiplet=%d\n", ds,
+                                 (unsigned long long)line, ctx.chiplet);
+                }
+            }
+            // Write-allocate WITHOUT a fetch: VIPER L2s track dirty
+            // bytes per line, so stores need no read-for-ownership.
+            Evicted victim;
+            l2c.insert(addr, version, ds, static_cast<std::uint32_t>(line),
+                       /*dirty=*/true, &victim);
+            if (victim.valid && victim.dirty)
+                writebackVictim(home, victim);
+        }
+        return _cfg.l1Latency; // store issue cost; completion is async
+    }
+
+    // Remote store: write through to the home node's LLC bank; no L2
+    // is touched or allocated. Any clean copy in the home chiplet's L2
+    // becomes stale — which is exactly what the implicit acquire (or
+    // CPElide's tracked Stale state) exists to handle.
+    remoteDataHop(ctx.chiplet, home);
+    _noc.countL2L3Data();
+    l3Write(home, ds, line, addr, version);
+    return _cfg.l1Latency;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<MemSystem>
+makeMemSystem(const GpuConfig &cfg, ProtocolKind kind, DataSpace &space)
+{
+    switch (kind) {
+      case ProtocolKind::Baseline:
+        return std::make_unique<ViperMemSystem>(cfg, space, true);
+      case ProtocolKind::CpElide:
+        return std::make_unique<ViperMemSystem>(cfg, space, false);
+      case ProtocolKind::Monolithic:
+        if (cfg.numChiplets != 1) {
+            fatal("Monolithic protocol requires a 1-chiplet config "
+                  "(use GpuConfig::monolithicEquivalent)");
+        }
+        return std::make_unique<ViperMemSystem>(cfg, space, false);
+      case ProtocolKind::Hmg:
+        return std::make_unique<HmgMemSystem>(cfg, space,
+                                              /*write_through=*/true);
+      case ProtocolKind::HmgWriteBack:
+        return std::make_unique<HmgMemSystem>(cfg, space,
+                                              /*write_through=*/false);
+    }
+    panic("unknown ProtocolKind");
+}
+
+} // namespace cpelide

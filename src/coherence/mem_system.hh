@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Functional + timing model of the chiplet memory hierarchy.
+ *
+ * MemSystem owns the per-CU L1s, per-chiplet L2s, the banked shared L3,
+ * the page table, the traffic meters, and the energy model. Concrete
+ * protocols (VIPER baseline, HMG) subclass it and implement the
+ * below-L1 request flow.
+ *
+ * Timing convention: access() returns the latency the issuing CU
+ * observes. Loads see the full latency chain; stores are modeled as
+ * fire-and-forget through write buffers (issue cost only) — their real
+ * cost is traffic/bandwidth, which is always accounted. Orderliness at
+ * kernel boundaries is enforced by the explicit release (flush) and
+ * acquire (invalidate) operations, exactly like the paper's protocols.
+ */
+
+#ifndef CPELIDE_COHERENCE_MEM_SYSTEM_HH
+#define CPELIDE_COHERENCE_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "energy/energy_model.hh"
+#include "mem/cache.hh"
+#include "mem/data_space.hh"
+#include "mem/page_table.hh"
+#include "noc/noc.hh"
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+/** Which CU is issuing an access. */
+struct AccessContext
+{
+    ChipletId chiplet = 0;
+    CuId cu = 0;
+};
+
+/** Shared plumbing for all protocol implementations. */
+class MemSystem
+{
+  public:
+    MemSystem(const GpuConfig &cfg, DataSpace &space);
+    virtual ~MemSystem() = default;
+
+    MemSystem(const MemSystem &) = delete;
+    MemSystem &operator=(const MemSystem &) = delete;
+
+    /**
+     * Simulate one line-granular access.
+     * @param line line index within data structure @p ds.
+     * @return CU-observed latency in cycles.
+     */
+    Cycles access(const AccessContext &ctx, DsId ds, std::uint64_t line,
+                  bool isWrite);
+
+    /**
+     * System-scope atomic / cache-bypassing access: performed at the
+     * home node's LLC bank, identical under every protocol. Never
+     * allocates in an L1/L2, so it creates no incoherence and needs no
+     * implicit synchronization.
+     */
+    Cycles accessBypass(const AccessContext &ctx, DsId ds,
+                        std::uint64_t line, bool isWrite);
+
+    /**
+     * Implicit kernel-boundary L1 operation: invalidate every CU's L1
+     * (all protocols; the paper never relaxes L1 behaviour). L1s are
+     * write-through so there is nothing to flush.
+     * @return cost in cycles (flash invalidate).
+     */
+    Cycles kernelBoundaryL1();
+
+    /**
+     * Release on chiplet @p c: write all dirty L2 data through to the
+     * shared LLC. Clean copies are retained (VIPER keeps a clean copy
+     * after a full-line writeback, which CPElide's lazy release relies
+     * on).
+     * @return cycles on the critical path.
+     */
+    virtual Cycles l2Release(ChipletId c);
+
+    /**
+     * Acquire on chiplet @p c: invalidate the entire L2. Dirty lines
+     * (possibly belonging to *other* data structures) are flushed first
+     * so no data is lost; cost includes that flush.
+     * @return cycles on the critical path.
+     */
+    virtual Cycles l2Acquire(ChipletId c);
+
+    /** Whether this protocol performs implicit L2 syncs per boundary. */
+    virtual bool boundarySyncsL2() const = 0;
+
+    /** Per-protocol hook run at every kernel boundary (e.g. HMG: none). */
+    virtual Cycles kernelBoundaryL2() = 0;
+
+    // --- Accessors used by the GPU layer and tests ------------------------
+    const GpuConfig &config() const { return _cfg; }
+    DataSpace &space() { return _space; }
+    PageTable &pageTable() { return _pages; }
+    Noc &noc() { return _noc; }
+    EnergyModel &energy() { return _energy; }
+
+    const LevelStats &l1Stats() const { return _l1Stats; }
+    const LevelStats &l2Stats() const { return _l2Stats; }
+    const LevelStats &l3Stats() const { return _l3Stats; }
+    std::uint64_t dramAccesses() const { return _dramAccesses; }
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t l2FlushesIssued() const { return _l2Flushes; }
+    std::uint64_t l2InvalidatesIssued() const { return _l2Invalidates; }
+    std::uint64_t linesWrittenBack() const { return _linesWrittenBack; }
+    virtual std::uint64_t directoryEvictions() const { return 0; }
+    virtual std::uint64_t sharerInvalidations() const { return 0; }
+
+    /** L2 array of chiplet @p c (tests; monolithic maps all to one). */
+    SetAssocCache &l2(ChipletId c) { return *_l2s[l2Index(c)]; }
+    /** L1 of a specific CU (tests). */
+    SetAssocCache &l1(const AccessContext &ctx)
+    {
+        return *_l1s[l1Index(ctx)];
+    }
+    /** L3 slice holding @p home's bank (tests). */
+    SetAssocCache &l3(ChipletId home) { return *_l3s[l3Index(home)]; }
+
+  protected:
+    /** Below-L1 read. @return latency; fills @p versionOut. */
+    virtual Cycles readBelowL1(const AccessContext &ctx, DsId ds,
+                               std::uint64_t line, Addr addr,
+                               std::uint32_t *versionOut) = 0;
+
+    /** Below-L1 write of @p version. @return issue latency. */
+    virtual Cycles writeBelowL1(const AccessContext &ctx, DsId ds,
+                                std::uint64_t line, Addr addr,
+                                std::uint32_t version) = 0;
+
+    // --- Shared L3/DRAM path ----------------------------------------------
+    /**
+     * Read @p addr at the L3 bank of chiplet @p home, falling through to
+     * DRAM on a miss (fill, clean). Counts l2l3 traffic + energy.
+     *
+     * Latencies follow Table I's load-to-use totals: @p base_latency is
+     * the requester's total latency for an L3 hit (l3Latency locally,
+     * l2RemoteLatency across the crossbar); a DRAM fill adds
+     * dramLatency.
+     * @return total latency for this fill.
+     */
+    Cycles l3Read(ChipletId home, DsId ds, std::uint64_t line, Addr addr,
+                  std::uint32_t *versionOut, Cycles base_latency);
+
+    /**
+     * Write @p version into the L3 bank (dirty; L3 is write-back to
+     * DRAM). Used for write-throughs and L2 writebacks.
+     */
+    void l3Write(ChipletId home, DsId ds, std::uint64_t line, Addr addr,
+                 std::uint32_t version);
+
+    /** Handle a dirty L2 victim: write it to the L3 (l2l3 traffic). */
+    void writebackVictim(ChipletId home, const Evicted &victim);
+
+    /** Account a remote crossing of 64B data between @p a and @p b. */
+    void remoteDataHop(ChipletId a, ChipletId b);
+    /** Account a remote control message between @p a and @p b. */
+    void remoteCtrlHop(ChipletId a, ChipletId b);
+
+    /** Cost of flushing @p dirtyLines lines + walking the array. */
+    Cycles flushCost(std::uint64_t dirty_lines) const;
+
+    std::size_t l1Index(const AccessContext &ctx) const
+    {
+        return static_cast<std::size_t>(ctx.chiplet) * _cfg.cusPerChiplet +
+               ctx.cu;
+    }
+    virtual std::size_t l2Index(ChipletId c) const
+    {
+        return static_cast<std::size_t>(c);
+    }
+    virtual std::size_t l3Index(ChipletId home) const
+    {
+        return static_cast<std::size_t>(home);
+    }
+
+    const GpuConfig _cfg;
+    DataSpace &_space;
+    PageTable _pages;
+    Noc _noc;
+    EnergyModel _energy;
+
+    std::vector<std::unique_ptr<SetAssocCache>> _l1s;
+    std::vector<std::unique_ptr<SetAssocCache>> _l2s;
+    std::vector<std::unique_ptr<SetAssocCache>> _l3s;
+
+    LevelStats _l1Stats;
+    LevelStats _l2Stats;
+    LevelStats _l3Stats;
+    std::uint64_t _dramAccesses = 0;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _l2Flushes = 0;
+    std::uint64_t _l2Invalidates = 0;
+    std::uint64_t _linesWrittenBack = 0;
+};
+
+/**
+ * VIPER extended for chiplets (the paper's Baseline, Section IV-C),
+ * also used by CPElide (same protocol, different sync schedule) and by
+ * the monolithic reference (numChiplets == 1 + no boundary syncs).
+ *
+ * Requests are forwarded to the home node's L2. Local stores write back
+ * (dirty in home L2); remote stores write through to the LLC.
+ */
+class ViperMemSystem : public MemSystem
+{
+  public:
+    /**
+     * @param boundary_syncs_l2 true for Baseline (flush+invalidate all
+     *        L2s every kernel boundary); false for CPElide (the elide
+     *        engine schedules per-chiplet ops) and Monolithic.
+     */
+    ViperMemSystem(const GpuConfig &cfg, DataSpace &space,
+                   bool boundary_syncs_l2);
+
+    bool boundarySyncsL2() const override { return _boundarySyncsL2; }
+    Cycles kernelBoundaryL2() override;
+
+  protected:
+    Cycles readBelowL1(const AccessContext &ctx, DsId ds,
+                       std::uint64_t line, Addr addr,
+                       std::uint32_t *versionOut) override;
+    Cycles writeBelowL1(const AccessContext &ctx, DsId ds,
+                        std::uint64_t line, Addr addr,
+                        std::uint32_t version) override;
+
+  private:
+    bool _boundarySyncsL2;
+};
+
+/** Factory covering all ProtocolKind values. */
+std::unique_ptr<MemSystem> makeMemSystem(const GpuConfig &cfg,
+                                         ProtocolKind kind,
+                                         DataSpace &space);
+
+} // namespace cpelide
+
+#endif // CPELIDE_COHERENCE_MEM_SYSTEM_HH

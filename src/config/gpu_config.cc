@@ -1,0 +1,98 @@
+#include "config/gpu_config.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+const char *
+protocolName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Baseline: return "Baseline";
+      case ProtocolKind::CpElide: return "CPElide";
+      case ProtocolKind::Hmg: return "HMG";
+      case ProtocolKind::HmgWriteBack: return "HMG-WB";
+      case ProtocolKind::Monolithic: return "Monolithic";
+    }
+    return "?";
+}
+
+void
+GpuConfig::finalize()
+{
+    if (numChiplets < 1)
+        fatal("numChiplets must be >= 1");
+    if (cusPerChiplet < 1)
+        fatal("cusPerChiplet must be >= 1");
+    const double ghz = gpuClockGhz;
+    // 1 TB/s of HBM divided across chiplets.
+    dramBytesPerCycle = (1000.0 / numChiplets) / ghz;
+    // 768 GB/s aggregate inter-chiplet bandwidth divided across chiplets.
+    xlinkBytesPerCycle = (768.0 / numChiplets) / ghz;
+}
+
+GpuConfig
+GpuConfig::radeonVii(int chiplets)
+{
+    GpuConfig cfg;
+    cfg.numChiplets = chiplets;
+    cfg.finalize();
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::monolithicEquivalent(int chiplets)
+{
+    GpuConfig cfg;
+    cfg.numChiplets = 1;
+    cfg.cusPerChiplet = 60 * chiplets;
+    cfg.l2SizeBytesPerChiplet = 8ull * 1024 * 1024 * chiplets;
+    // One die aggregates all the chiplets' array and on-chip-path
+    // bandwidth (HBM/link bandwidth aggregate via finalize()).
+    cfg.l2BytesPerCycle *= chiplets;
+    cfg.l2l3BytesPerCycle *= chiplets;
+    cfg.flushBytesPerCycle *= chiplets;
+    cfg.finalize();
+    return cfg;
+}
+
+std::string
+GpuConfig::describe() const
+{
+    std::ostringstream os;
+    os << "Simulated GPU (paper Table I)\n"
+       << "  GPU clock               : " << gpuClockGhz * 1000 << " MHz\n"
+       << "  Chiplets                : " << numChiplets << "\n"
+       << "  CUs/chiplet (total)     : " << cusPerChiplet << " ("
+       << totalCus() << ")\n"
+       << "  L1D / CU                : " << l1SizeBytes / 1024
+       << " KB, 64B line, " << l1Assoc << "-way, " << l1Latency
+       << " cyc\n"
+       << "  LDS latency             : " << ldsLatency << " cyc\n"
+       << "  L2 / chiplet            : "
+       << l2SizeBytesPerChiplet / (1024 * 1024) << " MB, 64B line, "
+       << l2Assoc << "-way, local/remote " << l2LocalLatency << "/"
+       << l2RemoteLatency << " cyc, write-back\n"
+       << "  L3 (shared LLC)         : " << l3SizeBytesTotal / (1024 * 1024)
+       << " MB, 64B line, " << l3Assoc << "-way, " << l3Latency
+       << " cyc\n"
+       << "  HBM                     : " << dramLatency
+       << " cyc, " << dramBytesPerCycle << " B/cyc per chiplet\n"
+       << "  Inter-chiplet link      : " << xlinkBytesPerCycle
+       << " B/cyc per chiplet (768 GB/s aggregate)\n"
+       << "  CP packet / CPElide proc: " << cpPacketUs << " us / "
+       << cpElideProcUs << " us\n"
+       << "  CP crossbar uni/bcast   : " << xbarUnicast << "/"
+       << xbarBroadcast << " cyc\n"
+       << "  Coherence table         : " << tableDsPerKernel << " DS x "
+       << tableKernelDepth << " kernels = " << tableEntries()
+       << " entries\n"
+       << "  Scheduling              : static kernel-wide WG partitioning\n"
+       << "  Page placement          : first touch\n";
+    return os.str();
+}
+
+} // namespace cpelide

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Simulated system parameters (paper Table I) and configuration presets.
+ *
+ * The baseline models an AMD Radeon VII-class GPU split into 2/4/6/7
+ * chiplets. All latencies are in GPU core cycles at 1801 MHz; CP-side
+ * microsecond latencies are converted with cyclesFromUs().
+ */
+
+#ifndef CPELIDE_CONFIG_GPU_CONFIG_HH
+#define CPELIDE_CONFIG_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Which coherence/synchronization configuration to simulate. */
+enum class ProtocolKind
+{
+    /**
+     * VIPER extended for chiplets (Section IV-C): remote requests
+     * forwarded to the home node, local stores write-back, remote stores
+     * write-through; full per-chiplet L2 flush+invalidate at every
+     * kernel boundary.
+     */
+    Baseline,
+    /** Baseline protocol + the global CP eliding per-chiplet L2 syncs. */
+    CpElide,
+    /**
+     * HMG (write-through variant, the paper's default): hierarchical L2
+     * directory, remote lines cached locally, sharer invalidations,
+     * no kernel-boundary L2 operations.
+     */
+    Hmg,
+    /** HMG write-back L2 ablation (13% worse geomean in the paper). */
+    HmgWriteBack,
+    /**
+     * Infeasible-to-build equivalent monolithic GPU (Fig 2 reference):
+     * one shared L2 of aggregate capacity, no inter-chiplet penalty,
+     * no kernel-boundary L2 operations.
+     */
+    Monolithic,
+};
+
+/** Human-readable protocol name. */
+const char *protocolName(ProtocolKind kind);
+
+/** All tunables of the simulated machine. */
+struct GpuConfig
+{
+    // --- Topology -------------------------------------------------------
+    int numChiplets = 4;
+    int cusPerChiplet = 60;
+
+    // --- Clocks ---------------------------------------------------------
+    double gpuClockGhz = 1.801; //!< Table I: 1801 MHz
+    double cpClockGhz = 1.5;    //!< Section IV-B
+
+    // --- Cache geometry / latency (Table I) ------------------------------
+    std::uint64_t l1SizeBytes = 16 * 1024;
+    std::uint32_t l1Assoc = 16;
+    Cycles l1Latency = 140;
+
+    std::uint64_t l2SizeBytesPerChiplet = 8ull * 1024 * 1024;
+    std::uint32_t l2Assoc = 32;
+    Cycles l2LocalLatency = 269;
+    Cycles l2RemoteLatency = 390;
+
+    std::uint64_t l3SizeBytesTotal = 16ull * 1024 * 1024;
+    std::uint32_t l3Assoc = 16;
+    Cycles l3Latency = 330;
+
+    Cycles ldsLatency = 65;
+    Cycles dramLatency = 520; //!< HBM row access, GPU cycles (validated
+                              //!< gem5 GCN3 models use ~280-300 ns total
+                              //!< load-to-use; 520 core cycles here)
+
+    // --- Bandwidth, bytes per GPU cycle ----------------------------------
+    /**
+     * HBM bandwidth per chiplet. Radeon VII has 1 TB/s across 4 stacks;
+     * stacks are divided across chiplets, so each chiplet owns
+     * 1 TB/s / numChiplets.
+     */
+    double dramBytesPerCycle = 0;   //!< derived; see finalize()
+    /**
+     * Inter-chiplet link bandwidth per chiplet. Table I gives 768 GB/s
+     * aggregate; we model per-chiplet links of 768/numChiplets GB/s.
+     */
+    double xlinkBytesPerCycle = 0;  //!< derived; see finalize()
+    /** L2 array bandwidth per chiplet (Radeon VII-class ~1.2 TB/s
+     *  aggregate across four chiplets). */
+    double l2BytesPerCycle = 160;
+    /** On-chip L2<->L3 path per chiplet. */
+    double l2l3BytesPerCycle = 128;
+    /** Drain bandwidth of a bulk L2 flush (writeback path). */
+    double flushBytesPerCycle = 192;
+
+    // --- Bulk-operation costs --------------------------------------------
+    /** Lines validated per cycle during a flush walk. */
+    double flushWalkLinesPerCycle = 256;
+    /** Fixed cost of a flash invalidate. */
+    Cycles invalidateCycles = 32;
+
+    // --- Command processor (Section IV-B) ---------------------------------
+    double cpPacketUs = 2.0;    //!< local/global CP packet latency
+    double cpElideProcUs = 6.0; //!< CPElide table ops + acq/rel generation
+    Cycles xbarUnicast = 65;    //!< global<->local CP crossbar, unicast
+    Cycles xbarBroadcast = 100; //!< global<->local CP crossbar, broadcast
+    Cycles cpMemLatency = 31;   //!< CP private-memory access (CP cycles)
+
+    // --- CPElide table sizing (Section III-A) -----------------------------
+    int tableDsPerKernel = 8;
+    int tableKernelDepth = 8;
+
+    /**
+     * Ablation: idealized fine-grained hardware range flush (Section
+     * VI discussion) — synchronization operations still happen for
+     * correctness but cost zero critical-path cycles.
+     */
+    bool freeSyncOps = false;
+
+    /** Convert microseconds to GPU cycles. */
+    Cycles
+    cyclesFromUs(double us) const
+    {
+        return static_cast<Cycles>(us * gpuClockGhz * 1000.0);
+    }
+
+    int totalCus() const { return numChiplets * cusPerChiplet; }
+
+    std::uint64_t
+    l2AggregateBytes() const
+    {
+        return l2SizeBytesPerChiplet *
+               static_cast<std::uint64_t>(numChiplets);
+    }
+
+    int tableEntries() const { return tableDsPerKernel * tableKernelDepth; }
+
+    /** Fill derived fields; call after editing topology. */
+    void finalize();
+
+    /** The paper's simulated baseline with @p chiplets chiplets. */
+    static GpuConfig radeonVii(int chiplets);
+
+    /**
+     * The "equivalent (but infeasible to build) monolithic GPU" of
+     * Fig 2: same aggregate CUs, L2 capacity, and memory bandwidth as
+     * an @p chiplets-chiplet GPU, but on one die — no inter-chiplet
+     * penalty and no kernel-boundary L2 synchronization.
+     */
+    static GpuConfig monolithicEquivalent(int chiplets);
+
+    /** Table I rendered as text (printed by every bench binary). */
+    std::string describe() const;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CONFIG_GPU_CONFIG_HH

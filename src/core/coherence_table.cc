@@ -1,0 +1,71 @@
+#include "core/coherence_table.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+int
+CoherenceTable::findOverlapping(const AddrRange &span,
+                                std::size_t from) const
+{
+    for (std::size_t i = from; i < _rows.size(); ++i) {
+        if (_rows[i].span.overlaps(span))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+TableRow &
+CoherenceTable::insert(const AddrRange &span)
+{
+    panicIf(full(), "CoherenceTable::insert on a full table");
+    _rows.emplace_back(_numChiplets);
+    _rows.back().span = span;
+    _maxEntries = std::max<std::uint64_t>(_maxEntries, _rows.size());
+    return _rows.back();
+}
+
+void
+CoherenceTable::erase(std::size_t idx)
+{
+    _rows.erase(_rows.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void
+CoherenceTable::removeEmptyRows()
+{
+    std::erase_if(_rows,
+                  [](const TableRow &r) { return r.allNotPresent(); });
+}
+
+void
+CoherenceTable::applyRelease(ChipletId c)
+{
+    for (TableRow &r : _rows)
+        r.state[c] = dsTransition(r.state[c], DsEvent::Release);
+}
+
+void
+CoherenceTable::applyAcquire(ChipletId c)
+{
+    for (TableRow &r : _rows) {
+        r.state[c] = DsState::NotPresent;
+        r.range[c] = AddrRange{};
+    }
+}
+
+std::uint64_t
+CoherenceTable::hardwareBytes() const
+{
+    // Paper Section III-A per-entry budget: 1 B chiplet vector + 1 bit
+    // mode + 28 B ranges + 4 B base address. We charge the full
+    // capacity (it is SRAM, allocated up front).
+    const std::uint64_t perEntry =
+        ((2ull * _numChiplets + 7) / 8) + 1 + 28 + 4;
+    return perEntry * static_cast<std::uint64_t>(_capacity);
+}
+
+} // namespace cpelide

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The Chiplet Coherence Table (Section III-A).
+ *
+ * Lives in the global CP's private memory. Sized for 8 data structures
+ * per kernel across 8 in-flight kernels (64 rows, ~2 KB for 4 chiplets).
+ * Rows are keyed by the data structure's address span so that coarsened
+ * (merged) entries and dis-contiguous allocations compose naturally.
+ */
+
+#ifndef CPELIDE_CORE_COHERENCE_TABLE_HH
+#define CPELIDE_CORE_COHERENCE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ds_state.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** One tracked data structure (or coarsened group of structures). */
+struct TableRow
+{
+    /** Full byte span this row covers (base address + extent). */
+    AddrRange span;
+    /** Access mode of the most recent kernel touching the row. */
+    AccessMode lastMode = AccessMode::ReadOnly;
+    /** Per-chiplet 2-bit states (the "chiplet vector"). */
+    std::vector<DsState> state;
+    /** Per-chiplet address range cached while state != NotPresent. */
+    std::vector<AddrRange> range;
+    /**
+     * Per-chiplet home range: the bytes whose pages are homed at each
+     * chiplet under first-touch placement. A chiplet's L2 can only
+     * cache lines homed at it, so every conflict test intersects the
+     * accessed range with this. Derived from the first kernel that
+     * touches the structure (whose partition performs the first touch);
+     * the whole span everywhere when placement is unknown/scattered.
+     */
+    std::vector<AddrRange> home;
+
+    explicit TableRow(int num_chiplets)
+        : state(num_chiplets, DsState::NotPresent), range(num_chiplets),
+          home(num_chiplets)
+    {}
+
+    /** What chiplet @p c may actually hold: cached range ∩ homed range. */
+    AddrRange
+    effective(int c) const
+    {
+        return AddrRange::intersectOf(range[c], home[c]);
+    }
+
+    bool
+    allNotPresent() const
+    {
+        for (DsState s : state) {
+            if (s != DsState::NotPresent)
+                return false;
+        }
+        return true;
+    }
+};
+
+/** Fixed-capacity table of TableRows. */
+class CoherenceTable
+{
+  public:
+    CoherenceTable(int num_chiplets, int capacity)
+        : _numChiplets(num_chiplets), _capacity(capacity)
+    {}
+
+    int numChiplets() const { return _numChiplets; }
+    int capacity() const { return _capacity; }
+    std::size_t size() const { return _rows.size(); }
+    bool full() const { return _rows.size() >= std::size_t(_capacity); }
+
+    const std::vector<TableRow> &rows() const { return _rows; }
+    std::vector<TableRow> &rows() { return _rows; }
+
+    /** Index of the row whose span overlaps @p span, or -1. */
+    int findOverlapping(const AddrRange &span, std::size_t from = 0) const;
+
+    /**
+     * Insert a fresh row covering @p span.
+     * @pre !full()
+     * @return reference valid until the next mutation.
+     */
+    TableRow &insert(const AddrRange &span);
+
+    /** Erase row @p idx. */
+    void erase(std::size_t idx);
+
+    /** Drop every row whose chiplet vector is all-NotPresent. */
+    void removeEmptyRows();
+
+    /** Whole-L2 release on @p c: Dirty -> Valid in every row. */
+    void applyRelease(ChipletId c);
+
+    /** Whole-L2 acquire on @p c: every row's state[c] -> NotPresent. */
+    void applyAcquire(ChipletId c);
+
+    /** Drop all rows (conservative fallback / program end). */
+    void clear() { _rows.clear(); }
+
+    /** High-water mark of row count (stats). */
+    std::uint64_t maxEntries() const { return _maxEntries; }
+
+    /**
+     * Approximate hardware footprint in bytes: per row, 2n-bit chiplet
+     * vector, 1-bit mode, per-chiplet ranges (28 B budget in the
+     * paper), and a 4 B base address.
+     */
+    std::uint64_t hardwareBytes() const;
+
+  private:
+    int _numChiplets;
+    int _capacity;
+    std::vector<TableRow> _rows;
+    std::uint64_t _maxEntries = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CORE_COHERENCE_TABLE_HH

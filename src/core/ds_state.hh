@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Chiplet Coherence Table primitive types: access modes, address ranges,
+ * and the per-chiplet data-structure state machine of Fig 6.
+ *
+ * Each table row tracks one data structure; for each chiplet the row
+ * stores a 2-bit state describing a conservative estimate of what that
+ * chiplet's L2 may hold for the structure:
+ *
+ *   NotPresent (00) - guaranteed absent from the chiplet's L2;
+ *   Valid      (01) - may hold clean, up-to-date copies;
+ *   Dirty      (10) - may hold dirty copies (chiplet wrote it);
+ *   Stale      (11) - may hold copies that are no longer up to date
+ *                     (another chiplet wrote the range since).
+ *
+ * Transitions happen at kernel launches, driven by the elide engine;
+ * there are no transient states because the table never waits on
+ * operations (Section III-B).
+ */
+
+#ifndef CPELIDE_CORE_DS_STATE_HH
+#define CPELIDE_CORE_DS_STATE_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Software-declared access mode of a data structure in a kernel. */
+enum class AccessMode : std::uint8_t
+{
+    ReadOnly,  //!< 'R'
+    ReadWrite, //!< 'R/W'
+};
+
+/** Per-chiplet state of a tracked data structure (2 bits in hardware). */
+enum class DsState : std::uint8_t
+{
+    NotPresent = 0,
+    Valid = 1,
+    Dirty = 2,
+    Stale = 3,
+};
+
+/** Half-open byte range [lo, hi) in the device address space. */
+struct AddrRange
+{
+    Addr lo = 0;
+    Addr hi = 0;
+
+    bool empty() const { return hi <= lo; }
+
+    bool
+    overlaps(const AddrRange &o) const
+    {
+        return !empty() && !o.empty() && lo < o.hi && o.lo < hi;
+    }
+
+    bool
+    contains(const AddrRange &o) const
+    {
+        return !o.empty() && lo <= o.lo && o.hi <= hi;
+    }
+
+    /** Smallest range covering both (ranges need not touch). */
+    static AddrRange
+    unionOf(const AddrRange &a, const AddrRange &b)
+    {
+        if (a.empty())
+            return b;
+        if (b.empty())
+            return a;
+        return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+    }
+
+    /** Overlap of the two ranges (empty if disjoint). */
+    static AddrRange
+    intersectOf(const AddrRange &a, const AddrRange &b)
+    {
+        const AddrRange r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+        return r.empty() ? AddrRange{} : r;
+    }
+
+    bool operator==(const AddrRange &o) const = default;
+};
+
+/** Events the elide engine applies to a (row, chiplet) state. */
+enum class DsEvent : std::uint8_t
+{
+    LocalRead,   //!< this chiplet reads the range (mode R)
+    LocalWrite,  //!< this chiplet reads/writes the range (mode R/W)
+    RemoteWrite, //!< another chiplet writes an overlapping range
+    Release,     //!< this chiplet's L2 was flushed (any cause)
+    Acquire,     //!< this chiplet's L2 was invalidated (flush first)
+};
+
+/**
+ * Fig 6 transition function. Pure; heavily property-tested.
+ *
+ * Remote *reads* never change a state (the Valid self-loop "ARR"), so
+ * they have no event. Release and Acquire model whole-L2 operations:
+ * Release turns Dirty into Valid (the baseline protocol retains clean
+ * copies after a writeback); Acquire always yields NotPresent.
+ */
+constexpr DsState
+dsTransition(DsState s, DsEvent e)
+{
+    switch (e) {
+      case DsEvent::LocalRead:
+        // Reading on a chiplet that still holds dirty data keeps it
+        // Dirty (nothing got flushed). A Stale chiplet must have been
+        // acquired before a local access; the engine guarantees that,
+        // so Stale+LocalRead is not reachable in a correct schedule —
+        // map it to Stale (conservative) rather than asserting so the
+        // table stays usable for what-if queries.
+        return s == DsState::Dirty ? DsState::Dirty
+               : s == DsState::Stale ? DsState::Stale
+                                     : DsState::Valid;
+      case DsEvent::LocalWrite:
+        return s == DsState::Stale ? DsState::Stale : DsState::Dirty;
+      case DsEvent::RemoteWrite:
+        // A copy may linger and is no longer up to date. NotPresent
+        // stays NotPresent (nothing cached to go stale).
+        return s == DsState::NotPresent ? DsState::NotPresent
+                                        : DsState::Stale;
+      case DsEvent::Release:
+        return s == DsState::Dirty ? DsState::Valid : s;
+      case DsEvent::Acquire:
+        return DsState::NotPresent;
+    }
+    return s;
+}
+
+/** Human-readable state name (tables, debugging). */
+constexpr const char *
+dsStateName(DsState s)
+{
+    switch (s) {
+      case DsState::NotPresent: return "NP";
+      case DsState::Valid: return "V";
+      case DsState::Dirty: return "D";
+      case DsState::Stale: return "S";
+    }
+    return "?";
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_CORE_DS_STATE_HH

@@ -1,0 +1,433 @@
+#include "core/elide_engine.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** Severity-merge two states for the same chiplet (row merging). */
+DsState
+mergeState(DsState a, DsState b, bool *conflict)
+{
+    if (a == b)
+        return a;
+    if (a == DsState::NotPresent)
+        return b;
+    if (b == DsState::NotPresent)
+        return a;
+    // {Valid, Dirty} -> Dirty; {Valid, Stale} -> Stale.
+    if ((a == DsState::Dirty && b == DsState::Stale) ||
+        (a == DsState::Stale && b == DsState::Dirty)) {
+        // Both dirty and possibly-stale lines: only a full
+        // flush+invalidate is safe; the caller schedules one.
+        *conflict = true;
+        return DsState::Stale;
+    }
+    if (a == DsState::Dirty || b == DsState::Dirty)
+        return DsState::Dirty;
+    return DsState::Stale;
+}
+
+std::vector<ChipletId>
+maskToList(const std::vector<bool> &mask)
+{
+    std::vector<ChipletId> out;
+    for (std::size_t c = 0; c < mask.size(); ++c) {
+        if (mask[c])
+            out.push_back(static_cast<ChipletId>(c));
+    }
+    return out;
+}
+
+/** Do the ranges tile @p span without overlap (affine partition)? */
+bool
+tilesSpan(std::vector<AddrRange> ranges, const AddrRange &span)
+{
+    std::erase_if(ranges, [](const AddrRange &r) { return r.empty(); });
+    if (ranges.empty())
+        return false;
+    std::sort(ranges.begin(), ranges.end(),
+              [](const AddrRange &a, const AddrRange &b) {
+                  return a.lo < b.lo;
+              });
+    if (ranges.front().lo > span.lo)
+        return false;
+    Addr cursor = ranges.front().lo;
+    for (const AddrRange &r : ranges) {
+        if (r.lo > cursor)
+            return false; // gap: some pages get first-touched later
+        cursor = std::max(cursor, r.hi);
+    }
+    return cursor >= span.hi;
+}
+
+} // namespace
+
+ElideEngine::ElideEngine(int num_chiplets, int ds_per_kernel,
+                         int table_capacity)
+    : _numChiplets(num_chiplets), _dsPerKernel(ds_per_kernel),
+      _table(num_chiplets, table_capacity)
+{}
+
+std::vector<KernelArgAccess>
+ElideEngine::coarsen(std::vector<KernelArgAccess> args, std::size_t limit)
+{
+    std::sort(args.begin(), args.end(),
+              [](const KernelArgAccess &a, const KernelArgAccess &b) {
+                  return a.span.lo < b.span.lo;
+              });
+    while (args.size() > limit) {
+        ++_coarsenEvents;
+        // Find the adjacent pair closest together in memory (contiguous
+        // structures have gap ~0 and merge first).
+        std::size_t best = 0;
+        Addr bestGap = ~Addr(0);
+        for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+            const Addr gap = args[i + 1].span.lo >= args[i].span.hi
+                                 ? args[i + 1].span.lo - args[i].span.hi
+                                 : 0;
+            if (gap < bestGap) {
+                bestGap = gap;
+                best = i;
+            }
+        }
+        KernelArgAccess &a = args[best];
+        const KernelArgAccess &b = args[best + 1];
+        a.span = AddrRange::unionOf(a.span, b.span);
+        // Conservative mode and full-span per-chiplet ranges: the
+        // merged entry may cover bytes neither structure owns, which
+        // only ever adds synchronization, never removes it.
+        if (b.mode == AccessMode::ReadWrite)
+            a.mode = AccessMode::ReadWrite;
+        const std::size_t lanes =
+            std::max(a.perChiplet.size(), b.perChiplet.size());
+        a.perChiplet.assign(lanes, a.span);
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+    }
+    return args;
+}
+
+void
+ElideEngine::mergeRows(const AddrRange &span, std::vector<bool> &acquire)
+{
+    int first = _table.findOverlapping(span);
+    if (first < 0)
+        return;
+    for (;;) {
+        int victimIdx =
+            _table.findOverlapping(_table.rows()[first].span,
+                                   static_cast<std::size_t>(first) + 1);
+        if (victimIdx < 0) {
+            victimIdx = _table.findOverlapping(
+                span, static_cast<std::size_t>(first) + 1);
+        }
+        if (victimIdx < 0)
+            break;
+        TableRow &keep = _table.rows()[static_cast<std::size_t>(first)];
+        const TableRow &victim =
+            _table.rows()[static_cast<std::size_t>(victimIdx)];
+        keep.span = AddrRange::unionOf(keep.span, victim.span);
+        if (victim.lastMode == AccessMode::ReadWrite)
+            keep.lastMode = AccessMode::ReadWrite;
+        for (int c = 0; c < _numChiplets; ++c) {
+            bool conflict = false;
+            keep.state[c] =
+                mergeState(keep.state[c], victim.state[c], &conflict);
+            keep.range[c] =
+                AddrRange::unionOf(keep.range[c], victim.range[c]);
+            keep.home[c] =
+                AddrRange::unionOf(keep.home[c], victim.home[c]);
+            if (conflict)
+                acquire[c] = true;
+        }
+        _table.erase(static_cast<std::size_t>(victimIdx));
+        if (victimIdx < first)
+            --first;
+    }
+}
+
+std::vector<AddrRange>
+ElideEngine::homesFor(const AddrRange &span, const LaunchDecl &decl,
+                      const KernelArgAccess &arg)
+{
+    // Already recorded? First touch is permanent, so reuse it even if
+    // the tracking row has been dropped since.
+    for (const auto &[hspan, homes] : _homes) {
+        if (hspan.overlaps(span)) {
+            if (hspan == span)
+                return homes;
+            // Coarsened or partially overlapping spans: unknown
+            // placement — assume any chiplet may home any byte.
+            return std::vector<AddrRange>(_numChiplets, span);
+        }
+    }
+
+    // First kernel touching this structure: its WG partition performs
+    // the first touch. If its per-chiplet ranges tile the span
+    // disjointly (affine), the homes are exactly those slices;
+    // otherwise placement is input-dependent: assume anything.
+    std::vector<AddrRange> homes(_numChiplets);
+    bool disjoint = true;
+    for (std::size_t x = 0; x < arg.perChiplet.size() && disjoint; ++x) {
+        for (std::size_t y = x + 1; y < arg.perChiplet.size(); ++y) {
+            if (arg.perChiplet[x].overlaps(arg.perChiplet[y])) {
+                disjoint = false;
+                break;
+            }
+        }
+    }
+    if (disjoint && tilesSpan(arg.perChiplet, span)) {
+        for (std::size_t s = 0; s < decl.chiplets.size(); ++s) {
+            // First touch places whole PAGES. A page straddling two
+            // chiplets' slices is homed by whoever touches it first —
+            // the owner of the page's FIRST byte, since WGs sweep
+            // their slices in ascending order (the derivation assumes
+            // the first kernel touches its slices densely; all
+            // device-side initialization does). Rounding both ends UP
+            // assigns each straddling page to exactly one chiplet,
+            // keeping the home ranges disjoint and page-exact.
+            AddrRange h = arg.perChiplet[s];
+            if (!h.empty()) {
+                h.lo = (h.lo + kPageBytes - 1) / kPageBytes * kPageBytes;
+                h.hi = (h.hi + kPageBytes - 1) / kPageBytes * kPageBytes;
+                if (h.lo == h.hi)
+                    h = AddrRange{}; // sub-page slice: homes nothing
+            }
+            homes[decl.chiplets[s]] = h;
+        }
+        // The span's first page belongs to the first scheduled chiplet
+        // even if its slice starts mid-page (allocations are page
+        // aligned, so in practice lo == span.lo already).
+        if (!decl.chiplets.empty()) {
+            AddrRange &h0 = homes[decl.chiplets.front()];
+            const Addr spanPage = span.lo / kPageBytes * kPageBytes;
+            if (h0.empty())
+                h0 = {spanPage, spanPage + kPageBytes};
+            else
+                h0.lo = std::min(h0.lo, spanPage);
+        }
+    } else {
+        homes.assign(_numChiplets, span);
+    }
+    if (_homes.size() < kMaxHomeEntries)
+        _homes.emplace_back(span, homes);
+    return homes;
+}
+
+SyncPlan
+ElideEngine::onKernelLaunch(const LaunchDecl &decl)
+{
+    SyncPlan plan;
+    std::vector<bool> acquire(_numChiplets, false);
+    std::vector<bool> release(_numChiplets, false);
+
+    std::vector<KernelArgAccess> args = decl.args;
+    if (args.size() > static_cast<std::size_t>(_dsPerKernel))
+        args = coarsen(std::move(args), _dsPerKernel);
+
+    // Fold each argument's overlapping rows together so every argument
+    // maps to at most one row.
+    for (const KernelArgAccess &a : args)
+        mergeRows(a.span, acquire);
+
+    // Capacity check: how many fresh rows would this launch need?
+    std::size_t newRows = 0;
+    for (const KernelArgAccess &a : args) {
+        if (_table.findOverlapping(a.span) < 0)
+            ++newRows;
+    }
+    if (_table.size() + newRows >
+        static_cast<std::size_t>(_table.capacity())) {
+        // Overflow: degrade to the baseline's conservative behaviour
+        // for this launch — full flush+invalidate everywhere — and
+        // restart tracking. (The paper's workloads never hit this.)
+        ++_fallbacks;
+        plan.conservative = true;
+        std::fill(acquire.begin(), acquire.end(), true);
+        _table.clear();
+    }
+
+    // ---- Phase 1: plan ops from pre-launch states ------------------------
+    if (!plan.conservative) {
+        for (const KernelArgAccess &a : args) {
+            const int idx = _table.findOverlapping(a.span);
+            if (idx < 0)
+                continue; // never tracked: nothing can be stale or dirty
+            const TableRow &row =
+                _table.rows()[static_cast<std::size_t>(idx)];
+
+            // Do the scheduled chiplets' ranges overlap each other
+            // while writing? Then per-chiplet tracking cannot tell who
+            // wrote what (scattered read-write data).
+            bool crossWrite = false;
+            if (a.mode == AccessMode::ReadWrite) {
+                for (std::size_t x = 0;
+                     x < a.perChiplet.size() && !crossWrite; ++x) {
+                    for (std::size_t y = x + 1; y < a.perChiplet.size();
+                         ++y) {
+                        if (a.perChiplet[x].overlaps(a.perChiplet[y])) {
+                            crossWrite = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            for (int i = 0; i < _numChiplets; ++i) {
+                const DsState st = row.state[i];
+                if (st == DsState::NotPresent)
+                    continue;
+                // What chiplet i's L2 can actually hold of this row.
+                const AddrRange cached = row.effective(i);
+                if (cached.empty())
+                    continue;
+
+                int schedIdx = -1;
+                bool remoteTouch = false;
+                for (std::size_t s = 0; s < decl.chiplets.size(); ++s) {
+                    if (decl.chiplets[s] == i) {
+                        schedIdx = static_cast<int>(s);
+                    } else if (a.perChiplet[s].overlaps(cached)) {
+                        remoteTouch = true;
+                    }
+                }
+                const bool scheduled = schedIdx >= 0;
+                const bool remoteWrite =
+                    remoteTouch && a.mode == AccessMode::ReadWrite;
+
+                if (crossWrite) {
+                    // Anyone may write anywhere in the span this
+                    // kernel. A participant could later hit its own
+                    // copies without knowing which were overwritten:
+                    // start it clean. Non-participants just need dirty
+                    // data flushed (they go Stale lazily).
+                    if (scheduled)
+                        acquire[i] = true;
+                    else if (st == DsState::Dirty)
+                        release[i] = true;
+                    continue;
+                }
+
+                switch (st) {
+                  case DsState::Stale:
+                    // Must not hit on possibly-stale copies. A writer
+                    // must also leave Stale before dirtying new lines:
+                    // the 2-bit state cannot express Dirty-and-Stale,
+                    // and a lingering Stale would hide the dirty data
+                    // from future consumers' release checks.
+                    if (scheduled &&
+                        (a.mode == AccessMode::ReadWrite ||
+                         a.perChiplet[static_cast<std::size_t>(
+                                          schedIdx)]
+                             .overlaps(cached))) {
+                        acquire[i] = true;
+                    }
+                    break;
+                  case DsState::Dirty:
+                    if (scheduled && remoteWrite) {
+                        // Another chiplet rewrites part of what this
+                        // one cached while it keeps participating:
+                        // flush + start clean.
+                        acquire[i] = true;
+                    } else if (remoteTouch) {
+                        // A consumer elsewhere: flush so the LLC holds
+                        // the latest data (the lazy release).
+                        release[i] = true;
+                    }
+                    break;
+                  case DsState::Valid:
+                    if (scheduled && remoteWrite)
+                        acquire[i] = true;
+                    break;
+                  case DsState::NotPresent:
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: apply whole-L2 side effects ----------------------------
+    for (int c = 0; c < _numChiplets; ++c) {
+        if (acquire[c]) {
+            _table.applyAcquire(c);
+            release[c] = false; // an acquire flushes first
+        } else if (release[c]) {
+            _table.applyRelease(c);
+        }
+    }
+
+    // ---- Phase 3: record the launching kernel's accesses -----------------
+    for (const KernelArgAccess &a : args) {
+        const int idx = _table.findOverlapping(a.span);
+        TableRow *row;
+        if (idx >= 0) {
+            row = &_table.rows()[static_cast<std::size_t>(idx)];
+        } else {
+            row = &_table.insert(a.span);
+            row->home = homesFor(a.span, decl, a);
+        }
+        row->span = AddrRange::unionOf(row->span, a.span);
+        row->lastMode = a.mode;
+
+        for (std::size_t s = 0; s < decl.chiplets.size(); ++s) {
+            const ChipletId j = decl.chiplets[s];
+            const DsEvent ev = a.mode == AccessMode::ReadWrite
+                                   ? DsEvent::LocalWrite
+                                   : DsEvent::LocalRead;
+            row->state[j] = dsTransition(row->state[j], ev);
+            row->range[j] =
+                AddrRange::unionOf(row->range[j], a.perChiplet[s]);
+        }
+
+        if (a.mode == AccessMode::ReadWrite) {
+            for (int i = 0; i < _numChiplets; ++i) {
+                if (row->state[i] == DsState::NotPresent)
+                    continue;
+                bool scheduled = false;
+                bool written = false;
+                for (std::size_t s = 0; s < decl.chiplets.size(); ++s) {
+                    if (decl.chiplets[s] == i) {
+                        scheduled = true;
+                    } else if (a.perChiplet[s].overlaps(
+                                   row->effective(i))) {
+                        written = true;
+                    }
+                }
+                if (!scheduled && written) {
+                    row->state[i] =
+                        dsTransition(row->state[i], DsEvent::RemoteWrite);
+                }
+            }
+        }
+    }
+
+    _table.removeEmptyRows();
+
+    plan.acquires = maskToList(acquire);
+    plan.releases = maskToList(release);
+    _acquiresIssued += plan.acquires.size();
+    _releasesIssued += plan.releases.size();
+    // Versus the baseline's full release+acquire on every chiplet.
+    _acquiresElided += _numChiplets - plan.acquires.size();
+    _releasesElided +=
+        _numChiplets - plan.acquires.size() - plan.releases.size();
+    return plan;
+}
+
+SyncPlan
+ElideEngine::finalBarrier()
+{
+    SyncPlan plan;
+    for (int c = 0; c < _numChiplets; ++c)
+        plan.releases.push_back(c);
+    _releasesIssued += plan.releases.size();
+    _table.clear();
+    return plan;
+}
+
+} // namespace cpelide

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The CPElide decision engine (Sections III-B/III-C).
+ *
+ * Runs in the global CP at every kernel launch, before any WG is
+ * dispatched. Consumes the kernel's software-provided access
+ * annotations (mode + per-chiplet address ranges) and the Chiplet
+ * Coherence Table, and produces the minimal set of per-chiplet L2
+ * acquire (invalidate) and release (flush) operations needed for
+ * SC-for-HRF correctness — eliding everything else.
+ *
+ * Correctness contract (checked end-to-end by the version-tag
+ * staleness checker):
+ *  - a chiplet never reads a line whose latest value is dirty in
+ *    another chiplet's L2 (releases cover this);
+ *  - a chiplet never hits on a line another chiplet has overwritten
+ *    since it was cached (acquires cover this).
+ *
+ * Releases are lazy: they are issued only when a consumer appears, and
+ * the GPU layer orders them after the consumer's acquires so producers
+ * retain clean copies (Section III-B, "Lazy Acquire/Release").
+ */
+
+#ifndef CPELIDE_CORE_ELIDE_ENGINE_HH
+#define CPELIDE_CORE_ELIDE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coherence_table.hh"
+#include "core/ds_state.hh"
+
+namespace cpelide
+{
+
+/** One kernel argument's access annotation, as seen by the global CP. */
+struct KernelArgAccess
+{
+    /** Full byte span of the data structure. */
+    AddrRange span;
+    AccessMode mode = AccessMode::ReadOnly;
+    /**
+     * Byte range each *scheduled* chiplet may touch, indexed like the
+     * launch's chiplet list. From hipSetAccessModeRange, or derived by
+     * the CP from the WG partition for affine kernels, or the full
+     * span when nothing finer is known.
+     */
+    std::vector<AddrRange> perChiplet;
+};
+
+/** A kernel launch, as seen by the global CP. */
+struct LaunchDecl
+{
+    /** Chiplets the kernel's WGs are partitioned across. */
+    std::vector<ChipletId> chiplets;
+    std::vector<KernelArgAccess> args;
+};
+
+/** Synchronization operations the global CP must issue for a launch. */
+struct SyncPlan
+{
+    /** Chiplets whose L2 must be invalidated (dirty data flushed first). */
+    std::vector<ChipletId> acquires;
+    /** Chiplets whose L2 must be flushed (clean copies retained). */
+    std::vector<ChipletId> releases;
+    /** Table overflowed: the plan degraded to a full barrier. */
+    bool conservative = false;
+
+    bool empty() const { return acquires.empty() && releases.empty(); }
+};
+
+/** The CPElide engine; owns the Chiplet Coherence Table. */
+class ElideEngine
+{
+  public:
+    /**
+     * @param num_chiplets   chiplets in the package;
+     * @param ds_per_kernel  coarsening threshold (paper: 8);
+     * @param table_capacity total rows (paper: 64).
+     */
+    ElideEngine(int num_chiplets, int ds_per_kernel, int table_capacity);
+
+    /**
+     * Plan synchronization for a launch and update the table to the
+     * post-launch states. Call exactly once per kernel, in launch
+     * order.
+     */
+    SyncPlan onKernelLaunch(const LaunchDecl &decl);
+
+    /**
+     * End-of-program barrier: flush every chiplet's dirty data so the
+     * host observes results, and clear the table.
+     */
+    SyncPlan finalBarrier();
+
+    const CoherenceTable &table() const { return _table; }
+
+    /** Statistics. @{ */
+    std::uint64_t acquiresIssued() const { return _acquiresIssued; }
+    std::uint64_t releasesIssued() const { return _releasesIssued; }
+    std::uint64_t acquiresElided() const { return _acquiresElided; }
+    std::uint64_t releasesElided() const { return _releasesElided; }
+    std::uint64_t conservativeFallbacks() const { return _fallbacks; }
+    std::uint64_t coarsenEvents() const { return _coarsenEvents; }
+    /** @} */
+
+  private:
+    /**
+     * Reduce @p args to at most the coarsening threshold by merging
+     * the two spans closest together in memory (Section III-B,
+     * "Coarsening Data Structure Labels").
+     */
+    std::vector<KernelArgAccess>
+    coarsen(std::vector<KernelArgAccess> args, std::size_t limit);
+
+    /**
+     * Merge all table rows overlapping @p span into a single row.
+     * Same-chiplet Dirty/Stale conflicts schedule an eager acquire via
+     * @p acquire.
+     */
+    void mergeRows(const AddrRange &span, std::vector<bool> &acquire);
+
+    /**
+     * Per-chiplet home ranges for a structure. First touch is
+     * permanent, so these are derived once (from the first kernel's
+     * partition, if affine) and remembered across row removals.
+     */
+    std::vector<AddrRange> homesFor(const AddrRange &span,
+                                    const LaunchDecl &decl,
+                                    const KernelArgAccess &arg);
+
+    /** Bound on remembered home records (beyond: assume anything). */
+    static constexpr std::size_t kMaxHomeEntries = 512;
+
+    int _numChiplets;
+    int _dsPerKernel;
+    CoherenceTable _table;
+    std::vector<std::pair<AddrRange, std::vector<AddrRange>>> _homes;
+
+    std::uint64_t _acquiresIssued = 0;
+    std::uint64_t _releasesIssued = 0;
+    std::uint64_t _acquiresElided = 0;
+    std::uint64_t _releasesElided = 0;
+    std::uint64_t _fallbacks = 0;
+    std::uint64_t _coarsenEvents = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CORE_ELIDE_ENGINE_HH

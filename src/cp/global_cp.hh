@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Global command processor (Fig 4b / Section III-C).
+ *
+ * The global CP interfaces with the host, owns the hardware queues,
+ * statically partitions each kernel's WGs across chiplets, and — for
+ * CPElide — consults the ElideEngine at each launch to issue only the
+ * per-chiplet acquires/releases actually required, waiting for their
+ * ACKs before sending "launch enable" to the local CPs.
+ *
+ * Timing model:
+ *  - packet processing is pipelined: the CP works on the next packet
+ *    while the current kernel executes, so its latency (2 us, plus
+ *    6 us of CPElide table processing) is exposed only when the
+ *    pipeline is empty (first kernel / long idle), matching IV-B;
+ *  - sync operations on distinct chiplets proceed in parallel; the
+ *    critical path is the slowest chiplet plus the crossbar round trip
+ *    and the final launch-enable message.
+ */
+
+#ifndef CPELIDE_CP_GLOBAL_CP_HH
+#define CPELIDE_CP_GLOBAL_CP_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/mem_system.hh"
+#include "config/gpu_config.hh"
+#include "core/elide_engine.hh"
+#include "cp/kernel.hh"
+#include "cp/local_cp.hh"
+
+namespace cpelide
+{
+
+/** What a launch's synchronization phase did (for stats/tests). */
+struct SyncOutcome
+{
+    Cycles cost = 0;
+    std::size_t acquires = 0;
+    std::size_t releases = 0;
+    bool conservative = false;
+};
+
+class GlobalCp
+{
+  public:
+    /**
+     * @param extra_sync_sets Section VI scaling study: serialize this
+     *        many additional copies of each boundary sync's latency to
+     *        mimic 8-/16-chiplet packages (0 = off).
+     */
+    GlobalCp(const GpuConfig &cfg, ProtocolKind kind, MemSystem &mem,
+             int extra_sync_sets = 0);
+
+    /**
+     * Run the packet through the CP pipeline.
+     * @param earliest submission time of the packet.
+     * @return tick at which the packet is ready to launch.
+     */
+    Tick processPacket(Tick earliest);
+
+    /**
+     * Perform the launch-time synchronization for @p desc partitioned
+     * as @p chunks. Executes the cache operations and returns their
+     * critical-path cost.
+     */
+    SyncOutcome launchSync(const KernelDesc &desc,
+                           const std::vector<WgChunk> &chunks,
+                           DataSpace &space);
+
+    /**
+     * End-of-program barrier: flush all dirty device data for host
+     * visibility (all protocols).
+     */
+    Cycles finalBarrier();
+
+    ProtocolKind protocol() const { return _kind; }
+    /** Non-null only for CPElide. */
+    const ElideEngine *engine() const { return _engine.get(); }
+
+    /**
+     * The global CP's view of a launch: each argument's span, mode,
+     * and per-chiplet ranges (affine ranges derived from the WG
+     * partition). Public so the annotation validator and tests can
+     * check traces against exactly what the engine will assume.
+     */
+    LaunchDecl buildDecl(const KernelDesc &desc,
+                         const std::vector<WgChunk> &chunks,
+                         DataSpace &space) const;
+
+  private:
+    /** Crossbar command+ACK round trip for @p nops operations. */
+    Cycles messagingCost(std::size_t nops) const;
+
+    const GpuConfig &_cfg;
+    ProtocolKind _kind;
+    MemSystem &_mem;
+    std::unique_ptr<ElideEngine> _engine;
+    int _extraSyncSets;
+    Tick _cpFree = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CP_GLOBAL_CP_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Kernel packets: what the runtime enqueues and the CP consumes.
+ *
+ * A KernelDesc is the simulator's analogue of an AQL/HSA kernel
+ * dispatch packet plus the CPElide access annotations added to ROCm
+ * (Listings 1 and 2 of the paper). The memory behaviour of the kernel
+ * is a deterministic trace generator: given a workgroup id, it emits
+ * the line-granular accesses the WG performs, plus compute and LDS
+ * work for the timing model.
+ */
+
+#ifndef CPELIDE_CP_KERNEL_HH
+#define CPELIDE_CP_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ds_state.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** How per-chiplet address ranges for an argument are determined. */
+enum class RangeKind
+{
+    /**
+     * The CP derives each chiplet's range from the WG partition,
+     * assuming the kernel maps WGs to the structure affinely (the
+     * common GPGPU case: "most GPU programs have simple, linear/affine
+     * data structures"). Only safe if the kernel really is affine in
+     * this argument — like the paper's annotations, a wrong label can
+     * produce wrong results (caught here by the staleness checker).
+     */
+    Affine,
+    /**
+     * Any scheduled chiplet may touch any byte (irregular/indirect
+     * accesses: graph gathers, pointer chasing). Always safe;
+     * read-only arguments still elide fully, read-write arguments
+     * degrade to conservative synchronization for this structure.
+     */
+    Full,
+    /** Ranges supplied explicitly via hipSetAccessModeRange. */
+    Explicit,
+};
+
+/** One kernel argument's annotation (hipSetAccessMode[Range]). */
+struct KernelArgDecl
+{
+    DsId ds = -1;
+    AccessMode mode = AccessMode::ReadOnly;
+    RangeKind rangeKind = RangeKind::Affine;
+    /** Per scheduled-chiplet byte ranges when rangeKind == Explicit. */
+    std::vector<AddrRange> explicitRanges;
+};
+
+/** Sink receiving a workgroup's memory trace. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    /** The WG accesses line @p line of structure @p ds. */
+    virtual void touch(DsId ds, std::uint64_t line, bool write) = 0;
+    /**
+     * System-scope atomic / cache-bypassing access (GLC-style): served
+     * directly at the home node's LLC bank, never cached in an L1/L2.
+     * GPU scatter updates (frontier flags, atomicMin relaxations) use
+     * this — which is why they need no implicit synchronization and
+     * why such arrays are not tracked in the Chiplet Coherence Table.
+     * A structure must be accessed either always-bypass or
+     * never-bypass; mixing the two on one array is unsupported.
+     */
+    virtual void
+    touchBypass(DsId ds, std::uint64_t line, bool write)
+    {
+        touch(ds, line, write);
+    }
+};
+
+/** A dispatch packet. */
+struct KernelDesc
+{
+    std::string name;
+    /** Total workgroups; statically partitioned across chiplets. */
+    int numWgs = 1;
+    /** Stream (maps to a hardware queue; same stream serializes). */
+    int streamId = 0;
+    /**
+     * Memory-level parallelism per CU: how many outstanding line
+     * accesses overlap. Divides per-access latency in the CU timing.
+     */
+    double mlp = 16.0;
+    /** ALU work per WG, in cycles. */
+    Cycles computeCyclesPerWg = 0;
+    /** LDS accesses per WG (1/cycle throughput; energy-counted). */
+    std::uint64_t ldsAccessesPerWg = 0;
+    /** Access annotations, one per tracked argument. */
+    std::vector<KernelArgDecl> args;
+    /** Deterministic per-WG memory trace. */
+    std::function<void(int wg, TraceSink &sink)> trace;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CP_KERNEL_HH

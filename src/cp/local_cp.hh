@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Local (per-chiplet) command processor: WG partitioning and dispatch.
+ *
+ * The global CP statically partitions a kernel's WGs into contiguous
+ * chunks, one per scheduled chiplet (Section IV-C1, "static kernel-wide
+ * WG partitioning"); each chiplet's local CP round-robins its chunk
+ * across the chiplet's CUs. The local CP also executes the sync
+ * operations the global CP sends (modeled in MemSystem) and reports
+ * ACKs — those costs are accounted in GlobalCp.
+ */
+
+#ifndef CPELIDE_CP_LOCAL_CP_HH
+#define CPELIDE_CP_LOCAL_CP_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** A chiplet's share of a kernel: WGs [wgBegin, wgEnd). */
+struct WgChunk
+{
+    ChipletId chiplet = 0;
+    int wgBegin = 0;
+    int wgEnd = 0;
+
+    int count() const { return wgEnd - wgBegin; }
+};
+
+/**
+ * Split @p num_wgs into contiguous chunks over @p chiplets.
+ * Early chiplets take the remainder, matching a ceil-divided static
+ * partition. Chunks may be empty when WGs < chiplets.
+ */
+inline std::vector<WgChunk>
+partitionWgs(int num_wgs, const std::vector<ChipletId> &chiplets)
+{
+    std::vector<WgChunk> chunks;
+    chunks.reserve(chiplets.size());
+    const int n = static_cast<int>(chiplets.size());
+    const int base = num_wgs / n;
+    const int extra = num_wgs % n;
+    int next = 0;
+    for (int i = 0; i < n; ++i) {
+        const int take = base + (i < extra ? 1 : 0);
+        chunks.push_back({chiplets[i], next, next + take});
+        next += take;
+    }
+    return chunks;
+}
+
+/** CU a WG runs on within its chiplet (round-robin local dispatch). */
+inline CuId
+dispatchCu(const WgChunk &chunk, int wg, int cus_per_chiplet)
+{
+    return (wg - chunk.wgBegin) % cus_per_chiplet;
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_CP_LOCAL_CP_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory-subsystem energy model (Fig 9).
+ *
+ * Per-access energies follow the prior-work models the paper cites
+ * (Dally'18 keynote scaling, EIE, fine-grained DRAM), normalized to a
+ * 7 nm-class process. The paper reports *relative* energy only, so the
+ * constants matter through their ratios: DRAM >> NoC-hop > L3 > L2 >
+ * L1/LDS. Components tracked: L1I, L1D, LDS, L2, NoC, DRAM (the L3 is
+ * folded into the NoC+DRAM path in the paper's figure; we report it as
+ * part of NoC energy, matching the six-way split of Fig 9).
+ */
+
+#ifndef CPELIDE_ENERGY_ENERGY_MODEL_HH
+#define CPELIDE_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace cpelide
+{
+
+/** Per-event energy constants in picojoules. */
+struct EnergyParams
+{
+    double l1iAccessPj = 12.0;   //!< 16 KB instruction cache read
+    double l1dAccessPj = 18.0;   //!< 16 KB data cache access
+    double ldsAccessPj = 14.0;   //!< 64 KB scratchpad access
+    double l2AccessPj = 65.0;    //!< 8 MB bank access
+    double l3AccessPj = 140.0;   //!< 16 MB LLC slice access
+    double nocFlitPj = 26.0;     //!< one 16 B flit-hop
+    double dramLinePj = 2000.0;  //!< one 64 B HBM access (~3.9 pJ/bit)
+};
+
+/** Fig 9 energy breakdown, in picojoules. */
+struct EnergyBreakdown
+{
+    double l1i = 0;
+    double l1d = 0;
+    double lds = 0;
+    double l2 = 0;
+    double noc = 0;  //!< includes L3 slice access energy
+    double dram = 0;
+
+    double
+    total() const
+    {
+        return l1i + l1d + lds + l2 + noc + dram;
+    }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        l1i += o.l1i;
+        l1d += o.l1d;
+        lds += o.lds;
+        l2 += o.l2;
+        noc += o.noc;
+        dram += o.dram;
+        return *this;
+    }
+};
+
+/** Accumulates energy per component from event counts. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams p = {}) : _p(p) {}
+
+    void countL1i(std::uint64_t n = 1) { _e.l1i += n * _p.l1iAccessPj; }
+    void countL1d(std::uint64_t n = 1) { _e.l1d += n * _p.l1dAccessPj; }
+    void countLds(std::uint64_t n = 1) { _e.lds += n * _p.ldsAccessPj; }
+    void countL2(std::uint64_t n = 1) { _e.l2 += n * _p.l2AccessPj; }
+    void countL3(std::uint64_t n = 1) { _e.noc += n * _p.l3AccessPj; }
+    void countFlits(std::uint64_t n) { _e.noc += n * _p.nocFlitPj; }
+    void countDram(std::uint64_t n = 1) { _e.dram += n * _p.dramLinePj; }
+
+    const EnergyBreakdown &breakdown() const { return _e; }
+    const EnergyParams &params() const { return _p; }
+
+  private:
+    EnergyParams _p;
+    EnergyBreakdown _e;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,310 @@
+#include "gpu/gpu_system.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cp/local_cp.hh"
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+GpuSystem::GpuSystem(const GpuConfig &cfg, const RunOptions &opts)
+    : _cfg(cfg), _opts(opts)
+{
+    _space.panicOnStale(opts.panicOnStale);
+    _mem = makeMemSystem(cfg, opts.protocol, _space);
+    _cp = std::make_unique<GlobalCp>(_cfg, opts.protocol, *_mem,
+                                     opts.extraSyncSets);
+}
+
+GpuSystem::~GpuSystem() = default;
+
+void
+GpuSystem::enqueue(KernelDesc desc)
+{
+    if (desc.numWgs < 1)
+        fatal("kernel '" + desc.name + "' has no workgroups");
+    if (!desc.trace)
+        fatal("kernel '" + desc.name + "' has no trace function");
+    _pending.push_back(std::move(desc));
+}
+
+namespace
+{
+
+/** TraceSink accumulating CU time through the memory system. */
+class ExecSink : public TraceSink
+{
+  public:
+    ExecSink(MemSystem &mem, AccessContext ctx, double mlp)
+        : _mem(mem), _ctx(ctx), _invMlp(1.0 / mlp)
+    {}
+
+    void
+    touch(DsId ds, std::uint64_t line, bool write) override
+    {
+        const Cycles lat = _mem.access(_ctx, ds, line, write);
+        _time += static_cast<double>(lat) * _invMlp;
+        ++_touches;
+    }
+
+    void
+    touchBypass(DsId ds, std::uint64_t line, bool write) override
+    {
+        const Cycles lat = _mem.accessBypass(_ctx, ds, line, write);
+        _time += static_cast<double>(lat) * _invMlp;
+        ++_touches;
+    }
+
+    double time() const { return _time; }
+    std::uint64_t touches() const { return _touches; }
+
+    void
+    reset(AccessContext ctx)
+    {
+        _ctx = ctx;
+        _time = 0;
+        _touches = 0;
+    }
+
+  private:
+    MemSystem &_mem;
+    AccessContext _ctx;
+    double _invMlp;
+    double _time = 0;
+    std::uint64_t _touches = 0;
+};
+
+/**
+ * Sink decorator enforcing the annotation contract: every touch()
+ * must land inside the declared range of a declared argument for the
+ * executing chiplet. Bypass accesses are exempt.
+ */
+class ValidatingSink : public TraceSink
+{
+  public:
+    ValidatingSink(TraceSink &inner, DataSpace &space,
+                   const KernelDesc &desc, const LaunchDecl &decl,
+                   std::size_t sched_idx, ChipletId chiplet)
+        : _inner(inner), _space(space), _desc(desc), _decl(decl),
+          _schedIdx(sched_idx), _chiplet(chiplet)
+    {}
+
+    void
+    touch(DsId ds, std::uint64_t line, bool write) override
+    {
+        const Addr addr = _space.alloc(ds).lineAddr(line);
+        bool declared = false;
+        bool inRange = false;
+        for (std::size_t i = 0; i < _desc.args.size(); ++i) {
+            if (_desc.args[i].ds != ds)
+                continue;
+            declared = true;
+            const KernelArgAccess &acc = _decl.args[i];
+            if (write && acc.mode != AccessMode::ReadWrite)
+                continue; // writing a ReadOnly annotation: keep looking
+            const AddrRange &r = acc.perChiplet[_schedIdx];
+            if (r.lo <= addr && addr + kLineBytes <= r.hi) {
+                inRange = true;
+                break;
+            }
+        }
+        if (!declared || !inRange) {
+            panic("annotation violation: kernel '" + _desc.name +
+                  "' chiplet " + std::to_string(_chiplet) +
+                  (write ? " writes " : " reads ") +
+                  _space.alloc(ds).name + " line " +
+                  std::to_string(line) +
+                  (declared ? " outside its declared range"
+                            : " which is not annotated"));
+        }
+        _inner.touch(ds, line, write);
+    }
+
+    void
+    touchBypass(DsId ds, std::uint64_t line, bool write) override
+    {
+        _inner.touchBypass(ds, line, write);
+    }
+
+  private:
+    TraceSink &_inner;
+    DataSpace &_space;
+    const KernelDesc &_desc;
+    const LaunchDecl &_decl;
+    std::size_t _schedIdx;
+    ChipletId _chiplet;
+};
+
+} // namespace
+
+Cycles
+GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
+                    const LaunchDecl *decl, std::size_t sched_idx)
+{
+    if (chunk.count() <= 0)
+        return 0;
+    std::vector<double> cuTime(
+        static_cast<std::size_t>(_cfg.cusPerChiplet), 0.0);
+    ExecSink sink(*_mem, {chunk.chiplet, 0}, desc.mlp);
+    EnergyModel &energy = _mem->energy();
+
+    if (std::getenv("CPELIDE_DEBUG")) {
+        _space.setContext("chunk@chiplet" +
+                          std::to_string(chunk.chiplet));
+    }
+    for (int wg = chunk.wgBegin; wg < chunk.wgEnd; ++wg) {
+        const CuId cu = dispatchCu(chunk, wg, _cfg.cusPerChiplet);
+        sink.reset({chunk.chiplet, cu});
+        if (decl) {
+            ValidatingSink vsink(sink, _space, desc, *decl, sched_idx,
+                                 chunk.chiplet);
+            desc.trace(wg, vsink);
+        } else {
+            desc.trace(wg, sink);
+        }
+        cuTime[cu] += sink.time() +
+                      static_cast<double>(desc.computeCyclesPerWg) +
+                      static_cast<double>(desc.ldsAccessesPerWg);
+        energy.countLds(desc.ldsAccessesPerWg);
+        // Instruction fetch: roughly one 64 B I-line per 4 ALU cycles
+        // plus one per memory instruction.
+        energy.countL1i(desc.computeCyclesPerWg / 4 + sink.touches());
+    }
+
+    const double cuCritical =
+        *std::max_element(cuTime.begin(), cuTime.end());
+    const Noc &noc = _mem->noc();
+    const ChipletId c = chunk.chiplet;
+    const double dram =
+        static_cast<double>(noc.dramBytes(c)) / _cfg.dramBytesPerCycle;
+    const double xlink =
+        static_cast<double>(noc.xlinkBytes(c)) / _cfg.xlinkBytesPerCycle;
+    const double l2l3 =
+        static_cast<double>(noc.l2l3Bytes(c)) / _cfg.l2l3BytesPerCycle;
+    const double l2 =
+        static_cast<double>(noc.l2Bytes(c)) / _cfg.l2BytesPerCycle;
+    return static_cast<Cycles>(
+        std::max({cuCritical, dram, xlink, l2l3, l2}));
+}
+
+RunResult
+GpuSystem::run(const std::string &label)
+{
+    std::vector<ChipletId> allChiplets;
+    for (ChipletId c = 0; c < _cfg.numChiplets; ++c)
+        allChiplets.push_back(c);
+
+    std::unordered_map<int, Tick> streamReady;
+    std::vector<Tick> chipletBusy(
+        static_cast<std::size_t>(_cfg.numChiplets), 0);
+    Tick end = 0;
+
+    for (const KernelDesc &desc : _pending) {
+        ++_kernels;
+        const auto bindIt = _opts.streamChiplets.find(desc.streamId);
+        const std::vector<ChipletId> &sched =
+            bindIt != _opts.streamChiplets.end() ? bindIt->second
+                                                 : allChiplets;
+        const std::vector<WgChunk> chunks =
+            partitionWgs(desc.numWgs, sched);
+
+        // Packet processing pipelines behind execution.
+        const Tick cpDone = _cp->processPacket(0);
+
+        Tick startBase = std::max(cpDone, streamReady[desc.streamId]);
+        for (const WgChunk &ch : chunks) {
+            startBase = std::max(
+                startBase, chipletBusy[static_cast<std::size_t>(
+                               ch.chiplet)]);
+        }
+        if (_opts.protocol == ProtocolKind::Baseline) {
+            // The baseline's implicit synchronization is GPU-wide: it
+            // stalls every chiplet, not just the scheduled ones.
+            for (Tick t : chipletBusy)
+                startBase = std::max(startBase, t);
+        }
+
+        _space.setContext(desc.name);
+        const SyncOutcome sync =
+            _cp->launchSync(desc, chunks, _space);
+        if (std::getenv("CPELIDE_DEBUG")) {
+            std::fprintf(stderr, "[launch] %-18s stream=%d wgs=%d "
+                         "chiplets=%zu acq=%zu rel=%zu%s\n",
+                         desc.name.c_str(), desc.streamId, desc.numWgs,
+                         sched.size(), sync.acquires, sync.releases,
+                         sync.conservative ? " CONSERVATIVE" : "");
+            for (const auto &arg : desc.args) {
+                std::fprintf(stderr, "         ds=%d mode=%s kind=%d\n",
+                             arg.ds,
+                             arg.mode == AccessMode::ReadWrite ? "RW"
+                                                               : "R",
+                             static_cast<int>(arg.rangeKind));
+            }
+        }
+        _syncStall += sync.cost;
+        if (sync.conservative)
+            ++_conservativeLaunches;
+        const Tick syncDone = startBase + sync.cost;
+
+        _mem->noc().beginKernel();
+        LaunchDecl validationDecl;
+        if (_opts.validateAnnotations)
+            validationDecl = _cp->buildDecl(desc, chunks, _space);
+        Tick kernelEnd = syncDone;
+        for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+            const WgChunk &ch = chunks[ci];
+            const Cycles t = runChunk(
+                desc, ch,
+                _opts.validateAnnotations ? &validationDecl : nullptr,
+                ci);
+            const Tick busy = syncDone + t;
+            chipletBusy[static_cast<std::size_t>(ch.chiplet)] = busy;
+            kernelEnd = std::max(kernelEnd, busy);
+        }
+        streamReady[desc.streamId] = kernelEnd;
+        end = std::max(end, kernelEnd);
+        _events.advanceTo(kernelEnd);
+    }
+
+    // Final host-visibility barrier (all protocols flush dirty data).
+    const Cycles finalCost = _cp->finalBarrier();
+    _syncStall += finalCost;
+    end += finalCost;
+    _events.advanceTo(end);
+
+    RunResult r;
+    r.workload = label;
+    r.protocol = protocolName(_opts.protocol);
+    r.numChiplets = _cfg.numChiplets;
+    r.cycles = end;
+    r.kernels = _kernels;
+    r.accesses = _mem->accesses();
+    r.l1 = _mem->l1Stats();
+    r.l2 = _mem->l2Stats();
+    r.l3 = _mem->l3Stats();
+    r.dramAccesses = _mem->dramAccesses();
+    r.flits = _mem->noc().flits();
+    // NoC energy is flit-proportional; charge it once at the end.
+    _mem->energy().countFlits(r.flits.total());
+    r.energy = _mem->energy().breakdown();
+    r.l2FlushesIssued = _mem->l2FlushesIssued();
+    r.l2InvalidatesIssued = _mem->l2InvalidatesIssued();
+    r.linesWrittenBack = _mem->linesWrittenBack();
+    r.syncStallCycles = _syncStall;
+    r.directoryEvictions = _mem->directoryEvictions();
+    r.sharerInvalidations = _mem->sharerInvalidations();
+    if (const ElideEngine *eng = _cp->engine()) {
+        r.l2FlushesElided = eng->releasesElided();
+        r.l2InvalidatesElided = eng->acquiresElided();
+        r.tableMaxEntries = eng->table().maxEntries();
+    }
+    r.staleReads = _space.staleReads();
+    return r;
+}
+
+} // namespace cpelide

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * GpuSystem: the whole simulated package.
+ *
+ * Wires the memory system, global/local CPs, elide engine, NoC, and
+ * energy model together and executes enqueued kernels. Timing is a
+ * hybrid: coarse control events (CP pipeline, sync phases, kernel
+ * start/end per stream and chiplet) advance explicit timelines, while
+ * memory accesses are simulated functionally with latency accumulation
+ * per CU and a per-chiplet bandwidth roofline
+ * (time >= bytes moved / link bandwidth for HBM, inter-chiplet link,
+ * and the L2<->L3 path).
+ */
+
+#ifndef CPELIDE_GPU_GPU_SYSTEM_HH
+#define CPELIDE_GPU_GPU_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "coherence/mem_system.hh"
+#include "config/gpu_config.hh"
+#include "cp/global_cp.hh"
+#include "cp/kernel.hh"
+#include "mem/data_space.hh"
+#include "sim/event_queue.hh"
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+/** Per-run options beyond GpuConfig. */
+struct RunOptions
+{
+    ProtocolKind protocol = ProtocolKind::Baseline;
+    /** Section VI scaling study knob (see GlobalCp). */
+    int extraSyncSets = 0;
+    /** Abort immediately on a detected stale read (tests). */
+    bool panicOnStale = false;
+    /**
+     * Annotation validator: panic if any kernel's trace touches a
+     * structure outside its declared access annotation (the paper's
+     * correctness contract on the programmer: "the compiler/programmer
+     * must correctly mark the ranges or the outputs may be
+     * incorrect"). touchBypass accesses are exempt (not annotated).
+     */
+    bool validateAnnotations = false;
+    /**
+     * hipSetDevice-style stream-to-chiplet binding. A stream absent
+     * from the map runs on all chiplets.
+     */
+    std::map<int, std::vector<ChipletId>> streamChiplets;
+};
+
+class GpuSystem
+{
+  public:
+    GpuSystem(const GpuConfig &cfg, const RunOptions &opts);
+    ~GpuSystem();
+
+    GpuSystem(const GpuSystem &) = delete;
+    GpuSystem &operator=(const GpuSystem &) = delete;
+
+    /** Device allocator (workloads allocate their arrays here). */
+    DataSpace &space() { return _space; }
+
+    /** Submit a kernel; executed by run() in submission order. */
+    void enqueue(KernelDesc desc);
+
+    /** Bind @p stream to a chiplet subset (hipSetDevice analogue). */
+    void
+    bindStream(int stream, std::vector<ChipletId> chiplets)
+    {
+        _opts.streamChiplets[stream] = std::move(chiplets);
+    }
+
+    /**
+     * Simulate every enqueued kernel plus the final host-visibility
+     * barrier, and return the measurements.
+     * @param label workload name recorded in the result.
+     */
+    RunResult run(const std::string &label);
+
+    const GpuConfig &config() const { return _cfg; }
+    MemSystem &mem() { return *_mem; }
+    GlobalCp &cp() { return *_cp; }
+
+  private:
+    /**
+     * Execute one chiplet's WG chunk: round-robin WGs over CUs, feed
+     * each WG's trace through the memory system, and return the
+     * chiplet's execution time (CU critical path vs bandwidth
+     * rooflines). @p decl (non-null in validation mode) carries the
+     * CP's view of the launch for annotation checking; @p sched_idx
+     * is this chunk's position in the scheduled-chiplet list.
+     */
+    Cycles runChunk(const KernelDesc &desc, const WgChunk &chunk,
+                    const LaunchDecl *decl, std::size_t sched_idx);
+
+    const GpuConfig _cfg;
+    RunOptions _opts;
+    DataSpace _space;
+    std::unique_ptr<MemSystem> _mem;
+    std::unique_ptr<GlobalCp> _cp;
+    EventQueue _events;
+    std::vector<KernelDesc> _pending;
+
+    Tick _syncStall = 0;
+    std::uint64_t _kernels = 0;
+    std::uint64_t _conservativeLaunches = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_GPU_GPU_SYSTEM_HH

@@ -1,0 +1,89 @@
+#include "harness/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/runtime.hh"
+
+namespace cpelide
+{
+
+RunResult
+runWorkload(const std::string &workload_name, ProtocolKind kind,
+            int chiplets, double scale, int extra_sync_sets)
+{
+    const GpuConfig cfg = kind == ProtocolKind::Monolithic
+                              ? GpuConfig::monolithicEquivalent(chiplets)
+                              : GpuConfig::radeonVii(chiplets);
+    RunOptions opts;
+    opts.protocol = kind;
+    opts.extraSyncSets = extra_sync_sets;
+
+    Runtime rt(cfg, opts);
+    auto workload = makeWorkload(workload_name);
+    workload->build(rt, scale);
+    RunResult r = rt.deviceSynchronize(workload_name);
+    r.numChiplets = chiplets; // report the equivalent chiplet count
+    return r;
+}
+
+RunResult
+runWorkloadCfg(const std::string &workload_name, const GpuConfig &cfg,
+               const RunOptions &opts, double scale)
+{
+    Runtime rt(cfg, opts);
+    auto workload = makeWorkload(workload_name);
+    workload->build(rt, scale);
+    return rt.deviceSynchronize(workload_name);
+}
+
+RunResult
+runWorkloadMultiStream(const std::string &workload_name,
+                       ProtocolKind kind, int chiplets, int copies,
+                       double scale)
+{
+    const GpuConfig cfg = GpuConfig::radeonVii(chiplets);
+    RunOptions opts;
+    opts.protocol = kind;
+    Runtime rt(cfg, opts);
+
+    auto workload = makeWorkload(workload_name);
+    for (int s = 0; s < copies; ++s) {
+        // Bind each job to a disjoint chiplet subset (streams are
+        // numbered from 1; 0 is the remappable default).
+        std::vector<ChipletId> subset;
+        for (int c = 0; c < chiplets; ++c) {
+            if (c % copies == s)
+                subset.push_back(c);
+        }
+        rt.setStreamChiplets(s + 1, subset);
+        rt.setDefaultStream(s + 1);
+        workload->build(rt, scale);
+    }
+    RunResult r =
+        rt.deviceSynchronize(workload_name + "+x" +
+                             std::to_string(copies));
+    r.numChiplets = chiplets;
+    return r;
+}
+
+double
+envScale()
+{
+    if (const char *s = std::getenv("CPELIDE_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    return 1.0;
+}
+
+void
+printConfigBanner(int chiplets)
+{
+    const GpuConfig cfg = GpuConfig::radeonVii(chiplets);
+    std::fputs(cfg.describe().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+} // namespace cpelide

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches and examples:
+ * run a workload on a configuration, with the scale factor and
+ * chiplet-count parameters used throughout the evaluation.
+ */
+
+#ifndef CPELIDE_HARNESS_HARNESS_HH
+#define CPELIDE_HARNESS_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/run_result.hh"
+#include "workloads/workload.hh"
+
+namespace cpelide
+{
+
+/**
+ * Simulate @p workload_name on an @p chiplets-chiplet GPU under
+ * @p kind. ProtocolKind::Monolithic uses the equivalent monolithic
+ * configuration of the same aggregate size.
+ *
+ * @param scale iteration-count scale (see Workload::build);
+ * @param extra_sync_sets Section VI scaling-study knob.
+ */
+RunResult runWorkload(const std::string &workload_name,
+                      ProtocolKind kind, int chiplets,
+                      double scale = 1.0, int extra_sync_sets = 0);
+
+/** As runWorkload, but with a caller-supplied configuration. */
+RunResult runWorkloadCfg(const std::string &workload_name,
+                         const GpuConfig &cfg, const RunOptions &opts,
+                         double scale = 1.0);
+
+/**
+ * Section VI multi-stream study: replay @p copies instances of the
+ * workload concurrently, each bound to a disjoint chiplet subset.
+ */
+RunResult runWorkloadMultiStream(const std::string &workload_name,
+                                 ProtocolKind kind, int chiplets,
+                                 int copies, double scale = 1.0);
+
+/**
+ * Scale factor from the CPELIDE_SCALE environment variable (default
+ * 1.0). Lets CI and quick local runs shrink every bench uniformly.
+ */
+double envScale();
+
+/** Print the Table-I configuration banner once per binary. */
+void printConfigBanner(int chiplets);
+
+} // namespace cpelide
+
+#endif // CPELIDE_HARNESS_HARNESS_HH

@@ -1,0 +1,243 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+namespace cpelide
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::string name, CacheGeometry geom)
+    : _name(std::move(name)), _geom(geom)
+{
+    if (geom.sizeBytes == 0 || geom.assoc == 0 ||
+        geom.sizeBytes % (geom.assoc * kLineBytes) != 0) {
+        fatal(_name + ": cache size must be a multiple of assoc * 64B");
+    }
+    if (!isPowerOfTwo(geom.numSets()))
+        fatal(_name + ": set count must be a power of two");
+    _lines.resize(geom.numLines());
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    const Addr tag = lineAlign(addr);
+    Line *set = &_lines[setIndex(addr) * _geom.assoc];
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        if (lineValid(set[w]) && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+bool
+SetAssocCache::probe(Addr addr, std::uint32_t *versionOut)
+{
+    Line *l = findLine(addr);
+    if (!l) {
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    l->lastUse = ++_useClock;
+    if (versionOut)
+        *versionOut = l->version;
+    return true;
+}
+
+bool
+SetAssocCache::peek(Addr addr, std::uint32_t *versionOut,
+                    bool *dirtyOut) const
+{
+    const Line *l = findLine(addr);
+    if (!l)
+        return false;
+    if (versionOut)
+        *versionOut = l->version;
+    if (dirtyOut)
+        *dirtyOut = l->dirty;
+    return true;
+}
+
+bool
+SetAssocCache::updateIfPresent(Addr addr, std::uint32_t version,
+                               bool markDirty)
+{
+    Line *l = findLine(addr);
+    if (!l)
+        return false;
+    l->version = version;
+    if (markDirty && !l->dirty) {
+        l->dirty = true;
+        ++_dirtyCount;
+        _dirtyList.push_back(static_cast<std::uint32_t>(l - _lines.data()));
+    } else if (!markDirty) {
+        // Write-through update leaves the dirty bit as-is: a dirty line
+        // stays dirty (it still owes a writeback of the newer data).
+    }
+    return true;
+}
+
+void
+SetAssocCache::insert(Addr addr, std::uint32_t version, DsId ds,
+                      std::uint32_t dsLine, bool dirty, Evicted *victim)
+{
+    if (victim)
+        victim->valid = false;
+    if (Line *l = findLine(addr)) {
+        // Re-insert over an existing copy: refresh contents in place.
+        l->version = version;
+        l->lastUse = ++_useClock;
+        if (dirty && !l->dirty) {
+            l->dirty = true;
+            ++_dirtyCount;
+            _dirtyList.push_back(
+                static_cast<std::uint32_t>(l - _lines.data()));
+        }
+        return;
+    }
+
+    Line *set = &_lines[setIndex(addr) * _geom.assoc];
+    Line *slot = nullptr;
+    for (std::uint32_t w = 0; w < _geom.assoc; ++w) {
+        if (!lineValid(set[w])) {
+            slot = &set[w];
+            break;
+        }
+        if (!slot || set[w].lastUse < slot->lastUse)
+            slot = &set[w];
+    }
+
+    if (lineValid(*slot)) {
+        if (victim) {
+            victim->valid = true;
+            victim->addr = slot->tag;
+            victim->version = slot->version;
+            victim->ds = slot->ds;
+            victim->dsLine = slot->dsLine;
+            victim->dirty = slot->dirty;
+        }
+        if (slot->dirty)
+            --_dirtyCount;
+    }
+
+    slot->tag = lineAlign(addr);
+    slot->epoch = _epoch;
+    slot->lastUse = ++_useClock;
+    slot->version = version;
+    slot->ds = ds;
+    slot->dsLine = dsLine;
+    slot->dirty = dirty;
+    if (dirty) {
+        ++_dirtyCount;
+        _dirtyList.push_back(static_cast<std::uint32_t>(slot - _lines.data()));
+    }
+}
+
+bool
+SetAssocCache::writeHit(Addr addr, std::uint32_t version)
+{
+    Line *l = findLine(addr);
+    if (!l)
+        return false;
+    l->version = version;
+    l->lastUse = ++_useClock;
+    if (!l->dirty) {
+        l->dirty = true;
+        ++_dirtyCount;
+        _dirtyList.push_back(static_cast<std::uint32_t>(l - _lines.data()));
+    }
+    return true;
+}
+
+void
+SetAssocCache::invalidateLine(Addr addr)
+{
+    Line *l = findLine(addr);
+    if (!l)
+        return;
+    if (l->dirty)
+        --_dirtyCount;
+    l->dirty = false;
+    l->epoch = 0; // any value != _epoch invalidates
+}
+
+bool
+SetAssocCache::extractLine(Addr addr, Evicted *out)
+{
+    Line *l = findLine(addr);
+    if (!l)
+        return false;
+    if (out) {
+        out->valid = true;
+        out->addr = l->tag;
+        out->version = l->version;
+        out->ds = l->ds;
+        out->dsLine = l->dsLine;
+        out->dirty = l->dirty;
+    }
+    if (l->dirty)
+        --_dirtyCount;
+    l->dirty = false;
+    l->epoch = 0;
+    return true;
+}
+
+std::uint64_t
+SetAssocCache::flushAll(const WritebackFn &wb)
+{
+    std::uint64_t flushed = 0;
+    for (std::uint32_t idx : _dirtyList) {
+        Line &l = _lines[idx];
+        if (!lineValid(l) || !l.dirty)
+            continue; // stale dirty-list entry (evicted or re-cleaned)
+        Evicted e;
+        e.valid = true;
+        e.addr = l.tag;
+        e.version = l.version;
+        e.ds = l.ds;
+        e.dsLine = l.dsLine;
+        e.dirty = true;
+        wb(e);
+        l.dirty = false;
+        ++flushed;
+    }
+    _dirtyList.clear();
+    _dirtyCount = 0;
+    return flushed;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    panicIf(_dirtyCount != 0,
+            _name + ": invalidateAll with dirty lines (missing flush)");
+    ++_epoch;
+    _dirtyList.clear();
+}
+
+std::uint64_t
+SetAssocCache::countValid() const
+{
+    return static_cast<std::uint64_t>(
+        std::count_if(_lines.begin(), _lines.end(),
+                      [this](const Line &l) { return lineValid(l); }));
+}
+
+} // namespace cpelide

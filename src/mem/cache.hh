@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Mechanical set-associative cache model.
+ *
+ * The cache knows nothing about coherence; protocols in src/coherence
+ * drive it. Each line carries a version tag used by the staleness checker
+ * (see mem/data_space.hh): a protocol bug that lets a consumer observe an
+ * out-of-date line is detected functionally rather than silently skewing
+ * timing results.
+ *
+ * Bulk operations are first-class because the paper is about them:
+ *  - invalidateAll() is O(1) via an epoch counter (flash invalidate);
+ *  - flushAll() walks only the lines dirtied since the last flush
+ *    (a dirty list), which is exactly the work a real flush performs.
+ */
+
+#ifndef CPELIDE_MEM_CACHE_HH
+#define CPELIDE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Geometry of one cache array. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t assoc = 1;
+
+    std::uint64_t numLines() const { return sizeBytes / kLineBytes; }
+    std::uint64_t numSets() const { return numLines() / assoc; }
+};
+
+/** A line written back or displaced from the cache. */
+struct Evicted
+{
+    Addr addr = 0;
+    std::uint32_t version = 0;
+    DsId ds = -1;
+    std::uint32_t dsLine = 0;
+    bool dirty = false;
+    bool valid = false;
+};
+
+/**
+ * Set-associative, LRU, write-back-capable cache array.
+ *
+ * Thread-compatibility: none required; the simulator is single threaded.
+ */
+class SetAssocCache
+{
+  public:
+    /** Callback receiving each dirty line written back by flushAll(). */
+    using WritebackFn = std::function<void(const Evicted &)>;
+
+    /**
+     * @param name  Debug name ("chiplet2.l2").
+     * @param geom  Size/associativity; size must be a multiple of
+     *              assoc * 64 B and the set count a power of two.
+     */
+    SetAssocCache(std::string name, CacheGeometry geom);
+
+    const std::string &name() const { return _name; }
+    const CacheGeometry &geometry() const { return _geom; }
+
+    /**
+     * Look up @p addr; on a hit, update LRU and return the line's
+     * version. @retval true on hit.
+     */
+    bool probe(Addr addr, std::uint32_t *versionOut = nullptr);
+
+    /** Look up without disturbing LRU or counters (for tests/stats). */
+    bool peek(Addr addr, std::uint32_t *versionOut = nullptr,
+              bool *dirtyOut = nullptr) const;
+
+    /**
+     * If @p addr is present, overwrite its version (and optionally mark
+     * dirty) without changing LRU order. Used for write-through updates
+     * of lines that happen to be cached.
+     * @retval true if the line was present.
+     */
+    bool updateIfPresent(Addr addr, std::uint32_t version, bool markDirty);
+
+    /**
+     * Insert (allocate) a line, evicting the LRU way if the set is full.
+     * @param victim receives the displaced line (valid=false if none).
+     */
+    void insert(Addr addr, std::uint32_t version, DsId ds,
+                std::uint32_t dsLine, bool dirty, Evicted *victim);
+
+    /** Mark an existing line dirty with a new version. @retval hit */
+    bool writeHit(Addr addr, std::uint32_t version);
+
+    /**
+     * Drop a single line if present, discarding any dirty data (the
+     * caller is responsible for writing back first when that matters;
+     * see extractLine for a variant that reports the contents).
+     */
+    void invalidateLine(Addr addr);
+
+    /**
+     * Remove a single line, returning its full contents so the caller
+     * can write back a dirty copy (HMG back-invalidations).
+     * @retval true if the line was present (@p out filled).
+     */
+    bool extractLine(Addr addr, Evicted *out);
+
+    /**
+     * Write back every dirty line through @p wb and mark them clean.
+     * Clean valid copies are retained (the paper's baseline protocol
+     * retains a clean copy after a writeback).
+     * @return number of lines written back.
+     */
+    std::uint64_t flushAll(const WritebackFn &wb);
+
+    /**
+     * Flash-invalidate the whole array.
+     * @pre no dirty lines remain (call flushAll() first); enforced by
+     *      panic, since silently dropping dirty data is a protocol bug.
+     */
+    void invalidateAll();
+
+    /** Current number of dirty lines. */
+    std::uint64_t dirtyLines() const { return _dirtyCount; }
+
+    /** Current number of valid lines (walks the array; test use). */
+    std::uint64_t countValid() const;
+
+    /** Lifetime counters. @{ */
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    /** @} */
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t epoch = 0;     //!< valid iff epoch == cache epoch
+        std::uint64_t lastUse = 0;
+        std::uint32_t version = 0;
+        DsId ds = -1;
+        std::uint32_t dsLine = 0;
+        bool dirty = false;
+    };
+
+    bool lineValid(const Line &l) const { return l.epoch == _epoch; }
+
+    std::uint64_t setIndex(Addr addr) const
+    {
+        return (addr / kLineBytes) & (_geom.numSets() - 1);
+    }
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    std::string _name;
+    CacheGeometry _geom;
+    std::vector<Line> _lines;            //!< sets*assoc, set-major
+    std::vector<std::uint32_t> _dirtyList; //!< line indices dirtied
+    std::uint64_t _epoch = 1;
+    std::uint64_t _useClock = 0;
+    std::uint64_t _dirtyCount = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_MEM_CACHE_HH

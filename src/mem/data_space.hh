@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Device allocations, the golden version store, and the staleness checker.
+ *
+ * Every tracked data structure (kernel argument array) is a contiguous,
+ * page-aligned allocation. For every cache line of every allocation we
+ * keep two version numbers:
+ *
+ *   latest  - bumped on every store, in program order. For the
+ *             data-race-free programs the paper targets (SC-for-HRF),
+ *             a correctly synchronized read must observe exactly this.
+ *   memory  - the version currently held by DRAM (advanced by
+ *             write-throughs and writebacks).
+ *
+ * Cache lines carry the version they hold, so a read returning a version
+ * older than `latest` is a detected stale read: either a real data race
+ * in the workload or — far more interesting here — a synchronization
+ * operation that CPElide elided but should not have.
+ */
+
+#ifndef CPELIDE_MEM_DATA_SPACE_HH
+#define CPELIDE_MEM_DATA_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** One device allocation (a kernel-visible array). */
+struct Allocation
+{
+    DsId id = -1;
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+
+    std::uint64_t numLines() const { return bytes / kLineBytes; }
+    Addr lineAddr(std::uint64_t line) const { return base + line * kLineBytes; }
+    bool contains(Addr a) const { return a >= base && a < base + bytes; }
+};
+
+/** Allocator + version store for the whole device address space. */
+class DataSpace
+{
+  public:
+    DataSpace() = default;
+
+    /**
+     * Allocate @p bytes (rounded up to a page) named @p name.
+     * Allocations are page aligned, matching the paper's methodology
+     * ("page-aligned memory allocations to reduce unintentional false
+     * sharing").
+     */
+    DsId
+    allocate(const std::string &name, std::uint64_t bytes)
+    {
+        Allocation a;
+        a.id = static_cast<DsId>(_allocs.size());
+        a.name = name;
+        a.base = _nextBase;
+        a.bytes = (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
+        if (a.bytes == 0)
+            a.bytes = kPageBytes;
+        _nextBase += a.bytes + kPageBytes; // guard page between arrays
+        _latest.emplace_back(a.numLines(), 0u);
+        _memory.emplace_back(a.numLines(), 0u);
+        _racy.push_back(false);
+        _allocs.push_back(a);
+        return a.id;
+    }
+
+    const Allocation &alloc(DsId id) const { return _allocs.at(id); }
+    std::size_t numAllocations() const { return _allocs.size(); }
+
+    /** Record a store: advance the program-order version. */
+    std::uint32_t
+    recordStore(DsId ds, std::uint64_t line)
+    {
+        return ++_latest[ds][line];
+    }
+
+    /** Program-order latest version of a line. */
+    std::uint32_t latest(DsId ds, std::uint64_t line) const
+    {
+        return _latest[ds][line];
+    }
+
+    /** Version currently in DRAM. */
+    std::uint32_t memoryVersion(DsId ds, std::uint64_t line) const
+    {
+        return _memory[ds][line];
+    }
+
+    /** A write-through or writeback reached DRAM. */
+    void
+    commitToMemory(DsId ds, std::uint64_t line, std::uint32_t version)
+    {
+        // Writebacks can arrive out of order between levels; never
+        // regress DRAM to an older version.
+        if (version > _memory[ds][line])
+            _memory[ds][line] = version;
+    }
+
+    /**
+     * Staleness check: a synchronized read observed @p version.
+     * Counts (and optionally panics on) stale observations.
+     */
+    /**
+     * Mark an allocation as intentionally racy: some GPGPU kernels
+     * (BFS/SSSP frontier flags, atomic max updates) perform benign,
+     * idempotent same-line writes from multiple chiplets. The checker
+     * skips those arrays — the synchronization engine still treats
+     * them fully conservatively (RW + Full range).
+     */
+    void setRacy(DsId ds) { _racy[static_cast<std::size_t>(ds)] = true; }
+
+    void
+    checkObserved(DsId ds, std::uint64_t line, std::uint32_t version)
+    {
+        if (_racy[static_cast<std::size_t>(ds)])
+            return;
+        if (version < _latest[ds][line]) {
+            ++_staleReads;
+            if (_panicOnStale) {
+                panic("stale read: " + _allocs[ds].name + " line " +
+                      std::to_string(line) + " observed v" +
+                      std::to_string(version) + " latest v" +
+                      std::to_string(_latest[ds][line]) +
+                      (_context.empty() ? "" : " during " + _context));
+            }
+        }
+    }
+
+    /** Total stale reads observed (must be 0 for DRF workloads). */
+    std::uint64_t staleReads() const { return _staleReads; }
+
+    /** Make stale reads abort immediately (tests). */
+    void panicOnStale(bool on) { _panicOnStale = on; }
+
+    /** Debug label (current kernel) included in panic messages. */
+    void setContext(std::string ctx) { _context = std::move(ctx); }
+
+  private:
+    std::vector<Allocation> _allocs;
+    std::vector<std::vector<std::uint32_t>> _latest;
+    std::vector<std::vector<std::uint32_t>> _memory;
+    std::vector<bool> _racy;
+    Addr _nextBase = 0x10000000; // arbitrary device-VA heap base
+    std::string _context;
+    std::uint64_t _staleReads = 0;
+    bool _panicOnStale = false;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_MEM_DATA_SPACE_HH

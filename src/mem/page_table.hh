@@ -1,0 +1,63 @@
+/**
+ * @file
+ * First-touch page placement (Section IV-C1).
+ *
+ * The home chiplet of a physical page — and therefore of its L2/L3 bank
+ * and HBM stack — is the chiplet whose CU first touches it. All three
+ * evaluated configurations use this policy so results isolate the
+ * synchronization mechanisms.
+ */
+
+#ifndef CPELIDE_MEM_PAGE_TABLE_HH
+#define CPELIDE_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Maps pages to home chiplets with first-touch assignment. */
+class PageTable
+{
+  public:
+    explicit PageTable(int num_chiplets) : _numChiplets(num_chiplets) {}
+
+    /**
+     * Home chiplet of @p addr; assigns @p toucher on first access.
+     * A monolithic GPU passes toucher 0 everywhere and ignores homes.
+     */
+    ChipletId
+    homeOf(Addr addr, ChipletId toucher)
+    {
+        auto [it, inserted] = _pages.try_emplace(pageIndex(addr), toucher);
+        if (inserted)
+            ++_firstTouches;
+        return it->second;
+    }
+
+    /** Home of an already-placed page, or kNoChiplet. */
+    ChipletId
+    peekHome(Addr addr) const
+    {
+        auto it = _pages.find(pageIndex(addr));
+        return it == _pages.end() ? kNoChiplet : it->second;
+    }
+
+    /** Pin a page to a chiplet regardless of first touch (tests). */
+    void place(Addr addr, ChipletId home) { _pages[pageIndex(addr)] = home; }
+
+    std::uint64_t pagesPlaced() const { return _firstTouches; }
+    int numChiplets() const { return _numChiplets; }
+
+  private:
+    int _numChiplets;
+    std::unordered_map<std::uint64_t, ChipletId> _pages;
+    std::uint64_t _firstTouches = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_MEM_PAGE_TABLE_HH

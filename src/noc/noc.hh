@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Interconnect traffic accounting (Fig 10) and per-kernel bandwidth
+ * bookkeeping for the roofline timing model.
+ *
+ * Traffic is counted in flits, matching the paper's Fig 10 categories:
+ *   - l1l2: intra-chiplet traffic between the CUs' L1s and the L2;
+ *   - l2l3: traffic between per-chiplet L2s and the shared LLC/HBM
+ *           (fills, writebacks, write-throughs);
+ *   - remote: anything crossing the inter-chiplet crossbar (forwarded
+ *           requests/responses, sharer invalidations, CP sync messages).
+ *
+ * A 64 B data message is kDataFlits flits; a request/ack/invalidate
+ * control message is one flit.
+ */
+
+#ifndef CPELIDE_NOC_NOC_HH
+#define CPELIDE_NOC_NOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Flits per 64-byte data message (4 x 16B payload + 1 header). */
+constexpr std::uint64_t kDataFlits = 5;
+/** Flits per control message (request, ack, invalidate). */
+constexpr std::uint64_t kCtrlFlits = 1;
+/** Bytes conveyed per data message (one cache line). */
+constexpr std::uint64_t kDataBytes = kLineBytes;
+
+/** Fig 10 traffic categories. */
+struct FlitCounts
+{
+    std::uint64_t l1l2 = 0;
+    std::uint64_t l2l3 = 0;
+    std::uint64_t remote = 0;
+
+    std::uint64_t total() const { return l1l2 + l2l3 + remote; }
+
+    FlitCounts &
+    operator+=(const FlitCounts &o)
+    {
+        l1l2 += o.l1l2;
+        l2l3 += o.l2l3;
+        remote += o.remote;
+        return *this;
+    }
+};
+
+/**
+ * Traffic meter for the whole package. Also tracks, per chiplet, the
+ * bytes moved over the chiplet's HBM stack and inter-chiplet link since
+ * the last beginKernel(), which the timing model turns into bandwidth
+ * lower bounds on kernel duration.
+ */
+class Noc
+{
+  public:
+    explicit Noc(int num_chiplets)
+        : _dramBytes(num_chiplets, 0), _xlinkBytes(num_chiplets, 0),
+          _l2l3Bytes(num_chiplets, 0), _l2Bytes(num_chiplets, 0)
+    {}
+
+    // --- Fig 10 counters --------------------------------------------------
+    void countL1L2Data() { _flits.l1l2 += kDataFlits; }
+    void countL1L2Ctrl() { _flits.l1l2 += kCtrlFlits; }
+    void countL2L3Data() { _flits.l2l3 += kDataFlits; }
+    void countL2L3Ctrl() { _flits.l2l3 += kCtrlFlits; }
+    void countRemoteData() { _flits.remote += kDataFlits; }
+    void countRemoteCtrl() { _flits.remote += kCtrlFlits; }
+
+    const FlitCounts &flits() const { return _flits; }
+
+    // --- Per-kernel bandwidth accounting -----------------------------------
+    /** Reset the per-chiplet byte meters at a kernel launch. */
+    void
+    beginKernel()
+    {
+        std::fill(_dramBytes.begin(), _dramBytes.end(), 0);
+        std::fill(_xlinkBytes.begin(), _xlinkBytes.end(), 0);
+        std::fill(_l2l3Bytes.begin(), _l2l3Bytes.end(), 0);
+        std::fill(_l2Bytes.begin(), _l2Bytes.end(), 0);
+    }
+
+    /** @p bytes moved over chiplet @p c's HBM stack. */
+    void
+    addDramBytes(ChipletId c, std::uint64_t bytes)
+    {
+        _dramBytes[c] += bytes;
+    }
+
+    /** @p bytes crossed chiplet @p c's inter-chiplet link. */
+    void
+    addXlinkBytes(ChipletId c, std::uint64_t bytes)
+    {
+        _xlinkBytes[c] += bytes;
+    }
+
+    /** @p bytes moved on chiplet @p c's L2<->L3 path. */
+    void
+    addL2l3Bytes(ChipletId c, std::uint64_t bytes)
+    {
+        _l2l3Bytes[c] += bytes;
+    }
+
+    /** @p bytes moved through chiplet @p c's L2 arrays. */
+    void
+    addL2Bytes(ChipletId c, std::uint64_t bytes)
+    {
+        _l2Bytes[c] += bytes;
+    }
+
+    std::uint64_t dramBytes(ChipletId c) const { return _dramBytes[c]; }
+    std::uint64_t l2Bytes(ChipletId c) const { return _l2Bytes[c]; }
+    std::uint64_t xlinkBytes(ChipletId c) const { return _xlinkBytes[c]; }
+    std::uint64_t l2l3Bytes(ChipletId c) const { return _l2l3Bytes[c]; }
+
+  private:
+    FlitCounts _flits;
+    std::vector<std::uint64_t> _dramBytes;
+    std::vector<std::uint64_t> _xlinkBytes;
+    std::vector<std::uint64_t> _l2l3Bytes;
+    std::vector<std::uint64_t> _l2Bytes;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_NOC_NOC_HH

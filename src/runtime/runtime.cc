@@ -1,0 +1,78 @@
+#include "runtime/runtime.hh"
+
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+Runtime::Runtime(const GpuConfig &cfg, const RunOptions &opts)
+    : _opts(opts), _gpu(std::make_unique<GpuSystem>(cfg, opts))
+{}
+
+Runtime::~Runtime() = default;
+
+DevArray
+Runtime::malloc(const std::string &name, std::uint64_t bytes)
+{
+    DataSpace &space = _gpu->space();
+    const DsId id = space.allocate(name, bytes);
+    const Allocation &a = space.alloc(id);
+    return DevArray{id, a.base, a.bytes};
+}
+
+void
+Runtime::markRacy(const DevArray &arr)
+{
+    _gpu->space().setRacy(arr.id);
+}
+
+void
+Runtime::setAccessMode(KernelDesc &kernel, const DevArray &arr,
+                       AccessMode mode, RangeKind kind)
+{
+    if (kind == RangeKind::Explicit)
+        fatal("use setAccessModeRange for explicit ranges");
+    KernelArgDecl decl;
+    decl.ds = arr.id;
+    decl.mode = mode;
+    decl.rangeKind = kind;
+    kernel.args.push_back(std::move(decl));
+}
+
+void
+Runtime::setAccessModeRange(KernelDesc &kernel, const DevArray &arr,
+                            AccessMode mode,
+                            std::vector<AddrRange> ranges)
+{
+    KernelArgDecl decl;
+    decl.ds = arr.id;
+    decl.mode = mode;
+    decl.rangeKind = RangeKind::Explicit;
+    decl.explicitRanges = std::move(ranges);
+    kernel.args.push_back(std::move(decl));
+}
+
+void
+Runtime::setStreamChiplets(int stream, std::vector<ChipletId> chiplets)
+{
+    _gpu->bindStream(stream, std::move(chiplets));
+}
+
+void
+Runtime::launchKernel(KernelDesc kernel)
+{
+    panicIf(_synchronized, "launchKernel after deviceSynchronize");
+    if (kernel.streamId == 0)
+        kernel.streamId = _defaultStream;
+    _gpu->enqueue(std::move(kernel));
+}
+
+RunResult
+Runtime::deviceSynchronize(const std::string &label)
+{
+    panicIf(_synchronized, "deviceSynchronize called twice");
+    _synchronized = true;
+    return _gpu->run(label);
+}
+
+} // namespace cpelide

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * The GPU system model schedules kernel launches, command-processor
+ * message round trips, synchronization (acquire/release) completions, and
+ * kernel completions as events. Memory accesses themselves are simulated
+ * functionally (see coherence/mem_system.hh) for speed; only
+ * coarse-grained control events go through this queue.
+ */
+
+#ifndef CPELIDE_SIM_EVENT_QUEUE_HH
+#define CPELIDE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same tick
+ * fire in insertion order (stable), which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        _heap.push(Event{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void
+    scheduleAfter(Cycles delay, Callback cb)
+    {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /**
+     * Pop and run the earliest event, advancing time to it.
+     * @retval false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (_heap.empty())
+            return false;
+        // Copy out before pop so the callback may schedule new events.
+        Event ev = _heap.top();
+        _heap.pop();
+        _now = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the queue drains. Returns the final time. */
+    Tick
+    run()
+    {
+        while (step()) {}
+        return _now;
+    }
+
+    /**
+     * Advance time with no event attached (used when functional
+     * simulation determines a duration outside the queue).
+     * @pre when >= now()
+     */
+    void
+    advanceTo(Tick when)
+    {
+        if (when > _now)
+            _now = when;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_EVENT_QUEUE_HH

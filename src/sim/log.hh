@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a simulator bug);
+ *            aborts so the failure is loud in tests.
+ * fatal()  - the user asked for something unsupportable (bad config);
+ *            throws so library consumers can recover.
+ * warn()   - something is modeled approximately; simulation continues.
+ */
+
+#ifndef CPELIDE_SIM_LOG_HH
+#define CPELIDE_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace cpelide
+{
+
+/** Thrown by fatal() on unusable user configuration or input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Abort with a message; use for internal invariant violations. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Throw FatalError; use for user-caused misconfiguration. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_LOG_HH

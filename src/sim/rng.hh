@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generator.
+ *
+ * Workload generators must be bit-reproducible across runs and
+ * configurations (the same trace must be fed to Baseline, HMG, and
+ * CPElide), so everything random flows through this xoshiro256** engine
+ * rather than std::rand or hardware entropy.
+ */
+
+#ifndef CPELIDE_SIM_RNG_HH
+#define CPELIDE_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cpelide
+{
+
+/** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to spread a small seed over the state.
+        std::uint64_t x = seed;
+        for (auto &word : _s) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Bias is negligible for the bounds used here (< 2^32).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_RNG_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ *
+ * The simulator is cycle-approximate: all timing is expressed in GPU core
+ * cycles (Table I: 1801 MHz). Microsecond-scale command-processor latencies
+ * from the paper are converted to cycles via GpuConfig.
+ */
+
+#ifndef CPELIDE_SIM_TYPES_HH
+#define CPELIDE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace cpelide
+{
+
+/** Simulated time, in GPU core cycles. */
+using Tick = std::uint64_t;
+
+/** A duration, in GPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** A (virtual) byte address in the device's unified address space. */
+using Addr = std::uint64_t;
+
+/** Index of a chiplet within the MCM-GPU package. */
+using ChipletId = std::int32_t;
+
+/** Index of a compute unit within one chiplet. */
+using CuId = std::int32_t;
+
+/** Identifier of a tracked data structure (kernel argument array). */
+using DsId = std::int32_t;
+
+/** Monotonically increasing id of a dynamically launched kernel. */
+using KernelSeq = std::uint64_t;
+
+/** Cache line size in bytes (Table I: 64 B lines everywhere). */
+constexpr std::uint64_t kLineBytes = 64;
+
+/** Virtual memory page size used by the first-touch placement policy. */
+constexpr std::uint64_t kPageBytes = 4096;
+
+/** Sentinel for "no chiplet". */
+constexpr ChipletId kNoChiplet = -1;
+
+/** Byte address of the cache line containing @p a. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~(kLineBytes - 1);
+}
+
+/** Index of the page containing @p a. */
+constexpr std::uint64_t
+pageIndex(Addr a)
+{
+    return a / kPageBytes;
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_TYPES_HH

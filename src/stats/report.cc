@@ -1,0 +1,105 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace cpelide
+{
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs)
+        logSum += std::log(x);
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    row.resize(_header.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+AsciiTable::addRule()
+{
+    _rows.emplace_back();
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> width(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emitRule = [&](std::ostringstream &os) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            os << '+' << std::string(width[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emitRow = [&](std::ostringstream &os,
+                       const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    std::ostringstream os;
+    emitRule(os);
+    emitRow(os, _header);
+    emitRule(os);
+    for (const auto &row : _rows) {
+        if (row.empty())
+            emitRule(os);
+        else
+            emitRow(os, row);
+    }
+    emitRule(os);
+    return os.str();
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPct(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+} // namespace cpelide

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table/series emitters shared by the figure-regeneration benches.
+ */
+
+#ifndef CPELIDE_STATS_REPORT_HH
+#define CPELIDE_STATS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace cpelide
+{
+
+/** Geometric mean of @p xs; returns 0 for an empty vector. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean of @p xs; returns 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Fixed-width ASCII table. Columns sized to fit; numbers are the
+ * caller's problem (pass formatted strings).
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+    /** Horizontal separator before the next row. */
+    void addRule();
+
+    /** Render to a string, ready for stdout. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows; //!< empty row == rule
+};
+
+/** Format @p v with @p decimals digits. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format @p v as a percentage ("+13.2%"). */
+std::string fmtPct(double v, int decimals = 1);
+
+} // namespace cpelide
+
+#endif // CPELIDE_STATS_REPORT_HH

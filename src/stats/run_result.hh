@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Result record of one simulated workload run.
+ */
+
+#ifndef CPELIDE_STATS_RUN_RESULT_HH
+#define CPELIDE_STATS_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "noc/noc.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Cache-level hit/miss counters. */
+struct LevelStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return accesses() ? static_cast<double>(hits) / accesses() : 0.0;
+    }
+};
+
+/** Everything measured during one workload run on one configuration. */
+struct RunResult
+{
+    std::string workload;
+    std::string protocol;
+    int numChiplets = 0;
+
+    /** End-to-end simulated duration in GPU cycles. */
+    Tick cycles = 0;
+    /** Number of kernels launched. */
+    std::uint64_t kernels = 0;
+    /** Total line-granular memory accesses simulated. */
+    std::uint64_t accesses = 0;
+
+    LevelStats l1;
+    LevelStats l2;
+    LevelStats l3;
+    std::uint64_t dramAccesses = 0;
+
+    FlitCounts flits;
+    EnergyBreakdown energy;
+
+    /** Synchronization behaviour. @{ */
+    std::uint64_t l2FlushesIssued = 0;
+    std::uint64_t l2InvalidatesIssued = 0;
+    std::uint64_t l2FlushesElided = 0;
+    std::uint64_t l2InvalidatesElided = 0;
+    std::uint64_t linesWrittenBack = 0;
+    Tick syncStallCycles = 0;
+    /** @} */
+
+    /** HMG-specific. @{ */
+    std::uint64_t directoryEvictions = 0;
+    std::uint64_t sharerInvalidations = 0;
+    /** @} */
+
+    /** CPElide table occupancy high-water mark. */
+    std::uint64_t tableMaxEntries = 0;
+    /** Stale reads detected by the checker (must be 0). */
+    std::uint64_t staleReads = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_STATS_RUN_RESULT_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * BabelStream (Deakin et al.) — memory-bandwidth microbenchmark.
+ *
+ * Modeling notes:
+ *  - three 2 MB arrays (paper input: 524288 floats), five kernels per
+ *    iteration (copy, mul, add, triad, dot), 5 iterations;
+ *  - perfectly affine: each chiplet's slice stays resident in its L2
+ *    across all kernels, so CPElide elides every flush/invalidate and
+ *    there are ~no remote accesses;
+ *  - HMG's write-through L2 pushes every store to the LLC/memory,
+ *    the behaviour behind the paper's 37% CPElide-over-HMG gap.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBytes = 524288ull * 4;
+constexpr int kWgs = 240;
+
+class BabelStream : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"BabelStream", "BabelStream", true,
+                "524288 floats x3 arrays, 5 iterations"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const int iterations = scaled(5, scale);
+
+        const DevArray a = rt.malloc("a", kBytes);
+        const DevArray b = rt.malloc("b", kBytes);
+        const DevArray c = rt.malloc("c", kBytes);
+        const DevArray partials = rt.malloc("dot_partials",
+                                            kWgs * kLineBytes);
+        const std::uint64_t lines = a.numLines();
+
+        auto streamKernel = [&](const std::string &name,
+                                std::vector<std::pair<DevArray, bool>>
+                                    arrays) {
+            KernelDesc k;
+            k.name = name;
+            k.numWgs = kWgs;
+            k.mlp = 24;
+            k.computeCyclesPerWg = 32;
+            for (const auto &[arr, write] : arrays) {
+                rt.setAccessMode(k, arr,
+                                 write ? AccessMode::ReadWrite
+                                       : AccessMode::ReadOnly);
+            }
+            k.trace = [arrays, lines](int wg, TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(lines, wg, kWgs);
+                for (std::uint64_t l = lo; l < hi; ++l) {
+                    for (const auto &[arr, write] : arrays)
+                        sink.touch(arr.id, l, write);
+                }
+            };
+            rt.launchKernel(std::move(k));
+        };
+
+        for (int it = 0; it < iterations; ++it) {
+            streamKernel("copy", {{a, false}, {c, true}});
+            streamKernel("mul", {{c, false}, {b, true}});
+            streamKernel("add", {{a, false}, {b, false}, {c, true}});
+            streamKernel("triad", {{b, false}, {c, false}, {a, true}});
+
+            // dot: reads a and b, one partial-sum line per WG.
+            KernelDesc dot;
+            dot.name = "dot";
+            dot.numWgs = kWgs;
+            dot.mlp = 24;
+            dot.computeCyclesPerWg = 64;
+            rt.setAccessMode(dot, a, AccessMode::ReadOnly);
+            rt.setAccessMode(dot, b, AccessMode::ReadOnly);
+            rt.setAccessMode(dot, partials, AccessMode::ReadWrite);
+            const std::uint64_t pLines = partials.numLines();
+            dot.trace = [a, b, partials, lines, pLines](int wg,
+                                                        TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(lines, wg, kWgs);
+                for (std::uint64_t l = lo; l < hi; ++l) {
+                    sink.touch(a.id, l, false);
+                    sink.touch(b.id, l, false);
+                }
+                // One partial-sum line inside the WG's affine slice.
+                sink.touch(partials.id, pLines * wg / kWgs, true);
+            };
+            rt.launchKernel(std::move(dot));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBabelStream()
+{
+    return std::make_unique<BabelStream>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Backprop (Rodinia) — MLP training step, input layer 65536.
+ *
+ * Modeling notes:
+ *  - weights 65536 x 17 floats (~4.4 MB) are read by the forward pass
+ *    and read-modified by the weight-adjust pass every iteration: the
+ *    inter-kernel reuse CPElide preserves (paper: ~10% gain);
+ *  - memory-bound with little ALU work (the paper's "load LDS, few
+ *    ALU ops, write back" category).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+class Backprop : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"Backprop", "Rodinia", true, "65536 input units"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        constexpr std::uint64_t kIn = 65536;
+        constexpr int kWgs = 240;
+        const int iterations = scaled(8, scale);
+
+        const DevArray input = rt.malloc("input_units", kIn * 4);
+        const DevArray weights = rt.malloc("input_weights",
+                                           kIn * 17 * 4);
+        const DevArray hidden = rt.malloc("hidden_partial",
+                                          kWgs * kLineBytes);
+        const std::uint64_t inLines = input.numLines();
+        const std::uint64_t wLines = weights.numLines();
+
+        for (int it = 0; it < iterations; ++it) {
+            KernelDesc fwd;
+            fwd.name = "bpnn_layerforward";
+            fwd.numWgs = kWgs;
+            fwd.mlp = 16;
+            fwd.computeCyclesPerWg = 96;
+            fwd.ldsAccessesPerWg = 256;
+            rt.setAccessMode(fwd, input, AccessMode::ReadOnly);
+            rt.setAccessMode(fwd, weights, AccessMode::ReadOnly);
+            rt.setAccessMode(fwd, hidden, AccessMode::ReadWrite);
+            const std::uint64_t hLines = hidden.numLines();
+            fwd.trace = [input, weights, hidden, inLines, wLines,
+                         hLines](int wg, TraceSink &sink) {
+                const auto [ilo, ihi] = wgSlice(inLines, wg, kWgs);
+                streamLines(sink, input.id, ilo, ihi, false);
+                const auto [wlo, whi] = wgSlice(wLines, wg, kWgs);
+                streamLines(sink, weights.id, wlo, whi, false);
+                sink.touch(hidden.id, hLines * wg / kWgs, true);
+            };
+            rt.launchKernel(std::move(fwd));
+
+            KernelDesc adj;
+            adj.name = "bpnn_adjust_weights";
+            adj.numWgs = kWgs;
+            adj.mlp = 16;
+            adj.computeCyclesPerWg = 64;
+            rt.setAccessMode(adj, input, AccessMode::ReadOnly);
+            rt.setAccessMode(adj, weights, AccessMode::ReadWrite);
+            adj.trace = [input, weights, inLines, wLines](int wg,
+                                                          TraceSink &sink) {
+                const auto [ilo, ihi] = wgSlice(inLines, wg, kWgs);
+                streamLines(sink, input.id, ilo, ihi, false);
+                const auto [wlo, whi] = wgSlice(wLines, wg, kWgs);
+                for (std::uint64_t l = wlo; l < whi; ++l) {
+                    sink.touch(weights.id, l, false);
+                    sink.touch(weights.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(adj));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBackprop()
+{
+    return std::make_unique<Backprop>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * BFS (Rodinia) — level-synchronous breadth-first search, graph128k.
+ *
+ * Modeling notes:
+ *  - CSR adjacency (rowOffsets/cols) is read-only and re-read every
+ *    level: annotated RO + Full range, CPElide keeps it resident and
+ *    elides every acquire for it (paper: +6%, limited by BFS's modest
+ *    total reuse);
+ *  - cost/frontier scatter updates are system-scope atomics served
+ *    at the LLC (touchBypass): they cache nowhere, need no implicit
+ *    synchronization, and are not tracked in the coherence table;
+ *  - the frontier sweeps a per-level active set derived from a
+ *    deterministic hash so every configuration replays the same trace.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/graph.hh"
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** Deterministic per-(node, level) activity hash. */
+inline bool
+activeNode(std::uint32_t u, int level, double frac)
+{
+    std::uint64_t x = (static_cast<std::uint64_t>(u) << 8) ^
+                      static_cast<std::uint64_t>(level) * 0x9e3779b9;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 31;
+    return static_cast<double>(x & 0xffffff) <
+           frac * static_cast<double>(0x1000000);
+}
+
+class Bfs : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"BFS", "Rodinia", true, "graph128k.txt (~96K nodes)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        constexpr std::uint32_t kNodes = 96 * 1024;
+        auto graph = CsrGraph::synthesize(kNodes, 6, 0.6, 0xbf5);
+        constexpr int kWgs = 240;
+        const int levels = scaled(12, scale);
+        static const double kFrac[] = {0.02, 0.06, 0.15, 0.30, 0.45,
+                                       0.35, 0.20, 0.10, 0.05, 0.02,
+                                       0.01, 0.005};
+
+        const DevArray rowOff =
+            rt.malloc("row_offsets", (kNodes + 1) * 4);
+        const DevArray cols = rt.malloc("cols", graph->numEdges() * 4);
+        const DevArray cost = rt.malloc("cost", kNodes * 4);
+        const DevArray maskIn = rt.malloc("mask_in", kNodes / 8);
+        const DevArray maskOut = rt.malloc("mask_out", kNodes / 8);
+        const std::uint64_t maskLines = maskIn.numLines();
+
+        for (int lv = 0; lv < levels; ++lv) {
+            const double frac = kFrac[lv % 12];
+
+            KernelDesc k1;
+            k1.name = "bfs_kernel1";
+            k1.numWgs = kWgs;
+            k1.mlp = 6;
+            k1.computeCyclesPerWg = 48;
+            rt.setAccessMode(k1, rowOff, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k1, cols, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k1, maskIn, AccessMode::ReadOnly);
+            // cost/maskOut are bypass-only (atomics): untracked.
+            k1.trace = [graph, rowOff, cols, cost, maskIn, maskOut,
+                        maskLines, lv, frac](int wg, TraceSink &sink) {
+                const auto [mlo, mhi] = wgSlice(maskLines, wg, kWgs);
+                streamLines(sink, maskIn.id, mlo, mhi, false);
+                const std::uint32_t nLo = static_cast<std::uint32_t>(
+                    std::uint64_t(graph->numNodes) * wg / kWgs);
+                const std::uint32_t nHi = static_cast<std::uint32_t>(
+                    std::uint64_t(graph->numNodes) * (wg + 1) / kWgs);
+                for (std::uint32_t u = nLo; u < nHi; ++u) {
+                    if (!activeNode(u, lv, frac))
+                        continue;
+                    sink.touch(rowOff.id, u / 16, false);
+                    const std::uint32_t eLo = graph->rowOffsets[u];
+                    const std::uint32_t eHi = graph->rowOffsets[u + 1];
+                    for (std::uint32_t l = eLo / 16; l <= (eHi - 1) / 16;
+                         ++l) {
+                        sink.touch(cols.id, l, false);
+                    }
+                    // Visit up to two neighbors: cost + frontier update.
+                    for (std::uint32_t e = eLo;
+                         e < eHi && e < eLo + 2; ++e) {
+                        const std::uint32_t v = graph->cols[e];
+                        sink.touchBypass(cost.id, v / 16, true);
+                        sink.touchBypass(maskOut.id, v / 512, true);
+                    }
+                }
+            };
+            rt.launchKernel(std::move(k1));
+
+            KernelDesc k2;
+            k2.name = "bfs_kernel2";
+            k2.numWgs = kWgs;
+            k2.mlp = 16;
+            k2.computeCyclesPerWg = 16;
+            rt.setAccessMode(k2, maskIn, AccessMode::ReadWrite);
+            k2.trace = [maskIn, maskOut, maskLines](int wg,
+                                                    TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(maskLines, wg, kWgs);
+                for (std::uint64_t l = lo; l < hi; ++l) {
+                    sink.touchBypass(maskOut.id, l, false);
+                    sink.touch(maskIn.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(k2));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfs()
+{
+    return std::make_unique<Bfs>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * B+Tree (Rodinia) — batched key lookups (k1) and range queries (k2).
+ *
+ * Modeling notes:
+ *  - a 16 MB node pool chased pointer-by-pointer (mlp=2: dependent
+ *    loads), two kernels, no inter-kernel reuse: the paper's
+ *    "Baseline ~= CPElide" low-reuse case;
+ *  - the random node visits touch regions all over memory, thrashing
+ *    HMG's 4-lines-per-entry directory — directory evictions and
+ *    their back-invalidations put HMG ~15% behind Baseline here.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kPoolBytes = 16ull * 1024 * 1024;
+constexpr int kWgs = 240;
+constexpr int kQueriesPerWg = 96;
+constexpr int kDepth = 6;
+
+/** Deterministic node line for (query, level, salt). */
+inline std::uint64_t
+nodeLine(std::uint64_t query, int level, std::uint64_t salt,
+         std::uint64_t pool_lines)
+{
+    std::uint64_t h = (query << 6) ^ (std::uint64_t(level) << 2) ^ salt;
+    h = (h ^ (h >> 33)) * 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+    return h % pool_lines;
+}
+
+class Btree : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"BTree", "Rodinia", false, "mil.txt (~1M keys)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        (void)scale; // two kernels regardless
+        const DevArray pool = rt.malloc("node_pool", kPoolBytes);
+        const DevArray keys = rt.malloc("query_keys",
+                                        kWgs * kQueriesPerWg * 8);
+        const DevArray out = rt.malloc("results",
+                                       kWgs * kQueriesPerWg * 8);
+        const std::uint64_t poolLines = pool.numLines();
+        const std::uint64_t keyLines = keys.numLines();
+
+        for (int kernel = 0; kernel < 2; ++kernel) {
+            KernelDesc k;
+            k.name = kernel == 0 ? "findK" : "findRangeK";
+            k.numWgs = kWgs;
+            k.mlp = 2; // dependent pointer chasing
+            k.computeCyclesPerWg = 128;
+            rt.setAccessMode(k, pool, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k, keys, AccessMode::ReadOnly);
+            rt.setAccessMode(k, out, AccessMode::ReadWrite);
+            const std::uint64_t salt = kernel == 0 ? 0x1111 : 0x2222;
+            const int visits = kernel == 0 ? 1 : 2; // range: 2 leaves
+            k.trace = [pool, keys, out, poolLines, keyLines, salt,
+                       visits](int wg, TraceSink &sink) {
+                const auto [klo, khi] = wgSlice(keyLines, wg, kWgs);
+                streamLines(sink, keys.id, klo, khi, false);
+                for (int q = 0; q < kQueriesPerWg; ++q) {
+                    const std::uint64_t query =
+                        std::uint64_t(wg) * kQueriesPerWg + q;
+                    for (int lvl = 0; lvl < kDepth; ++lvl) {
+                        sink.touch(pool.id,
+                                   nodeLine(query, lvl, salt, poolLines),
+                                   false);
+                    }
+                    for (int v = 1; v < visits; ++v) {
+                        sink.touch(pool.id,
+                                   nodeLine(query, kDepth + v, salt,
+                                            poolLines),
+                                   false);
+                    }
+                }
+                streamLines(sink, out.id, klo, khi, true);
+            };
+            rt.launchKernel(std::move(k));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBtree()
+{
+    return std::make_unique<Btree>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * CNN (DNNMark) — Conv + Pool + FC inference, 128x128x3, batch 4.
+ *
+ * Modeling notes:
+ *  - convolution dominates and is compute-bound (large per-WG ALU
+ *    cost, heavy LDS tiling): synchronization overheads are noise,
+ *    so all three configurations perform alike (paper);
+ *  - layer outputs are consumed exactly once by the next layer: no
+ *    inter-kernel reuse to preserve (low-reuse group).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+class Cnn : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"CNN", "DNNMark", false, "128x128x3, BS:4"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        constexpr int kWgs = 240;
+        const int batches = scaled(2, scale);
+
+        const DevArray image = rt.malloc("image", 4ull * 128 * 128 * 3 * 4);
+        const DevArray convW = rt.malloc("conv_filters", 64ull * 27 * 4);
+        const DevArray convOut = rt.malloc("conv_out", 2ull << 20);
+        const DevArray poolOut = rt.malloc("pool_out",
+                                           convOut.bytes / 4);
+        const DevArray fcW = rt.malloc("fc_weights", 1ull << 20);
+        const DevArray fcOut = rt.malloc("fc_out", 64 * 1024);
+
+        for (int b = 0; b < batches; ++b) {
+            KernelDesc conv;
+            conv.name = "conv2d";
+            conv.numWgs = kWgs;
+            conv.mlp = 8;
+            conv.computeCyclesPerWg = 9000; // compute-bound
+            conv.ldsAccessesPerWg = 4096;
+            rt.setAccessMode(conv, image, AccessMode::ReadOnly);
+            rt.setAccessMode(conv, convW, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(conv, convOut, AccessMode::ReadWrite);
+            conv.trace = [image, convW, convOut](int wg,
+                                                 TraceSink &sink) {
+                const auto [ilo, ihi] =
+                    wgSlice(image.numLines(), wg, kWgs);
+                streamLines(sink, image.id, ilo, ihi, false);
+                streamLines(sink, convW.id, 0, convW.numLines(), false);
+                const auto [olo, ohi] =
+                    wgSlice(convOut.numLines(), wg, kWgs);
+                streamLines(sink, convOut.id, olo, ohi, true);
+            };
+            rt.launchKernel(std::move(conv));
+
+            KernelDesc pool;
+            pool.name = "maxpool";
+            pool.numWgs = kWgs;
+            pool.mlp = 16;
+            pool.computeCyclesPerWg = 256;
+            rt.setAccessMode(pool, convOut, AccessMode::ReadOnly);
+            rt.setAccessMode(pool, poolOut, AccessMode::ReadWrite);
+            pool.trace = [convOut, poolOut](int wg, TraceSink &sink) {
+                const auto [ilo, ihi] =
+                    wgSlice(convOut.numLines(), wg, kWgs);
+                streamLines(sink, convOut.id, ilo, ihi, false);
+                const auto [olo, ohi] =
+                    wgSlice(poolOut.numLines(), wg, kWgs);
+                streamLines(sink, poolOut.id, olo, ohi, true);
+            };
+            rt.launchKernel(std::move(pool));
+
+            KernelDesc fc;
+            fc.name = "fully_connected";
+            fc.numWgs = kWgs;
+            fc.mlp = 12;
+            fc.computeCyclesPerWg = 2000;
+            fc.ldsAccessesPerWg = 1024;
+            rt.setAccessMode(fc, poolOut, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(fc, fcW, AccessMode::ReadOnly);
+            rt.setAccessMode(fc, fcOut, AccessMode::ReadWrite);
+            fc.trace = [poolOut, fcW, fcOut](int wg, TraceSink &sink) {
+                const auto [plo, phi] =
+                    wgSlice(poolOut.numLines(), wg, kWgs);
+                streamLines(sink, poolOut.id, plo, phi, false);
+                const auto [wlo, whi] =
+                    wgSlice(fcW.numLines(), wg, kWgs);
+                streamLines(sink, fcW.id, wlo, whi, false);
+                const auto [olo, ohi] =
+                    wgSlice(fcOut.numLines(), wg, kWgs);
+                streamLines(sink, fcOut.id, olo, ohi, true);
+            };
+            rt.launchKernel(std::move(fc));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCnn()
+{
+    return std::make_unique<Cnn>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Color-max (Pannotia) — greedy graph coloring, AK.gr-like input.
+ *
+ * Modeling notes:
+ *  - the full adjacency (RO) is swept every iteration over the
+ *    still-uncolored nodes: large read-only reuse that CPElide keeps
+ *    in the L2s by eliding acquires (paper: +16%);
+ *  - neighbor color reads are input-dependent and low-locality, so
+ *    the first-touch policy leaves many remote accesses — the regime
+ *    where HMG's remote caching floods its directory and invalidation
+ *    traffic (paper: CPElide ~26% faster than HMG on graph suites).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/graph.hh"
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+class ColorMax : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"Color-max", "Pannotia", true, "AK.gr (~64K nodes)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        constexpr std::uint32_t kNodes = 64 * 1024;
+        auto graph = CsrGraph::synthesize(kNodes, 12, 0.4, 0xc01);
+        constexpr int kWgs = 240;
+        const int iterations = scaled(8, scale);
+
+        const DevArray rowOff =
+            rt.malloc("row_offsets", (kNodes + 1) * 4);
+        const DevArray cols = rt.malloc("cols", graph->numEdges() * 4);
+        const DevArray colors = rt.malloc("colors", kNodes * 4);
+        const DevArray maxcw = rt.malloc("max_cw", kNodes * 4);
+        const std::uint64_t nodeLines = colors.numLines();
+
+        // Initialization kernel (real apps memset these): performs the
+        // first touch, giving colors/maxcw an affine page placement.
+        {
+            KernelDesc init;
+            init.name = "init_colors";
+            init.numWgs = kWgs;
+            init.mlp = 24;
+            rt.setAccessMode(init, colors, AccessMode::ReadWrite);
+            rt.setAccessMode(init, maxcw, AccessMode::ReadWrite);
+            init.trace = [colors, maxcw, nodeLines](int wg,
+                                                    TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(nodeLines, wg, kWgs);
+                streamLines(sink, colors.id, lo, hi, true);
+                streamLines(sink, maxcw.id, lo, hi, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int it = 0; it < iterations; ++it) {
+            // Fraction of nodes still uncolored decays geometrically.
+            double frac = 1.0;
+            for (int j = 0; j < it; ++j)
+                frac *= 0.8;
+
+            KernelDesc k1;
+            k1.name = "color_max1";
+            k1.numWgs = kWgs;
+            k1.mlp = 6;
+            k1.computeCyclesPerWg = 48;
+            rt.setAccessMode(k1, rowOff, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k1, cols, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k1, colors, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            // maxcw[u] is written for the WG's own nodes: affine.
+            rt.setAccessMode(k1, maxcw, AccessMode::ReadWrite);
+            const std::uint64_t mLines = maxcw.numLines();
+            k1.trace = [graph, rowOff, cols, colors, maxcw, it, frac,
+                        mLines](int wg, TraceSink &sink) {
+                // Dense per-WG output slice (line-granular, matching
+                // the affine annotation).
+                const auto [mlo, mhi] = wgSlice(mLines, wg, kWgs);
+                streamLines(sink, maxcw.id, mlo, mhi, true);
+                const std::uint32_t nLo = static_cast<std::uint32_t>(
+                    std::uint64_t(graph->numNodes) * wg / kWgs);
+                const std::uint32_t nHi = static_cast<std::uint32_t>(
+                    std::uint64_t(graph->numNodes) * (wg + 1) / kWgs);
+                for (std::uint32_t u = nLo; u < nHi; ++u) {
+                    // Deterministic "still uncolored" subset.
+                    std::uint64_t h = (std::uint64_t(u) << 8) ^
+                                      (std::uint64_t(it) * 0x9e3779b9);
+                    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+                    if (static_cast<double>(h & 0xffffff) >=
+                        frac * static_cast<double>(0x1000000)) {
+                        continue;
+                    }
+                    sink.touch(rowOff.id, u / 16, false);
+                    const std::uint32_t eLo = graph->rowOffsets[u];
+                    const std::uint32_t eHi = graph->rowOffsets[u + 1];
+                    for (std::uint32_t l = eLo / 16;
+                         l <= (eHi - 1) / 16; ++l) {
+                        sink.touch(cols.id, l, false);
+                    }
+                    // Read up to three neighbors' colors (scattered).
+                    for (std::uint32_t e = eLo;
+                         e < eHi && e < eLo + 3; ++e) {
+                        sink.touch(colors.id, graph->cols[e] / 16,
+                                   false);
+                    }
+                }
+            };
+            rt.launchKernel(std::move(k1));
+
+            KernelDesc k2;
+            k2.name = "color_max2";
+            k2.numWgs = kWgs;
+            k2.mlp = 16;
+            k2.computeCyclesPerWg = 16;
+            rt.setAccessMode(k2, maxcw, AccessMode::ReadOnly);
+            rt.setAccessMode(k2, colors, AccessMode::ReadWrite);
+            k2.trace = [colors, maxcw, nodeLines](int wg,
+                                                  TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(nodeLines, wg, kWgs);
+                for (std::uint64_t l = lo; l < hi; ++l) {
+                    sink.touch(maxcw.id, l, false);
+                    sink.touch(colors.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(k2));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeColorMax()
+{
+    return std::make_unique<ColorMax>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * DWT2D (Rodinia) — multi-level 2D discrete wavelet transform.
+ *
+ * Modeling notes:
+ *  - 1024x1024 image, four levels x two passes (rows, then columns);
+ *    each level consumes the previous level's quarter-size output
+ *    exactly once: minimal inter-kernel reuse (low-reuse group);
+ *  - the column pass reads the row-pass output column-strided across
+ *    the whole row partition (annotated Full), so half the traffic is
+ *    remote — at 2 chiplets fewer remote targets help HMG, matching
+ *    the paper's 2-chiplet observation.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kDim = 1024;
+constexpr int kWgs = 128;
+
+class Dwt2d : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"DWT2D", "Rodinia", false, "1024x1024 image, 4 levels"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const int levels = scaled(4, scale);
+        const DevArray src = rt.malloc("image", kDim * kDim * 4);
+        const DevArray tmp = rt.malloc("row_pass", kDim * kDim * 4);
+        const DevArray dst = rt.malloc("coefficients", kDim * kDim * 4);
+
+        for (int lvl = 0; lvl < levels; ++lvl) {
+            const std::uint64_t dim = kDim >> lvl;
+            const std::uint64_t rowLines = dim * 4 / kLineBytes;
+            const DevArray &in = lvl == 0 ? src : dst;
+
+            // Row pass: horizontal filter within own rows.
+            KernelDesc rows;
+            rows.name = "dwt_rows_l" + std::to_string(lvl);
+            rows.numWgs = kWgs;
+            rows.mlp = 16;
+            rows.computeCyclesPerWg = 256;
+            rt.setAccessMode(rows, in, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(rows, tmp, AccessMode::ReadWrite);
+            rows.trace = [in, tmp, dim, rowLines](int wg,
+                                                  TraceSink &sink) {
+                const std::uint64_t rLo = dim * std::uint64_t(wg) / kWgs;
+                const std::uint64_t rHi =
+                    dim * std::uint64_t(wg + 1) / kWgs;
+                for (std::uint64_t r = rLo; r < rHi; ++r) {
+                    streamLines(sink, in.id, r * rowLines,
+                                (r + 1) * rowLines, false);
+                    streamLines(sink, tmp.id, r * rowLines,
+                                (r + 1) * rowLines, true);
+                }
+            };
+            rt.launchKernel(std::move(rows));
+
+            // Column pass: vertical filter, strided over all rows.
+            KernelDesc colsk;
+            colsk.name = "dwt_cols_l" + std::to_string(lvl);
+            colsk.numWgs = kWgs;
+            colsk.mlp = 12;
+            colsk.computeCyclesPerWg = 256;
+            rt.setAccessMode(colsk, tmp, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(colsk, dst, AccessMode::ReadWrite,
+                             RangeKind::Full);
+            colsk.trace = [tmp, dst, dim, rowLines](int wg,
+                                                    TraceSink &sink) {
+                // Each WG owns a band of columns -> touches one line
+                // per row within its column band.
+                const std::uint64_t cLo =
+                    rowLines * std::uint64_t(wg) / kWgs;
+                const std::uint64_t cHi =
+                    rowLines * std::uint64_t(wg + 1) / kWgs;
+                for (std::uint64_t r = 0; r < dim; ++r) {
+                    for (std::uint64_t c = cLo; c < cHi; ++c) {
+                        sink.touch(tmp.id, r * rowLines + c, false);
+                        sink.touch(dst.id, r * rowLines + c, true);
+                    }
+                }
+            };
+            rt.launchKernel(std::move(colsk));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDwt2d()
+{
+    return std::make_unique<Dwt2d>();
+}
+
+} // namespace cpelide

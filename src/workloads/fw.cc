@@ -1,0 +1,143 @@
+/**
+ * @file
+ * FW (Pannotia) — blocked Floyd-Warshall all-pairs shortest paths.
+ *
+ * Modeling notes:
+ *  - 512x512 dense distance matrix (1 MB), 64x64 blocks, three kernels
+ *    per block step (diagonal, row/col panels, trailing update);
+ *  - the trailing update reads a pivot row panel and a pivot column
+ *    panel; the column panel is strided across the whole matrix, so
+ *    under the row-partitioned first touch it is mostly remote —
+ *    plenty of memory-level parallelism hides the misses, which is why
+ *    the paper sees little CPElide gain here (and why HMG's remote
+ *    caching of low-locality panels hurts it);
+ *  - WGs map to absolute block rows, so each chiplet's matrix slice is
+ *    stable across kernels and steps.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kN = 512;           // nodes
+constexpr std::uint64_t kBlock = 64;        // block edge
+constexpr std::uint64_t kBlocks = kN / kBlock;
+constexpr std::uint64_t kRowLines = kN * 4 / kLineBytes; // 32 lines/row
+constexpr int kWgs = static_cast<int>(kBlocks); // one WG per block row
+
+/** Touch a kBlock x kBlock tile starting at (row, col). */
+void
+touchBlock(TraceSink &sink, DsId ds, std::uint64_t row, std::uint64_t col,
+           bool write)
+{
+    const std::uint64_t colLine = col * 4 / kLineBytes;
+    const std::uint64_t colLines = kBlock * 4 / kLineBytes;
+    for (std::uint64_t r = row; r < row + kBlock; ++r) {
+        for (std::uint64_t l = 0; l < colLines; ++l)
+            sink.touch(ds, r * kRowLines + colLine + l, write);
+    }
+}
+
+class Fw : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"FW", "Pannotia", true, "512 nodes dense (512_65536.gr)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const DevArray dist = rt.malloc("dist", kN * kN * 4);
+        const int steps = scaled(static_cast<int>(kBlocks), scale);
+
+        // First touch: one WG per block row -> row-partitioned homes.
+        {
+            KernelDesc init;
+            init.name = "fw_init";
+            init.numWgs = kWgs;
+            init.mlp = 24;
+            rt.setAccessMode(init, dist, AccessMode::ReadWrite);
+            init.trace = [dist](int wg, TraceSink &sink) {
+                const std::uint64_t r0 = std::uint64_t(wg) * kBlock;
+                streamLines(sink, dist.id, r0 * kRowLines,
+                            (r0 + kBlock) * kRowLines, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int k = 0; k < steps; ++k) {
+            const std::uint64_t kb = static_cast<std::uint64_t>(k);
+
+            // Phase 1+2 merged: pivot row/col panels (the pivot block
+            // row WG updates the row panel; every WG updates its own
+            // block in the pivot column).
+            KernelDesc panel;
+            panel.name = "fw_panel";
+            panel.numWgs = kWgs;
+            panel.mlp = 12;
+            panel.computeCyclesPerWg = 128;
+            // Reads and writes cross block rows (the pivot row is read
+            // by everyone): conservative full-range annotation.
+            rt.setAccessMode(panel, dist, AccessMode::ReadWrite,
+                             RangeKind::Full);
+            panel.trace = [dist, kb](int wg, TraceSink &sink) {
+                const std::uint64_t r0 = std::uint64_t(wg) * kBlock;
+                if (std::uint64_t(wg) == kb) {
+                    // Pivot block row: update the whole row panel
+                    // (includes the pivot block itself).
+                    streamLines(sink, dist.id, r0 * kRowLines,
+                                (r0 + kBlock) * kRowLines, true);
+                } else {
+                    // Update own block in the pivot column panel (the
+                    // pivot-block read is served from the previous
+                    // step's copy; keeping it out of the trace avoids
+                    // an in-kernel race at line granularity).
+                    touchBlock(sink, dist.id, r0, kb * kBlock, true);
+                }
+            };
+            rt.launchKernel(std::move(panel));
+
+            // Phase 3: trailing update — each WG updates its block row
+            // using the pivot row panel and its own pivot-column block.
+            KernelDesc update;
+            update.name = "fw_update";
+            update.numWgs = kWgs;
+            update.mlp = 12;
+            update.computeCyclesPerWg = 256;
+            rt.setAccessMode(update, dist, AccessMode::ReadWrite,
+                             RangeKind::Full);
+            update.trace = [dist, kb](int wg, TraceSink &sink) {
+                if (std::uint64_t(wg) == kb)
+                    return; // the pivot row panel is not updated
+                const std::uint64_t r0 = std::uint64_t(wg) * kBlock;
+                // Read the pivot row panel (remote for most WGs).
+                streamLines(sink, dist.id, kb * kBlock * kRowLines,
+                            (kb * kBlock + kBlock) * kRowLines, false);
+                // Read own pivot-column block, update own block row.
+                touchBlock(sink, dist.id, r0, kb * kBlock, false);
+                streamLines(sink, dist.id, r0 * kRowLines,
+                            (r0 + kBlock) * kRowLines, true);
+            };
+            rt.launchKernel(std::move(update));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFw()
+{
+    return std::make_unique<Fw>();
+}
+
+} // namespace cpelide

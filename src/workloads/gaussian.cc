@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Gaussian (Rodinia) — Gaussian elimination, 256x256 matrix.
+ *
+ * Modeling notes:
+ *  - 255 row-elimination steps x 2 kernels (Fan1 scales the pivot
+ *    column, Fan2 updates the trailing submatrix) = 510 dynamic
+ *    kernels — the paper's maximum dynamic-kernel count;
+ *  - tiny working set (256 KB) and short kernels: per-kernel CP and
+ *    synchronization overheads dominate and ample MLP hides the
+ *    misses, so CPElide is roughly performance-neutral here (paper);
+ *  - WGs map to absolute rows, keeping each chiplet's slice stable.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kN = 256;
+constexpr std::uint64_t kRowLines = kN * 4 / kLineBytes; // 16 lines/row
+constexpr int kWgs = 64; // 4 rows per WG
+
+class Gaussian : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"Gaussian", "Rodinia", true, "256x256 matrix"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const DevArray a = rt.malloc("a", kN * kN * 4);
+        const DevArray m = rt.malloc("m", kN * kN * 4);
+        const DevArray b = rt.malloc("b", kN * 4);
+        const int steps = scaled(static_cast<int>(kN) - 1, scale);
+
+        // First touch: row-partitioned homes for both matrices.
+        {
+            KernelDesc init;
+            init.name = "gaussian_init";
+            init.numWgs = kWgs;
+            init.mlp = 24;
+            rt.setAccessMode(init, a, AccessMode::ReadWrite);
+            rt.setAccessMode(init, m, AccessMode::ReadWrite);
+            init.trace = [a, m](int wg, TraceSink &sink) {
+                const auto [lo, hi] =
+                    wgSlice(kN * kRowLines, wg, kWgs);
+                streamLines(sink, a.id, lo, hi, true);
+                streamLines(sink, m.id, lo, hi, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int t = 0; t < steps; ++t) {
+            const std::uint64_t piv = static_cast<std::uint64_t>(t);
+
+            // Fan1: m[i][t] = a[i][t] / a[t][t] for rows i > t.
+            KernelDesc fan1;
+            fan1.name = "fan1";
+            fan1.numWgs = kWgs;
+            fan1.mlp = 16;
+            fan1.computeCyclesPerWg = 32;
+            rt.setAccessMode(fan1, a, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(fan1, m, AccessMode::ReadWrite);
+            fan1.trace = [a, m, piv](int wg, TraceSink &sink) {
+                const std::uint64_t rLo = std::uint64_t(wg) * kN / kWgs;
+                const std::uint64_t rHi =
+                    std::uint64_t(wg + 1) * kN / kWgs;
+                const std::uint64_t pivLine = piv * 4 / kLineBytes;
+                for (std::uint64_t r = std::max(rLo, piv + 1); r < rHi;
+                     ++r) {
+                    sink.touch(a.id, r * kRowLines + pivLine, false);
+                    sink.touch(m.id, r * kRowLines + pivLine, true);
+                }
+            };
+            rt.launchKernel(std::move(fan1));
+
+            // Fan2: trailing submatrix update using the pivot row.
+            KernelDesc fan2;
+            fan2.name = "fan2";
+            fan2.numWgs = kWgs;
+            fan2.mlp = 16;
+            fan2.computeCyclesPerWg = 64;
+            rt.setAccessMode(fan2, m, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(fan2, a, AccessMode::ReadWrite,
+                             RangeKind::Full);
+            rt.setAccessMode(fan2, b, AccessMode::ReadWrite);
+            const std::uint64_t bLines = b.numLines();
+            fan2.trace = [a, m, b, piv, bLines](int wg,
+                                                TraceSink &sink) {
+                const std::uint64_t rLo = std::uint64_t(wg) * kN / kWgs;
+                const std::uint64_t rHi =
+                    std::uint64_t(wg + 1) * kN / kWgs;
+                const std::uint64_t cLine = piv * 4 / kLineBytes;
+                // RHS update: one line in the WG's affine slice.
+                sink.touch(b.id, bLines * wg / kWgs, true);
+                // Everyone reads the pivot row's trailing part.
+                for (std::uint64_t l = cLine; l < kRowLines; ++l)
+                    sink.touch(a.id, piv * kRowLines + l, false);
+                for (std::uint64_t r = std::max(rLo, piv + 1); r < rHi;
+                     ++r) {
+                    sink.touch(m.id, r * kRowLines + cLine, false);
+                    for (std::uint64_t l = cLine; l < kRowLines; ++l)
+                        sink.touch(a.id, r * kRowLines + l, true);
+                }
+            };
+            rt.launchKernel(std::move(fan2));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGaussian()
+{
+    return std::make_unique<Gaussian>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic synthetic CSR graph for the Pannotia/Rodinia graph
+ * workloads (BFS, SSSP, Color-max).
+ *
+ * Stands in for the paper's graph inputs (graph128k.txt, AK.gr):
+ * degree-skewed, with a locality knob controlling what fraction of
+ * edges stay near the source node. Low locality => many remote
+ * accesses under first-touch placement, the regime where the paper
+ * reports HMG suffering from invalidation traffic.
+ */
+
+#ifndef CPELIDE_WORKLOADS_GRAPH_HH
+#define CPELIDE_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace cpelide
+{
+
+/** Compressed-sparse-row graph. */
+struct CsrGraph
+{
+    std::uint32_t numNodes = 0;
+    std::vector<std::uint32_t> rowOffsets; //!< numNodes + 1
+    std::vector<std::uint32_t> cols;       //!< neighbor node ids
+
+    std::uint32_t numEdges() const
+    {
+        return static_cast<std::uint32_t>(cols.size());
+    }
+
+    /**
+     * Build a graph with @p avg_degree edges per node (skewed 1x-3x)
+     * where @p locality of the edges land within +/- numNodes/16 of
+     * the source.
+     */
+    static std::shared_ptr<CsrGraph>
+    synthesize(std::uint32_t num_nodes, std::uint32_t avg_degree,
+               double locality, std::uint64_t seed)
+    {
+        auto g = std::make_shared<CsrGraph>();
+        g->numNodes = num_nodes;
+        g->rowOffsets.reserve(num_nodes + 1);
+        g->rowOffsets.push_back(0);
+        Rng rng(seed);
+        const std::uint32_t window = num_nodes / 16 + 1;
+        for (std::uint32_t u = 0; u < num_nodes; ++u) {
+            const std::uint32_t degree = static_cast<std::uint32_t>(
+                rng.range(avg_degree / 2 + 1, avg_degree * 3 / 2 + 1));
+            for (std::uint32_t e = 0; e < degree; ++e) {
+                std::uint32_t v;
+                if (rng.chance(locality)) {
+                    const std::uint32_t off =
+                        static_cast<std::uint32_t>(rng.below(2 * window));
+                    v = (u + num_nodes + off - window) % num_nodes;
+                } else {
+                    v = static_cast<std::uint32_t>(rng.below(num_nodes));
+                }
+                g->cols.push_back(v);
+            }
+            g->rowOffsets.push_back(
+                static_cast<std::uint32_t>(g->cols.size()));
+        }
+        return g;
+    }
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_WORKLOADS_GRAPH_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * HACC (CORAL-2) — short-force particle kernel sequence.
+ *
+ * Modeling notes:
+ *  - five particle arrays of 3 MB each (~786K particles), streamed by
+ *    force/velocity/position kernels over two timesteps;
+ *  - high memory-level parallelism: latency from the boundary-sync
+ *    refetches is hidden, so CPElide helps little (paper groups HACC
+ *    with FW/Gaussian as "MLP hides the misses");
+ *  - neighbor-force gathers stay within a small window, so accesses
+ *    are nearly affine with a thin halo.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+class Hacc : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"HACC", "CORAL-2", true, "~786K particles, 2 steps"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        constexpr std::uint64_t kBytes = 3ull * 1024 * 1024;
+        constexpr int kWgs = 240;
+        const int steps = scaled(2, scale);
+
+        const DevArray pos = rt.malloc("pos", kBytes);
+        const DevArray vel = rt.malloc("vel", kBytes);
+        const DevArray acc = rt.malloc("acc", kBytes);
+        const DevArray mass = rt.malloc("mass", kBytes);
+        const DevArray grid = rt.malloc("grid", kBytes);
+        const std::uint64_t lines = pos.numLines();
+
+        // Init: affine first touch of the particle arrays.
+        {
+            KernelDesc init;
+            init.name = "hacc_init";
+            init.numWgs = kWgs;
+            init.mlp = 48;
+            for (const DevArray *arr : {&pos, &vel, &acc, &mass, &grid})
+                rt.setAccessMode(init, *arr, AccessMode::ReadWrite);
+            init.trace = [pos, vel, acc, mass, grid,
+                          lines](int wg, TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(lines, wg, kWgs);
+                for (DsId id :
+                     {pos.id, vel.id, acc.id, mass.id, grid.id})
+                    streamLines(sink, id, lo, hi, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int s = 0; s < steps; ++s) {
+            // Force kernel: gather neighbors (windowed), write acc.
+            KernelDesc force;
+            force.name = "hacc_force";
+            force.numWgs = kWgs;
+            force.mlp = 48;
+            force.computeCyclesPerWg = 512;
+            rt.setAccessMode(force, pos, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(force, mass, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(force, grid, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(force, acc, AccessMode::ReadWrite);
+            force.trace = [pos, mass, grid, acc, lines](int wg,
+                                                        TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(lines, wg, kWgs);
+                // Window: own slice plus one neighboring line each side.
+                const std::uint64_t wlo = lo > 0 ? lo - 1 : 0;
+                const std::uint64_t whi = hi < lines ? hi + 1 : lines;
+                streamLines(sink, pos.id, wlo, whi, false);
+                streamLines(sink, mass.id, lo, hi, false);
+                streamLines(sink, grid.id, lo, hi, false);
+                streamLines(sink, acc.id, lo, hi, true);
+            };
+            rt.launchKernel(std::move(force));
+
+            // Velocity update: vel += acc.
+            KernelDesc velk;
+            velk.name = "hacc_vel";
+            velk.numWgs = kWgs;
+            velk.mlp = 48;
+            velk.computeCyclesPerWg = 64;
+            rt.setAccessMode(velk, acc, AccessMode::ReadOnly);
+            rt.setAccessMode(velk, vel, AccessMode::ReadWrite);
+            velk.trace = [acc, vel, lines](int wg, TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(lines, wg, kWgs);
+                for (std::uint64_t l = lo; l < hi; ++l) {
+                    sink.touch(acc.id, l, false);
+                    sink.touch(vel.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(velk));
+
+            // Position update: pos += vel (pos becomes dirty for the
+            // next step's windowed gather -> a real producer/consumer
+            // halo across chiplets).
+            KernelDesc posk;
+            posk.name = "hacc_pos";
+            posk.numWgs = kWgs;
+            posk.mlp = 48;
+            posk.computeCyclesPerWg = 64;
+            rt.setAccessMode(posk, vel, AccessMode::ReadOnly);
+            rt.setAccessMode(posk, pos, AccessMode::ReadWrite);
+            posk.trace = [vel, pos, lines](int wg, TraceSink &sink) {
+                const auto [lo, hi] = wgSlice(lines, wg, kWgs);
+                for (std::uint64_t l = lo; l < hi; ++l) {
+                    sink.touch(vel.id, l, false);
+                    sink.touch(pos.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(posk));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHacc()
+{
+    return std::make_unique<Hacc>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hotspot (Rodinia) — 2D thermal stencil, 512x512, 20 iterations.
+ *
+ * Modeling notes:
+ *  - compute-bound: large per-WG ALU cost and LDS traffic dominate,
+ *    so faster LDS loading via L2 hits barely moves the needle
+ *    (paper: Hotspot is "bottlenecked by compute stalls");
+ *  - ping-pong temperature arrays + read-only power array, row
+ *    partitioned with one halo row exchanged at chiplet boundaries.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kGrid = 512;
+constexpr std::uint64_t kRowLines = kGrid * 4 / kLineBytes; // 32
+constexpr int kWgs = 128; // 4 rows per WG
+
+class Hotspot : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"Hotspot", "Rodinia", true,
+                "512x512 grid, 20 iterations"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const std::uint64_t bytes = kGrid * kGrid * 4;
+        const DevArray tempA = rt.malloc("temp_a", bytes);
+        const DevArray tempB = rt.malloc("temp_b", bytes);
+        const DevArray power = rt.malloc("power", bytes);
+        const int iterations = scaled(20, scale);
+
+        // Init: affine first touch (see hotspot3d.cc).
+        {
+            KernelDesc init;
+            init.name = "hotspot_init";
+            init.numWgs = kWgs;
+            init.mlp = 32;
+            rt.setAccessMode(init, tempA, AccessMode::ReadWrite);
+            rt.setAccessMode(init, tempB, AccessMode::ReadWrite);
+            rt.setAccessMode(init, power, AccessMode::ReadWrite);
+            init.trace = [tempA, tempB, power](int wg, TraceSink &sink) {
+                const std::uint64_t lo =
+                    kGrid * kRowLines * std::uint64_t(wg) / kWgs;
+                const std::uint64_t hi =
+                    kGrid * kRowLines * std::uint64_t(wg + 1) / kWgs;
+                streamLines(sink, tempA.id, lo, hi, true);
+                streamLines(sink, tempB.id, lo, hi, true);
+                streamLines(sink, power.id, lo, hi, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int it = 0; it < iterations; ++it) {
+            const DevArray &src = (it % 2 == 0) ? tempA : tempB;
+            const DevArray &dst = (it % 2 == 0) ? tempB : tempA;
+
+            KernelDesc k;
+            k.name = "hotspot_step";
+            k.numWgs = kWgs;
+            k.mlp = 8;
+            // Compute-bound: ~6K ALU cycles per WG plus LDS traffic.
+            k.computeCyclesPerWg = 6000;
+            k.ldsAccessesPerWg = 1024;
+            rt.setAccessMode(k, src, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k, power, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k, dst, AccessMode::ReadWrite);
+            k.trace = [src, dst, power](int wg, TraceSink &sink) {
+                const std::uint64_t rLo =
+                    std::uint64_t(wg) * kGrid / kWgs;
+                const std::uint64_t rHi =
+                    std::uint64_t(wg + 1) * kGrid / kWgs;
+                stencilRows(sink, src.id, kRowLines, kGrid, rLo, rHi,
+                            false);
+                stencilRows(sink, power.id, kRowLines, kGrid, rLo, rHi,
+                            false);
+                stencilRows(sink, dst.id, kRowLines, kGrid, rLo, rHi,
+                            true);
+            };
+            rt.launchKernel(std::move(k));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHotspot()
+{
+    return std::make_unique<Hotspot>();
+}
+
+} // namespace cpelide

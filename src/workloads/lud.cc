@@ -1,0 +1,188 @@
+/**
+ * @file
+ * LUD (Rodinia) — blocked LU decomposition, 512x512 matrix.
+ *
+ * Modeling notes:
+ *  - LDS-heavy with memory-bound load/store phases: the paper's best
+ *    case (+48%), with ~0% remote traffic because the block-row
+ *    partition is stable and the working set fits the LLC;
+ *  - WGs map to absolute block rows (idle below the pivot), so each
+ *    chiplet's slice of the matrix never moves;
+ *  - the matrix carries two annotations per kernel — its own
+ *    block-row slices (R/W, affine) and the pivot row panel (R,
+ *    explicit range) — the paper's "chiplet vector per range"
+ *    pattern, which turns the cross-chiplet pivot reads into cheap
+ *    releases instead of reuse-destroying invalidates.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kN = 512;
+constexpr std::uint64_t kBlock = 64;
+constexpr std::uint64_t kBlocks = kN / kBlock;
+constexpr std::uint64_t kRowLines = kN * 4 / kLineBytes; // 32
+constexpr int kWgs = static_cast<int>(kBlocks);
+
+void
+touchBlock(TraceSink &sink, DsId ds, std::uint64_t row, std::uint64_t col,
+           bool write)
+{
+    const std::uint64_t colLine = col * 4 / kLineBytes;
+    const std::uint64_t colLines = kBlock * 4 / kLineBytes;
+    for (std::uint64_t r = row; r < row + kBlock; ++r) {
+        for (std::uint64_t l = 0; l < colLines; ++l)
+            sink.touch(ds, r * kRowLines + colLine + l, write);
+    }
+}
+
+class Lud : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"LUD", "Rodinia", true, "512x512 matrix (512.dat)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const DevArray m = rt.malloc("matrix", kN * kN * 4);
+        const int steps = scaled(static_cast<int>(kBlocks), scale);
+
+        // First touch: block-row partition.
+        {
+            KernelDesc init;
+            init.name = "lud_init";
+            init.numWgs = kWgs;
+            init.mlp = 24;
+            rt.setAccessMode(init, m, AccessMode::ReadWrite);
+            init.trace = [m](int wg, TraceSink &sink) {
+                const std::uint64_t r0 = std::uint64_t(wg) * kBlock;
+                streamLines(sink, m.id, r0 * kRowLines,
+                            (r0 + kBlock) * kRowLines, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int k = 0; k < steps; ++k) {
+            const std::uint64_t kb = static_cast<std::uint64_t>(k);
+            const AddrRange pivotRow = {
+                m.base + kb * kBlock * kRowLines * kLineBytes,
+                m.base + (kb + 1) * kBlock * kRowLines * kLineBytes};
+
+            // Diagonal: factor the pivot block (pivot WG only).
+            KernelDesc diag;
+            diag.name = "lud_diagonal";
+            diag.numWgs = kWgs;
+            diag.mlp = 8;
+            diag.computeCyclesPerWg = 64;
+            diag.ldsAccessesPerWg = 512;
+            rt.setAccessMode(diag, m, AccessMode::ReadWrite);
+            diag.trace = [m, kb](int wg, TraceSink &sink) {
+                if (std::uint64_t(wg) != kb)
+                    return;
+                touchBlock(sink, m.id, kb * kBlock, kb * kBlock, false);
+                touchBlock(sink, m.id, kb * kBlock, kb * kBlock, true);
+            };
+            rt.launchKernel(std::move(diag));
+
+            // Perimeter: pivot WG updates its row panel; WGs below
+            // update their pivot-column block.
+            KernelDesc peri;
+            peri.name = "lud_perimeter";
+            peri.numWgs = kWgs;
+            peri.mlp = 8;
+            peri.computeCyclesPerWg = 192;
+            peri.ldsAccessesPerWg = 1024;
+            rt.setAccessMode(peri, m, AccessMode::ReadWrite);
+            {
+                std::vector<AddrRange> pivotReads(
+                    static_cast<std::size_t>(
+                        rt.gpu().config().numChiplets),
+                    pivotRow);
+                rt.setAccessModeRange(peri, m, AccessMode::ReadOnly,
+                                      std::move(pivotReads));
+            }
+            peri.trace = [m, kb](int wg, TraceSink &sink) {
+                const std::uint64_t r0 = std::uint64_t(wg) * kBlock;
+                if (std::uint64_t(wg) == kb) {
+                    // Row panel: trailing blocks only (the diagonal
+                    // block was factored by the previous kernel and is
+                    // being read by the column-panel WGs right now).
+                    for (std::uint64_t r = r0; r < r0 + kBlock; ++r) {
+                        for (std::uint64_t l = (kb + 1) * kBlock * 4 /
+                                               kLineBytes;
+                             l < kRowLines; ++l) {
+                            sink.touch(m.id, r * kRowLines + l, true);
+                        }
+                    }
+                } else if (std::uint64_t(wg) > kb) {
+                    touchBlock(sink, m.id, kb * kBlock, kb * kBlock,
+                               false); // read pivot block
+                    touchBlock(sink, m.id, r0, kb * kBlock, true);
+                }
+            };
+            rt.launchKernel(std::move(peri));
+
+            // Internal: trailing blocks update from the two panels.
+            KernelDesc inner;
+            inner.name = "lud_internal";
+            inner.numWgs = kWgs;
+            inner.mlp = 8;
+            inner.computeCyclesPerWg = 320;
+            inner.ldsAccessesPerWg = 2048;
+            rt.setAccessMode(inner, m, AccessMode::ReadWrite);
+            {
+                std::vector<AddrRange> pivotReads(
+                    static_cast<std::size_t>(
+                        rt.gpu().config().numChiplets),
+                    pivotRow);
+                rt.setAccessModeRange(inner, m, AccessMode::ReadOnly,
+                                      std::move(pivotReads));
+            }
+            inner.trace = [m, kb](int wg, TraceSink &sink) {
+                const std::uint64_t r0 = std::uint64_t(wg) * kBlock;
+                if (std::uint64_t(wg) <= kb)
+                    return;
+                // Read the pivot row panel's trailing part.
+                for (std::uint64_t r = kb * kBlock;
+                     r < (kb + 1) * kBlock; ++r) {
+                    for (std::uint64_t l = (kb + 1) * kBlock * 4 /
+                                           kLineBytes;
+                         l < kRowLines; ++l) {
+                        sink.touch(m.id, r * kRowLines + l, false);
+                    }
+                }
+                // Read own column block; update own trailing row band.
+                touchBlock(sink, m.id, r0, kb * kBlock, false);
+                for (std::uint64_t r = r0; r < r0 + kBlock; ++r) {
+                    for (std::uint64_t l = (kb + 1) * kBlock * 4 /
+                                           kLineBytes;
+                         l < kRowLines; ++l) {
+                        sink.touch(m.id, r * kRowLines + l, true);
+                    }
+                }
+            };
+            rt.launchKernel(std::move(inner));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLud()
+{
+    return std::make_unique<Lud>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * LULESH (CORAL-2) — unstructured shock hydrodynamics mini-app.
+ *
+ * Modeling notes:
+ *  - indirect element->node gathers through a read-only connectivity
+ *    array (1 MB) that is re-read every kernel: the reuse CPElide
+ *    preserves (paper: +16%);
+ *  - node coordinates ping-pong: read by everyone through gathers
+ *    (RO + Full), written affinely — so CPElide issues releases but
+ *    no invalidates;
+ *  - the gather window is moderately wide, creating the irregular
+ *    remote reads that flood HMG with invalidation traffic (paper:
+ *    CPElide beats HMG by 33% here).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kElems = 64 * 1024;
+constexpr std::uint64_t kNodes = 64 * 1024;
+constexpr int kWgs = 240;
+
+/** Deterministic gather target for (element, slot). */
+inline std::uint64_t
+gatherNode(std::uint64_t e, int slot)
+{
+    std::uint64_t h = (e << 4) ^ static_cast<std::uint64_t>(slot);
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    // 80% within a +/- kNodes/32 window, 20% anywhere.
+    if ((h & 0xf) < 13) {
+        const std::uint64_t window = kNodes / 32;
+        return (e + kNodes + (h % (2 * window)) - window) % kNodes;
+    }
+    return h % kNodes;
+}
+
+class Lulesh : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"Lulesh", "CORAL-2", true, "~64K elements, 8 steps"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const DevArray conn = rt.malloc("connectivity", kElems * 16);
+        const DevArray posA = rt.malloc("pos_a", kNodes * 8);
+        const DevArray posB = rt.malloc("pos_b", kNodes * 8);
+        const DevArray force = rt.malloc("node_force", kNodes * 8);
+        const DevArray evol = rt.malloc("elem_volume", kElems * 8);
+        const std::uint64_t nodeLines = posA.numLines();
+        const std::uint64_t elemLines = evol.numLines();
+        const int steps = scaled(8, scale);
+
+        // Init: affine first touch for the node/element arrays.
+        {
+            KernelDesc init;
+            init.name = "lulesh_init";
+            init.numWgs = kWgs;
+            init.mlp = 24;
+            rt.setAccessMode(init, posA, AccessMode::ReadWrite);
+            rt.setAccessMode(init, posB, AccessMode::ReadWrite);
+            rt.setAccessMode(init, force, AccessMode::ReadWrite);
+            rt.setAccessMode(init, evol, AccessMode::ReadWrite);
+            init.trace = [posA, posB, force, evol, nodeLines,
+                          elemLines](int wg, TraceSink &sink) {
+                const auto [nlo, nhi] = wgSlice(nodeLines, wg, kWgs);
+                streamLines(sink, posA.id, nlo, nhi, true);
+                streamLines(sink, posB.id, nlo, nhi, true);
+                streamLines(sink, force.id, nlo, nhi, true);
+                const auto [elo, ehi] = wgSlice(elemLines, wg, kWgs);
+                streamLines(sink, evol.id, elo, ehi, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int s = 0; s < steps; ++s) {
+            const DevArray &posIn = (s % 2 == 0) ? posA : posB;
+            const DevArray &posOut = (s % 2 == 0) ? posB : posA;
+
+            // CalcVolumeForElems: gather node positions per element.
+            KernelDesc vol;
+            vol.name = "calc_volume";
+            vol.numWgs = kWgs;
+            vol.mlp = 8;
+            vol.computeCyclesPerWg = 256;
+            rt.setAccessMode(vol, conn, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(vol, posIn, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(vol, evol, AccessMode::ReadWrite);
+            vol.trace = [conn, posIn, evol, elemLines](
+                            int wg, TraceSink &sink) {
+                // Iterate at line granularity: one evol line covers 8
+                // elements and two connectivity lines.
+                const auto [elo, ehi] = wgSlice(elemLines, wg, kWgs);
+                for (std::uint64_t l = elo; l < ehi; ++l) {
+                    sink.touch(conn.id, 2 * l, false);
+                    sink.touch(conn.id, 2 * l + 1, false);
+                    for (int slot = 0; slot < 3; ++slot) {
+                        const std::uint64_t n = gatherNode(l * 8, slot);
+                        sink.touch(posIn.id, n / 8, false);
+                    }
+                    sink.touch(evol.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(vol));
+
+            // CalcForceForNodes: own-slice streams.
+            KernelDesc fk;
+            fk.name = "calc_force";
+            fk.numWgs = kWgs;
+            fk.mlp = 12;
+            fk.computeCyclesPerWg = 192;
+            rt.setAccessMode(fk, evol, AccessMode::ReadOnly);
+            rt.setAccessMode(fk, force, AccessMode::ReadWrite);
+            fk.trace = [evol, force, nodeLines, elemLines](
+                           int wg, TraceSink &sink) {
+                const auto [elo, ehi] = wgSlice(elemLines, wg, kWgs);
+                streamLines(sink, evol.id, elo, ehi, false);
+                const auto [nlo, nhi] = wgSlice(nodeLines, wg, kWgs);
+                streamLines(sink, force.id, nlo, nhi, true);
+            };
+            rt.launchKernel(std::move(fk));
+
+            // UpdatePositions: posOut = posIn + dt * force (affine).
+            KernelDesc up;
+            up.name = "update_pos";
+            up.numWgs = kWgs;
+            up.mlp = 12;
+            up.computeCyclesPerWg = 96;
+            rt.setAccessMode(up, posIn, AccessMode::ReadOnly);
+            rt.setAccessMode(up, force, AccessMode::ReadOnly);
+            rt.setAccessMode(up, posOut, AccessMode::ReadWrite);
+            up.trace = [posIn, posOut, force, nodeLines](
+                           int wg, TraceSink &sink) {
+                const auto [nlo, nhi] = wgSlice(nodeLines, wg, kWgs);
+                for (std::uint64_t l = nlo; l < nhi; ++l) {
+                    sink.touch(posIn.id, l, false);
+                    sink.touch(force.id, l, false);
+                    sink.touch(posOut.id, l, true);
+                }
+            };
+            rt.launchKernel(std::move(up));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLulesh()
+{
+    return std::make_unique<Lulesh>();
+}
+
+} // namespace cpelide

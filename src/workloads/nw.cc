@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Needleman-Wunsch (Rodinia) — diagonal-wavefront sequence alignment.
+ *
+ * Modeling notes:
+ *  - 2048x2048 score matrix + reference matrix (16 MB each), swept as
+ *    64x64 blocks along anti-diagonals: 2 x 31 wavefront kernels;
+ *  - every block is processed exactly once and the per-kernel working
+ *    set moves each step: essentially no inter-kernel reuse (paper's
+ *    low-reuse group; Baseline ~= CPElide);
+ *  - the block row above is produced by a different WG/chiplet, so
+ *    the score matrix is annotated Full (conservative).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kN = 2048;
+constexpr std::uint64_t kBlock = 64;
+constexpr std::uint64_t kBlocks = kN / kBlock; // 32
+constexpr std::uint64_t kRowLines = kN * 4 / kLineBytes; // 128
+constexpr int kWgs = static_cast<int>(kBlocks);
+
+void
+touchBlock(TraceSink &sink, DsId ds, std::uint64_t brow,
+           std::uint64_t bcol, bool write)
+{
+    const std::uint64_t colLine = bcol * kBlock * 4 / kLineBytes;
+    const std::uint64_t colLines = kBlock * 4 / kLineBytes;
+    for (std::uint64_t r = brow * kBlock; r < (brow + 1) * kBlock; ++r) {
+        for (std::uint64_t l = 0; l < colLines; ++l)
+            sink.touch(ds, r * kRowLines + colLine + l, write);
+    }
+}
+
+class Nw : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"NW", "Rodinia", false, "2048x2048 (8192 10)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const DevArray score = rt.malloc("score", kN * kN * 4);
+        const DevArray ref = rt.malloc("reference", kN * kN * 4);
+        const int diags = scaled(static_cast<int>(kBlocks), scale);
+
+        // Forward then backward wavefronts (Rodinia's two loops).
+        for (int dir = 0; dir < 2; ++dir) {
+            for (int d = 0; d < diags; ++d) {
+                const std::uint64_t diag =
+                    dir == 0 ? static_cast<std::uint64_t>(d)
+                             : static_cast<std::uint64_t>(diags - 1 - d);
+                KernelDesc k;
+                k.name = dir == 0 ? "nw_forward" : "nw_backward";
+                k.numWgs = kWgs;
+                k.mlp = 10;
+                k.computeCyclesPerWg = 384;
+                k.ldsAccessesPerWg = 2048;
+                rt.setAccessMode(k, ref, AccessMode::ReadOnly,
+                                 RangeKind::Full);
+                rt.setAccessMode(k, score, AccessMode::ReadWrite,
+                                 RangeKind::Full);
+                k.trace = [score, ref, diag](int wg, TraceSink &sink) {
+                    // WG i handles block (i, diag - i) if on the
+                    // diagonal.
+                    const std::uint64_t i = static_cast<std::uint64_t>(wg);
+                    if (i > diag || diag - i >= kBlocks)
+                        return;
+                    const std::uint64_t j = diag - i;
+                    touchBlock(sink, ref.id, i, j, false);
+                    // Read halo from the block above (previous diag).
+                    if (i > 0)
+                        touchBlock(sink, score.id, i - 1, j, false);
+                    touchBlock(sink, score.id, i, j, true);
+                };
+                rt.launchKernel(std::move(k));
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNw()
+{
+    return std::make_unique<Nw>();
+}
+
+} // namespace cpelide

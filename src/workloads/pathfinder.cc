@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pathfinder (Rodinia) — dynamic-programming grid walk (200000x100).
+ *
+ * Modeling notes:
+ *  - each step consumes five fresh wall rows (read once, never again)
+ *    plus a small ping-pong result row: the textbook low-reuse
+ *    streaming workload (Baseline ~= CPElide, paper);
+ *  - column-partitioned and perfectly affine.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kCols = 65536;
+constexpr std::uint64_t kRows = 100;
+constexpr std::uint64_t kRowLines = kCols * 4 / kLineBytes; // 4096
+constexpr int kWgs = 240;
+constexpr int kPyramidHeight = 5;
+
+class Pathfinder : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"Pathfinder", "Rodinia", false, "200000 100 20 (scaled)"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const DevArray wall =
+            rt.malloc("wall", kRows * kRowLines * kLineBytes);
+        const DevArray resA = rt.malloc("result_a", kCols * 4);
+        const DevArray resB = rt.malloc("result_b", kCols * 4);
+        const int steps =
+            scaled(static_cast<int>(kRows) / kPyramidHeight, scale);
+
+        for (int s = 0; s < steps; ++s) {
+            const DevArray &src = (s % 2 == 0) ? resA : resB;
+            const DevArray &dst = (s % 2 == 0) ? resB : resA;
+            const std::uint64_t row0 =
+                static_cast<std::uint64_t>(s) * kPyramidHeight;
+
+            KernelDesc k;
+            k.name = "dynproc_kernel";
+            k.numWgs = kWgs;
+            k.mlp = 20;
+            k.computeCyclesPerWg = 160;
+            k.ldsAccessesPerWg = 512;
+            // The wall is consumed in row windows x column slices —
+            // not an affine slice of the whole allocation (and never
+            // written, so Full costs nothing).
+            rt.setAccessMode(k, wall, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            rt.setAccessMode(k, src, AccessMode::ReadOnly);
+            rt.setAccessMode(k, dst, AccessMode::ReadWrite);
+            k.trace = [wall, src, dst, row0](int wg, TraceSink &sink) {
+                const auto [cLo, cHi] = wgSlice(kRowLines, wg, kWgs);
+                for (int r = 0; r < kPyramidHeight; ++r) {
+                    streamLines(sink, wall.id,
+                                (row0 + r) * kRowLines + cLo,
+                                (row0 + r) * kRowLines + cHi, false);
+                }
+                streamLines(sink, src.id, cLo, cHi, false);
+                streamLines(sink, dst.id, cLo, cHi, true);
+            };
+            rt.launchKernel(std::move(k));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePathfinder()
+{
+    return std::make_unique<Pathfinder>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Access-pattern primitives shared by the workload generators.
+ *
+ * All traces operate at cache-line granularity: a wavefront's coalesced
+ * touch of 64 consecutive bytes is one trace event. Helpers here cover
+ * the recurring GPGPU shapes: contiguous streaming, strided/tiled
+ * walks, 2D/3D stencils, and WG-to-slice partitioning.
+ */
+
+#ifndef CPELIDE_WORKLOADS_PATTERNS_HH
+#define CPELIDE_WORKLOADS_PATTERNS_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "cp/kernel.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Lines [lo, hi) of a structure assigned to @p wg of @p num_wgs. */
+inline std::pair<std::uint64_t, std::uint64_t>
+wgSlice(std::uint64_t total_lines, int wg, int num_wgs)
+{
+    const std::uint64_t lo =
+        total_lines * static_cast<std::uint64_t>(wg) / num_wgs;
+    const std::uint64_t hi =
+        total_lines * static_cast<std::uint64_t>(wg + 1) / num_wgs;
+    return {lo, hi};
+}
+
+/** Touch every line of [lo, hi) once. */
+inline void
+streamLines(TraceSink &sink, DsId ds, std::uint64_t lo, std::uint64_t hi,
+            bool write)
+{
+    for (std::uint64_t l = lo; l < hi; ++l)
+        sink.touch(ds, l, write);
+}
+
+/** Touch every @p stride-th line of [lo, hi) once. */
+inline void
+strideLines(TraceSink &sink, DsId ds, std::uint64_t lo, std::uint64_t hi,
+            std::uint64_t stride, bool write)
+{
+    for (std::uint64_t l = lo; l < hi; l += stride)
+        sink.touch(ds, l, write);
+}
+
+/**
+ * Read a row-major 2D region with its vertical halo (a 5-point 2D
+ * stencil's input footprint). Rows are @p row_lines lines wide; the WG
+ * owns rows [row_lo, row_hi) and additionally reads one halo row on
+ * each side (clamped).
+ */
+inline void
+stencilRows(TraceSink &sink, DsId ds, std::uint64_t row_lines,
+            std::uint64_t num_rows, std::uint64_t row_lo,
+            std::uint64_t row_hi, bool write)
+{
+    const std::uint64_t lo = row_lo > 0 ? row_lo - 1 : 0;
+    const std::uint64_t hi = row_hi < num_rows ? row_hi + 1 : num_rows;
+    for (std::uint64_t r = write ? row_lo : lo;
+         r < (write ? row_hi : hi); ++r) {
+        streamLines(sink, ds, r * row_lines, (r + 1) * row_lines, write);
+    }
+}
+
+/** Rows [lo, hi) of a 2D structure assigned to @p wg of @p num_wgs. */
+inline std::pair<std::uint64_t, std::uint64_t>
+wgRowSlice(std::uint64_t num_rows, int wg, int num_wgs)
+{
+    return wgSlice(num_rows, wg, num_wgs);
+}
+
+/**
+ * Explicit per-chiplet byte ranges for a row-sliced 2D access pattern
+ * (for hipSetAccessModeRange): chiplet boundaries land exactly on the
+ * rows the WG partition produces, which a line-proportional affine
+ * annotation cannot express when rows * wgEnd / numWgs does not divide
+ * evenly. Mirrors partitionWgs' contiguous ceil-division chunks.
+ */
+inline std::vector<AddrRange>
+rowSlicedRanges(const DevArray &arr, std::uint64_t num_rows,
+                std::uint64_t row_lines, int num_wgs, int num_chiplets)
+{
+    std::vector<AddrRange> out;
+    out.reserve(static_cast<std::size_t>(num_chiplets));
+    const int base = num_wgs / num_chiplets;
+    const int extra = num_wgs % num_chiplets;
+    int wg = 0;
+    for (int c = 0; c < num_chiplets; ++c) {
+        const int wgEnd = wg + base + (c < extra ? 1 : 0);
+        const std::uint64_t rLo = num_rows * std::uint64_t(wg) / num_wgs;
+        const std::uint64_t rHi =
+            num_rows * std::uint64_t(wgEnd) / num_wgs;
+        out.push_back(arr.lineRange(rLo * row_lines, rHi * row_lines));
+        wg = wgEnd;
+    }
+    return out;
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_WORKLOADS_PATTERNS_HH

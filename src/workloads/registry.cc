@@ -1,0 +1,64 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+#include "workloads/suite.hh"
+
+namespace cpelide
+{
+
+const std::vector<WorkloadFactory> &
+allWorkloadFactories()
+{
+    // Table II order: moderate-to-high reuse group, then low reuse.
+    static const std::vector<WorkloadFactory> factories = {
+        makeBabelStream,
+        makeBackprop,
+        makeBfs,
+        makeColorMax,
+        makeFw,
+        makeGaussian,
+        makeHacc,
+        makeHotspot3D,
+        makeHotspot,
+        makeLud,
+        makeLulesh,
+        makePennant,
+        makeRnnGruSmall,
+        makeRnnGruLarge,
+        makeRnnLstmSmall,
+        makeRnnLstmLarge,
+        makeSquare,
+        makeSssp,
+        makeBtree,
+        makeCnn,
+        makeDwt2d,
+        makeNw,
+        makePathfinder,
+        makeSradV2,
+    };
+    return factories;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (const WorkloadFactory &f : allWorkloadFactories()) {
+        auto w = f();
+        if (w->info().name == name)
+            return w;
+    }
+    fatal("unknown workload: " + name);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadFactory &f : allWorkloadFactories())
+        names.push_back(f()->info().name);
+    return names;
+}
+
+} // namespace cpelide

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * SRAD_v2 (Rodinia) — speckle-reducing anisotropic diffusion.
+ *
+ * Modeling notes:
+ *  - six 6.25 MB arrays (image J, coefficient c, four directional
+ *    derivatives): the ~37 MB footprint exceeds the aggregate L2, so
+ *    the L2s thrash and there is little reuse to preserve (low-reuse
+ *    group, Baseline ~= CPElide);
+ *  - the many distinct lines cycled through HMG's directory cause
+ *    eviction/invalidation storms: the paper's "Baseline outperforms
+ *    HMG by ~15%" case (together with BTree);
+ *  - paper input runs exactly 2 iterations.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/patterns.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr std::uint64_t kDim = 1280;
+constexpr std::uint64_t kRowLines = kDim * 4 / kLineBytes; // 80
+constexpr int kWgs = 240;
+
+class SradV2 : public Workload
+{
+  public:
+    Info
+    info() const override
+    {
+        return {"SRAD_v2", "Rodinia", false, "1280x1280, 2 iterations"};
+    }
+
+    void
+    build(Runtime &rt, double scale) const override
+    {
+        const std::uint64_t bytes = kDim * kDim * 4;
+        const DevArray j = rt.malloc("J", bytes);
+        const DevArray c = rt.malloc("c", bytes);
+        const DevArray dN = rt.malloc("dN", bytes);
+        const DevArray dS = rt.malloc("dS", bytes);
+        const DevArray dE = rt.malloc("dE", bytes);
+        const DevArray dW = rt.malloc("dW", bytes);
+        const int iterations = scaled(2, scale);
+
+        // Init: affine first touch of all six arrays.
+        {
+            KernelDesc init;
+            init.name = "srad_init";
+            init.numWgs = kWgs;
+            init.mlp = 32;
+            for (const DevArray *arr : {&j, &c, &dN, &dS, &dE, &dW})
+                rt.setAccessMode(init, *arr, AccessMode::ReadWrite);
+            init.trace = [j, c, dN, dS, dE, dW](int wg,
+                                                TraceSink &sink) {
+                const std::uint64_t lo =
+                    kDim * kRowLines * std::uint64_t(wg) / kWgs;
+                const std::uint64_t hi =
+                    kDim * kRowLines * std::uint64_t(wg + 1) / kWgs;
+                for (DsId id : {j.id, c.id, dN.id, dS.id, dE.id, dW.id})
+                    streamLines(sink, id, lo, hi, true);
+            };
+            rt.launchKernel(std::move(init));
+        }
+
+        for (int it = 0; it < iterations; ++it) {
+            // Kernel 1: derivatives + diffusion coefficient.
+            KernelDesc k1;
+            k1.name = "srad_cuda_1";
+            k1.numWgs = kWgs;
+            k1.mlp = 24;
+            k1.computeCyclesPerWg = 256;
+            const int chiplets = rt.gpu().config().numChiplets;
+            rt.setAccessMode(k1, j, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            for (const DevArray *arr : {&dN, &dS, &dE, &dW, &c}) {
+                rt.setAccessModeRange(
+                    k1, *arr, AccessMode::ReadWrite,
+                    rowSlicedRanges(*arr, kDim, kRowLines, kWgs,
+                                    chiplets));
+            }
+            k1.trace = [j, c, dN, dS, dE, dW](int wg, TraceSink &sink) {
+                const std::uint64_t rLo = kDim * std::uint64_t(wg) / kWgs;
+                const std::uint64_t rHi =
+                    kDim * std::uint64_t(wg + 1) / kWgs;
+                stencilRows(sink, j.id, kRowLines, kDim, rLo, rHi,
+                            false);
+                for (std::uint64_t r = rLo; r < rHi; ++r) {
+                    streamLines(sink, dN.id, r * kRowLines,
+                                (r + 1) * kRowLines, true);
+                    streamLines(sink, dS.id, r * kRowLines,
+                                (r + 1) * kRowLines, true);
+                    streamLines(sink, dE.id, r * kRowLines,
+                                (r + 1) * kRowLines, true);
+                    streamLines(sink, dW.id, r * kRowLines,
+                                (r + 1) * kRowLines, true);
+                    streamLines(sink, c.id, r * kRowLines,
+                                (r + 1) * kRowLines, true);
+                }
+            };
+            rt.launchKernel(std::move(k1));
+
+            // Kernel 2: divergence + image update.
+            KernelDesc k2;
+            k2.name = "srad_cuda_2";
+            k2.numWgs = kWgs;
+            k2.mlp = 24;
+            k2.computeCyclesPerWg = 224;
+            rt.setAccessMode(k2, c, AccessMode::ReadOnly,
+                             RangeKind::Full);
+            for (const DevArray *arr : {&dN, &dS, &dE, &dW}) {
+                rt.setAccessModeRange(
+                    k2, *arr, AccessMode::ReadOnly,
+                    rowSlicedRanges(*arr, kDim, kRowLines, kWgs,
+                                    chiplets));
+            }
+            rt.setAccessModeRange(
+                k2, j, AccessMode::ReadWrite,
+                rowSlicedRanges(j, kDim, kRowLines, kWgs, chiplets));
+            k2.trace = [j, c, dN, dS, dE, dW](int wg, TraceSink &sink) {
+                const std::uint64_t rLo = kDim * std::uint64_t(wg) / kWgs;
+                const std::uint64_t rHi =
+                    kDim * std::uint64_t(wg + 1) / kWgs;
+                stencilRows(sink, c.id, kRowLines, kDim, rLo, rHi,
+                            false);
+                for (std::uint64_t r = rLo; r < rHi; ++r) {
+                    streamLines(sink, dN.id, r * kRowLines,
+                                (r + 1) * kRowLines, false);
+                    streamLines(sink, dS.id, r * kRowLines,
+                                (r + 1) * kRowLines, false);
+                    streamLines(sink, dE.id, r * kRowLines,
+                                (r + 1) * kRowLines, false);
+                    streamLines(sink, dW.id, r * kRowLines,
+                                (r + 1) * kRowLines, false);
+                    streamLines(sink, j.id, r * kRowLines,
+                                (r + 1) * kRowLines, true);
+                }
+            };
+            rt.launchKernel(std::move(k2));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSradV2()
+{
+    return std::make_unique<SradV2>();
+}
+
+} // namespace cpelide

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Factory declarations for the 24 Table-II workloads (one translation
+ * unit per workload; see each .cc for the modeling notes).
+ */
+
+#ifndef CPELIDE_WORKLOADS_SUITE_HH
+#define CPELIDE_WORKLOADS_SUITE_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace cpelide
+{
+
+// Moderate-to-high inter-kernel reuse (Table II, top group).
+std::unique_ptr<Workload> makeBabelStream();
+std::unique_ptr<Workload> makeBackprop();
+std::unique_ptr<Workload> makeBfs();
+std::unique_ptr<Workload> makeColorMax();
+std::unique_ptr<Workload> makeFw();
+std::unique_ptr<Workload> makeGaussian();
+std::unique_ptr<Workload> makeHacc();
+std::unique_ptr<Workload> makeHotspot3D();
+std::unique_ptr<Workload> makeHotspot();
+std::unique_ptr<Workload> makeLud();
+std::unique_ptr<Workload> makeLulesh();
+std::unique_ptr<Workload> makePennant();
+// Each RNN has the two Table-II input configurations; with them the
+// suite counts 24 benchmarks, matching the paper's "24 workloads".
+std::unique_ptr<Workload> makeRnnGruSmall();
+std::unique_ptr<Workload> makeRnnGruLarge();
+std::unique_ptr<Workload> makeRnnLstmSmall();
+std::unique_ptr<Workload> makeRnnLstmLarge();
+std::unique_ptr<Workload> makeSquare();
+std::unique_ptr<Workload> makeSssp();
+
+// Low inter-kernel reuse (Table II, bottom group).
+std::unique_ptr<Workload> makeBtree();
+std::unique_ptr<Workload> makeCnn();
+std::unique_ptr<Workload> makeDwt2d();
+std::unique_ptr<Workload> makeNw();
+std::unique_ptr<Workload> makePathfinder();
+std::unique_ptr<Workload> makeSradV2();
+
+} // namespace cpelide
+
+#endif // CPELIDE_WORKLOADS_SUITE_HH

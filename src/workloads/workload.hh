@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload interface and registry.
+ *
+ * Each of the paper's 24 Table-II applications is reproduced as a
+ * synthetic kernel-trace generator: the same kernel structure (count,
+ * iteration shape), data structures, footprint-to-L2 ratio, access
+ * pattern, compute/memory balance, and access-mode annotations as the
+ * real application, at a scale the simulator covers in seconds. The
+ * generators are deterministic: every configuration replays the exact
+ * same trace, so Baseline/HMG/CPElide comparisons are apples to
+ * apples.
+ */
+
+#ifndef CPELIDE_WORKLOADS_WORKLOAD_HH
+#define CPELIDE_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hh"
+
+namespace cpelide
+{
+
+/** A Table-II application. */
+class Workload
+{
+  public:
+    struct Info
+    {
+        std::string name;
+        /** Benchmark suite of the original ("Rodinia", "Pannotia"...). */
+        std::string suite;
+        /** Paper grouping: moderate-to-high inter-kernel reuse? */
+        bool highReuse = false;
+        /** Input configuration note (Table II column 2 analogue). */
+        std::string input;
+    };
+
+    virtual ~Workload() = default;
+
+    virtual Info info() const = 0;
+
+    /**
+     * Enqueue the whole application on @p rt.
+     * @param scale in (0, 1]: shrinks iteration counts (not
+     *        footprints) for quick runs; 1.0 reproduces the paper's
+     *        kernel counts.
+     */
+    virtual void build(Runtime &rt, double scale) const = 0;
+};
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>()>;
+
+/** All 24 Table-II workloads, in the paper's listing order. */
+const std::vector<WorkloadFactory> &allWorkloadFactories();
+
+/** Instantiate a workload by name; throws FatalError if unknown. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** Names of all workloads, paper order. */
+std::vector<std::string> workloadNames();
+
+/** Scale iteration counts like build()'s scale, never below 1. */
+inline int
+scaled(int iterations, double scale)
+{
+    const int n = static_cast<int>(iterations * scale);
+    return n < 1 ? 1 : n;
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_WORKLOADS_WORKLOAD_HH

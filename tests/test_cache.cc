@@ -1,0 +1,190 @@
+/** @file SetAssocCache unit + property tests. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+CacheGeometry
+smallGeom()
+{
+    return {8 * 1024, 4}; // 128 lines, 32 sets
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c("t", smallGeom());
+    std::uint32_t v = 0;
+    EXPECT_FALSE(c.probe(0x1000, &v));
+    c.insert(0x1000, 7, 0, 0, false, nullptr);
+    EXPECT_TRUE(c.probe(0x1000, &v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SubLineAddressesAlias)
+{
+    SetAssocCache c("t", smallGeom());
+    c.insert(0x1000, 3, 0, 0, false, nullptr);
+    EXPECT_TRUE(c.probe(0x103f));
+    EXPECT_FALSE(c.probe(0x1040));
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    SetAssocCache c("t", smallGeom());
+    const std::uint64_t setStride = 32 * kLineBytes; // same set
+    for (int i = 0; i < 4; ++i)
+        c.insert(i * setStride, i, 0, i, false, nullptr);
+    // Touch line 0 so line 1 becomes LRU.
+    EXPECT_TRUE(c.probe(0));
+    Evicted victim;
+    c.insert(4 * setStride, 4, 0, 4, false, &victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.addr, setStride);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(setStride));
+}
+
+TEST(Cache, DirtyCountingAndFlush)
+{
+    SetAssocCache c("t", smallGeom());
+    c.insert(0x0, 1, 0, 0, true, nullptr);
+    c.insert(0x40, 2, 0, 1, false, nullptr);
+    EXPECT_TRUE(c.writeHit(0x40, 3));
+    EXPECT_EQ(c.dirtyLines(), 2u);
+
+    std::map<Addr, std::uint32_t> flushed;
+    const auto n = c.flushAll(
+        [&](const Evicted &e) { flushed[e.addr] = e.version; });
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(c.dirtyLines(), 0u);
+    EXPECT_EQ(flushed[0x0], 1u);
+    EXPECT_EQ(flushed[0x40], 3u);
+    // Clean copies are retained after a flush.
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(Cache, FlushIsIdempotent)
+{
+    SetAssocCache c("t", smallGeom());
+    c.insert(0x0, 1, 0, 0, true, nullptr);
+    c.flushAll([](const Evicted &) {});
+    const auto n = c.flushAll([](const Evicted &) {
+        FAIL() << "second flush should write back nothing";
+    });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(Cache, InvalidateAllDropsEverything)
+{
+    SetAssocCache c("t", smallGeom());
+    for (int i = 0; i < 32; ++i)
+        c.insert(i * kLineBytes, i, 0, i, false, nullptr);
+    EXPECT_EQ(c.countValid(), 32u);
+    c.invalidateAll();
+    EXPECT_EQ(c.countValid(), 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, InvalidateAllWithDirtyLinesPanics)
+{
+    SetAssocCache c("t", smallGeom());
+    c.insert(0x0, 1, 0, 0, true, nullptr);
+    EXPECT_DEATH(c.invalidateAll(), "dirty");
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    SetAssocCache c("t", smallGeom());
+    const std::uint64_t setStride = 32 * kLineBytes;
+    for (int i = 0; i < 4; ++i)
+        c.insert(i * setStride, i, 1, i, true, nullptr);
+    Evicted victim;
+    c.insert(4 * setStride, 9, 1, 4, false, &victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_TRUE(victim.dirty);
+    EXPECT_EQ(victim.ds, 1);
+    EXPECT_EQ(c.dirtyLines(), 3u);
+}
+
+TEST(Cache, UpdateIfPresentDoesNotAllocate)
+{
+    SetAssocCache c("t", smallGeom());
+    EXPECT_FALSE(c.updateIfPresent(0x80, 5, false));
+    EXPECT_FALSE(c.probe(0x80));
+    c.insert(0x80, 1, 0, 2, false, nullptr);
+    EXPECT_TRUE(c.updateIfPresent(0x80, 5, false));
+    std::uint32_t v = 0;
+    EXPECT_TRUE(c.probe(0x80, &v));
+    EXPECT_EQ(v, 5u);
+    EXPECT_EQ(c.dirtyLines(), 0u);
+}
+
+TEST(Cache, ExtractLineRemovesAndReports)
+{
+    SetAssocCache c("t", smallGeom());
+    c.insert(0xc0, 4, 2, 3, true, nullptr);
+    Evicted e;
+    ASSERT_TRUE(c.extractLine(0xc0, &e));
+    EXPECT_TRUE(e.dirty);
+    EXPECT_EQ(e.version, 4u);
+    EXPECT_EQ(c.dirtyLines(), 0u);
+    EXPECT_FALSE(c.probe(0xc0));
+    EXPECT_FALSE(c.extractLine(0xc0, &e));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(SetAssocCache("bad", CacheGeometry{100, 3}),
+                 FatalError);
+    EXPECT_THROW(SetAssocCache("bad", CacheGeometry{0, 1}), FatalError);
+}
+
+/** Property: cache contents always mirror a reference map. */
+TEST(CacheProperty, MatchesReferenceModelUnderRandomOps)
+{
+    SetAssocCache c("t", smallGeom());
+    std::map<Addr, std::uint32_t> shadow; // golden versions inserted
+    Rng rng(123);
+    std::uint32_t version = 0;
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.below(512) * kLineBytes;
+        const auto op = rng.below(10);
+        if (op < 5) {
+            std::uint32_t v = 0;
+            if (c.probe(addr, &v)) {
+                ASSERT_TRUE(shadow.count(addr));
+                EXPECT_EQ(v, shadow[addr]) << "addr " << addr;
+            }
+        } else if (op < 8) {
+            c.insert(addr, ++version, 0,
+                     static_cast<std::uint32_t>(addr / kLineBytes),
+                     rng.chance(0.3), nullptr);
+            shadow[addr] = version;
+        } else if (op == 8) {
+            if (c.writeHit(addr, ++version))
+                shadow[addr] = version;
+        } else {
+            c.invalidateLine(addr);
+        }
+    }
+    // Every dirty line flushed must carry the last version written.
+    c.flushAll([&](const Evicted &e) {
+        ASSERT_TRUE(shadow.count(e.addr));
+        EXPECT_EQ(e.version, shadow[e.addr]);
+    });
+}
+
+} // namespace
+} // namespace cpelide

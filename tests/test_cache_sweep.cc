@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Parameterized property sweeps over cache geometries and the elide
+ * engine across chiplet counts — the TEST_P coverage for invariants
+ * that must hold at every configuration the benches use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/elide_engine.hh"
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Cache geometry sweep
+// ---------------------------------------------------------------------------
+
+struct Geom
+{
+    std::uint64_t sizeKb;
+    std::uint32_t assoc;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<Geom>
+{};
+
+TEST_P(CacheGeometrySweep, NeverExceedsCapacityAndStaysConsistent)
+{
+    const auto [sizeKb, assoc] = GetParam();
+    SetAssocCache c("sweep", CacheGeometry{sizeKb * 1024, assoc});
+    const std::uint64_t capacity = c.geometry().numLines();
+    std::map<Addr, std::uint32_t> shadow;
+    Rng rng(sizeKb * 131 + assoc);
+    std::uint32_t version = 0;
+
+    for (int i = 0; i < 8000; ++i) {
+        const Addr addr = rng.below(4 * capacity) * kLineBytes;
+        if (rng.chance(0.6)) {
+            Evicted victim;
+            c.insert(addr, ++version, 0,
+                     static_cast<std::uint32_t>(addr / kLineBytes),
+                     rng.chance(0.4), &victim);
+            shadow[addr] = version;
+            if (victim.valid)
+                shadow.erase(victim.addr);
+        } else {
+            std::uint32_t v = 0;
+            if (c.probe(addr, &v)) {
+                ASSERT_TRUE(shadow.count(addr));
+                EXPECT_EQ(v, shadow[addr]);
+            }
+        }
+        if (i % 1000 == 999) {
+            EXPECT_LE(c.countValid(), capacity);
+            EXPECT_LE(c.dirtyLines(), c.countValid());
+        }
+    }
+    // Flush + invalidate must drain to exactly zero.
+    c.flushAll([](const Evicted &) {});
+    EXPECT_EQ(c.dirtyLines(), 0u);
+    c.invalidateAll();
+    EXPECT_EQ(c.countValid(), 0u);
+}
+
+TEST_P(CacheGeometrySweep, FlushReportsEveryDirtyLineExactlyOnce)
+{
+    const auto [sizeKb, assoc] = GetParam();
+    SetAssocCache c("sweep", CacheGeometry{sizeKb * 1024, assoc});
+    Rng rng(sizeKb * 7 + assoc);
+    std::map<Addr, int> dirtied;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            rng.below(c.geometry().numLines()) * kLineBytes;
+        Evicted victim;
+        c.insert(addr, 1, 0, 0, true, &victim);
+        dirtied[addr] = 1;
+        if (victim.valid)
+            dirtied.erase(victim.addr);
+    }
+    std::map<Addr, int> flushed;
+    c.flushAll([&](const Evicted &e) { flushed[e.addr]++; });
+    EXPECT_EQ(flushed.size(), dirtied.size());
+    for (const auto &[addr, n] : flushed)
+        EXPECT_EQ(n, 1) << addr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Values(Geom{4, 1}, Geom{8, 2}, Geom{16, 4}, Geom{16, 16},
+                      Geom{64, 8}, Geom{256, 32}),
+    [](const ::testing::TestParamInfo<Geom> &info) {
+        return std::to_string(info.param.sizeKb) + "kb_" +
+               std::to_string(info.param.assoc) + "way";
+    });
+
+// ---------------------------------------------------------------------------
+// Elide engine sweep across chiplet counts
+// ---------------------------------------------------------------------------
+
+class EngineChipletSweep : public ::testing::TestWithParam<int>
+{};
+
+std::vector<AddrRange>
+affine(Addr base, Addr len, int n)
+{
+    std::vector<AddrRange> out;
+    for (int c = 0; c < n; ++c) {
+        out.push_back(
+            {base + len * c / n, base + len * (c + 1) / n});
+    }
+    return out;
+}
+
+TEST_P(EngineChipletSweep, StableAffineElidesAtEveryChipletCount)
+{
+    const int n = GetParam();
+    ElideEngine e(n, 8, 64);
+    LaunchDecl d;
+    for (int c = 0; c < n; ++c)
+        d.chiplets.push_back(c);
+    KernelArgAccess a;
+    a.span = {0x100000, 0x100000 + 0x40000};
+    a.mode = AccessMode::ReadWrite;
+    a.perChiplet = affine(a.span.lo, 0x40000, n);
+    d.args.push_back(a);
+
+    for (int k = 0; k < 6; ++k)
+        EXPECT_TRUE(e.onKernelLaunch(d).empty()) << "chiplets=" << n;
+    EXPECT_EQ(e.acquiresIssued() + e.releasesIssued(), 0u);
+}
+
+TEST_P(EngineChipletSweep, ProducerConsumerReleasesEveryProducer)
+{
+    const int n = GetParam();
+    ElideEngine e(n, 8, 64);
+    LaunchDecl w;
+    for (int c = 0; c < n; ++c)
+        w.chiplets.push_back(c);
+    KernelArgAccess a;
+    a.span = {0x100000, 0x100000 + 0x40000};
+    a.mode = AccessMode::ReadWrite;
+    a.perChiplet = affine(a.span.lo, 0x40000, n);
+    w.args.push_back(a);
+    e.onKernelLaunch(w);
+
+    LaunchDecl r = w;
+    r.args[0].mode = AccessMode::ReadOnly;
+    r.args[0].perChiplet.assign(static_cast<std::size_t>(n),
+                                r.args[0].span);
+    const SyncPlan p = e.onKernelLaunch(r);
+    EXPECT_TRUE(p.acquires.empty());
+    if (n == 1) {
+        // A single chiplet has no remote consumers: fully elided.
+        EXPECT_TRUE(p.releases.empty());
+    } else {
+        // Every chiplet whose slice covers at least one whole page was
+        // a producer with dirty data and must flush.
+        EXPECT_GE(p.releases.size(), 1u);
+        EXPECT_LE(p.releases.size(), static_cast<std::size_t>(n));
+    }
+}
+
+TEST_P(EngineChipletSweep, FinalBarrierReleasesAll)
+{
+    const int n = GetParam();
+    ElideEngine e(n, 8, 64);
+    EXPECT_EQ(e.finalBarrier().releases.size(),
+              static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chiplets, EngineChipletSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 7, 8, 16));
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,113 @@
+/** @file Chiplet Coherence Table unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "core/coherence_table.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(CoherenceTable, PaperSizingIsAbout2KB)
+{
+    // Section III-A: 8 DS x 8 kernels = 64 entries, ~2 KB total for a
+    // 4-chiplet system.
+    CoherenceTable t(4, 64);
+    EXPECT_EQ(t.capacity(), 64);
+    EXPECT_GE(t.hardwareBytes(), 1536u);
+    EXPECT_LE(t.hardwareBytes(), 2560u);
+}
+
+TEST(CoherenceTable, InsertFindErase)
+{
+    CoherenceTable t(4, 8);
+    t.insert({100, 200});
+    t.insert({300, 400});
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.findOverlapping({150, 160}), 0);
+    EXPECT_EQ(t.findOverlapping({350, 360}), 1);
+    EXPECT_EQ(t.findOverlapping({200, 300}), -1);
+    t.erase(0);
+    EXPECT_EQ(t.findOverlapping({350, 360}), 0);
+}
+
+TEST(CoherenceTable, FindFromSkipsEarlierRows)
+{
+    CoherenceTable t(2, 8);
+    t.insert({0, 100});
+    t.insert({50, 150});
+    EXPECT_EQ(t.findOverlapping({60, 70}, 0), 0);
+    EXPECT_EQ(t.findOverlapping({60, 70}, 1), 1);
+    EXPECT_EQ(t.findOverlapping({60, 70}, 2), -1);
+}
+
+TEST(CoherenceTable, InsertOnFullTablePanics)
+{
+    CoherenceTable t(2, 1);
+    t.insert({0, 10});
+    EXPECT_TRUE(t.full());
+    EXPECT_DEATH(t.insert({20, 30}), "full");
+}
+
+TEST(CoherenceTable, ReleaseCleansDirtyEverywhere)
+{
+    CoherenceTable t(2, 4);
+    t.insert({0, 10});
+    t.insert({20, 30});
+    t.rows()[0].state[0] = DsState::Dirty;
+    t.rows()[0].state[1] = DsState::Stale;
+    t.rows()[1].state[0] = DsState::Dirty;
+    t.applyRelease(0);
+    EXPECT_EQ(t.rows()[0].state[0], DsState::Valid);
+    EXPECT_EQ(t.rows()[1].state[0], DsState::Valid);
+    EXPECT_EQ(t.rows()[0].state[1], DsState::Stale); // other chiplet
+}
+
+TEST(CoherenceTable, AcquireResetsChipletInAllRows)
+{
+    CoherenceTable t(2, 4);
+    TableRow &a = t.insert({0, 10});
+    a.state[0] = DsState::Dirty;
+    a.state[1] = DsState::Valid;
+    a.range[0] = {0, 10};
+    t.applyAcquire(0);
+    EXPECT_EQ(t.rows()[0].state[0], DsState::NotPresent);
+    EXPECT_TRUE(t.rows()[0].range[0].empty());
+    EXPECT_EQ(t.rows()[0].state[1], DsState::Valid);
+}
+
+TEST(CoherenceTable, RemoveEmptyRowsDropsAllNotPresent)
+{
+    CoherenceTable t(2, 4);
+    t.insert({0, 10});
+    TableRow &b = t.insert({20, 30});
+    b.state[1] = DsState::Valid;
+    t.removeEmptyRows();
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.rows()[0].span.lo, 20u);
+}
+
+TEST(CoherenceTable, MaxEntriesHighWaterMark)
+{
+    CoherenceTable t(2, 8);
+    t.insert({0, 10});
+    t.insert({20, 30});
+    t.erase(0);
+    t.insert({40, 50});
+    EXPECT_EQ(t.maxEntries(), 2u);
+}
+
+TEST(CoherenceTable, EffectiveRangeIntersectsHome)
+{
+    TableRow r(2);
+    r.range[0] = {0, 100};
+    r.home[0] = {50, 200};
+    const AddrRange eff = r.effective(0);
+    EXPECT_EQ(eff.lo, 50u);
+    EXPECT_EQ(eff.hi, 100u);
+    EXPECT_TRUE(r.effective(1).empty());
+}
+
+} // namespace
+} // namespace cpelide

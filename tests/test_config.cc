@@ -1,0 +1,100 @@
+/** @file GpuConfig / protocol-name / derived-parameter tests. */
+
+#include <gtest/gtest.h>
+
+#include "config/gpu_config.hh"
+#include "sim/log.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+class ChipletCountConfig : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ChipletCountConfig, RadeonViiDerivesBandwidthPerChiplet)
+{
+    const int n = GetParam();
+    const GpuConfig cfg = GpuConfig::radeonVii(n);
+    EXPECT_EQ(cfg.numChiplets, n);
+    EXPECT_EQ(cfg.cusPerChiplet, 60);
+    EXPECT_EQ(cfg.totalCus(), 60 * n);
+    EXPECT_EQ(cfg.l2AggregateBytes(), 8ull * 1024 * 1024 * n);
+    // 1 TB/s HBM and 768 GB/s link divided across chiplets.
+    EXPECT_NEAR(cfg.dramBytesPerCycle, 1000.0 / n / 1.801, 1e-9);
+    EXPECT_NEAR(cfg.xlinkBytesPerCycle, 768.0 / n / 1.801, 1e-9);
+    EXPECT_FALSE(cfg.describe().empty());
+}
+
+TEST_P(ChipletCountConfig, MonolithicEquivalentAggregatesEverything)
+{
+    const int n = GetParam();
+    const GpuConfig chiplet = GpuConfig::radeonVii(n);
+    const GpuConfig mono = GpuConfig::monolithicEquivalent(n);
+    EXPECT_EQ(mono.numChiplets, 1);
+    EXPECT_EQ(mono.totalCus(), chiplet.totalCus());
+    EXPECT_EQ(mono.l2AggregateBytes(), chiplet.l2AggregateBytes());
+    EXPECT_NEAR(mono.dramBytesPerCycle,
+                n * chiplet.dramBytesPerCycle, 1e-6);
+    EXPECT_NEAR(mono.l2BytesPerCycle, n * chiplet.l2BytesPerCycle,
+                1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChipletCountConfig,
+                         ::testing::Values(1, 2, 4, 6, 7, 8, 16));
+
+TEST(GpuConfig, CyclesFromUsUsesGpuClock)
+{
+    const GpuConfig cfg = GpuConfig::radeonVii(4);
+    EXPECT_EQ(cfg.cyclesFromUs(1.0), 1801u);
+    EXPECT_EQ(cfg.cyclesFromUs(2.0), 3602u);
+    EXPECT_EQ(cfg.cyclesFromUs(0.0), 0u);
+}
+
+TEST(GpuConfig, TableSizingMatchesPaper)
+{
+    const GpuConfig cfg = GpuConfig::radeonVii(4);
+    EXPECT_EQ(cfg.tableDsPerKernel, 8);
+    EXPECT_EQ(cfg.tableKernelDepth, 8);
+    EXPECT_EQ(cfg.tableEntries(), 64);
+}
+
+TEST(GpuConfig, FinalizeRejectsBadTopology)
+{
+    GpuConfig cfg;
+    cfg.numChiplets = 0;
+    EXPECT_THROW(cfg.finalize(), FatalError);
+    cfg.numChiplets = 2;
+    cfg.cusPerChiplet = 0;
+    EXPECT_THROW(cfg.finalize(), FatalError);
+}
+
+TEST(ProtocolName, AllKindsNamed)
+{
+    EXPECT_STREQ(protocolName(ProtocolKind::Baseline), "Baseline");
+    EXPECT_STREQ(protocolName(ProtocolKind::CpElide), "CPElide");
+    EXPECT_STREQ(protocolName(ProtocolKind::Hmg), "HMG");
+    EXPECT_STREQ(protocolName(ProtocolKind::HmgWriteBack), "HMG-WB");
+    EXPECT_STREQ(protocolName(ProtocolKind::Monolithic), "Monolithic");
+}
+
+TEST(GpuConfig, TableIDefaults)
+{
+    const GpuConfig cfg = GpuConfig::radeonVii(4);
+    EXPECT_EQ(cfg.l1SizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l1Latency, 140u);
+    EXPECT_EQ(cfg.l2SizeBytesPerChiplet, 8u * 1024 * 1024);
+    EXPECT_EQ(cfg.l2LocalLatency, 269u);
+    EXPECT_EQ(cfg.l2RemoteLatency, 390u);
+    EXPECT_EQ(cfg.l3SizeBytesTotal, 16u * 1024 * 1024);
+    EXPECT_EQ(cfg.l3Latency, 330u);
+    EXPECT_EQ(cfg.ldsLatency, 65u);
+    EXPECT_DOUBLE_EQ(cfg.cpPacketUs, 2.0);
+    EXPECT_DOUBLE_EQ(cfg.cpElideProcUs, 6.0);
+    EXPECT_EQ(cfg.xbarUnicast, 65u);
+    EXPECT_EQ(cfg.xbarBroadcast, 100u);
+}
+
+} // namespace
+} // namespace cpelide

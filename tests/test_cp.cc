@@ -1,0 +1,216 @@
+/** @file Command processor tests: partitioning, packet pipeline, syncs. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/hmg.hh"
+#include "cp/global_cp.hh"
+#include "cp/local_cp.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(WgPartition, EvenSplit)
+{
+    const auto chunks = partitionWgs(8, {0, 1, 2, 3});
+    ASSERT_EQ(chunks.size(), 4u);
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(chunks[c].chiplet, c);
+        EXPECT_EQ(chunks[c].count(), 2);
+    }
+    EXPECT_EQ(chunks[0].wgBegin, 0);
+    EXPECT_EQ(chunks[3].wgEnd, 8);
+}
+
+TEST(WgPartition, RemainderGoesToEarlyChiplets)
+{
+    const auto chunks = partitionWgs(10, {0, 1, 2, 3});
+    EXPECT_EQ(chunks[0].count(), 3);
+    EXPECT_EQ(chunks[1].count(), 3);
+    EXPECT_EQ(chunks[2].count(), 2);
+    EXPECT_EQ(chunks[3].count(), 2);
+    // Contiguous, covering [0, 10).
+    int next = 0;
+    for (const auto &ch : chunks) {
+        EXPECT_EQ(ch.wgBegin, next);
+        next = ch.wgEnd;
+    }
+    EXPECT_EQ(next, 10);
+}
+
+TEST(WgPartition, FewerWgsThanChiplets)
+{
+    const auto chunks = partitionWgs(2, {0, 1, 2, 3});
+    EXPECT_EQ(chunks[0].count(), 1);
+    EXPECT_EQ(chunks[1].count(), 1);
+    EXPECT_EQ(chunks[2].count(), 0);
+    EXPECT_EQ(chunks[3].count(), 0);
+}
+
+TEST(WgPartition, SubsetOfChiplets)
+{
+    const auto chunks = partitionWgs(6, {1, 3});
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0].chiplet, 1);
+    EXPECT_EQ(chunks[1].chiplet, 3);
+    EXPECT_EQ(chunks[0].count() + chunks[1].count(), 6);
+}
+
+TEST(WgPartition, RoundRobinDispatch)
+{
+    const WgChunk chunk{0, 10, 20};
+    EXPECT_EQ(dispatchCu(chunk, 10, 4), 0);
+    EXPECT_EQ(dispatchCu(chunk, 11, 4), 1);
+    EXPECT_EQ(dispatchCu(chunk, 14, 4), 0);
+}
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::radeonVii(2);
+    cfg.cusPerChiplet = 2;
+    cfg.l2SizeBytesPerChiplet = 64 * 1024;
+    cfg.l3SizeBytesTotal = 128 * 1024;
+    cfg.finalize();
+    return cfg;
+}
+
+TEST(GlobalCp, PacketPipelineHidesLatencyWhenBusy)
+{
+    DataSpace space;
+    const GpuConfig cfg = tinyConfig();
+    ViperMemSystem mem(cfg, space, true);
+    GlobalCp cp(cfg, ProtocolKind::Baseline, mem);
+
+    const Tick first = cp.processPacket(0);
+    EXPECT_EQ(first, cfg.cyclesFromUs(cfg.cpPacketUs));
+    // Second packet submitted immediately: processed back-to-back.
+    const Tick second = cp.processPacket(0);
+    EXPECT_EQ(second, 2 * cfg.cyclesFromUs(cfg.cpPacketUs));
+    // A late submission restarts from its submit time.
+    const Tick third = cp.processPacket(1000000);
+    EXPECT_EQ(third, 1000000 + cfg.cyclesFromUs(cfg.cpPacketUs));
+}
+
+TEST(GlobalCp, CpElideTableProcessingIsPipelined)
+{
+    // The ~6 us table processing overlaps enqueue/execution (Section
+    // IV-B: "hidden for all but the first kernel", and the first
+    // kernel's overlaps the host launch path): the packet pipeline
+    // advances at the same rate for CPElide and Baseline.
+    DataSpace s1, s2;
+    const GpuConfig cfg = tinyConfig();
+    ViperMemSystem m1(cfg, s1, true);
+    ViperMemSystem m2(cfg, s2, false);
+    GlobalCp base(cfg, ProtocolKind::Baseline, m1);
+    GlobalCp elide(cfg, ProtocolKind::CpElide, m2);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(elide.processPacket(0), base.processPacket(0));
+}
+
+KernelDesc
+simpleKernel(DsId ds, AccessMode mode, RangeKind kind)
+{
+    KernelDesc k;
+    k.name = "k";
+    k.numWgs = 4;
+    k.args.push_back(KernelArgDecl{ds, mode, kind, {}});
+    k.trace = [](int, TraceSink &) {};
+    return k;
+}
+
+TEST(GlobalCp, BaselineSyncsEveryChipletEveryLaunch)
+{
+    DataSpace space;
+    const GpuConfig cfg = tinyConfig();
+    ViperMemSystem mem(cfg, space, true);
+    GlobalCp cp(cfg, ProtocolKind::Baseline, mem);
+    const DsId ds = space.allocate("a", 8192);
+
+    const auto chunks = partitionWgs(4, {0, 1});
+    const KernelDesc k =
+        simpleKernel(ds, AccessMode::ReadWrite, RangeKind::Affine);
+    const SyncOutcome s1 = cp.launchSync(k, chunks, space);
+    EXPECT_EQ(s1.acquires, 2u);
+    EXPECT_GT(s1.cost, 0u);
+    EXPECT_EQ(mem.l2InvalidatesIssued(), 2u);
+}
+
+TEST(GlobalCp, CpElideElidesStableAffineLaunches)
+{
+    DataSpace space;
+    const GpuConfig cfg = tinyConfig();
+    ViperMemSystem mem(cfg, space, false);
+    GlobalCp cp(cfg, ProtocolKind::CpElide, mem);
+    const DsId ds = space.allocate("a", 8192);
+    const auto chunks = partitionWgs(4, {0, 1});
+
+    for (int i = 0; i < 5; ++i) {
+        const KernelDesc k =
+            simpleKernel(ds, AccessMode::ReadWrite, RangeKind::Affine);
+        const SyncOutcome s = cp.launchSync(k, chunks, space);
+        EXPECT_EQ(s.acquires + s.releases, 0u) << "launch " << i;
+    }
+    EXPECT_EQ(mem.l2InvalidatesIssued(), 0u);
+    ASSERT_NE(cp.engine(), nullptr);
+    EXPECT_GT(cp.engine()->releasesElided(), 0u);
+}
+
+TEST(GlobalCp, HmgNeverIssuesBoundaryOps)
+{
+    DataSpace space;
+    const GpuConfig cfg = tinyConfig();
+    HmgMemSystem mem(cfg, space, true);
+    GlobalCp cp(cfg, ProtocolKind::Hmg, mem);
+    const DsId ds = space.allocate("a", 8192);
+    const KernelDesc k =
+        simpleKernel(ds, AccessMode::ReadWrite, RangeKind::Full);
+    const SyncOutcome s =
+        cp.launchSync(k, partitionWgs(4, {0, 1}), space);
+    EXPECT_EQ(s.acquires + s.releases, 0u);
+    EXPECT_EQ(mem.l2FlushesIssued(), 0u);
+}
+
+TEST(GlobalCp, ExtraSyncSetsAddWalkAndMessaging)
+{
+    // Section VI scaling study: each mimicked chiplet set serializes
+    // one more cache walk + invalidate + crossbar round trip at every
+    // synchronizing launch.
+    DataSpace s1, s2;
+    const GpuConfig cfg = tinyConfig();
+    ViperMemSystem m1(cfg, s1, true);
+    ViperMemSystem m2(cfg, s2, true);
+    GlobalCp cp1(cfg, ProtocolKind::Baseline, m1, 0);
+    GlobalCp cp2(cfg, ProtocolKind::Baseline, m2, 3);
+    const DsId d1 = s1.allocate("a", 8192);
+    const DsId d2 = s2.allocate("a", 8192);
+    const auto chunks = partitionWgs(4, {0, 1});
+    const Cycles c1 = cp1.launchSync(
+        simpleKernel(d1, AccessMode::ReadWrite, RangeKind::Affine),
+        chunks, s1).cost;
+    const Cycles c2 = cp2.launchSync(
+        simpleKernel(d2, AccessMode::ReadWrite, RangeKind::Affine),
+        chunks, s2).cost;
+    const Cycles walk = static_cast<Cycles>(
+        cfg.l2SizeBytesPerChiplet / kLineBytes /
+        cfg.flushWalkLinesPerCycle);
+    const Cycles perSet = walk + cfg.invalidateCycles +
+                          2 * cfg.xbarBroadcast + cfg.xbarUnicast;
+    EXPECT_EQ(c2, c1 + 3 * perSet);
+}
+
+TEST(GlobalCp, FinalBarrierFlushesAllChiplets)
+{
+    DataSpace space;
+    const GpuConfig cfg = tinyConfig();
+    ViperMemSystem mem(cfg, space, false);
+    GlobalCp cp(cfg, ProtocolKind::CpElide, mem);
+    const DsId ds = space.allocate("a", 8192);
+    mem.access({0, 0}, ds, 0, true);
+    EXPECT_GT(cp.finalBarrier(), 0u);
+    EXPECT_EQ(mem.l2(0).dirtyLines(), 0u);
+}
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,89 @@
+/** @file DataSpace (allocator + version store + checker) tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/data_space.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(DataSpace, AllocationsArePageAlignedAndDisjoint)
+{
+    DataSpace s;
+    const DsId a = s.allocate("a", 100);
+    const DsId b = s.allocate("b", 5000);
+    const Allocation &aa = s.alloc(a);
+    const Allocation &bb = s.alloc(b);
+    EXPECT_EQ(aa.base % kPageBytes, 0u);
+    EXPECT_EQ(bb.base % kPageBytes, 0u);
+    EXPECT_EQ(aa.bytes, kPageBytes);      // rounded up
+    EXPECT_EQ(bb.bytes, 2 * kPageBytes);
+    EXPECT_FALSE(aa.contains(bb.base));
+    EXPECT_FALSE(bb.contains(aa.base));
+    // Guard page between allocations (reduces false coarsening).
+    EXPECT_GE(bb.base, aa.base + aa.bytes + kPageBytes);
+}
+
+TEST(DataSpace, ZeroByteAllocationGetsOnePage)
+{
+    DataSpace s;
+    const DsId a = s.allocate("z", 0);
+    EXPECT_EQ(s.alloc(a).bytes, kPageBytes);
+}
+
+TEST(DataSpace, StoreAdvancesLatest)
+{
+    DataSpace s;
+    const DsId a = s.allocate("a", 4096);
+    EXPECT_EQ(s.latest(a, 3), 0u);
+    EXPECT_EQ(s.recordStore(a, 3), 1u);
+    EXPECT_EQ(s.recordStore(a, 3), 2u);
+    EXPECT_EQ(s.latest(a, 3), 2u);
+    EXPECT_EQ(s.latest(a, 4), 0u);
+}
+
+TEST(DataSpace, MemoryVersionNeverRegresses)
+{
+    DataSpace s;
+    const DsId a = s.allocate("a", 4096);
+    s.recordStore(a, 0);
+    s.recordStore(a, 0);
+    s.commitToMemory(a, 0, 2);
+    s.commitToMemory(a, 0, 1); // late, out-of-order writeback
+    EXPECT_EQ(s.memoryVersion(a, 0), 2u);
+}
+
+TEST(DataSpace, StaleReadDetected)
+{
+    DataSpace s;
+    const DsId a = s.allocate("a", 4096);
+    s.recordStore(a, 5);
+    s.checkObserved(a, 5, 0); // observed pre-store version
+    EXPECT_EQ(s.staleReads(), 1u);
+    s.checkObserved(a, 5, 1); // current version: fine
+    EXPECT_EQ(s.staleReads(), 1u);
+}
+
+TEST(DataSpace, RacyAllocationSkipsCheck)
+{
+    DataSpace s;
+    const DsId a = s.allocate("a", 4096);
+    s.setRacy(a);
+    s.recordStore(a, 1);
+    s.checkObserved(a, 1, 0);
+    EXPECT_EQ(s.staleReads(), 0u);
+}
+
+TEST(DataSpace, PanicOnStaleAborts)
+{
+    DataSpace s;
+    s.panicOnStale(true);
+    const DsId a = s.allocate("a", 4096);
+    s.recordStore(a, 0);
+    EXPECT_DEATH(s.checkObserved(a, 0, 0), "stale read");
+}
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,135 @@
+/** @file Fig-6 state machine: exhaustive + property tests. */
+
+#include <gtest/gtest.h>
+
+#include "core/ds_state.hh"
+#include "sim/rng.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(AddrRange, EmptyAndOverlap)
+{
+    const AddrRange empty{};
+    const AddrRange a{0, 100};
+    const AddrRange b{100, 200};
+    const AddrRange c{50, 150};
+    EXPECT_TRUE(empty.empty());
+    EXPECT_FALSE(a.overlaps(b)); // half-open: [0,100) vs [100,200)
+    EXPECT_TRUE(a.overlaps(c));
+    EXPECT_TRUE(c.overlaps(b));
+    EXPECT_FALSE(a.overlaps(empty));
+    EXPECT_FALSE(empty.overlaps(a));
+}
+
+TEST(AddrRange, UnionAndIntersect)
+{
+    const AddrRange a{0, 100};
+    const AddrRange b{200, 300};
+    const AddrRange u = AddrRange::unionOf(a, b);
+    EXPECT_EQ(u.lo, 0u);
+    EXPECT_EQ(u.hi, 300u);
+    EXPECT_TRUE(AddrRange::intersectOf(a, b).empty());
+    const AddrRange i = AddrRange::intersectOf(AddrRange{50, 250}, b);
+    EXPECT_EQ(i.lo, 200u);
+    EXPECT_EQ(i.hi, 250u);
+    EXPECT_EQ(AddrRange::unionOf(AddrRange{}, a), a);
+    EXPECT_EQ(AddrRange::unionOf(a, AddrRange{}), a);
+}
+
+TEST(AddrRange, Contains)
+{
+    const AddrRange a{0, 100};
+    EXPECT_TRUE(a.contains(AddrRange{10, 20}));
+    EXPECT_TRUE(a.contains(a));
+    EXPECT_FALSE(a.contains(AddrRange{10, 101}));
+    EXPECT_FALSE(a.contains(AddrRange{}));
+}
+
+// Exhaustive transition table (Fig 6).
+struct Case
+{
+    DsState from;
+    DsEvent ev;
+    DsState to;
+};
+
+constexpr Case kTable[] = {
+    {DsState::NotPresent, DsEvent::LocalRead, DsState::Valid},
+    {DsState::NotPresent, DsEvent::LocalWrite, DsState::Dirty},
+    {DsState::NotPresent, DsEvent::RemoteWrite, DsState::NotPresent},
+    {DsState::NotPresent, DsEvent::Release, DsState::NotPresent},
+    {DsState::NotPresent, DsEvent::Acquire, DsState::NotPresent},
+
+    {DsState::Valid, DsEvent::LocalRead, DsState::Valid},
+    {DsState::Valid, DsEvent::LocalWrite, DsState::Dirty},
+    {DsState::Valid, DsEvent::RemoteWrite, DsState::Stale},
+    {DsState::Valid, DsEvent::Release, DsState::Valid},
+    {DsState::Valid, DsEvent::Acquire, DsState::NotPresent},
+
+    {DsState::Dirty, DsEvent::LocalRead, DsState::Dirty},
+    {DsState::Dirty, DsEvent::LocalWrite, DsState::Dirty},
+    {DsState::Dirty, DsEvent::RemoteWrite, DsState::Stale},
+    {DsState::Dirty, DsEvent::Release, DsState::Valid},
+    {DsState::Dirty, DsEvent::Acquire, DsState::NotPresent},
+
+    {DsState::Stale, DsEvent::LocalRead, DsState::Stale},
+    {DsState::Stale, DsEvent::LocalWrite, DsState::Stale},
+    {DsState::Stale, DsEvent::RemoteWrite, DsState::Stale},
+    {DsState::Stale, DsEvent::Release, DsState::Stale},
+    {DsState::Stale, DsEvent::Acquire, DsState::NotPresent},
+};
+
+TEST(DsTransition, MatchesFig6Exhaustively)
+{
+    for (const Case &c : kTable) {
+        EXPECT_EQ(dsTransition(c.from, c.ev), c.to)
+            << dsStateName(c.from) << " + event "
+            << static_cast<int>(c.ev);
+    }
+}
+
+TEST(DsTransition, AcquireAlwaysResets)
+{
+    for (DsState s : {DsState::NotPresent, DsState::Valid,
+                      DsState::Dirty, DsState::Stale}) {
+        EXPECT_EQ(dsTransition(s, DsEvent::Acquire),
+                  DsState::NotPresent);
+    }
+}
+
+/**
+ * Property: "Dirty" is only reachable through a LocalWrite, and once
+ * Stale only an Acquire can leave the state. These are the two
+ * invariants the elide engine's correctness argument leans on.
+ */
+TEST(DsTransitionProperty, ReachabilityInvariants)
+{
+    Rng rng(77);
+    DsState s = DsState::NotPresent;
+    for (int i = 0; i < 100000; ++i) {
+        const auto ev = static_cast<DsEvent>(rng.below(5));
+        const DsState prev = s;
+        s = dsTransition(s, ev);
+        if (s == DsState::Dirty && prev != DsState::Dirty)
+            EXPECT_EQ(ev, DsEvent::LocalWrite);
+        if (prev == DsState::Stale && s != DsState::Stale)
+            EXPECT_EQ(ev, DsEvent::Acquire);
+        // Release never invents data or staleness.
+        if (ev == DsEvent::Release)
+            EXPECT_NE(s, DsState::Dirty);
+    }
+}
+
+TEST(DsStateName, AllNamed)
+{
+    EXPECT_STREQ(dsStateName(DsState::NotPresent), "NP");
+    EXPECT_STREQ(dsStateName(DsState::Valid), "V");
+    EXPECT_STREQ(dsStateName(DsState::Dirty), "D");
+    EXPECT_STREQ(dsStateName(DsState::Stale), "S");
+}
+
+} // namespace
+} // namespace cpelide

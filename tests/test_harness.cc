@@ -1,0 +1,108 @@
+/** @file Bench-harness plumbing tests (runWorkload variants, scaling). */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/harness.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(Harness, RunWorkloadProducesLabeledResult)
+{
+    const RunResult r =
+        runWorkload("Square", ProtocolKind::CpElide, 2, 0.1);
+    EXPECT_EQ(r.workload, "Square");
+    EXPECT_EQ(r.protocol, std::string("CPElide"));
+    EXPECT_EQ(r.numChiplets, 2);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.staleReads, 0u);
+}
+
+TEST(Harness, MonolithicUsesEquivalentConfig)
+{
+    const RunResult r =
+        runWorkload("Square", ProtocolKind::Monolithic, 4, 0.1);
+    EXPECT_EQ(r.protocol, std::string("Monolithic"));
+    // Reported as the equivalent chiplet count for normalization.
+    EXPECT_EQ(r.numChiplets, 4);
+    EXPECT_EQ(r.flits.remote, 0u);
+}
+
+TEST(Harness, ScaleShrinksWork)
+{
+    const RunResult big =
+        runWorkload("BabelStream", ProtocolKind::CpElide, 2, 0.6);
+    const RunResult small =
+        runWorkload("BabelStream", ProtocolKind::CpElide, 2, 0.2);
+    EXPECT_GT(big.kernels, small.kernels);
+    EXPECT_GT(big.accesses, small.accesses);
+}
+
+TEST(Harness, DeterministicAcrossRuns)
+{
+    const RunResult a =
+        runWorkload("BFS", ProtocolKind::Hmg, 4, 0.15);
+    const RunResult b =
+        runWorkload("BFS", ProtocolKind::Hmg, 4, 0.15);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.flits.total(), b.flits.total());
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Harness, MultiStreamReplaysCopiesConcurrently)
+{
+    const RunResult one =
+        runWorkload("Square", ProtocolKind::CpElide, 4, 0.2);
+    const RunResult two = runWorkloadMultiStream(
+        "Square", ProtocolKind::CpElide, 4, 2, 0.2);
+    EXPECT_EQ(two.kernels, 2 * one.kernels);
+    EXPECT_EQ(two.accesses, 2 * one.accesses);
+    // Each job has half the machine, so ~2x the single-job time, but
+    // the jobs overlap rather than serialize on top of that.
+    EXPECT_GT(two.cycles, one.cycles);
+    EXPECT_LT(two.cycles, static_cast<Tick>(2.4 * one.cycles));
+    EXPECT_EQ(two.staleReads, 0u);
+}
+
+TEST(Harness, ExtraSyncSetsNeverSpeedUp)
+{
+    const RunResult plain =
+        runWorkload("Hotspot3D", ProtocolKind::CpElide, 4, 0.2, 0);
+    const RunResult mimic16 =
+        runWorkload("Hotspot3D", ProtocolKind::CpElide, 4, 0.2, 3);
+    EXPECT_GE(mimic16.cycles, plain.cycles);
+}
+
+TEST(Harness, EnvScaleParsesAndClamps)
+{
+    ::setenv("CPELIDE_SCALE", "0.5", 1);
+    EXPECT_DOUBLE_EQ(envScale(), 0.5);
+    ::setenv("CPELIDE_SCALE", "7.0", 1); // out of range -> default
+    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    ::setenv("CPELIDE_SCALE", "junk", 1);
+    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+    ::unsetenv("CPELIDE_SCALE");
+    EXPECT_DOUBLE_EQ(envScale(), 1.0);
+}
+
+TEST(Harness, CustomConfigRunHonorsFreeSyncAblation)
+{
+    GpuConfig cfg = GpuConfig::radeonVii(4);
+    cfg.freeSyncOps = true;
+    cfg.finalize();
+    RunOptions opts;
+    opts.protocol = ProtocolKind::Baseline;
+    const RunResult ideal = runWorkloadCfg("Square", cfg, opts, 0.2);
+    const RunResult real =
+        runWorkload("Square", ProtocolKind::Baseline, 4, 0.2);
+    EXPECT_LT(ideal.syncStallCycles, real.syncStallCycles);
+    EXPECT_LE(ideal.cycles, real.cycles);
+}
+
+} // namespace
+} // namespace cpelide

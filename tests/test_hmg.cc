@@ -1,0 +1,195 @@
+/** @file HMG directory + protocol tests. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/hmg.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::radeonVii(2);
+    cfg.cusPerChiplet = 2;
+    cfg.l2SizeBytesPerChiplet = 64 * 1024;
+    cfg.l3SizeBytesTotal = 128 * 1024;
+    cfg.finalize();
+    return cfg;
+}
+
+TEST(HmgDirectory, TracksSharersPerRegion)
+{
+    HmgDirectory dir(64, 4);
+    HmgDirectory::VictimRegion victim;
+    dir.addSharer(0x1000, 0, &victim);
+    EXPECT_FALSE(victim.valid);
+    dir.addSharer(0x1040, 1, &victim); // same 256 B region
+    EXPECT_EQ(dir.sharersOf(0x10c0), 0b11u);
+    dir.setSharers(0x1000, 0b10, nullptr);
+    EXPECT_EQ(dir.sharersOf(0x1000), 0b10u);
+    dir.remove(0x1000);
+    EXPECT_EQ(dir.sharersOf(0x1000), 0u);
+}
+
+TEST(HmgDirectory, RegionAlignment)
+{
+    EXPECT_EQ(HmgDirectory::regionAlign(0x1234),
+              0x1200u); // 256 B regions
+}
+
+TEST(HmgDirectory, EvictionReportsVictim)
+{
+    HmgDirectory dir(8, 8); // one set of 8 entries
+    HmgDirectory::VictimRegion victim;
+    for (int i = 0; i < 8; ++i)
+        dir.addSharer(Addr(i) * 256, 0, &victim);
+    EXPECT_FALSE(victim.valid);
+    dir.addSharer(Addr(8) * 256, 1, &victim);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.regionAddr, 0u); // LRU
+    EXPECT_EQ(victim.sharers, 0b01u);
+    EXPECT_EQ(dir.evictions(), 1u);
+}
+
+struct HmgTest : ::testing::Test
+{
+    HmgTest() : cfg(tinyConfig()), mem(cfg, space, /*write_through=*/true)
+    {
+        ds = space.allocate("a", 32 * 1024);
+        const Allocation &a = space.alloc(ds);
+        for (Addr off = 0; off < a.bytes; off += kPageBytes) {
+            mem.pageTable().place(a.base + off,
+                                  off < a.bytes / 2 ? 0 : 1);
+        }
+    }
+
+    Addr lineAddr(std::uint64_t l) { return space.alloc(ds).lineAddr(l); }
+
+    DataSpace space;
+    GpuConfig cfg;
+    HmgMemSystem mem;
+    DsId ds = -1;
+};
+
+TEST_F(HmgTest, RemoteReadCachesAtRequesterAndHome)
+{
+    const std::uint64_t remote = space.alloc(ds).numLines() - 1;
+    mem.access({0, 0}, ds, remote, false);
+    EXPECT_TRUE(mem.l2(0).peek(lineAddr(remote))); // requester copy
+    EXPECT_TRUE(mem.l2(1).peek(lineAddr(remote))); // home copy
+    // Directory at the home tracks both sharers.
+    EXPECT_EQ(mem.directory(1).sharersOf(lineAddr(remote)), 0b11u);
+    // Second read hits locally: no more remote traffic.
+    const auto remoteFlits = mem.noc().flits().remote;
+    mem.kernelBoundaryL1();
+    const Cycles lat = mem.access({0, 1}, ds, remote, false);
+    EXPECT_EQ(lat, cfg.l2LocalLatency);
+    EXPECT_EQ(mem.noc().flits().remote, remoteFlits);
+}
+
+TEST_F(HmgTest, WriteThroughInvalidatesOtherSharers)
+{
+    // Chiplet 0 caches a line homed at itself; chiplet 1 reads it
+    // (cached at both); then chiplet 1 writes it.
+    mem.access({0, 0}, ds, 0, false);
+    mem.access({1, 0}, ds, 0, false);
+    EXPECT_TRUE(mem.l2(1).peek(lineAddr(0)));
+    // The home chiplet writes: the remote sharer's copy (chiplet 1)
+    // must be invalidated.
+    mem.access({0, 0}, ds, 0, true);
+    EXPECT_GT(mem.sharerInvalidations(), 0u);
+    EXPECT_FALSE(mem.l2(1).peek(lineAddr(0)));
+    mem.kernelBoundaryL1();
+    // No kernel-boundary L2 ops in HMG, yet the read is coherent.
+    EXPECT_EQ(mem.kernelBoundaryL2(), 0u);
+    mem.access({1, 1}, ds, 0, false);
+    EXPECT_EQ(space.staleReads(), 0u);
+}
+
+TEST_F(HmgTest, WriteThroughLeavesNoDirtyLines)
+{
+    mem.access({0, 0}, ds, 0, true);
+    mem.access({0, 0}, ds, 100, true);
+    EXPECT_EQ(mem.l2(0).dirtyLines(), 0u);
+    // The stores reached the LLC.
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mem.l3(0).peek(lineAddr(0), &v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST_F(HmgTest, RegionGranularityInvalidatesFourLines)
+{
+    // Chiplet 1 caches four lines of one region homed at chiplet 0.
+    for (std::uint64_t l = 0; l < 4; ++l)
+        mem.access({1, 0}, ds, l, false);
+    // Chiplet 0 writes just one of them: the whole region is
+    // invalidated at chiplet 1 (the 4-lines-per-entry pathology).
+    mem.access({0, 0}, ds, 0, true);
+    for (std::uint64_t l = 0; l < 4; ++l)
+        EXPECT_FALSE(mem.l2(1).peek(lineAddr(l))) << l;
+    EXPECT_EQ(mem.sharerInvalidations(), 4u);
+}
+
+TEST_F(HmgTest, NoStaleReadsUnderRandomSharing)
+{
+    // Random data-race-free sharing across boundary windows: within a
+    // window, a line is either written (by one designated CU of one
+    // designated chiplet) or read (by anyone), never both. HMG must
+    // stay coherent with no kernel-boundary L2 operations at all —
+    // only the usual L1 invalidations between windows.
+    auto hash = [](std::uint64_t l, std::uint64_t w) {
+        std::uint64_t h = (l << 17) ^ (w * 0x9e3779b97f4a7c15ull);
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+        return h ^ (h >> 31);
+    };
+    std::uint64_t x = 12345;
+    const std::uint64_t lines = space.alloc(ds).numLines();
+    for (std::uint64_t window = 0; window < 40; ++window) {
+        const ChipletId writer = static_cast<ChipletId>(window & 1);
+        for (int i = 0; i < 500; ++i) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            const std::uint64_t line = (x >> 16) % lines;
+            const bool writable = hash(line, window) & 1;
+            if (writable && ((x >> 40) & 3) == 0) {
+                const CuId cu = static_cast<CuId>(hash(line, 7) & 1);
+                mem.access({writer, cu}, ds, line, true);
+            } else if (!writable) {
+                const AccessContext ctx{
+                    static_cast<ChipletId>((x >> 8) & 1),
+                    static_cast<CuId>((x >> 9) & 1)};
+                mem.access(ctx, ds, line, false);
+            }
+        }
+        mem.kernelBoundaryL1();
+        EXPECT_EQ(mem.kernelBoundaryL2(), 0u);
+    }
+    EXPECT_EQ(space.staleReads(), 0u);
+}
+
+TEST(HmgWriteBack, DirtyDataLivesAtHomeOnly)
+{
+    GpuConfig cfg = tinyConfig();
+    DataSpace space;
+    HmgMemSystem mem(cfg, space, /*write_through=*/false);
+    const DsId ds = space.allocate("a", 32 * 1024);
+    const Allocation &a = space.alloc(ds);
+    for (Addr off = 0; off < a.bytes; off += kPageBytes)
+        mem.pageTable().place(a.base + off, off < a.bytes / 2 ? 0 : 1);
+
+    // Remote write: home L2 owns the dirty line; sender has no copy.
+    const std::uint64_t remote = a.numLines() - 1;
+    mem.access({0, 0}, ds, remote, true);
+    EXPECT_EQ(mem.l2(1).dirtyLines(), 1u);
+    EXPECT_FALSE(mem.l2(0).peek(a.lineAddr(remote)));
+
+    // A remote read is serviced by the home's dirty copy, coherently.
+    mem.kernelBoundaryL1();
+    mem.access({0, 0}, ds, remote, false);
+    EXPECT_EQ(space.staleReads(), 0u);
+}
+
+} // namespace
+} // namespace cpelide

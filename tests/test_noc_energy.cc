@@ -1,0 +1,84 @@
+/** @file Noc flit accounting and EnergyModel tests. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "noc/noc.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(Noc, FlitCategoriesAccumulate)
+{
+    Noc n(4);
+    n.countL1L2Data();
+    n.countL1L2Ctrl();
+    n.countL2L3Data();
+    n.countRemoteData();
+    n.countRemoteCtrl();
+    EXPECT_EQ(n.flits().l1l2, kDataFlits + kCtrlFlits);
+    EXPECT_EQ(n.flits().l2l3, kDataFlits);
+    EXPECT_EQ(n.flits().remote, kDataFlits + kCtrlFlits);
+    EXPECT_EQ(n.flits().total(),
+              2 * kDataFlits + 2 * kCtrlFlits + kDataFlits);
+}
+
+TEST(Noc, PerKernelByteMetersReset)
+{
+    Noc n(2);
+    n.addDramBytes(0, 128);
+    n.addXlinkBytes(1, 64);
+    n.addL2l3Bytes(0, 256);
+    EXPECT_EQ(n.dramBytes(0), 128u);
+    EXPECT_EQ(n.xlinkBytes(1), 64u);
+    EXPECT_EQ(n.l2l3Bytes(0), 256u);
+    n.beginKernel();
+    EXPECT_EQ(n.dramBytes(0), 0u);
+    EXPECT_EQ(n.xlinkBytes(1), 0u);
+    EXPECT_EQ(n.l2l3Bytes(0), 0u);
+    // Flit totals survive kernel boundaries (whole-run counters).
+    n.countRemoteData();
+    EXPECT_EQ(n.flits().remote, kDataFlits);
+}
+
+TEST(Energy, ComponentsChargedIndependently)
+{
+    EnergyModel e;
+    e.countL1d(10);
+    e.countL2(2);
+    e.countDram(1);
+    e.countFlits(100);
+    const EnergyBreakdown &b = e.breakdown();
+    EXPECT_DOUBLE_EQ(b.l1d, 10 * e.params().l1dAccessPj);
+    EXPECT_DOUBLE_EQ(b.l2, 2 * e.params().l2AccessPj);
+    EXPECT_DOUBLE_EQ(b.dram, e.params().dramLinePj);
+    EXPECT_DOUBLE_EQ(b.noc, 100 * e.params().nocFlitPj);
+    EXPECT_DOUBLE_EQ(b.total(),
+                     b.l1i + b.l1d + b.lds + b.l2 + b.noc + b.dram);
+}
+
+TEST(Energy, RatiosFollowTheHierarchy)
+{
+    // The relative ordering is what Fig 9 depends on.
+    EnergyParams p;
+    EXPECT_LT(p.l1dAccessPj, p.l2AccessPj);
+    EXPECT_LT(p.l2AccessPj, p.l3AccessPj);
+    EXPECT_LT(p.l3AccessPj, p.dramLinePj);
+    EXPECT_LT(p.ldsAccessPj, p.l2AccessPj);
+}
+
+TEST(Energy, BreakdownAccumulatesWithPlusEquals)
+{
+    EnergyModel a, b;
+    a.countL2(3);
+    b.countDram(2);
+    EnergyBreakdown sum = a.breakdown();
+    sum += b.breakdown();
+    EXPECT_DOUBLE_EQ(sum.l2, 3 * a.params().l2AccessPj);
+    EXPECT_DOUBLE_EQ(sum.dram, 2 * a.params().dramLinePj);
+}
+
+} // namespace
+} // namespace cpelide

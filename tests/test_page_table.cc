@@ -1,0 +1,52 @@
+/** @file First-touch page placement tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(PageTable, FirstTouchWins)
+{
+    PageTable pt(4);
+    EXPECT_EQ(pt.homeOf(0x1000, 2), 2);
+    EXPECT_EQ(pt.homeOf(0x1000, 3), 2); // already placed
+    EXPECT_EQ(pt.homeOf(0x1fff, 1), 2); // same page
+    EXPECT_EQ(pt.homeOf(0x2000, 1), 1); // next page
+    EXPECT_EQ(pt.pagesPlaced(), 2u);
+}
+
+TEST(PageTable, PeekDoesNotPlace)
+{
+    PageTable pt(4);
+    EXPECT_EQ(pt.peekHome(0x5000), kNoChiplet);
+    EXPECT_EQ(pt.pagesPlaced(), 0u);
+    pt.homeOf(0x5000, 0);
+    EXPECT_EQ(pt.peekHome(0x5000), 0);
+}
+
+TEST(PageTable, ExplicitPlacementOverrides)
+{
+    PageTable pt(4);
+    pt.place(0x3000, 3);
+    EXPECT_EQ(pt.homeOf(0x3000, 0), 3);
+}
+
+TEST(PageTable, AffinePartitionDistributesPages)
+{
+    PageTable pt(4);
+    // Four chiplets first-touch disjoint quarters.
+    for (int c = 0; c < 4; ++c) {
+        for (Addr a = 0; a < 16 * kPageBytes; a += kPageBytes)
+            pt.homeOf(c * 16 * kPageBytes + a, c);
+    }
+    EXPECT_EQ(pt.pagesPlaced(), 64u);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(pt.peekHome(c * 16 * kPageBytes + 5 * kPageBytes), c);
+}
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cross-protocol schedule fuzzer: every protocol must survive random
+ * data-race-free kernel schedules with zero stale reads. The CPElide
+ * fuzzer in test_integration.cc guards the elide engine; this one
+ * guards the Baseline's conservative syncs, HMG's directory coherence
+ * (including the write-back variant), and the monolithic reference,
+ * under the same randomized workload shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hh"
+#include "sim/rng.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+struct FuzzCase
+{
+    ProtocolKind kind;
+    int seed;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<FuzzCase>
+{};
+
+TEST_P(ProtocolFuzz, NoStaleReadsEver)
+{
+    const auto [kind, seed] = GetParam();
+    Rng rng(7000 + seed);
+
+    GpuConfig cfg = kind == ProtocolKind::Monolithic
+                        ? GpuConfig::monolithicEquivalent(4)
+                        : GpuConfig::radeonVii(4);
+    cfg.cusPerChiplet = kind == ProtocolKind::Monolithic ? 8 : 2;
+    cfg.l2SizeBytesPerChiplet =
+        kind == ProtocolKind::Monolithic ? 256 * 1024 : 64 * 1024;
+    cfg.l3SizeBytesTotal = 256 * 1024;
+    cfg.finalize();
+
+    RunOptions opts;
+    opts.protocol = kind;
+    opts.panicOnStale = true;
+    if (kind != ProtocolKind::Monolithic) {
+        opts.streamChiplets[1] = {0, 1};
+        opts.streamChiplets[2] = {2, 3};
+    }
+    GpuSystem gpu(cfg, opts);
+
+    constexpr int kArrays = 4;
+    std::vector<DsId> arrays;
+    std::vector<std::uint64_t> lines;
+    for (int i = 0; i < kArrays; ++i) {
+        arrays.push_back(gpu.space().allocate(
+            "arr" + std::to_string(i), 12 * 1024 + i * 8192));
+        lines.push_back(gpu.space().alloc(arrays[i]).numLines());
+    }
+
+    for (int k = 0; k < 30; ++k) {
+        KernelDesc desc;
+        desc.name = "pfuzz" + std::to_string(k);
+        desc.streamId = static_cast<int>(rng.below(3));
+        desc.numWgs = static_cast<int>(rng.range(4, 12));
+        desc.mlp = 8;
+
+        struct Pick
+        {
+            DsId ds;
+            std::uint64_t lines;
+            bool write;
+            bool full;
+            bool bypass;
+        };
+        std::vector<Pick> picks;
+        const int nargs = static_cast<int>(rng.range(1, 3));
+        for (int a = 0; a < nargs; ++a) {
+            const int idx = static_cast<int>(rng.below(kArrays));
+            bool dup = false;
+            for (const Pick &p : picks)
+                dup |= p.ds == arrays[idx];
+            if (dup)
+                continue;
+            Pick p;
+            p.ds = arrays[idx];
+            p.lines = lines[idx];
+            p.write = rng.chance(0.4);
+            p.full = rng.chance(0.3) && !p.write;
+            // The last array is bypass-only (system-scope atomics).
+            p.bypass = idx == kArrays - 1;
+            picks.push_back(p);
+            if (!p.bypass) {
+                desc.args.push_back(KernelArgDecl{
+                    p.ds,
+                    p.write ? AccessMode::ReadWrite
+                            : AccessMode::ReadOnly,
+                    p.full ? RangeKind::Full : RangeKind::Affine,
+                    {}});
+            }
+        }
+        if (picks.empty())
+            continue;
+
+        const int wgs = desc.numWgs;
+        const int salt = k;
+        desc.trace = [picks, wgs, salt](int wg, TraceSink &sink) {
+            for (const auto &p : picks) {
+                if (p.bypass) {
+                    for (int j = 0; j < 16; ++j) {
+                        std::uint64_t h = (std::uint64_t(wg) << 18) ^
+                                          (std::uint64_t(salt) << 5) ^
+                                          std::uint64_t(j);
+                        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+                        sink.touchBypass(p.ds, h % p.lines, p.write);
+                    }
+                    continue;
+                }
+                const std::uint64_t lo = p.lines * wg / wgs;
+                const std::uint64_t hi = p.lines * (wg + 1) / wgs;
+                for (std::uint64_t l = lo; l < hi; ++l)
+                    sink.touch(p.ds, l, p.write);
+                if (p.full) {
+                    for (int j = 0; j < 4; ++j) {
+                        std::uint64_t h = (std::uint64_t(wg) << 20) ^
+                                          (std::uint64_t(salt) << 4) ^
+                                          std::uint64_t(j);
+                        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+                        sink.touch(p.ds, h % p.lines, false);
+                    }
+                }
+            }
+        };
+        gpu.enqueue(std::move(desc));
+    }
+    const RunResult r = gpu.run("protocol_fuzz");
+    EXPECT_EQ(r.staleReads, 0u);
+    EXPECT_GT(r.accesses, 0u);
+}
+
+std::vector<FuzzCase>
+allCases()
+{
+    std::vector<FuzzCase> cases;
+    for (ProtocolKind kind :
+         {ProtocolKind::Baseline, ProtocolKind::CpElide,
+          ProtocolKind::Hmg, ProtocolKind::HmgWriteBack,
+          ProtocolKind::Monolithic}) {
+        for (int seed = 0; seed < 4; ++seed)
+            cases.push_back({kind, seed});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ProtocolFuzz, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+        std::string name = std::string(protocolName(info.param.kind)) +
+                           "_s" + std::to_string(info.param.seed);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,61 @@
+/** @file stats/report helpers (table rendering, means, formatting). */
+
+#include <gtest/gtest.h>
+
+#include "stats/report.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(Geomean, BasicsAndEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Mean, BasicsAndEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Fmt, FormatsDecimalsAndPercent)
+{
+    EXPECT_EQ(fmt(1.2345), "1.23");
+    EXPECT_EQ(fmt(1.2345, 3), "1.234");
+    EXPECT_EQ(fmt(7.0, 0), "7");
+    EXPECT_EQ(fmtPct(0.131), "+13.1%");
+    EXPECT_EQ(fmtPct(-0.05), "-5.0%");
+    EXPECT_EQ(fmtPct(0.0), "+0.0%");
+}
+
+TEST(AsciiTable, RendersAlignedGrid)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRule();
+    t.addRow({"b", "12345"});
+    const std::string out = t.render();
+    // Header, both rows, and four rules present.
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              7); // 4 rules + header + 2 rows
+}
+
+TEST(AsciiTable, ShortRowsArePadded)
+{
+    AsciiTable t({"a", "b", "c"});
+    t.addRow({"only"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,218 @@
+/** @file ViperMemSystem (Baseline/CPElide/Monolithic) protocol tests. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/mem_system.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+GpuConfig
+tinyConfig(int chiplets)
+{
+    GpuConfig cfg = GpuConfig::radeonVii(chiplets);
+    cfg.cusPerChiplet = 2;
+    cfg.l2SizeBytesPerChiplet = 64 * 1024;
+    cfg.l3SizeBytesTotal = 128 * 1024;
+    cfg.finalize();
+    return cfg;
+}
+
+struct ViperTest : ::testing::Test
+{
+    ViperTest()
+        : cfg(tinyConfig(2)), mem(cfg, space, /*boundary_syncs_l2=*/true)
+    {
+        ds = space.allocate("a", 32 * 1024);
+        // Pin homes: first half chiplet 0, second half chiplet 1.
+        const Allocation &a = space.alloc(ds);
+        for (Addr off = 0; off < a.bytes; off += kPageBytes) {
+            mem.pageTable().place(a.base + off,
+                                  off < a.bytes / 2 ? 0 : 1);
+        }
+    }
+
+    std::uint64_t remoteLine() const
+    {
+        return space.alloc(ds).numLines() - 1; // homed at chiplet 1
+    }
+
+    DataSpace space;
+    GpuConfig cfg;
+    ViperMemSystem mem;
+    DsId ds = -1;
+};
+
+TEST_F(ViperTest, LocalReadFillsL2AndHitsSecondTime)
+{
+    // Table I latencies are load-to-use totals per hit level.
+    const Cycles first = mem.access({0, 0}, ds, 0, false);
+    EXPECT_EQ(first, cfg.l3Latency + cfg.dramLatency); // cold: DRAM
+    // Second read from another CU (misses its L1, hits the L2).
+    const Cycles second = mem.access({0, 1}, ds, 0, false);
+    EXPECT_EQ(second, cfg.l2LocalLatency);
+    EXPECT_EQ(mem.l2Stats().hits, 1u);
+    // Third read from the same CU: L1 hit.
+    const Cycles third = mem.access({0, 1}, ds, 0, false);
+    EXPECT_EQ(third, cfg.l1Latency);
+}
+
+TEST_F(ViperTest, RemoteReadIsNeverCached)
+{
+    mem.access({0, 0}, ds, remoteLine(), false);
+    // Neither chiplet's L2 holds it: chiplet 0 may not cache remote
+    // lines, chiplet 1 was not the requester.
+    EXPECT_EQ(mem.l2(0).countValid(), 0u);
+    EXPECT_EQ(mem.l2(1).countValid(), 0u);
+    // The line lives in chiplet 1's L3 bank now.
+    EXPECT_TRUE(mem.l3(1).peek(space.alloc(ds).lineAddr(remoteLine())));
+    // And a repeat read still pays the remote latency (390 cycles
+    // load-to-use for a remote LLC-bank hit).
+    mem.kernelBoundaryL1();
+    const Cycles again = mem.access({0, 0}, ds, remoteLine(), false);
+    EXPECT_EQ(again, cfg.l2RemoteLatency);
+}
+
+TEST_F(ViperTest, LocalWriteAllocatesDirty)
+{
+    mem.access({0, 0}, ds, 0, true);
+    EXPECT_EQ(mem.l2(0).dirtyLines(), 1u);
+    bool dirty = false;
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mem.l2(0).peek(space.alloc(ds).lineAddr(0), &v, &dirty));
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(v, 1u);
+}
+
+TEST_F(ViperTest, RemoteWriteGoesStraightToHomeL3)
+{
+    mem.access({0, 0}, ds, remoteLine(), true);
+    EXPECT_EQ(mem.l2(0).dirtyLines(), 0u);
+    EXPECT_EQ(mem.l2(1).dirtyLines(), 0u);
+    std::uint32_t v = 0;
+    bool dirty = false;
+    EXPECT_TRUE(mem.l3(1).peek(space.alloc(ds).lineAddr(remoteLine()),
+                               &v, &dirty));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(dirty); // L3 is write-back to DRAM
+    EXPECT_GT(mem.noc().flits().remote, 0u);
+}
+
+TEST_F(ViperTest, ReleaseWritesBackAndRetainsCleanCopies)
+{
+    mem.access({0, 0}, ds, 0, true);
+    mem.access({0, 0}, ds, 1, true);
+    const Cycles cost = mem.l2Release(0);
+    EXPECT_GT(cost, 0u);
+    EXPECT_EQ(mem.l2(0).dirtyLines(), 0u);
+    EXPECT_EQ(mem.linesWrittenBack(), 2u);
+    // Copies retained (clean) — the basis of CPElide's lazy release.
+    EXPECT_TRUE(mem.l2(0).peek(space.alloc(ds).lineAddr(0)));
+    // And the LLC now holds the data.
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mem.l3(0).peek(space.alloc(ds).lineAddr(0), &v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST_F(ViperTest, AcquireFlushesThenInvalidates)
+{
+    mem.access({0, 0}, ds, 0, true);
+    mem.access({0, 0}, ds, 2, false);
+    mem.l2Acquire(0);
+    EXPECT_EQ(mem.l2(0).countValid(), 0u);
+    EXPECT_EQ(mem.l2(0).dirtyLines(), 0u);
+    // Dirty data was not lost: it reached the LLC.
+    std::uint32_t v = 0;
+    EXPECT_TRUE(mem.l3(0).peek(space.alloc(ds).lineAddr(0), &v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST_F(ViperTest, KernelBoundarySyncsAllChiplets)
+{
+    mem.access({0, 0}, ds, 0, true);
+    mem.access({1, 0}, ds, remoteLine() / 2 + 1, false);
+    mem.kernelBoundaryL2();
+    EXPECT_EQ(mem.l2(0).countValid(), 0u);
+    EXPECT_EQ(mem.l2(1).countValid(), 0u);
+    EXPECT_EQ(mem.l2InvalidatesIssued(), 2u);
+}
+
+TEST_F(ViperTest, StaleCopyScenarioCaughtWithoutSync)
+{
+    // Chiplet 0 caches line 0 (clean). Chiplet 1 writes it remotely.
+    // Without an acquire, chiplet 0's next L2 hit observes the stale
+    // version — exactly what the checker exists to catch.
+    mem.access({0, 0}, ds, 0, false);
+    mem.access({1, 0}, ds, 0, true);
+    mem.kernelBoundaryL1(); // L1s always invalidate at boundaries
+    EXPECT_EQ(space.staleReads(), 0u);
+    mem.access({0, 1}, ds, 0, false);
+    EXPECT_EQ(space.staleReads(), 1u);
+}
+
+TEST_F(ViperTest, AcquirePreventsTheStaleRead)
+{
+    mem.access({0, 0}, ds, 0, false);
+    mem.access({1, 0}, ds, 0, true);
+    mem.kernelBoundaryL1();
+    mem.l2Acquire(0);
+    mem.access({0, 1}, ds, 0, false);
+    EXPECT_EQ(space.staleReads(), 0u);
+}
+
+TEST_F(ViperTest, DirtyProducerScenarioNeedsRelease)
+{
+    // Chiplet 0 writes its local line; chiplet 1 reads it remotely.
+    // Without a release the read reaches the LLC and misses the dirty
+    // data.
+    mem.access({0, 0}, ds, 0, true);
+    mem.kernelBoundaryL1();
+    mem.access({1, 0}, ds, 0, false);
+    EXPECT_EQ(space.staleReads(), 1u);
+}
+
+TEST_F(ViperTest, ReleaseMakesDirtyDataVisibleRemotely)
+{
+    mem.access({0, 0}, ds, 0, true);
+    mem.kernelBoundaryL1();
+    mem.l2Release(0);
+    mem.access({1, 0}, ds, 0, false);
+    EXPECT_EQ(space.staleReads(), 0u);
+}
+
+TEST(ViperMonolithic, SingleChipletNeverRemote)
+{
+    DataSpace space;
+    GpuConfig cfg = GpuConfig::monolithicEquivalent(2);
+    cfg.cusPerChiplet = 4;
+    cfg.l2SizeBytesPerChiplet = 128 * 1024;
+    cfg.finalize();
+    ViperMemSystem mem(cfg, space, /*boundary_syncs_l2=*/false);
+    const DsId ds = space.allocate("a", 64 * 1024);
+    for (std::uint64_t l = 0; l < 512; ++l)
+        mem.access({0, static_cast<CuId>(l % 4)}, ds, l, l % 3 == 0);
+    EXPECT_EQ(mem.noc().flits().remote, 0u);
+    EXPECT_EQ(mem.kernelBoundaryL2(), 0u);
+    EXPECT_EQ(space.staleReads(), 0u);
+}
+
+TEST(ViperFactory, CoversAllProtocolKinds)
+{
+    DataSpace s1, s2, s3, s4, s5;
+    const GpuConfig cfg = tinyConfig(2);
+    EXPECT_TRUE(makeMemSystem(cfg, ProtocolKind::Baseline, s1)
+                    ->boundarySyncsL2());
+    EXPECT_FALSE(makeMemSystem(cfg, ProtocolKind::CpElide, s2)
+                     ->boundarySyncsL2());
+    EXPECT_FALSE(
+        makeMemSystem(cfg, ProtocolKind::Hmg, s3)->boundarySyncsL2());
+    EXPECT_FALSE(makeMemSystem(cfg, ProtocolKind::HmgWriteBack, s4)
+                     ->boundarySyncsL2());
+    EXPECT_THROW(makeMemSystem(cfg, ProtocolKind::Monolithic, s5),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cpelide

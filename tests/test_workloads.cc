@@ -1,0 +1,98 @@
+/** @file Workload-suite invariants, parameterized over all 24 apps. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/harness.hh"
+#include "workloads/graph.hh"
+#include "workloads/workload.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(WorkloadRegistry, Has24TableIIWorkloads)
+{
+    EXPECT_EQ(allWorkloadFactories().size(), 24u);
+    const auto names = workloadNames();
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 24u);
+    EXPECT_THROW(makeWorkload("nope"), FatalError);
+    EXPECT_EQ(makeWorkload("Square")->info().name, "Square");
+}
+
+TEST(WorkloadRegistry, ReuseGroupsMatchTableII)
+{
+    int high = 0, low = 0;
+    for (const auto &f : allWorkloadFactories())
+        (f()->info().highReuse ? high : low)++;
+    EXPECT_EQ(high, 18); // 16 apps, RNNs counted twice (two inputs)
+    EXPECT_EQ(low, 6);
+}
+
+TEST(CsrGraph, DeterministicAndWellFormed)
+{
+    auto a = CsrGraph::synthesize(1000, 8, 0.5, 42);
+    auto b = CsrGraph::synthesize(1000, 8, 0.5, 42);
+    EXPECT_EQ(a->cols, b->cols);
+    EXPECT_EQ(a->rowOffsets, b->rowOffsets);
+    ASSERT_EQ(a->rowOffsets.size(), 1001u);
+    EXPECT_EQ(a->rowOffsets.front(), 0u);
+    EXPECT_EQ(a->rowOffsets.back(), a->numEdges());
+    for (std::uint32_t v : a->cols)
+        EXPECT_LT(v, 1000u);
+    // Average degree in the requested ballpark.
+    EXPECT_GT(a->numEdges(), 6000u);
+    EXPECT_LT(a->numEdges(), 10000u);
+}
+
+/**
+ * Every workload, on every protocol, must complete with zero stale
+ * reads (the checker aborts otherwise) and stay within the paper's
+ * tracking bounds. Run at a small scale on a 2-chiplet GPU to keep
+ * this suite fast.
+ */
+class WorkloadConformance
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadConformance, CpElideIsCoherentAndBounded)
+{
+    const RunResult r =
+        runWorkload(GetParam(), ProtocolKind::CpElide, 2, 0.25);
+    EXPECT_EQ(r.staleReads, 0u) << GetParam();
+    EXPECT_GT(r.kernels, 0u);
+    EXPECT_GT(r.accesses, 0u);
+    // Table II: at most 11 live coherence-table entries, no overflow.
+    EXPECT_LE(r.tableMaxEntries, 11u) << GetParam();
+}
+
+TEST_P(WorkloadConformance, BaselineAndHmgAreCoherent)
+{
+    const RunResult b =
+        runWorkload(GetParam(), ProtocolKind::Baseline, 2, 0.2);
+    EXPECT_EQ(b.staleReads, 0u);
+    const RunResult h =
+        runWorkload(GetParam(), ProtocolKind::Hmg, 2, 0.2);
+    EXPECT_EQ(h.staleReads, 0u);
+    // The same trace is replayed in both configurations.
+    EXPECT_EQ(b.accesses, h.accesses);
+    EXPECT_EQ(b.kernels, h.kernels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadConformance,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace cpelide
