@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpelide.dir/ablation_cpelide.cc.o"
+  "CMakeFiles/ablation_cpelide.dir/ablation_cpelide.cc.o.d"
+  "ablation_cpelide"
+  "ablation_cpelide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpelide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hmg_writeback.dir/ablation_hmg_writeback.cc.o"
+  "CMakeFiles/ablation_hmg_writeback.dir/ablation_hmg_writeback.cc.o.d"
+  "ablation_hmg_writeback"
+  "ablation_hmg_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hmg_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

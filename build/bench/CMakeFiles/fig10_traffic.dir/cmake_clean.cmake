@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_traffic.dir/fig10_traffic.cc.o"
+  "CMakeFiles/fig10_traffic.dir/fig10_traffic.cc.o.d"
+  "fig10_traffic"
+  "fig10_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_monolithic_loss.dir/fig2_monolithic_loss.cc.o"
+  "CMakeFiles/fig2_monolithic_loss.dir/fig2_monolithic_loss.cc.o.d"
+  "fig2_monolithic_loss"
+  "fig2_monolithic_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_monolithic_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_performance.dir/fig8_performance.cc.o"
+  "CMakeFiles/fig8_performance.dir/fig8_performance.cc.o.d"
+  "fig8_performance"
+  "fig8_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

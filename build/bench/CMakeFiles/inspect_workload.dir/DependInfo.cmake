@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/inspect_workload.cc" "bench/CMakeFiles/inspect_workload.dir/inspect_workload.cc.o" "gcc" "bench/CMakeFiles/inspect_workload.dir/inspect_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cpelide_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cpelide_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cpelide_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cpelide_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cp/CMakeFiles/cpelide_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/cpelide_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpelide_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpelide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cpelide_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpelide_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_table_ops.dir/micro_table_ops.cc.o"
+  "CMakeFiles/micro_table_ops.dir/micro_table_ops.cc.o.d"
+  "micro_table_ops"
+  "micro_table_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_table_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistream_study.dir/multistream_study.cc.o"
+  "CMakeFiles/multistream_study.dir/multistream_study.cc.o.d"
+  "multistream_study"
+  "multistream_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistream_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

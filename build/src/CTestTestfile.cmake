@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("config")
+subdirs("mem")
+subdirs("noc")
+subdirs("energy")
+subdirs("stats")
+subdirs("coherence")
+subdirs("core")
+subdirs("cp")
+subdirs("gpu")
+subdirs("runtime")
+subdirs("workloads")
+subdirs("harness")

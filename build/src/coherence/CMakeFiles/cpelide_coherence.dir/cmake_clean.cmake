@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_coherence.dir/hmg.cc.o"
+  "CMakeFiles/cpelide_coherence.dir/hmg.cc.o.d"
+  "CMakeFiles/cpelide_coherence.dir/mem_system.cc.o"
+  "CMakeFiles/cpelide_coherence.dir/mem_system.cc.o.d"
+  "libcpelide_coherence.a"
+  "libcpelide_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

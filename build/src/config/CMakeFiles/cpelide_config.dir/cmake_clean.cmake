@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_config.dir/gpu_config.cc.o"
+  "CMakeFiles/cpelide_config.dir/gpu_config.cc.o.d"
+  "libcpelide_config.a"
+  "libcpelide_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coherence_table.cc" "src/core/CMakeFiles/cpelide_core.dir/coherence_table.cc.o" "gcc" "src/core/CMakeFiles/cpelide_core.dir/coherence_table.cc.o.d"
+  "/root/repo/src/core/elide_engine.cc" "src/core/CMakeFiles/cpelide_core.dir/elide_engine.cc.o" "gcc" "src/core/CMakeFiles/cpelide_core.dir/elide_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/cpelide_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_core.dir/coherence_table.cc.o"
+  "CMakeFiles/cpelide_core.dir/coherence_table.cc.o.d"
+  "CMakeFiles/cpelide_core.dir/elide_engine.cc.o"
+  "CMakeFiles/cpelide_core.dir/elide_engine.cc.o.d"
+  "libcpelide_core.a"
+  "libcpelide_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_cp.dir/global_cp.cc.o"
+  "CMakeFiles/cpelide_cp.dir/global_cp.cc.o.d"
+  "libcpelide_cp.a"
+  "libcpelide_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

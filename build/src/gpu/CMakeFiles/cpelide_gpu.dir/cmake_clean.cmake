@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_gpu.dir/gpu_system.cc.o"
+  "CMakeFiles/cpelide_gpu.dir/gpu_system.cc.o.d"
+  "libcpelide_gpu.a"
+  "libcpelide_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

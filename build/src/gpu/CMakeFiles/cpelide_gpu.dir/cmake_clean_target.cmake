@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpelide_gpu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_harness.dir/harness.cc.o"
+  "CMakeFiles/cpelide_harness.dir/harness.cc.o.d"
+  "libcpelide_harness.a"
+  "libcpelide_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

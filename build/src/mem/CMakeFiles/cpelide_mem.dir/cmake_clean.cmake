@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_mem.dir/cache.cc.o"
+  "CMakeFiles/cpelide_mem.dir/cache.cc.o.d"
+  "libcpelide_mem.a"
+  "libcpelide_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

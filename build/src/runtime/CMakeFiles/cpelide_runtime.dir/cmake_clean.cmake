@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_runtime.dir/runtime.cc.o"
+  "CMakeFiles/cpelide_runtime.dir/runtime.cc.o.d"
+  "libcpelide_runtime.a"
+  "libcpelide_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpelide_stats.dir/report.cc.o"
+  "CMakeFiles/cpelide_stats.dir/report.cc.o.d"
+  "libcpelide_stats.a"
+  "libcpelide_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpelide_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

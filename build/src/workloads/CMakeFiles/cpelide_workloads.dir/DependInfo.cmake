@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/babelstream.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/babelstream.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/babelstream.cc.o.d"
+  "/root/repo/src/workloads/backprop.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/backprop.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/backprop.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/cnn.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/cnn.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/cnn.cc.o.d"
+  "/root/repo/src/workloads/color_max.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/color_max.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/color_max.cc.o.d"
+  "/root/repo/src/workloads/dwt2d.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/dwt2d.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/dwt2d.cc.o.d"
+  "/root/repo/src/workloads/fw.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/fw.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/fw.cc.o.d"
+  "/root/repo/src/workloads/gaussian.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/gaussian.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/gaussian.cc.o.d"
+  "/root/repo/src/workloads/hacc.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/hacc.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/hacc.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/hotspot3d.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/hotspot3d.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/hotspot3d.cc.o.d"
+  "/root/repo/src/workloads/lud.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/lud.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/lud.cc.o.d"
+  "/root/repo/src/workloads/lulesh.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/lulesh.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/lulesh.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/pathfinder.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/pathfinder.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/pathfinder.cc.o.d"
+  "/root/repo/src/workloads/pennant.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/pennant.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/pennant.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/rnn.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/rnn.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/rnn.cc.o.d"
+  "/root/repo/src/workloads/square.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/square.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/square.cc.o.d"
+  "/root/repo/src/workloads/srad_v2.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/srad_v2.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/srad_v2.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/workloads/CMakeFiles/cpelide_workloads.dir/sssp.cc.o" "gcc" "src/workloads/CMakeFiles/cpelide_workloads.dir/sssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/cpelide_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cpelide_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cp/CMakeFiles/cpelide_cp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/cpelide_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cpelide_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cpelide_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cpelide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/cpelide_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

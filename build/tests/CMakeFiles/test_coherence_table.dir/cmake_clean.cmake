@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_table.dir/test_coherence_table.cc.o"
+  "CMakeFiles/test_coherence_table.dir/test_coherence_table.cc.o.d"
+  "test_coherence_table"
+  "test_coherence_table.pdb"
+  "test_coherence_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

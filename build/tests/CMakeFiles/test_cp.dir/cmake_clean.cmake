@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cp.dir/test_cp.cc.o"
+  "CMakeFiles/test_cp.dir/test_cp.cc.o.d"
+  "test_cp"
+  "test_cp.pdb"
+  "test_cp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ds_state.dir/test_ds_state.cc.o"
+  "CMakeFiles/test_ds_state.dir/test_ds_state.cc.o.d"
+  "test_ds_state"
+  "test_ds_state.pdb"
+  "test_ds_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ds_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

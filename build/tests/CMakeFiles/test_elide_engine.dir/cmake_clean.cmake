@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elide_engine.dir/test_elide_engine.cc.o"
+  "CMakeFiles/test_elide_engine.dir/test_elide_engine.cc.o.d"
+  "test_elide_engine"
+  "test_elide_engine.pdb"
+  "test_elide_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elide_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmg.dir/test_hmg.cc.o"
+  "CMakeFiles/test_hmg.dir/test_hmg.cc.o.d"
+  "test_hmg"
+  "test_hmg.pdb"
+  "test_hmg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

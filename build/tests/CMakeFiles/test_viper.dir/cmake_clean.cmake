@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viper.dir/test_viper.cc.o"
+  "CMakeFiles/test_viper.dir/test_viper.cc.o.d"
+  "test_viper"
+  "test_viper.pdb"
+  "test_viper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_data_space[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_ds_state[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_table[1]_include.cmake")
+include("/root/repo/build/tests/test_elide_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_viper[1]_include.cmake")
+include("/root/repo/build/tests/test_hmg[1]_include.cmake")
+include("/root/repo/build/tests/test_cp[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_system[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_annotations[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
