@@ -21,8 +21,8 @@ using namespace cpelide;
 namespace
 {
 
-RunResult
-runVariant(const std::string &name, int ds_per_kernel, int depth,
+Job
+variantJob(const std::string &name, int ds_per_kernel, int depth,
            bool free_sync, double scale)
 {
     GpuConfig cfg = GpuConfig::radeonVii(4);
@@ -32,7 +32,7 @@ runVariant(const std::string &name, int ds_per_kernel, int depth,
     cfg.finalize();
     RunOptions opts;
     opts.protocol = ProtocolKind::CpElide;
-    return runWorkloadCfg(name, cfg, opts, scale);
+    return workloadCfgJob(name, cfg, opts, scale);
 }
 
 } // namespace
@@ -48,14 +48,24 @@ main()
         "BabelStream", "Hotspot3D", "LUD",     "Lulesh",
         "Color-max",   "SRAD_v2",   "Gaussian"};
 
+    SweepSpec spec{"ablation_cpelide", {}};
+    for (const auto &name : subset) {
+        spec.jobs.push_back(variantJob(name, 8, 8, false, scale));
+        spec.jobs.push_back(variantJob(name, 2, 4, false, scale));
+        spec.jobs.push_back(variantJob(name, 2, 8, false, scale));
+        spec.jobs.push_back(variantJob(name, 8, 8, true, scale));
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "paper (8x8)", "tiny table (2x4)",
                   "coarsen@2", "ideal sync"});
     std::vector<double> tiny, coarse, ideal;
     for (const auto &name : subset) {
-        const RunResult full = runVariant(name, 8, 8, false, scale);
-        const RunResult small = runVariant(name, 2, 4, false, scale);
-        const RunResult co = runVariant(name, 2, 8, false, scale);
-        const RunResult id = runVariant(name, 8, 8, true, scale);
+        const RunResult &full = out[next++].result;
+        const RunResult &small = out[next++].result;
+        const RunResult &co = out[next++].result;
+        const RunResult &id = out[next++].result;
         auto rel = [&](const RunResult &r) {
             return static_cast<double>(r.cycles) / full.cycles;
         };

@@ -20,15 +20,24 @@ main()
     printConfigBanner(4);
     std::puts("== Ablation: HMG write-through vs write-back L2 ==\n");
 
+    SweepSpec spec{"ablation_hmg", {}};
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Hmg, 4, scale));
+        spec.jobs.push_back(workloadJob(
+            info.name, ProtocolKind::HmgWriteBack, 4, scale));
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "HMG-WT cycles", "HMG-WB cycles",
                   "WB vs WT"});
     std::vector<double> ratios;
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        const RunResult wt =
-            runWorkload(info.name, ProtocolKind::Hmg, 4, scale);
-        const RunResult wb =
-            runWorkload(info.name, ProtocolKind::HmgWriteBack, 4, scale);
+        const RunResult &wt = out[next++].result;
+        const RunResult &wb = out[next++].result;
         const double ratio =
             static_cast<double>(wt.cycles) / wb.cycles; // speedup of WB
         ratios.push_back(ratio);

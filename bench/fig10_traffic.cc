@@ -25,6 +25,19 @@ main()
               "==");
     std::puts("(breakdown: L1-L2 / L2-L3 / remote)\n");
 
+    SweepSpec spec{"fig10", {}};
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Baseline, 4, scale));
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::CpElide, 4, scale));
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Hmg, 4, scale));
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "C total", "H total", "C breakdown",
                   "H breakdown"});
     std::vector<double> cTot, hTot;
@@ -36,12 +49,9 @@ main()
             t.addRule();
             ruleDone = true;
         }
-        const RunResult b =
-            runWorkload(info.name, ProtocolKind::Baseline, 4, scale);
-        const RunResult c =
-            runWorkload(info.name, ProtocolKind::CpElide, 4, scale);
-        const RunResult h =
-            runWorkload(info.name, ProtocolKind::Hmg, 4, scale);
+        const RunResult &b = out[next++].result;
+        const RunResult &c = out[next++].result;
+        const RunResult &h = out[next++].result;
         const double norm = static_cast<double>(b.flits.total());
         cTot.push_back(c.flits.total() / norm);
         hTot.push_back(h.flits.total() / norm);

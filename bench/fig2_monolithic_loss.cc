@@ -21,15 +21,24 @@ main()
     std::puts("== Fig 2: 4-chiplet Baseline vs equivalent monolithic "
               "GPU ==\n");
 
+    SweepSpec spec{"fig2", {}};
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Monolithic, 4, scale));
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Baseline, 4, scale));
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "monolithic cycles", "baseline cycles",
                   "perf loss"});
     std::vector<double> losses;
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        const RunResult mono =
-            runWorkload(info.name, ProtocolKind::Monolithic, 4, scale);
-        const RunResult base =
-            runWorkload(info.name, ProtocolKind::Baseline, 4, scale);
+        const RunResult &mono = out[next++].result;
+        const RunResult &base = out[next++].result;
         // Loss = extra runtime relative to monolithic.
         const double loss =
             static_cast<double>(base.cycles) / mono.cycles - 1.0;

@@ -23,6 +23,27 @@ main()
     const double scale = envScale();
     printConfigBanner(4);
 
+    // Fan the whole 24 x 3 x 4 grid out across CPELIDE_JOBS workers;
+    // outcomes come back in spec order, so the tables below are
+    // byte-identical to the serial run.
+    SweepSpec spec{"fig8", {}};
+    for (int chiplets : {2, 4, 6, 7}) {
+        for (const auto &factory : allWorkloadFactories()) {
+            const auto info = factory()->info();
+            for (ProtocolKind kind :
+                 {ProtocolKind::Baseline, ProtocolKind::Hmg,
+                  ProtocolKind::CpElide}) {
+                spec.jobs.push_back(
+                    workloadJob(info.name, kind, chiplets, scale));
+            }
+        }
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+    auto take = [&]() -> const RunResult & {
+        return out[next++].result;
+    };
+
     for (int chiplets : {2, 4, 6, 7}) {
         std::printf("== Fig 8 (%d chiplets): speedup over Baseline ==\n",
                     chiplets);
@@ -35,12 +56,9 @@ main()
                 t.addRule();
                 ruleDone = true;
             }
-            const RunResult base = runWorkload(
-                info.name, ProtocolKind::Baseline, chiplets, scale);
-            const RunResult hmg = runWorkload(
-                info.name, ProtocolKind::Hmg, chiplets, scale);
-            const RunResult elide = runWorkload(
-                info.name, ProtocolKind::CpElide, chiplets, scale);
+            const RunResult &base = take();
+            const RunResult &hmg = take();
+            const RunResult &elide = take();
             const double sh = static_cast<double>(base.cycles) /
                               hmg.cycles;
             const double se = static_cast<double>(base.cycles) /

@@ -37,6 +37,19 @@ main()
               "Baseline ==");
     std::puts("(columns: total; breakdown L1I/L1D/LDS/L2/NoC/DRAM)\n");
 
+    SweepSpec spec{"fig9", {}};
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Baseline, 4, scale));
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::CpElide, 4, scale));
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::Hmg, 4, scale));
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "B total", "C total", "H total",
                   "C breakdown", "H breakdown"});
     std::vector<double> cTotals, hTotals;
@@ -47,12 +60,9 @@ main()
             t.addRule();
             ruleDone = true;
         }
-        const RunResult b =
-            runWorkload(info.name, ProtocolKind::Baseline, 4, scale);
-        const RunResult c =
-            runWorkload(info.name, ProtocolKind::CpElide, 4, scale);
-        const RunResult h =
-            runWorkload(info.name, ProtocolKind::Hmg, 4, scale);
+        const RunResult &b = out[next++].result;
+        const RunResult &c = out[next++].result;
+        const RunResult &h = out[next++].result;
         const double norm = b.energy.total();
         cTotals.push_back(c.energy.total() / norm);
         hTotals.push_back(h.energy.total() / norm);

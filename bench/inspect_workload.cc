@@ -24,13 +24,17 @@ main(int argc, char **argv)
 
     AsciiTable t({"metric", "Monolithic", "Baseline", "CPElide", "HMG",
                   "HMG-WB"});
-    RunResult r[5];
     const ProtocolKind kinds[5] = {
         ProtocolKind::Monolithic, ProtocolKind::Baseline,
         ProtocolKind::CpElide, ProtocolKind::Hmg,
         ProtocolKind::HmgWriteBack};
+    SweepSpec spec{"inspect", {}};
+    for (ProtocolKind kind : kinds)
+        spec.jobs.push_back(workloadJob(name, kind, chiplets, scale));
+    const std::vector<JobOutcome> out = runSweep(spec);
+    RunResult r[5];
     for (int i = 0; i < 5; ++i)
-        r[i] = runWorkload(name, kinds[i], chiplets, scale);
+        r[i] = out[static_cast<std::size_t>(i)].result;
 
     auto row = [&](const std::string &label, auto getter, int decimals) {
         std::vector<std::string> cells = {label};

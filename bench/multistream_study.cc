@@ -30,15 +30,24 @@ main()
         "LUD",         "Lulesh",  "RNN-GRU-l", "Pathfinder",
     };
 
+    SweepSpec spec{"multistream", {}};
+    for (const auto &name : subset) {
+        for (ProtocolKind kind :
+             {ProtocolKind::Baseline, ProtocolKind::Hmg,
+              ProtocolKind::CpElide}) {
+            spec.jobs.push_back(
+                multiStreamJob(name, kind, 4, 2, scale));
+        }
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application x2", "HMG speedup", "CPElide speedup"});
     std::vector<double> hmg, elide;
     for (const auto &name : subset) {
-        const RunResult b = runWorkloadMultiStream(
-            name, ProtocolKind::Baseline, 4, 2, scale);
-        const RunResult h =
-            runWorkloadMultiStream(name, ProtocolKind::Hmg, 4, 2, scale);
-        const RunResult c = runWorkloadMultiStream(
-            name, ProtocolKind::CpElide, 4, 2, scale);
+        const RunResult &b = out[next++].result;
+        const RunResult &h = out[next++].result;
+        const RunResult &c = out[next++].result;
         hmg.push_back(static_cast<double>(b.cycles) / h.cycles);
         elide.push_back(static_cast<double>(b.cycles) / c.cycles);
         t.addRow({name, fmt(hmg.back()), fmt(elide.back())});

@@ -24,17 +24,25 @@ main()
     printConfigBanner(4);
     std::puts("== Section VI: CPElide scalability to 8/16 chiplets ==\n");
 
+    SweepSpec spec{"scaling", {}};
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        for (int extra : {0, 1, 3}) {
+            spec.jobs.push_back(workloadJob(
+                info.name, ProtocolKind::CpElide, 4, scale, extra));
+        }
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "4-chiplet", "mimic 8 (2x sync)",
                   "mimic 16 (4x sync)"});
     std::vector<double> slow8, slow16;
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        const RunResult r4 = runWorkload(info.name, ProtocolKind::CpElide,
-                                         4, scale, 0);
-        const RunResult r8 = runWorkload(info.name, ProtocolKind::CpElide,
-                                         4, scale, 1);
-        const RunResult r16 = runWorkload(
-            info.name, ProtocolKind::CpElide, 4, scale, 3);
+        const RunResult &r4 = out[next++].result;
+        const RunResult &r8 = out[next++].result;
+        const RunResult &r16 = out[next++].result;
         slow8.push_back(static_cast<double>(r8.cycles) / r4.cycles - 1.0);
         slow16.push_back(static_cast<double>(r16.cycles) / r4.cycles -
                          1.0);

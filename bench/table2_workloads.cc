@@ -22,6 +22,15 @@ main()
     printConfigBanner(4);
     std::puts("== Table II: Evaluated benchmarks ==\n");
 
+    SweepSpec spec{"table2", {}};
+    for (const auto &factory : allWorkloadFactories()) {
+        const auto info = factory()->info();
+        spec.jobs.push_back(
+            workloadJob(info.name, ProtocolKind::CpElide, 4, scale));
+    }
+    const std::vector<JobOutcome> out = runSweep(spec);
+    std::size_t next = 0;
+
     AsciiTable t({"application", "suite", "input", "kernels",
                   "accesses", "table max", "conservative"});
     bool headerDone = false;
@@ -33,8 +42,7 @@ main()
             t.addRule();
             headerDone = true; // low-reuse group below the rule
         }
-        const RunResult r =
-            runWorkload(info.name, ProtocolKind::CpElide, 4, scale);
+        const RunResult &r = out[next++].result;
         t.addRow({info.name, info.suite, info.input,
                   std::to_string(r.kernels), std::to_string(r.accesses),
                   std::to_string(r.tableMaxEntries),

@@ -294,7 +294,9 @@ ViperMemSystem::readBelowL1(const AccessContext &ctx, DsId ds,
     }
     ++_l2Stats.misses;
     if (std::getenv("CPELIDE_MISS_DEBUG")) {
-        static std::uint64_t n = 0;
+        // thread_local: concurrent sweep jobs each sample their own
+        // stream rather than racing on one counter.
+        static thread_local std::uint64_t n = 0;
         if (++n % 4096 == 1) {
             std::fprintf(stderr, "[rmiss] ds=%d line=%llu chiplet=%d\n",
                          ds, (unsigned long long)line, ctx.chiplet);
@@ -331,7 +333,7 @@ ViperMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
         } else {
             ++_l2Stats.misses;
             if (std::getenv("CPELIDE_MISS_DEBUG")) {
-                static std::uint64_t n = 0;
+                static thread_local std::uint64_t n = 0;
                 if (++n % 4096 == 1) {
                     std::fprintf(stderr, "[wmiss] ds=%d line=%llu "
                                  "chiplet=%d\n", ds,

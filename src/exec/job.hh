@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Job / SweepSpec / JobOutcome: the unit of work of the experiment
+ * execution engine. A Job describes one simulation (workload,
+ * protocol, chiplet count, scale) and carries the bound body that
+ * constructs a private Runtime and returns its RunResult; a SweepSpec
+ * is an ordered batch whose results merge back in spec order, so
+ * bench output is byte-identical however many threads ran it.
+ */
+
+#ifndef CPELIDE_EXEC_JOB_HH
+#define CPELIDE_EXEC_JOB_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/run_metrics.hh"
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+/** One simulation to run. The body must be self-contained: it owns
+ *  its Runtime and must not touch shared mutable state. */
+struct Job
+{
+    std::string label;    //!< metrics/error identification
+    std::string workload; //!< descriptive: workload name
+    std::string protocol; //!< descriptive: protocol name
+    int chiplets = 0;     //!< descriptive: chiplet count
+    double scale = 1.0;   //!< descriptive: iteration-count scale
+
+    std::function<RunResult()> body;
+};
+
+/** An ordered batch of jobs, merged back in this order. */
+struct SweepSpec
+{
+    std::string name; //!< sweep identification in the metrics registry
+    std::vector<Job> jobs;
+
+    void
+    add(std::string label, std::function<RunResult()> body)
+    {
+        Job j;
+        j.label = std::move(label);
+        j.body = std::move(body);
+        jobs.push_back(std::move(j));
+    }
+};
+
+/** Result slot of one job, at the job's index in the SweepSpec. */
+struct JobOutcome
+{
+    /** Valid when ok; zero-initialized (error row) otherwise. */
+    RunResult result;
+    RunMetrics metrics;
+    bool ok = false;
+    std::string error; //!< exception text when !ok
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_EXEC_JOB_HH

@@ -1,0 +1,113 @@
+#include "exec/sweep_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "exec/thread_pool.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cpelide
+{
+
+namespace
+{
+
+long
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<long>(ru.ru_maxrss / 1024); // bytes -> KiB
+#else
+        return static_cast<long>(ru.ru_maxrss); // already KiB
+#endif
+    }
+#endif
+    return 0;
+}
+
+} // namespace
+
+int
+jobsFromEnv()
+{
+    const int fallback = std::max(
+        1u, std::thread::hardware_concurrency());
+    if (const char *s = std::getenv("CPELIDE_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end != s && *end == '\0' && v > 0)
+            return static_cast<int>(std::min<long>(v, 256));
+    }
+    return fallback;
+}
+
+SweepRunner::SweepRunner(int jobs) : _jobs(std::max(1, jobs)) {}
+
+JobOutcome
+SweepRunner::runOne(const SweepSpec &spec, const Job &job) const
+{
+    JobOutcome out;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        out.result = job.body();
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    const auto end = std::chrono::steady_clock::now();
+    out.metrics.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    out.metrics.peakRssKb = peakRssKb();
+    out.metrics.simEvents = out.ok ? out.result.simEvents : 0;
+    out.metrics.worker = ThreadPool::currentWorker();
+    MetricsRegistry::global().record(spec.name, job.label, out.ok,
+                                     out.metrics);
+    return out;
+}
+
+std::vector<JobOutcome>
+SweepRunner::run(const SweepSpec &spec) const
+{
+    std::vector<JobOutcome> outcomes(spec.jobs.size());
+
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(_jobs),
+                              spec.jobs.size()));
+    if (workers <= 1) {
+        // Legacy serial path: inline on the caller thread, no pool.
+        for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+            outcomes[i] = runOne(spec, spec.jobs[i]);
+    } else {
+        ThreadPool pool(workers);
+        for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+            pool.submit([this, &spec, &outcomes, i] {
+                // Each job writes only its own slot: the merged vector
+                // is in spec order whatever the completion order.
+                outcomes[i] = runOne(spec, spec.jobs[i]);
+            });
+        }
+        pool.wait();
+    }
+
+    if (std::getenv("CPELIDE_METRICS")) {
+        const std::string table =
+            MetricsRegistry::global().render(spec.name);
+        std::fprintf(stderr, "-- metrics: sweep '%s' (%d workers) --\n%s",
+                     spec.name.c_str(), workers, table.c_str());
+    }
+    return outcomes;
+}
+
+} // namespace cpelide

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SweepRunner: fan a SweepSpec's jobs out across a work-stealing
+ * thread pool and merge the results back in deterministic job order.
+ *
+ * - Results are written to the job's own slot, so the returned vector
+ *   is in SweepSpec order regardless of completion order, and a
+ *   parallel sweep's output is byte-identical to the serial run.
+ * - A throwing job records an error outcome (ok == false, the
+ *   exception text in `error`) instead of killing the sweep.
+ * - Thread count comes from the CPELIDE_JOBS environment variable
+ *   (default: hardware concurrency). CPELIDE_JOBS=1 bypasses the pool
+ *   entirely and runs every job inline on the caller thread — the
+ *   legacy serial path.
+ * - Per-job wall time, peak RSS, and simulator event counts are
+ *   recorded in MetricsRegistry::global(); set CPELIDE_METRICS=1 to
+ *   dump them to stderr after each sweep.
+ */
+
+#ifndef CPELIDE_EXEC_SWEEP_RUNNER_HH
+#define CPELIDE_EXEC_SWEEP_RUNNER_HH
+
+#include <vector>
+
+#include "exec/job.hh"
+
+namespace cpelide
+{
+
+/**
+ * Worker count from CPELIDE_JOBS: default hardware concurrency,
+ * clamped to >= 1; unparsable or non-positive values fall back to the
+ * default.
+ */
+int jobsFromEnv();
+
+class SweepRunner
+{
+  public:
+    /** @p jobs worker threads; <= 1 selects the serial path. */
+    explicit SweepRunner(int jobs = jobsFromEnv());
+
+    int jobCount() const { return _jobs; }
+
+    /** Run every job; outcomes are indexed exactly like spec.jobs. */
+    std::vector<JobOutcome> run(const SweepSpec &spec) const;
+
+  private:
+    JobOutcome runOne(const SweepSpec &spec, const Job &job) const;
+
+    int _jobs;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_EXEC_SWEEP_RUNNER_HH

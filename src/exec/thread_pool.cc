@@ -1,0 +1,123 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace cpelide
+{
+
+namespace
+{
+
+thread_local int tlWorkerIndex = -1;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    _workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _workCv.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        target = _nextDeque++ % _workers.size();
+        ++_queued;
+        ++_outstanding;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_workers[target]->mutex);
+        _workers[target]->tasks.push_back(std::move(task));
+    }
+    _workCv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idleCv.wait(lock, [this] { return _outstanding == 0; });
+}
+
+int
+ThreadPool::currentWorker()
+{
+    return tlWorkerIndex;
+}
+
+bool
+ThreadPool::takeTask(int index, Task &out)
+{
+    // Own deque first (front), then steal from the back of the others.
+    Worker &own = *_workers[static_cast<std::size_t>(index)];
+    {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    const int n = threadCount();
+    for (int k = 1; k < n; ++k) {
+        Worker &victim = *_workers[static_cast<std::size_t>(
+            (index + k) % n)];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(int index)
+{
+    tlWorkerIndex = index;
+    for (;;) {
+        Task task;
+        if (takeTask(index, task)) {
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                --_queued;
+            }
+            task();
+            bool idle;
+            {
+                std::lock_guard<std::mutex> lock(_mutex);
+                idle = --_outstanding == 0;
+            }
+            if (idle)
+                _idleCv.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(_mutex);
+        _workCv.wait(lock,
+                     [this] { return _stop || _queued > 0; });
+        if (_stop && _queued == 0)
+            return;
+    }
+}
+
+} // namespace cpelide

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment-execution engine.
+ *
+ * Each worker owns a deque: submit() deals tasks round-robin across
+ * the deques, a worker pops its own deque from the front, and an idle
+ * worker steals from the back of a victim's deque. Simulation jobs
+ * are coarse (milliseconds to minutes each), so the deques are
+ * mutex-protected rather than lock-free — contention is negligible
+ * next to job runtime, and the code stays auditable.
+ */
+
+#ifndef CPELIDE_EXEC_THREAD_POOL_HH
+#define CPELIDE_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpelide
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Start @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(_workers.size()); }
+
+    /** Enqueue @p task; runs on some worker, in no particular order. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Index of the pool worker running the calling thread, or -1 when
+     * called from a thread outside any pool (e.g. the serial path).
+     */
+    static int currentWorker();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(int index);
+    bool takeTask(int index, Task &out);
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    std::mutex _mutex; //!< guards the counters and both condvars
+    std::condition_variable _workCv;
+    std::condition_variable _idleCv;
+    std::size_t _queued = 0;      //!< submitted, not yet popped
+    std::size_t _outstanding = 0; //!< submitted, not yet finished
+    std::size_t _nextDeque = 0;   //!< round-robin submit cursor
+    bool _stop = false;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_EXEC_THREAD_POOL_HH

@@ -304,6 +304,7 @@ GpuSystem::run(const std::string &label)
         r.tableMaxEntries = eng->table().maxEntries();
     }
     r.staleReads = _space.staleReads();
+    r.simEvents = _events.eventsProcessed();
     return r;
 }
 

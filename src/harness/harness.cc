@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "runtime/runtime.hh"
+#include "sim/log.hh"
 
 namespace cpelide
 {
@@ -65,6 +66,74 @@ runWorkloadMultiStream(const std::string &workload_name,
                              std::to_string(copies));
     r.numChiplets = chiplets;
     return r;
+}
+
+Job
+workloadJob(const std::string &workload_name, ProtocolKind kind,
+            int chiplets, double scale, int extra_sync_sets)
+{
+    Job j;
+    j.workload = workload_name;
+    j.protocol = protocolName(kind);
+    j.chiplets = chiplets;
+    j.scale = scale;
+    j.label = workload_name + "/" + j.protocol + "/" +
+              std::to_string(chiplets) + "c";
+    if (extra_sync_sets)
+        j.label += "+sync" + std::to_string(extra_sync_sets);
+    j.body = [=] {
+        return runWorkload(workload_name, kind, chiplets, scale,
+                           extra_sync_sets);
+    };
+    return j;
+}
+
+Job
+workloadCfgJob(const std::string &workload_name, const GpuConfig &cfg,
+               const RunOptions &opts, double scale)
+{
+    Job j;
+    j.workload = workload_name;
+    j.protocol = protocolName(opts.protocol);
+    j.chiplets = cfg.numChiplets;
+    j.scale = scale;
+    j.label = workload_name + "/" + j.protocol + "/" +
+              std::to_string(cfg.numChiplets) + "c/custom";
+    j.body = [=] {
+        return runWorkloadCfg(workload_name, cfg, opts, scale);
+    };
+    return j;
+}
+
+Job
+multiStreamJob(const std::string &workload_name, ProtocolKind kind,
+               int chiplets, int copies, double scale)
+{
+    Job j;
+    j.workload = workload_name;
+    j.protocol = protocolName(kind);
+    j.chiplets = chiplets;
+    j.scale = scale;
+    j.label = workload_name + "x" + std::to_string(copies) + "/" +
+              j.protocol + "/" + std::to_string(chiplets) + "c";
+    j.body = [=] {
+        return runWorkloadMultiStream(workload_name, kind, chiplets,
+                                      copies, scale);
+    };
+    return j;
+}
+
+std::vector<JobOutcome>
+runSweep(const SweepSpec &spec)
+{
+    SweepRunner runner;
+    std::vector<JobOutcome> outcomes = runner.run(spec);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok)
+            warn("sweep '" + spec.name + "' job '" +
+                 spec.jobs[i].label + "' failed: " + outcomes[i].error);
+    }
+    return outcomes;
 }
 
 double

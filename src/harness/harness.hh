@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/job.hh"
+#include "exec/sweep_runner.hh"
 #include "stats/run_result.hh"
 #include "workloads/workload.hh"
 
@@ -41,6 +43,28 @@ RunResult runWorkloadCfg(const std::string &workload_name,
 RunResult runWorkloadMultiStream(const std::string &workload_name,
                                  ProtocolKind kind, int chiplets,
                                  int copies, double scale = 1.0);
+
+/**
+ * Job factories binding the run* entry points above into exec Jobs,
+ * so benches can assemble a SweepSpec and fan it out. @{
+ */
+Job workloadJob(const std::string &workload_name, ProtocolKind kind,
+                int chiplets, double scale = 1.0,
+                int extra_sync_sets = 0);
+Job workloadCfgJob(const std::string &workload_name,
+                   const GpuConfig &cfg, const RunOptions &opts,
+                   double scale = 1.0);
+Job multiStreamJob(const std::string &workload_name, ProtocolKind kind,
+                   int chiplets, int copies, double scale = 1.0);
+/** @} */
+
+/**
+ * Run @p spec on a SweepRunner sized by CPELIDE_JOBS and return the
+ * outcomes in spec order (see exec/sweep_runner.hh). Failed jobs get
+ * a warn() line on stderr and a zeroed result row; the sweep itself
+ * never aborts.
+ */
+std::vector<JobOutcome> runSweep(const SweepSpec &spec);
 
 /**
  * Scale factor from the CPELIDE_SCALE environment variable (default

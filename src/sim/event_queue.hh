@@ -56,6 +56,13 @@ class EventQueue
     /** True when no events remain. */
     bool empty() const { return _heap.empty(); }
 
+    /**
+     * Simulation work performed so far: callbacks executed plus
+     * functional time advances (advanceTo with when > now). Reported
+     * per job by the exec engine's metrics.
+     */
+    std::uint64_t eventsProcessed() const { return _eventsProcessed; }
+
     /** Number of pending events. */
     std::size_t size() const { return _heap.size(); }
 
@@ -72,6 +79,7 @@ class EventQueue
         Event ev = _heap.top();
         _heap.pop();
         _now = ev.when;
+        ++_eventsProcessed;
         ev.cb();
         return true;
     }
@@ -92,8 +100,10 @@ class EventQueue
     void
     advanceTo(Tick when)
     {
-        if (when > _now)
+        if (when > _now) {
             _now = when;
+            ++_eventsProcessed;
+        }
     }
 
   private:
@@ -113,6 +123,7 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, std::greater<>> _heap;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
+    std::uint64_t _eventsProcessed = 0;
 };
 
 } // namespace cpelide

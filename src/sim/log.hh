@@ -14,11 +14,23 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
 namespace cpelide
 {
+
+/**
+ * Serializes diagnostic output: concurrent Runtime instances (the
+ * exec sweep engine) must not interleave their warn/panic lines.
+ */
+inline std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 /** Thrown by fatal() on unusable user configuration or input. */
 class FatalError : public std::runtime_error
@@ -33,7 +45,10 @@ class FatalError : public std::runtime_error
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     std::abort();
 }
 
@@ -48,6 +63,7 @@ fatal(const std::string &msg)
 inline void
 warn(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

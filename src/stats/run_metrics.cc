@@ -1,0 +1,68 @@
+#include "stats/run_metrics.hh"
+
+#include "stats/report.hh"
+
+namespace cpelide
+{
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+void
+MetricsRegistry::record(const std::string &sweep,
+                        const std::string &label, bool ok,
+                        const RunMetrics &m)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _rows.push_back(Row{sweep, label, ok, m});
+}
+
+std::vector<MetricsRegistry::Row>
+MetricsRegistry::rows() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _rows;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _rows.size();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _rows.clear();
+}
+
+std::string
+MetricsRegistry::render(const std::string &sweep) const
+{
+    AsciiTable t({"job", "status", "wall (s)", "peak RSS (MiB)",
+                  "sim events", "worker"});
+    double wallTotal = 0.0;
+    for (const Row &row : rows()) {
+        if (!sweep.empty() && row.sweep != sweep)
+            continue;
+        wallTotal += row.metrics.wallSeconds;
+        t.addRow({row.label, row.ok ? "ok" : "FAILED",
+                  fmt(row.metrics.wallSeconds, 3),
+                  fmt(row.metrics.peakRssKb / 1024.0, 1),
+                  std::to_string(row.metrics.simEvents),
+                  row.metrics.worker < 0
+                      ? "caller"
+                      : std::to_string(row.metrics.worker)});
+    }
+    t.addRule();
+    t.addRow({"total", "", fmt(wallTotal, 3), "", "", ""});
+    return t.render();
+}
+
+} // namespace cpelide

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-job execution metrics of one simulation run inside a sweep:
+ * host-side cost (wall time, peak RSS) and simulator work (events),
+ * as opposed to RunResult, which holds the simulated measurements.
+ */
+
+#ifndef CPELIDE_STATS_RUN_METRICS_HH
+#define CPELIDE_STATS_RUN_METRICS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cpelide
+{
+
+/** Host-side cost of running one job. */
+struct RunMetrics
+{
+    /** Wall-clock seconds spent in the job body. */
+    double wallSeconds = 0.0;
+    /** Process peak RSS (KiB) observed right after the job finished. */
+    long peakRssKb = 0;
+    /** Simulator events processed (see EventQueue::eventsProcessed). */
+    std::uint64_t simEvents = 0;
+    /** Pool worker that ran the job; -1 = caller thread (serial path). */
+    int worker = -1;
+};
+
+/**
+ * Process-wide, thread-safe collector of per-job metrics. SweepRunner
+ * records one row per finished job; `CPELIDE_METRICS=1` makes each
+ * sweep dump its rows to stderr (stderr, so table output on stdout
+ * stays byte-identical to a serial run).
+ */
+class MetricsRegistry
+{
+  public:
+    struct Row
+    {
+        std::string sweep;
+        std::string label;
+        bool ok = false;
+        RunMetrics metrics;
+    };
+
+    /** The singleton used by SweepRunner. */
+    static MetricsRegistry &global();
+
+    void record(const std::string &sweep, const std::string &label,
+                bool ok, const RunMetrics &m);
+
+    /** Snapshot of everything recorded so far, in record order. */
+    std::vector<Row> rows() const;
+
+    /** Rows recorded so far. */
+    std::size_t size() const;
+
+    /** Drop all rows (tests). */
+    void clear();
+
+    /** ASCII table of the rows belonging to @p sweep ("" = all). */
+    std::string render(const std::string &sweep = "") const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::vector<Row> _rows;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_STATS_RUN_METRICS_HH

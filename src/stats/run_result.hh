@@ -67,6 +67,9 @@ struct RunResult
     std::uint64_t sharerInvalidations = 0;
     /** @} */
 
+    /** Host-side simulator events processed (EventQueue). */
+    std::uint64_t simEvents = 0;
+
     /** CPElide table occupancy high-water mark. */
     std::uint64_t tableMaxEntries = 0;
     /** Stale reads detected by the checker (must be 0). */

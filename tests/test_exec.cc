@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the parallel experiment-execution engine (src/exec):
+ * determinism across thread counts, failure isolation, the
+ * CPELIDE_JOBS=1 serial path, and the metrics plumbing.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "exec/sweep_runner.hh"
+#include "exec/thread_pool.hh"
+#include "harness/harness.hh"
+#include "stats/run_metrics.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+/** Small but non-trivial workload grid shared by the tests. */
+SweepSpec
+smallGrid()
+{
+    SweepSpec spec{"test_grid", {}};
+    for (const char *name : {"Square", "Backprop"}) {
+        for (ProtocolKind kind :
+             {ProtocolKind::Baseline, ProtocolKind::CpElide}) {
+            spec.jobs.push_back(workloadJob(name, kind, 2, 0.05));
+        }
+    }
+    return spec;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.protocol, b.protocol);
+    EXPECT_EQ(a.numChiplets, b.numChiplets);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.kernels, b.kernels);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l2.hits, b.l2.hits);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.l3.hits, b.l3.hits);
+    EXPECT_EQ(a.l3.misses, b.l3.misses);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.flits.l1l2, b.flits.l1l2);
+    EXPECT_EQ(a.flits.l2l3, b.flits.l2l3);
+    EXPECT_EQ(a.flits.remote, b.flits.remote);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.l2FlushesIssued, b.l2FlushesIssued);
+    EXPECT_EQ(a.l2InvalidatesIssued, b.l2InvalidatesIssued);
+    EXPECT_EQ(a.l2FlushesElided, b.l2FlushesElided);
+    EXPECT_EQ(a.l2InvalidatesElided, b.l2InvalidatesElided);
+    EXPECT_EQ(a.linesWrittenBack, b.linesWrittenBack);
+    EXPECT_EQ(a.syncStallCycles, b.syncStallCycles);
+    EXPECT_EQ(a.tableMaxEntries, b.tableMaxEntries);
+    EXPECT_EQ(a.staleReads, b.staleReads);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+    // wait() is reusable: a second batch drains too.
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 110);
+}
+
+TEST(ThreadPool, WorkerIndexVisibleInsideTasksOnly)
+{
+    EXPECT_EQ(ThreadPool::currentWorker(), -1);
+    ThreadPool pool(2);
+    std::atomic<bool> sawWorker{true};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&sawWorker] {
+            const int w = ThreadPool::currentWorker();
+            if (w < 0 || w > 1)
+                sawWorker = false;
+        });
+    }
+    pool.wait();
+    EXPECT_TRUE(sawWorker.load());
+}
+
+TEST(SweepRunner, ParallelResultsIdenticalToSerial)
+{
+    const SweepSpec spec = smallGrid();
+    const auto serial = SweepRunner(1).run(spec);
+    const auto parallel = SweepRunner(4).run(spec);
+    ASSERT_EQ(serial.size(), spec.jobs.size());
+    ASSERT_EQ(parallel.size(), spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << spec.jobs[i].label;
+        ASSERT_TRUE(parallel[i].ok) << spec.jobs[i].label;
+        expectSameResult(serial[i].result, parallel[i].result);
+    }
+}
+
+TEST(SweepRunner, ThrowingJobIsIsolated)
+{
+    SweepSpec spec{"test_failure", {}};
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                    2, 0.05));
+    spec.add("boom", []() -> RunResult {
+        throw std::runtime_error("boom");
+    });
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
+                                    2, 0.05));
+
+    const auto out = SweepRunner(3).run(spec);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(out[0].ok);
+    EXPECT_FALSE(out[1].ok);
+    EXPECT_NE(out[1].error.find("boom"), std::string::npos);
+    // The error slot holds a zeroed result row, not garbage.
+    EXPECT_EQ(out[1].result.cycles, 0u);
+    EXPECT_TRUE(out[2].ok);
+    EXPECT_GT(out[2].result.cycles, 0u);
+}
+
+TEST(SweepRunner, UnknownWorkloadBecomesErrorRow)
+{
+    SweepSpec spec{"test_unknown", {}};
+    spec.jobs.push_back(
+        workloadJob("NoSuchWorkload", ProtocolKind::Baseline, 2, 0.05));
+    const auto out = SweepRunner(2).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].ok);
+    EXPECT_NE(out[0].error.find("unknown workload"), std::string::npos);
+}
+
+TEST(SweepRunner, EnvJobsOneTakesSerialPath)
+{
+    ASSERT_EQ(setenv("CPELIDE_JOBS", "1", 1), 0);
+    EXPECT_EQ(jobsFromEnv(), 1);
+
+    SweepSpec spec{"test_serial", {}};
+    const auto mainId = std::this_thread::get_id();
+    std::atomic<bool> onCaller{false};
+    std::atomic<int> worker{0};
+    spec.add("probe", [&]() -> RunResult {
+        onCaller = std::this_thread::get_id() == mainId;
+        worker = ThreadPool::currentWorker();
+        return RunResult{};
+    });
+    const auto out = SweepRunner().run(spec);
+    unsetenv("CPELIDE_JOBS");
+
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].ok);
+    EXPECT_TRUE(onCaller.load()) << "serial path must run inline";
+    EXPECT_EQ(worker.load(), -1);
+    EXPECT_EQ(out[0].metrics.worker, -1);
+}
+
+TEST(SweepRunner, EnvJobsParsing)
+{
+    ASSERT_EQ(setenv("CPELIDE_JOBS", "8", 1), 0);
+    EXPECT_EQ(jobsFromEnv(), 8);
+    ASSERT_EQ(setenv("CPELIDE_JOBS", "0", 1), 0);
+    EXPECT_GE(jobsFromEnv(), 1); // non-positive -> default
+    ASSERT_EQ(setenv("CPELIDE_JOBS", "banana", 1), 0);
+    EXPECT_GE(jobsFromEnv(), 1); // unparsable -> default
+    unsetenv("CPELIDE_JOBS");
+    EXPECT_GE(jobsFromEnv(), 1);
+}
+
+TEST(SweepRunner, MetricsRecordedPerJob)
+{
+    MetricsRegistry::global().clear();
+    SweepSpec spec{"test_metrics", {}};
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                    2, 0.05));
+    const auto out = SweepRunner(2).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_TRUE(out[0].ok);
+    EXPECT_GE(out[0].metrics.wallSeconds, 0.0);
+    EXPECT_GT(out[0].metrics.simEvents, 0u);
+    EXPECT_EQ(out[0].metrics.simEvents, out[0].result.simEvents);
+
+    const auto rows = MetricsRegistry::global().rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].sweep, "test_metrics");
+    EXPECT_EQ(rows[0].label, spec.jobs[0].label);
+    EXPECT_TRUE(rows[0].ok);
+    const std::string table =
+        MetricsRegistry::global().render("test_metrics");
+    EXPECT_NE(table.find(spec.jobs[0].label), std::string::npos);
+}
