@@ -7,6 +7,7 @@
 
 #include "coherence/hmg.hh"
 #include "sim/log.hh"
+#include "sim/sim_budget.hh"
 
 namespace cpelide
 {
@@ -44,6 +45,10 @@ Cycles
 MemSystem::access(const AccessContext &ctx, DsId ds, std::uint64_t line,
                   bool isWrite)
 {
+    // Cooperative watchdog point: every simulated access charges one
+    // work unit, so runaway workloads trip their budget even when the
+    // event queue is idle.
+    BudgetGuard::charge();
     ++_accesses;
     const Addr addr = _space.alloc(ds).lineAddr(line);
     SetAssocCache &l1c = *_l1s[l1Index(ctx)];
@@ -83,6 +88,7 @@ Cycles
 MemSystem::accessBypass(const AccessContext &ctx, DsId ds,
                         std::uint64_t line, bool isWrite)
 {
+    BudgetGuard::charge();
     ++_accesses;
     const Addr addr = _space.alloc(ds).lineAddr(line);
     const ChipletId home = _pages.homeOf(addr, ctx.chiplet);
@@ -125,13 +131,32 @@ MemSystem::l2Release(ChipletId c)
     SetAssocCache &l2c = *_l2s[l2Index(c)];
     const std::uint64_t dirty = l2c.dirtyLines();
     ++_l2Flushes;
+    Cycles faultDelay = 0;
+    if (_faults) {
+        switch (_faults->onFlush()) {
+          case FlushFault::Drop:
+            // Acked-but-lost release: the flush machinery runs (lines
+            // leave the L2 clean) but the writeback payload vanishes on
+            // the way to the LLC, so the newest versions silently never
+            // reach L3/DRAM — exactly the incoherence the staleness
+            // checker / host-visibility audit must detect.
+            _faults->recordDroppedDirtyLines(dirty);
+            l2c.flushAll([](const Evicted &) {});
+            return flushCost(dirty);
+          case FlushFault::Delay:
+            faultDelay = _faults->flushDelayCycles();
+            break;
+          case FlushFault::None:
+            break;
+        }
+    }
     const std::uint64_t flushed = l2c.flushAll([&](const Evicted &e) {
         // Only locally-homed lines are ever dirty (remote stores write
         // through), so the writeback target is this chiplet's L3 bank.
         writebackVictim(c, e);
     });
     _linesWrittenBack += flushed;
-    return flushCost(dirty);
+    return flushCost(dirty) + faultDelay;
 }
 
 Cycles
@@ -141,9 +166,53 @@ MemSystem::l2Acquire(ChipletId c)
     Cycles cost = 0;
     if (l2c.dirtyLines() > 0)
         cost += l2Release(c);
-    l2c.invalidateAll();
     ++_l2Invalidates;
+    if (_faults && _faults->onInvalidate()) {
+        // Lost invalidate: the flush half above still happened, but
+        // possibly-stale clean copies survive in the L2.
+        return cost + _cfg.invalidateCycles;
+    }
+    l2c.invalidateAll();
     return cost + _cfg.invalidateCycles;
+}
+
+std::uint64_t
+MemSystem::dirtyL2Lines() const
+{
+    std::uint64_t dirty = 0;
+    for (const auto &l2c : _l2s)
+        dirty += l2c->dirtyLines();
+    return dirty;
+}
+
+std::uint64_t
+MemSystem::auditHostVisibility() const
+{
+    std::uint64_t violations = 0;
+    for (std::size_t d = 0; d < _space.numAllocations(); ++d) {
+        const DsId ds = static_cast<DsId>(d);
+        if (_space.racy(ds))
+            continue;
+        const Allocation &a = _space.alloc(ds);
+        for (std::uint64_t line = 0; line < a.numLines(); ++line) {
+            const std::uint32_t latest = _space.latest(ds, line);
+            if (latest == 0)
+                continue; // never written
+            const Addr addr = a.lineAddr(line);
+            std::uint32_t visible = _space.memoryVersion(ds, line);
+            // peekHome/peek only: the audit must not perturb placement
+            // or LRU state.
+            const ChipletId home = _pages.peekHome(addr);
+            if (home != kNoChiplet) {
+                std::uint32_t v = 0;
+                if (_l3s[l3Index(home)]->peek(addr, &v) && v > visible)
+                    visible = v;
+            }
+            if (visible != latest)
+                ++violations;
+        }
+    }
+    return violations;
 }
 
 Cycles

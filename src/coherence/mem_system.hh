@@ -28,6 +28,7 @@
 #include "mem/data_space.hh"
 #include "mem/page_table.hh"
 #include "noc/noc.hh"
+#include "sim/fault_injector.hh"
 #include "stats/run_result.hh"
 
 namespace cpelide
@@ -91,6 +92,26 @@ class MemSystem
      * @return cycles on the critical path.
      */
     virtual Cycles l2Acquire(ChipletId c);
+
+    /**
+     * Attach a fault injector (nullptr detaches). The memory system
+     * consults it on every l2Release/l2Acquire; see
+     * sim/fault_injector.hh for the fault classes. Not owned.
+     */
+    void setFaultInjector(FaultInjector *fi) { _faults = fi; }
+    FaultInjector *faultInjector() const { return _faults; }
+
+    /**
+     * Post-final-barrier audit: count non-racy lines whose host-visible
+     * version (the freshest of the line's L3 copy and DRAM) is not the
+     * program-order latest. Always 0 for a correct protocol; a dropped
+     * release leaves violations even when no later read ever touched
+     * the line (which is what the staleness checker alone would miss).
+     */
+    std::uint64_t auditHostVisibility() const;
+
+    /** Total dirty lines across every L2 (diagnostics, audit). */
+    std::uint64_t dirtyL2Lines() const;
 
     /** Whether this protocol performs implicit L2 syncs per boundary. */
     virtual bool boundarySyncsL2() const = 0;
@@ -201,6 +222,9 @@ class MemSystem
     std::uint64_t _l2Flushes = 0;
     std::uint64_t _l2Invalidates = 0;
     std::uint64_t _linesWrittenBack = 0;
+
+    /** Fault-injection campaign driving this run, or nullptr. */
+    FaultInjector *_faults = nullptr;
 };
 
 /**

@@ -95,6 +95,9 @@ class ElideEngine
 
     const CoherenceTable &table() const { return _table; }
 
+    /** Mutable table access: fault injection (table corruption) only. */
+    CoherenceTable &mutableTable() { return _table; }
+
     /** Statistics. @{ */
     std::uint64_t acquiresIssued() const { return _acquiresIssued; }
     std::uint64_t releasesIssued() const { return _releasesIssued; }

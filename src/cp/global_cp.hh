@@ -79,6 +79,9 @@ class GlobalCp
     /** Non-null only for CPElide. */
     const ElideEngine *engine() const { return _engine.get(); }
 
+    /** Mutable engine access: fault injection (table corruption) only. */
+    ElideEngine *mutableEngine() { return _engine.get(); }
+
     /**
      * The global CP's view of a launch: each argument's span, mode,
      * and per-chiplet ranges (affine ranges derived from the WG

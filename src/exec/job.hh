@@ -16,11 +16,54 @@
 #include <utility>
 #include <vector>
 
+#include "sim/sim_budget.hh"
 #include "stats/run_metrics.hh"
 #include "stats/run_result.hh"
 
 namespace cpelide
 {
+
+/**
+ * Classified failure cause of a job. The class decides whether a
+ * bounded retry makes sense: Timeout and Unknown may be transient
+ * host-side conditions (an overloaded machine, a flaky resource);
+ * Budget, SimPanic and InvariantViolation are deterministic properties
+ * of the simulation and would simply recur.
+ */
+enum class JobErrorKind
+{
+    None,               //!< job succeeded
+    Timeout,            //!< wall-clock budget / watchdog cancellation
+    Budget,             //!< simulation-work budget exceeded
+    SimPanic,           //!< panic(): internal simulator invariant
+    InvariantViolation, //!< correctness checker (staleness/annotation)
+    Unknown,            //!< any other exception
+};
+
+/** Short, stable name used in logs, metrics, and journal rows. */
+constexpr const char *
+jobErrorName(JobErrorKind k)
+{
+    switch (k) {
+      case JobErrorKind::None: return "ok";
+      case JobErrorKind::Timeout: return "timeout";
+      case JobErrorKind::Budget: return "budget";
+      case JobErrorKind::SimPanic: return "panic";
+      case JobErrorKind::InvariantViolation: return "invariant";
+      case JobErrorKind::Unknown: return "error";
+    }
+    return "?";
+}
+
+/** Name -> kind (journal decode); Unknown for unrecognized names. */
+JobErrorKind jobErrorFromName(const std::string &name);
+
+/** Whether a bounded retry may help for this failure class. */
+constexpr bool
+jobErrorRetrySafe(JobErrorKind k)
+{
+    return k == JobErrorKind::Timeout || k == JobErrorKind::Unknown;
+}
 
 /** One simulation to run. The body must be self-contained: it owns
  *  its Runtime and must not touch shared mutable state. */
@@ -38,8 +81,33 @@ struct Job
 /** An ordered batch of jobs, merged back in this order. */
 struct SweepSpec
 {
+    SweepSpec() = default;
+    SweepSpec(std::string name_, std::vector<Job> jobs_)
+        : name(std::move(name_)), jobs(std::move(jobs_))
+    {}
+
     std::string name; //!< sweep identification in the metrics registry
     std::vector<Job> jobs;
+
+    /**
+     * Per-job watchdog budget. When disabled (both limits 0, the
+     * default) SweepRunner falls back to the CPELIDE_TIMEOUT_MS /
+     * CPELIDE_MAX_EVENTS environment knobs.
+     */
+    SimBudget budget;
+
+    /**
+     * Max retries of a retry-safe failure (so up to 1 + maxRetries
+     * executions). -1 (default) falls back to CPELIDE_RETRIES (0 when
+     * unset: no retries, preserving byte-identical reruns).
+     */
+    int maxRetries = -1;
+
+    /**
+     * Base backoff before retry k, doubled each attempt. -1 falls back
+     * to CPELIDE_RETRY_BACKOFF_MS (default 50 ms).
+     */
+    double retryBackoffMs = -1.0;
 
     void
     add(std::string label, std::function<RunResult()> body)
@@ -59,6 +127,12 @@ struct JobOutcome
     RunMetrics metrics;
     bool ok = false;
     std::string error; //!< exception text when !ok
+    /** Classified failure cause (None when ok). */
+    JobErrorKind kind = JobErrorKind::None;
+    /** Executions of the job body, including retries (>= 1). */
+    int attempts = 1;
+    /** Restored from a CPELIDE_RESUME journal, not re-run. */
+    bool fromCheckpoint = false;
 };
 
 } // namespace cpelide

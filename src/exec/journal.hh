@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Sweep checkpoint journal (CPELIDE_RESUME).
+ *
+ * SweepRunner appends one JSONL record per completed job, keyed by a
+ * deterministic hash of the job's identity within the sweep (sweep
+ * name, slot index, label, workload, protocol, chiplet count, scale).
+ * On the next run with the same journal path, jobs whose hash already
+ * has a successful record are restored instead of re-run, so an
+ * interrupted sweep resumes where it died with byte-identical merged
+ * output. Failed outcomes are journaled too (post-mortem), but are
+ * re-run on resume — a timeout on an overloaded host should get a
+ * second chance.
+ *
+ * The format round-trips every RunResult field exactly (integers
+ * verbatim, doubles via %.17g) and tolerates a torn final line from a
+ * killed process: unparsable lines are skipped.
+ */
+
+#ifndef CPELIDE_EXEC_JOURNAL_HH
+#define CPELIDE_EXEC_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/job.hh"
+
+namespace cpelide
+{
+
+/**
+ * Deterministic identity of job @p index of @p spec (FNV-1a over the
+ * sweep name, slot index, and the job's descriptive fields). Stable
+ * across processes; changes whenever the sweep definition changes, so
+ * a stale journal never pollutes a redefined sweep.
+ */
+std::uint64_t jobHash(const SweepSpec &spec, std::size_t index);
+
+/** One JSONL line for a completed job (no trailing newline). */
+std::string encodeOutcome(std::uint64_t hash, const std::string &sweep,
+                          const std::string &label,
+                          const JobOutcome &outcome);
+
+/**
+ * Parse a journal line. @return false (leaving outputs untouched) on
+ * any syntax problem — e.g. a line torn by a SIGKILL mid-append.
+ */
+bool decodeOutcome(const std::string &line, std::uint64_t *hash,
+                   std::string *sweep, std::string *label,
+                   JobOutcome *outcome);
+
+/**
+ * The journal file: loads existing records on open, then appends (and
+ * flushes) one line per completed job. Thread-safe; SweepRunner's
+ * workers append concurrently.
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal() = default;
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Load @p path (missing file = empty journal) and open it for
+     * appending. @return false if the file cannot be created.
+     */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return _file != nullptr; }
+    const std::string &path() const { return _path; }
+
+    /** Records loaded from the file at open(). */
+    std::size_t loadedRecords() const { return _loaded.size(); }
+
+    /**
+     * Look up a previously journaled *successful* outcome.
+     * @retval true and fills @p out (with fromCheckpoint set).
+     */
+    bool lookup(std::uint64_t hash, JobOutcome *out) const;
+
+    /** Append one completed job's record and flush it to disk. */
+    void append(std::uint64_t hash, const std::string &sweep,
+                const std::string &label, const JobOutcome &outcome);
+
+  private:
+    mutable std::mutex _mutex;
+    std::string _path;
+    std::FILE *_file = nullptr;
+    std::unordered_map<std::uint64_t, JobOutcome> _loaded;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_EXEC_JOURNAL_HH

@@ -7,7 +7,10 @@
 #include <exception>
 #include <thread>
 
+#include "exec/journal.hh"
 #include "exec/thread_pool.hh"
+#include "exec/watchdog.hh"
+#include "sim/log.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -51,19 +54,62 @@ jobsFromEnv()
     return fallback;
 }
 
+int
+retriesFromEnv()
+{
+    if (const char *s = std::getenv("CPELIDE_RETRIES")) {
+        char *end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end != s && *end == '\0' && v >= 0)
+            return static_cast<int>(std::min<long>(v, 16));
+    }
+    return 0;
+}
+
+double
+retryBackoffMsFromEnv()
+{
+    if (const char *s = std::getenv("CPELIDE_RETRY_BACKOFF_MS")) {
+        char *end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end != s && *end == '\0' && v >= 0)
+            return v;
+    }
+    return 50.0;
+}
+
 SweepRunner::SweepRunner(int jobs) : _jobs(std::max(1, jobs)) {}
 
 JobOutcome
-SweepRunner::runOne(const SweepSpec &spec, const Job &job) const
+SweepRunner::runAttempt(const Job &job, const SimBudget &budget) const
 {
     JobOutcome out;
     const auto start = std::chrono::steady_clock::now();
     try {
+        // The guard makes the budget this thread's active budget; the
+        // watchdog scan flags it once overdue. Both unwind before the
+        // catch blocks run, so a retry starts from a clean slate.
+        BudgetGuard guard(budget);
+        WatchdogScope watch(Watchdog::global(), guard.state());
         out.result = job.body();
         out.ok = true;
+    } catch (const TimeoutError &e) {
+        out.kind = JobErrorKind::Timeout;
+        out.error = e.what();
+    } catch (const BudgetError &e) {
+        out.kind = JobErrorKind::Budget;
+        out.error = e.what();
+    } catch (const InvariantError &e) {
+        out.kind = JobErrorKind::InvariantViolation;
+        out.error = e.what();
+    } catch (const SimPanicError &e) {
+        out.kind = JobErrorKind::SimPanic;
+        out.error = e.what();
     } catch (const std::exception &e) {
+        out.kind = JobErrorKind::Unknown;
         out.error = e.what();
     } catch (...) {
+        out.kind = JobErrorKind::Unknown;
         out.error = "unknown exception";
     }
     const auto end = std::chrono::steady_clock::now();
@@ -72,8 +118,55 @@ SweepRunner::runOne(const SweepSpec &spec, const Job &job) const
     out.metrics.peakRssKb = peakRssKb();
     out.metrics.simEvents = out.ok ? out.result.simEvents : 0;
     out.metrics.worker = ThreadPool::currentWorker();
+    return out;
+}
+
+JobOutcome
+SweepRunner::runOne(const SweepSpec &spec, std::size_t index,
+                    SweepJournal *journal) const
+{
+    const Job &job = spec.jobs[index];
+
+    if (journal) {
+        JobOutcome cached;
+        if (journal->lookup(jobHash(spec, index), &cached)) {
+            // Restored, not re-run; keep the metrics table complete.
+            MetricsRegistry::global().record(spec.name, job.label,
+                                             cached.ok, cached.metrics,
+                                             "checkpoint");
+            return cached;
+        }
+    }
+
+    const SimBudget budget =
+        spec.budget.enabled() ? spec.budget : SimBudget::fromEnv();
+    const int retries =
+        spec.maxRetries >= 0 ? spec.maxRetries : retriesFromEnv();
+    const double backoffMs = spec.retryBackoffMs >= 0
+                                 ? spec.retryBackoffMs
+                                 : retryBackoffMsFromEnv();
+
+    JobOutcome out;
+    for (int attempt = 0;; ++attempt) {
+        out = runAttempt(job, budget);
+        out.attempts = attempt + 1;
+        if (out.ok || attempt >= retries || !jobErrorRetrySafe(out.kind))
+            break;
+        warn("job '" + job.label + "' failed (" + jobErrorName(out.kind) +
+             "); retry " + std::to_string(attempt + 1) + "/" +
+             std::to_string(retries));
+        const double delayMs =
+            backoffMs * static_cast<double>(1ULL << std::min(attempt, 10));
+        if (delayMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delayMs));
+        }
+    }
+
     MetricsRegistry::global().record(spec.name, job.label, out.ok,
-                                     out.metrics);
+                                     out.metrics, jobErrorName(out.kind));
+    if (journal)
+        journal->append(jobHash(spec, index), spec.name, job.label, out);
     return out;
 }
 
@@ -82,20 +175,32 @@ SweepRunner::run(const SweepSpec &spec) const
 {
     std::vector<JobOutcome> outcomes(spec.jobs.size());
 
+    SweepJournal journal;
+    std::string journalPath = _journalPath;
+    if (journalPath.empty()) {
+        if (const char *s = std::getenv("CPELIDE_RESUME"))
+            journalPath = s;
+    }
+    if (!journalPath.empty() && !journal.open(journalPath)) {
+        warn("cannot open resume journal '" + journalPath +
+             "'; checkpointing disabled for sweep '" + spec.name + "'");
+    }
+    SweepJournal *jp = journal.isOpen() ? &journal : nullptr;
+
     const int workers = static_cast<int>(
         std::min<std::size_t>(static_cast<std::size_t>(_jobs),
                               spec.jobs.size()));
     if (workers <= 1) {
         // Legacy serial path: inline on the caller thread, no pool.
         for (std::size_t i = 0; i < spec.jobs.size(); ++i)
-            outcomes[i] = runOne(spec, spec.jobs[i]);
+            outcomes[i] = runOne(spec, i, jp);
     } else {
         ThreadPool pool(workers);
         for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
-            pool.submit([this, &spec, &outcomes, i] {
+            pool.submit([this, &spec, &outcomes, jp, i] {
                 // Each job writes only its own slot: the merged vector
                 // is in spec order whatever the completion order.
-                outcomes[i] = runOne(spec, spec.jobs[i]);
+                outcomes[i] = runOne(spec, i, jp);
             });
         }
         pool.wait();

@@ -6,8 +6,17 @@
  * - Results are written to the job's own slot, so the returned vector
  *   is in SweepSpec order regardless of completion order, and a
  *   parallel sweep's output is byte-identical to the serial run.
- * - A throwing job records an error outcome (ok == false, the
- *   exception text in `error`) instead of killing the sweep.
+ * - A throwing job records a classified error outcome (ok == false,
+ *   the exception text in `error`, the cause in `kind`) instead of
+ *   killing the sweep; retry-safe failures are retried with
+ *   exponential backoff up to CPELIDE_RETRIES times.
+ * - Each job runs under a SimBudget watchdog (spec.budget, falling
+ *   back to CPELIDE_TIMEOUT_MS / CPELIDE_MAX_EVENTS): the monitor
+ *   thread flags overdue jobs, and the simulation kernel's next
+ *   cooperative charge point turns the flag into a Timeout outcome.
+ * - CPELIDE_RESUME=<path> (or setJournal) journals every completed
+ *   job to JSONL; a rerun against the same journal restores finished
+ *   jobs instead of re-running them, with byte-identical output.
  * - Thread count comes from the CPELIDE_JOBS environment variable
  *   (default: hardware concurrency). CPELIDE_JOBS=1 bypasses the pool
  *   entirely and runs every job inline on the caller thread — the
@@ -20,6 +29,8 @@
 #ifndef CPELIDE_EXEC_SWEEP_RUNNER_HH
 #define CPELIDE_EXEC_SWEEP_RUNNER_HH
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "exec/job.hh"
@@ -27,12 +38,20 @@
 namespace cpelide
 {
 
+class SweepJournal;
+
 /**
  * Worker count from CPELIDE_JOBS: default hardware concurrency,
  * clamped to >= 1; unparsable or non-positive values fall back to the
  * default.
  */
 int jobsFromEnv();
+
+/** Retry count from CPELIDE_RETRIES (default 0: no retries). */
+int retriesFromEnv();
+
+/** Retry backoff base from CPELIDE_RETRY_BACKOFF_MS (default 50). */
+double retryBackoffMsFromEnv();
 
 class SweepRunner
 {
@@ -42,13 +61,24 @@ class SweepRunner
 
     int jobCount() const { return _jobs; }
 
+    /**
+     * Checkpoint journal path; overrides CPELIDE_RESUME. "" (the
+     * default) falls back to the environment variable; journaling is
+     * off when neither is set.
+     */
+    void setJournal(std::string path) { _journalPath = std::move(path); }
+
     /** Run every job; outcomes are indexed exactly like spec.jobs. */
     std::vector<JobOutcome> run(const SweepSpec &spec) const;
 
   private:
-    JobOutcome runOne(const SweepSpec &spec, const Job &job) const;
+    JobOutcome runOne(const SweepSpec &spec, std::size_t index,
+                      SweepJournal *journal) const;
+
+    JobOutcome runAttempt(const Job &job, const SimBudget &budget) const;
 
     int _jobs;
+    std::string _journalPath;
 };
 
 } // namespace cpelide

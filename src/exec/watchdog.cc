@@ -1,0 +1,71 @@
+#include "exec/watchdog.hh"
+
+namespace cpelide
+{
+
+Watchdog &
+Watchdog::global()
+{
+    static Watchdog dog;
+    return dog;
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _cv.notify_all();
+    if (_thread.joinable())
+        _thread.join();
+}
+
+std::uint64_t
+Watchdog::watch(std::shared_ptr<BudgetGuard::State> state)
+{
+    if (!state || state->maxWallMs <= 0.0)
+        return 0; // nothing to monitor
+    std::lock_guard<std::mutex> lock(_mutex);
+    const std::uint64_t ticket = _nextTicket++;
+    _watched.emplace(ticket, std::move(state));
+    if (!_thread.joinable())
+        _thread = std::thread([this] { monitorLoop(); });
+    _cv.notify_all();
+    return ticket;
+}
+
+void
+Watchdog::unwatch(std::uint64_t ticket)
+{
+    if (ticket == 0)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    _watched.erase(ticket);
+}
+
+std::uint64_t
+Watchdog::cancellations() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _cancellations;
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_stop) {
+        _cv.wait_for(lock, kScanPeriod);
+        for (auto &[ticket, state] : _watched) {
+            if (state->cancel.load(std::memory_order_relaxed))
+                continue;
+            if (state->elapsedMs() > state->maxWallMs) {
+                state->cancel.store(true, std::memory_order_relaxed);
+                ++_cancellations;
+            }
+        }
+    }
+}
+
+} // namespace cpelide

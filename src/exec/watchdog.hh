@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Watchdog: the sweep engine's monitor thread.
+ *
+ * SweepRunner registers every in-flight job's BudgetGuard state; the
+ * watchdog periodically scans them and flags any job that has
+ * exceeded its wall-clock budget by setting the state's cancel flag.
+ * The simulation kernel's next cooperative charge point (see
+ * sim/sim_budget.hh) then throws TimeoutError, converting a hung or
+ * runaway job into a structured Timeout outcome instead of a stalled
+ * sweep.
+ *
+ * The monitor thread is started lazily on the first registration and
+ * joined when the process-wide instance is destroyed at exit.
+ */
+
+#ifndef CPELIDE_EXEC_WATCHDOG_HH
+#define CPELIDE_EXEC_WATCHDOG_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "sim/sim_budget.hh"
+
+namespace cpelide
+{
+
+class Watchdog
+{
+  public:
+    /** The process-wide instance used by SweepRunner. */
+    static Watchdog &global();
+
+    Watchdog() = default;
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Start monitoring @p state (no-op handle when the state has no
+     * wall limit). @return a ticket to pass to unwatch().
+     */
+    std::uint64_t watch(std::shared_ptr<BudgetGuard::State> state);
+
+    /** Stop monitoring a ticket returned by watch(). */
+    void unwatch(std::uint64_t ticket);
+
+    /** Jobs the watchdog has cancelled so far (tests). */
+    std::uint64_t cancellations() const;
+
+    /** Scan period; short so tests with ~100 ms budgets stay snappy. */
+    static constexpr std::chrono::milliseconds kScanPeriod{10};
+
+  private:
+    /** RAII registration used by SweepRunner. */
+    void monitorLoop();
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<BudgetGuard::State>>
+        _watched;
+    std::uint64_t _nextTicket = 1;
+    std::uint64_t _cancellations = 0;
+    std::thread _thread;
+    bool _stop = false;
+};
+
+/** Scoped watch/unwatch of one job's budget state. */
+class WatchdogScope
+{
+  public:
+    WatchdogScope(Watchdog &dog, std::shared_ptr<BudgetGuard::State> s)
+        : _dog(dog), _ticket(dog.watch(std::move(s)))
+    {}
+
+    ~WatchdogScope() { _dog.unwatch(_ticket); }
+
+    WatchdogScope(const WatchdogScope &) = delete;
+    WatchdogScope &operator=(const WatchdogScope &) = delete;
+
+  private:
+    Watchdog &_dog;
+    std::uint64_t _ticket;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_EXEC_WATCHDOG_HH

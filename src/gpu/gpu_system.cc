@@ -17,6 +17,7 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const RunOptions &opts)
 {
     _space.panicOnStale(opts.panicOnStale);
     _mem = makeMemSystem(cfg, opts.protocol, _space);
+    _mem->setFaultInjector(opts.faultInjector);
     _cp = std::make_unique<GlobalCp>(_cfg, opts.protocol, *_mem,
                                      opts.extraSyncSets);
 }
@@ -114,7 +115,7 @@ class ValidatingSink : public TraceSink
             }
         }
         if (!declared || !inRange) {
-            panic("annotation violation: kernel '" + _desc.name +
+            checkFailed("annotation violation: kernel '" + _desc.name +
                   "' chiplet " + std::to_string(_chiplet) +
                   (write ? " writes " : " reads ") +
                   _space.alloc(ds).name + " line " +
@@ -230,6 +231,10 @@ GpuSystem::run(const std::string &label)
         }
 
         _space.setContext(desc.name);
+        if (_opts.faultInjector && _cp->mutableEngine() &&
+            _opts.faultInjector->onKernelLaunch()) {
+            corruptCoherenceTable();
+        }
         const SyncOutcome sync =
             _cp->launchSync(desc, chunks, _space);
         if (std::getenv("CPELIDE_DEBUG")) {
@@ -304,8 +309,35 @@ GpuSystem::run(const std::string &label)
         r.tableMaxEntries = eng->table().maxEntries();
     }
     r.staleReads = _space.staleReads();
+    r.hostVisibilityViolations = _mem->auditHostVisibility();
     r.simEvents = _events.eventsProcessed();
     return r;
+}
+
+void
+GpuSystem::corruptCoherenceTable()
+{
+    // Downgrade one random row's chiplet state from Dirty/Stale to
+    // Valid: the engine then believes that chiplet needs no release /
+    // acquire and elides a sync op the protocol actually required.
+    CoherenceTable &table = _cp->mutableEngine()->mutableTable();
+    auto &rows = table.rows();
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t c = 0; c < rows[r].state.size(); ++c) {
+            if (rows[r].state[c] == DsState::Dirty ||
+                rows[r].state[c] == DsState::Stale) {
+                candidates.emplace_back(r, c);
+            }
+        }
+    }
+    if (candidates.empty())
+        return; // nothing downgradeable right now; fault is a no-op
+    Rng &rng = _opts.faultInjector->rng();
+    const auto [r, c] = candidates[static_cast<std::size_t>(rng.below(
+        static_cast<std::uint64_t>(candidates.size())))];
+    rows[r].state[c] = DsState::Valid;
+    _opts.faultInjector->recordTableCorruption();
 }
 
 } // namespace cpelide

@@ -51,6 +51,14 @@ struct RunOptions
      * from the map runs on all chiplets.
      */
     std::map<int, std::vector<ChipletId>> streamChiplets;
+    /**
+     * Deterministic fault-injection campaign (tests; see
+     * sim/fault_injector.hh). Not owned; must outlive the GpuSystem.
+     * The memory system consults it on every L2 sync op, and the GPU
+     * layer consults it at each kernel launch for coherence-table
+     * corruption.
+     */
+    FaultInjector *faultInjector = nullptr;
 };
 
 class GpuSystem
@@ -97,6 +105,9 @@ class GpuSystem
      */
     Cycles runChunk(const KernelDesc &desc, const WgChunk &chunk,
                     const LaunchDecl *decl, std::size_t sched_idx);
+
+    /** Fault injection: downgrade one coherence-table entry. */
+    void corruptCoherenceTable();
 
     const GpuConfig _cfg;
     RunOptions _opts;

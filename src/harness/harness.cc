@@ -5,6 +5,9 @@
 
 #include "runtime/runtime.hh"
 #include "sim/log.hh"
+#include "stats/report.hh"
+
+extern char **environ;
 
 namespace cpelide
 {
@@ -126,14 +129,71 @@ multiStreamJob(const std::string &workload_name, ProtocolKind kind,
 std::vector<JobOutcome>
 runSweep(const SweepSpec &spec)
 {
+    static const bool envChecked = [] {
+        warnUnknownEnvVars();
+        return true;
+    }();
+    (void)envChecked;
+
     SweepRunner runner;
     std::vector<JobOutcome> outcomes = runner.run(spec);
+    std::vector<ErrorRow> failed;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        if (!outcomes[i].ok)
-            warn("sweep '" + spec.name + "' job '" +
-                 spec.jobs[i].label + "' failed: " + outcomes[i].error);
+        const JobOutcome &o = outcomes[i];
+        if (o.ok)
+            continue;
+        std::string detail = jobErrorName(o.kind);
+        if (o.attempts > 1)
+            detail += ", " + std::to_string(o.attempts) + " attempts";
+        warn("sweep '" + spec.name + "' job '" + spec.jobs[i].label +
+             "' failed (" + detail + "): " + o.error);
+        failed.push_back(ErrorRow{spec.jobs[i].label,
+                                  jobErrorName(o.kind), o.attempts,
+                                  o.error});
+    }
+    if (!failed.empty()) {
+        // stderr, like the warn lines: stdout must stay byte-identical
+        // between clean runs whatever happened to other jobs.
+        std::fprintf(stderr, "-- errors: sweep '%s' --\n%s",
+                     spec.name.c_str(),
+                     renderErrorRows(failed).c_str());
     }
     return outcomes;
+}
+
+std::vector<std::string>
+warnUnknownEnvVars()
+{
+    // Every CPELIDE_* knob any component reads. Keep in sync with the
+    // "Resilience knobs" table in EXPERIMENTS.md.
+    static const char *const known[] = {
+        "CPELIDE_JOBS",      "CPELIDE_METRICS",
+        "CPELIDE_SCALE",     "CPELIDE_DEBUG",
+        "CPELIDE_MISS_DEBUG", "CPELIDE_TIMEOUT_MS",
+        "CPELIDE_MAX_EVENTS", "CPELIDE_RETRIES",
+        "CPELIDE_RETRY_BACKOFF_MS", "CPELIDE_RESUME",
+        "CPELIDE_PANIC",
+    };
+    std::vector<std::string> unknown;
+    for (char **e = environ; e && *e; ++e) {
+        const std::string entry(*e);
+        if (entry.rfind("CPELIDE_", 0) != 0)
+            continue;
+        const std::string name = entry.substr(0, entry.find('='));
+        bool found = false;
+        for (const char *k : known) {
+            if (name == k) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            warn("unrecognized environment variable " + name +
+                 " (no CPElide component reads it; typo?)");
+            unknown.push_back(name);
+        }
+    }
+    return unknown;
 }
 
 double

@@ -72,6 +72,15 @@ std::vector<JobOutcome> runSweep(const SweepSpec &spec);
  */
 double envScale();
 
+/**
+ * Warn (once per process) about CPELIDE_* environment variables that
+ * no component reads — a misspelled knob (CPELIDE_TIMEOUT instead of
+ * CPELIDE_TIMEOUT_MS) otherwise fails silently as a no-op. Called
+ * automatically by runSweep; exposed for tests and custom harnesses.
+ * @return the unrecognized names found (tests).
+ */
+std::vector<std::string> warnUnknownEnvVars();
+
 /** Print the Table-I configuration banner once per binary. */
 void printConfigBanner(int chiplets);
 

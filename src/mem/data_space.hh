@@ -119,6 +119,9 @@ class DataSpace
      */
     void setRacy(DsId ds) { _racy[static_cast<std::size_t>(ds)] = true; }
 
+    /** Whether @p ds was marked racy (checker-exempt). */
+    bool racy(DsId ds) const { return _racy[static_cast<std::size_t>(ds)]; }
+
     void
     checkObserved(DsId ds, std::uint64_t line, std::uint32_t version)
     {
@@ -127,7 +130,7 @@ class DataSpace
         if (version < _latest[ds][line]) {
             ++_staleReads;
             if (_panicOnStale) {
-                panic("stale read: " + _allocs[ds].name + " line " +
+                checkFailed("stale read: " + _allocs[ds].name + " line " +
                       std::to_string(line) + " observed v" +
                       std::to_string(version) + " latest v" +
                       std::to_string(_latest[ds][line]) +

@@ -15,8 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "sim/log.hh"
+#include "sim/sim_budget.hh"
 #include "sim/types.hh"
 
 namespace cpelide
@@ -38,11 +41,16 @@ class EventQueue
 
     /**
      * Schedule @p cb to run at absolute time @p when.
-     * @pre when >= now()
+     * @pre when >= now() — scheduling in the past would silently
+     *      time-travel (the event fires, then now() jumps backwards);
+     *      enforced by panic.
      */
     void
     schedule(Tick when, Callback cb)
     {
+        panicIf(when < _now,
+                "EventQueue::schedule: when (" + std::to_string(when) +
+                    ") < now (" + std::to_string(_now) + ")");
         _heap.push(Event{when, _nextSeq++, std::move(cb)});
     }
 
@@ -68,6 +76,9 @@ class EventQueue
 
     /**
      * Pop and run the earliest event, advancing time to it.
+     * Cooperative watchdog point: charges one unit against the
+     * calling thread's SimBudget (throws Timeout/BudgetError when the
+     * job's budget is exhausted — see sim/sim_budget.hh).
      * @retval false if the queue was empty.
      */
     bool
@@ -75,6 +86,7 @@ class EventQueue
     {
         if (_heap.empty())
             return false;
+        BudgetGuard::charge();
         // Copy out before pop so the callback may schedule new events.
         Event ev = _heap.top();
         _heap.pop();
@@ -101,6 +113,7 @@ class EventQueue
     advanceTo(Tick when)
     {
         if (when > _now) {
+            BudgetGuard::charge();
             _now = when;
             ++_eventsProcessed;
         }

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Deterministic, seeded fault-injection harness.
+ *
+ * Adversarially exercises the coherence-protocol correctness checkers
+ * (the version-tag staleness checker, the host-visibility audit, the
+ * annotation validator) by making the memory system misbehave on a
+ * reproducible schedule:
+ *
+ *   - DROP an L2 flush: the release op is acknowledged and the lines
+ *     leave the L2, but the writeback payload is lost on the way to
+ *     the LLC — consumers read stale data from the LLC (and a drop at
+ *     the final barrier leaves host-invisible data, caught by the
+ *     audit);
+ *   - DELAY an L2 flush: the flush happens but costs extra cycles — a
+ *     pure timing fault that must NOT trip any correctness checker;
+ *   - SKIP an L2 invalidate: the acquire's flush half still runs, but
+ *     the invalidate is lost, so the L2 retains possibly-stale clean
+ *     lines;
+ *   - CORRUPT a coherence-table entry: downgrade one row's chiplet
+ *     state so the elide engine elides a sync op it actually needed.
+ *
+ * Faults fire either probabilistically (seeded Rng; deterministic for
+ * a fixed seed because the simulator is single-threaded per job) or on
+ * an explicit schedule of 0-based op indices ("drop the 3rd flush").
+ * One injector instance belongs to one Runtime/run; it is not
+ * thread-safe and must not be shared across concurrent sweep jobs.
+ */
+
+#ifndef CPELIDE_SIM_FAULT_INJECTOR_HH
+#define CPELIDE_SIM_FAULT_INJECTOR_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** What to do with one L2 flush (release) operation. */
+enum class FlushFault
+{
+    None,
+    Drop,
+    Delay,
+};
+
+/** The schedule/probabilities of one injection campaign. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    /** Probabilistic rates in [0,1]; 0 disables the class. @{ */
+    double dropFlushProb = 0.0;
+    double delayFlushProb = 0.0;
+    double skipInvalidateProb = 0.0;
+    double corruptTableProb = 0.0;
+    /** @} */
+
+    /** Explicit 0-based op indices (checked before probabilities). @{ */
+    std::vector<std::uint64_t> dropFlushAt;
+    std::vector<std::uint64_t> delayFlushAt;
+    std::vector<std::uint64_t> skipInvalidateAt;
+    std::vector<std::uint64_t> corruptTableAt;
+    /** @} */
+
+    /** Extra critical-path cycles added by a delayed flush. */
+    Cycles flushDelayCycles = 5000;
+
+    bool
+    enabled() const
+    {
+        return dropFlushProb > 0 || delayFlushProb > 0 ||
+               skipInvalidateProb > 0 || corruptTableProb > 0 ||
+               !dropFlushAt.empty() || !delayFlushAt.empty() ||
+               !skipInvalidateAt.empty() || !corruptTableAt.empty();
+    }
+};
+
+/** Decides, per operation, whether a fault fires; counts everything. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan)
+        : _plan(std::move(plan)), _rng(_plan.seed)
+    {}
+
+    /** Called once per l2Release; decides this flush's fate. */
+    FlushFault
+    onFlush()
+    {
+        const std::uint64_t idx = _flushesSeen++;
+        if (scheduled(_plan.dropFlushAt, idx) ||
+            roll(_plan.dropFlushProb)) {
+            ++_flushesDropped;
+            return FlushFault::Drop;
+        }
+        if (scheduled(_plan.delayFlushAt, idx) ||
+            roll(_plan.delayFlushProb)) {
+            ++_flushesDelayed;
+            return FlushFault::Delay;
+        }
+        return FlushFault::None;
+    }
+
+    /** Called once per l2Acquire; true = the invalidate is lost. */
+    bool
+    onInvalidate()
+    {
+        const std::uint64_t idx = _invalidatesSeen++;
+        if (scheduled(_plan.skipInvalidateAt, idx) ||
+            roll(_plan.skipInvalidateProb)) {
+            ++_invalidatesSkipped;
+            return true;
+        }
+        return false;
+    }
+
+    /** Called once per kernel launch; true = corrupt the table now. */
+    bool
+    onKernelLaunch()
+    {
+        const std::uint64_t idx = _launchesSeen++;
+        if (scheduled(_plan.corruptTableAt, idx) ||
+            roll(_plan.corruptTableProb)) {
+            return true;
+        }
+        return false;
+    }
+
+    /** The corruption hook applied a table mutation. */
+    void recordTableCorruption() { ++_tableCorruptions; }
+
+    /**
+     * A dropped flush discarded @p n dirty lines (memory-system
+     * callback). Drops of clean L2s lose nothing and are inherently
+     * unobservable; this counter lets tests separate the two.
+     */
+    void recordDroppedDirtyLines(std::uint64_t n)
+    {
+        _droppedDirtyLines += n;
+    }
+
+    Cycles flushDelayCycles() const { return _plan.flushDelayCycles; }
+
+    /** RNG shared with the corruption hook (row/chiplet choice). */
+    Rng &rng() { return _rng; }
+
+    /** Campaign statistics. @{ */
+    std::uint64_t flushesSeen() const { return _flushesSeen; }
+    std::uint64_t flushesDropped() const { return _flushesDropped; }
+    std::uint64_t flushesDelayed() const { return _flushesDelayed; }
+    std::uint64_t invalidatesSeen() const { return _invalidatesSeen; }
+    std::uint64_t invalidatesSkipped() const
+    {
+        return _invalidatesSkipped;
+    }
+    std::uint64_t tableCorruptions() const { return _tableCorruptions; }
+    std::uint64_t droppedDirtyLines() const { return _droppedDirtyLines; }
+    std::uint64_t
+    faultsInjected() const
+    {
+        return _flushesDropped + _flushesDelayed + _invalidatesSkipped +
+               _tableCorruptions;
+    }
+    /** @} */
+
+  private:
+    bool
+    roll(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        return _rng.real() < p;
+    }
+
+    static bool
+    scheduled(const std::vector<std::uint64_t> &at, std::uint64_t idx)
+    {
+        return std::find(at.begin(), at.end(), idx) != at.end();
+    }
+
+    FaultPlan _plan;
+    Rng _rng;
+    std::uint64_t _flushesSeen = 0;
+    std::uint64_t _flushesDropped = 0;
+    std::uint64_t _flushesDelayed = 0;
+    std::uint64_t _invalidatesSeen = 0;
+    std::uint64_t _invalidatesSkipped = 0;
+    std::uint64_t _launchesSeen = 0;
+    std::uint64_t _tableCorruptions = 0;
+    std::uint64_t _droppedDirtyLines = 0;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_FAULT_INJECTOR_HH

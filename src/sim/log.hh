@@ -3,7 +3,14 @@
  * Error-reporting helpers in the spirit of gem5's logging.hh.
  *
  * panic()  - an internal invariant was violated (a simulator bug);
- *            aborts so the failure is loud in tests.
+ *            throws SimPanicError so the exec engine can classify and
+ *            isolate the failed job instead of losing the whole sweep.
+ *            Set CPELIDE_PANIC=abort to restore the debugger-friendly
+ *            abort() (core dump at the failure point).
+ * checkFailed() - a correctness checker (staleness, annotations)
+ *            caught the *model* misbehaving; throws InvariantError (a
+ *            SimPanicError subclass) so such failures classify
+ *            separately from plain simulator bugs.
  * fatal()  - the user asked for something unsupportable (bad config);
  *            throws so library consumers can recover.
  * warn()   - something is modeled approximately; simulation continues.
@@ -41,15 +48,71 @@ class FatalError : public std::runtime_error
     {}
 };
 
-/** Abort with a message; use for internal invariant violations. */
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class SimPanicError : public std::runtime_error
+{
+  public:
+    explicit SimPanicError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Thrown by checkFailed(): a correctness checker (staleness checker,
+ * annotation validator) detected a protocol/model violation.
+ */
+class InvariantError : public SimPanicError
+{
+  public:
+    explicit InvariantError(const std::string &what)
+        : SimPanicError(what)
+    {}
+};
+
+/**
+ * True when CPELIDE_PANIC=abort. Read live (panic is a cold path) so
+ * tests can toggle the behaviour with setenv.
+ */
+inline bool
+panicAborts()
+{
+    const char *s = std::getenv("CPELIDE_PANIC");
+    return s && std::string(s) == "abort";
+}
+
+/**
+ * Report an internal invariant violation: throws SimPanicError so a
+ * sweep survives one bad job, or aborts under CPELIDE_PANIC=abort.
+ */
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    {
-        std::lock_guard<std::mutex> lock(logMutex());
-        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    if (panicAborts()) {
+        {
+            std::lock_guard<std::mutex> lock(logMutex());
+            std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        }
+        std::abort();
     }
-    std::abort();
+    throw SimPanicError(msg);
+}
+
+/**
+ * Report a correctness-checker violation (stale read, annotation
+ * breach): throws InvariantError, or aborts under CPELIDE_PANIC=abort.
+ */
+[[noreturn]] inline void
+checkFailed(const std::string &msg)
+{
+    if (panicAborts()) {
+        {
+            std::lock_guard<std::mutex> lock(logMutex());
+            std::fprintf(stderr, "invariant violation: %s\n",
+                         msg.c_str());
+        }
+        std::abort();
+    }
+    throw InvariantError(msg);
 }
 
 /** Throw FatalError; use for user-caused misconfiguration. */

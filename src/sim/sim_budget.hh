@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Per-job simulation budgets (watchdog support for the exec engine).
+ *
+ * A SimBudget caps one job's wall-clock time and simulation work. The
+ * cap is enforced cooperatively: BudgetGuard installs a thread-local
+ * state for the duration of a job body, and the simulation kernel
+ * charges work units against it (EventQueue::step/advanceTo and every
+ * MemSystem access). When a limit trips — or when SweepRunner's
+ * watchdog thread flags the job as overdue — the next charge() throws
+ * TimeoutError / BudgetError, which unwinds the job cleanly through
+ * the Runtime destructors and is classified by the sweep engine as a
+ * structured Timeout / Budget outcome instead of a hung sweep.
+ *
+ * Enforcement is cooperative by design: a job that never touches the
+ * simulation kernel (e.g. an infinite loop in pure host code) cannot
+ * be interrupted safely in-process; the watchdog still flags it so the
+ * sweep can report it once it does charge, or the operator can kill
+ * and resume (see CPELIDE_RESUME).
+ */
+
+#ifndef CPELIDE_SIM_SIM_BUDGET_HH
+#define CPELIDE_SIM_SIM_BUDGET_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace cpelide
+{
+
+/** Limits for one job; 0 means unlimited. */
+struct SimBudget
+{
+    /** Max wall-clock milliseconds for the job body. */
+    double maxWallMs = 0.0;
+    /** Max simulation work units (events + memory accesses). */
+    std::uint64_t maxEvents = 0;
+
+    bool enabled() const { return maxWallMs > 0.0 || maxEvents > 0; }
+
+    /** Budget from CPELIDE_TIMEOUT_MS / CPELIDE_MAX_EVENTS (0 = off). */
+    static SimBudget
+    fromEnv()
+    {
+        SimBudget b;
+        if (const char *s = std::getenv("CPELIDE_TIMEOUT_MS")) {
+            const double v = std::atof(s);
+            if (v > 0.0)
+                b.maxWallMs = v;
+        }
+        if (const char *s = std::getenv("CPELIDE_MAX_EVENTS")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                b.maxEvents = v;
+        }
+        return b;
+    }
+};
+
+/** The job exceeded its wall-clock budget (or was cancelled). */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    explicit TimeoutError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** The job exceeded its simulation-work budget. */
+class BudgetError : public std::runtime_error
+{
+  public:
+    explicit BudgetError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * RAII scope that makes @p budget the calling thread's active budget.
+ * Scopes nest; the innermost one is charged. The shared State outlives
+ * the scope, so a watchdog thread may safely hold it and request
+ * cancellation even while (or after) the job finishes.
+ */
+class BudgetGuard
+{
+  public:
+    struct State
+    {
+        std::chrono::steady_clock::time_point start;
+        double maxWallMs = 0.0;
+        std::uint64_t maxEvents = 0;
+        /** Work charged so far; touched only by the owning thread. */
+        std::uint64_t events = 0;
+        /** Set by a watchdog thread to cancel cooperatively. */
+        std::atomic<bool> cancel{false};
+
+        double
+        elapsedMs() const
+        {
+            return std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+        }
+    };
+
+    explicit BudgetGuard(const SimBudget &budget)
+        : _state(std::make_shared<State>()), _prev(tls())
+    {
+        _state->start = std::chrono::steady_clock::now();
+        _state->maxWallMs = budget.maxWallMs;
+        _state->maxEvents = budget.maxEvents;
+        tls() = _state.get();
+    }
+
+    ~BudgetGuard() { tls() = _prev; }
+
+    BudgetGuard(const BudgetGuard &) = delete;
+    BudgetGuard &operator=(const BudgetGuard &) = delete;
+
+    /** Shared state handle for watchdog registration. */
+    std::shared_ptr<State> state() const { return _state; }
+
+    /**
+     * Charge @p n work units against the calling thread's active
+     * budget (no-op when none is installed). Throws TimeoutError /
+     * BudgetError when a limit is exceeded. The wall clock is sampled
+     * only every 256 units to keep the hot path cheap.
+     */
+    static void
+    charge(std::uint64_t n = 1)
+    {
+        State *s = tls();
+        if (!s)
+            return;
+        s->events += n;
+        if (s->cancel.load(std::memory_order_relaxed)) {
+            throw TimeoutError(
+                "watchdog cancelled job after " +
+                std::to_string(s->elapsedMs()) + " ms (budget " +
+                std::to_string(s->maxWallMs) + " ms)");
+        }
+        if (s->maxEvents && s->events > s->maxEvents) {
+            throw BudgetError(
+                "simulation work budget exceeded: " +
+                std::to_string(s->events) + " > " +
+                std::to_string(s->maxEvents) + " units");
+        }
+        if (s->maxWallMs > 0.0 && (s->events & 0xFF) == 0) {
+            const double ms = s->elapsedMs();
+            if (ms > s->maxWallMs) {
+                throw TimeoutError(
+                    "wall-time budget exceeded: " + std::to_string(ms) +
+                    " ms > " + std::to_string(s->maxWallMs) + " ms");
+            }
+        }
+    }
+
+    /** True when the calling thread has an active budget scope. */
+    static bool active() { return tls() != nullptr; }
+
+  private:
+    static State *&
+    tls()
+    {
+        static thread_local State *current = nullptr;
+        return current;
+    }
+
+    std::shared_ptr<State> _state;
+    State *_prev;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_SIM_BUDGET_HH

@@ -102,4 +102,37 @@ fmtPct(double v, int decimals)
     return buf;
 }
 
+std::string
+escapeCell(const std::string &s, std::size_t maxLen)
+{
+    std::string out;
+    out.reserve(std::min(s.size(), maxLen));
+    for (const char c : s) {
+        if (out.size() >= maxLen) {
+            // Leave room for the ellipsis marker.
+            out.resize(maxLen > 3 ? maxLen - 3 : 0);
+            out += "...";
+            break;
+        }
+        out += (static_cast<unsigned char>(c) < 0x20 ||
+                static_cast<unsigned char>(c) == 0x7f)
+                   ? ' '
+                   : c;
+    }
+    return out;
+}
+
+std::string
+renderErrorRows(const std::vector<ErrorRow> &rows)
+{
+    if (rows.empty())
+        return "";
+    AsciiTable t({"job", "status", "attempts", "error"});
+    for (const ErrorRow &row : rows) {
+        t.addRow({escapeCell(row.label), escapeCell(row.status),
+                  std::to_string(row.attempts), escapeCell(row.error)});
+    }
+    return t.render();
+}
+
 } // namespace cpelide

@@ -45,6 +45,32 @@ std::string fmt(double v, int decimals = 2);
 /** Format @p v as a percentage ("+13.2%"). */
 std::string fmtPct(double v, int decimals = 1);
 
+/**
+ * Sanitize a string for an AsciiTable cell: control characters
+ * (newlines, tabs, ANSI escapes) become spaces so a hostile error
+ * message cannot break the table layout, and anything longer than
+ * @p maxLen is truncated with an ellipsis.
+ */
+std::string escapeCell(const std::string &s, std::size_t maxLen = 60);
+
+/**
+ * One failed job in an error report. Plain strings so the renderer
+ * stays independent of the exec layer (stats sits below it).
+ */
+struct ErrorRow
+{
+    std::string label;  //!< job identification
+    std::string status; //!< classified cause ("timeout", "panic", ...)
+    int attempts = 1;   //!< executions including retries
+    std::string error;  //!< exception text
+};
+
+/**
+ * Render failed-job rows as an AsciiTable ("" for an empty list —
+ * clean sweeps print nothing). Error text is escaped and truncated.
+ */
+std::string renderErrorRows(const std::vector<ErrorRow> &rows);
+
 } // namespace cpelide
 
 #endif // CPELIDE_STATS_REPORT_HH

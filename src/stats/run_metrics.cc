@@ -15,10 +15,11 @@ MetricsRegistry::global()
 void
 MetricsRegistry::record(const std::string &sweep,
                         const std::string &label, bool ok,
-                        const RunMetrics &m)
+                        const RunMetrics &m, const std::string &status)
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    _rows.push_back(Row{sweep, label, ok, m});
+    _rows.push_back(
+        Row{sweep, label, ok, m, status.empty() ? "ok" : status});
 }
 
 std::vector<MetricsRegistry::Row>
@@ -52,7 +53,7 @@ MetricsRegistry::render(const std::string &sweep) const
         if (!sweep.empty() && row.sweep != sweep)
             continue;
         wallTotal += row.metrics.wallSeconds;
-        t.addRow({row.label, row.ok ? "ok" : "FAILED",
+        t.addRow({row.label, row.ok ? "ok" : "FAILED:" + row.status,
                   fmt(row.metrics.wallSeconds, 3),
                   fmt(row.metrics.peakRssKb / 1024.0, 1),
                   std::to_string(row.metrics.simEvents),

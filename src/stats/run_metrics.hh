@@ -44,13 +44,16 @@ class MetricsRegistry
         std::string label;
         bool ok = false;
         RunMetrics metrics;
+        /** Classified status ("ok", "timeout", "panic", ...). */
+        std::string status = "ok";
     };
 
     /** The singleton used by SweepRunner. */
     static MetricsRegistry &global();
 
     void record(const std::string &sweep, const std::string &label,
-                bool ok, const RunMetrics &m);
+                bool ok, const RunMetrics &m,
+                const std::string &status = "");
 
     /** Snapshot of everything recorded so far, in record order. */
     std::vector<Row> rows() const;

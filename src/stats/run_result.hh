@@ -74,6 +74,12 @@ struct RunResult
     std::uint64_t tableMaxEntries = 0;
     /** Stale reads detected by the checker (must be 0). */
     std::uint64_t staleReads = 0;
+    /**
+     * Non-racy lines whose final host-visible version (L3 or DRAM)
+     * differs from the last version written in program order, audited
+     * after the final barrier (must be 0; a lost release leaves them).
+     */
+    std::uint64_t hostVisibilityViolations = 0;
 };
 
 } // namespace cpelide

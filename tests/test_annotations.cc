@@ -61,7 +61,6 @@ TEST(AnnotationValidator, RejectsOutOfSliceAccess)
 {
     Runtime rt(tinyConfig(), validatingOpts());
     const DevArray a = rt.malloc("A", 64 * 1024);
-    const std::uint64_t lines = a.numLines();
     KernelDesc k;
     k.name = "liar";
     k.numWgs = 8;
@@ -69,7 +68,13 @@ TEST(AnnotationValidator, RejectsOutOfSliceAccess)
     rt.setAccessMode(k, a, AccessMode::ReadOnly);
     k.trace = [a](int, TraceSink &sink) { sink.touch(a.id, 0, false); };
     rt.launchKernel(std::move(k));
-    EXPECT_DEATH(rt.deviceSynchronize("liar"), "annotation violation");
+    try {
+        rt.deviceSynchronize("liar");
+        FAIL() << "expected InvariantError";
+    } catch (const InvariantError &e) {
+        EXPECT_NE(std::string(e.what()).find("annotation violation"),
+                  std::string::npos);
+    }
 }
 
 TEST(AnnotationValidator, RejectsUndeclaredStructure)
@@ -86,7 +91,13 @@ TEST(AnnotationValidator, RejectsUndeclaredStructure)
         sink.touch(b.id, 0, false); // not annotated
     };
     rt.launchKernel(std::move(k));
-    EXPECT_DEATH(rt.deviceSynchronize("forgot_b"), "not annotated");
+    try {
+        rt.deviceSynchronize("forgot_b");
+        FAIL() << "expected InvariantError";
+    } catch (const InvariantError &e) {
+        EXPECT_NE(std::string(e.what()).find("not annotated"),
+                  std::string::npos);
+    }
 }
 
 TEST(AnnotationValidator, RejectsWriteThroughReadOnlyAnnotation)
@@ -99,8 +110,7 @@ TEST(AnnotationValidator, RejectsWriteThroughReadOnlyAnnotation)
     rt.setAccessMode(k, a, AccessMode::ReadOnly, RangeKind::Full);
     k.trace = [a](int, TraceSink &sink) { sink.touch(a.id, 0, true); };
     rt.launchKernel(std::move(k));
-    EXPECT_DEATH(rt.deviceSynchronize("sneaky_write"),
-                 "annotation violation");
+    EXPECT_THROW(rt.deviceSynchronize("sneaky_write"), InvariantError);
 }
 
 TEST(AnnotationValidator, BypassAccessesAreExempt)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/coherence_table.hh"
+#include "sim/log.hh"
 
 namespace cpelide
 {
@@ -47,7 +48,12 @@ TEST(CoherenceTable, InsertOnFullTablePanics)
     CoherenceTable t(2, 1);
     t.insert({0, 10});
     EXPECT_TRUE(t.full());
-    EXPECT_DEATH(t.insert({20, 30}), "full");
+    try {
+        t.insert({20, 30});
+        FAIL() << "expected SimPanicError";
+    } catch (const SimPanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("full"), std::string::npos);
+    }
 }
 
 TEST(CoherenceTable, ReleaseCleansDirtyEverywhere)

@@ -76,13 +76,35 @@ TEST(DataSpace, RacyAllocationSkipsCheck)
     EXPECT_EQ(s.staleReads(), 0u);
 }
 
-TEST(DataSpace, PanicOnStaleAborts)
+TEST(DataSpace, PanicOnStaleThrowsInvariantError)
 {
     DataSpace s;
     s.panicOnStale(true);
     const DsId a = s.allocate("a", 4096);
     s.recordStore(a, 0);
-    EXPECT_DEATH(s.checkObserved(a, 0, 0), "stale read");
+    try {
+        s.checkObserved(a, 0, 0);
+        FAIL() << "expected InvariantError";
+    } catch (const InvariantError &e) {
+        EXPECT_NE(std::string(e.what()).find("stale read"),
+                  std::string::npos);
+    }
+}
+
+TEST(DataSpace, PanicOnStaleAbortsUnderEnvKnob)
+{
+    DataSpace s;
+    s.panicOnStale(true);
+    const DsId a = s.allocate("a", 4096);
+    s.recordStore(a, 0);
+    // CPELIDE_PANIC=abort restores the debugger-friendly abort();
+    // setenv inside the death statement affects only the forked child.
+    EXPECT_DEATH(
+        {
+            setenv("CPELIDE_PANIC", "abort", 1);
+            s.checkObserved(a, 0, 0);
+        },
+        "stale read");
 }
 
 } // namespace

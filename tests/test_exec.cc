@@ -15,6 +15,9 @@
 #include "exec/sweep_runner.hh"
 #include "exec/thread_pool.hh"
 #include "harness/harness.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/sim_budget.hh"
 #include "stats/run_metrics.hh"
 
 using namespace cpelide;
@@ -64,6 +67,7 @@ expectSameResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.syncStallCycles, b.syncStallCycles);
     EXPECT_EQ(a.tableMaxEntries, b.tableMaxEntries);
     EXPECT_EQ(a.staleReads, b.staleReads);
+    EXPECT_EQ(a.hostVisibilityViolations, b.hostVisibilityViolations);
     EXPECT_EQ(a.simEvents, b.simEvents);
 }
 
@@ -182,6 +186,145 @@ TEST(SweepRunner, EnvJobsParsing)
     EXPECT_GE(jobsFromEnv(), 1); // unparsable -> default
     unsetenv("CPELIDE_JOBS");
     EXPECT_GE(jobsFromEnv(), 1);
+}
+
+TEST(SweepRunner, RunawayJobBecomesStructuredTimeout)
+{
+    // An unbounded simulation loop must come back as a Timeout row —
+    // not hang the sweep — while its neighbors complete untouched.
+    SweepSpec spec{"test_timeout", {}};
+    spec.budget.maxWallMs = 200.0;
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                    2, 0.05));
+    spec.add("spin_forever", []() -> RunResult {
+        EventQueue q;
+        std::function<void()> again = [&] {
+            q.scheduleAfter(1, again);
+        };
+        q.schedule(1, again);
+        q.run(); // never returns on its own; the budget unwinds it
+        return RunResult{};
+    });
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
+                                    2, 0.05));
+
+    const auto out = SweepRunner(2).run(spec);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(out[0].ok);
+    EXPECT_FALSE(out[1].ok);
+    EXPECT_EQ(out[1].kind, JobErrorKind::Timeout);
+    EXPECT_NE(out[1].error.find("budget"), std::string::npos);
+    EXPECT_TRUE(out[2].ok);
+
+    // The healthy rows are byte-identical to an unbudgeted run.
+    SweepSpec clean{"test_timeout_clean", {}};
+    clean.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                     2, 0.05));
+    clean.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
+                                     2, 0.05));
+    const auto ref = SweepRunner(1).run(clean);
+    expectSameResult(ref[0].result, out[0].result);
+    expectSameResult(ref[1].result, out[2].result);
+}
+
+TEST(SweepRunner, EventBudgetBecomesStructuredBudgetRow)
+{
+    SweepSpec spec{"test_budget", {}};
+    spec.budget.maxEvents = 1000;
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                    2, 0.05));
+    const auto out = SweepRunner(1).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].ok);
+    EXPECT_EQ(out[0].kind, JobErrorKind::Budget);
+}
+
+TEST(SweepRunner, PanickingJobClassifiedAsSimPanic)
+{
+    SweepSpec spec{"test_panic", {}};
+    spec.add("panics", []() -> RunResult {
+        panic("injected test panic");
+        return RunResult{};
+    });
+    const auto out = SweepRunner(1).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].ok);
+    EXPECT_EQ(out[0].kind, JobErrorKind::SimPanic);
+    EXPECT_NE(out[0].error.find("injected test panic"),
+              std::string::npos);
+    EXPECT_EQ(out[0].attempts, 1); // panics are not retry-safe
+}
+
+TEST(SweepRunner, RetrySafeFailuresAreRetriedWithBackoff)
+{
+    SweepSpec spec{"test_retry", {}};
+    spec.maxRetries = 3;
+    spec.retryBackoffMs = 1.0;
+    std::atomic<int> calls{0};
+    spec.add("flaky", [&calls]() -> RunResult {
+        if (++calls < 3)
+            throw std::runtime_error("transient failure");
+        return RunResult{};
+    });
+    const auto out = SweepRunner(1).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].ok);
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(out[0].attempts, 3);
+}
+
+TEST(SweepRunner, RetriesExhaustToClassifiedFailure)
+{
+    SweepSpec spec{"test_retry_exhaust", {}};
+    spec.maxRetries = 2;
+    spec.retryBackoffMs = 1.0;
+    std::atomic<int> calls{0};
+    spec.add("always_fails", [&calls]() -> RunResult {
+        ++calls;
+        throw std::runtime_error("still broken");
+    });
+    const auto out = SweepRunner(1).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].ok);
+    EXPECT_EQ(out[0].kind, JobErrorKind::Unknown);
+    EXPECT_EQ(calls.load(), 3); // 1 + 2 retries
+    EXPECT_EQ(out[0].attempts, 3);
+}
+
+TEST(SweepRunner, NonRetrySafeFailuresAreNotRetried)
+{
+    SweepSpec spec{"test_no_retry", {}};
+    spec.maxRetries = 5;
+    spec.retryBackoffMs = 1.0;
+    spec.budget.maxEvents = 1000;
+    std::atomic<int> calls{0};
+    spec.add("overbudget", [&calls]() -> RunResult {
+        ++calls;
+        BudgetGuard::charge(2000); // deterministic: retry cannot help
+        return RunResult{};
+    });
+    const auto out = SweepRunner(1).run(spec);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].ok);
+    EXPECT_EQ(out[0].kind, JobErrorKind::Budget);
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(SweepRunner, RetryEnvKnobParsing)
+{
+    ASSERT_EQ(setenv("CPELIDE_RETRIES", "4", 1), 0);
+    EXPECT_EQ(retriesFromEnv(), 4);
+    ASSERT_EQ(setenv("CPELIDE_RETRIES", "banana", 1), 0);
+    EXPECT_EQ(retriesFromEnv(), 0);
+    ASSERT_EQ(setenv("CPELIDE_RETRIES", "999", 1), 0);
+    EXPECT_LE(retriesFromEnv(), 16); // clamped
+    unsetenv("CPELIDE_RETRIES");
+    EXPECT_EQ(retriesFromEnv(), 0);
+
+    ASSERT_EQ(setenv("CPELIDE_RETRY_BACKOFF_MS", "10.5", 1), 0);
+    EXPECT_DOUBLE_EQ(retryBackoffMsFromEnv(), 10.5);
+    unsetenv("CPELIDE_RETRY_BACKOFF_MS");
+    EXPECT_DOUBLE_EQ(retryBackoffMsFromEnv(), 50.0);
 }
 
 TEST(SweepRunner, MetricsRecordedPerJob)

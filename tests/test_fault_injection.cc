@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Fault-injection campaigns against the correctness checkers.
+ *
+ * The point of the deterministic fault injector (sim/fault_injector.hh)
+ * is to prove the version-tag staleness checker and the
+ * host-visibility audit actually catch protocol misbehaviour, not just
+ * stay silent on healthy runs. The core claims tested here:
+ *
+ *   - zero injected faults  -> zero findings (no false positives);
+ *   - every flush drop that discards >= 1 dirty line is detected by
+ *     the staleness checker or the host-visibility audit (100%
+ *     detection of observable data loss);
+ *   - a delayed flush is a pure timing fault: slower, never flagged;
+ *   - skipped invalidates and coherence-table corruption are caught;
+ *   - campaigns are bit-deterministic for a fixed seed.
+ *
+ * Most campaigns run a hand-built producer/consumer ping-pong (write
+ * on chiplet 0, read on chiplet 1, repeated) because it maximises the
+ * blast radius of every fault class: affine workloads like Square
+ * keep each chiplet on its own slice, so a lost invalidate there has
+ * nothing stale to expose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_system.hh"
+#include "harness/harness.hh"
+#include "sim/fault_injector.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::radeonVii(2);
+    cfg.cusPerChiplet = 4;
+    cfg.l2SizeBytesPerChiplet = 256 * 1024;
+    cfg.l3SizeBytesTotal = 512 * 1024;
+    cfg.finalize();
+    return cfg;
+}
+
+KernelDesc
+pingPongKernel(DsId ds, std::uint64_t lines, bool write, int stream)
+{
+    KernelDesc k;
+    k.name = write ? "produce" : "consume";
+    k.streamId = stream;
+    k.numWgs = 8;
+    k.mlp = 8;
+    k.args.push_back(KernelArgDecl{
+        ds, write ? AccessMode::ReadWrite : AccessMode::ReadOnly,
+        RangeKind::Affine, {}});
+    k.trace = [ds, lines, write](int wg, TraceSink &sink) {
+        const std::uint64_t lo = lines * wg / 8;
+        const std::uint64_t hi = lines * (wg + 1) / 8;
+        for (std::uint64_t l = lo; l < hi; ++l)
+            sink.touch(ds, l, write);
+    };
+    return k;
+}
+
+/**
+ * Producer/consumer ping-pong: chiplet 0 rewrites the array, chiplet 1
+ * reads it, @p rounds times. Every round moves fresh data across the
+ * chiplet boundary, so any lost flush, lost invalidate, or wrongful
+ * elide feeds someone stale data.
+ */
+RunResult
+runPingPong(FaultInjector *fi, ProtocolKind kind, int rounds = 4)
+{
+    RunOptions opts;
+    opts.protocol = kind;
+    opts.faultInjector = fi;
+    opts.streamChiplets[1] = {0};
+    opts.streamChiplets[2] = {1};
+    GpuSystem gpu(tinyConfig(), opts);
+    const DsId ds = gpu.space().allocate("pp", 64 * 1024);
+    const std::uint64_t lines = gpu.space().alloc(ds).numLines();
+    for (int r = 0; r < rounds; ++r) {
+        gpu.enqueue(pingPongKernel(ds, lines, true, 1));
+        gpu.enqueue(pingPongKernel(ds, lines, false, 2));
+    }
+    return gpu.run("pingpong");
+}
+
+/**
+ * The inverse pattern, for invalidate faults: the array lives on
+ * chiplet 0 (first touch) and is read there into the local L2; chiplet
+ * 1 then rewrites it remotely (write-through to the home L3) each
+ * round. Chiplet 0's boundary invalidate is what purges its stale
+ * local copies — lose it and its next read hits old data. The
+ * forward ping-pong cannot show this: remote reads are never cached
+ * in an L2, so the consumer has nothing stale to keep.
+ */
+RunResult
+runRemoteWriteLocalRead(FaultInjector *fi, ProtocolKind kind,
+                        int rounds = 4)
+{
+    RunOptions opts;
+    opts.protocol = kind;
+    opts.faultInjector = fi;
+    opts.streamChiplets[1] = {0};
+    opts.streamChiplets[2] = {1};
+    GpuSystem gpu(tinyConfig(), opts);
+    const DsId ds = gpu.space().allocate("rwlr", 64 * 1024);
+    const std::uint64_t lines = gpu.space().alloc(ds).numLines();
+    // Home the lines on chiplet 0 and warm its L2 with clean copies.
+    gpu.enqueue(pingPongKernel(ds, lines, true, 1));
+    gpu.enqueue(pingPongKernel(ds, lines, false, 1));
+    for (int r = 0; r < rounds; ++r) {
+        gpu.enqueue(pingPongKernel(ds, lines, true, 2));
+        gpu.enqueue(pingPongKernel(ds, lines, false, 1));
+    }
+    return gpu.run("remote_write_local_read");
+}
+
+/** Findings from either checker. */
+std::uint64_t
+findings(const RunResult &r)
+{
+    return r.staleReads + r.hostVisibilityViolations;
+}
+
+TEST(FaultInjection, PassiveInjectorChangesNothing)
+{
+    // An injector with an all-zero plan observes every op but never
+    // fires; the run must be identical to one without an injector.
+    // Driven through the harness entry point to cover that wiring too.
+    const GpuConfig cfg = GpuConfig::radeonVii(2);
+    RunOptions opts;
+    opts.protocol = ProtocolKind::Baseline;
+    const RunResult clean = runWorkloadCfg("Square", cfg, opts, 0.05);
+
+    FaultInjector fi{FaultPlan{}};
+    opts.faultInjector = &fi;
+    const RunResult passive = runWorkloadCfg("Square", cfg, opts, 0.05);
+
+    EXPECT_EQ(fi.faultsInjected(), 0u);
+    EXPECT_GT(fi.flushesSeen(), 0u);
+    EXPECT_EQ(findings(clean), 0u);
+    EXPECT_EQ(findings(passive), 0u);
+    EXPECT_EQ(clean.cycles, passive.cycles);
+    EXPECT_EQ(clean.dramAccesses, passive.dramAccesses);
+    EXPECT_EQ(clean.l2FlushesIssued, passive.l2FlushesIssued);
+}
+
+TEST(FaultInjection, CleanPingPongHasNoFindings)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::Baseline, ProtocolKind::CpElide}) {
+        FaultInjector fi{FaultPlan{}};
+        const RunResult r = runPingPong(&fi, kind);
+        EXPECT_EQ(fi.faultsInjected(), 0u);
+        EXPECT_EQ(findings(r), 0u) << protocolName(kind);
+        EXPECT_GT(r.kernels, 0u);
+
+        FaultInjector fi2{FaultPlan{}};
+        const RunResult r2 = runRemoteWriteLocalRead(&fi2, kind);
+        EXPECT_EQ(fi2.faultsInjected(), 0u);
+        EXPECT_EQ(findings(r2), 0u) << protocolName(kind);
+    }
+}
+
+TEST(FaultInjection, EveryObservableFlushDropIsDetected)
+{
+    // Probe the campaign length, then run one campaign per flush op,
+    // dropping exactly that op. Each drop that discards dirty lines
+    // must be flagged; drops of clean L2s lose nothing and must not
+    // produce false positives.
+    FaultInjector probe{FaultPlan{}};
+    runPingPong(&probe, ProtocolKind::Baseline);
+    const std::uint64_t flushes = probe.flushesSeen();
+    ASSERT_GT(flushes, 0u);
+
+    std::uint64_t observableDrops = 0;
+    for (std::uint64_t i = 0; i < flushes; ++i) {
+        FaultPlan plan;
+        plan.dropFlushAt = {i};
+        FaultInjector fi{plan};
+        const RunResult r = runPingPong(&fi, ProtocolKind::Baseline);
+        ASSERT_EQ(fi.flushesDropped(), 1u) << "drop index " << i;
+        if (fi.droppedDirtyLines() > 0) {
+            ++observableDrops;
+            EXPECT_GT(findings(r), 0u)
+                << "undetected data loss at flush " << i << " ("
+                << fi.droppedDirtyLines() << " dirty lines)";
+        } else {
+            EXPECT_EQ(findings(r), 0u)
+                << "false positive at clean flush " << i;
+        }
+    }
+    // The campaign must actually have exercised data loss.
+    EXPECT_GT(observableDrops, 1u);
+}
+
+TEST(FaultInjection, DroppingEveryFlushIsDetected)
+{
+    FaultPlan plan;
+    plan.dropFlushProb = 1.0;
+    FaultInjector fi{plan};
+    const RunResult r = runPingPong(&fi, ProtocolKind::Baseline);
+    EXPECT_EQ(fi.flushesDropped(), fi.flushesSeen());
+    EXPECT_GT(fi.droppedDirtyLines(), 0u);
+    // Consumers read stale data all along, and the final audit must
+    // see that the last round's output never became host-visible.
+    EXPECT_GT(r.staleReads, 0u);
+    EXPECT_GT(r.hostVisibilityViolations, 0u);
+}
+
+TEST(FaultInjection, DelayedFlushIsPureTimingFault)
+{
+    const RunResult clean = runPingPong(nullptr, ProtocolKind::Baseline);
+
+    FaultPlan plan;
+    plan.delayFlushProb = 1.0;
+    plan.flushDelayCycles = 5000;
+    FaultInjector fi{plan};
+    const RunResult r = runPingPong(&fi, ProtocolKind::Baseline);
+
+    EXPECT_EQ(fi.flushesDelayed(), fi.flushesSeen());
+    EXPECT_GT(fi.flushesDelayed(), 0u);
+    // Slower, but never flagged: the data still moves correctly.
+    EXPECT_EQ(findings(r), 0u);
+    EXPECT_GT(r.cycles, clean.cycles);
+    EXPECT_EQ(r.dramAccesses, clean.dramAccesses);
+}
+
+TEST(FaultInjection, SkippedInvalidatesLeaveStaleCopies)
+{
+    // Chiplet 0 caches its local array; chiplet 1 rewrites it
+    // remotely each round. With chiplet 0's acquire invalidates lost
+    // it keeps hitting the stale local copies.
+    FaultPlan plan;
+    plan.skipInvalidateProb = 1.0;
+    FaultInjector fi{plan};
+    const RunResult r =
+        runRemoteWriteLocalRead(&fi, ProtocolKind::Baseline);
+    EXPECT_EQ(fi.invalidatesSkipped(), fi.invalidatesSeen());
+    EXPECT_GT(fi.invalidatesSkipped(), 0u);
+    EXPECT_GT(r.staleReads, 0u);
+}
+
+TEST(FaultInjection, TableCorruptionCausesWrongfulElides)
+{
+    // Downgrading Dirty/Stale coherence-table state to Valid makes the
+    // elide engine skip syncs it actually needed. Only meaningful for
+    // CPElide (the table drives elision decisions).
+    FaultPlan plan;
+    plan.corruptTableProb = 1.0;
+    FaultInjector fi{plan};
+    const RunResult r = runPingPong(&fi, ProtocolKind::CpElide);
+    ASSERT_GT(fi.tableCorruptions(), 0u);
+    EXPECT_GT(findings(r), 0u);
+}
+
+TEST(FaultInjection, CampaignsAreDeterministicForFixedSeed)
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.dropFlushProb = 0.25;
+    plan.skipInvalidateProb = 0.25;
+
+    FaultInjector a{plan};
+    const RunResult ra = runPingPong(&a, ProtocolKind::Baseline);
+    FaultInjector b{plan};
+    const RunResult rb = runPingPong(&b, ProtocolKind::Baseline);
+
+    EXPECT_EQ(a.flushesSeen(), b.flushesSeen());
+    EXPECT_EQ(a.flushesDropped(), b.flushesDropped());
+    EXPECT_EQ(a.invalidatesSkipped(), b.invalidatesSkipped());
+    EXPECT_EQ(a.droppedDirtyLines(), b.droppedDirtyLines());
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.staleReads, rb.staleReads);
+    EXPECT_EQ(ra.hostVisibilityViolations, rb.hostVisibilityViolations);
+
+    // A different seed fires a different schedule.
+    plan.seed = 1337;
+    FaultInjector c{plan};
+    runPingPong(&c, ProtocolKind::Baseline);
+    EXPECT_TRUE(a.flushesDropped() != c.flushesDropped() ||
+                a.invalidatesSkipped() != c.invalidatesSkipped() ||
+                a.droppedDirtyLines() != c.droppedDirtyLines());
+}
+
+} // namespace
+} // namespace cpelide

@@ -104,5 +104,23 @@ TEST(Harness, CustomConfigRunHonorsFreeSyncAblation)
     EXPECT_LE(ideal.cycles, real.cycles);
 }
 
+TEST(Harness, WarnsAboutUnknownCpelideEnvVars)
+{
+    // A misspelled knob must be flagged, not silently ignored.
+    ASSERT_EQ(setenv("CPELIDE_TIMEOUT", "1000", 1), 0); // missing _MS
+    ASSERT_EQ(setenv("CPELIDE_TIMEOUT_MS", "1000", 1), 0); // real knob
+    const auto unknown = warnUnknownEnvVars();
+    unsetenv("CPELIDE_TIMEOUT");
+    unsetenv("CPELIDE_TIMEOUT_MS");
+
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "CPELIDE_TIMEOUT");
+
+    // With only recognized knobs set, nothing is flagged.
+    ASSERT_EQ(setenv("CPELIDE_JOBS", "2", 1), 0);
+    EXPECT_TRUE(warnUnknownEnvVars().empty());
+    unsetenv("CPELIDE_JOBS");
+}
+
 } // namespace
 } // namespace cpelide

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Checkpoint-journal tests: encode/decode round-trips (including
+ * hostile strings and double exactness), job-identity hashing,
+ * torn-line tolerance, and SweepRunner resume semantics
+ * (CPELIDE_RESUME / SweepRunner::setJournal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exec/journal.hh"
+#include "exec/sweep_runner.hh"
+#include "harness/harness.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+/** Unique-ish temp path per test; removed on destruction. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &tag)
+        : _path(std::string(::testing::TempDir()) + "cpelide_" + tag +
+                "_" + std::to_string(getpid()) + ".jsonl")
+    {
+        std::remove(_path.c_str());
+    }
+    ~TempPath() { std::remove(_path.c_str()); }
+    const std::string &str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+JobOutcome
+sampleOutcome()
+{
+    JobOutcome o;
+    o.ok = true;
+    o.attempts = 2;
+    o.result.workload = "Square";
+    o.result.protocol = "CPElide";
+    o.result.numChiplets = 4;
+    o.result.cycles = 123456789;
+    o.result.kernels = 20;
+    o.result.accesses = 987654;
+    o.result.l1.hits = 11;
+    o.result.l1.misses = 13;
+    o.result.l2.hits = 17;
+    o.result.l2.misses = 19;
+    o.result.l3.hits = 23;
+    o.result.l3.misses = 29;
+    o.result.dramAccesses = 31;
+    o.result.flits.l1l2 = 37;
+    o.result.flits.l2l3 = 41;
+    o.result.flits.remote = 43;
+    o.result.energy.l2 = 0.1 + 0.2; // deliberately non-representable
+    o.result.energy.dram = 1.0 / 3.0;
+    o.result.l2FlushesIssued = 47;
+    o.result.l2InvalidatesIssued = 53;
+    o.result.l2FlushesElided = 59;
+    o.result.l2InvalidatesElided = 61;
+    o.result.linesWrittenBack = 67;
+    o.result.syncStallCycles = 71;
+    o.result.simEvents = 73;
+    o.result.tableMaxEntries = 79;
+    o.result.staleReads = 0;
+    o.result.hostVisibilityViolations = 0;
+    o.metrics.wallSeconds = 1.25;
+    o.metrics.peakRssKb = 4096;
+    o.metrics.simEvents = 73;
+    o.metrics.worker = 3;
+    return o;
+}
+
+void
+expectOutcomeEq(const JobOutcome &a, const JobOutcome &b)
+{
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.result.workload, b.result.workload);
+    EXPECT_EQ(a.result.protocol, b.result.protocol);
+    EXPECT_EQ(a.result.numChiplets, b.result.numChiplets);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.kernels, b.result.kernels);
+    EXPECT_EQ(a.result.accesses, b.result.accesses);
+    EXPECT_EQ(a.result.l1.hits, b.result.l1.hits);
+    EXPECT_EQ(a.result.l2.misses, b.result.l2.misses);
+    EXPECT_EQ(a.result.l3.hits, b.result.l3.hits);
+    EXPECT_EQ(a.result.dramAccesses, b.result.dramAccesses);
+    EXPECT_EQ(a.result.flits.remote, b.result.flits.remote);
+    // Doubles must survive exactly (the %.17g contract): resumed
+    // sweeps render byte-identical tables.
+    EXPECT_EQ(a.result.energy.l2, b.result.energy.l2);
+    EXPECT_EQ(a.result.energy.dram, b.result.energy.dram);
+    EXPECT_EQ(a.result.l2FlushesElided, b.result.l2FlushesElided);
+    EXPECT_EQ(a.result.linesWrittenBack, b.result.linesWrittenBack);
+    EXPECT_EQ(a.result.syncStallCycles, b.result.syncStallCycles);
+    EXPECT_EQ(a.result.simEvents, b.result.simEvents);
+    EXPECT_EQ(a.result.tableMaxEntries, b.result.tableMaxEntries);
+    EXPECT_EQ(a.result.staleReads, b.result.staleReads);
+    EXPECT_EQ(a.result.hostVisibilityViolations,
+              b.result.hostVisibilityViolations);
+    EXPECT_EQ(a.metrics.wallSeconds, b.metrics.wallSeconds);
+    EXPECT_EQ(a.metrics.peakRssKb, b.metrics.peakRssKb);
+    EXPECT_EQ(a.metrics.worker, b.metrics.worker);
+}
+
+TEST(Journal, EncodeDecodeRoundTrip)
+{
+    const JobOutcome o = sampleOutcome();
+    const std::string line =
+        encodeOutcome(0xDEADBEEFCAFEBABEull, "sweep1", "job/label", o);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    std::uint64_t hash = 0;
+    std::string sweep, label;
+    JobOutcome back;
+    ASSERT_TRUE(decodeOutcome(line, &hash, &sweep, &label, &back));
+    EXPECT_EQ(hash, 0xDEADBEEFCAFEBABEull);
+    EXPECT_EQ(sweep, "sweep1");
+    EXPECT_EQ(label, "job/label");
+    expectOutcomeEq(o, back);
+}
+
+TEST(Journal, HostileStringsSurviveEscaping)
+{
+    JobOutcome o;
+    o.ok = false;
+    o.kind = JobErrorKind::SimPanic;
+    o.error = "panic: \"quoted\"\n\ttab \\ backslash \x01 ctrl";
+    const std::string line =
+        encodeOutcome(1, "sw\"eep", "la\\bel\nx", o);
+
+    std::uint64_t hash = 0;
+    std::string sweep, label;
+    JobOutcome back;
+    ASSERT_TRUE(decodeOutcome(line, &hash, &sweep, &label, &back));
+    EXPECT_EQ(sweep, "sw\"eep");
+    EXPECT_EQ(label, "la\\bel\nx");
+    EXPECT_EQ(back.error, o.error);
+    EXPECT_EQ(back.kind, JobErrorKind::SimPanic);
+    EXPECT_FALSE(back.ok);
+}
+
+TEST(Journal, DecodeRejectsTornLines)
+{
+    const std::string line =
+        encodeOutcome(7, "s", "l", sampleOutcome());
+    std::uint64_t hash = 0;
+    std::string sweep, label;
+    JobOutcome out;
+    // Any prefix of a valid line (a SIGKILL mid-append) must fail
+    // cleanly, not crash or half-fill the outputs.
+    for (std::size_t cut = 0; cut < line.size(); cut += 7) {
+        EXPECT_FALSE(decodeOutcome(line.substr(0, cut), &hash, &sweep,
+                                   &label, &out))
+            << "prefix length " << cut;
+    }
+    EXPECT_FALSE(decodeOutcome("", &hash, &sweep, &label, &out));
+    EXPECT_FALSE(decodeOutcome("not json", &hash, &sweep, &label, &out));
+    EXPECT_FALSE(decodeOutcome("{}", &hash, &sweep, &label, &out));
+}
+
+TEST(Journal, JobHashIdentityProperties)
+{
+    SweepSpec a{"sweep_a", {}};
+    a.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline, 2));
+    a.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide, 2));
+
+    // Deterministic within a process and sensitive to every identity
+    // component.
+    EXPECT_EQ(jobHash(a, 0), jobHash(a, 0));
+    EXPECT_NE(jobHash(a, 0), jobHash(a, 1));
+
+    SweepSpec b = a;
+    b.name = "sweep_b";
+    EXPECT_NE(jobHash(a, 0), jobHash(b, 0));
+
+    SweepSpec c = a;
+    c.jobs[0] = workloadJob("Square", ProtocolKind::Baseline, 4);
+    EXPECT_NE(jobHash(a, 0), jobHash(c, 0));
+
+    SweepSpec d = a;
+    d.jobs[0] = workloadJob("Square", ProtocolKind::Baseline, 2, 0.5);
+    EXPECT_NE(jobHash(a, 0), jobHash(d, 0));
+}
+
+TEST(Journal, OpenMissingFileIsEmptyJournal)
+{
+    TempPath tmp("missing");
+    SweepJournal j;
+    ASSERT_TRUE(j.open(tmp.str()));
+    EXPECT_TRUE(j.isOpen());
+    EXPECT_EQ(j.loadedRecords(), 0u);
+    JobOutcome out;
+    EXPECT_FALSE(j.lookup(42, &out));
+}
+
+TEST(Journal, AppendThenReloadRestoresSuccessfulOutcomes)
+{
+    TempPath tmp("reload");
+    const JobOutcome good = sampleOutcome();
+    JobOutcome bad;
+    bad.ok = false;
+    bad.kind = JobErrorKind::Timeout;
+    bad.error = "wall-time budget exceeded";
+
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(tmp.str()));
+        j.append(1, "s", "good", good);
+        j.append(2, "s", "bad", bad);
+    }
+
+    // Simulate a torn final line from a killed process.
+    {
+        std::FILE *f = std::fopen(tmp.str().c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"hash\":\"3\",\"sweep\":\"s\",\"label\":\"torn", f);
+        std::fclose(f);
+    }
+
+    SweepJournal j;
+    ASSERT_TRUE(j.open(tmp.str()));
+    EXPECT_EQ(j.loadedRecords(), 2u);
+
+    JobOutcome out;
+    ASSERT_TRUE(j.lookup(1, &out));
+    EXPECT_TRUE(out.fromCheckpoint);
+    expectOutcomeEq(good, out);
+    // Failed outcomes are journaled but not restorable: they re-run.
+    EXPECT_FALSE(j.lookup(2, &out));
+    EXPECT_FALSE(j.lookup(3, &out));
+}
+
+TEST(Journal, SweepRunnerResumeSkipsCompletedJobs)
+{
+    TempPath tmp("resume");
+    SweepSpec spec{"resume_grid", {}};
+    for (const char *name : {"Square", "Backprop"}) {
+        for (ProtocolKind kind :
+             {ProtocolKind::Baseline, ProtocolKind::CpElide}) {
+            spec.jobs.push_back(workloadJob(name, kind, 2, 0.05));
+        }
+    }
+
+    SweepRunner first(2);
+    first.setJournal(tmp.str());
+    const auto full = first.run(spec);
+    ASSERT_EQ(full.size(), spec.jobs.size());
+    for (const auto &o : full) {
+        ASSERT_TRUE(o.ok);
+        EXPECT_FALSE(o.fromCheckpoint);
+    }
+
+    // Second run against the same journal: everything restores, and
+    // the merged outcomes carry identical results.
+    SweepRunner second(2);
+    second.setJournal(tmp.str());
+    const auto resumed = second.run(spec);
+    ASSERT_EQ(resumed.size(), full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_TRUE(resumed[i].fromCheckpoint) << i;
+        expectOutcomeEq(full[i], resumed[i]);
+    }
+}
+
+TEST(Journal, PartialJournalRunsOnlyMissingJobs)
+{
+    TempPath tmp("partial");
+    SweepSpec spec{"partial_grid", {}};
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                    2, 0.05));
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
+                                    2, 0.05));
+
+    // Journal only job 0, as if the run died before job 1 finished.
+    SweepRunner probe(1);
+    probe.setJournal(tmp.str());
+    SweepSpec firstHalf = spec;
+    firstHalf.jobs.resize(1);
+    const auto half = probe.run(firstHalf);
+    ASSERT_TRUE(half[0].ok);
+
+    SweepRunner resume(1);
+    resume.setJournal(tmp.str());
+    const auto out = resume.run(spec);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].fromCheckpoint);
+    EXPECT_FALSE(out[1].fromCheckpoint);
+    EXPECT_TRUE(out[1].ok);
+}
+
+TEST(Journal, EnvResumeKnobIsHonored)
+{
+    TempPath tmp("envresume");
+    SweepSpec spec{"env_grid", {}};
+    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
+                                    2, 0.05));
+
+    ASSERT_EQ(setenv("CPELIDE_RESUME", tmp.str().c_str(), 1), 0);
+    const auto first = SweepRunner(1).run(spec);
+    const auto second = SweepRunner(1).run(spec);
+    unsetenv("CPELIDE_RESUME");
+
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_FALSE(first[0].fromCheckpoint);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].fromCheckpoint);
+    expectOutcomeEq(first[0], second[0]);
+}
+
+} // namespace

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "stats/report.hh"
+#include "stats/run_metrics.hh"
 
 namespace cpelide
 {
@@ -55,6 +59,103 @@ TEST(AsciiTable, ShortRowsArePadded)
     t.addRow({"only"});
     const std::string out = t.render();
     EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(EscapeCell, NeutralizesControlCharactersAndTruncates)
+{
+    EXPECT_EQ(escapeCell("plain"), "plain");
+    // Newlines, tabs, ANSI escapes, and DEL cannot break the table.
+    EXPECT_EQ(escapeCell("a\nb\tc\x1b[31md\x7f"), "a b c [31md ");
+    // Long text is truncated with an ellipsis at the cap.
+    const std::string longText(100, 'x');
+    const std::string cut = escapeCell(longText, 10);
+    EXPECT_EQ(cut.size(), 10u);
+    EXPECT_EQ(cut, "xxxxxxx...");
+    EXPECT_EQ(escapeCell(longText).size(), 60u);
+    EXPECT_EQ(escapeCell(""), "");
+}
+
+TEST(RenderErrorRows, EmptyListRendersNothing)
+{
+    EXPECT_EQ(renderErrorRows({}), "");
+}
+
+TEST(RenderErrorRows, RendersEscapedTable)
+{
+    std::vector<ErrorRow> rows;
+    rows.push_back({"grid/Square", "timeout", 3,
+                    "wall-time budget exceeded\nsecond line"});
+    rows.push_back({"grid/Backprop", "panic", 1, "boom"});
+    const std::string out = renderErrorRows(rows);
+    EXPECT_NE(out.find("| job"), std::string::npos);
+    EXPECT_NE(out.find("grid/Square"), std::string::npos);
+    EXPECT_NE(out.find("timeout"), std::string::npos);
+    EXPECT_NE(out.find("| 3"), std::string::npos);
+    EXPECT_NE(out.find("boom"), std::string::npos);
+    // The embedded newline was escaped: every line is a table line.
+    for (std::size_t pos = out.find('\n'); pos != std::string::npos;
+         pos = out.find('\n', pos + 1)) {
+        if (pos + 1 < out.size())
+            EXPECT_TRUE(out[pos + 1] == '|' || out[pos + 1] == '+');
+    }
+}
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNothing)
+{
+    MetricsRegistry::global().clear();
+    constexpr int kThreads = 8;
+    constexpr int kRowsEach = 200;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kRowsEach; ++i) {
+                RunMetrics m;
+                m.worker = t;
+                MetricsRegistry::global().record(
+                    "conc", "job" + std::to_string(t * kRowsEach + i),
+                    true, m);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    const auto rows = MetricsRegistry::global().rows();
+    ASSERT_EQ(rows.size(),
+              static_cast<std::size_t>(kThreads * kRowsEach));
+    // Every row arrived intact (no torn strings / lost writes).
+    std::vector<int> seen(kThreads * kRowsEach, 0);
+    for (const auto &row : rows) {
+        EXPECT_EQ(row.sweep, "conc");
+        EXPECT_TRUE(row.ok);
+        EXPECT_EQ(row.status, "ok");
+        const int id = std::stoi(row.label.substr(3));
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, kThreads * kRowsEach);
+        ++seen[static_cast<std::size_t>(id)];
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+    MetricsRegistry::global().clear();
+}
+
+TEST(MetricsRegistry, ErrorRowsRenderTheirStatus)
+{
+    MetricsRegistry::global().clear();
+    RunMetrics m;
+    MetricsRegistry::global().record("errsweep", "good", true, m);
+    MetricsRegistry::global().record("errsweep", "bad", false, m,
+                                     "timeout");
+    const std::string table =
+        MetricsRegistry::global().render("errsweep");
+    EXPECT_NE(table.find("ok"), std::string::npos);
+    EXPECT_NE(table.find("FAILED:timeout"), std::string::npos);
+    // Rendering a sweep with no rows yields an empty table, not a
+    // crash.
+    const std::string empty =
+        MetricsRegistry::global().render("no_such_sweep");
+    EXPECT_EQ(empty.find("FAILED"), std::string::npos);
+    MetricsRegistry::global().clear();
 }
 
 } // namespace

@@ -1,11 +1,15 @@
-/** @file EventQueue and RNG unit tests. */
+/** @file EventQueue, RNG, and simulation-budget unit tests. */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/sim_budget.hh"
 
 namespace cpelide
 {
@@ -76,6 +80,93 @@ TEST(EventQueue, StepReturnsPerEvent)
     EXPECT_TRUE(q.step());
     EXPECT_TRUE(q.step());
     EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    // Regression: an event before now() would silently reorder time
+    // (the queue pops by timestamp); it must fail loudly instead.
+    EventQueue q;
+    q.advanceTo(100);
+    EXPECT_THROW(q.schedule(99, [] {}), SimPanicError);
+    q.schedule(100, [] {}); // exactly now() is fine
+    q.run();
+}
+
+TEST(SimBudget, DisabledByDefaultAndFromEmptyEnv)
+{
+    unsetenv("CPELIDE_TIMEOUT_MS");
+    unsetenv("CPELIDE_MAX_EVENTS");
+    EXPECT_FALSE(SimBudget{}.enabled());
+    EXPECT_FALSE(SimBudget::fromEnv().enabled());
+
+    setenv("CPELIDE_TIMEOUT_MS", "1500", 1);
+    setenv("CPELIDE_MAX_EVENTS", "123456", 1);
+    const SimBudget b = SimBudget::fromEnv();
+    EXPECT_TRUE(b.enabled());
+    EXPECT_DOUBLE_EQ(b.maxWallMs, 1500.0);
+    EXPECT_EQ(b.maxEvents, 123456u);
+    unsetenv("CPELIDE_TIMEOUT_MS");
+    unsetenv("CPELIDE_MAX_EVENTS");
+}
+
+TEST(SimBudget, ChargeWithoutScopeIsNoop)
+{
+    EXPECT_FALSE(BudgetGuard::active());
+    BudgetGuard::charge(1000000); // must not throw
+}
+
+TEST(SimBudget, EventBudgetThrowsBudgetError)
+{
+    SimBudget budget;
+    budget.maxEvents = 100;
+    BudgetGuard guard(budget);
+    EXPECT_TRUE(BudgetGuard::active());
+    for (int i = 0; i < 100; ++i)
+        BudgetGuard::charge();
+    EXPECT_THROW(BudgetGuard::charge(), BudgetError);
+}
+
+TEST(SimBudget, WatchdogCancelThrowsTimeoutError)
+{
+    BudgetGuard guard(SimBudget{});
+    BudgetGuard::charge(); // fine until someone cancels
+    guard.state()->cancel = true;
+    try {
+        BudgetGuard::charge();
+        FAIL() << "expected TimeoutError";
+    } catch (const TimeoutError &e) {
+        EXPECT_NE(std::string(e.what()).find("cancelled"),
+                  std::string::npos);
+    }
+}
+
+TEST(SimBudget, ScopesNestAndRestore)
+{
+    SimBudget outerBudget;
+    outerBudget.maxEvents = 5;
+    BudgetGuard outer(outerBudget);
+    {
+        // The inner scope is unlimited: charges must not hit the
+        // outer budget.
+        BudgetGuard inner{SimBudget{}};
+        BudgetGuard::charge(1000);
+    }
+    // Outer is active again and still within its own budget.
+    for (int i = 0; i < 5; ++i)
+        BudgetGuard::charge();
+    EXPECT_THROW(BudgetGuard::charge(), BudgetError);
+}
+
+TEST(SimBudget, EventQueueChargesTheActiveBudget)
+{
+    SimBudget budget;
+    budget.maxEvents = 4;
+    BudgetGuard guard(budget);
+    EventQueue q;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(i + 1, [] {});
+    EXPECT_THROW(q.run(), BudgetError);
 }
 
 TEST(Rng, DeterministicForSameSeed)
