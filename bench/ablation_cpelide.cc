@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
@@ -32,17 +33,26 @@ variantJob(const std::string &name, int ds_per_kernel, int depth,
     cfg.finalize();
     RunOptions opts;
     opts.protocol = ProtocolKind::CpElide;
-    return workloadCfgJob(name, cfg, opts, scale);
+    RunRequest req;
+    req.workload = name;
+    req.scale = scale;
+    req.cfg = cfg;
+    req.options = opts;
+    return makeJob(req);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Ablation: CPElide design choices (4 chiplets) ==\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Ablation: CPElide design choices (4 chiplets) "
+                  "==\n");
+    }
 
     const std::vector<std::string> subset = {
         "BabelStream", "Hotspot3D", "LUD",     "Lulesh",
@@ -56,6 +66,11 @@ main()
         spec.jobs.push_back(variantJob(name, 8, 8, true, scale));
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application", "paper (8x8)", "tiny table (2x4)",

@@ -8,27 +8,41 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Ablation: HMG write-through vs write-back L2 ==\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Ablation: HMG write-through vs write-back L2 "
+                  "==\n");
+    }
 
     SweepSpec spec{"ablation_hmg", {}};
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::Hmg, 4, scale));
-        spec.jobs.push_back(workloadJob(
-            info.name, ProtocolKind::HmgWriteBack, 4, scale));
+        for (ProtocolKind kind :
+             {ProtocolKind::Hmg, ProtocolKind::HmgWriteBack}) {
+            RunRequest req;
+            req.workload = info.name;
+            req.protocol = kind;
+            req.scale = scale;
+            spec.jobs.push_back(makeJob(req));
+        }
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application", "HMG-WT cycles", "HMG-WB cycles",

@@ -8,28 +8,41 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Fig 2: 4-chiplet Baseline vs equivalent monolithic "
-              "GPU ==\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Fig 2: 4-chiplet Baseline vs equivalent "
+                  "monolithic GPU ==\n");
+    }
 
     SweepSpec spec{"fig2", {}};
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::Monolithic, 4, scale));
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::Baseline, 4, scale));
+        for (ProtocolKind kind :
+             {ProtocolKind::Monolithic, ProtocolKind::Baseline}) {
+            RunRequest req;
+            req.workload = info.name;
+            req.protocol = kind;
+            req.scale = scale;
+            spec.jobs.push_back(makeJob(req));
+        }
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application", "monolithic cycles", "baseline cycles",

@@ -12,16 +12,19 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
+    if (io.tables())
+        printConfigBanner(4);
 
     // Fan the whole 24 x 3 x 4 grid out across CPELIDE_JOBS workers;
     // outcomes come back in spec order, so the tables below are
@@ -33,12 +36,21 @@ main()
             for (ProtocolKind kind :
                  {ProtocolKind::Baseline, ProtocolKind::Hmg,
                   ProtocolKind::CpElide}) {
-                spec.jobs.push_back(
-                    workloadJob(info.name, kind, chiplets, scale));
+                RunRequest req;
+                req.workload = info.name;
+                req.protocol = kind;
+                req.chiplets = chiplets;
+                req.scale = scale;
+                spec.jobs.push_back(makeJob(req));
             }
         }
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
     auto take = [&]() -> const RunResult & {
         return out[next++].result;

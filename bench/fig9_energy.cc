@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
@@ -29,25 +30,37 @@ breakdownStr(const EnergyBreakdown &e, double norm)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Fig 9: memory subsystem energy, normalized to "
-              "Baseline ==");
-    std::puts("(columns: total; breakdown L1I/L1D/LDS/L2/NoC/DRAM)\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Fig 9: memory subsystem energy, normalized to "
+                  "Baseline ==");
+        std::puts("(columns: total; breakdown "
+                  "L1I/L1D/LDS/L2/NoC/DRAM)\n");
+    }
 
     SweepSpec spec{"fig9", {}};
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::Baseline, 4, scale));
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::CpElide, 4, scale));
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::Hmg, 4, scale));
+        for (ProtocolKind kind :
+             {ProtocolKind::Baseline, ProtocolKind::CpElide,
+              ProtocolKind::Hmg}) {
+            RunRequest req;
+            req.workload = info.name;
+            req.protocol = kind;
+            req.scale = scale;
+            spec.jobs.push_back(makeJob(req));
+        }
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application", "B total", "C total", "H total",

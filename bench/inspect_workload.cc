@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
@@ -18,20 +19,32 @@ using namespace cpelide;
 int
 main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const std::string name = argc > 1 ? argv[1] : "Square";
     const int chiplets = argc > 2 ? std::atoi(argv[2]) : 4;
     const double scale = argc > 3 ? std::atof(argv[3]) : envScale();
 
-    AsciiTable t({"metric", "Monolithic", "Baseline", "CPElide", "HMG",
-                  "HMG-WB"});
     const ProtocolKind kinds[5] = {
         ProtocolKind::Monolithic, ProtocolKind::Baseline,
         ProtocolKind::CpElide, ProtocolKind::Hmg,
         ProtocolKind::HmgWriteBack};
     SweepSpec spec{"inspect", {}};
-    for (ProtocolKind kind : kinds)
-        spec.jobs.push_back(workloadJob(name, kind, chiplets, scale));
+    for (ProtocolKind kind : kinds) {
+        RunRequest req;
+        req.workload = name;
+        req.protocol = kind;
+        req.chiplets = chiplets;
+        req.scale = scale;
+        spec.jobs.push_back(makeJob(req));
+    }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
+    AsciiTable t({"metric", "Monolithic", "Baseline", "CPElide", "HMG",
+                  "HMG-WB"});
     RunResult r[5];
     for (int i = 0; i < 5; ++i)
         r[i] = out[static_cast<std::size_t>(i)].result;

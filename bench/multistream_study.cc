@@ -12,18 +12,22 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Section VI: multi-stream workloads (2 jobs x 2 "
-              "chiplets) ==\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Section VI: multi-stream workloads (2 jobs x 2 "
+                  "chiplets) ==\n");
+    }
 
     const std::vector<std::string> subset = {
         "BabelStream", "Square",  "Hotspot3D", "Backprop",
@@ -35,11 +39,20 @@ main()
         for (ProtocolKind kind :
              {ProtocolKind::Baseline, ProtocolKind::Hmg,
               ProtocolKind::CpElide}) {
-            spec.jobs.push_back(
-                multiStreamJob(name, kind, 4, 2, scale));
+            RunRequest req;
+            req.workload = name;
+            req.protocol = kind;
+            req.scale = scale;
+            req.copies = 2;
+            spec.jobs.push_back(makeJob(req));
         }
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application x2", "HMG speedup", "CPElide speedup"});

@@ -12,27 +12,41 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Section VI: CPElide scalability to 8/16 chiplets ==\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Section VI: CPElide scalability to 8/16 chiplets "
+                  "==\n");
+    }
 
     SweepSpec spec{"scaling", {}};
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
         for (int extra : {0, 1, 3}) {
-            spec.jobs.push_back(workloadJob(
-                info.name, ProtocolKind::CpElide, 4, scale, extra));
+            RunRequest req;
+            req.workload = info.name;
+            req.protocol = ProtocolKind::CpElide;
+            req.scale = scale;
+            req.extraSyncSets = extra;
+            spec.jobs.push_back(makeJob(req));
         }
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application", "4-chiplet", "mimic 8 (2x sync)",

@@ -10,25 +10,37 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 #include "stats/report.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchIo io = BenchIo::fromArgs(argc, argv);
     const double scale = envScale();
-    printConfigBanner(4);
-    std::puts("== Table II: Evaluated benchmarks ==\n");
+    if (io.tables()) {
+        printConfigBanner(4);
+        std::puts("== Table II: Evaluated benchmarks ==\n");
+    }
 
     SweepSpec spec{"table2", {}};
     for (const auto &factory : allWorkloadFactories()) {
         const auto info = factory()->info();
-        spec.jobs.push_back(
-            workloadJob(info.name, ProtocolKind::CpElide, 4, scale));
+        RunRequest req;
+        req.workload = info.name;
+        req.protocol = ProtocolKind::CpElide;
+        req.scale = scale;
+        spec.jobs.push_back(makeJob(req));
     }
     const std::vector<JobOutcome> out = runSweep(spec);
+    io.emit(spec, out);
+    if (!io.tables()) {
+        io.finish();
+        return 0;
+    }
     std::size_t next = 0;
 
     AsciiTable t({"application", "suite", "input", "kernels",

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hh"
 #include "runtime/runtime.hh"
 #include "stats/report.hh"
 #include "workloads/graph.hh"
@@ -27,11 +28,10 @@ constexpr std::uint32_t kNodes = 64 * 1024;
 constexpr int kWgs = 240;
 constexpr int kIterations = 10;
 
-RunResult
-runPageRank(ProtocolKind kind)
+void
+buildPageRank(Runtime &rt, double)
 {
     auto graph = CsrGraph::synthesize(kNodes, 10, 0.5, 0x9a9e);
-    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
 
     const DevArray rowOff = rt.malloc("row_offsets", (kNodes + 1) * 4);
     const DevArray cols = rt.malloc("cols", graph->numEdges() * 4);
@@ -94,7 +94,16 @@ runPageRank(ProtocolKind kind)
         };
         rt.launchKernel(std::move(sweep));
     }
-    return rt.deviceSynchronize("pagerank");
+}
+
+RunResult
+runPageRank(ProtocolKind kind)
+{
+    RunRequest req;
+    req.protocol = kind;
+    req.builder = buildPageRank;
+    req.label = "pagerank";
+    return run(req);
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hh"
 #include "runtime/runtime.hh"
 #include "stats/report.hh"
 
@@ -20,10 +21,9 @@ using namespace cpelide;
 namespace
 {
 
-RunResult
-runTwoStreams(ProtocolKind kind)
+void
+buildTwoStreams(Runtime &rt, double)
 {
-    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
     rt.setStreamChiplets(0, {0, 1});
     rt.setStreamChiplets(1, {2, 3});
 
@@ -52,7 +52,16 @@ runTwoStreams(ProtocolKind kind)
             rt.launchKernel(std::move(k));
         }
     }
-    return rt.deviceSynchronize("two_streams");
+}
+
+RunResult
+runTwoStreams(ProtocolKind kind)
+{
+    RunRequest req;
+    req.protocol = kind;
+    req.builder = buildTwoStreams;
+    req.label = "two_streams";
+    return run(req);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hh"
 #include "runtime/runtime.hh"
 #include "stats/report.hh"
 
@@ -18,12 +19,9 @@ using namespace cpelide;
 namespace
 {
 
-RunResult
-runSquare(ProtocolKind kind)
+void
+buildSquare(Runtime &rt, double)
 {
-    // A 4-chiplet Radeon VII-class GPU (paper Table I).
-    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
-
     // Listing 1: square kernel with A (R) as input, C (R/W) as output.
     constexpr std::uint64_t kFloats = 524288;
     const DevArray a = rt.malloc("A", kFloats * 4);
@@ -47,7 +45,18 @@ runSquare(ProtocolKind kind)
         };
         rt.launchKernel(std::move(square));
     }
-    return rt.deviceSynchronize("square");
+}
+
+RunResult
+runSquare(ProtocolKind kind)
+{
+    // A 4-chiplet Radeon VII-class GPU (paper Table I); run() honors
+    // CPELIDE_TRACE, so this example is traceable out of the box.
+    RunRequest req;
+    req.protocol = kind;
+    req.builder = buildSquare;
+    req.label = "square";
+    return run(req);
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "harness/harness.hh"
 #include "runtime/runtime.hh"
 #include "stats/report.hh"
 
@@ -26,10 +27,9 @@ constexpr std::uint64_t kRowLines = kGrid * 4 / kLineBytes;
 constexpr int kWgs = 240;
 constexpr int kIterations = 16;
 
-RunResult
-runStencil(ProtocolKind kind)
+void
+buildStencil(Runtime &rt, double)
 {
-    Runtime rt(GpuConfig::radeonVii(4), RunOptions{.protocol = kind});
     const DevArray tA = rt.malloc("temp_a", kGrid * kGrid * 4);
     const DevArray tB = rt.malloc("temp_b", kGrid * kGrid * 4);
 
@@ -88,7 +88,16 @@ runStencil(ProtocolKind kind)
         };
         rt.launchKernel(std::move(step));
     }
-    return rt.deviceSynchronize("stencil");
+}
+
+RunResult
+runStencil(ProtocolKind kind)
+{
+    RunRequest req;
+    req.protocol = kind;
+    req.builder = buildStencil;
+    req.label = "stencil";
+    return run(req);
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
@@ -168,6 +169,7 @@ HmgMemSystem::invalidateRegion(ChipletId home, Addr regionAddr,
                                ChipletId except2)
 {
     Cycles penalty = 0;
+    std::uint64_t extracted = 0;
     for (ChipletId s = 0; s < _cfg.numChiplets; ++s) {
         if (!(sharerMask & (1u << s)) || s == except1 || s == except2)
             continue;
@@ -184,6 +186,7 @@ HmgMemSystem::invalidateRegion(ChipletId home, Addr regionAddr,
             Evicted e;
             if (_l2s[s]->extractLine(a, &e)) {
                 ++_sharerInvalidations;
+                ++extracted;
                 if (s != home) {
                     // Per-line invalidation + ack on the crossbar.
                     remoteCtrlHop(home, s);
@@ -193,6 +196,11 @@ HmgMemSystem::invalidateRegion(ChipletId home, Addr regionAddr,
                     writebackVictim(s, e);
             }
         }
+    }
+    if (_trace && extracted) {
+        _trace->instantNow("sharer-inval", "hmg", home)
+            .arg("lines", extracted)
+            .arg("sharers", sharerMask);
     }
     return penalty;
 }
@@ -209,6 +217,10 @@ HmgMemSystem::trackSharer(ChipletId home, Addr addr, ChipletId sharer)
     if (victim.valid) {
         // Directory eviction: back-invalidate the region everywhere;
         // the displacing request stalls for the acknowledgments.
+        if (_trace) {
+            _trace->instantNow("dir-evict", "hmg", home)
+                .arg("sharers", victim.sharers);
+        }
         return invalidateRegion(home, victim.regionAddr, victim.sharers,
                                 kNoChiplet, kNoChiplet);
     }
@@ -340,6 +352,10 @@ HmgMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
     _dirs[home].setSharers(
         addr, (1u << ctx.chiplet) | (1u << home), &victim);
     if (victim.valid) {
+        if (_trace) {
+            _trace->instantNow("dir-evict", "hmg", home)
+                .arg("sharers", victim.sharers);
+        }
         penalty += invalidateRegion(home, victim.regionAddr,
                                     victim.sharers, kNoChiplet,
                                     kNoChiplet);

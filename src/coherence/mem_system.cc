@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "coherence/hmg.hh"
+#include "sim/exec_options.hh"
 #include "sim/log.hh"
 #include "sim/sim_budget.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
@@ -16,6 +17,7 @@ MemSystem::MemSystem(const GpuConfig &cfg, DataSpace &space)
     : _cfg(cfg), _space(space), _pages(cfg.numChiplets),
       _noc(cfg.numChiplets)
 {
+    _missDebug = ExecOptions::fromEnv().missDebug;
     const int num_cus = cfg.totalCus();
     _l1s.reserve(num_cus);
     for (int i = 0; i < num_cus; ++i) {
@@ -131,6 +133,8 @@ MemSystem::l2Release(ChipletId c)
     SetAssocCache &l2c = *_l2s[l2Index(c)];
     const std::uint64_t dirty = l2c.dirtyLines();
     ++_l2Flushes;
+    if (_trace)
+        _trace->instantNow("l2-release", "mem", c).arg("dirty_lines", dirty);
     Cycles faultDelay = 0;
     if (_faults) {
         switch (_faults->onFlush()) {
@@ -167,6 +171,8 @@ MemSystem::l2Acquire(ChipletId c)
     if (l2c.dirtyLines() > 0)
         cost += l2Release(c);
     ++_l2Invalidates;
+    if (_trace)
+        _trace->instantNow("l2-acquire", "mem", c);
     if (_faults && _faults->onInvalidate()) {
         // Lost invalidate: the flush half above still happened, but
         // possibly-stale clean copies survive in the L2.
@@ -362,7 +368,7 @@ ViperMemSystem::readBelowL1(const AccessContext &ctx, DsId ds,
         return _cfg.l2LocalLatency;
     }
     ++_l2Stats.misses;
-    if (std::getenv("CPELIDE_MISS_DEBUG")) {
+    if (_missDebug) {
         // thread_local: concurrent sweep jobs each sample their own
         // stream rather than racing on one counter.
         static thread_local std::uint64_t n = 0;
@@ -401,7 +407,7 @@ ViperMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
             ++_l2Stats.hits;
         } else {
             ++_l2Stats.misses;
-            if (std::getenv("CPELIDE_MISS_DEBUG")) {
+            if (_missDebug) {
                 static thread_local std::uint64_t n = 0;
                 if (++n % 4096 == 1) {
                     std::fprintf(stderr, "[wmiss] ds=%d line=%llu "

@@ -34,6 +34,8 @@
 namespace cpelide
 {
 
+class TraceSession;
+
 /** Which CU is issuing an access. */
 struct AccessContext
 {
@@ -100,6 +102,16 @@ class MemSystem
      */
     void setFaultInjector(FaultInjector *fi) { _faults = fi; }
     FaultInjector *faultInjector() const { return _faults; }
+
+    /**
+     * Attach a trace session (nullptr detaches — the default, making
+     * every instrumentation site one never-taken branch). The memory
+     * system records instant events for acquire/release processing
+     * (and, in HMG, directory evictions) against the session's sim-
+     * time cursor. Not owned.
+     */
+    void setTrace(TraceSession *t) { _trace = t; }
+    TraceSession *trace() const { return _trace; }
 
     /**
      * Post-final-barrier audit: count non-racy lines whose host-visible
@@ -225,6 +237,12 @@ class MemSystem
 
     /** Fault-injection campaign driving this run, or nullptr. */
     FaultInjector *_faults = nullptr;
+
+    /** Trace session recording this run, or nullptr (tracing off). */
+    TraceSession *_trace = nullptr;
+
+    /** CPELIDE_MISS_DEBUG, cached once at construction (hot path). */
+    bool _missDebug = false;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
@@ -166,6 +167,14 @@ GlobalCp::launchSync(const KernelDesc &desc,
                          _cfg.numChiplets)));
     }
 
+    if (_trace) {
+        _trace->instantNow("sync-plan", "cp", kCpTrack)
+            .arg("acquires", out.acquires)
+            .arg("releases", out.releases)
+            .arg("conservative", out.conservative ? 1 : 0)
+            .arg("cost", out.cost);
+    }
+
     return out;
 }
 
@@ -177,8 +186,11 @@ GlobalCp::finalBarrier()
         worst = std::max(worst, _mem.l2Release(c));
     if (_engine)
         _engine->finalBarrier();
-    return worst + messagingCost(static_cast<std::size_t>(
-                       _cfg.numChiplets));
+    const Cycles cost =
+        worst + messagingCost(static_cast<std::size_t>(_cfg.numChiplets));
+    if (_trace)
+        _trace->instantNow("final-barrier", "cp", kCpTrack).arg("cost", cost);
+    return cost;
 }
 
 } // namespace cpelide

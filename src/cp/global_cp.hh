@@ -33,6 +33,8 @@
 namespace cpelide
 {
 
+class TraceSession;
+
 /** What a launch's synchronization phase did (for stats/tests). */
 struct SyncOutcome
 {
@@ -83,6 +85,13 @@ class GlobalCp
     ElideEngine *mutableEngine() { return _engine.get(); }
 
     /**
+     * Attach a trace session (nullptr detaches). The CP records one
+     * instant per launch-sync decision and per final barrier on the CP
+     * track. Not owned.
+     */
+    void setTrace(TraceSession *t) { _trace = t; }
+
+    /**
      * The global CP's view of a launch: each argument's span, mode,
      * and per-chiplet ranges (affine ranges derived from the WG
      * partition). Public so the annotation validator and tests can
@@ -102,6 +111,7 @@ class GlobalCp
     std::unique_ptr<ElideEngine> _engine;
     int _extraSyncSets;
     Tick _cpFree = 0;
+    TraceSession *_trace = nullptr;
 };
 
 } // namespace cpelide

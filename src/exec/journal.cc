@@ -1,12 +1,13 @@
 #include "exec/journal.hh"
 
-#include <cctype>
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "sim/log.hh"
+#include "stats/json_util.hh"
+#include "stats/run_result_io.hh"
 
 namespace cpelide
 {
@@ -53,284 +54,6 @@ fnvMixStr(std::uint64_t &h, const std::string &s)
     fnvMix(h, s.data(), s.size());
 }
 
-// --- JSON encode helpers -------------------------------------------------
-
-void
-appendEscaped(std::string &out, const std::string &s)
-{
-    out += '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-}
-
-void
-appendStr(std::string &out, const char *key, const std::string &value)
-{
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    appendEscaped(out, value);
-}
-
-void
-appendU64(std::string &out, const char *key, std::uint64_t value)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    out += buf;
-}
-
-void
-appendI64(std::string &out, const char *key, std::int64_t value)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    out += buf;
-}
-
-void
-appendDouble(std::string &out, const char *key, double value)
-{
-    // %.17g round-trips every finite IEEE-754 double exactly, which is
-    // what makes resumed sweep output byte-identical.
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += key;
-    out += "\":";
-    out += buf;
-}
-
-// --- JSON decode helpers -------------------------------------------------
-
-/**
- * Minimal cursor parser for the flat one-level objects this journal
- * writes: string and number values only. Any structural surprise makes
- * the caller treat the line as torn and skip it.
- */
-class LineParser
-{
-  public:
-    explicit LineParser(const std::string &line)
-        : _s(line.c_str()), _n(line.size())
-    {}
-
-    bool
-    parse()
-    {
-        skipWs();
-        if (!eat('{'))
-            return false;
-        skipWs();
-        if (eat('}'))
-            return true;
-        for (;;) {
-            std::string key, value;
-            bool isString = false;
-            if (!parseString(&key))
-                return false;
-            skipWs();
-            if (!eat(':'))
-                return false;
-            skipWs();
-            if (peek() == '"') {
-                if (!parseString(&value))
-                    return false;
-                isString = true;
-            } else if (!parseNumber(&value)) {
-                return false;
-            }
-            _fields[key] = value;
-            (void)isString;
-            skipWs();
-            if (eat(',')) {
-                skipWs();
-                continue;
-            }
-            return eat('}');
-        }
-    }
-
-    bool has(const char *key) const { return _fields.count(key) != 0; }
-
-    bool
-    str(const char *key, std::string *out) const
-    {
-        auto it = _fields.find(key);
-        if (it == _fields.end())
-            return false;
-        *out = it->second;
-        return true;
-    }
-
-    bool
-    u64(const char *key, std::uint64_t *out) const
-    {
-        auto it = _fields.find(key);
-        if (it == _fields.end())
-            return false;
-        errno = 0;
-        char *end = nullptr;
-        const std::uint64_t v =
-            std::strtoull(it->second.c_str(), &end, 10);
-        if (errno != 0 || end == it->second.c_str() || *end != '\0')
-            return false;
-        *out = v;
-        return true;
-    }
-
-    bool
-    i64(const char *key, std::int64_t *out) const
-    {
-        auto it = _fields.find(key);
-        if (it == _fields.end())
-            return false;
-        errno = 0;
-        char *end = nullptr;
-        const long long v = std::strtoll(it->second.c_str(), &end, 10);
-        if (errno != 0 || end == it->second.c_str() || *end != '\0')
-            return false;
-        *out = v;
-        return true;
-    }
-
-    bool
-    dbl(const char *key, double *out) const
-    {
-        auto it = _fields.find(key);
-        if (it == _fields.end())
-            return false;
-        char *end = nullptr;
-        const double v = std::strtod(it->second.c_str(), &end);
-        if (end == it->second.c_str() || *end != '\0')
-            return false;
-        *out = v;
-        return true;
-    }
-
-  private:
-    char peek() const { return _pos < _n ? _s[_pos] : '\0'; }
-
-    bool
-    eat(char c)
-    {
-        if (peek() != c)
-            return false;
-        ++_pos;
-        return true;
-    }
-
-    void
-    skipWs()
-    {
-        while (_pos < _n &&
-               std::isspace(static_cast<unsigned char>(_s[_pos])))
-            ++_pos;
-    }
-
-    bool
-    parseString(std::string *out)
-    {
-        if (!eat('"'))
-            return false;
-        std::string result;
-        while (_pos < _n) {
-            const char c = _s[_pos++];
-            if (c == '"') {
-                *out = std::move(result);
-                return true;
-            }
-            if (c != '\\') {
-                result += c;
-                continue;
-            }
-            if (_pos >= _n)
-                return false;
-            const char esc = _s[_pos++];
-            switch (esc) {
-              case '"': result += '"'; break;
-              case '\\': result += '\\'; break;
-              case '/': result += '/'; break;
-              case 'n': result += '\n'; break;
-              case 'r': result += '\r'; break;
-              case 't': result += '\t'; break;
-              case 'u': {
-                  if (_pos + 4 > _n)
-                      return false;
-                  char hex[5] = {_s[_pos], _s[_pos + 1], _s[_pos + 2],
-                                 _s[_pos + 3], '\0'};
-                  _pos += 4;
-                  char *end = nullptr;
-                  const unsigned long code = std::strtoul(hex, &end, 16);
-                  if (end != hex + 4 || code > 0xFF)
-                      return false; // we only ever emit control chars
-                  result += static_cast<char>(code);
-                  break;
-              }
-              default: return false;
-            }
-        }
-        return false;
-    }
-
-    bool
-    parseNumber(std::string *out)
-    {
-        const std::size_t start = _pos;
-        while (_pos < _n) {
-            const char c = _s[_pos];
-            if (std::isdigit(static_cast<unsigned char>(c)) ||
-                c == '-' || c == '+' || c == '.' || c == 'e' ||
-                c == 'E') {
-                ++_pos;
-            } else {
-                break;
-            }
-        }
-        if (_pos == start)
-            return false;
-        out->assign(_s + start, _pos - start);
-        return true;
-    }
-
-    const char *_s;
-    std::size_t _n;
-    std::size_t _pos = 0;
-    std::unordered_map<std::string, std::string> _fields;
-};
-
 } // namespace
 
 std::uint64_t
@@ -363,57 +86,27 @@ encodeOutcome(std::uint64_t hash, const std::string &sweep,
     {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%" PRIu64, hash);
-        appendStr(out, "hash", buf); // string: uint64 > 2^53 is legal
+        json::appendStr(out, "hash", buf); // string: uint64 > 2^53 is legal
     }
-    appendStr(out, "sweep", sweep);
-    appendStr(out, "label", label);
-    appendU64(out, "ok", outcome.ok ? 1 : 0);
-    appendStr(out, "kind", jobErrorName(outcome.kind));
-    appendI64(out, "attempts", outcome.attempts);
-    appendStr(out, "error", outcome.error);
+    json::appendStr(out, "sweep", sweep);
+    json::appendStr(out, "label", label);
+    json::appendU64(out, "ok", outcome.ok ? 1 : 0);
+    json::appendStr(out, "kind", jobErrorName(outcome.kind));
+    json::appendI64(out, "attempts", outcome.attempts);
+    json::appendStr(out, "error", outcome.error);
 
     const RunMetrics &m = outcome.metrics;
-    appendDouble(out, "wallSeconds", m.wallSeconds);
-    appendI64(out, "peakRssKb", m.peakRssKb);
-    appendU64(out, "metricEvents", m.simEvents);
-    appendI64(out, "worker", m.worker);
+    json::appendDouble(out, "wallSeconds", m.wallSeconds);
+    json::appendI64(out, "peakRssKb", m.peakRssKb);
+    json::appendU64(out, "metricEvents", m.simEvents);
+    json::appendI64(out, "worker", m.worker);
 
-    const RunResult &r = outcome.result;
-    appendStr(out, "workload", r.workload);
-    appendStr(out, "protocol", r.protocol);
-    appendI64(out, "numChiplets", r.numChiplets);
-    appendU64(out, "cycles", r.cycles);
-    appendU64(out, "kernels", r.kernels);
-    appendU64(out, "accesses", r.accesses);
-    appendU64(out, "l1Hits", r.l1.hits);
-    appendU64(out, "l1Misses", r.l1.misses);
-    appendU64(out, "l2Hits", r.l2.hits);
-    appendU64(out, "l2Misses", r.l2.misses);
-    appendU64(out, "l3Hits", r.l3.hits);
-    appendU64(out, "l3Misses", r.l3.misses);
-    appendU64(out, "dramAccesses", r.dramAccesses);
-    appendU64(out, "flitsL1L2", r.flits.l1l2);
-    appendU64(out, "flitsL2L3", r.flits.l2l3);
-    appendU64(out, "flitsRemote", r.flits.remote);
-    appendDouble(out, "energyL1i", r.energy.l1i);
-    appendDouble(out, "energyL1d", r.energy.l1d);
-    appendDouble(out, "energyLds", r.energy.lds);
-    appendDouble(out, "energyL2", r.energy.l2);
-    appendDouble(out, "energyNoc", r.energy.noc);
-    appendDouble(out, "energyDram", r.energy.dram);
-    appendU64(out, "l2FlushesIssued", r.l2FlushesIssued);
-    appendU64(out, "l2InvalidatesIssued", r.l2InvalidatesIssued);
-    appendU64(out, "l2FlushesElided", r.l2FlushesElided);
-    appendU64(out, "l2InvalidatesElided", r.l2InvalidatesElided);
-    appendU64(out, "linesWrittenBack", r.linesWrittenBack);
-    appendU64(out, "syncStallCycles", r.syncStallCycles);
-    appendU64(out, "directoryEvictions", r.directoryEvictions);
-    appendU64(out, "sharerInvalidations", r.sharerInvalidations);
-    appendU64(out, "simEvents", r.simEvents);
-    appendU64(out, "tableMaxEntries", r.tableMaxEntries);
-    appendU64(out, "staleReads", r.staleReads);
-    appendU64(out, "hostVisibilityViolations",
-              r.hostVisibilityViolations);
+    appendRunResultFields(out, outcome.result);
+    // Per-launch phases travel as one compact string field so the
+    // journal line stays a flat one-level object.
+    json::appendStr(out, "kernelPhases",
+                    encodeKernelPhasesCompact(
+                        outcome.result.kernelPhases));
     out += '}';
     return out;
 }
@@ -422,7 +115,7 @@ bool
 decodeOutcome(const std::string &line, std::uint64_t *hash,
               std::string *sweep, std::string *label, JobOutcome *outcome)
 {
-    LineParser p(line);
+    JsonLineParser p(line);
     if (!p.parse())
         return false;
 
@@ -438,7 +131,7 @@ decodeOutcome(const std::string &line, std::uint64_t *hash,
     JobOutcome o;
     std::string sweepName, labelName, kindName;
     std::uint64_t okFlag = 0;
-    std::int64_t attempts = 1, chiplets = 0, rssKb = 0, worker = -1;
+    std::int64_t attempts = 1, rssKb = 0, worker = -1;
     bool good = p.str("sweep", &sweepName) && p.str("label", &labelName) &&
                 p.u64("ok", &okFlag) && p.str("kind", &kindName) &&
                 p.i64("attempts", &attempts) && p.str("error", &o.error);
@@ -448,45 +141,23 @@ decodeOutcome(const std::string &line, std::uint64_t *hash,
            p.i64("peakRssKb", &rssKb) &&
            p.u64("metricEvents", &m.simEvents) && p.i64("worker", &worker);
 
-    RunResult &r = o.result;
-    good = good && p.str("workload", &r.workload) &&
-           p.str("protocol", &r.protocol) &&
-           p.i64("numChiplets", &chiplets) && p.u64("cycles", &r.cycles) &&
-           p.u64("kernels", &r.kernels) && p.u64("accesses", &r.accesses) &&
-           p.u64("l1Hits", &r.l1.hits) && p.u64("l1Misses", &r.l1.misses) &&
-           p.u64("l2Hits", &r.l2.hits) && p.u64("l2Misses", &r.l2.misses) &&
-           p.u64("l3Hits", &r.l3.hits) && p.u64("l3Misses", &r.l3.misses) &&
-           p.u64("dramAccesses", &r.dramAccesses) &&
-           p.u64("flitsL1L2", &r.flits.l1l2) &&
-           p.u64("flitsL2L3", &r.flits.l2l3) &&
-           p.u64("flitsRemote", &r.flits.remote) &&
-           p.dbl("energyL1i", &r.energy.l1i) &&
-           p.dbl("energyL1d", &r.energy.l1d) &&
-           p.dbl("energyLds", &r.energy.lds) &&
-           p.dbl("energyL2", &r.energy.l2) &&
-           p.dbl("energyNoc", &r.energy.noc) &&
-           p.dbl("energyDram", &r.energy.dram) &&
-           p.u64("l2FlushesIssued", &r.l2FlushesIssued) &&
-           p.u64("l2InvalidatesIssued", &r.l2InvalidatesIssued) &&
-           p.u64("l2FlushesElided", &r.l2FlushesElided) &&
-           p.u64("l2InvalidatesElided", &r.l2InvalidatesElided) &&
-           p.u64("linesWrittenBack", &r.linesWrittenBack) &&
-           p.u64("syncStallCycles", &r.syncStallCycles) &&
-           p.u64("directoryEvictions", &r.directoryEvictions) &&
-           p.u64("sharerInvalidations", &r.sharerInvalidations) &&
-           p.u64("simEvents", &r.simEvents) &&
-           p.u64("tableMaxEntries", &r.tableMaxEntries) &&
-           p.u64("staleReads", &r.staleReads) &&
-           p.u64("hostVisibilityViolations", &r.hostVisibilityViolations);
+    good = good && parseRunResultFields(p, &o.result);
     if (!good)
         return false;
+
+    // Tolerated-absent: journals written before the phase breakdown
+    // existed simply restore with an empty kernelPhases vector.
+    std::string phases;
+    if (p.str("kernelPhases", &phases) &&
+        !decodeKernelPhasesCompact(phases, &o.result.kernelPhases)) {
+        return false;
+    }
 
     o.ok = okFlag != 0;
     o.kind = jobErrorFromName(kindName);
     o.attempts = static_cast<int>(attempts);
     m.peakRssKb = static_cast<long>(rssKb);
     m.worker = static_cast<int>(worker);
-    r.numChiplets = static_cast<int>(chiplets);
 
     *hash = h;
     *sweep = std::move(sweepName);

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <thread>
 
 #include "exec/journal.hh"
 #include "exec/thread_pool.hh"
 #include "exec/watchdog.hh"
+#include "sim/exec_options.hh"
 #include "sim/log.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -43,39 +43,19 @@ peakRssKb()
 int
 jobsFromEnv()
 {
-    const int fallback = std::max(
-        1u, std::thread::hardware_concurrency());
-    if (const char *s = std::getenv("CPELIDE_JOBS")) {
-        char *end = nullptr;
-        const long v = std::strtol(s, &end, 10);
-        if (end != s && *end == '\0' && v > 0)
-            return static_cast<int>(std::min<long>(v, 256));
-    }
-    return fallback;
+    return ExecOptions::fromEnv().jobs;
 }
 
 int
 retriesFromEnv()
 {
-    if (const char *s = std::getenv("CPELIDE_RETRIES")) {
-        char *end = nullptr;
-        const long v = std::strtol(s, &end, 10);
-        if (end != s && *end == '\0' && v >= 0)
-            return static_cast<int>(std::min<long>(v, 16));
-    }
-    return 0;
+    return ExecOptions::fromEnv().retries;
 }
 
 double
 retryBackoffMsFromEnv()
 {
-    if (const char *s = std::getenv("CPELIDE_RETRY_BACKOFF_MS")) {
-        char *end = nullptr;
-        const double v = std::strtod(s, &end);
-        if (end != s && *end == '\0' && v >= 0)
-            return v;
-    }
-    return 50.0;
+    return ExecOptions::fromEnv().retryBackoffMs;
 }
 
 SweepRunner::SweepRunner(int jobs) : _jobs(std::max(1, jobs)) {}
@@ -115,6 +95,8 @@ SweepRunner::runAttempt(const Job &job, const SimBudget &budget) const
     const auto end = std::chrono::steady_clock::now();
     out.metrics.wallSeconds =
         std::chrono::duration<double>(end - start).count();
+    out.metrics.wallStartSeconds =
+        std::chrono::duration<double>(start - processEpoch()).count();
     out.metrics.peakRssKb = peakRssKb();
     out.metrics.simEvents = out.ok ? out.result.simEvents : 0;
     out.metrics.worker = ThreadPool::currentWorker();
@@ -175,12 +157,11 @@ SweepRunner::run(const SweepSpec &spec) const
 {
     std::vector<JobOutcome> outcomes(spec.jobs.size());
 
+    const ExecOptions eo = ExecOptions::fromEnv();
     SweepJournal journal;
     std::string journalPath = _journalPath;
-    if (journalPath.empty()) {
-        if (const char *s = std::getenv("CPELIDE_RESUME"))
-            journalPath = s;
-    }
+    if (journalPath.empty())
+        journalPath = eo.resumePath;
     if (!journalPath.empty() && !journal.open(journalPath)) {
         warn("cannot open resume journal '" + journalPath +
              "'; checkpointing disabled for sweep '" + spec.name + "'");
@@ -206,7 +187,7 @@ SweepRunner::run(const SweepSpec &spec) const
         pool.wait();
     }
 
-    if (std::getenv("CPELIDE_METRICS")) {
+    if (eo.metrics) {
         const std::string table =
             MetricsRegistry::global().render(spec.name);
         std::fprintf(stderr, "-- metrics: sweep '%s' (%d workers) --\n%s",

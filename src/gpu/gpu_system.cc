@@ -4,10 +4,11 @@
 #include <unordered_map>
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "cp/local_cp.hh"
+#include "sim/exec_options.hh"
 #include "sim/log.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
@@ -16,10 +17,13 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const RunOptions &opts)
     : _cfg(cfg), _opts(opts)
 {
     _space.panicOnStale(opts.panicOnStale);
+    _debug = ExecOptions::fromEnv().debug;
     _mem = makeMemSystem(cfg, opts.protocol, _space);
     _mem->setFaultInjector(opts.faultInjector);
+    _mem->setTrace(opts.trace);
     _cp = std::make_unique<GlobalCp>(_cfg, opts.protocol, *_mem,
                                      opts.extraSyncSets);
+    _cp->setTrace(opts.trace);
 }
 
 GpuSystem::~GpuSystem() = default;
@@ -154,7 +158,7 @@ GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
     ExecSink sink(*_mem, {chunk.chiplet, 0}, desc.mlp);
     EnergyModel &energy = _mem->energy();
 
-    if (std::getenv("CPELIDE_DEBUG")) {
+    if (_debug) {
         _space.setContext("chunk@chiplet" +
                           std::to_string(chunk.chiplet));
     }
@@ -205,6 +209,32 @@ GpuSystem::run(const std::string &label)
         static_cast<std::size_t>(_cfg.numChiplets), 0);
     Tick end = 0;
 
+    TraceSession *tr = _opts.trace;
+    std::vector<KernelPhaseStats> phases;
+    phases.reserve(_pending.size() + 1);
+
+    // Counter snapshot bracketing one phase; the differences become
+    // that phase's KernelPhaseStats deltas.
+    struct CounterSnap
+    {
+        std::uint64_t flushes = 0, invals = 0, written = 0, accesses = 0;
+        std::uint64_t relElided = 0, acqElided = 0;
+        LevelStats l2;
+    };
+    const auto snap = [this]() {
+        CounterSnap s;
+        s.flushes = _mem->l2FlushesIssued();
+        s.invals = _mem->l2InvalidatesIssued();
+        s.written = _mem->linesWrittenBack();
+        s.accesses = _mem->accesses();
+        s.l2 = _mem->l2Stats();
+        if (const ElideEngine *eng = _cp->engine()) {
+            s.relElided = eng->releasesElided();
+            s.acqElided = eng->acquiresElided();
+        }
+        return s;
+    };
+
     for (const KernelDesc &desc : _pending) {
         ++_kernels;
         const auto bindIt = _opts.streamChiplets.find(desc.streamId);
@@ -235,9 +265,12 @@ GpuSystem::run(const std::string &label)
             _opts.faultInjector->onKernelLaunch()) {
             corruptCoherenceTable();
         }
+        const CounterSnap before = snap();
+        if (tr)
+            tr->setNow(startBase);
         const SyncOutcome sync =
             _cp->launchSync(desc, chunks, _space);
-        if (std::getenv("CPELIDE_DEBUG")) {
+        if (_debug) {
             std::fprintf(stderr, "[launch] %-18s stream=%d wgs=%d "
                          "chiplets=%zu acq=%zu rel=%zu%s\n",
                          desc.name.c_str(), desc.streamId, desc.numWgs,
@@ -255,6 +288,16 @@ GpuSystem::run(const std::string &label)
         if (sync.conservative)
             ++_conservativeLaunches;
         const Tick syncDone = startBase + sync.cost;
+        if (tr) {
+            tr->span("sync:" + desc.name, "sync", kCpTrack, startBase,
+                     syncDone)
+                .arg("acquires", sync.acquires)
+                .arg("releases", sync.releases)
+                .arg("conservative", sync.conservative ? 1 : 0);
+            // Instants emitted while chunks execute (e.g. HMG directory
+            // evictions) stamp at the kernel-phase start.
+            tr->setNow(syncDone);
+        }
 
         _mem->noc().beginKernel();
         LaunchDecl validationDecl;
@@ -270,17 +313,65 @@ GpuSystem::run(const std::string &label)
             const Tick busy = syncDone + t;
             chipletBusy[static_cast<std::size_t>(ch.chiplet)] = busy;
             kernelEnd = std::max(kernelEnd, busy);
+            if (tr) {
+                tr->span(desc.name, "kernel", ch.chiplet, syncDone, busy)
+                    .arg("wgs", static_cast<std::uint64_t>(ch.count()));
+            }
         }
         streamReady[desc.streamId] = kernelEnd;
         end = std::max(end, kernelEnd);
         _events.advanceTo(kernelEnd);
+
+        const CounterSnap after = snap();
+        KernelPhaseStats ph;
+        ph.name = desc.name;
+        ph.stream = desc.streamId;
+        ph.start = startBase;
+        ph.end = kernelEnd;
+        ph.syncStallCycles = sync.cost;
+        ph.acquires = sync.acquires;
+        ph.releases = sync.releases;
+        ph.conservative = sync.conservative;
+        ph.l2FlushesIssued = after.flushes - before.flushes;
+        ph.l2InvalidatesIssued = after.invals - before.invals;
+        ph.l2FlushesElided = after.relElided - before.relElided;
+        ph.l2InvalidatesElided = after.acqElided - before.acqElided;
+        ph.linesWrittenBack = after.written - before.written;
+        ph.accesses = after.accesses - before.accesses;
+        ph.l2.hits = after.l2.hits - before.l2.hits;
+        ph.l2.misses = after.l2.misses - before.l2.misses;
+        phases.push_back(std::move(ph));
     }
 
     // Final host-visibility barrier (all protocols flush dirty data).
+    const CounterSnap beforeFb = snap();
+    const Tick barrierStart = end;
+    if (tr)
+        tr->setNow(end);
     const Cycles finalCost = _cp->finalBarrier();
     _syncStall += finalCost;
     end += finalCost;
     _events.advanceTo(end);
+    if (tr)
+        tr->span("final-barrier", "sync", kCpTrack, barrierStart, end);
+    {
+        const CounterSnap after = snap();
+        KernelPhaseStats fb;
+        fb.name = "<final-barrier>";
+        fb.finalBarrier = true;
+        fb.start = barrierStart;
+        fb.end = end;
+        fb.syncStallCycles = finalCost;
+        fb.l2FlushesIssued = after.flushes - beforeFb.flushes;
+        fb.l2InvalidatesIssued = after.invals - beforeFb.invals;
+        fb.l2FlushesElided = after.relElided - beforeFb.relElided;
+        fb.l2InvalidatesElided = after.acqElided - beforeFb.acqElided;
+        fb.linesWrittenBack = after.written - beforeFb.written;
+        fb.accesses = after.accesses - beforeFb.accesses;
+        fb.l2.hits = after.l2.hits - beforeFb.l2.hits;
+        fb.l2.misses = after.l2.misses - beforeFb.l2.misses;
+        phases.push_back(std::move(fb));
+    }
 
     RunResult r;
     r.workload = label;
@@ -311,6 +402,7 @@ GpuSystem::run(const std::string &label)
     r.staleReads = _space.staleReads();
     r.hostVisibilityViolations = _mem->auditHostVisibility();
     r.simEvents = _events.eventsProcessed();
+    r.kernelPhases = std::move(phases);
     return r;
 }
 

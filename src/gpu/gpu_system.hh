@@ -59,6 +59,14 @@ struct RunOptions
      * corruption.
      */
     FaultInjector *faultInjector = nullptr;
+    /**
+     * Trace session recording this run's phase spans and sync instants
+     * (see trace/trace.hh), or nullptr (the default): tracing then
+     * costs exactly one never-taken branch per site. Not owned; must
+     * outlive the GpuSystem. Timestamps are sim ticks, so traces are
+     * identical whatever thread runs the simulation.
+     */
+    TraceSession *trace = nullptr;
 };
 
 class GpuSystem
@@ -120,6 +128,9 @@ class GpuSystem
     Tick _syncStall = 0;
     std::uint64_t _kernels = 0;
     std::uint64_t _conservativeLaunches = 0;
+
+    /** CPELIDE_DEBUG, cached once at construction (hot path). */
+    bool _debug = false;
 };
 
 } // namespace cpelide

@@ -1,0 +1,61 @@
+#include "harness/bench_io.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cpelide
+{
+
+BenchIo
+BenchIo::fromArgs(int &argc, char **argv)
+{
+    BenchIo io;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--format", 8) != 0) {
+            argv[kept++] = argv[i];
+            continue;
+        }
+        if (arg[8] != '=' || !parseStatFormat(arg + 9, &io._format)) {
+            std::fprintf(stderr,
+                         "%s: bad flag '%s' "
+                         "(expected --format=ascii|json|csv)\n",
+                         argv[0], arg);
+            std::exit(2);
+        }
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+    if (io._format != StatFormat::Ascii)
+        io._sink = makeStatSink(io._format, stdout);
+    return io;
+}
+
+void
+BenchIo::emit(const SweepSpec &spec,
+              const std::vector<JobOutcome> &outcomes)
+{
+    if (!_sink)
+        return;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        StatRecord rec;
+        rec.sweep = spec.name;
+        rec.label = i < spec.jobs.size() ? spec.jobs[i].label
+                                         : std::to_string(i);
+        rec.ok = outcomes[i].ok;
+        rec.error = outcomes[i].error;
+        rec.result = outcomes[i].result;
+        _sink->emit(rec);
+    }
+}
+
+void
+BenchIo::finish()
+{
+    if (_sink)
+        _sink->finish();
+}
+
+} // namespace cpelide

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared bench CLI plumbing: one --format=ascii|json|csv flag for
+ * every figure-regeneration bench, without touching their bespoke
+ * table code.
+ *
+ * The protocol: main() calls BenchIo::fromArgs(argc, argv) first
+ * (consuming the flag), guards its banner/puts/AsciiTable output on
+ * io.tables(), and hands each sweep's outcomes to io.emit(). In the
+ * default ascii mode emit() is a no-op and stdout stays byte-identical
+ * to the pre-BenchIo binaries; in json/csv mode the bench's human
+ * output is suppressed and the structured records go to stdout
+ * instead.
+ */
+
+#ifndef CPELIDE_HARNESS_BENCH_IO_HH
+#define CPELIDE_HARNESS_BENCH_IO_HH
+
+#include <memory>
+#include <vector>
+
+#include "exec/job.hh"
+#include "stats/stat_sink.hh"
+
+namespace cpelide
+{
+
+class BenchIo
+{
+  public:
+    /**
+     * Parse and strip "--format=NAME" from the argument vector
+     * (adjusting @p argc so later flag handling never sees it). An
+     * unknown format name or any other "--format..." spelling is
+     * fatal: exits with a usage message on stderr.
+     */
+    static BenchIo fromArgs(int &argc, char **argv);
+
+    /** Default (ascii) construction: tables on, no sink. */
+    BenchIo() = default;
+
+    StatFormat format() const { return _format; }
+
+    /** Whether the bench should print its human tables/banners. */
+    bool tables() const { return _format == StatFormat::Ascii; }
+
+    /**
+     * Feed one sweep's outcomes (spec order) to the structured sink;
+     * no-op in ascii mode.
+     */
+    void emit(const SweepSpec &spec,
+              const std::vector<JobOutcome> &outcomes);
+
+    /** Flush the sink trailer; call once after the last emit(). */
+    void finish();
+
+  private:
+    StatFormat _format = StatFormat::Ascii;
+    std::shared_ptr<StatSink> _sink; // shared: BenchIo is copyable
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_HARNESS_BENCH_IO_HH

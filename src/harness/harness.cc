@@ -1,44 +1,168 @@
 #include "harness/harness.hh"
 
 #include <cstdio>
-#include <cstdlib>
+#include <memory>
 
-#include "runtime/runtime.hh"
+#include "sim/exec_options.hh"
 #include "sim/log.hh"
 #include "stats/report.hh"
-
-extern char **environ;
+#include "trace/chrome_trace.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
+
+namespace
+{
+
+/** The label the run reports (and traces under). */
+std::string
+resultLabel(const RunRequest &req)
+{
+    if (!req.label.empty())
+        return req.label;
+    std::string label = req.workload;
+    if (req.copies > 1)
+        label += "+x" + std::to_string(req.copies);
+    return label;
+}
+
+/**
+ * Execute the request without touching the TraceArchive. When tracing
+ * is active (req.trace, or CPELIDE_TRACE with a run-local session),
+ * the run-local session's events are moved into the result's
+ * traceEvents, so the caller decides export order — job bodies running
+ * on pool workers stay deterministic because runSweep() appends
+ * harvested events in spec order, never completion order.
+ */
+RunResult
+runRequest(const RunRequest &req)
+{
+    const ProtocolKind kind =
+        req.options ? req.options->protocol : req.protocol;
+    const GpuConfig cfg =
+        req.cfg ? *req.cfg
+                : (kind == ProtocolKind::Monolithic
+                       ? GpuConfig::monolithicEquivalent(req.chiplets)
+                       : GpuConfig::radeonVii(req.chiplets));
+
+    RunOptions opts;
+    if (req.options) {
+        opts = *req.options;
+    } else {
+        opts.protocol = req.protocol;
+        opts.extraSyncSets = req.extraSyncSets;
+    }
+
+    TraceSession local;
+    TraceSession *session = req.trace;
+    if (!session && !ExecOptions::fromEnv().tracePath.empty())
+        session = &local;
+    opts.trace = session;
+
+    Runtime rt(cfg, opts);
+    std::unique_ptr<Workload> workload;
+    if (!req.builder)
+        workload = makeWorkload(req.workload); // throws if unknown
+
+    if (req.copies > 1) {
+        for (int s = 0; s < req.copies; ++s) {
+            // Bind each copy to a disjoint chiplet subset (streams
+            // are numbered from 1; 0 is the remappable default).
+            std::vector<ChipletId> subset;
+            for (int c = 0; c < req.chiplets; ++c) {
+                if (c % req.copies == s)
+                    subset.push_back(c);
+            }
+            rt.setStreamChiplets(s + 1, subset);
+            rt.setDefaultStream(s + 1);
+            if (workload)
+                workload->build(rt, req.scale);
+            else
+                req.builder(rt, req.scale);
+        }
+    } else if (workload) {
+        workload->build(rt, req.scale);
+    } else {
+        req.builder(rt, req.scale);
+    }
+
+    RunResult r = rt.deviceSynchronize(resultLabel(req));
+    if (!req.cfg)
+        r.numChiplets = req.chiplets; // equivalent chiplet count
+    if (session == &local)
+        r.traceEvents = local.take();
+    return r;
+}
+
+} // namespace
+
+RunResult
+run(const RunRequest &req)
+{
+    RunResult r = runRequest(req);
+    const std::string tracePath = ExecOptions::fromEnv().tracePath;
+    if (!tracePath.empty() && !r.traceEvents.empty()) {
+        TraceArchive::global().append(resultLabel(req), r.numChiplets,
+                                      r.traceEvents);
+        TraceArchive::global().writeTo(tracePath);
+    }
+    return r;
+}
+
+Job
+makeJob(const RunRequest &req)
+{
+    const ProtocolKind kind =
+        req.options ? req.options->protocol : req.protocol;
+    const int chiplets = req.cfg ? req.cfg->numChiplets : req.chiplets;
+
+    Job j;
+    j.workload = req.workload;
+    j.protocol = protocolName(kind);
+    j.chiplets = chiplets;
+    j.scale = req.scale;
+    if (!req.label.empty()) {
+        j.label = req.label;
+    } else if (req.copies > 1) {
+        j.label = req.workload + "x" + std::to_string(req.copies) +
+                  "/" + j.protocol + "/" + std::to_string(chiplets) +
+                  "c";
+    } else {
+        j.label = req.workload + "/" + j.protocol + "/" +
+                  std::to_string(chiplets) + "c";
+        if (req.cfg)
+            j.label += "/custom";
+        else if (req.extraSyncSets)
+            j.label += "+sync" + std::to_string(req.extraSyncSets);
+    }
+    j.body = [req] { return runRequest(req); };
+    return j;
+}
 
 RunResult
 runWorkload(const std::string &workload_name, ProtocolKind kind,
             int chiplets, double scale, int extra_sync_sets)
 {
-    const GpuConfig cfg = kind == ProtocolKind::Monolithic
-                              ? GpuConfig::monolithicEquivalent(chiplets)
-                              : GpuConfig::radeonVii(chiplets);
-    RunOptions opts;
-    opts.protocol = kind;
-    opts.extraSyncSets = extra_sync_sets;
-
-    Runtime rt(cfg, opts);
-    auto workload = makeWorkload(workload_name);
-    workload->build(rt, scale);
-    RunResult r = rt.deviceSynchronize(workload_name);
-    r.numChiplets = chiplets; // report the equivalent chiplet count
-    return r;
+    RunRequest req;
+    req.workload = workload_name;
+    req.protocol = kind;
+    req.chiplets = chiplets;
+    req.scale = scale;
+    req.extraSyncSets = extra_sync_sets;
+    return run(req);
 }
 
 RunResult
 runWorkloadCfg(const std::string &workload_name, const GpuConfig &cfg,
                const RunOptions &opts, double scale)
 {
-    Runtime rt(cfg, opts);
-    auto workload = makeWorkload(workload_name);
-    workload->build(rt, scale);
-    return rt.deviceSynchronize(workload_name);
+    RunRequest req;
+    req.workload = workload_name;
+    req.cfg = cfg;
+    req.options = opts;
+    req.scale = scale;
+    return run(req);
 }
 
 RunResult
@@ -46,84 +170,51 @@ runWorkloadMultiStream(const std::string &workload_name,
                        ProtocolKind kind, int chiplets, int copies,
                        double scale)
 {
-    const GpuConfig cfg = GpuConfig::radeonVii(chiplets);
-    RunOptions opts;
-    opts.protocol = kind;
-    Runtime rt(cfg, opts);
-
-    auto workload = makeWorkload(workload_name);
-    for (int s = 0; s < copies; ++s) {
-        // Bind each job to a disjoint chiplet subset (streams are
-        // numbered from 1; 0 is the remappable default).
-        std::vector<ChipletId> subset;
-        for (int c = 0; c < chiplets; ++c) {
-            if (c % copies == s)
-                subset.push_back(c);
-        }
-        rt.setStreamChiplets(s + 1, subset);
-        rt.setDefaultStream(s + 1);
-        workload->build(rt, scale);
-    }
-    RunResult r =
-        rt.deviceSynchronize(workload_name + "+x" +
-                             std::to_string(copies));
-    r.numChiplets = chiplets;
-    return r;
+    RunRequest req;
+    req.workload = workload_name;
+    req.protocol = kind;
+    req.chiplets = chiplets;
+    req.copies = copies;
+    req.scale = scale;
+    return run(req);
 }
 
 Job
 workloadJob(const std::string &workload_name, ProtocolKind kind,
             int chiplets, double scale, int extra_sync_sets)
 {
-    Job j;
-    j.workload = workload_name;
-    j.protocol = protocolName(kind);
-    j.chiplets = chiplets;
-    j.scale = scale;
-    j.label = workload_name + "/" + j.protocol + "/" +
-              std::to_string(chiplets) + "c";
-    if (extra_sync_sets)
-        j.label += "+sync" + std::to_string(extra_sync_sets);
-    j.body = [=] {
-        return runWorkload(workload_name, kind, chiplets, scale,
-                           extra_sync_sets);
-    };
-    return j;
+    RunRequest req;
+    req.workload = workload_name;
+    req.protocol = kind;
+    req.chiplets = chiplets;
+    req.scale = scale;
+    req.extraSyncSets = extra_sync_sets;
+    return makeJob(req);
 }
 
 Job
 workloadCfgJob(const std::string &workload_name, const GpuConfig &cfg,
                const RunOptions &opts, double scale)
 {
-    Job j;
-    j.workload = workload_name;
-    j.protocol = protocolName(opts.protocol);
-    j.chiplets = cfg.numChiplets;
-    j.scale = scale;
-    j.label = workload_name + "/" + j.protocol + "/" +
-              std::to_string(cfg.numChiplets) + "c/custom";
-    j.body = [=] {
-        return runWorkloadCfg(workload_name, cfg, opts, scale);
-    };
-    return j;
+    RunRequest req;
+    req.workload = workload_name;
+    req.cfg = cfg;
+    req.options = opts;
+    req.scale = scale;
+    return makeJob(req);
 }
 
 Job
 multiStreamJob(const std::string &workload_name, ProtocolKind kind,
                int chiplets, int copies, double scale)
 {
-    Job j;
-    j.workload = workload_name;
-    j.protocol = protocolName(kind);
-    j.chiplets = chiplets;
-    j.scale = scale;
-    j.label = workload_name + "x" + std::to_string(copies) + "/" +
-              j.protocol + "/" + std::to_string(chiplets) + "c";
-    j.body = [=] {
-        return runWorkloadMultiStream(workload_name, kind, chiplets,
-                                      copies, scale);
-    };
-    return j;
+    RunRequest req;
+    req.workload = workload_name;
+    req.protocol = kind;
+    req.chiplets = chiplets;
+    req.copies = copies;
+    req.scale = scale;
+    return makeJob(req);
 }
 
 std::vector<JobOutcome>
@@ -158,40 +249,40 @@ runSweep(const SweepSpec &spec)
                      spec.name.c_str(),
                      renderErrorRows(failed).c_str());
     }
+
+    // Export the sweep's traces in spec order: sim tracks are built
+    // from the deterministic per-job traceEvents, while worker spans
+    // land on the (documented nondeterministic) exec-worker track.
+    const ExecOptions eo = ExecOptions::fromEnv();
+    if (!eo.tracePath.empty()) {
+        TraceArchive &archive = TraceArchive::global();
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const JobOutcome &o = outcomes[i];
+            if (!o.result.traceEvents.empty()) {
+                archive.append(spec.name + "/" + spec.jobs[i].label,
+                               o.result.numChiplets,
+                               o.result.traceEvents);
+            }
+            if (!o.fromCheckpoint && o.metrics.wallSeconds > 0.0) {
+                archive.addWorkerSpan(o.metrics.worker,
+                                      spec.jobs[i].label,
+                                      o.metrics.wallStartSeconds,
+                                      o.metrics.wallSeconds);
+            }
+        }
+        archive.writeTo(eo.tracePath);
+    }
     return outcomes;
 }
 
 std::vector<std::string>
 warnUnknownEnvVars()
 {
-    // Every CPELIDE_* knob any component reads. Keep in sync with the
-    // "Resilience knobs" table in EXPERIMENTS.md.
-    static const char *const known[] = {
-        "CPELIDE_JOBS",      "CPELIDE_METRICS",
-        "CPELIDE_SCALE",     "CPELIDE_DEBUG",
-        "CPELIDE_MISS_DEBUG", "CPELIDE_TIMEOUT_MS",
-        "CPELIDE_MAX_EVENTS", "CPELIDE_RETRIES",
-        "CPELIDE_RETRY_BACKOFF_MS", "CPELIDE_RESUME",
-        "CPELIDE_PANIC",
-    };
-    std::vector<std::string> unknown;
-    for (char **e = environ; e && *e; ++e) {
-        const std::string entry(*e);
-        if (entry.rfind("CPELIDE_", 0) != 0)
-            continue;
-        const std::string name = entry.substr(0, entry.find('='));
-        bool found = false;
-        for (const char *k : known) {
-            if (name == k) {
-                found = true;
-                break;
-            }
-        }
-        if (!found) {
-            warn("unrecognized environment variable " + name +
-                 " (no CPElide component reads it; typo?)");
-            unknown.push_back(name);
-        }
+    const std::vector<std::string> unknown =
+        ExecOptions::unknownEnvVars();
+    for (const std::string &name : unknown) {
+        warn("unrecognized environment variable " + name +
+             " (no CPElide component reads it; typo?)");
     }
     return unknown;
 }
@@ -199,12 +290,7 @@ warnUnknownEnvVars()
 double
 envScale()
 {
-    if (const char *s = std::getenv("CPELIDE_SCALE")) {
-        const double v = std::atof(s);
-        if (v > 0.0 && v <= 1.0)
-            return v;
-    }
-    return 1.0;
+    return ExecOptions::fromEnv().scale;
 }
 
 void

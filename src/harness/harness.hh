@@ -8,11 +8,14 @@
 #ifndef CPELIDE_HARNESS_HARNESS_HH
 #define CPELIDE_HARNESS_HARNESS_HH
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exec/job.hh"
 #include "exec/sweep_runner.hh"
+#include "runtime/runtime.hh"
 #include "stats/run_result.hh"
 #include "workloads/workload.hh"
 
@@ -20,34 +23,92 @@ namespace cpelide
 {
 
 /**
- * Simulate @p workload_name on an @p chiplets-chiplet GPU under
- * @p kind. ProtocolKind::Monolithic uses the equivalent monolithic
- * configuration of the same aggregate size.
+ * One simulation, fully described. The single entry point into the
+ * harness: benches, examples, and tests all build a RunRequest and
+ * hand it to run() (one-shot) or makeJob() (sweep fan-out), replacing
+ * the old runWorkload / runWorkloadCfg / runWorkloadMultiStream trio.
  *
- * @param scale iteration-count scale (see Workload::build);
- * @param extra_sync_sets Section VI scaling-study knob.
+ * Exactly one of @ref workload (a named workload from
+ * workloads/workload.hh) or @ref builder (an inline kernel-building
+ * function, as the examples use) must be set. Everything else
+ * defaults sensibly:
+ *
+ * @code
+ *   RunResult r = run({.workload = "spmv",
+ *                      .protocol = ProtocolKind::CpElide,
+ *                      .chiplets = 4});
+ * @endcode
+ */
+struct RunRequest
+{
+    /** Named workload ("" when @ref builder is used instead). */
+    std::string workload;
+    /** Protocol; Monolithic derives the equivalent 1-chiplet config. */
+    ProtocolKind protocol = ProtocolKind::Baseline;
+    int chiplets = 4;
+    /** Iteration-count scale in (0, 1] (see Workload::build). */
+    double scale = 1.0;
+    /**
+     * Section VI multi-stream study: replay this many instances of the
+     * workload concurrently, each bound to a disjoint chiplet subset
+     * (1 = plain single-stream run).
+     */
+    int copies = 1;
+    /** Section VI scaling-study knob (see GlobalCp). */
+    int extraSyncSets = 0;
+    /** Custom configuration (otherwise derived from protocol/chiplets). */
+    std::optional<GpuConfig> cfg;
+    /**
+     * Full RunOptions override (fault injection, annotation
+     * validation, stream bindings...). When set, its protocol wins
+     * over @ref protocol.
+     */
+    std::optional<RunOptions> options;
+    /**
+     * Inline kernel builder (the examples' path): called with the
+     * Runtime and the effective scale; enqueue kernels, then run()
+     * synchronizes and measures.
+     */
+    std::function<void(Runtime &, double)> builder;
+    /**
+     * Record into this caller-owned session instead of the
+     * CPELIDE_TRACE-driven internal one; the caller then owns export.
+     */
+    TraceSession *trace = nullptr;
+    /** Result label override ("" = derived from workload/copies). */
+    std::string label;
+};
+
+/**
+ * Execute @p req and return its measurements. Honors CPELIDE_TRACE:
+ * when set (and @p req.trace is null), the run records into the
+ * process-wide TraceArchive and rewrites the trace JSON file.
+ */
+RunResult run(const RunRequest &req);
+
+/**
+ * Bind @p req into an exec Job (label derived like the legacy job
+ * factories: "workload/protocol/Nc[+syncK]", ".../custom" with a
+ * custom cfg, "workloadxC/..." for multi-stream). Job bodies do NOT
+ * touch the TraceArchive themselves — runSweep() appends their
+ * harvested events in spec order, keeping the archive deterministic
+ * under CPELIDE_JOBS > 1.
+ */
+Job makeJob(const RunRequest &req);
+
+/**
+ * Legacy entry points, kept for one PR as thin wrappers over
+ * run()/makeJob(). New code should build a RunRequest. @{
  */
 RunResult runWorkload(const std::string &workload_name,
                       ProtocolKind kind, int chiplets,
                       double scale = 1.0, int extra_sync_sets = 0);
-
-/** As runWorkload, but with a caller-supplied configuration. */
 RunResult runWorkloadCfg(const std::string &workload_name,
                          const GpuConfig &cfg, const RunOptions &opts,
                          double scale = 1.0);
-
-/**
- * Section VI multi-stream study: replay @p copies instances of the
- * workload concurrently, each bound to a disjoint chiplet subset.
- */
 RunResult runWorkloadMultiStream(const std::string &workload_name,
                                  ProtocolKind kind, int chiplets,
                                  int copies, double scale = 1.0);
-
-/**
- * Job factories binding the run* entry points above into exec Jobs,
- * so benches can assemble a SweepSpec and fan it out. @{
- */
 Job workloadJob(const std::string &workload_name, ProtocolKind kind,
                 int chiplets, double scale = 1.0,
                 int extra_sync_sets = 0);

@@ -70,7 +70,11 @@ Runtime::launchKernel(KernelDesc kernel)
 RunResult
 Runtime::deviceSynchronize(const std::string &label)
 {
-    panicIf(_synchronized, "deviceSynchronize called twice");
+    panicIf(_synchronized,
+            "deviceSynchronize('" + label + "') called twice on the "
+            "same Runtime: each Runtime models one submission whose "
+            "events are consumed by the first synchronize. Build a new "
+            "Runtime (or a RunRequest per run) for another measurement.");
     _synchronized = true;
     return _gpu->run(label);
 }

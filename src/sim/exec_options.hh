@@ -1,0 +1,184 @@
+/**
+ * @file
+ * ExecOptions: the typed, single-point-of-truth parser for every
+ * CPELIDE_* environment knob.
+ *
+ * This header is the ONLY place in the tree allowed to call getenv()
+ * or walk the environment (CI greps for violations): every component
+ * that used to read its own knob now consumes a field of
+ * ExecOptions::fromEnv(). The knob table below drives both the parser
+ * and warnUnknown(), so adding a knob here automatically teaches the
+ * unknown-variable check about it — a knob can never be forgotten.
+ *
+ * fromEnv() re-parses the environment on every call. All callers are
+ * cold paths (sweep setup, panic handling, per-Runtime construction),
+ * and the re-parse preserves the long-standing test idiom of toggling
+ * knobs with setenv() mid-process. Hot paths (the per-access miss
+ * debug check, the per-launch debug check) cache the parsed flag once
+ * per object instead.
+ */
+
+#ifndef CPELIDE_SIM_EXEC_OPTIONS_HH
+#define CPELIDE_SIM_EXEC_OPTIONS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+extern char **environ;
+
+namespace cpelide
+{
+
+/** One row of the knob table: the variable and what it controls. */
+struct EnvKnob
+{
+    const char *name;
+    const char *summary;
+};
+
+/** Typed snapshot of every CPELIDE_* environment knob. */
+struct ExecOptions
+{
+    /** CPELIDE_JOBS: sweep worker threads (default: hw concurrency). */
+    int jobs = 1;
+    /** CPELIDE_METRICS: dump per-job metrics to stderr after sweeps. */
+    bool metrics = false;
+    /** CPELIDE_SCALE: uniform workload iteration scale in (0, 1]. */
+    double scale = 1.0;
+    /** CPELIDE_DEBUG: per-launch sync-decision log on stderr. */
+    bool debug = false;
+    /** CPELIDE_MISS_DEBUG: sampled L2-miss log on stderr. */
+    bool missDebug = false;
+    /** CPELIDE_TIMEOUT_MS: per-job wall-clock budget (0 = off). */
+    double timeoutMs = 0.0;
+    /** CPELIDE_MAX_EVENTS: per-job simulation-work budget (0 = off). */
+    std::uint64_t maxEvents = 0;
+    /** CPELIDE_RETRIES: max retries of a retry-safe job failure. */
+    int retries = 0;
+    /** CPELIDE_RETRY_BACKOFF_MS: base backoff, doubled per attempt. */
+    double retryBackoffMs = 50.0;
+    /** CPELIDE_RESUME: sweep checkpoint-journal path ("" = off). */
+    std::string resumePath;
+    /** CPELIDE_PANIC=abort: abort() at panic sites instead of throwing. */
+    bool panicAbort = false;
+    /** CPELIDE_TRACE: Chrome trace_event JSON output path ("" = off). */
+    std::string tracePath;
+
+    /**
+     * The knob table: one row per variable any component reads. Keep
+     * the summaries in sync with the "Resilience knobs" table in
+     * EXPERIMENTS.md.
+     */
+    static const std::vector<EnvKnob> &
+    knobs()
+    {
+        static const std::vector<EnvKnob> table = {
+            {"CPELIDE_JOBS", "sweep worker threads"},
+            {"CPELIDE_METRICS", "per-job metrics dump"},
+            {"CPELIDE_SCALE", "workload iteration scale"},
+            {"CPELIDE_DEBUG", "per-launch sync log"},
+            {"CPELIDE_MISS_DEBUG", "sampled L2 miss log"},
+            {"CPELIDE_TIMEOUT_MS", "per-job wall budget"},
+            {"CPELIDE_MAX_EVENTS", "per-job work budget"},
+            {"CPELIDE_RETRIES", "retry-safe failure retries"},
+            {"CPELIDE_RETRY_BACKOFF_MS", "retry backoff base"},
+            {"CPELIDE_RESUME", "checkpoint journal path"},
+            {"CPELIDE_PANIC", "abort instead of throw"},
+            {"CPELIDE_TRACE", "Chrome trace JSON path"},
+        };
+        return table;
+    }
+
+    /** Fresh parse of the environment (see file comment). */
+    static ExecOptions
+    fromEnv()
+    {
+        ExecOptions o;
+        o.jobs = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+        if (const char *s = raw("CPELIDE_JOBS")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.jobs = static_cast<int>(std::min<long>(v, 256));
+        }
+        o.metrics = raw("CPELIDE_METRICS") != nullptr;
+        if (const char *s = raw("CPELIDE_SCALE")) {
+            const double v = std::atof(s);
+            if (v > 0.0 && v <= 1.0)
+                o.scale = v;
+        }
+        o.debug = raw("CPELIDE_DEBUG") != nullptr;
+        o.missDebug = raw("CPELIDE_MISS_DEBUG") != nullptr;
+        if (const char *s = raw("CPELIDE_TIMEOUT_MS")) {
+            const double v = std::atof(s);
+            if (v > 0.0)
+                o.timeoutMs = v;
+        }
+        if (const char *s = raw("CPELIDE_MAX_EVENTS")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.maxEvents = v;
+        }
+        if (const char *s = raw("CPELIDE_RETRIES")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v >= 0)
+                o.retries = static_cast<int>(std::min<long>(v, 16));
+        }
+        if (const char *s = raw("CPELIDE_RETRY_BACKOFF_MS")) {
+            char *end = nullptr;
+            const double v = std::strtod(s, &end);
+            if (end != s && *end == '\0' && v >= 0)
+                o.retryBackoffMs = v;
+        }
+        if (const char *s = raw("CPELIDE_RESUME"))
+            o.resumePath = s;
+        if (const char *s = raw("CPELIDE_PANIC"))
+            o.panicAbort = std::string(s) == "abort";
+        if (const char *s = raw("CPELIDE_TRACE"))
+            o.tracePath = s;
+        return o;
+    }
+
+    /**
+     * Scan the environment for CPELIDE_* variables missing from the
+     * knob table — a misspelled knob (CPELIDE_TIMEOUT instead of
+     * CPELIDE_TIMEOUT_MS) otherwise fails silently as a no-op.
+     * @return the unrecognized names found (the caller warns).
+     */
+    static std::vector<std::string>
+    unknownEnvVars()
+    {
+        std::vector<std::string> unknown;
+        for (char **e = environ; e && *e; ++e) {
+            const std::string entry(*e);
+            if (entry.rfind("CPELIDE_", 0) != 0)
+                continue;
+            const std::string name = entry.substr(0, entry.find('='));
+            bool found = false;
+            for (const EnvKnob &k : knobs()) {
+                if (name == k.name) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                unknown.push_back(name);
+        }
+        return unknown;
+    }
+
+  private:
+    /** The tree's single raw environment accessor (CI-enforced). */
+    static const char *raw(const char *name) { return std::getenv(name); }
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_EXEC_OPTIONS_HH

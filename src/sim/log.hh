@@ -20,10 +20,11 @@
 #define CPELIDE_SIM_LOG_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "sim/exec_options.hh"
 
 namespace cpelide
 {
@@ -76,8 +77,7 @@ class InvariantError : public SimPanicError
 inline bool
 panicAborts()
 {
-    const char *s = std::getenv("CPELIDE_PANIC");
-    return s && std::string(s) == "abort";
+    return ExecOptions::fromEnv().panicAbort;
 }
 
 /**

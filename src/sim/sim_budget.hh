@@ -25,10 +25,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+
+#include "sim/exec_options.hh"
 
 namespace cpelide
 {
@@ -47,18 +48,10 @@ struct SimBudget
     static SimBudget
     fromEnv()
     {
+        const ExecOptions eo = ExecOptions::fromEnv();
         SimBudget b;
-        if (const char *s = std::getenv("CPELIDE_TIMEOUT_MS")) {
-            const double v = std::atof(s);
-            if (v > 0.0)
-                b.maxWallMs = v;
-        }
-        if (const char *s = std::getenv("CPELIDE_MAX_EVENTS")) {
-            char *end = nullptr;
-            const unsigned long long v = std::strtoull(s, &end, 10);
-            if (end != s && *end == '\0' && v > 0)
-                b.maxEvents = v;
-        }
+        b.maxWallMs = eo.timeoutMs;
+        b.maxEvents = eo.maxEvents;
         return b;
     }
 };

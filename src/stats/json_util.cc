@@ -1,0 +1,264 @@
+#include "stats/json_util.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpelide
+{
+namespace json
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendSep(std::string &out)
+{
+    if (!out.empty() && out.back() != '{' && out.back() != '[')
+        out += ',';
+}
+
+void
+appendStr(std::string &out, const char *key, const std::string &value)
+{
+    appendSep(out);
+    out += '"';
+    out += key;
+    out += "\":";
+    appendEscaped(out, value);
+}
+
+void
+appendU64(std::string &out, const char *key, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    appendSep(out);
+    out += '"';
+    out += key;
+    out += "\":";
+    out += buf;
+}
+
+void
+appendI64(std::string &out, const char *key, std::int64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    appendSep(out);
+    out += '"';
+    out += key;
+    out += "\":";
+    out += buf;
+}
+
+void
+appendDouble(std::string &out, const char *key, double value)
+{
+    // %.17g round-trips every finite IEEE-754 double exactly, which is
+    // what makes resumed sweep output byte-identical.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    appendSep(out);
+    out += '"';
+    out += key;
+    out += "\":";
+    out += buf;
+}
+
+} // namespace json
+
+bool
+JsonLineParser::eat(char c)
+{
+    if (peek() != c)
+        return false;
+    ++_pos;
+    return true;
+}
+
+void
+JsonLineParser::skipWs()
+{
+    while (_pos < _n &&
+           std::isspace(static_cast<unsigned char>(_s[_pos])))
+        ++_pos;
+}
+
+bool
+JsonLineParser::parse()
+{
+    skipWs();
+    if (!eat('{'))
+        return false;
+    skipWs();
+    if (eat('}'))
+        return true;
+    for (;;) {
+        std::string key, value;
+        if (!parseString(&key))
+            return false;
+        skipWs();
+        if (!eat(':'))
+            return false;
+        skipWs();
+        if (peek() == '"') {
+            if (!parseString(&value))
+                return false;
+        } else if (!parseNumber(&value)) {
+            return false;
+        }
+        _fields[key] = value;
+        skipWs();
+        if (eat(',')) {
+            skipWs();
+            continue;
+        }
+        return eat('}');
+    }
+}
+
+bool
+JsonLineParser::str(const char *key, std::string *out) const
+{
+    auto it = _fields.find(key);
+    if (it == _fields.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+bool
+JsonLineParser::u64(const char *key, std::uint64_t *out) const
+{
+    auto it = _fields.find(key);
+    if (it == _fields.end())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+JsonLineParser::i64(const char *key, std::int64_t *out) const
+{
+    auto it = _fields.find(key);
+    if (it == _fields.end())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+JsonLineParser::dbl(const char *key, double *out) const
+{
+    auto it = _fields.find(key);
+    if (it == _fields.end())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+JsonLineParser::parseString(std::string *out)
+{
+    if (!eat('"'))
+        return false;
+    std::string result;
+    while (_pos < _n) {
+        const char c = _s[_pos++];
+        if (c == '"') {
+            *out = std::move(result);
+            return true;
+        }
+        if (c != '\\') {
+            result += c;
+            continue;
+        }
+        if (_pos >= _n)
+            return false;
+        const char esc = _s[_pos++];
+        switch (esc) {
+          case '"': result += '"'; break;
+          case '\\': result += '\\'; break;
+          case '/': result += '/'; break;
+          case 'n': result += '\n'; break;
+          case 'r': result += '\r'; break;
+          case 't': result += '\t'; break;
+          case 'u': {
+              if (_pos + 4 > _n)
+                  return false;
+              char hex[5] = {_s[_pos], _s[_pos + 1], _s[_pos + 2],
+                             _s[_pos + 3], '\0'};
+              _pos += 4;
+              char *end = nullptr;
+              const unsigned long code = std::strtoul(hex, &end, 16);
+              if (end != hex + 4 || code > 0xFF)
+                  return false; // we only ever emit control chars
+              result += static_cast<char>(code);
+              break;
+          }
+          default: return false;
+        }
+    }
+    return false;
+}
+
+bool
+JsonLineParser::parseNumber(std::string *out)
+{
+    const std::size_t start = _pos;
+    while (_pos < _n) {
+        const char c = _s[_pos];
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+' || c == '.' || c == 'e' || c == 'E') {
+            ++_pos;
+        } else {
+            break;
+        }
+    }
+    if (_pos == start)
+        return false;
+    out->assign(_s + start, _pos - start);
+    return true;
+}
+
+} // namespace cpelide

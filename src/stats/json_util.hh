@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal JSON emit/parse helpers shared by the sweep journal, the
+ * structured stat sinks, and the Chrome trace exporter.
+ *
+ * The emit side builds flat or nested objects by appending to a
+ * string (a comma is inserted automatically unless the previous
+ * character opens an object/array). Doubles use %.17g, which
+ * round-trips every finite IEEE-754 double exactly — the property the
+ * checkpoint journal's byte-identical resume depends on.
+ *
+ * The parse side (JsonLineParser) handles exactly the flat one-level
+ * objects the emitters write: string and number values only. Any
+ * structural surprise makes parse() return false so callers can treat
+ * the line as torn and skip it.
+ */
+
+#ifndef CPELIDE_STATS_JSON_UTIL_HH
+#define CPELIDE_STATS_JSON_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace cpelide
+{
+namespace json
+{
+
+/** Append @p s as a quoted, escaped JSON string. */
+void appendEscaped(std::string &out, const std::string &s);
+
+/** Append a comma unless @p out ends at an object/array opener. */
+void appendSep(std::string &out);
+
+void appendStr(std::string &out, const char *key,
+               const std::string &value);
+void appendU64(std::string &out, const char *key, std::uint64_t value);
+void appendI64(std::string &out, const char *key, std::int64_t value);
+void appendDouble(std::string &out, const char *key, double value);
+
+} // namespace json
+
+/** Cursor parser for flat one-level JSON objects (see file comment). */
+class JsonLineParser
+{
+  public:
+    explicit JsonLineParser(const std::string &line)
+        : _s(line.c_str()), _n(line.size())
+    {}
+
+    /** Parse the whole line; false on any structural problem. */
+    bool parse();
+
+    bool has(const char *key) const { return _fields.count(key) != 0; }
+
+    bool str(const char *key, std::string *out) const;
+    bool u64(const char *key, std::uint64_t *out) const;
+    bool i64(const char *key, std::int64_t *out) const;
+    bool dbl(const char *key, double *out) const;
+
+  private:
+    char peek() const { return _pos < _n ? _s[_pos] : '\0'; }
+    bool eat(char c);
+    void skipWs();
+    bool parseString(std::string *out);
+    bool parseNumber(std::string *out);
+
+    const char *_s;
+    std::size_t _n;
+    std::size_t _pos = 0;
+    std::unordered_map<std::string, std::string> _fields;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_STATS_JSON_UTIL_HH

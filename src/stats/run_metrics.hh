@@ -8,6 +8,7 @@
 #ifndef CPELIDE_STATS_RUN_METRICS_HH
 #define CPELIDE_STATS_RUN_METRICS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -16,11 +17,25 @@
 namespace cpelide
 {
 
+/**
+ * Fixed process-wide epoch for relative wall-clock timestamps (the
+ * exec-worker tracks of a Chrome trace). First use pins it; every
+ * later call returns the same instant.
+ */
+inline std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
 /** Host-side cost of running one job. */
 struct RunMetrics
 {
     /** Wall-clock seconds spent in the job body. */
     double wallSeconds = 0.0;
+    /** Job-body start, seconds since processEpoch() (worker tracks). */
+    double wallStartSeconds = 0.0;
     /** Process peak RSS (KiB) observed right after the job finished. */
     long peakRssKb = 0;
     /** Simulator events processed (see EventQueue::eventsProcessed). */

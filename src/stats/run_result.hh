@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "energy/energy_model.hh"
 #include "noc/noc.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
@@ -29,6 +31,44 @@ struct LevelStats
     {
         return accesses() ? static_cast<double>(hits) / accesses() : 0.0;
     }
+};
+
+/**
+ * Per-launch breakdown of one kernel's phase: where its time and sync
+ * work went. One entry per launched kernel plus one for the final
+ * host-visibility barrier; the per-phase counters are *deltas* over
+ * the phase, so summing any field across all phases reproduces the
+ * corresponding aggregate RunResult counter exactly (asserted by
+ * tests). Computed unconditionally — it's a handful of counter
+ * snapshots per launch — independent of whether tracing is on.
+ */
+struct KernelPhaseStats
+{
+    std::string name; //!< kernel name; "<final-barrier>" for the tail
+    int stream = 0;
+    bool finalBarrier = false;
+
+    Tick start = 0; //!< phase begin (sync phase start), sim ticks
+    Tick end = 0;   //!< phase end (slowest chiplet done), sim ticks
+
+    /** Launch-sync behaviour. @{ */
+    Tick syncStallCycles = 0;
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    bool conservative = false;
+    /** @} */
+
+    /** Counter deltas over this phase. @{ */
+    std::uint64_t l2FlushesIssued = 0;
+    std::uint64_t l2InvalidatesIssued = 0;
+    std::uint64_t l2FlushesElided = 0;
+    std::uint64_t l2InvalidatesElided = 0;
+    std::uint64_t linesWrittenBack = 0;
+    std::uint64_t accesses = 0;
+    LevelStats l2; //!< L2 hits/misses during this phase (hit-rate delta)
+    /** @} */
+
+    Tick cycles() const { return end >= start ? end - start : 0; }
 };
 
 /** Everything measured during one workload run on one configuration. */
@@ -80,6 +120,20 @@ struct RunResult
      * after the final barrier (must be 0; a lost release leaves them).
      */
     std::uint64_t hostVisibilityViolations = 0;
+
+    /**
+     * Per-launch phase breakdown (one entry per kernel + the final
+     * barrier); field sums reproduce the aggregates above.
+     */
+    std::vector<KernelPhaseStats> kernelPhases;
+
+    /**
+     * Trace events harvested from the run's TraceSession (empty when
+     * tracing is off, and after a checkpoint restore — the journal
+     * stores phases but not traces). Sim-tick timestamps, so identical
+     * whatever worker thread produced them.
+     */
+    std::vector<TraceEvent> traceEvents;
 };
 
 } // namespace cpelide

@@ -1,0 +1,288 @@
+#include "stats/run_result_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpelide
+{
+
+void
+appendRunResultFields(std::string &out, const RunResult &r)
+{
+    using namespace json;
+    appendStr(out, "workload", r.workload);
+    appendStr(out, "protocol", r.protocol);
+    appendI64(out, "numChiplets", r.numChiplets);
+    appendU64(out, "cycles", r.cycles);
+    appendU64(out, "kernels", r.kernels);
+    appendU64(out, "accesses", r.accesses);
+    appendU64(out, "l1Hits", r.l1.hits);
+    appendU64(out, "l1Misses", r.l1.misses);
+    appendU64(out, "l2Hits", r.l2.hits);
+    appendU64(out, "l2Misses", r.l2.misses);
+    appendU64(out, "l3Hits", r.l3.hits);
+    appendU64(out, "l3Misses", r.l3.misses);
+    appendU64(out, "dramAccesses", r.dramAccesses);
+    appendU64(out, "flitsL1L2", r.flits.l1l2);
+    appendU64(out, "flitsL2L3", r.flits.l2l3);
+    appendU64(out, "flitsRemote", r.flits.remote);
+    appendDouble(out, "energyL1i", r.energy.l1i);
+    appendDouble(out, "energyL1d", r.energy.l1d);
+    appendDouble(out, "energyLds", r.energy.lds);
+    appendDouble(out, "energyL2", r.energy.l2);
+    appendDouble(out, "energyNoc", r.energy.noc);
+    appendDouble(out, "energyDram", r.energy.dram);
+    appendU64(out, "l2FlushesIssued", r.l2FlushesIssued);
+    appendU64(out, "l2InvalidatesIssued", r.l2InvalidatesIssued);
+    appendU64(out, "l2FlushesElided", r.l2FlushesElided);
+    appendU64(out, "l2InvalidatesElided", r.l2InvalidatesElided);
+    appendU64(out, "linesWrittenBack", r.linesWrittenBack);
+    appendU64(out, "syncStallCycles", r.syncStallCycles);
+    appendU64(out, "directoryEvictions", r.directoryEvictions);
+    appendU64(out, "sharerInvalidations", r.sharerInvalidations);
+    appendU64(out, "simEvents", r.simEvents);
+    appendU64(out, "tableMaxEntries", r.tableMaxEntries);
+    appendU64(out, "staleReads", r.staleReads);
+    appendU64(out, "hostVisibilityViolations", r.hostVisibilityViolations);
+}
+
+bool
+parseRunResultFields(const JsonLineParser &p, RunResult *r)
+{
+    std::int64_t chiplets = 0;
+    const bool good =
+        p.str("workload", &r->workload) &&
+        p.str("protocol", &r->protocol) &&
+        p.i64("numChiplets", &chiplets) && p.u64("cycles", &r->cycles) &&
+        p.u64("kernels", &r->kernels) && p.u64("accesses", &r->accesses) &&
+        p.u64("l1Hits", &r->l1.hits) && p.u64("l1Misses", &r->l1.misses) &&
+        p.u64("l2Hits", &r->l2.hits) && p.u64("l2Misses", &r->l2.misses) &&
+        p.u64("l3Hits", &r->l3.hits) && p.u64("l3Misses", &r->l3.misses) &&
+        p.u64("dramAccesses", &r->dramAccesses) &&
+        p.u64("flitsL1L2", &r->flits.l1l2) &&
+        p.u64("flitsL2L3", &r->flits.l2l3) &&
+        p.u64("flitsRemote", &r->flits.remote) &&
+        p.dbl("energyL1i", &r->energy.l1i) &&
+        p.dbl("energyL1d", &r->energy.l1d) &&
+        p.dbl("energyLds", &r->energy.lds) &&
+        p.dbl("energyL2", &r->energy.l2) &&
+        p.dbl("energyNoc", &r->energy.noc) &&
+        p.dbl("energyDram", &r->energy.dram) &&
+        p.u64("l2FlushesIssued", &r->l2FlushesIssued) &&
+        p.u64("l2InvalidatesIssued", &r->l2InvalidatesIssued) &&
+        p.u64("l2FlushesElided", &r->l2FlushesElided) &&
+        p.u64("l2InvalidatesElided", &r->l2InvalidatesElided) &&
+        p.u64("linesWrittenBack", &r->linesWrittenBack) &&
+        p.u64("syncStallCycles", &r->syncStallCycles) &&
+        p.u64("directoryEvictions", &r->directoryEvictions) &&
+        p.u64("sharerInvalidations", &r->sharerInvalidations) &&
+        p.u64("simEvents", &r->simEvents) &&
+        p.u64("tableMaxEntries", &r->tableMaxEntries) &&
+        p.u64("staleReads", &r->staleReads) &&
+        p.u64("hostVisibilityViolations", &r->hostVisibilityViolations);
+    if (!good)
+        return false;
+    r->numChiplets = static_cast<int>(chiplets);
+    return true;
+}
+
+void
+appendKernelPhaseFields(std::string &out, const KernelPhaseStats &ph)
+{
+    using namespace json;
+    appendStr(out, "name", ph.name);
+    appendI64(out, "stream", ph.stream);
+    appendU64(out, "finalBarrier", ph.finalBarrier ? 1 : 0);
+    appendU64(out, "start", ph.start);
+    appendU64(out, "end", ph.end);
+    appendU64(out, "syncStallCycles", ph.syncStallCycles);
+    appendU64(out, "acquires", ph.acquires);
+    appendU64(out, "releases", ph.releases);
+    appendU64(out, "conservative", ph.conservative ? 1 : 0);
+    appendU64(out, "l2FlushesIssued", ph.l2FlushesIssued);
+    appendU64(out, "l2InvalidatesIssued", ph.l2InvalidatesIssued);
+    appendU64(out, "l2FlushesElided", ph.l2FlushesElided);
+    appendU64(out, "l2InvalidatesElided", ph.l2InvalidatesElided);
+    appendU64(out, "linesWrittenBack", ph.linesWrittenBack);
+    appendU64(out, "accesses", ph.accesses);
+    appendU64(out, "l2Hits", ph.l2.hits);
+    appendU64(out, "l2Misses", ph.l2.misses);
+}
+
+bool
+parseKernelPhaseFields(const JsonLineParser &p, KernelPhaseStats *ph)
+{
+    std::int64_t stream = 0;
+    std::uint64_t finalBarrier = 0, conservative = 0;
+    const bool good =
+        p.str("name", &ph->name) && p.i64("stream", &stream) &&
+        p.u64("finalBarrier", &finalBarrier) &&
+        p.u64("start", &ph->start) && p.u64("end", &ph->end) &&
+        p.u64("syncStallCycles", &ph->syncStallCycles) &&
+        p.u64("acquires", &ph->acquires) &&
+        p.u64("releases", &ph->releases) &&
+        p.u64("conservative", &conservative) &&
+        p.u64("l2FlushesIssued", &ph->l2FlushesIssued) &&
+        p.u64("l2InvalidatesIssued", &ph->l2InvalidatesIssued) &&
+        p.u64("l2FlushesElided", &ph->l2FlushesElided) &&
+        p.u64("l2InvalidatesElided", &ph->l2InvalidatesElided) &&
+        p.u64("linesWrittenBack", &ph->linesWrittenBack) &&
+        p.u64("accesses", &ph->accesses) &&
+        p.u64("l2Hits", &ph->l2.hits) && p.u64("l2Misses", &ph->l2.misses);
+    if (!good)
+        return false;
+    ph->stream = static_cast<int>(stream);
+    ph->finalBarrier = finalBarrier != 0;
+    ph->conservative = conservative != 0;
+    return true;
+}
+
+namespace
+{
+
+/** Escape the compact codec's separators (and '%') in kernel names. */
+void
+appendEscapedName(std::string &out, const std::string &name)
+{
+    for (const char c : name) {
+        switch (c) {
+          case '%': out += "%25"; break;
+          case ',': out += "%2C"; break;
+          case ';': out += "%3B"; break;
+          default: out += c;
+        }
+    }
+}
+
+bool
+unescapeName(const std::string &s, std::string *out)
+{
+    std::string result;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            result += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return false;
+        const char hex[3] = {s[i + 1], s[i + 2], '\0'};
+        char *end = nullptr;
+        const unsigned long code = std::strtoul(hex, &end, 16);
+        if (end != hex + 2)
+            return false;
+        result += static_cast<char>(code);
+        i += 2;
+    }
+    *out = std::move(result);
+    return true;
+}
+
+constexpr std::size_t kCompactFields = 17;
+
+} // namespace
+
+std::string
+encodeKernelPhasesCompact(const std::vector<KernelPhaseStats> &phases)
+{
+    std::string out;
+    char buf[32];
+    for (const KernelPhaseStats &ph : phases) {
+        if (!out.empty())
+            out += ';';
+        appendEscapedName(out, ph.name);
+        const std::uint64_t fields[] = {
+            static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(ph.stream)),
+            ph.finalBarrier ? 1u : 0u,
+            ph.start,
+            ph.end,
+            ph.syncStallCycles,
+            ph.acquires,
+            ph.releases,
+            ph.conservative ? 1u : 0u,
+            ph.l2FlushesIssued,
+            ph.l2InvalidatesIssued,
+            ph.l2FlushesElided,
+            ph.l2InvalidatesElided,
+            ph.linesWrittenBack,
+            ph.accesses,
+            ph.l2.hits,
+            ph.l2.misses,
+        };
+        for (const std::uint64_t f : fields) {
+            std::snprintf(buf, sizeof(buf), ",%" PRIu64, f);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+bool
+decodeKernelPhasesCompact(const std::string &s,
+                          std::vector<KernelPhaseStats> *out)
+{
+    std::vector<KernelPhaseStats> phases;
+    if (s.empty()) {
+        *out = std::move(phases);
+        return true;
+    }
+    std::size_t recStart = 0;
+    while (recStart <= s.size()) {
+        std::size_t recEnd = s.find(';', recStart);
+        if (recEnd == std::string::npos)
+            recEnd = s.size();
+        const std::string rec = s.substr(recStart, recEnd - recStart);
+
+        std::vector<std::string> fields;
+        std::size_t fieldStart = 0;
+        while (fieldStart <= rec.size()) {
+            std::size_t fieldEnd = rec.find(',', fieldStart);
+            if (fieldEnd == std::string::npos)
+                fieldEnd = rec.size();
+            fields.push_back(rec.substr(fieldStart, fieldEnd - fieldStart));
+            fieldStart = fieldEnd + 1;
+            if (fieldEnd == rec.size())
+                break;
+        }
+        if (fields.size() != kCompactFields)
+            return false;
+
+        KernelPhaseStats ph;
+        if (!unescapeName(fields[0], &ph.name))
+            return false;
+        std::uint64_t v[kCompactFields - 1] = {};
+        for (std::size_t i = 1; i < kCompactFields; ++i) {
+            errno = 0;
+            char *end = nullptr;
+            v[i - 1] = std::strtoull(fields[i].c_str(), &end, 10);
+            if (errno != 0 || end == fields[i].c_str() || *end != '\0')
+                return false;
+        }
+        ph.stream = static_cast<int>(static_cast<std::int64_t>(v[0]));
+        ph.finalBarrier = v[1] != 0;
+        ph.start = v[2];
+        ph.end = v[3];
+        ph.syncStallCycles = v[4];
+        ph.acquires = v[5];
+        ph.releases = v[6];
+        ph.conservative = v[7] != 0;
+        ph.l2FlushesIssued = v[8];
+        ph.l2InvalidatesIssued = v[9];
+        ph.l2FlushesElided = v[10];
+        ph.l2InvalidatesElided = v[11];
+        ph.linesWrittenBack = v[12];
+        ph.accesses = v[13];
+        ph.l2.hits = v[14];
+        ph.l2.misses = v[15];
+        phases.push_back(std::move(ph));
+
+        if (recEnd == s.size())
+            break;
+        recStart = recEnd + 1;
+    }
+    *out = std::move(phases);
+    return true;
+}
+
+} // namespace cpelide

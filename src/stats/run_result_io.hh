@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared flat-JSON codec for RunResult and KernelPhaseStats.
+ *
+ * The checkpoint journal (exec/journal.cc) and the structured stat
+ * sinks (stats/stat_sink.cc) serialize the same measurement record;
+ * this file is the single source of truth for the key names so the
+ * two can never drift. Aggregate fields are emitted as one flat block
+ * ("workload" .. "hostVisibilityViolations", in a fixed order);
+ * per-launch phases are either explicit flat objects (one JSONL line
+ * per phase, stat sinks) or one compact escaped string (a single
+ * journal field, keeping journal lines flat one-level objects).
+ */
+
+#ifndef CPELIDE_STATS_RUN_RESULT_IO_HH
+#define CPELIDE_STATS_RUN_RESULT_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "stats/json_util.hh"
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+/**
+ * Append the aggregate RunResult fields to a JSON object under
+ * construction (between "{" and "}"), using the journal's key names.
+ */
+void appendRunResultFields(std::string &out, const RunResult &r);
+
+/**
+ * Read the aggregate fields back from a parsed flat object.
+ * @return false if any expected key is missing or malformed.
+ */
+bool parseRunResultFields(const JsonLineParser &p, RunResult *r);
+
+/** Append one phase's fields to a JSON object under construction. */
+void appendKernelPhaseFields(std::string &out, const KernelPhaseStats &ph);
+
+/** Read one phase back from a parsed flat object. */
+bool parseKernelPhaseFields(const JsonLineParser &p, KernelPhaseStats *ph);
+
+/**
+ * Encode all phases as one compact string ("rec;rec;..." with
+ * ","-separated fields, names percent-escaped) so the journal can
+ * carry them in a single flat string field.
+ */
+std::string
+encodeKernelPhasesCompact(const std::vector<KernelPhaseStats> &phases);
+
+/**
+ * Decode a compact phase string. @return false (leaving @p out
+ * untouched) on any malformed record.
+ */
+bool decodeKernelPhasesCompact(const std::string &s,
+                               std::vector<KernelPhaseStats> *out);
+
+} // namespace cpelide
+
+#endif // CPELIDE_STATS_RUN_RESULT_IO_HH

@@ -1,0 +1,281 @@
+#include "stats/stat_sink.hh"
+
+#include <cinttypes>
+
+#include "stats/report.hh"
+#include "stats/run_result_io.hh"
+
+namespace cpelide
+{
+
+bool
+parseStatFormat(const std::string &name, StatFormat *out)
+{
+    if (name == "ascii") {
+        *out = StatFormat::Ascii;
+        return true;
+    }
+    if (name == "json" || name == "jsonl") {
+        *out = StatFormat::Jsonl;
+        return true;
+    }
+    if (name == "csv") {
+        *out = StatFormat::Csv;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// AsciiStatSink
+// ---------------------------------------------------------------------------
+
+void
+AsciiStatSink::emit(const StatRecord &rec)
+{
+    _records.push_back(rec);
+}
+
+void
+AsciiStatSink::finish()
+{
+    AsciiTable t({"label", "cycles", "sync stall", "flushes", "elided",
+                  "L2 hit%", "status"});
+    for (const StatRecord &rec : _records) {
+        t.addRow({escapeCell(rec.label),
+                  std::to_string(rec.result.cycles),
+                  std::to_string(rec.result.syncStallCycles),
+                  std::to_string(rec.result.l2FlushesIssued),
+                  std::to_string(rec.result.l2FlushesElided),
+                  fmt(rec.result.l2.hitRate() * 100.0, 1),
+                  rec.ok ? "ok" : escapeCell(rec.error)});
+    }
+    std::fputs(t.render().c_str(), _out);
+    _records.clear();
+}
+
+// ---------------------------------------------------------------------------
+// JsonlStatSink
+// ---------------------------------------------------------------------------
+
+std::string
+JsonlStatSink::render(const StatRecord &rec)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "result");
+    json::appendStr(out, "sweep", rec.sweep);
+    json::appendStr(out, "label", rec.label);
+    json::appendU64(out, "ok", rec.ok ? 1 : 0);
+    json::appendStr(out, "error", rec.error);
+    appendRunResultFields(out, rec.result);
+    out += "}\n";
+
+    for (std::size_t i = 0; i < rec.result.kernelPhases.size(); ++i) {
+        out += "{";
+        json::appendStr(out, "type", "phase");
+        json::appendStr(out, "label", rec.label);
+        json::appendU64(out, "index", i);
+        appendKernelPhaseFields(out, rec.result.kernelPhases[i]);
+        out += "}\n";
+    }
+    return out;
+}
+
+void
+JsonlStatSink::emit(const StatRecord &rec)
+{
+    const std::string lines = render(rec);
+    std::fwrite(lines.data(), 1, lines.size(), _out);
+    std::fflush(_out);
+}
+
+// ---------------------------------------------------------------------------
+// CsvStatSink
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Quote a CSV cell when it contains a separator, quote, or newline. */
+void
+appendCsvCell(std::string &out, const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+        out += cell;
+        return;
+    }
+    out += '"';
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendCsvU64(std::string &out, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ",%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendCsvDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), ",%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+CsvStatSink::header()
+{
+    return "sweep,label,ok,error,workload,protocol,numChiplets,cycles,"
+           "kernels,accesses,l1Hits,l1Misses,l2Hits,l2Misses,l3Hits,"
+           "l3Misses,dramAccesses,flitsL1L2,flitsL2L3,flitsRemote,"
+           "energyL1i,energyL1d,energyLds,energyL2,energyNoc,energyDram,"
+           "l2FlushesIssued,l2InvalidatesIssued,l2FlushesElided,"
+           "l2InvalidatesElided,linesWrittenBack,syncStallCycles,"
+           "directoryEvictions,sharerInvalidations,simEvents,"
+           "tableMaxEntries,staleReads,hostVisibilityViolations\n";
+}
+
+std::string
+CsvStatSink::row(const StatRecord &rec)
+{
+    const RunResult &r = rec.result;
+    std::string out;
+    appendCsvCell(out, rec.sweep);
+    out += ',';
+    appendCsvCell(out, rec.label);
+    out += rec.ok ? ",1," : ",0,";
+    appendCsvCell(out, rec.error);
+    out += ',';
+    appendCsvCell(out, r.workload);
+    out += ',';
+    appendCsvCell(out, r.protocol);
+    appendCsvU64(out, static_cast<std::uint64_t>(r.numChiplets));
+    appendCsvU64(out, r.cycles);
+    appendCsvU64(out, r.kernels);
+    appendCsvU64(out, r.accesses);
+    appendCsvU64(out, r.l1.hits);
+    appendCsvU64(out, r.l1.misses);
+    appendCsvU64(out, r.l2.hits);
+    appendCsvU64(out, r.l2.misses);
+    appendCsvU64(out, r.l3.hits);
+    appendCsvU64(out, r.l3.misses);
+    appendCsvU64(out, r.dramAccesses);
+    appendCsvU64(out, r.flits.l1l2);
+    appendCsvU64(out, r.flits.l2l3);
+    appendCsvU64(out, r.flits.remote);
+    appendCsvDouble(out, r.energy.l1i);
+    appendCsvDouble(out, r.energy.l1d);
+    appendCsvDouble(out, r.energy.lds);
+    appendCsvDouble(out, r.energy.l2);
+    appendCsvDouble(out, r.energy.noc);
+    appendCsvDouble(out, r.energy.dram);
+    appendCsvU64(out, r.l2FlushesIssued);
+    appendCsvU64(out, r.l2InvalidatesIssued);
+    appendCsvU64(out, r.l2FlushesElided);
+    appendCsvU64(out, r.l2InvalidatesElided);
+    appendCsvU64(out, r.linesWrittenBack);
+    appendCsvU64(out, r.syncStallCycles);
+    appendCsvU64(out, r.directoryEvictions);
+    appendCsvU64(out, r.sharerInvalidations);
+    appendCsvU64(out, r.simEvents);
+    appendCsvU64(out, r.tableMaxEntries);
+    appendCsvU64(out, r.staleReads);
+    appendCsvU64(out, r.hostVisibilityViolations);
+    out += '\n';
+    return out;
+}
+
+void
+CsvStatSink::emit(const StatRecord &rec)
+{
+    if (!_wroteHeader) {
+        const std::string h = header();
+        std::fwrite(h.data(), 1, h.size(), _out);
+        _wroteHeader = true;
+    }
+    const std::string line = row(rec);
+    std::fwrite(line.data(), 1, line.size(), _out);
+    std::fflush(_out);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL reader (round-trip tests, downstream tooling)
+// ---------------------------------------------------------------------------
+
+bool
+parseJsonlStats(const std::string &text, std::vector<StatRecord> *out)
+{
+    std::vector<StatRecord> records;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+
+        JsonLineParser p(line);
+        if (!p.parse())
+            return false;
+        std::string type;
+        if (!p.str("type", &type))
+            return false;
+        if (type == "result") {
+            StatRecord rec;
+            std::uint64_t okFlag = 0;
+            if (!p.str("sweep", &rec.sweep) ||
+                !p.str("label", &rec.label) || !p.u64("ok", &okFlag) ||
+                !p.str("error", &rec.error) ||
+                !parseRunResultFields(p, &rec.result)) {
+                return false;
+            }
+            rec.ok = okFlag != 0;
+            records.push_back(std::move(rec));
+        } else if (type == "phase") {
+            if (records.empty())
+                return false; // phase line before any result line
+            KernelPhaseStats ph;
+            std::uint64_t index = 0;
+            if (!p.u64("index", &index) ||
+                !parseKernelPhaseFields(p, &ph)) {
+                return false;
+            }
+            std::vector<KernelPhaseStats> &phases =
+                records.back().result.kernelPhases;
+            if (index != phases.size())
+                return false; // out-of-order phase line
+            phases.push_back(std::move(ph));
+        } else {
+            return false;
+        }
+    }
+    *out = std::move(records);
+    return true;
+}
+
+std::unique_ptr<StatSink>
+makeStatSink(StatFormat format, std::FILE *out)
+{
+    switch (format) {
+      case StatFormat::Ascii:
+        return std::make_unique<AsciiStatSink>(out);
+      case StatFormat::Jsonl:
+        return std::make_unique<JsonlStatSink>(out);
+      case StatFormat::Csv:
+        return std::make_unique<CsvStatSink>(out);
+    }
+    return nullptr;
+}
+
+} // namespace cpelide

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Structured stat sinks: pluggable backends for run results.
+ *
+ * Every bench renders human-readable AsciiTables; a StatSink is the
+ * machine-readable alternative selected with --format=json|csv. The
+ * harness feeds one StatRecord per completed job, in sweep-spec order
+ * (never completion order), and the records carry only simulated
+ * quantities — no wall-clock or worker fields — so the emitted stream
+ * is byte-identical whatever CPELIDE_JOBS is.
+ *
+ * Backends:
+ *  - AsciiStatSink: generic fixed-column summary table (the benches'
+ *    own bespoke tables remain the default human output);
+ *  - JsonlStatSink: one flat "result" object per record followed by
+ *    one "phase" object per kernel launch (see run_result_io.hh for
+ *    the key set); JsonlStatReader re-parses the stream exactly;
+ *  - CsvStatSink: one header plus one row per record (aggregates
+ *    only; phases don't fit a rectangular schema).
+ */
+
+#ifndef CPELIDE_STATS_STAT_SINK_HH
+#define CPELIDE_STATS_STAT_SINK_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+enum class StatFormat
+{
+    Ascii,
+    Jsonl,
+    Csv,
+};
+
+/**
+ * Parse a --format= value ("ascii", "json", "jsonl", "csv").
+ * @return false on anything else, leaving @p out untouched.
+ */
+bool parseStatFormat(const std::string &name, StatFormat *out);
+
+/** One job's worth of structured output. */
+struct StatRecord
+{
+    std::string sweep; //!< sweep name (bench identity)
+    std::string label; //!< job label within the sweep
+    bool ok = true;
+    std::string error; //!< failure summary when !ok
+    RunResult result;
+};
+
+/** Abstract backend; emit() is called once per record, in order. */
+class StatSink
+{
+  public:
+    virtual ~StatSink() = default;
+
+    virtual void emit(const StatRecord &rec) = 0;
+
+    /** Flush any trailer after the last record. */
+    virtual void finish() {}
+};
+
+/** Generic fixed-column summary table (stdout-style human output). */
+class AsciiStatSink : public StatSink
+{
+  public:
+    /** @param out destination stream; not owned. */
+    explicit AsciiStatSink(std::FILE *out) : _out(out) {}
+
+    void emit(const StatRecord &rec) override;
+    void finish() override;
+
+  private:
+    std::FILE *_out;
+    std::vector<StatRecord> _records;
+};
+
+/** One JSONL object per record + one per kernel phase. */
+class JsonlStatSink : public StatSink
+{
+  public:
+    explicit JsonlStatSink(std::FILE *out) : _out(out) {}
+
+    void emit(const StatRecord &rec) override;
+
+    /** Render one record's lines (without writing them anywhere). */
+    static std::string render(const StatRecord &rec);
+
+  private:
+    std::FILE *_out;
+};
+
+/** CSV with a fixed header; aggregates only. */
+class CsvStatSink : public StatSink
+{
+  public:
+    explicit CsvStatSink(std::FILE *out) : _out(out) {}
+
+    void emit(const StatRecord &rec) override;
+
+    static std::string header();
+    static std::string row(const StatRecord &rec);
+
+  private:
+    std::FILE *_out;
+    bool _wroteHeader = false;
+};
+
+/**
+ * Re-parse a JsonlStatSink stream: "result" lines become records,
+ * subsequent "phase" lines re-attach to the preceding record.
+ * @return false on any malformed or out-of-order line.
+ */
+bool parseJsonlStats(const std::string &text,
+                     std::vector<StatRecord> *out);
+
+/** Construct the sink for @p format writing to @p out (not owned). */
+std::unique_ptr<StatSink> makeStatSink(StatFormat format, std::FILE *out);
+
+} // namespace cpelide
+
+#endif // CPELIDE_STATS_STAT_SINK_HH

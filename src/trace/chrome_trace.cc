@@ -1,0 +1,199 @@
+#include "trace/chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/json_util.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** The uniform track remap: kCpTrack -> 0, chiplet c -> c + 1. */
+int
+exportTid(int raw)
+{
+    return raw + 1;
+}
+
+void
+appendMetadata(std::string &out, const char *what, int pid, int tid,
+               const std::string &name, bool thread)
+{
+    json::appendSep(out);
+    out += "{";
+    json::appendStr(out, "name", what);
+    json::appendStr(out, "ph", "M");
+    json::appendI64(out, "pid", pid);
+    if (thread)
+        json::appendI64(out, "tid", tid);
+    out += ",\"args\":{";
+    json::appendStr(out, "name", name);
+    out += "}}";
+}
+
+void
+appendEvent(std::string &out, int pid, const TraceEvent &e)
+{
+    json::appendSep(out);
+    out += "{";
+    json::appendStr(out, "name", e.name);
+    json::appendStr(out, "cat", e.cat.empty() ? "sim" : e.cat);
+    if (e.kind == TraceEvent::Kind::Span) {
+        json::appendStr(out, "ph", "X");
+        json::appendU64(out, "ts", e.ts);
+        json::appendU64(out, "dur", e.dur);
+    } else {
+        json::appendStr(out, "ph", "i");
+        json::appendU64(out, "ts", e.ts);
+        json::appendStr(out, "s", "t"); // instant scope: thread
+    }
+    json::appendI64(out, "pid", pid);
+    json::appendI64(out, "tid", exportTid(e.tid));
+    if (!e.args.empty()) {
+        out += ",\"args\":{";
+        for (const auto &kv : e.args)
+            json::appendU64(out, kv.first.c_str(), kv.second);
+        out += "}";
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceProcess> &processes)
+{
+    std::string out = "{\"traceEvents\":[";
+
+    // Metadata first: process names, then thread names per track.
+    for (const TraceProcess &p : processes) {
+        appendMetadata(out, "process_name", p.pid, 0, p.name, false);
+        if (!p.threadNames.empty()) {
+            for (const auto &tn : p.threadNames) {
+                appendMetadata(out, "thread_name", p.pid,
+                               exportTid(tn.first), tn.second, true);
+            }
+        } else {
+            appendMetadata(out, "thread_name", p.pid,
+                           exportTid(kCpTrack), "CP", true);
+            for (int c = 0; c < p.numChiplets; ++c) {
+                appendMetadata(out, "thread_name", p.pid, exportTid(c),
+                               "chiplet " + std::to_string(c), true);
+            }
+        }
+    }
+
+    // Data events, stably sorted by timestamp across all processes so
+    // `ts` is monotonically non-decreasing.
+    std::vector<std::pair<int, const TraceEvent *>> flat;
+    for (const TraceProcess &p : processes) {
+        for (const TraceEvent &e : p.events)
+            flat.emplace_back(p.pid, &e);
+    }
+    std::stable_sort(flat.begin(), flat.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second->ts < b.second->ts;
+                     });
+    for (const auto &pe : flat)
+        appendEvent(out, pe.first, *pe.second);
+
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+TraceArchive &
+TraceArchive::global()
+{
+    static TraceArchive archive;
+    return archive;
+}
+
+int
+TraceArchive::append(const std::string &name, int num_chiplets,
+                     std::vector<TraceEvent> events)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    TraceProcess p;
+    p.pid = _nextPid++;
+    p.name = name;
+    p.numChiplets = num_chiplets;
+    p.events = std::move(events);
+    _processes.push_back(std::move(p));
+    return _processes.back().pid;
+}
+
+void
+TraceArchive::addWorkerSpan(int worker, const std::string &label,
+                            double start_seconds, double dur_seconds)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::Span;
+    e.name = label;
+    e.cat = "exec";
+    e.tid = worker; // -1 (caller) remaps to tid 0, like the CP track
+    e.ts = static_cast<Tick>(start_seconds * 1e6);
+    e.dur = static_cast<Tick>(dur_seconds * 1e6);
+    _workerSpans.push_back(std::move(e));
+}
+
+std::vector<TraceProcess>
+TraceArchive::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<TraceProcess> procs;
+    if (!_workerSpans.empty()) {
+        TraceProcess w;
+        w.pid = 0;
+        w.name = "exec workers";
+        int maxWorker = -1;
+        for (const TraceEvent &e : _workerSpans)
+            maxWorker = std::max(maxWorker, e.tid);
+        w.threadNames.emplace_back(-1, "caller");
+        for (int i = 0; i <= maxWorker; ++i)
+            w.threadNames.emplace_back(i, "worker " + std::to_string(i));
+        w.events = _workerSpans;
+        procs.push_back(std::move(w));
+    }
+    procs.insert(procs.end(), _processes.begin(), _processes.end());
+    return procs;
+}
+
+std::string
+TraceArchive::renderJson() const
+{
+    return chromeTraceJson(snapshot());
+}
+
+bool
+TraceArchive::writeTo(const std::string &path) const
+{
+    const std::string doc = renderJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return n == doc.size();
+}
+
+std::size_t
+TraceArchive::processCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _processes.size();
+}
+
+void
+TraceArchive::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _processes.clear();
+    _workerSpans.clear();
+    _nextPid = 1;
+}
+
+} // namespace cpelide

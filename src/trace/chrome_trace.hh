@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Chrome trace_event JSON export (chrome://tracing, Perfetto).
+ *
+ * A TraceProcess is one simulated run: its events (sim-tick
+ * timestamps, exported as microseconds — 1 tick = 1 us) render as one
+ * process with one named thread per track. Track ids remap uniformly
+ * as `exported tid = raw tid + 1`, so the CP track (kCpTrack == -1)
+ * becomes tid 0 named "CP" and chiplet c becomes tid c+1 named
+ * "chiplet c". Processes with explicit threadNames (the exec-worker
+ * pseudo-process) use the same remap with their own names.
+ *
+ * TraceArchive is the process-wide accumulator behind CPELIDE_TRACE:
+ * each finished run appends (in deterministic merge order — the
+ * harness appends sweep outcomes in spec order, never in completion
+ * order), and the file is rewritten after each append so it is always
+ * valid JSON.
+ */
+
+#ifndef CPELIDE_TRACE_CHROME_TRACE_HH
+#define CPELIDE_TRACE_CHROME_TRACE_HH
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cpelide
+{
+
+/** One rendered process of a Chrome trace. */
+struct TraceProcess
+{
+    int pid = 1;
+    std::string name; //!< process_name metadata (e.g. the job label)
+    /** Chiplet count: names tids 1..n "chiplet 0..n-1" and 0 "CP". */
+    int numChiplets = 0;
+    /** Explicit (raw tid, name) pairs; overrides the chiplet naming. */
+    std::vector<std::pair<int, std::string>> threadNames;
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * Render @p processes as a complete `{"traceEvents": [...]}` document.
+ * Metadata records come first; data events are stably sorted by
+ * timestamp, so `ts` is monotonically non-decreasing over the data
+ * records (asserted by the golden-file test).
+ */
+std::string chromeTraceJson(const std::vector<TraceProcess> &processes);
+
+/** Process-wide trace accumulator (see file comment). */
+class TraceArchive
+{
+  public:
+    /** The singleton the harness exports through. */
+    static TraceArchive &global();
+
+    /**
+     * Append one run's events as the next process (pids count up from
+     * 1 in append order). @return the assigned pid.
+     */
+    int append(const std::string &name, int num_chiplets,
+               std::vector<TraceEvent> events);
+
+    /**
+     * Record one job's wall-clock execution on the exec-worker
+     * pseudo-process (pid 0). Worker -1 (the serial caller thread)
+     * renders as "caller". Wall-clock: this is the one deliberately
+     * nondeterministic track; sim tracks never depend on it.
+     */
+    void addWorkerSpan(int worker, const std::string &label,
+                       double start_seconds, double dur_seconds);
+
+    /** Render everything appended so far. */
+    std::string renderJson() const;
+
+    /** Rewrite @p path with renderJson(). @return false on I/O error. */
+    bool writeTo(const std::string &path) const;
+
+    std::size_t processCount() const;
+
+    /** Drop all recorded processes (tests). */
+    void clear();
+
+  private:
+    std::vector<TraceProcess> snapshot() const;
+
+    mutable std::mutex _mutex;
+    std::vector<TraceProcess> _processes;
+    std::vector<TraceEvent> _workerSpans;
+    int _nextPid = 1;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_TRACE_CHROME_TRACE_HH

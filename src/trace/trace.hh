@@ -1,0 +1,130 @@
+/**
+ * @file
+ * TraceSession: low-overhead phase-level event recording.
+ *
+ * A session collects spans (a named interval on one track) and instant
+ * events (a point on one track), all timestamped in *simulated ticks*,
+ * never wall-clock — so a trace is bit-identical however many exec
+ * workers ran the simulation. Tracks are chiplets (tid == ChipletId)
+ * plus the command-processor track (kCpTrack); the Chrome exporter
+ * (trace/chrome_trace.hh) maps them to named threads.
+ *
+ * Tracing is opt-in and zero-cost when off: producers hold a
+ * `TraceSession *` that is nullptr when disabled, and every
+ * instrumentation site is guarded by that single branch. Events embed
+ * small integer args (sync-op counts, dirty lines) for the Perfetto
+ * detail pane.
+ *
+ * Recording sites that don't know the current simulated time (the
+ * memory system processing an acquire/release) read the session's
+ * `now` cursor, which GpuSystem::run advances at each phase boundary.
+ */
+
+#ifndef CPELIDE_TRACE_TRACE_HH
+#define CPELIDE_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Track id of the global command processor (not a chiplet). */
+constexpr int kCpTrack = -1;
+
+/** One recorded span or instant event. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Span,    //!< interval [ts, ts + dur] on a track
+        Instant, //!< point at ts on a track
+    };
+
+    Kind kind = Kind::Instant;
+    std::string name;
+    std::string cat; //!< Chrome category ("kernel", "sync", "mem", ...)
+    int tid = kCpTrack;
+    Tick ts = 0;
+    Tick dur = 0; //!< spans only
+
+    /** Small integer arguments shown in the trace viewer detail pane. */
+    std::vector<std::pair<std::string, std::uint64_t>> args;
+
+    TraceEvent &
+    arg(std::string key, std::uint64_t value)
+    {
+        args.emplace_back(std::move(key), value);
+        return *this;
+    }
+};
+
+/** Per-run collector of trace events (see file comment). */
+class TraceSession
+{
+  public:
+    /** Advance the sim-time cursor instant events record against. */
+    void setNow(Tick t) { _now = t; }
+    Tick now() const { return _now; }
+
+    /** Record the span [start, end] on track @p tid. */
+    TraceEvent &
+    span(std::string name, std::string cat, int tid, Tick start,
+         Tick end)
+    {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::Span;
+        e.name = std::move(name);
+        e.cat = std::move(cat);
+        e.tid = tid;
+        e.ts = start;
+        e.dur = end >= start ? end - start : 0;
+        _events.push_back(std::move(e));
+        return _events.back();
+    }
+
+    /** Record an instant at @p ts on track @p tid. */
+    TraceEvent &
+    instant(std::string name, std::string cat, int tid, Tick ts)
+    {
+        TraceEvent e;
+        e.name = std::move(name);
+        e.cat = std::move(cat);
+        e.tid = tid;
+        e.ts = ts;
+        _events.push_back(std::move(e));
+        return _events.back();
+    }
+
+    /** An instant at the current sim-time cursor. */
+    TraceEvent &
+    instantNow(std::string name, std::string cat, int tid)
+    {
+        return instant(std::move(name), std::move(cat), tid, _now);
+    }
+
+    const std::vector<TraceEvent> &events() const { return _events; }
+    std::size_t size() const { return _events.size(); }
+    bool empty() const { return _events.empty(); }
+
+    /** Move the recorded events out (the session becomes empty). */
+    std::vector<TraceEvent>
+    take()
+    {
+        std::vector<TraceEvent> out = std::move(_events);
+        _events.clear();
+        return out;
+    }
+
+  private:
+    Tick _now = 0;
+    std::vector<TraceEvent> _events;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_TRACE_TRACE_HH

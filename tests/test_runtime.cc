@@ -138,10 +138,17 @@ TEST(Runtime, DoubleSynchronizePanics)
     rt.launchKernel(std::move(k));
     rt.deviceSynchronize("once");
     try {
-        rt.deviceSynchronize("twice");
+        rt.deviceSynchronize("second");
         FAIL() << "expected SimPanicError";
     } catch (const SimPanicError &e) {
-        EXPECT_NE(std::string(e.what()).find("twice"), std::string::npos);
+        // The message must name the offending label and point at the
+        // fix (a fresh Runtime / RunRequest per measurement).
+        const std::string what = e.what();
+        EXPECT_NE(what.find("deviceSynchronize('second')"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("called twice"), std::string::npos) << what;
+        EXPECT_NE(what.find("RunRequest"), std::string::npos) << what;
     }
 }
 

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * StatSink tests: the JSONL round trip (render -> parse -> identical
+ * records, phases included), the CSV schema, the compact kernel-phase
+ * codec the journal uses, and format parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+#include "stats/run_result_io.hh"
+#include "stats/stat_sink.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+StatRecord
+measuredRecord(const std::string &workload, ProtocolKind kind)
+{
+    RunRequest req;
+    req.workload = workload;
+    req.protocol = kind;
+    req.chiplets = 2;
+    req.scale = 0.1;
+    StatRecord rec;
+    rec.sweep = "test";
+    rec.label = workload + "/" + protocolName(kind) + "/2c";
+    rec.result = run(req);
+    return rec;
+}
+
+TEST(StatFormat, ParsesKnownNamesOnly)
+{
+    StatFormat f = StatFormat::Ascii;
+    EXPECT_TRUE(parseStatFormat("json", &f));
+    EXPECT_EQ(f, StatFormat::Jsonl);
+    EXPECT_TRUE(parseStatFormat("jsonl", &f));
+    EXPECT_EQ(f, StatFormat::Jsonl);
+    EXPECT_TRUE(parseStatFormat("csv", &f));
+    EXPECT_EQ(f, StatFormat::Csv);
+    EXPECT_TRUE(parseStatFormat("ascii", &f));
+    EXPECT_EQ(f, StatFormat::Ascii);
+    f = StatFormat::Csv;
+    EXPECT_FALSE(parseStatFormat("xml", &f));
+    EXPECT_EQ(f, StatFormat::Csv); // untouched on failure
+}
+
+TEST(StatSink, JsonlRoundTripReproducesRunResults)
+{
+    std::vector<StatRecord> records;
+    records.push_back(measuredRecord("Square", ProtocolKind::CpElide));
+    records.push_back(measuredRecord("Square", ProtocolKind::Baseline));
+    StatRecord failed;
+    failed.sweep = "test";
+    failed.label = "broken/CPElide/2c";
+    failed.ok = false;
+    failed.error = "panic: \"quoted\" and \\slashed\\ message";
+    records.push_back(failed);
+
+    // Every phase must have travelled: the measured runs carry one
+    // phase per kernel plus the final barrier.
+    ASSERT_FALSE(records[0].result.kernelPhases.empty());
+
+    std::string stream;
+    for (const StatRecord &rec : records)
+        stream += JsonlStatSink::render(rec);
+
+    std::vector<StatRecord> back;
+    ASSERT_TRUE(parseJsonlStats(stream, &back));
+    ASSERT_EQ(back.size(), records.size());
+
+    // Strong equality: re-rendering the parsed records reproduces the
+    // byte stream, so every field (aggregates and phases) survived.
+    std::string again;
+    for (const StatRecord &rec : back)
+        again += JsonlStatSink::render(rec);
+    EXPECT_EQ(stream, again);
+
+    // Spot-check values survived as values, not just as text.
+    EXPECT_EQ(back[0].result.cycles, records[0].result.cycles);
+    EXPECT_EQ(back[0].result.kernelPhases.size(),
+              records[0].result.kernelPhases.size());
+    EXPECT_EQ(back[0].result.kernelPhases[0].name,
+              records[0].result.kernelPhases[0].name);
+    EXPECT_EQ(back[0].result.kernelPhases.back().finalBarrier, true);
+    EXPECT_FALSE(back[2].ok);
+    EXPECT_EQ(back[2].error, failed.error);
+}
+
+TEST(StatSink, JsonlOmitsWallClockFields)
+{
+    const std::string line =
+        JsonlStatSink::render(measuredRecord("Square",
+                                             ProtocolKind::CpElide));
+    // Determinism contract: no wall-clock or worker fields, so the
+    // stream is byte-identical whatever CPELIDE_JOBS is.
+    EXPECT_EQ(line.find("wallSeconds"), std::string::npos);
+    EXPECT_EQ(line.find("worker"), std::string::npos);
+    EXPECT_EQ(line.find("peakRssKb"), std::string::npos);
+}
+
+TEST(StatSink, ParseJsonlRejectsMalformedStreams)
+{
+    std::vector<StatRecord> out;
+    // A phase line with no preceding result line.
+    EXPECT_FALSE(parseJsonlStats(
+        "{\"type\":\"phase\",\"label\":\"x\",\"index\":0}\n", &out));
+    // Unknown type.
+    EXPECT_FALSE(parseJsonlStats("{\"type\":\"banana\"}\n", &out));
+    // Out-of-order phase index.
+    const std::string good =
+        JsonlStatSink::render(measuredRecord("Square",
+                                             ProtocolKind::CpElide));
+    std::string reordered = good;
+    const std::size_t i0 = reordered.find("\"index\":0");
+    ASSERT_NE(i0, std::string::npos);
+    reordered.replace(i0, 9, "\"index\":7");
+    EXPECT_FALSE(parseJsonlStats(reordered, &out));
+}
+
+TEST(StatSink, CsvHeaderAndRowsAlign)
+{
+    const std::string header = CsvStatSink::header();
+    EXPECT_EQ(header.rfind("sweep,label,ok,error,workload", 0), 0u);
+
+    StatRecord rec = measuredRecord("Square", ProtocolKind::CpElide);
+    rec.error = "contains, comma and \"quote\"";
+    rec.ok = false;
+    const std::string row = CsvStatSink::row(rec);
+    // Quoting keeps the column count identical to the header's.
+    const auto columns = [](const std::string &line) {
+        std::size_t n = 1;
+        bool quoted = false;
+        for (const char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(columns(row), columns(header));
+    EXPECT_NE(row.find("\"contains, comma and \"\"quote\"\"\""),
+              std::string::npos);
+}
+
+TEST(StatSink, CompactPhaseCodecRoundTripsHostileNames)
+{
+    std::vector<KernelPhaseStats> phases(2);
+    phases[0].name = "k;with,delims%and\"quotes\"";
+    phases[0].stream = 3;
+    phases[0].start = 10;
+    phases[0].end = 99;
+    phases[0].syncStallCycles = 7;
+    phases[0].acquires = 1;
+    phases[0].releases = 2;
+    phases[0].conservative = true;
+    phases[0].l2FlushesIssued = 4;
+    phases[0].accesses = 1234;
+    phases[0].l2.hits = 56;
+    phases[0].l2.misses = 78;
+    phases[1].name = "<final-barrier>";
+    phases[1].finalBarrier = true;
+    phases[1].start = 99;
+    phases[1].end = 120;
+
+    const std::string enc = encodeKernelPhasesCompact(phases);
+    std::vector<KernelPhaseStats> back;
+    ASSERT_TRUE(decodeKernelPhasesCompact(enc, &back));
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, phases[0].name);
+    EXPECT_EQ(back[0].stream, 3);
+    EXPECT_TRUE(back[0].conservative);
+    EXPECT_EQ(back[0].accesses, 1234u);
+    EXPECT_EQ(back[0].l2.hits, 56u);
+    EXPECT_EQ(back[0].l2.misses, 78u);
+    EXPECT_TRUE(back[1].finalBarrier);
+    EXPECT_EQ(back[1].name, "<final-barrier>");
+    EXPECT_EQ(back[1].end, 120u);
+
+    // Empty vector encodes to the empty string and back.
+    EXPECT_EQ(encodeKernelPhasesCompact({}), "");
+    ASSERT_TRUE(decodeKernelPhasesCompact("", &back));
+    EXPECT_TRUE(back.empty());
+    // Garbage is rejected, not misparsed.
+    EXPECT_FALSE(decodeKernelPhasesCompact("not;a;phase", &back));
+}
+
+TEST(StatSink, AsciiSinkRendersSummaryTable)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    {
+        AsciiStatSink sink(tmp);
+        StatRecord rec = measuredRecord("Square", ProtocolKind::CpElide);
+        sink.emit(rec);
+        sink.finish();
+    }
+    std::fflush(tmp);
+    std::rewind(tmp);
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0)
+        text.append(buf, n);
+    std::fclose(tmp);
+    EXPECT_NE(text.find("Square/CPElide/2c"), std::string::npos);
+    EXPECT_NE(text.find("cycles"), std::string::npos);
+}
+
+TEST(StatSink, MakeStatSinkCoversEveryFormat)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    EXPECT_NE(makeStatSink(StatFormat::Ascii, tmp), nullptr);
+    EXPECT_NE(makeStatSink(StatFormat::Jsonl, tmp), nullptr);
+    EXPECT_NE(makeStatSink(StatFormat::Csv, tmp), nullptr);
+    std::fclose(tmp);
+}
+
+} // namespace
+} // namespace cpelide

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Trace-layer tests: TraceSession recording, Chrome trace_event JSON
+ * export (golden file, schema keys, monotonic ts, pid/tid mapping),
+ * per-kernel phase stats summing to the aggregate counters, and the
+ * CPELIDE_TRACE end-to-end path through the harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/trace.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+RunRequest
+squareRequest(ProtocolKind kind, TraceSession *trace)
+{
+    RunRequest req;
+    req.workload = "Square";
+    req.protocol = kind;
+    req.chiplets = 4;
+    req.scale = 0.1;
+    req.trace = trace;
+    return req;
+}
+
+/** All "ts" values in document order (events only carry "ts"). */
+std::vector<std::uint64_t>
+extractTs(const std::string &json)
+{
+    std::vector<std::uint64_t> out;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        out.push_back(std::strtoull(json.c_str() + pos, nullptr, 10));
+    }
+    return out;
+}
+
+TEST(TraceSession, RecordsSpansInstantsAndArgs)
+{
+    TraceSession s;
+    EXPECT_TRUE(s.empty());
+
+    s.span("k", "kernel", 2, 10, 50).arg("wgs", 8);
+    s.setNow(60);
+    s.instantNow("l2-release", "mem", 0).arg("dirty_lines", 3);
+    ASSERT_EQ(s.size(), 2u);
+
+    const TraceEvent &sp = s.events()[0];
+    EXPECT_EQ(sp.kind, TraceEvent::Kind::Span);
+    EXPECT_EQ(sp.name, "k");
+    EXPECT_EQ(sp.tid, 2);
+    EXPECT_EQ(sp.ts, 10u);
+    EXPECT_EQ(sp.dur, 40u);
+    ASSERT_EQ(sp.args.size(), 1u);
+    EXPECT_EQ(sp.args[0].first, "wgs");
+    EXPECT_EQ(sp.args[0].second, 8u);
+
+    const TraceEvent &in = s.events()[1];
+    EXPECT_EQ(in.kind, TraceEvent::Kind::Instant);
+    EXPECT_EQ(in.ts, 60u);
+
+    const std::vector<TraceEvent> taken = s.take();
+    EXPECT_EQ(taken.size(), 2u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(ChromeTrace, GoldenJsonDocument)
+{
+    TraceSession s;
+    s.instant("sync-plan", "cp", kCpTrack, 5);
+    s.span("k0", "kernel", 0, 10, 30).arg("wgs", 4);
+
+    TraceProcess p;
+    p.pid = 1;
+    p.name = "toy";
+    p.numChiplets = 2;
+    p.events = s.events();
+
+    // The exact document: metadata first (process name, CP track at
+    // tid 0, chiplets at tid c + 1), then data events sorted by ts.
+    const std::string expected =
+        "{\"traceEvents\":["
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"toy\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"CP\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"chiplet 0\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+        "\"args\":{\"name\":\"chiplet 1\"}},"
+        "{\"name\":\"sync-plan\",\"cat\":\"cp\",\"ph\":\"i\",\"ts\":5,"
+        "\"s\":\"t\",\"pid\":1,\"tid\":0},"
+        "{\"name\":\"k0\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":10,"
+        "\"dur\":20,\"pid\":1,\"tid\":1,\"args\":{\"wgs\":4}}"
+        "],\"displayTimeUnit\":\"ms\"}";
+    EXPECT_EQ(chromeTraceJson({p}), expected);
+}
+
+TEST(ChromeTrace, ArchiveAssignsPidsAndMergesSorted)
+{
+    TraceArchive archive; // local, not the global singleton
+    TraceSession a, b;
+    a.span("ka", "kernel", 0, 100, 200);
+    b.span("kb", "kernel", 1, 50, 80);
+    EXPECT_EQ(archive.append("run-a", 2, a.take()), 1);
+    EXPECT_EQ(archive.append("run-b", 2, b.take()), 2);
+    archive.addWorkerSpan(0, "run-a", 0.5, 1.5);
+    EXPECT_EQ(archive.processCount(), 2u);
+
+    const std::string json = archive.renderJson();
+    // Worker pseudo-process plus both run processes are present.
+    EXPECT_NE(json.find("\"name\":\"exec workers\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"worker 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"run-a\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"run-b\""), std::string::npos);
+    // Data events are merged in ts order across processes.
+    const std::vector<std::uint64_t> ts = extractTs(json);
+    ASSERT_FALSE(ts.empty());
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        EXPECT_GE(ts[i], ts[i - 1]);
+
+    archive.clear();
+    EXPECT_EQ(archive.processCount(), 0u);
+    // Pids restart after clear.
+    EXPECT_EQ(archive.append("again", 1, {}), 1);
+}
+
+TEST(Trace, RunRecordsPerChipletKernelSpansAndSyncInstants)
+{
+    TraceSession session;
+    const RunResult r =
+        run(squareRequest(ProtocolKind::Baseline, &session));
+    ASSERT_FALSE(session.empty());
+
+    int kernelSpans = 0, syncSpans = 0, releases = 0, plans = 0;
+    bool finalBarrier = false;
+    std::set<int> kernelTids;
+    for (const TraceEvent &e : session.events()) {
+        if (e.kind == TraceEvent::Kind::Span && e.cat == "kernel") {
+            ++kernelSpans;
+            kernelTids.insert(e.tid);
+            EXPECT_GE(e.tid, 0);
+            EXPECT_LT(e.tid, 4);
+        }
+        if (e.kind == TraceEvent::Kind::Span && e.cat == "sync") {
+            ++syncSpans;
+            EXPECT_EQ(e.tid, kCpTrack);
+            if (e.name == "final-barrier")
+                finalBarrier = true;
+        }
+        if (e.name == "l2-release")
+            ++releases;
+        if (e.name == "sync-plan")
+            ++plans;
+    }
+    // Every kernel produces one span per chiplet it ran on, one sync
+    // span and one sync-plan instant on the CP track; the Baseline
+    // flushes at every boundary, so l2-release instants must appear.
+    EXPECT_EQ(kernelTids.size(), 4u);
+    EXPECT_EQ(kernelSpans, static_cast<int>(r.kernels) * 4);
+    EXPECT_EQ(plans, static_cast<int>(r.kernels));
+    EXPECT_GT(syncSpans, 0);
+    EXPECT_TRUE(finalBarrier);
+    EXPECT_GT(releases, 0);
+}
+
+TEST(Trace, IdenticalRunsProduceIdenticalEvents)
+{
+    TraceSession a, b;
+    run(squareRequest(ProtocolKind::CpElide, &a));
+    run(squareRequest(ProtocolKind::CpElide, &b));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].name, b.events()[i].name);
+        EXPECT_EQ(a.events()[i].tid, b.events()[i].tid);
+        EXPECT_EQ(a.events()[i].ts, b.events()[i].ts);
+        EXPECT_EQ(a.events()[i].dur, b.events()[i].dur);
+    }
+}
+
+TEST(Trace, TracingDoesNotPerturbMeasurement)
+{
+    TraceSession session;
+    const RunResult traced =
+        run(squareRequest(ProtocolKind::CpElide, &session));
+    const RunResult plain =
+        run(squareRequest(ProtocolKind::CpElide, nullptr));
+    EXPECT_EQ(traced.cycles, plain.cycles);
+    EXPECT_EQ(traced.accesses, plain.accesses);
+    EXPECT_EQ(traced.syncStallCycles, plain.syncStallCycles);
+    EXPECT_EQ(traced.l2FlushesElided, plain.l2FlushesElided);
+}
+
+TEST(Trace, KernelPhaseStatsSumToAggregates)
+{
+    const RunResult r =
+        run(squareRequest(ProtocolKind::Baseline, nullptr));
+    // One phase per launch plus the final barrier; they tile the run.
+    ASSERT_EQ(r.kernelPhases.size(), r.kernels + 1);
+    EXPECT_TRUE(r.kernelPhases.back().finalBarrier);
+    EXPECT_EQ(r.kernelPhases.back().name, "<final-barrier>");
+
+    std::uint64_t stall = 0, flushes = 0, invals = 0, flushElided = 0,
+                  invalElided = 0, written = 0, accesses = 0, hits = 0,
+                  misses = 0;
+    Tick prevEnd = 0;
+    for (const KernelPhaseStats &ph : r.kernelPhases) {
+        EXPECT_GE(ph.end, ph.start);
+        EXPECT_GE(ph.start, prevEnd);
+        prevEnd = ph.end;
+        stall += ph.syncStallCycles;
+        flushes += ph.l2FlushesIssued;
+        invals += ph.l2InvalidatesIssued;
+        flushElided += ph.l2FlushesElided;
+        invalElided += ph.l2InvalidatesElided;
+        written += ph.linesWrittenBack;
+        accesses += ph.accesses;
+        hits += ph.l2.hits;
+        misses += ph.l2.misses;
+    }
+    EXPECT_EQ(stall, r.syncStallCycles);
+    EXPECT_EQ(flushes, r.l2FlushesIssued);
+    EXPECT_EQ(invals, r.l2InvalidatesIssued);
+    EXPECT_EQ(flushElided, r.l2FlushesElided);
+    EXPECT_EQ(invalElided, r.l2InvalidatesElided);
+    EXPECT_EQ(written, r.linesWrittenBack);
+    EXPECT_EQ(accesses, r.accesses);
+    EXPECT_EQ(hits, r.l2.hits);
+    EXPECT_EQ(misses, r.l2.misses);
+    // The last phase ends when the run ends.
+    EXPECT_EQ(r.kernelPhases.back().end, r.cycles);
+}
+
+TEST(Trace, EnvTracePathExportsThroughTheHarness)
+{
+    const std::string path = ::testing::TempDir() + "cpelide_trace_test.json";
+    std::remove(path.c_str());
+    TraceArchive::global().clear();
+    ASSERT_EQ(setenv("CPELIDE_TRACE", path.c_str(), 1), 0);
+    const RunResult r =
+        run(squareRequest(ProtocolKind::CpElide, nullptr));
+    unsetenv("CPELIDE_TRACE");
+    // The harness harvested the internal session into the result and
+    // rewrote the trace file.
+    EXPECT_FALSE(r.traceEvents.empty());
+    EXPECT_EQ(TraceArchive::global().processCount(), 1u);
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string doc;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        doc.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"Square\""), std::string::npos);
+    TraceArchive::global().clear();
+}
+
+} // namespace
+} // namespace cpelide
