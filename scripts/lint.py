@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Repo lint: the structural rules CI enforces on the tree.
+
+Checks (each prints every violation; exit status 1 if any fired):
+
+ 1. include-guards: every header under src/ uses the canonical
+    CPELIDE_<DIR>_<FILE>_HH guard derived from its path, with matching
+    #ifndef / #define lines and a trailing ``#endif // GUARD`` comment,
+    so guards can never collide or drift when files move.
+
+ 2. single-getenv: ExecOptions::raw() (src/sim/exec_options.hh) is the
+    tree's only environment read. A stray getenv/secure_getenv would
+    bypass the typed knob table and the unknown-variable warning.
+
+ 3. no-cout: simulation code must not write to stdout; structured
+    output belongs to the stat sinks and the bench harness (stdout is
+    machine-parsed sweep output — a stray print corrupts it). Only
+    src/harness/ and src/stats/ may touch std::cout.
+
+Run from the repository root (CI does):  python3 scripts/lint.py
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Directories scanned for the getenv rule (tests intentionally use
+# setenv to toggle knobs, but must still not *read* the environment
+# directly).
+GETENV_DIRS = ["src", "bench", "examples"]
+GETENV_ALLOWED = {"src/sim/exec_options.hh"}
+GETENV_RE = re.compile(r"\b(?:secure_)?getenv\s*\(")
+
+# Only the harness (human/CLI frontend) and the stat sinks (structured
+# stdout writers) may use std::cout inside src/.
+COUT_ALLOWED_PREFIXES = ("src/harness/", "src/stats/")
+COUT_RE = re.compile(r"\bstd::cout\b")
+
+SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
+
+
+def rel(path: pathlib.Path) -> str:
+    return path.relative_to(ROOT).as_posix()
+
+
+def source_files(subdir: str):
+    for path in sorted((ROOT / subdir).rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            yield path
+
+
+def expected_guard(path: pathlib.Path) -> str:
+    parts = path.relative_to(ROOT / "src").with_suffix("").parts
+    return "CPELIDE_" + "_".join(p.upper() for p in parts) + "_HH"
+
+
+def check_include_guards() -> list:
+    errors = []
+    for path in source_files("src"):
+        if path.suffix != ".hh":
+            continue
+        guard = expected_guard(path)
+        text = path.read_text()
+        ifndef = re.search(r"^#ifndef\s+(\S+)\s*$", text, re.M)
+        if not ifndef:
+            errors.append(f"{rel(path)}: no include guard (#ifndef)")
+            continue
+        if ifndef.group(1) != guard:
+            errors.append(f"{rel(path)}: guard {ifndef.group(1)} should "
+                          f"be {guard}")
+            continue
+        if not re.search(rf"^#define\s+{re.escape(guard)}\s*$", text, re.M):
+            errors.append(f"{rel(path)}: #define does not match guard "
+                          f"{guard}")
+        if not text.rstrip().endswith(f"#endif // {guard}"):
+            errors.append(f"{rel(path)}: file must end with "
+                          f"'#endif // {guard}'")
+    return errors
+
+
+def check_single_getenv() -> list:
+    errors = []
+    for subdir in GETENV_DIRS:
+        for path in source_files(subdir):
+            if rel(path) in GETENV_ALLOWED:
+                continue
+            for n, line in enumerate(path.read_text().splitlines(), 1):
+                if GETENV_RE.search(line):
+                    errors.append(f"{rel(path)}:{n}: getenv outside "
+                                  "ExecOptions::raw(); read the knob from "
+                                  "ExecOptions::fromEnv() instead")
+    return errors
+
+
+def check_no_cout() -> list:
+    errors = []
+    for path in source_files("src"):
+        if rel(path).startswith(COUT_ALLOWED_PREFIXES):
+            continue
+        for n, line in enumerate(path.read_text().splitlines(), 1):
+            if COUT_RE.search(line):
+                errors.append(f"{rel(path)}:{n}: std::cout in simulation "
+                              "code; route output through a stat sink or "
+                              "the harness (stderr via log.hh for "
+                              "diagnostics)")
+    return errors
+
+
+def main() -> int:
+    checks = [
+        ("include-guards", check_include_guards),
+        ("single-getenv", check_single_getenv),
+        ("no-cout", check_no_cout),
+    ]
+    failed = False
+    for name, fn in checks:
+        errors = fn()
+        if errors:
+            failed = True
+            print(f"lint: {name}: {len(errors)} violation(s)")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"lint: {name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,431 @@
+#include "check/hb_checker.hh"
+
+#include <algorithm>
+
+#include "mem/data_space.hh"
+#include "sim/log.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+std::string
+chipletListStr(const std::vector<ChipletId> &v)
+{
+    std::string s = "{";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            s += ',';
+        s += std::to_string(v[i]);
+    }
+    s += '}';
+    return s;
+}
+
+} // namespace
+
+HbChecker::HbChecker(int num_chiplets, const DataSpace &space)
+    : _space(space),
+      _numChiplets(static_cast<std::size_t>(num_chiplets)),
+      _vc(_numChiplets, VectorClock(_numChiplets)),
+      _m(_numChiplets),
+      _kernelOf(_numChiplets, 0),
+      _releaseAttemptSeq(_numChiplets, 0),
+      _releaseCompleteSeq(_numChiplets, 0),
+      _invalAttemptSeq(_numChiplets, 0),
+      _invalKillSeq(_numChiplets, 0)
+{
+    panicIf(num_chiplets <= 0, "HbChecker needs at least one chiplet");
+}
+
+void
+HbChecker::beginKernel(std::uint64_t id, const std::string &name,
+                       const std::vector<ChipletId> &sched)
+{
+    LaunchRecord rec;
+    rec.id = id;
+    rec.name = name;
+    rec.sched = sched;
+    _launches.push_back(std::move(rec));
+    for (ChipletId c : sched)
+        _kernelOf[static_cast<std::size_t>(c)] = id;
+}
+
+void
+HbChecker::onSyncDecision(const std::vector<ChipletId> &acquires,
+                          const std::vector<ChipletId> &releases,
+                          std::uint64_t elided_acquires,
+                          std::uint64_t elided_releases, bool conservative)
+{
+    panicIf(_launches.empty(), "onSyncDecision before beginKernel");
+    LaunchRecord &rec = _launches.back();
+    rec.acquires = acquires;
+    rec.releases = releases;
+    rec.elidedAcquires = elided_acquires;
+    rec.elidedReleases = elided_releases;
+    rec.conservative = conservative;
+}
+
+void
+HbChecker::onKernelExecuting()
+{
+    panicIf(_launches.empty(), "onKernelExecuting before beginKernel");
+    // Epochs advance only after the launch synchronization completed:
+    // boundary flushes/invalidates therefore join exactly the epochs
+    // whose writes they cover, keeping the VC fast path sound.
+    for (ChipletId c : _launches.back().sched)
+        _vc[static_cast<std::size_t>(c)].advance(
+            static_cast<std::size_t>(c));
+}
+
+void
+HbChecker::onReleaseAttempt(ChipletId c)
+{
+    _releaseAttemptSeq[static_cast<std::size_t>(c)] = ++_seq;
+}
+
+void
+HbChecker::onReleaseComplete(ChipletId c)
+{
+    _releaseCompleteSeq[static_cast<std::size_t>(c)] = ++_seq;
+    _m.join(_vc[static_cast<std::size_t>(c)]);
+}
+
+void
+HbChecker::onInvalidateAttempt(ChipletId c)
+{
+    _invalAttemptSeq[static_cast<std::size_t>(c)] = ++_seq;
+}
+
+void
+HbChecker::onInvalidateComplete(ChipletId c)
+{
+    // Whole-L2 invalidate: every copy record of c dies (liveness is
+    // "asOf newer than the kill seq", so this is O(1)).
+    _invalKillSeq[static_cast<std::size_t>(c)] = ++_seq;
+    _vc[static_cast<std::size_t>(c)].join(_m);
+}
+
+void
+HbChecker::onLinePublished(DsId ds, std::uint64_t line, Addr addr)
+{
+    if (_space.racy(ds))
+        return;
+    LineState &ls = state(addr, ds, line);
+    // An L2 writeback always carries the line's newest value (versions
+    // advance in place in the writer's L2), so it publishes the last
+    // write. Dropped flushes never reach this hook.
+    ls.published = true;
+}
+
+void
+HbChecker::onLineInvalidated(ChipletId c, Addr addr)
+{
+    auto it = _lines.find(addr);
+    if (it != _lines.end())
+        it->second.copyAsOf[static_cast<std::size_t>(c)] = 0;
+}
+
+void
+HbChecker::onWrite(ChipletId c, DsId ds, std::uint64_t line, Addr addr,
+                   HbWriteKind kind)
+{
+    if (_space.racy(ds))
+        return;
+    LineState &ls = state(addr, ds, line);
+    ls.writer = c;
+    ls.writerEpoch = _vc[static_cast<std::size_t>(c)].of(
+        static_cast<std::size_t>(c));
+    ls.writeSeq = ++_seq;
+    ls.writerKernel = _kernelOf[static_cast<std::size_t>(c)];
+    ls.kind = kind;
+    ls.published = kind == HbWriteKind::Through;
+}
+
+void
+HbChecker::onCopyFilled(ChipletId c, DsId ds, std::uint64_t line, Addr addr)
+{
+    if (_space.racy(ds))
+        return;
+    LineState &ls = state(addr, ds, line);
+    ls.copyAsOf[static_cast<std::size_t>(c)] = ++_seq;
+}
+
+bool
+HbChecker::copyLive(const LineState &ls, ChipletId c) const
+{
+    const std::uint64_t asOf = ls.copyAsOf[static_cast<std::size_t>(c)];
+    return asOf != 0 && asOf > _invalKillSeq[static_cast<std::size_t>(c)];
+}
+
+void
+HbChecker::onRead(ChipletId c, DsId ds, std::uint64_t line, Addr addr)
+{
+    if (_space.racy(ds))
+        return;
+    auto it = _lines.find(addr);
+    if (it == _lines.end())
+        return;
+    LineState &ls = it->second;
+    if (ls.writeSeq == 0 || ls.writer == c)
+        return;
+    (void)line;
+    // Fast path: the writer's epoch is covered by the reader's clock,
+    // i.e. a completed release(writer) -> LLC -> acquire(reader) chain
+    // exists after the write. The release published every line the
+    // writer had dirtied and the acquire killed the reader's copies,
+    // so both detailed conditions below hold by construction.
+    if (ls.writerEpoch <=
+        _vc[static_cast<std::size_t>(c)].of(
+            static_cast<std::size_t>(ls.writer))) {
+        return;
+    }
+
+    // Detailed check 1: a DirtyLocal write is served to other chiplets
+    // from the LLC, so it must have been written back by now.
+    if (ls.kind == HbWriteKind::DirtyLocal && !ls.published) {
+        const ChipletId w = ls.writer;
+        std::string edge;
+        if (_releaseAttemptSeq[static_cast<std::size_t>(w)] > ls.writeSeq) {
+            edge = "a release of chiplet " + std::to_string(w) +
+                   " was issued after the write but this line's "
+                   "writeback was lost (dropped flush)";
+        } else {
+            edge = "no release of chiplet " + std::to_string(w) +
+                   " was performed between the write and the read — "
+                   "the release edge was elided; reader's sync plan: " +
+                   launchPlanStr(
+                       _kernelOf[static_cast<std::size_t>(c)]);
+        }
+        flagRead(ls, c, HbViolation::Kind::MissingRelease, edge);
+        return;
+    }
+
+    // Detailed check 2: the reader still caches a copy predating the
+    // write, which its L2 probe may hit instead of the fresh value.
+    if (copyLive(ls, c) &&
+        ls.copyAsOf[static_cast<std::size_t>(c)] < ls.writeSeq) {
+        std::string edge;
+        if (_invalAttemptSeq[static_cast<std::size_t>(c)] >
+            ls.copyAsOf[static_cast<std::size_t>(c)]) {
+            edge = "an acquire of chiplet " + std::to_string(c) +
+                   " was issued after the stale copy was cached but "
+                   "its invalidate was lost (skipped invalidate)";
+        } else {
+            edge = "no acquire of chiplet " + std::to_string(c) +
+                   " was performed since its copy was cached — the "
+                   "acquire edge was elided; reader's sync plan: " +
+                   launchPlanStr(
+                       _kernelOf[static_cast<std::size_t>(c)]);
+        }
+        flagRead(ls, c, HbViolation::Kind::MissingAcquire, edge);
+    }
+}
+
+void
+HbChecker::onReadBypass(ChipletId c, DsId ds, std::uint64_t line, Addr addr)
+{
+    if (_space.racy(ds))
+        return;
+    auto it = _lines.find(addr);
+    if (it == _lines.end())
+        return;
+    LineState &ls = it->second;
+    if (ls.writeSeq == 0 || ls.writer == c)
+        return;
+    (void)line;
+    if (ls.writerEpoch <=
+        _vc[static_cast<std::size_t>(c)].of(
+            static_cast<std::size_t>(ls.writer))) {
+        return;
+    }
+    // Bypass reads never consult the requester's caches, so only the
+    // publication half of the read check applies.
+    if (ls.kind == HbWriteKind::DirtyLocal && !ls.published) {
+        const ChipletId w = ls.writer;
+        std::string edge =
+            _releaseAttemptSeq[static_cast<std::size_t>(w)] > ls.writeSeq
+                ? "a release of chiplet " + std::to_string(w) +
+                      " was issued after the write but this line's "
+                      "writeback was lost (dropped flush)"
+                : "no release of chiplet " + std::to_string(w) +
+                      " was performed between the write and the bypass "
+                      "read — the release edge was elided; reader's "
+                      "sync plan: " +
+                      launchPlanStr(
+                          _kernelOf[static_cast<std::size_t>(c)]);
+        flagRead(ls, c, HbViolation::Kind::MissingRelease, edge);
+    }
+}
+
+std::uint64_t
+HbChecker::finalize()
+{
+    if (_finalized)
+        return _violations;
+    _finalized = true;
+
+    // Deterministic report order: sweep lines sorted by (ds, line).
+    std::vector<const LineState *> pending;
+    for (const auto &[addr, ls] : _lines) {
+        (void)addr;
+        if (ls.writeSeq == 0 || ls.published ||
+            ls.kind == HbWriteKind::Through) {
+            continue;
+        }
+        pending.push_back(&ls);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const LineState *a, const LineState *b) {
+                  return a->ds != b->ds ? a->ds < b->ds
+                                        : a->line < b->line;
+              });
+    for (const LineState *ls : pending) {
+        const ChipletId w = ls->writer;
+        std::string edge;
+        if (_releaseAttemptSeq[static_cast<std::size_t>(w)] >
+            ls->writeSeq) {
+            edge = "the final release of chiplet " + std::to_string(w) +
+                   " ran but this line's writeback was lost "
+                   "(dropped flush)";
+        } else {
+            edge = "no release of chiplet " + std::to_string(w) +
+                   " ever ran after the write (missing final barrier)";
+        }
+        ++_violations;
+        ++_hostInvisible;
+        HbViolation v;
+        v.kind = HbViolation::Kind::HostInvisible;
+        v.ds = ls->ds;
+        v.line = ls->line;
+        v.addr = 0;
+        v.writer = w;
+        v.writerKernel = ls->writerKernel;
+        v.message = "host-invisible write: " + _space.alloc(ls->ds).name +
+                    " line " + std::to_string(ls->line) +
+                    " written by " + kernelRef(ls->writerKernel) +
+                    " on chiplet " + std::to_string(w) + " epoch " +
+                    std::to_string(ls->writerEpoch) +
+                    " never reached the LLC: " + edge;
+        report(std::move(v));
+    }
+    return _violations;
+}
+
+HbChecker::LineState &
+HbChecker::state(Addr addr, DsId ds, std::uint64_t line)
+{
+    auto [it, inserted] = _lines.try_emplace(addr);
+    LineState &ls = it->second;
+    if (inserted) {
+        ls.ds = ds;
+        ls.line = line;
+        ls.copyAsOf.assign(_numChiplets, 0);
+    }
+    return ls;
+}
+
+const HbChecker::LaunchRecord *
+HbChecker::launch(std::uint64_t id) const
+{
+    if (id == 0 || id > _launches.size())
+        return nullptr;
+    return &_launches[id - 1];
+}
+
+std::string
+HbChecker::kernelRef(std::uint64_t id) const
+{
+    const LaunchRecord *rec = launch(id);
+    if (!rec)
+        return "kernel #" + std::to_string(id);
+    return "kernel '" + rec->name + "' (#" + std::to_string(id) + ")";
+}
+
+std::string
+HbChecker::launchPlanStr(std::uint64_t id) const
+{
+    const LaunchRecord *rec = launch(id);
+    if (!rec)
+        return "(unknown launch)";
+    std::string s = "launch #" + std::to_string(rec->id) + " '" +
+                    rec->name + "' issued acquires=" +
+                    chipletListStr(rec->acquires) +
+                    " releases=" + chipletListStr(rec->releases);
+    if (rec->elidedAcquires || rec->elidedReleases) {
+        s += " (elided " + std::to_string(rec->elidedAcquires) +
+             " acquires, " + std::to_string(rec->elidedReleases) +
+             " releases)";
+    }
+    if (rec->conservative)
+        s += " [conservative]";
+    return s;
+}
+
+void
+HbChecker::flagRead(LineState &ls, ChipletId reader,
+                    HbViolation::Kind kind, const std::string &edge)
+{
+    // One report per (line, write): a lost flush read a thousand times
+    // is one corruption, not a thousand.
+    if (ls.flaggedSeq == ls.writeSeq)
+        return;
+    ls.flaggedSeq = ls.writeSeq;
+    ++_violations;
+    if (kind == HbViolation::Kind::MissingRelease)
+        ++_missingReleases;
+    else
+        ++_missingAcquires;
+
+    const std::uint64_t readerKernel =
+        _kernelOf[static_cast<std::size_t>(reader)];
+    HbViolation v;
+    v.kind = kind;
+    v.ds = ls.ds;
+    v.line = ls.line;
+    v.writer = ls.writer;
+    v.writerKernel = ls.writerKernel;
+    v.reader = reader;
+    v.readerKernel = readerKernel;
+    v.message =
+        std::string(kind == HbViolation::Kind::MissingRelease
+                        ? "missing-release"
+                        : "missing-acquire") +
+        ": " + _space.alloc(ls.ds).name + " line " +
+        std::to_string(ls.line) + ": write by " +
+        kernelRef(ls.writerKernel) + " on chiplet " +
+        std::to_string(ls.writer) + " epoch " +
+        std::to_string(ls.writerEpoch) +
+        " is not happens-before-ordered with the read by " +
+        kernelRef(readerKernel) + " on chiplet " +
+        std::to_string(reader) + ": " + edge + "; reader clock " +
+        _vc[static_cast<std::size_t>(reader)].str() + ", LLC clock " +
+        _m.str();
+    report(std::move(v));
+}
+
+void
+HbChecker::report(HbViolation v)
+{
+    if (_reports.size() < kMaxReports)
+        _reports.push_back(std::move(v));
+}
+
+std::string
+HbChecker::summary() const
+{
+    std::string s = "happens-before checker: " +
+                    std::to_string(_violations) + " violation(s) (" +
+                    std::to_string(_missingReleases) +
+                    " missing-release, " +
+                    std::to_string(_missingAcquires) +
+                    " missing-acquire, " + std::to_string(_hostInvisible) +
+                    " host-invisible)";
+    if (!_reports.empty())
+        s += "; first: " + _reports.front().message;
+    return s;
+}
+
+} // namespace cpelide

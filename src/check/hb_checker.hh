@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Happens-before race & staleness checker for elision decisions.
+ *
+ * An opt-in (CPELIDE_CHECK=1, or RunOptions::check) verifier that runs
+ * alongside the simulation and independently re-derives whether every
+ * device-memory read is ordered after the write it may observe. It
+ * deliberately does NOT consult the golden version tags in DataSpace:
+ * where the staleness checker compares data versions, this checker
+ * reconstructs the synchronization order itself, so it can name the
+ * exact release/acquire edge a wrong elision (or an injected fault)
+ * removed.
+ *
+ * Model:
+ *  - one VectorClock per chiplet, its own component advanced at the
+ *    start of every kernel chunk it executes (kernel-chunk epochs);
+ *  - a shared LLC clock M: a *completed* L2 release (flush) of chiplet
+ *    c joins VC[c] into M; a *completed* L2 invalidate (acquire) on
+ *    chiplet r joins M into VC[r]. Dropped flushes and skipped
+ *    invalidates never perform their join, so the happens-before edge
+ *    they were supposed to create is simply absent;
+ *  - per line: the last writer (chiplet, epoch, kernel) plus whether
+ *    the written value has reached the LLC (publication happens at the
+ *    actual writeback — an L2 flush or dirty eviction — so a dropped
+ *    flush publishes nothing), and, per chiplet, whether that chiplet
+ *    still caches an older copy of the line (copy records, killed by
+ *    completed invalidates and by HMG's per-line invalidation
+ *    messages).
+ *
+ * A read by chiplet r of a line last written by chiplet w at epoch e
+ * is ordered iff e <= VC[r][w] (the fast path), or, in detail, iff the
+ * write is published when the protocol serves the read from the LLC
+ * and r holds no copy older than the write. Anything else is reported
+ * as a violation with a full edge trace: the writer and reader kernels
+ * and chiplets, whether the missing release/acquire was never issued
+ * (elided — the sync plan of the reader's launch is quoted) or issued
+ * but lost (an injected fault), and the vector clocks involved.
+ *
+ * Relation to the other checkers: the staleness checker flags a wrong
+ * value only when it is actually read; the host-visibility audit flags
+ * unpublished data only at the end of the run; this checker subsumes
+ * both detection channels (reads via onRead, end-state via finalize())
+ * while attributing each finding to the missing ordering edge.
+ */
+
+#ifndef CPELIDE_CHECK_HB_CHECKER_HH
+#define CPELIDE_CHECK_HB_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/vector_clock.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+class DataSpace;
+
+/** How a store interacts with the hierarchy (decided per protocol). */
+enum class HbWriteKind : std::uint8_t
+{
+    /**
+     * Dirty in the writer's own L2 (VIPER local store): invisible to
+     * every other chiplet until a release writes it back to the LLC.
+     */
+    DirtyLocal,
+    /**
+     * Written through to the home LLC bank at store time (VIPER remote
+     * store, HMG write-through, bypass/system-scope stores): published
+     * immediately; only stale cached copies can misorder readers.
+     */
+    Through,
+    /**
+     * Dirty at the *home* chiplet's L2 (HMG write-back): cross-chiplet
+     * reads are served by home-forwarding, so publication is only
+     * needed for end-of-run host visibility.
+     */
+    HomeOwned,
+};
+
+/** One detected ordering violation, with its edge trace. */
+struct HbViolation
+{
+    enum class Kind : std::uint8_t
+    {
+        MissingRelease, //!< unpublished write observed across chiplets
+        MissingAcquire, //!< reader retains a copy older than the write
+        HostInvisible,  //!< write never reached LLC by end of run
+    };
+
+    Kind kind = Kind::MissingRelease;
+    DsId ds = -1;
+    std::uint64_t line = 0;
+    Addr addr = 0;
+    ChipletId writer = kNoChiplet;
+    std::uint64_t writerKernel = 0; //!< 1-based launch index
+    ChipletId reader = kNoChiplet;  //!< kNoChiplet for HostInvisible
+    std::uint64_t readerKernel = 0;
+    /** Full human-readable edge trace (kernels, chiplets, elision). */
+    std::string message;
+};
+
+/** The happens-before verifier; one instance per GpuSystem run. */
+class HbChecker
+{
+  public:
+    /**
+     * @param num_chiplets clock width.
+     * @param space used for allocation names and racy exemptions; must
+     *        outlive the checker. Racy-marked structures are skipped
+     *        entirely, exactly like the staleness checker.
+     */
+    HbChecker(int num_chiplets, const DataSpace &space);
+
+    // --- Launch lifecycle (GpuSystem / GlobalCp) --------------------------
+    /** A kernel is about to synchronize+launch on @p sched chiplets. */
+    void beginKernel(std::uint64_t id, const std::string &name,
+                     const std::vector<ChipletId> &sched);
+    /**
+     * The CP's synchronization decision for the current launch: the
+     * per-chiplet acquire/release ops it will issue. Quoted verbatim
+     * in violation reports so a wrongful elision is named.
+     */
+    void onSyncDecision(const std::vector<ChipletId> &acquires,
+                        const std::vector<ChipletId> &releases,
+                        std::uint64_t elided_acquires,
+                        std::uint64_t elided_releases, bool conservative);
+    /** Launch sync done; chunks start executing (epochs advance). */
+    void onKernelExecuting();
+
+    // --- L2 synchronization operations (MemSystem) ------------------------
+    /** An L2 release (flush) of chiplet @p c was issued. */
+    void onReleaseAttempt(ChipletId c);
+    /** The release completed (writebacks performed, not dropped). */
+    void onReleaseComplete(ChipletId c);
+    /** An L2 invalidate (acquire) on chiplet @p c was issued. */
+    void onInvalidateAttempt(ChipletId c);
+    /** The invalidate completed (the L2 really was emptied). */
+    void onInvalidateComplete(ChipletId c);
+    /** A line's current value was written back to the LLC. */
+    void onLinePublished(DsId ds, std::uint64_t line, Addr addr);
+    /** HMG: chiplet @p c received an invalidation message for @p addr. */
+    void onLineInvalidated(ChipletId c, Addr addr);
+
+    // --- Accesses (protocol request paths) --------------------------------
+    /** Chiplet @p c stored to the line; @p kind per the protocol. */
+    void onWrite(ChipletId c, DsId ds, std::uint64_t line, Addr addr,
+                 HbWriteKind kind);
+    /** Chiplet @p c's L2 was filled with the line's current value. */
+    void onCopyFilled(ChipletId c, DsId ds, std::uint64_t line, Addr addr);
+    /** Chiplet @p c read the line below its L1 (cache or LLC path). */
+    void onRead(ChipletId c, DsId ds, std::uint64_t line, Addr addr);
+    /** Cache-bypassing read served at the home LLC bank. */
+    void onReadBypass(ChipletId c, DsId ds, std::uint64_t line, Addr addr);
+
+    // --- End of run -------------------------------------------------------
+    /**
+     * Post-final-barrier sweep: report every write that never became
+     * host-visible (the HB analogue of MemSystem::auditHostVisibility).
+     * Idempotent. @return total violations of all kinds.
+     */
+    std::uint64_t finalize();
+
+    // --- Results ----------------------------------------------------------
+    std::uint64_t violations() const { return _violations; }
+    std::uint64_t missingReleases() const { return _missingReleases; }
+    std::uint64_t missingAcquires() const { return _missingAcquires; }
+    std::uint64_t hostInvisible() const { return _hostInvisible; }
+    /** Detailed reports (capped at kMaxReports; counters keep going). */
+    const std::vector<HbViolation> &reports() const { return _reports; }
+    /** First violation + totals, for checkFailed(). */
+    std::string summary() const;
+
+    /** Chiplet @p c's vector clock (tests). */
+    const VectorClock &clock(ChipletId c) const
+    {
+        return _vc[static_cast<std::size_t>(c)];
+    }
+    /** The LLC clock (tests). */
+    const VectorClock &llcClock() const { return _m; }
+
+    /** Stored violation-report cap (beyond it only counters advance). */
+    static constexpr std::size_t kMaxReports = 64;
+
+  private:
+    /** Per-launch record of the CP's sync plan (for edge traces). */
+    struct LaunchRecord
+    {
+        std::uint64_t id = 0;
+        std::string name;
+        std::vector<ChipletId> sched;
+        std::vector<ChipletId> acquires;
+        std::vector<ChipletId> releases;
+        std::uint64_t elidedAcquires = 0;
+        std::uint64_t elidedReleases = 0;
+        bool conservative = false;
+    };
+
+    /** Checker state for one cache line. */
+    struct LineState
+    {
+        DsId ds = -1;
+        std::uint64_t line = 0;
+        ChipletId writer = kNoChiplet;
+        std::uint64_t writerEpoch = 0;
+        std::uint64_t writeSeq = 0;   //!< 0 = never written
+        std::uint64_t writerKernel = 0;
+        HbWriteKind kind = HbWriteKind::Through;
+        bool published = true;
+        std::uint64_t flaggedSeq = 0; //!< writeSeq already reported
+        /**
+         * Per-chiplet copy records: event seq at which the chiplet's
+         * L2 last received this line's then-current value (0 = no
+         * copy). A record is live only if newer than the chiplet's
+         * last completed whole-L2 invalidate.
+         */
+        std::vector<std::uint64_t> copyAsOf;
+    };
+
+    LineState &state(Addr addr, DsId ds, std::uint64_t line);
+    bool copyLive(const LineState &ls, ChipletId c) const;
+    const LaunchRecord *launch(std::uint64_t id) const;
+    std::string launchPlanStr(std::uint64_t id) const;
+    std::string kernelRef(std::uint64_t id) const;
+    void report(HbViolation v);
+    void flagRead(LineState &ls, ChipletId reader, HbViolation::Kind kind,
+                  const std::string &edge);
+
+    const DataSpace &_space;
+    const std::size_t _numChiplets;
+
+    std::vector<VectorClock> _vc;
+    VectorClock _m;
+
+    /** Global event sequence (ordering oracle for seq comparisons). */
+    std::uint64_t _seq = 0;
+
+    std::vector<LaunchRecord> _launches;
+    /** Launch executing on each chiplet (index into _launches + 1). */
+    std::vector<std::uint64_t> _kernelOf;
+
+    /** Per-chiplet sync-op bookkeeping (fault attribution). @{ */
+    std::vector<std::uint64_t> _releaseAttemptSeq;
+    std::vector<std::uint64_t> _releaseCompleteSeq;
+    std::vector<std::uint64_t> _invalAttemptSeq;
+    std::vector<std::uint64_t> _invalKillSeq;
+    /** @} */
+
+    std::unordered_map<Addr, LineState> _lines;
+
+    std::uint64_t _violations = 0;
+    std::uint64_t _missingReleases = 0;
+    std::uint64_t _missingAcquires = 0;
+    std::uint64_t _hostInvisible = 0;
+    std::vector<HbViolation> _reports;
+    bool _finalized = false;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CHECK_HB_CHECKER_HH

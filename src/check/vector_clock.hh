@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Vector clocks for the happens-before checker.
+ *
+ * One clock component per chiplet, advanced at kernel-chunk granularity:
+ * a chiplet's own component is its current execution epoch, and the
+ * remaining components record the newest epoch of every other chiplet
+ * whose writes are guaranteed visible here through completed
+ * release/acquire edges (L2 flushes and invalidates routed through the
+ * shared LLC clock — see check/hb_checker.hh).
+ */
+
+#ifndef CPELIDE_CHECK_VECTOR_CLOCK_HH
+#define CPELIDE_CHECK_VECTOR_CLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpelide
+{
+
+/** Fixed-width vector clock over chiplet execution epochs. */
+class VectorClock
+{
+  public:
+    explicit VectorClock(std::size_t n) : _t(n, 0) {}
+
+    std::size_t size() const { return _t.size(); }
+
+    /** Epoch recorded for component @p i. */
+    std::uint64_t of(std::size_t i) const { return _t[i]; }
+
+    /** Begin a new epoch on component @p i (kernel-chunk start). */
+    void advance(std::size_t i) { ++_t[i]; }
+
+    /** Element-wise maximum: absorb everything @p o has seen. */
+    void
+    join(const VectorClock &o)
+    {
+        for (std::size_t i = 0; i < _t.size(); ++i)
+            _t[i] = std::max(_t[i], o._t[i]);
+    }
+
+    /**
+     * Whether this clock happens-before-or-equals @p o (every
+     * component <=). Two clocks can be incomparable: neither leq the
+     * other means the epochs are concurrent.
+     */
+    bool
+    leq(const VectorClock &o) const
+    {
+        for (std::size_t i = 0; i < _t.size(); ++i) {
+            if (_t[i] > o._t[i])
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    operator==(const VectorClock &o) const
+    {
+        return _t == o._t;
+    }
+
+    /** "[e0,e1,...]" — used in violation edge traces. */
+    std::string
+    str() const
+    {
+        std::string s = "[";
+        for (std::size_t i = 0; i < _t.size(); ++i) {
+            if (i)
+                s += ',';
+            s += std::to_string(_t[i]);
+        }
+        s += ']';
+        return s;
+    }
+
+  private:
+    std::vector<std::uint64_t> _t;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_CHECK_VECTOR_CLOCK_HH

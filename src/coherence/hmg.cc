@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "check/hb_checker.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -161,6 +162,8 @@ HmgMemSystem::fillL2(ChipletId c, Addr addr, std::uint32_t version,
         // variant, so the victim is homed here.
         writebackVictim(c, victim);
     }
+    if (_check)
+        _check->onCopyFilled(c, ds, line, addr);
 }
 
 Cycles
@@ -183,6 +186,10 @@ HmgMemSystem::invalidateRegion(ChipletId home, Addr regionAddr,
         }
         for (std::uint64_t i = 0; i < kHmgLinesPerEntry; ++i) {
             const Addr a = regionAddr + i * kLineBytes;
+            // The sharer is invalidated for the whole region whether or
+            // not each line is still resident.
+            if (_check)
+                _check->onLineInvalidated(s, a);
             Evicted e;
             if (_l2s[s]->extractLine(a, &e)) {
                 ++_sharerInvalidations;
@@ -303,6 +310,9 @@ HmgMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
     if (_writeThrough) {
         // Sender and home retain valid (clean) copies; the store is
         // written through to the home's LLC bank / memory.
+        if (_check)
+            _check->onWrite(ctx.chiplet, ds, line, addr,
+                            HbWriteKind::Through);
         fillL2(ctx.chiplet, addr, version, ds, line, /*dirty=*/false);
         if (home != ctx.chiplet) {
             remoteDataHop(ctx.chiplet, home);
@@ -331,8 +341,14 @@ HmgMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
         // Write-back ablation: the home L2 owns the only dirty copy;
         // the sender does not allocate (losing sender-side locality,
         // the "reduced precise tracking benefit" the paper describes).
+        if (_check)
+            _check->onWrite(ctx.chiplet, ds, line, addr,
+                            HbWriteKind::HomeOwned);
         if (home == ctx.chiplet) {
-            if (!_l2s[home]->writeHit(addr, version)) {
+            if (_l2s[home]->writeHit(addr, version)) {
+                if (_check)
+                    _check->onCopyFilled(home, ds, line, addr);
+            } else {
                 // No read-for-ownership (dirty-byte masks).
                 fillL2(home, addr, version, ds, line, /*dirty=*/true);
             }
@@ -340,9 +356,15 @@ HmgMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
             remoteDataHop(ctx.chiplet, home);
             _energy.countL2();
             _noc.addL2Bytes(home, kDataBytes);
-            _l2s[ctx.chiplet]->updateIfPresent(addr, version,
-                                               /*markDirty=*/false);
-            if (!_l2s[home]->writeHit(addr, version)) {
+            if (_l2s[ctx.chiplet]->updateIfPresent(addr, version,
+                                                   /*markDirty=*/false)) {
+                if (_check)
+                    _check->onCopyFilled(ctx.chiplet, ds, line, addr);
+            }
+            if (_l2s[home]->writeHit(addr, version)) {
+                if (_check)
+                    _check->onCopyFilled(home, ds, line, addr);
+            } else {
                 fillL2(home, addr, version, ds, line, /*dirty=*/true);
             }
         }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "check/hb_checker.hh"
 #include "coherence/hmg.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
@@ -82,6 +83,10 @@ MemSystem::access(const AccessContext &ctx, DsId ds, std::uint64_t line,
                /*dirty=*/false, &victim);
     // L1 is write-through: victims are clean, nothing to do.
     _space.checkObserved(ds, line, version);
+    // After readBelowL1 so a fresh L2 fill refreshes the checker's
+    // copy record before the read itself is judged.
+    if (_check)
+        _check->onRead(ctx.chiplet, ds, line, addr);
     // Table I latencies are load-to-use totals per hit level.
     return below;
 }
@@ -102,6 +107,9 @@ MemSystem::accessBypass(const AccessContext &ctx, DsId ds,
             remoteDataHop(ctx.chiplet, home);
         _noc.countL2L3Data();
         l3Write(home, ds, line, addr, version);
+        if (_check)
+            _check->onWrite(ctx.chiplet, ds, line, addr,
+                            HbWriteKind::Through);
         return _cfg.l1Latency; // fire-and-forget through the queues
     }
 
@@ -116,6 +124,8 @@ MemSystem::accessBypass(const AccessContext &ctx, DsId ds,
         lat = l3Read(home, ds, line, addr, &version, _cfg.l3Latency);
     }
     _space.checkObserved(ds, line, version);
+    if (_check)
+        _check->onReadBypass(ctx.chiplet, ds, line, addr);
     return lat;
 }
 
@@ -133,6 +143,8 @@ MemSystem::l2Release(ChipletId c)
     SetAssocCache &l2c = *_l2s[l2Index(c)];
     const std::uint64_t dirty = l2c.dirtyLines();
     ++_l2Flushes;
+    if (_check)
+        _check->onReleaseAttempt(c);
     if (_trace)
         _trace->instantNow("l2-release", "mem", c).arg("dirty_lines", dirty);
     Cycles faultDelay = 0;
@@ -160,6 +172,10 @@ MemSystem::l2Release(ChipletId c)
         writebackVictim(c, e);
     });
     _linesWrittenBack += flushed;
+    // A dropped flush returns above, so it never completes the
+    // checker's release edge (the join into the LLC clock is absent).
+    if (_check)
+        _check->onReleaseComplete(c);
     return flushCost(dirty) + faultDelay;
 }
 
@@ -171,14 +187,19 @@ MemSystem::l2Acquire(ChipletId c)
     if (l2c.dirtyLines() > 0)
         cost += l2Release(c);
     ++_l2Invalidates;
+    if (_check)
+        _check->onInvalidateAttempt(c);
     if (_trace)
         _trace->instantNow("l2-acquire", "mem", c);
     if (_faults && _faults->onInvalidate()) {
         // Lost invalidate: the flush half above still happened, but
-        // possibly-stale clean copies survive in the L2.
+        // possibly-stale clean copies survive in the L2. The checker's
+        // acquire edge (LLC clock join + copy-record kill) is skipped.
         return cost + _cfg.invalidateCycles;
     }
     l2c.invalidateAll();
+    if (_check)
+        _check->onInvalidateComplete(c);
     return cost + _cfg.invalidateCycles;
 }
 
@@ -279,6 +300,11 @@ MemSystem::writebackVictim(ChipletId home, const Evicted &victim)
     _energy.countL2();
     _noc.addL2Bytes(home, kDataBytes);
     l3Write(home, victim.ds, victim.dsLine, victim.addr, victim.version);
+    // Every path that makes a dirty L2 line host-visible funnels here
+    // (release flushes and capacity evictions alike), so this is the
+    // checker's single publication point.
+    if (_check)
+        _check->onLinePublished(victim.ds, victim.dsLine, victim.addr);
 }
 
 void
@@ -388,6 +414,8 @@ ViperMemSystem::readBelowL1(const AccessContext &ctx, DsId ds,
                /*dirty=*/false, &victim);
     if (victim.valid && victim.dirty)
         writebackVictim(home, victim);
+    if (_check)
+        _check->onCopyFilled(home, ds, line, addr);
     return lat;
 }
 
@@ -403,6 +431,8 @@ ViperMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
         SetAssocCache &l2c = *_l2s[l2Index(home)];
         _energy.countL2();
         _noc.addL2Bytes(home, kDataBytes);
+        if (_check)
+            _check->onWrite(home, ds, line, addr, HbWriteKind::DirtyLocal);
         if (l2c.writeHit(addr, version)) {
             ++_l2Stats.hits;
         } else {
@@ -423,6 +453,10 @@ ViperMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
             if (victim.valid && victim.dirty)
                 writebackVictim(home, victim);
         }
+        // Whether a hit or a write-allocate, the writer's L2 now holds
+        // the line's then-current value.
+        if (_check)
+            _check->onCopyFilled(home, ds, line, addr);
         return _cfg.l1Latency; // store issue cost; completion is async
     }
 
@@ -433,6 +467,8 @@ ViperMemSystem::writeBelowL1(const AccessContext &ctx, DsId ds,
     remoteDataHop(ctx.chiplet, home);
     _noc.countL2L3Data();
     l3Write(home, ds, line, addr, version);
+    if (_check)
+        _check->onWrite(ctx.chiplet, ds, line, addr, HbWriteKind::Through);
     return _cfg.l1Latency;
 }
 

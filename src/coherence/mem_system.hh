@@ -34,6 +34,7 @@
 namespace cpelide
 {
 
+class HbChecker;
 class TraceSession;
 
 /** Which CU is issuing an access. */
@@ -112,6 +113,16 @@ class MemSystem
      */
     void setTrace(TraceSession *t) { _trace = t; }
     TraceSession *trace() const { return _trace; }
+
+    /**
+     * Attach the happens-before checker (nullptr detaches — the
+     * default). The memory system reports every read, write, L2 fill,
+     * and the fate of every release/invalidate (attempted vs actually
+     * completed, so injected faults are distinguishable from elisions).
+     * Not owned.
+     */
+    void setChecker(HbChecker *hb) { _check = hb; }
+    HbChecker *checker() const { return _check; }
 
     /**
      * Post-final-barrier audit: count non-racy lines whose host-visible
@@ -240,6 +251,9 @@ class MemSystem
 
     /** Trace session recording this run, or nullptr (tracing off). */
     TraceSession *_trace = nullptr;
+
+    /** Happens-before checker observing this run, or nullptr (off). */
+    HbChecker *_check = nullptr;
 
     /** CPELIDE_MISS_DEBUG, cached once at construction (hot path). */
     bool _missDebug = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/hb_checker.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
 
@@ -109,6 +110,12 @@ GlobalCp::launchSync(const KernelDesc &desc,
     switch (_kind) {
       case ProtocolKind::Baseline: {
         // Conservative GPU-wide implicit release + acquire.
+        if (_check) {
+            std::vector<ChipletId> all;
+            for (ChipletId c = 0; c < _cfg.numChiplets; ++c)
+                all.push_back(c);
+            _check->onSyncDecision(all, all, 0, 0, false);
+        }
         out.cost += _mem.kernelBoundaryL2();
         out.cost += messagingCost(_cfg.numChiplets);
         out.acquires = static_cast<std::size_t>(_cfg.numChiplets);
@@ -120,13 +127,24 @@ GlobalCp::launchSync(const KernelDesc &desc,
       case ProtocolKind::Monolithic:
         // Coherent L2s (HMG) or a single shared L2 (monolithic): no
         // boundary L2 operations.
+        if (_check)
+            _check->onSyncDecision({}, {}, 0, 0, false);
         break;
       case ProtocolKind::CpElide: {
         const LaunchDecl decl = buildDecl(desc, chunks, space);
+        const std::uint64_t acqElidedBefore = _engine->acquiresElided();
+        const std::uint64_t relElidedBefore = _engine->releasesElided();
         const SyncPlan plan = _engine->onKernelLaunch(decl);
         out.conservative = plan.conservative;
         out.acquires = plan.acquires.size();
         out.releases = plan.releases.size();
+        if (_check) {
+            _check->onSyncDecision(
+                plan.acquires, plan.releases,
+                _engine->acquiresElided() - acqElidedBefore,
+                _engine->releasesElided() - relElidedBefore,
+                plan.conservative);
+        }
 
         // Ops on distinct chiplets run in parallel; acquires are
         // performed first, then the (lazy) releases — both complete

@@ -92,6 +92,14 @@ class GlobalCp
     void setTrace(TraceSession *t) { _trace = t; }
 
     /**
+     * Attach the happens-before checker (nullptr detaches). The CP
+     * reports each launch's sync decision — the per-chiplet ops it
+     * will issue plus how many the elide engine removed — so checker
+     * reports can quote the plan that elided a needed edge. Not owned.
+     */
+    void setChecker(HbChecker *hb) { _check = hb; }
+
+    /**
      * The global CP's view of a launch: each argument's span, mode,
      * and per-chiplet ranges (affine ranges derived from the WG
      * partition). Public so the annotation validator and tests can
@@ -112,6 +120,7 @@ class GlobalCp
     int _extraSyncSets;
     Tick _cpFree = 0;
     TraceSession *_trace = nullptr;
+    HbChecker *_check = nullptr;
 };
 
 } // namespace cpelide

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "check/hb_checker.hh"
 #include "cp/local_cp.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
@@ -24,6 +25,11 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const RunOptions &opts)
     _cp = std::make_unique<GlobalCp>(_cfg, opts.protocol, *_mem,
                                      opts.extraSyncSets);
     _cp->setTrace(opts.trace);
+    if (opts.check || ExecOptions::fromEnv().check) {
+        _check = std::make_unique<HbChecker>(cfg.numChiplets, _space);
+        _mem->setChecker(_check.get());
+        _cp->setChecker(_check.get());
+    }
 }
 
 GpuSystem::~GpuSystem() = default;
@@ -268,8 +274,12 @@ GpuSystem::run(const std::string &label)
         const CounterSnap before = snap();
         if (tr)
             tr->setNow(startBase);
+        if (_check)
+            _check->beginKernel(_kernels, desc.name, sched);
         const SyncOutcome sync =
             _cp->launchSync(desc, chunks, _space);
+        if (_check)
+            _check->onKernelExecuting();
         if (_debug) {
             std::fprintf(stderr, "[launch] %-18s stream=%d wgs=%d "
                          "chiplets=%zu acq=%zu rel=%zu%s\n",
@@ -401,6 +411,11 @@ GpuSystem::run(const std::string &label)
     }
     r.staleReads = _space.staleReads();
     r.hostVisibilityViolations = _mem->auditHostVisibility();
+    if (_check) {
+        r.hbViolations = _check->finalize();
+        if (r.hbViolations > 0 && _opts.failOnHbViolation)
+            checkFailed(_check->summary());
+    }
     r.simEvents = _events.eventsProcessed();
     r.kernelPhases = std::move(phases);
     return r;

@@ -67,6 +67,21 @@ struct RunOptions
      * identical whatever thread runs the simulation.
      */
     TraceSession *trace = nullptr;
+    /**
+     * Run the happens-before checker (see check/hb_checker.hh; also
+     * enabled by CPELIDE_CHECK=1): every device read is verified to be
+     * ordered after the write it observes by the release/acquire edges
+     * actually performed; violations name the edge an elision (or an
+     * injected fault) removed. The GpuSystem owns the checker; inspect
+     * it via checker().
+     */
+    bool check = false;
+    /**
+     * When the checker found violations, throw InvariantError from
+     * run() (so harness jobs fail as 'invariant'). Disable to collect
+     * the full report set from a run that is expected to race (tests).
+     */
+    bool failOnHbViolation = true;
 };
 
 class GpuSystem
@@ -102,6 +117,13 @@ class GpuSystem
     MemSystem &mem() { return *_mem; }
     GlobalCp &cp() { return *_cp; }
 
+    /**
+     * The happens-before checker, or nullptr when checking is off.
+     * Remains valid after run() threw on a violation, so tests can
+     * inspect the reports behind the failure.
+     */
+    const HbChecker *checker() const { return _check.get(); }
+
   private:
     /**
      * Execute one chiplet's WG chunk: round-robin WGs over CUs, feed
@@ -122,6 +144,7 @@ class GpuSystem
     DataSpace _space;
     std::unique_ptr<MemSystem> _mem;
     std::unique_ptr<GlobalCp> _cp;
+    std::unique_ptr<HbChecker> _check;
     EventQueue _events;
     std::vector<KernelDesc> _pending;
 

@@ -67,6 +67,8 @@ struct ExecOptions
     bool panicAbort = false;
     /** CPELIDE_TRACE: Chrome trace_event JSON output path ("" = off). */
     std::string tracePath;
+    /** CPELIDE_CHECK: run the happens-before checker on every run. */
+    bool check = false;
 
     /**
      * The knob table: one row per variable any component reads. Keep
@@ -89,6 +91,7 @@ struct ExecOptions
             {"CPELIDE_RESUME", "checkpoint journal path"},
             {"CPELIDE_PANIC", "abort instead of throw"},
             {"CPELIDE_TRACE", "Chrome trace JSON path"},
+            {"CPELIDE_CHECK", "happens-before checker"},
         };
         return table;
     }
@@ -143,6 +146,7 @@ struct ExecOptions
             o.panicAbort = std::string(s) == "abort";
         if (const char *s = raw("CPELIDE_TRACE"))
             o.tracePath = s;
+        o.check = raw("CPELIDE_CHECK") != nullptr;
         return o;
     }
 

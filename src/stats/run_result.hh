@@ -122,6 +122,14 @@ struct RunResult
     std::uint64_t hostVisibilityViolations = 0;
 
     /**
+     * Happens-before violations found by the opt-in checker
+     * (check/hb_checker.hh): reads not ordered after the write they
+     * observe, plus writes that never became host-visible. Always 0
+     * when checking is off or the protocol is correct.
+     */
+    std::uint64_t hbViolations = 0;
+
+    /**
      * Per-launch phase breakdown (one entry per kernel + the final
      * barrier); field sums reproduce the aggregates above.
      */

@@ -45,6 +45,7 @@ appendRunResultFields(std::string &out, const RunResult &r)
     appendU64(out, "tableMaxEntries", r.tableMaxEntries);
     appendU64(out, "staleReads", r.staleReads);
     appendU64(out, "hostVisibilityViolations", r.hostVisibilityViolations);
+    appendU64(out, "hbViolations", r.hbViolations);
 }
 
 bool
@@ -80,7 +81,8 @@ parseRunResultFields(const JsonLineParser &p, RunResult *r)
         p.u64("simEvents", &r->simEvents) &&
         p.u64("tableMaxEntries", &r->tableMaxEntries) &&
         p.u64("staleReads", &r->staleReads) &&
-        p.u64("hostVisibilityViolations", &r->hostVisibilityViolations);
+        p.u64("hostVisibilityViolations", &r->hostVisibilityViolations) &&
+        p.u64("hbViolations", &r->hbViolations);
     if (!good)
         return false;
     r->numChiplets = static_cast<int>(chiplets);

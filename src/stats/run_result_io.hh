@@ -6,7 +6,7 @@
  * sinks (stats/stat_sink.cc) serialize the same measurement record;
  * this file is the single source of truth for the key names so the
  * two can never drift. Aggregate fields are emitted as one flat block
- * ("workload" .. "hostVisibilityViolations", in a fixed order);
+ * ("workload" .. "hbViolations", in a fixed order);
  * per-launch phases are either explicit flat objects (one JSONL line
  * per phase, stat sinks) or one compact escaped string (a single
  * journal field, keeping journal lines flat one-level objects).

@@ -141,7 +141,8 @@ CsvStatSink::header()
            "l2FlushesIssued,l2InvalidatesIssued,l2FlushesElided,"
            "l2InvalidatesElided,linesWrittenBack,syncStallCycles,"
            "directoryEvictions,sharerInvalidations,simEvents,"
-           "tableMaxEntries,staleReads,hostVisibilityViolations\n";
+           "tableMaxEntries,staleReads,hostVisibilityViolations,"
+           "hbViolations\n";
 }
 
 std::string
@@ -190,6 +191,7 @@ CsvStatSink::row(const StatRecord &rec)
     appendCsvU64(out, r.tableMaxEntries);
     appendCsvU64(out, r.staleReads);
     appendCsvU64(out, r.hostVisibilityViolations);
+    appendCsvU64(out, r.hbViolations);
     out += '\n';
     return out;
 }

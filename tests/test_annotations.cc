@@ -160,9 +160,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(workloadNames()),
                        ::testing::Values(4, 7)),
     [](const ::testing::TestParamInfo<std::tuple<std::string, int>>
-           &info) {
-        std::string name = std::get<0>(info.param) + "_" +
-                           std::to_string(std::get<1>(info.param));
+           &p) {
+        std::string name = std::get<0>(p.param) + "_" +
+                           std::to_string(std::get<1>(p.param));
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

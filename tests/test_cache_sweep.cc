@@ -95,9 +95,9 @@ INSTANTIATE_TEST_SUITE_P(
     Geometries, CacheGeometrySweep,
     ::testing::Values(Geom{4, 1}, Geom{8, 2}, Geom{16, 4}, Geom{16, 16},
                       Geom{64, 8}, Geom{256, 32}),
-    [](const ::testing::TestParamInfo<Geom> &info) {
-        return std::to_string(info.param.sizeKb) + "kb_" +
-               std::to_string(info.param.assoc) + "way";
+    [](const ::testing::TestParamInfo<Geom> &p) {
+        return std::to_string(p.param.sizeKb) + "kb_" +
+               std::to_string(p.param.assoc) + "way";
     });
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Happens-before checker tests (check/hb_checker.hh).
+ *
+ * Two obligations, mirroring the fault-injection suite's structure:
+ *
+ *   - soundness: with no faults injected, the checker reports ZERO
+ *     violations on every protocol, including CPElide whose whole
+ *     point is eliding most sync ops (no false positives);
+ *   - completeness: every observable corruption the fault injector can
+ *     produce (dropped flushes, skipped invalidates, coherence-table
+ *     corruption) is reported, and the report's edge trace names the
+ *     exact missing release/acquire edge and whether it was elided or
+ *     lost to a fault.
+ *
+ * Plus unit tests for the VectorClock the checker is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "check/hb_checker.hh"
+#include "check/vector_clock.hh"
+#include "gpu/gpu_system.hh"
+#include "harness/harness.hh"
+#include "sim/fault_injector.hh"
+#include "sim/log.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// VectorClock
+// ---------------------------------------------------------------------------
+
+TEST(VectorClock, StartsAtZeroAndAdvancesPerComponent)
+{
+    VectorClock vc(3);
+    EXPECT_EQ(vc.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(vc.of(i), 0u);
+    vc.advance(1);
+    vc.advance(1);
+    vc.advance(2);
+    EXPECT_EQ(vc.of(0), 0u);
+    EXPECT_EQ(vc.of(1), 2u);
+    EXPECT_EQ(vc.of(2), 1u);
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax)
+{
+    VectorClock a(3);
+    VectorClock b(3);
+    a.advance(0);
+    a.advance(0); // a = [2,0,0]
+    b.advance(1); // b = [0,1,0]
+    a.join(b);
+    EXPECT_EQ(a.of(0), 2u);
+    EXPECT_EQ(a.of(1), 1u);
+    EXPECT_EQ(a.of(2), 0u);
+    // Join is idempotent and monotone.
+    const VectorClock before = a;
+    a.join(b);
+    EXPECT_TRUE(a == before);
+}
+
+TEST(VectorClock, LeqIsThePartialOrder)
+{
+    VectorClock a(2);
+    VectorClock b(2);
+    EXPECT_TRUE(a.leq(b));
+    a.advance(0); // a = [1,0]
+    b.advance(1); // b = [0,1]
+    EXPECT_FALSE(a.leq(b));
+    EXPECT_FALSE(b.leq(a)); // concurrent
+    b.join(a);               // b = [1,1]
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClock, StrFormatsAllComponents)
+{
+    VectorClock vc(3);
+    vc.advance(0);
+    vc.advance(2);
+    vc.advance(2);
+    EXPECT_EQ(vc.str(), "[1,0,2]");
+}
+
+// ---------------------------------------------------------------------------
+// Shared drivers (the fault-injection suite's ping-pong patterns, with
+// the checker switched on)
+// ---------------------------------------------------------------------------
+
+GpuConfig
+tinyConfig()
+{
+    GpuConfig cfg = GpuConfig::radeonVii(2);
+    cfg.cusPerChiplet = 4;
+    cfg.l2SizeBytesPerChiplet = 256 * 1024;
+    cfg.l3SizeBytesTotal = 512 * 1024;
+    cfg.finalize();
+    return cfg;
+}
+
+KernelDesc
+pingPongKernel(DsId ds, std::uint64_t lines, bool write, int stream)
+{
+    KernelDesc k;
+    k.name = write ? "produce" : "consume";
+    k.streamId = stream;
+    k.numWgs = 8;
+    k.mlp = 8;
+    k.args.push_back(KernelArgDecl{
+        ds, write ? AccessMode::ReadWrite : AccessMode::ReadOnly,
+        RangeKind::Affine, {}});
+    k.trace = [ds, lines, write](int wg, TraceSink &sink) {
+        const std::uint64_t lo = lines * wg / 8;
+        const std::uint64_t hi = lines * (wg + 1) / 8;
+        for (std::uint64_t l = lo; l < hi; ++l)
+            sink.touch(ds, l, write);
+    };
+    return k;
+}
+
+/** Cross-chiplet producer/consumer; returns the system for inspection. */
+std::unique_ptr<GpuSystem>
+makePingPong(FaultInjector *fi, ProtocolKind kind, bool fail_on_violation,
+             int rounds = 4)
+{
+    RunOptions opts;
+    opts.protocol = kind;
+    opts.faultInjector = fi;
+    opts.check = true;
+    opts.failOnHbViolation = fail_on_violation;
+    opts.streamChiplets[1] = {0};
+    opts.streamChiplets[2] = {1};
+    auto gpu = std::make_unique<GpuSystem>(tinyConfig(), opts);
+    const DsId ds = gpu->space().allocate("pp", 64 * 1024);
+    const std::uint64_t lines = gpu->space().alloc(ds).numLines();
+    for (int r = 0; r < rounds; ++r) {
+        gpu->enqueue(pingPongKernel(ds, lines, true, 1));
+        gpu->enqueue(pingPongKernel(ds, lines, false, 2));
+    }
+    return gpu;
+}
+
+/** Local-read / remote-write pattern (exposes lost invalidates). */
+std::unique_ptr<GpuSystem>
+makeRemoteWriteLocalRead(FaultInjector *fi, ProtocolKind kind,
+                         bool fail_on_violation, int rounds = 4)
+{
+    RunOptions opts;
+    opts.protocol = kind;
+    opts.faultInjector = fi;
+    opts.check = true;
+    opts.failOnHbViolation = fail_on_violation;
+    opts.streamChiplets[1] = {0};
+    opts.streamChiplets[2] = {1};
+    auto gpu = std::make_unique<GpuSystem>(tinyConfig(), opts);
+    const DsId ds = gpu->space().allocate("rwlr", 64 * 1024);
+    const std::uint64_t lines = gpu->space().alloc(ds).numLines();
+    gpu->enqueue(pingPongKernel(ds, lines, true, 1));
+    gpu->enqueue(pingPongKernel(ds, lines, false, 1));
+    for (int r = 0; r < rounds; ++r) {
+        gpu->enqueue(pingPongKernel(ds, lines, true, 2));
+        gpu->enqueue(pingPongKernel(ds, lines, false, 1));
+    }
+    return gpu;
+}
+
+// ---------------------------------------------------------------------------
+// Soundness: silent on every correct protocol
+// ---------------------------------------------------------------------------
+
+TEST(HbCheck, SilentOnCorrectProtocols)
+{
+    for (ProtocolKind kind :
+         {ProtocolKind::Baseline, ProtocolKind::CpElide, ProtocolKind::Hmg,
+          ProtocolKind::HmgWriteBack}) {
+        auto gpu = makePingPong(nullptr, kind, /*fail_on_violation=*/true);
+        const RunResult r = gpu->run("pp");
+        ASSERT_NE(gpu->checker(), nullptr);
+        EXPECT_EQ(r.hbViolations, 0u) << protocolName(kind);
+        EXPECT_EQ(gpu->checker()->violations(), 0u) << protocolName(kind);
+
+        auto gpu2 = makeRemoteWriteLocalRead(nullptr, kind, true);
+        const RunResult r2 = gpu2->run("rwlr");
+        EXPECT_EQ(r2.hbViolations, 0u) << protocolName(kind);
+    }
+}
+
+TEST(HbCheck, SilentOnSuiteWorkloads)
+{
+    // Harness-driven workloads across all three paper configurations:
+    // the checker must never fire on a fault-free run.
+    for (ProtocolKind kind : {ProtocolKind::Baseline, ProtocolKind::Hmg,
+                              ProtocolKind::CpElide}) {
+        for (const char *name : {"Square", "Backprop", "SSSP"}) {
+            RunOptions opts;
+            opts.protocol = kind;
+            opts.check = true;
+            const RunResult r = runWorkloadCfg(
+                name, GpuConfig::radeonVii(4), opts, 0.05);
+            EXPECT_EQ(r.hbViolations, 0u)
+                << name << " on " << protocolName(kind);
+        }
+    }
+}
+
+TEST(HbCheck, DelayedFlushIsNotAViolation)
+{
+    // A delayed flush still performs its writebacks: pure timing.
+    FaultPlan plan;
+    plan.delayFlushProb = 1.0;
+    plan.flushDelayCycles = 5000;
+    FaultInjector fi{plan};
+    auto gpu = makePingPong(&fi, ProtocolKind::Baseline, true);
+    const RunResult r = gpu->run("pp");
+    EXPECT_GT(fi.flushesDelayed(), 0u);
+    EXPECT_EQ(r.hbViolations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Completeness: golden reports for every fault class
+// ---------------------------------------------------------------------------
+
+TEST(HbCheck, DroppedFlushYieldsMissingReleaseWithEdgeTrace)
+{
+    FaultPlan plan;
+    plan.dropFlushProb = 1.0;
+    FaultInjector fi{plan};
+    auto gpu = makePingPong(&fi, ProtocolKind::Baseline,
+                            /*fail_on_violation=*/false);
+    const RunResult r = gpu->run("pp");
+    EXPECT_GT(fi.flushesDropped(), 0u);
+    ASSERT_GT(r.hbViolations, 0u);
+
+    const HbChecker *hb = gpu->checker();
+    ASSERT_NE(hb, nullptr);
+    EXPECT_GT(hb->missingReleases(), 0u);
+    ASSERT_FALSE(hb->reports().empty());
+
+    const HbViolation &v = hb->reports().front();
+    EXPECT_EQ(v.kind, HbViolation::Kind::MissingRelease);
+    EXPECT_EQ(v.writer, 0);
+    EXPECT_EQ(v.reader, 1);
+    // The golden edge trace: both kernels named, the fault attributed
+    // as a lost writeback (a release WAS issued), not an elision.
+    EXPECT_NE(v.message.find("'produce'"), std::string::npos) << v.message;
+    EXPECT_NE(v.message.find("'consume'"), std::string::npos) << v.message;
+    EXPECT_NE(v.message.find("dropped flush"), std::string::npos)
+        << v.message;
+    EXPECT_EQ(v.message.find("elided"), std::string::npos) << v.message;
+    EXPECT_NE(v.message.find("reader clock"), std::string::npos)
+        << v.message;
+}
+
+TEST(HbCheck, SkippedInvalidateYieldsMissingAcquireWithEdgeTrace)
+{
+    FaultPlan plan;
+    plan.skipInvalidateProb = 1.0;
+    FaultInjector fi{plan};
+    auto gpu = makeRemoteWriteLocalRead(&fi, ProtocolKind::Baseline,
+                                        /*fail_on_violation=*/false);
+    const RunResult r = gpu->run("rwlr");
+    EXPECT_GT(fi.invalidatesSkipped(), 0u);
+    ASSERT_GT(r.hbViolations, 0u);
+
+    const HbChecker *hb = gpu->checker();
+    EXPECT_GT(hb->missingAcquires(), 0u);
+
+    bool sawAcquireTrace = false;
+    for (const HbViolation &v : hb->reports()) {
+        if (v.kind != HbViolation::Kind::MissingAcquire)
+            continue;
+        sawAcquireTrace = true;
+        EXPECT_EQ(v.writer, 1);
+        EXPECT_EQ(v.reader, 0);
+        EXPECT_NE(v.message.find("skipped invalidate"), std::string::npos)
+            << v.message;
+        EXPECT_EQ(v.message.find("elided"), std::string::npos) << v.message;
+        break;
+    }
+    EXPECT_TRUE(sawAcquireTrace);
+}
+
+TEST(HbCheck, TableCorruptionIsAttributedToTheElision)
+{
+    // A corrupted coherence table makes CPElide elide syncs it needed;
+    // unlike the flush/invalidate faults, no op was ever issued, so the
+    // checker must attribute the missing edge to the elision decision
+    // and quote the launch's sync plan.
+    FaultPlan plan;
+    plan.corruptTableProb = 1.0;
+    FaultInjector fi{plan};
+    auto gpu = makePingPong(&fi, ProtocolKind::CpElide,
+                            /*fail_on_violation=*/false);
+    const RunResult r = gpu->run("pp");
+    ASSERT_GT(fi.tableCorruptions(), 0u);
+    ASSERT_GT(r.hbViolations, 0u);
+
+    const HbChecker *hb = gpu->checker();
+    ASSERT_FALSE(hb->reports().empty());
+    const HbViolation &v = hb->reports().front();
+    EXPECT_NE(v.message.find("elided"), std::string::npos) << v.message;
+    // The reader launch's actual (wrongly pruned) sync plan is quoted.
+    EXPECT_NE(v.message.find("issued acquires="), std::string::npos)
+        << v.message;
+    EXPECT_NE(v.message.find("releases="), std::string::npos) << v.message;
+}
+
+TEST(HbCheck, EveryObservableFlushDropIsDetected)
+{
+    // Mirror of FaultInjection.EveryObservableFlushDropIsDetected with
+    // the HB checker as the detector: one campaign per flush op, each
+    // dropping exactly that op. 100% of drops that discard dirty lines
+    // are flagged; drops of clean L2s stay silent (no false positives).
+    FaultInjector probe{FaultPlan{}};
+    makePingPong(&probe, ProtocolKind::Baseline, true)->run("pp");
+    const std::uint64_t flushes = probe.flushesSeen();
+    ASSERT_GT(flushes, 0u);
+
+    std::uint64_t observableDrops = 0;
+    for (std::uint64_t i = 0; i < flushes; ++i) {
+        FaultPlan plan;
+        plan.dropFlushAt = {i};
+        FaultInjector fi{plan};
+        auto gpu = makePingPong(&fi, ProtocolKind::Baseline,
+                                /*fail_on_violation=*/false);
+        const RunResult r = gpu->run("pp");
+        ASSERT_EQ(fi.flushesDropped(), 1u) << "drop index " << i;
+        if (fi.droppedDirtyLines() > 0) {
+            ++observableDrops;
+            EXPECT_GT(r.hbViolations, 0u)
+                << "undetected data loss at flush " << i << " ("
+                << fi.droppedDirtyLines() << " dirty lines)";
+        } else {
+            EXPECT_EQ(r.hbViolations, 0u)
+                << "false positive at clean flush " << i;
+        }
+    }
+    EXPECT_GT(observableDrops, 1u);
+}
+
+TEST(HbCheck, SubsumesTheLegacyDetectionChannels)
+{
+    // On the all-drops campaign the checker finds at least everything
+    // the staleness checker and host-visibility audit find, while also
+    // classifying each miss.
+    FaultPlan plan;
+    plan.dropFlushProb = 1.0;
+    FaultInjector fi{plan};
+    auto gpu = makePingPong(&fi, ProtocolKind::Baseline,
+                            /*fail_on_violation=*/false);
+    const RunResult r = gpu->run("pp");
+    EXPECT_GT(r.staleReads, 0u);
+    EXPECT_GT(r.hostVisibilityViolations, 0u);
+    EXPECT_GT(r.hbViolations, 0u);
+    const HbChecker *hb = gpu->checker();
+    EXPECT_GT(hb->missingReleases(), 0u);
+    EXPECT_GT(hb->hostInvisible(), 0u);
+    EXPECT_EQ(hb->violations(),
+              hb->missingReleases() + hb->missingAcquires() +
+                  hb->hostInvisible());
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement plumbing
+// ---------------------------------------------------------------------------
+
+TEST(HbCheck, ViolationsThrowInvariantErrorByDefault)
+{
+    FaultPlan plan;
+    plan.dropFlushProb = 1.0;
+    FaultInjector fi{plan};
+    auto gpu = makePingPong(&fi, ProtocolKind::Baseline,
+                            /*fail_on_violation=*/true);
+    try {
+        gpu->run("pp");
+        FAIL() << "expected InvariantError";
+    } catch (const InvariantError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("happens-before checker"), std::string::npos);
+        EXPECT_NE(what.find("missing-release"), std::string::npos);
+    }
+    // The checker outlives the throw for post-mortem inspection.
+    ASSERT_NE(gpu->checker(), nullptr);
+    EXPECT_GT(gpu->checker()->violations(), 0u);
+}
+
+TEST(HbCheck, EnvKnobEnablesChecking)
+{
+    ASSERT_EQ(setenv("CPELIDE_CHECK", "1", 1), 0);
+    RunOptions opts;
+    opts.protocol = ProtocolKind::CpElide; // opts.check left false
+    GpuSystem gpu(tinyConfig(), opts);
+    unsetenv("CPELIDE_CHECK");
+    ASSERT_NE(gpu.checker(), nullptr);
+
+    RunOptions plain;
+    plain.protocol = ProtocolKind::CpElide;
+    GpuSystem off(tinyConfig(), plain);
+    EXPECT_EQ(off.checker(), nullptr);
+}
+
+TEST(HbCheck, ReportCapBoundsStorageNotCounters)
+{
+    FaultPlan plan;
+    plan.dropFlushProb = 1.0;
+    plan.skipInvalidateProb = 1.0;
+    FaultInjector fi{plan};
+    auto gpu = makePingPong(&fi, ProtocolKind::Baseline,
+                            /*fail_on_violation=*/false, /*rounds=*/8);
+    const RunResult r = gpu->run("pp");
+    const HbChecker *hb = gpu->checker();
+    EXPECT_LE(hb->reports().size(), HbChecker::kMaxReports);
+    EXPECT_EQ(r.hbViolations, hb->violations());
+    EXPECT_GE(hb->violations(), hb->reports().size());
+}
+
+} // namespace
+} // namespace cpelide

@@ -113,13 +113,16 @@ TEST(DsTransitionProperty, ReachabilityInvariants)
         const auto ev = static_cast<DsEvent>(rng.below(5));
         const DsState prev = s;
         s = dsTransition(s, ev);
-        if (s == DsState::Dirty && prev != DsState::Dirty)
+        if (s == DsState::Dirty && prev != DsState::Dirty) {
             EXPECT_EQ(ev, DsEvent::LocalWrite);
-        if (prev == DsState::Stale && s != DsState::Stale)
+        }
+        if (prev == DsState::Stale && s != DsState::Stale) {
             EXPECT_EQ(ev, DsEvent::Acquire);
+        }
         // Release never invents data or staleness.
-        if (ev == DsEvent::Release)
+        if (ev == DsEvent::Release) {
             EXPECT_NE(s, DsState::Dirty);
+        }
     }
 }
 

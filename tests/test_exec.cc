@@ -193,7 +193,10 @@ TEST(SweepRunner, RunawayJobBecomesStructuredTimeout)
     // An unbounded simulation loop must come back as a Timeout row —
     // not hang the sweep — while its neighbors complete untouched.
     SweepSpec spec{"test_timeout", {}};
-    spec.budget.maxWallMs = 200.0;
+    // Generous enough that the healthy neighbor jobs finish within the
+    // budget even under a sanitizer's ~10x slowdown; the spinning job
+    // burns the whole budget either way.
+    spec.budget.maxWallMs = 2000.0;
     spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
                                     2, 0.05));
     spec.add("spin_forever", []() -> RunResult {

@@ -155,9 +155,9 @@ allCases()
 
 INSTANTIATE_TEST_SUITE_P(
     All, ProtocolFuzz, ::testing::ValuesIn(allCases()),
-    [](const ::testing::TestParamInfo<FuzzCase> &info) {
-        std::string name = std::string(protocolName(info.param.kind)) +
-                           "_s" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<FuzzCase> &p) {
+        std::string name = std::string(protocolName(p.param.kind)) +
+                           "_s" + std::to_string(p.param.seed);
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -95,8 +95,9 @@ TEST(RenderErrorRows, RendersEscapedTable)
     // The embedded newline was escaped: every line is a table line.
     for (std::size_t pos = out.find('\n'); pos != std::string::npos;
          pos = out.find('\n', pos + 1)) {
-        if (pos + 1 < out.size())
+        if (pos + 1 < out.size()) {
             EXPECT_TRUE(out[pos + 1] == '|' || out[pos + 1] == '+');
+        }
     }
 }
 

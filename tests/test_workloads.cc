@@ -85,8 +85,8 @@ TEST_P(WorkloadConformance, BaselineAndHmgAreCoherent)
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadConformance,
     ::testing::ValuesIn(workloadNames()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string> &p) {
+        std::string name = p.param;
         for (char &c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
