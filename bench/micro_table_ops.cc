@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/elide_engine.hh"
+#include "harness/bench_io.hh"
 #include "mem/cache.hh"
 
 namespace
@@ -110,4 +111,17 @@ BENCHMARK(BM_L2FlushDirtyLines)->Arg(1024)->Arg(16384);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared bench flags (--format=,
+// --profile=) are stripped before google-benchmark sees the argv.
+int
+main(int argc, char **argv)
+{
+    cpelide::BenchIo io = cpelide::BenchIo::fromArgs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    io.finish();
+    return 0;
+}

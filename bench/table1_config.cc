@@ -7,20 +7,27 @@
 
 #include <cstdio>
 
+#include "harness/bench_io.hh"
 #include "harness/harness.hh"
 
 using namespace cpelide;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::puts("== Table I: Simulated baseline GPU parameters ==\n");
-    for (int chiplets : {2, 4, 6, 7}) {
-        std::printf("---- %d-chiplet configuration ----\n", chiplets);
-        printConfigBanner(chiplets);
+    // No sweeps to profile here, but accept the shared bench flags so
+    // the CLI is uniform (and --profile= still writes its report).
+    BenchIo io = BenchIo::fromArgs(argc, argv);
+    if (io.tables()) {
+        std::puts("== Table I: Simulated baseline GPU parameters ==\n");
+        for (int chiplets : {2, 4, 6, 7}) {
+            std::printf("---- %d-chiplet configuration ----\n", chiplets);
+            printConfigBanner(chiplets);
+        }
+        std::puts("---- Equivalent monolithic GPU (Fig 2 reference) ----");
+        const GpuConfig mono = GpuConfig::monolithicEquivalent(4);
+        std::fputs(mono.describe().c_str(), stdout);
     }
-    std::puts("---- Equivalent monolithic GPU (Fig 2 reference) ----");
-    const GpuConfig mono = GpuConfig::monolithicEquivalent(4);
-    std::fputs(mono.describe().c_str(), stdout);
+    io.finish();
     return 0;
 }

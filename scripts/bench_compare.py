@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Perf gate: diff a bench run's JSONL output against a committed baseline.
+
+Usage:
+    ./build/bench/fig8_performance --format=json > run.jsonl
+    python3 scripts/bench_compare.py --baseline BENCH_fig8.json run.jsonl
+
+Reads the ``--format=json`` JSONL stream a bench writes (one
+``"type":"result"`` object per sweep point; ``"type":"phase"`` lines are
+ignored), keys each run by ``sweep/label``, and compares the fields in
+COMPARED_FIELDS against the baseline with a relative tolerance
+(default exact: the simulator is deterministic, so at a fixed
+CPELIDE_SCALE every counter reproduces bit-for-bit).
+
+Failures (exit status 1, one line per deviation):
+  - a baseline key missing from the run (a sweep point disappeared),
+  - a run key missing from the baseline (run with --update to adopt it),
+  - any compared field deviating beyond --tolerance,
+  - a run point that finished with ok=0.
+
+``--update`` regenerates the baseline from the run instead of
+comparing; commit the result. Baselines are canonical JSON (sorted
+keys, indented) so regeneration diffs minimally.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters gated against the baseline. Deterministic integers only —
+# no wall-clock or RSS fields, which vary run to run.
+COMPARED_FIELDS = [
+    "numChiplets",
+    "cycles",
+    "kernels",
+    "accesses",
+    "dramAccesses",
+    "l2Hits",
+    "l2Misses",
+    "l2FlushesIssued",
+    "l2InvalidatesIssued",
+    "l2FlushesElided",
+    "l2InvalidatesElided",
+    "linesWrittenBack",
+    "syncStallCycles",
+    "stallComputeCycles",
+    "stallMemoryCycles",
+    "stallBarrierCycles",
+    "stallFlushCycles",
+    "stallInvalidateCycles",
+    "stallDirectoryCycles",
+]
+
+
+def load_run(stream) -> dict:
+    """Parse JSONL into {"sweep/label": {field: value}}; ok=0 rows keep
+    an "_error" marker so the gate can report them."""
+    runs = {}
+    for n, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            sys.exit(f"bench_compare: line {n}: not JSON ({exc})")
+        if rec.get("type") != "result":
+            continue
+        key = f"{rec.get('sweep', '?')}/{rec.get('label', '?')}"
+        if not rec.get("ok", 0):
+            runs[key] = {"_error": rec.get("error", "run failed")}
+            continue
+        runs[key] = {f: rec[f] for f in COMPARED_FIELDS if f in rec}
+    return runs
+
+
+def deviation(got: float, want: float) -> float:
+    """Relative deviation, guarding the want==0 case."""
+    if want == got:
+        return 0.0
+    return abs(got - want) / max(abs(want), 1.0)
+
+
+def compare(runs: dict, baseline: dict, tolerance: float) -> list:
+    errors = []
+    for key in sorted(baseline):
+        if key not in runs:
+            errors.append(f"{key}: in baseline but missing from run")
+    for key in sorted(runs):
+        fields = runs[key]
+        if "_error" in fields:
+            errors.append(f"{key}: run failed: {fields['_error']}")
+            continue
+        if key not in baseline:
+            errors.append(f"{key}: not in baseline "
+                          "(run with --update to adopt)")
+            continue
+        want = baseline[key]
+        for f in COMPARED_FIELDS:
+            if f not in want:
+                continue
+            if f not in fields:
+                errors.append(f"{key}: field {f} missing from run")
+                continue
+            dev = deviation(fields[f], want[f])
+            if dev > tolerance:
+                errors.append(f"{key}: {f} = {fields[f]}, baseline "
+                              f"{want[f]} (deviation {dev:.2%} > "
+                              f"tolerance {tolerance:.2%})")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Diff bench JSONL output against a committed baseline.")
+    ap.add_argument("run", help="JSONL file from --format=json ('-' = stdin)")
+    ap.add_argument("--baseline", required=True,
+                    help="baseline JSON file (e.g. BENCH_fig8.json)")
+    ap.add_argument("--tolerance", type=float, default=0.0,
+                    help="relative tolerance per field (default 0: the "
+                         "simulator is deterministic)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run instead of "
+                         "comparing")
+    args = ap.parse_args()
+
+    stream = sys.stdin if args.run == "-" else open(args.run)
+    with stream:
+        runs = load_run(stream)
+    if not runs:
+        sys.exit("bench_compare: run produced no result records")
+
+    if args.update:
+        failed = sorted(k for k, v in runs.items() if "_error" in v)
+        if failed:
+            for key in failed:
+                print(f"bench_compare: refusing to baseline failed run "
+                      f"{key}: {runs[key]['_error']}", file=sys.stderr)
+            return 1
+        with open(args.baseline, "w") as f:
+            json.dump(runs, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench_compare: wrote {len(runs)} baseline record(s) to "
+              f"{args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as exc:
+        sys.exit(f"bench_compare: cannot read baseline: {exc}")
+
+    errors = compare(runs, baseline, args.tolerance)
+    if errors:
+        print(f"bench_compare: {len(errors)} deviation(s) vs "
+              f"{args.baseline}")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"bench_compare: {len(runs)} record(s) match {args.baseline} "
+          f"(tolerance {args.tolerance:.2%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,13 @@ Checks (each prints every violation; exit status 1 if any fired):
     machine-parsed sweep output — a stray print corrupts it). Only
     src/harness/ and src/stats/ may touch std::cout.
 
+ 4. prof-counters: live stat counters in src/ must be prof::Counter,
+    not ad-hoc std::uint64_t members, so they can register with the
+    profiling registry and compile out when CPELIDE_PROF_ENABLED=0.
+    Flags private members (underscore-prefixed) whose name reads like
+    a statistic. Result/snapshot records (src/stats/) and the prof
+    primitives themselves are exempt.
+
 Run from the repository root (CI does):  python3 scripts/lint.py
 """
 
@@ -39,6 +46,18 @@ COUT_ALLOWED_PREFIXES = ("src/harness/", "src/stats/")
 COUT_RE = re.compile(r"\bstd::cout\b")
 
 SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
+
+# prof-counters rule. Exempt: the prof primitives themselves, and
+# src/stats/ (result records are frozen snapshots, not live counters).
+# _dirtyCount is live L2 occupancy — decremented when a line is
+# cleaned, so it is a gauge, not a monotonic stat.
+COUNTER_EXEMPT_PREFIXES = ("src/prof/", "src/stats/")
+COUNTER_ALLOWED = {("src/mem/cache.hh", "_dirtyCount")}
+COUNTER_DECL_RE = re.compile(r"\bstd::uint64_t\s+(_\w+)")
+COUNTER_WORD_RE = re.compile(
+    r"(count|hits|misses|processed|seen|dropped|issued|elided|elisions|"
+    r"evict|invalidat|flush|lookups|accesses|violations|cancel|retries|"
+    r"stalls|writebacks|acquires|releases)", re.I)
 
 
 def rel(path: pathlib.Path) -> str:
@@ -108,11 +127,32 @@ def check_no_cout() -> list:
     return errors
 
 
+def check_prof_counters() -> list:
+    errors = []
+    for path in source_files("src"):
+        if rel(path).startswith(COUNTER_EXEMPT_PREFIXES):
+            continue
+        for n, line in enumerate(path.read_text().splitlines(), 1):
+            m = COUNTER_DECL_RE.search(line)
+            if not m:
+                continue
+            name = m.group(1)
+            if not COUNTER_WORD_RE.search(name):
+                continue
+            if (rel(path), name) in COUNTER_ALLOWED:
+                continue
+            errors.append(f"{rel(path)}:{n}: stat member {name} should "
+                          "be prof::Counter (prof/counter.hh) so it "
+                          "registers with the profiling registry")
+    return errors
+
+
 def main() -> int:
     checks = [
         ("include-guards", check_include_guards),
         ("single-getenv", check_single_getenv),
         ("no-cout", check_no_cout),
+        ("prof-counters", check_prof_counters),
     ]
     failed = False
     for name, fn in checks:

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "check/vector_clock.hh"
+#include "prof/counter.hh"
 #include "sim/types.hh"
 
 namespace cpelide
@@ -251,10 +252,10 @@ class HbChecker
 
     std::unordered_map<Addr, LineState> _lines;
 
-    std::uint64_t _violations = 0;
-    std::uint64_t _missingReleases = 0;
-    std::uint64_t _missingAcquires = 0;
-    std::uint64_t _hostInvisible = 0;
+    prof::Counter _violations;
+    prof::Counter _missingReleases;
+    prof::Counter _missingAcquires;
+    prof::Counter _hostInvisible;
     std::vector<HbViolation> _reports;
     bool _finalized = false;
 };

@@ -39,6 +39,7 @@ HmgDirectory::HmgDirectory(std::uint32_t entries, std::uint32_t assoc)
 HmgDirectory::Entry *
 HmgDirectory::find(Addr region)
 {
+    ++_lookups;
     Entry *set = &_entries[setIndex(region) * _assoc];
     for (std::uint32_t w = 0; w < _assoc; ++w) {
         if (set[w].valid && set[w].region == region)
@@ -149,6 +150,22 @@ HmgMemSystem::directoryEvictions() const
 }
 
 void
+HmgMemSystem::registerProf(prof::ProfRegistry &reg) const
+{
+    MemSystem::registerProf(reg);
+    reg.addCounter("hmg/sharer-invalidations", &_sharerInvalidations);
+    reg.addCounter("hmg/directory-stall-cycles", &_directoryStallCycles);
+    for (std::size_t c = 0; c < _dirs.size(); ++c) {
+        const std::string dir =
+            "chiplet" + std::to_string(c) + "/dir/";
+        reg.addGauge(dir + "lookups",
+                     [this, c] { return _dirs[c].lookups(); });
+        reg.addGauge(dir + "evictions",
+                     [this, c] { return _dirs[c].evictions(); });
+    }
+}
+
+void
 HmgMemSystem::fillL2(ChipletId c, Addr addr, std::uint32_t version,
                      DsId ds, std::uint64_t line, bool dirty)
 {
@@ -209,6 +226,9 @@ HmgMemSystem::invalidateRegion(ChipletId home, Addr regionAddr,
             .arg("lines", extracted)
             .arg("sharers", sharerMask);
     }
+    // Every caller puts the ack wait on an access's critical path, so
+    // the attribution's Directory bin can charge it from here.
+    _directoryStallCycles += penalty;
     return penalty;
 }
 

@@ -73,6 +73,7 @@ class HmgDirectory
     void remove(Addr addr);
 
     std::uint64_t evictions() const { return _evictions; }
+    std::uint64_t lookups() const { return _lookups; }
 
     static Addr regionAlign(Addr a)
     {
@@ -102,7 +103,8 @@ class HmgDirectory
     std::uint64_t _numSets;
     std::vector<Entry> _entries;
     std::uint64_t _useClock = 0;
-    std::uint64_t _evictions = 0;
+    prof::Counter _evictions;
+    mutable prof::Counter _lookups; //!< counted in const probes too
 };
 
 /** HMG memory system; see file header. */
@@ -119,6 +121,12 @@ class HmgMemSystem : public MemSystem
     {
         return _sharerInvalidations;
     }
+    std::uint64_t directoryStallCycles() const override
+    {
+        return _directoryStallCycles;
+    }
+
+    void registerProf(prof::ProfRegistry &reg) const override;
 
     /** Directory of lines homed at @p c (tests). */
     HmgDirectory &directory(ChipletId c) { return _dirs[c]; }
@@ -156,7 +164,9 @@ class HmgMemSystem : public MemSystem
 
     bool _writeThrough;
     std::vector<HmgDirectory> _dirs;
-    std::uint64_t _sharerInvalidations = 0;
+    prof::Counter _sharerInvalidations;
+    /** Ack round-trip cycles charged to accesses by the directory. */
+    prof::Counter _directoryStallCycles;
 };
 
 } // namespace cpelide

@@ -63,13 +63,16 @@ MemSystem::access(const AccessContext &ctx, DsId ds, std::uint64_t line,
         const std::uint32_t version = _space.recordStore(ds, line);
         l1c.updateIfPresent(addr, version, /*markDirty=*/false);
         _noc.countL1L2Data();
-        return writeBelowL1(ctx, ds, line, addr, version);
+        const Cycles lat = writeBelowL1(ctx, ds, line, addr, version);
+        _accessLatency.record(lat);
+        return lat;
     }
 
     std::uint32_t version = 0;
     if (l1c.probe(addr, &version)) {
         ++_l1Stats.hits;
         _space.checkObserved(ds, line, version);
+        _accessLatency.record(_cfg.l1Latency);
         return _cfg.l1Latency;
     }
     ++_l1Stats.misses;
@@ -88,6 +91,7 @@ MemSystem::access(const AccessContext &ctx, DsId ds, std::uint64_t line,
     if (_check)
         _check->onRead(ctx.chiplet, ds, line, addr);
     // Table I latencies are load-to-use totals per hit level.
+    _accessLatency.record(below);
     return below;
 }
 
@@ -143,6 +147,7 @@ MemSystem::l2Release(ChipletId c)
     SetAssocCache &l2c = *_l2s[l2Index(c)];
     const std::uint64_t dirty = l2c.dirtyLines();
     ++_l2Flushes;
+    _flushDirtyLines.record(dirty);
     if (_check)
         _check->onReleaseAttempt(c);
     if (_trace)
@@ -322,6 +327,41 @@ MemSystem::remoteCtrlHop(ChipletId a, ChipletId b)
     // A control message occupies a full flit slot on each link.
     _noc.addXlinkBytes(a, 32);
     _noc.addXlinkBytes(b, 32);
+}
+
+void
+MemSystem::registerProf(prof::ProfRegistry &reg) const
+{
+    reg.addCounter("mem/accesses", &_accesses);
+    reg.addCounter("mem/dram-accesses", &_dramAccesses);
+    reg.addCounter("mem/l2-flushes", &_l2Flushes);
+    reg.addCounter("mem/l2-invalidates", &_l2Invalidates);
+    reg.addCounter("mem/lines-written-back", &_linesWrittenBack);
+    reg.addHistogram("mem/access-latency", &_accessLatency);
+    reg.addHistogram("mem/flush-dirty-lines", &_flushDirtyLines);
+    reg.addGauge("l1/hits", [this] { return _l1Stats.hits; });
+    reg.addGauge("l1/misses", [this] { return _l1Stats.misses; });
+    reg.addGauge("l2/hits", [this] { return _l2Stats.hits; });
+    reg.addGauge("l2/misses", [this] { return _l2Stats.misses; });
+    reg.addGauge("l3/hits", [this] { return _l3Stats.hits; });
+    reg.addGauge("l3/misses", [this] { return _l3Stats.misses; });
+    // Per-CU L1 arrays, per-chiplet L2s, and the L3 bank slices, each
+    // under a stable hierarchical prefix.
+    for (std::size_t i = 0; i < _l1s.size(); ++i) {
+        const std::size_t chiplet = i / _cfg.cusPerChiplet;
+        _l1s[i]->registerProf(reg, "chiplet" + std::to_string(chiplet) +
+                                       "/cu" +
+                                       std::to_string(
+                                           i % _cfg.cusPerChiplet) +
+                                       "/l1");
+    }
+    for (std::size_t c = 0; c < _l2s.size(); ++c) {
+        _l2s[c]->registerProf(reg,
+                              "chiplet" + std::to_string(c) + "/l2");
+    }
+    for (std::size_t c = 0; c < _l3s.size(); ++c)
+        _l3s[c]->registerProf(reg, "l3/bank" + std::to_string(c));
+    _noc.registerProf(reg);
 }
 
 Cycles

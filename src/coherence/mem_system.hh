@@ -28,6 +28,8 @@
 #include "mem/data_space.hh"
 #include "mem/page_table.hh"
 #include "noc/noc.hh"
+#include "prof/counter.hh"
+#include "prof/registry.hh"
 #include "sim/fault_injector.hh"
 #include "stats/run_result.hh"
 
@@ -160,6 +162,20 @@ class MemSystem
     virtual std::uint64_t directoryEvictions() const { return 0; }
     virtual std::uint64_t sharerInvalidations() const { return 0; }
 
+    /**
+     * Cumulative cycles of directory sharer-invalidation penalty this
+     * protocol put on access critical paths (HMG only; 0 elsewhere).
+     * GpuSystem's stall attribution charges these to the Directory bin.
+     */
+    virtual std::uint64_t directoryStallCycles() const { return 0; }
+
+    /**
+     * Register every cache/NoC/DRAM counter of this memory system in a
+     * run's profiling registry, under "chiplet<i>/..." and "mem/..."
+     * prefixes. Subclasses extend (HMG adds its directory counters).
+     */
+    virtual void registerProf(prof::ProfRegistry &reg) const;
+
     /** L2 array of chiplet @p c (tests; monolithic maps all to one). */
     SetAssocCache &l2(ChipletId c) { return *_l2s[l2Index(c)]; }
     /** L1 of a specific CU (tests). */
@@ -240,11 +256,16 @@ class MemSystem
     LevelStats _l1Stats;
     LevelStats _l2Stats;
     LevelStats _l3Stats;
-    std::uint64_t _dramAccesses = 0;
-    std::uint64_t _accesses = 0;
-    std::uint64_t _l2Flushes = 0;
-    std::uint64_t _l2Invalidates = 0;
-    std::uint64_t _linesWrittenBack = 0;
+    prof::Counter _dramAccesses;
+    prof::Counter _accesses;
+    prof::Counter _l2Flushes;
+    prof::Counter _l2Invalidates;
+    prof::Counter _linesWrittenBack;
+
+    /** CU-observed latency of every cached access (log2 buckets). */
+    prof::Histogram _accessLatency;
+    /** Dirty lines written back per l2Release. */
+    prof::Histogram _flushDirtyLines;
 
     /** Fault-injection campaign driving this run, or nullptr. */
     FaultInjector *_faults = nullptr;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/ds_state.hh"
+#include "prof/counter.hh"
 #include "sim/types.hh"
 
 namespace cpelide
@@ -119,7 +120,7 @@ class CoherenceTable
     int _numChiplets;
     int _capacity;
     std::vector<TableRow> _rows;
-    std::uint64_t _maxEntries = 0;
+    prof::Counter _maxEntries; //!< high-water mark, not monotonic-add
 };
 
 } // namespace cpelide

@@ -74,6 +74,54 @@ ElideEngine::ElideEngine(int num_chiplets, int ds_per_kernel,
       _table(num_chiplets, table_capacity)
 {}
 
+const char *
+ElideEngine::reasonName(Reason r)
+{
+    switch (r) {
+      case Reason::AcqMergeConflict:
+        return "acq-merge-conflict";
+      case Reason::AcqConservative:
+        return "acq-conservative";
+      case Reason::AcqCrossWrite:
+        return "acq-cross-write";
+      case Reason::AcqStaleHit:
+        return "acq-stale-hit";
+      case Reason::AcqRemoteWrite:
+        return "acq-remote-write";
+      case Reason::RelLazyConsumer:
+        return "rel-lazy-consumer";
+      case Reason::RelCrossWriteFlush:
+        return "rel-cross-write-flush";
+      case Reason::RelFinalBarrier:
+        return "rel-final-barrier";
+      case Reason::NumReasons:
+        break;
+    }
+    fatal("bad elide reason " + std::to_string(static_cast<int>(r)));
+}
+
+void
+ElideEngine::registerProf(prof::ProfRegistry &reg) const
+{
+    reg.addCounter("elide/acquires-issued", &_acquiresIssued);
+    reg.addCounter("elide/releases-issued", &_releasesIssued);
+    reg.addCounter("elide/acquires-elided", &_acquiresElided);
+    reg.addCounter("elide/releases-elided", &_releasesElided);
+    reg.addCounter("elide/conservative-fallbacks", &_fallbacks);
+    reg.addCounter("elide/coarsen-events", &_coarsenEvents);
+    for (std::size_t r = 0;
+         r < static_cast<std::size_t>(Reason::NumReasons); ++r) {
+        reg.addCounter(std::string("elide/reason/") +
+                           reasonName(static_cast<Reason>(r)),
+                       &_reasons[r]);
+    }
+    reg.addGauge("elide/table/rows", [this] { return _table.size(); });
+    reg.addGauge("elide/table/max-entries",
+                 [this] { return _table.maxEntries(); });
+    reg.addGauge("elide/table/hardware-bytes",
+                 [this] { return _table.hardwareBytes(); });
+}
+
 std::vector<KernelArgAccess>
 ElideEngine::coarsen(std::vector<KernelArgAccess> args, std::size_t limit)
 {
@@ -142,8 +190,10 @@ ElideEngine::mergeRows(const AddrRange &span, std::vector<bool> &acquire)
                 AddrRange::unionOf(keep.range[c], victim.range[c]);
             keep.home[c] =
                 AddrRange::unionOf(keep.home[c], victim.home[c]);
-            if (conflict)
+            if (conflict) {
                 acquire[c] = true;
+                countReason(Reason::AcqMergeConflict);
+            }
         }
         _table.erase(static_cast<std::size_t>(victimIdx));
         if (victimIdx < first)
@@ -249,6 +299,8 @@ ElideEngine::onKernelLaunch(const LaunchDecl &decl)
         ++_fallbacks;
         plan.conservative = true;
         std::fill(acquire.begin(), acquire.end(), true);
+        _reasons[static_cast<std::size_t>(Reason::AcqConservative)] +=
+            acquire.size();
         _table.clear();
     }
 
@@ -306,10 +358,13 @@ ElideEngine::onKernelLaunch(const LaunchDecl &decl)
                     // copies without knowing which were overwritten:
                     // start it clean. Non-participants just need dirty
                     // data flushed (they go Stale lazily).
-                    if (scheduled)
+                    if (scheduled) {
                         acquire[i] = true;
-                    else if (st == DsState::Dirty)
+                        countReason(Reason::AcqCrossWrite);
+                    } else if (st == DsState::Dirty) {
                         release[i] = true;
+                        countReason(Reason::RelCrossWriteFlush);
+                    }
                     continue;
                 }
 
@@ -326,6 +381,7 @@ ElideEngine::onKernelLaunch(const LaunchDecl &decl)
                                           schedIdx)]
                              .overlaps(cached))) {
                         acquire[i] = true;
+                        countReason(Reason::AcqStaleHit);
                     }
                     break;
                   case DsState::Dirty:
@@ -334,15 +390,19 @@ ElideEngine::onKernelLaunch(const LaunchDecl &decl)
                         // one cached while it keeps participating:
                         // flush + start clean.
                         acquire[i] = true;
+                        countReason(Reason::AcqRemoteWrite);
                     } else if (remoteTouch) {
                         // A consumer elsewhere: flush so the LLC holds
                         // the latest data (the lazy release).
                         release[i] = true;
+                        countReason(Reason::RelLazyConsumer);
                     }
                     break;
                   case DsState::Valid:
-                    if (scheduled && remoteWrite)
+                    if (scheduled && remoteWrite) {
                         acquire[i] = true;
+                        countReason(Reason::AcqRemoteWrite);
+                    }
                     break;
                   case DsState::NotPresent:
                     break;
@@ -426,6 +486,8 @@ ElideEngine::finalBarrier()
     for (int c = 0; c < _numChiplets; ++c)
         plan.releases.push_back(c);
     _releasesIssued += plan.releases.size();
+    _reasons[static_cast<std::size_t>(Reason::RelFinalBarrier)] +=
+        plan.releases.size();
     _table.clear();
     return plan;
 }

@@ -29,6 +29,8 @@
 
 #include "core/coherence_table.hh"
 #include "core/ds_state.hh"
+#include "prof/counter.hh"
+#include "prof/registry.hh"
 
 namespace cpelide
 {
@@ -107,6 +109,34 @@ class ElideEngine
     std::uint64_t coarsenEvents() const { return _coarsenEvents; }
     /** @} */
 
+    /**
+     * Why the engine scheduled each op. Every acquire/release decision
+     * increments exactly one reason counter, so profiling reports can
+     * break "why did CPElide synchronize" down per cause.
+     */
+    enum class Reason
+    {
+        AcqMergeConflict,    //!< Dirty+Stale row merge forced an acquire
+        AcqConservative,     //!< table overflow: full-barrier fallback
+        AcqCrossWrite,       //!< scattered read-write data
+        AcqStaleHit,         //!< scheduled chiplet could hit stale lines
+        AcqRemoteWrite,      //!< remote writer rewrites cached data
+        RelLazyConsumer,     //!< consumer appeared for dirty data
+        RelCrossWriteFlush,  //!< bystander flush under a cross write
+        RelFinalBarrier,     //!< end-of-program host-visibility flush
+        NumReasons
+    };
+
+    static const char *reasonName(Reason r);
+
+    std::uint64_t reasonCount(Reason r) const
+    {
+        return _reasons[static_cast<std::size_t>(r)];
+    }
+
+    /** Register decision/table counters under "elide/...". */
+    void registerProf(prof::ProfRegistry &reg) const;
+
   private:
     /**
      * Reduce @p args to at most the coarsening threshold by merging
@@ -140,12 +170,18 @@ class ElideEngine
     CoherenceTable _table;
     std::vector<std::pair<AddrRange, std::vector<AddrRange>>> _homes;
 
-    std::uint64_t _acquiresIssued = 0;
-    std::uint64_t _releasesIssued = 0;
-    std::uint64_t _acquiresElided = 0;
-    std::uint64_t _releasesElided = 0;
-    std::uint64_t _fallbacks = 0;
-    std::uint64_t _coarsenEvents = 0;
+    void countReason(Reason r)
+    {
+        ++_reasons[static_cast<std::size_t>(r)];
+    }
+
+    prof::Counter _acquiresIssued;
+    prof::Counter _releasesIssued;
+    prof::Counter _acquiresElided;
+    prof::Counter _releasesElided;
+    prof::Counter _fallbacks;
+    prof::Counter _coarsenEvents;
+    prof::Counter _reasons[static_cast<std::size_t>(Reason::NumReasons)];
 };
 
 } // namespace cpelide

@@ -33,7 +33,21 @@ GlobalCp::processPacket(Tick earliest)
     // any real, multi-millisecond application.
     const Tick start = std::max(_cpFree, earliest);
     _cpFree = start + proc;
+    ++_packetsProcessed;
+    _exposedPipelineCycles += _cpFree - earliest;
     return _cpFree;
+}
+
+void
+GlobalCp::registerProf(prof::ProfRegistry &reg) const
+{
+    reg.addCounter("cp/packets-processed", &_packetsProcessed);
+    reg.addCounter("cp/exposed-pipeline-cycles",
+                   &_exposedPipelineCycles);
+    reg.addCounter("cp/launch-syncs", &_launchSyncs);
+    reg.addCounter("cp/sync-cycles", &_syncCycles);
+    if (_engine)
+        _engine->registerProf(reg);
 }
 
 Cycles
@@ -102,10 +116,15 @@ GlobalCp::launchSync(const KernelDesc &desc,
                      const std::vector<WgChunk> &chunks, DataSpace &space)
 {
     SyncOutcome out;
+    ++_launchSyncs;
 
     // Every protocol invalidates the (write-through) L1s at kernel
     // boundaries.
-    out.cost += _mem.kernelBoundaryL1();
+    {
+        const Cycles l1c = _mem.kernelBoundaryL1();
+        out.cost += l1c;
+        out.invalidateCost += l1c;
+    }
 
     switch (_kind) {
       case ProtocolKind::Baseline: {
@@ -116,7 +135,16 @@ GlobalCp::launchSync(const KernelDesc &desc,
                 all.push_back(c);
             _check->onSyncDecision(all, all, 0, 0, false);
         }
-        out.cost += _mem.kernelBoundaryL2();
+        // kernelBoundaryL2 is a parallel l2Acquire on every chiplet:
+        // the critical chiplet pays its flush drain plus the flash
+        // invalidate, so the invalidate share of the worst path is
+        // exactly invalidateCycles.
+        const Cycles l2c = _mem.kernelBoundaryL2();
+        out.cost += l2c;
+        if (l2c > 0) {
+            out.invalidateCost += _cfg.invalidateCycles;
+            out.flushCost += l2c - _cfg.invalidateCycles;
+        }
         out.cost += messagingCost(_cfg.numChiplets);
         out.acquires = static_cast<std::size_t>(_cfg.numChiplets);
         out.releases = static_cast<std::size_t>(_cfg.numChiplets);
@@ -156,6 +184,11 @@ GlobalCp::launchSync(const KernelDesc &desc,
         for (ChipletId c : plan.releases)
             worstRel = std::max(worstRel, _mem.l2Release(c));
         out.cost += worstAcq + worstRel;
+        if (worstAcq > 0) {
+            out.invalidateCost += _cfg.invalidateCycles;
+            out.flushCost += worstAcq - _cfg.invalidateCycles;
+        }
+        out.flushCost += worstRel;
         out.cost += messagingCost(plan.acquires.size() +
                                   plan.releases.size());
         break;
@@ -166,6 +199,8 @@ GlobalCp::launchSync(const KernelDesc &desc,
         // Idealized range-flush ablation: ops happened (functionally)
         // but cost nothing on the critical path.
         out.cost = 0;
+        out.flushCost = 0;
+        out.invalidateCost = 0;
     }
 
     // Section VI scaling study: serialize extra sets of
@@ -183,7 +218,11 @@ GlobalCp::launchSync(const KernelDesc &desc,
                     (walk + _cfg.invalidateCycles +
                      messagingCost(static_cast<std::size_t>(
                          _cfg.numChiplets)));
+        out.flushCost += static_cast<Cycles>(_extraSyncSets) * walk;
+        out.invalidateCost +=
+            static_cast<Cycles>(_extraSyncSets) * _cfg.invalidateCycles;
     }
+    _syncCycles += out.cost;
 
     if (_trace) {
         _trace->instantNow("sync-plan", "cp", kCpTrack)
@@ -197,13 +236,15 @@ GlobalCp::launchSync(const KernelDesc &desc,
 }
 
 Cycles
-GlobalCp::finalBarrier()
+GlobalCp::finalBarrier(Cycles *flush_out)
 {
     Cycles worst = 0;
     for (ChipletId c = 0; c < _cfg.numChiplets; ++c)
         worst = std::max(worst, _mem.l2Release(c));
     if (_engine)
         _engine->finalBarrier();
+    if (flush_out)
+        *flush_out = worst;
     const Cycles cost =
         worst + messagingCost(static_cast<std::size_t>(_cfg.numChiplets));
     if (_trace)

@@ -39,6 +39,15 @@ class TraceSession;
 struct SyncOutcome
 {
     Cycles cost = 0;
+    /**
+     * Critical-path split of @ref cost for stall attribution: cycles
+     * spent draining dirty data (flush walk + writeback) and cycles
+     * spent in flash invalidates (L1s + L2 arrays). The remainder of
+     * cost is crossbar sync messaging, which the GPU layer bins as
+     * barrier wait. flushCost + invalidateCost <= cost always.
+     */
+    Cycles flushCost = 0;
+    Cycles invalidateCost = 0;
     std::size_t acquires = 0;
     std::size_t releases = 0;
     bool conservative = false;
@@ -74,8 +83,10 @@ class GlobalCp
     /**
      * End-of-program barrier: flush all dirty device data for host
      * visibility (all protocols).
+     * @param flush_out if non-null, receives the flush (drain) part of
+     *        the returned cost; the rest is crossbar messaging.
      */
-    Cycles finalBarrier();
+    Cycles finalBarrier(Cycles *flush_out = nullptr);
 
     ProtocolKind protocol() const { return _kind; }
     /** Non-null only for CPElide. */
@@ -109,6 +120,12 @@ class GlobalCp
                          const std::vector<WgChunk> &chunks,
                          DataSpace &space) const;
 
+    /**
+     * Register the CP-queue counters under "cp/...", plus the elide
+     * engine's decision counters when this CP runs CPElide.
+     */
+    void registerProf(prof::ProfRegistry &reg) const;
+
   private:
     /** Crossbar command+ACK round trip for @p nops operations. */
     Cycles messagingCost(std::size_t nops) const;
@@ -121,6 +138,11 @@ class GlobalCp
     Tick _cpFree = 0;
     TraceSession *_trace = nullptr;
     HbChecker *_check = nullptr;
+
+    prof::Counter _packetsProcessed; //!< packets through the CP pipeline
+    prof::Counter _exposedPipelineCycles; //!< CP latency not overlapped
+    prof::Counter _launchSyncs;      //!< launchSync invocations
+    prof::Counter _syncCycles;       //!< total launch-sync cost issued
 };
 
 } // namespace cpelide

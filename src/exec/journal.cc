@@ -98,6 +98,8 @@ encodeOutcome(std::uint64_t hash, const std::string &sweep,
     const RunMetrics &m = outcome.metrics;
     json::appendDouble(out, "wallSeconds", m.wallSeconds);
     json::appendI64(out, "peakRssKb", m.peakRssKb);
+    json::appendI64(out, "rssDeltaKb", m.rssDeltaKb);
+    json::appendU64(out, "rssShared", m.rssShared ? 1 : 0);
     json::appendU64(out, "metricEvents", m.simEvents);
     json::appendI64(out, "worker", m.worker);
 
@@ -158,6 +160,13 @@ decodeOutcome(const std::string &line, std::uint64_t *hash,
     o.attempts = static_cast<int>(attempts);
     m.peakRssKb = static_cast<long>(rssKb);
     m.worker = static_cast<int>(worker);
+    // Tolerated-absent (like kernelPhases): journals written before
+    // the RSS-attribution fix restore with delta 0, not shared.
+    std::int64_t rssDelta = 0;
+    std::uint64_t rssShared = 0;
+    m.rssDeltaKb =
+        p.i64("rssDeltaKb", &rssDelta) ? static_cast<long>(rssDelta) : 0;
+    m.rssShared = p.u64("rssShared", &rssShared) && rssShared != 0;
 
     *hash = h;
     *sweep = std::move(sweepName);

@@ -1,6 +1,7 @@
 #include "exec/sweep_runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -38,6 +39,17 @@ peakRssKb()
     return 0;
 }
 
+/**
+ * RSS-attribution bookkeeping: getrusage() reports the process-wide
+ * peak, so a job that merely ran while a bigger job was resident used
+ * to be charged the whole peak. Each attempt now records the peak's
+ * growth across its own body (rssDeltaKb) and whether any other
+ * attempt overlapped it (rssShared) — overlap means neither the peak
+ * nor the delta is attributable to this job alone.
+ */
+std::atomic<int> jobsInFlight{0};
+std::atomic<std::uint64_t> jobsStarted{0};
+
 } // namespace
 
 int
@@ -64,6 +76,9 @@ JobOutcome
 SweepRunner::runAttempt(const Job &job, const SimBudget &budget) const
 {
     JobOutcome out;
+    const long rssBefore = peakRssKb();
+    const std::uint64_t startGen = jobsStarted.fetch_add(1) + 1;
+    const int concurrentAtStart = jobsInFlight.fetch_add(1);
     const auto start = std::chrono::steady_clock::now();
     try {
         // The guard makes the budget this thread's active budget; the
@@ -98,6 +113,15 @@ SweepRunner::runAttempt(const Job &job, const SimBudget &budget) const
     out.metrics.wallStartSeconds =
         std::chrono::duration<double>(start - processEpoch()).count();
     out.metrics.peakRssKb = peakRssKb();
+    out.metrics.rssDeltaKb =
+        std::max(0L, out.metrics.peakRssKb - rssBefore);
+    // Shared if anything was already running when we started, was
+    // still running when we finished, or started (however briefly)
+    // while we ran.
+    const int concurrentAtEnd = jobsInFlight.fetch_sub(1) - 1;
+    out.metrics.rssShared = concurrentAtStart > 0 ||
+                            concurrentAtEnd > 0 ||
+                            jobsStarted.load() != startGen;
     out.metrics.simEvents = out.ok ? out.result.simEvents : 0;
     out.metrics.worker = ThreadPool::currentWorker();
     return out;

@@ -24,6 +24,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "prof/counter.hh"
 #include "sim/sim_budget.hh"
 
 namespace cpelide
@@ -66,7 +67,7 @@ class Watchdog
                        std::shared_ptr<BudgetGuard::State>>
         _watched;
     std::uint64_t _nextTicket = 1;
-    std::uint64_t _cancellations = 0;
+    prof::Counter _cancellations; //!< guarded by _mutex
     std::thread _thread;
     bool _stop = false;
 };

@@ -1,12 +1,14 @@
 #include "gpu/gpu_system.hh"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 
 #include <cstdio>
 
 #include "check/hb_checker.hh"
 #include "cp/local_cp.hh"
+#include "prof/snapshot.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
 #include "trace/trace.hh"
@@ -29,6 +31,40 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const RunOptions &opts)
         _check = std::make_unique<HbChecker>(cfg.numChiplets, _space);
         _mem->setChecker(_check.get());
         _cp->setChecker(_check.get());
+    }
+    if (opts.prof)
+        registerProf(*opts.prof);
+}
+
+void
+GpuSystem::registerProf(prof::ProfRegistry &reg)
+{
+    reg.addCounter("gpu/kernels", &_kernels);
+    reg.addCounter("gpu/conservative-launches", &_conservativeLaunches);
+    reg.addGauge("gpu/sync-stall-cycles",
+                 [this] { return static_cast<std::uint64_t>(_syncStall); });
+    reg.addGauge("gpu/sim-events",
+                 [this] { return _events.eventsProcessed(); });
+    _mem->registerProf(reg);
+    _cp->registerProf(reg);
+    // Interval-sampled series: the registry reads these closures at
+    // every sample(tick) call (each kernel boundary), giving Perfetto
+    // live occupancy/load curves next to the phase spans.
+    reg.addSeries("series/l2-dirty-lines",
+                  [this] { return _mem->dirtyL2Lines(); });
+    reg.addSeries("series/noc-flits",
+                  [this] { return _mem->noc().flits().total(); });
+    reg.addSeries("series/accesses", [this] { return _mem->accesses(); });
+    if (const ElideEngine *eng = _cp->engine()) {
+        reg.addSeries("series/elision-rate-x1000", [eng] {
+            const std::uint64_t issued =
+                eng->acquiresIssued() + eng->releasesIssued();
+            const std::uint64_t elided =
+                eng->acquiresElided() + eng->releasesElided();
+            return issued + elided
+                       ? elided * 1000 / (issued + elided)
+                       : 0;
+        });
     }
 }
 
@@ -155,11 +191,16 @@ class ValidatingSink : public TraceSink
 
 Cycles
 GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
-                    const LaunchDecl *decl, std::size_t sched_idx)
+                    const LaunchDecl *decl, std::size_t sched_idx,
+                    Cycles *compute_out)
 {
+    if (compute_out)
+        *compute_out = 0;
     if (chunk.count() <= 0)
         return 0;
     std::vector<double> cuTime(
+        static_cast<std::size_t>(_cfg.cusPerChiplet), 0.0);
+    std::vector<double> cuCompute(
         static_cast<std::size_t>(_cfg.cusPerChiplet), 0.0);
     ExecSink sink(*_mem, {chunk.chiplet, 0}, desc.mlp);
     EnergyModel &energy = _mem->energy();
@@ -181,6 +222,8 @@ GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
         cuTime[cu] += sink.time() +
                       static_cast<double>(desc.computeCyclesPerWg) +
                       static_cast<double>(desc.ldsAccessesPerWg);
+        cuCompute[cu] += static_cast<double>(desc.computeCyclesPerWg) +
+                         static_cast<double>(desc.ldsAccessesPerWg);
         energy.countLds(desc.ldsAccessesPerWg);
         // Instruction fetch: roughly one 64 B I-line per 4 ALU cycles
         // plus one per memory instruction.
@@ -189,6 +232,12 @@ GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
 
     const double cuCritical =
         *std::max_element(cuTime.begin(), cuTime.end());
+    if (compute_out) {
+        // ALU + LDS cycles of the busiest CU: the part of this chunk's
+        // time that is pure compute even with a perfect memory system.
+        *compute_out = static_cast<Cycles>(
+            *std::max_element(cuCompute.begin(), cuCompute.end()));
+    }
     const Noc &noc = _mem->noc();
     const ChipletId c = chunk.chiplet;
     const double dram =
@@ -214,6 +263,19 @@ GpuSystem::run(const std::string &label)
     std::vector<Tick> chipletBusy(
         static_cast<std::size_t>(_cfg.numChiplets), 0);
     Tick end = 0;
+
+    // Stall attribution: every cycle of every chiplet's 0..end timeline
+    // lands in exactly one bin. attrCursor[c] is the next unattributed
+    // tick of chiplet c; every charge advances it, so the per-chiplet
+    // bins sum to `end` by construction (asserted below anyway).
+    const std::size_t nc = static_cast<std::size_t>(_cfg.numChiplets);
+    std::vector<std::array<std::uint64_t, prof::kNumStallBins>> bins(
+        nc, std::array<std::uint64_t, prof::kNumStallBins>{});
+    std::vector<Tick> attrCursor(nc, 0);
+    const auto bin = [&bins](std::size_t c, prof::StallBin b,
+                             std::uint64_t cycles) {
+        bins[c][static_cast<std::size_t>(b)] += cycles;
+    };
 
     TraceSession *tr = _opts.trace;
     std::vector<KernelPhaseStats> phases;
@@ -309,6 +371,43 @@ GpuSystem::run(const std::string &label)
             tr->setNow(syncDone);
         }
 
+        // Attribute the wait + sync window for every chiplet this
+        // launch stalls: the scheduled set, or the whole package under
+        // the baseline's GPU-wide implicit synchronization. The sync
+        // span splits into its invalidate / flush critical-path parts;
+        // the remainder (crossbar messaging) is barrier wait, as is the
+        // idle gap from the chiplet's last attributed tick. Multi-
+        // stream timelines can leave a chiplet's cursor past this
+        // kernel's window, so every charge clamps at the cursor.
+        {
+            std::vector<bool> stalled(nc,
+                                      _opts.protocol ==
+                                          ProtocolKind::Baseline);
+            for (const WgChunk &ch : chunks)
+                stalled[static_cast<std::size_t>(ch.chiplet)] = true;
+            for (std::size_t c = 0; c < nc; ++c) {
+                if (!stalled[c])
+                    continue;
+                Tick cur = attrCursor[c];
+                if (startBase > cur) {
+                    bin(c, prof::StallBin::BarrierWait, startBase - cur);
+                    cur = startBase;
+                }
+                if (syncDone > cur) {
+                    const Tick len = syncDone - cur;
+                    const Tick inv =
+                        std::min<Tick>(len, sync.invalidateCost);
+                    const Tick fl =
+                        std::min<Tick>(len - inv, sync.flushCost);
+                    bin(c, prof::StallBin::Invalidate, inv);
+                    bin(c, prof::StallBin::Flush, fl);
+                    bin(c, prof::StallBin::BarrierWait, len - inv - fl);
+                    cur = syncDone;
+                }
+                attrCursor[c] = cur;
+            }
+        }
+
         _mem->noc().beginKernel();
         LaunchDecl validationDecl;
         if (_opts.validateAnnotations)
@@ -316,13 +415,30 @@ GpuSystem::run(const std::string &label)
         Tick kernelEnd = syncDone;
         for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
             const WgChunk &ch = chunks[ci];
+            Cycles compute = 0;
+            const std::uint64_t dirBefore = _mem->directoryStallCycles();
             const Cycles t = runChunk(
                 desc, ch,
                 _opts.validateAnnotations ? &validationDecl : nullptr,
-                ci);
+                ci, &compute);
+            const std::uint64_t dirDelta =
+                _mem->directoryStallCycles() - dirBefore;
             const Tick busy = syncDone + t;
-            chipletBusy[static_cast<std::size_t>(ch.chiplet)] = busy;
+            const std::size_t cs = static_cast<std::size_t>(ch.chiplet);
+            chipletBusy[cs] = busy;
             kernelEnd = std::max(kernelEnd, busy);
+            // The chunk's execution window: pure-compute critical path
+            // first, then directory ack stalls this chunk put on access
+            // paths (HMG), and whatever remains is memory/bandwidth.
+            if (busy > attrCursor[cs]) {
+                const Tick len = busy - attrCursor[cs];
+                const Tick comp = std::min<Tick>(len, compute);
+                const Tick dir = std::min<Tick>(len - comp, dirDelta);
+                bin(cs, prof::StallBin::Compute, comp);
+                bin(cs, prof::StallBin::Directory, dir);
+                bin(cs, prof::StallBin::Memory, len - comp - dir);
+                attrCursor[cs] = busy;
+            }
             if (tr) {
                 tr->span(desc.name, "kernel", ch.chiplet, syncDone, busy)
                     .arg("wgs", static_cast<std::uint64_t>(ch.count()));
@@ -331,6 +447,34 @@ GpuSystem::run(const std::string &label)
         streamReady[desc.streamId] = kernelEnd;
         end = std::max(end, kernelEnd);
         _events.advanceTo(kernelEnd);
+
+        if (_opts.prof)
+            _opts.prof->sample(kernelEnd);
+        if (tr) {
+            // Sampled counter ("C") events at the kernel boundary:
+            // Perfetto renders these as live curves over the spans.
+            for (ChipletId c = 0; c < _cfg.numChiplets; ++c) {
+                tr->counter("l2-dirty-lines", "prof", c, kernelEnd)
+                    .arg("dirty", _mem->l2(c).dirtyLines());
+            }
+            const FlitCounts &fl = _mem->noc().flits();
+            tr->counter("noc-flits", "prof", kCpTrack, kernelEnd)
+                .arg("l1l2", fl.l1l2)
+                .arg("l2l3", fl.l2l3)
+                .arg("remote", fl.remote);
+            if (const ElideEngine *eng = _cp->engine()) {
+                const std::uint64_t issued =
+                    eng->acquiresIssued() + eng->releasesIssued();
+                const std::uint64_t elided =
+                    eng->acquiresElided() + eng->releasesElided();
+                tr->counter("elision-rate-x1000", "prof", kCpTrack,
+                            kernelEnd)
+                    .arg("rate",
+                         issued + elided
+                             ? elided * 1000 / (issued + elided)
+                             : 0);
+            }
+        }
 
         const CounterSnap after = snap();
         KernelPhaseStats ph;
@@ -358,12 +502,40 @@ GpuSystem::run(const std::string &label)
     const Tick barrierStart = end;
     if (tr)
         tr->setNow(end);
-    const Cycles finalCost = _cp->finalBarrier();
+    Cycles finalFlush = 0;
+    const Cycles finalCost = _cp->finalBarrier(&finalFlush);
     _syncStall += finalCost;
     end += finalCost;
     _events.advanceTo(end);
     if (tr)
         tr->span("final-barrier", "sync", kCpTrack, barrierStart, end);
+
+    // Close out every chiplet's timeline: idle until the barrier is
+    // barrier wait, then the barrier itself splits into its flush drain
+    // and the crossbar messaging tail (barrier wait).
+    for (std::size_t c = 0; c < nc; ++c) {
+        Tick cur = attrCursor[c];
+        if (barrierStart > cur) {
+            bin(c, prof::StallBin::BarrierWait, barrierStart - cur);
+            cur = barrierStart;
+        }
+        if (end > cur) {
+            const Tick len = end - cur;
+            const Tick fl = std::min<Tick>(len, finalFlush);
+            bin(c, prof::StallBin::Flush, fl);
+            bin(c, prof::StallBin::BarrierWait, len - fl);
+        }
+        attrCursor[c] = end;
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+        std::uint64_t sum = 0;
+        for (const std::uint64_t v : bins[c])
+            sum += v;
+        panicIf(sum != end,
+                "stall attribution lost cycles on chiplet " +
+                    std::to_string(c) + ": bins sum to " +
+                    std::to_string(sum) + " of " + std::to_string(end));
+    }
     {
         const CounterSnap after = snap();
         KernelPhaseStats fb;
@@ -404,6 +576,17 @@ GpuSystem::run(const std::string &label)
     r.syncStallCycles = _syncStall;
     r.directoryEvictions = _mem->directoryEvictions();
     r.sharerInvalidations = _mem->sharerInvalidations();
+    for (std::size_t c = 0; c < nc; ++c) {
+        const auto binOf = [&bins, c](prof::StallBin b) {
+            return bins[c][static_cast<std::size_t>(b)];
+        };
+        r.stallComputeCycles += binOf(prof::StallBin::Compute);
+        r.stallMemoryCycles += binOf(prof::StallBin::Memory);
+        r.stallBarrierCycles += binOf(prof::StallBin::BarrierWait);
+        r.stallFlushCycles += binOf(prof::StallBin::Flush);
+        r.stallInvalidateCycles += binOf(prof::StallBin::Invalidate);
+        r.stallDirectoryCycles += binOf(prof::StallBin::Directory);
+    }
     if (const ElideEngine *eng = _cp->engine()) {
         r.l2FlushesElided = eng->releasesElided();
         r.l2InvalidatesElided = eng->acquiresElided();
@@ -418,6 +601,20 @@ GpuSystem::run(const std::string &label)
     }
     r.simEvents = _events.eventsProcessed();
     r.kernelPhases = std::move(phases);
+    if (_opts.prof) {
+        for (std::size_t b = 0; b < prof::kNumStallBins; ++b) {
+            std::uint64_t total = 0;
+            for (std::size_t c = 0; c < nc; ++c)
+                total += bins[c][b];
+            _opts.prof->publish(
+                std::string("stall/") +
+                    prof::stallBinName(static_cast<prof::StallBin>(b)),
+                total);
+        }
+        _opts.prof->publish("stall/total-chiplet-cycles",
+                            static_cast<std::uint64_t>(nc) * end);
+        _opts.prof->sample(end);
+    }
     return r;
 }
 

@@ -82,6 +82,15 @@ struct RunOptions
      * the full report set from a run that is expected to race (tests).
      */
     bool failOnHbViolation = true;
+    /**
+     * Profiling registry for this run (see prof/registry.hh), or
+     * nullptr (the default). When set, the GpuSystem registers every
+     * component's counters at construction, samples the registered
+     * time series at each kernel boundary, and publishes the run's
+     * stall-attribution bins; the harness snapshots the registry into
+     * RunResult::prof. Not owned; must outlive the GpuSystem.
+     */
+    prof::ProfRegistry *prof = nullptr;
 };
 
 class GpuSystem
@@ -134,10 +143,14 @@ class GpuSystem
      * is this chunk's position in the scheduled-chiplet list.
      */
     Cycles runChunk(const KernelDesc &desc, const WgChunk &chunk,
-                    const LaunchDecl *decl, std::size_t sched_idx);
+                    const LaunchDecl *decl, std::size_t sched_idx,
+                    Cycles *compute_out);
 
     /** Fault injection: downgrade one coherence-table entry. */
     void corruptCoherenceTable();
+
+    /** Wire every component into the run's profiling registry. */
+    void registerProf(prof::ProfRegistry &reg);
 
     const GpuConfig _cfg;
     RunOptions _opts;
@@ -149,8 +162,8 @@ class GpuSystem
     std::vector<KernelDesc> _pending;
 
     Tick _syncStall = 0;
-    std::uint64_t _kernels = 0;
-    std::uint64_t _conservativeLaunches = 0;
+    prof::Counter _kernels;
+    prof::Counter _conservativeLaunches;
 
     /** CPELIDE_DEBUG, cached once at construction (hot path). */
     bool _debug = false;

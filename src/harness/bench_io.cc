@@ -1,19 +1,191 @@
 #include "harness/bench_io.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "prof/registry.hh"
+#include "prof/snapshot.hh"
+#include "sim/exec_options.hh"
+#include "sim/log.hh"
+#include "stats/report.hh"
 
 namespace cpelide
 {
+
+/**
+ * Accumulates every profiled run's frozen snapshot and renders the
+ * --profile report. Shared (like the sink) because BenchIo is
+ * copyable; benches emit from the main thread only.
+ */
+struct BenchIo::ProfileCollector
+{
+    /** The slice of a RunResult the report needs (no trace events). */
+    struct Record
+    {
+        std::string sweep;
+        std::string label;
+        std::string workload;
+        std::string protocol;
+        int numChiplets = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t stall[prof::kNumStallBins] = {};
+        prof::ProfSnapshot prof;
+    };
+
+    std::string path;
+    std::vector<Record> records;
+
+    void write() const;
+    /** Render one run's counters as per-component tables. */
+    static std::string render(const Record &rec);
+};
+
+std::string
+BenchIo::ProfileCollector::render(const Record &rec)
+{
+    std::string out = "== profile: " + rec.sweep + " / " + rec.label +
+                      " ==\n";
+    out += "workload " + rec.workload + ", protocol " + rec.protocol +
+           ", " + std::to_string(rec.numChiplets) + " chiplets, " +
+           std::to_string(rec.cycles) + " cycles\n\n";
+
+    // Stall-cycle attribution: every chiplet cycle lands in exactly
+    // one bin, so the bins sum to numChiplets * cycles.
+    std::uint64_t total = 0;
+    for (int b = 0; b < prof::kNumStallBins; ++b)
+        total += rec.stall[b];
+    AsciiTable stall({"stall bin", "chiplet-cycles", "share"});
+    for (int b = 0; b < prof::kNumStallBins; ++b) {
+        const std::uint64_t v = rec.stall[b];
+        stall.addRow({prof::stallBinName(static_cast<prof::StallBin>(b)),
+                      std::to_string(v),
+                      total ? fmt(100.0 * static_cast<double>(v) /
+                                      static_cast<double>(total),
+                                  1) + "%"
+                            : "-"});
+    }
+    stall.addRule();
+    stall.addRow({"total", std::to_string(total),
+                  total ? "100.0%" : "-"});
+    out += "-- stall-cycle attribution --\n" + stall.render() + "\n";
+
+    // Scalars grouped by component (the first path segment), groups
+    // and rows in registration order so the report is deterministic.
+    std::vector<std::pair<std::string, std::vector<const prof::CounterSnap *>>>
+        groups;
+    for (const prof::CounterSnap &c : rec.prof.counters) {
+        const std::size_t slash = c.name.find('/');
+        const std::string component =
+            slash == std::string::npos ? std::string("run")
+                                       : c.name.substr(0, slash);
+        std::vector<const prof::CounterSnap *> *rows = nullptr;
+        for (auto &g : groups) {
+            if (g.first == component) {
+                rows = &g.second;
+                break;
+            }
+        }
+        if (!rows) {
+            groups.emplace_back(component,
+                                std::vector<const prof::CounterSnap *>());
+            rows = &groups.back().second;
+        }
+        rows->push_back(&c);
+    }
+    for (const auto &g : groups) {
+        AsciiTable t({"counter", "value"});
+        for (const prof::CounterSnap *c : g.second)
+            t.addRow({c->name, std::to_string(c->value)});
+        out += "-- " + g.first + " --\n" + t.render() + "\n";
+    }
+
+    if (!rec.prof.histograms.empty()) {
+        AsciiTable t({"histogram", "count", "sum", "mean", "buckets"});
+        for (const prof::HistogramSnap &h : rec.prof.histograms) {
+            std::string buckets;
+            for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+                if (h.buckets[i] == 0)
+                    continue;
+                if (!buckets.empty())
+                    buckets += ' ';
+                buckets += "b" + std::to_string(i) + ":" +
+                           std::to_string(h.buckets[i]);
+            }
+            t.addRow({h.name, std::to_string(h.count),
+                      std::to_string(h.sum),
+                      h.count ? fmt(static_cast<double>(h.sum) /
+                                        static_cast<double>(h.count),
+                                    1)
+                              : "-",
+                      buckets.empty() ? "-" : buckets});
+        }
+        out += "-- histograms --\n" + t.render() + "\n";
+    }
+
+    if (!rec.prof.series.empty()) {
+        AsciiTable t({"series", "points", "first", "last", "min", "max"});
+        for (const prof::SeriesSnap &s : rec.prof.series) {
+            if (s.points.empty()) {
+                t.addRow({s.name, "0", "-", "-", "-", "-"});
+                continue;
+            }
+            std::uint64_t lo = s.points.front().value;
+            std::uint64_t hi = lo;
+            for (const prof::SeriesPoint &p : s.points) {
+                lo = std::min(lo, p.value);
+                hi = std::max(hi, p.value);
+            }
+            t.addRow({s.name, std::to_string(s.points.size()),
+                      std::to_string(s.points.front().value),
+                      std::to_string(s.points.back().value),
+                      std::to_string(lo), std::to_string(hi)});
+        }
+        out += "-- time series --\n" + t.render() + "\n";
+    }
+    return out;
+}
+
+void
+BenchIo::ProfileCollector::write() const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open profile report '" + path + "' for writing");
+        return;
+    }
+    std::string all;
+    if (records.empty())
+        all = "(no profiled runs)\n";
+    for (const Record &rec : records)
+        all += render(rec) + "\n";
+    std::fwrite(all.data(), 1, all.size(), f);
+    std::fclose(f);
+}
 
 BenchIo
 BenchIo::fromArgs(int &argc, char **argv)
 {
     BenchIo io;
+    std::string profilePath;
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        if (std::strncmp(arg, "--profile", 9) == 0) {
+            if (arg[9] != '=' || arg[10] == '\0') {
+                std::fprintf(stderr,
+                             "%s: bad flag '%s' "
+                             "(expected --profile=PATH)\n",
+                             argv[0], arg);
+                std::exit(2);
+            }
+            profilePath = arg + 10;
+            continue;
+        }
         if (std::strncmp(arg, "--format", 8) != 0) {
             argv[kept++] = argv[i];
             continue;
@@ -30,6 +202,17 @@ BenchIo::fromArgs(int &argc, char **argv)
     argv[argc] = nullptr;
     if (io._format != StatFormat::Ascii)
         io._sink = makeStatSink(io._format, stdout);
+
+    if (profilePath.empty())
+        profilePath = ExecOptions::fromEnv().profilePath;
+    if (!profilePath.empty()) {
+        prof::setProfileRequest(profilePath);
+        io._profile = std::make_shared<ProfileCollector>();
+        io._profile->path = profilePath;
+        // Create the report up front so a bench that runs no sweeps
+        // (table1_config) still produces the file.
+        io._profile->write();
+    }
     return io;
 }
 
@@ -37,6 +220,34 @@ void
 BenchIo::emit(const SweepSpec &spec,
               const std::vector<JobOutcome> &outcomes)
 {
+    if (_profile) {
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const JobOutcome &o = outcomes[i];
+            if (!o.ok || o.result.prof.empty())
+                continue;
+            ProfileCollector::Record rec;
+            rec.sweep = spec.name;
+            rec.label = i < spec.jobs.size() ? spec.jobs[i].label
+                                             : std::to_string(i);
+            rec.workload = o.result.workload;
+            rec.protocol = o.result.protocol;
+            rec.numChiplets = o.result.numChiplets;
+            rec.cycles = o.result.cycles;
+            rec.stall[0] = o.result.stallComputeCycles;
+            rec.stall[1] = o.result.stallMemoryCycles;
+            rec.stall[2] = o.result.stallBarrierCycles;
+            rec.stall[3] = o.result.stallFlushCycles;
+            rec.stall[4] = o.result.stallInvalidateCycles;
+            rec.stall[5] = o.result.stallDirectoryCycles;
+            rec.prof = o.result.prof;
+            _profile->records.push_back(std::move(rec));
+        }
+        // Rewrite (not append): ascii benches never call finish(), so
+        // the file is complete after whatever emit turns out to be
+        // the last one.
+        _profile->write();
+    }
+
     if (!_sink)
         return;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {

@@ -2,15 +2,24 @@
  * @file
  * Shared bench CLI plumbing: one --format=ascii|json|csv flag for
  * every figure-regeneration bench, without touching their bespoke
- * table code.
+ * table code, plus the --profile=PATH perf-counter report.
  *
  * The protocol: main() calls BenchIo::fromArgs(argc, argv) first
- * (consuming the flag), guards its banner/puts/AsciiTable output on
+ * (consuming the flags), guards its banner/puts/AsciiTable output on
  * io.tables(), and hands each sweep's outcomes to io.emit(). In the
  * default ascii mode emit() is a no-op and stdout stays byte-identical
  * to the pre-BenchIo binaries; in json/csv mode the bench's human
  * output is suppressed and the structured records go to stdout
  * instead.
+ *
+ * --profile=PATH (or CPELIDE_PROFILE=PATH) requests a profiling
+ * report: the harness attaches a run-local ProfRegistry to every run,
+ * and emit() collects the frozen snapshots and rewrites PATH with
+ * per-component counter tables, stall-cycle attribution, histograms,
+ * and time-series summaries. The report goes to its own file — never
+ * stdout — so the byte-identity contract above is unaffected. The
+ * file is rewritten after every emit() because ascii-mode benches
+ * never call finish().
  */
 
 #ifndef CPELIDE_HARNESS_BENCH_IO_HH
@@ -29,10 +38,11 @@ class BenchIo
 {
   public:
     /**
-     * Parse and strip "--format=NAME" from the argument vector
-     * (adjusting @p argc so later flag handling never sees it). An
-     * unknown format name or any other "--format..." spelling is
-     * fatal: exits with a usage message on stderr.
+     * Parse and strip "--format=NAME" and "--profile=PATH" from the
+     * argument vector (adjusting @p argc so later flag handling never
+     * sees them). An unknown format name or any other
+     * "--format..."/"--profile..." spelling is fatal: exits with a
+     * usage message on stderr.
      */
     static BenchIo fromArgs(int &argc, char **argv);
 
@@ -54,9 +64,15 @@ class BenchIo
     /** Flush the sink trailer; call once after the last emit(). */
     void finish();
 
+    /** Whether a --profile/CPELIDE_PROFILE report is being written. */
+    bool profiling() const { return _profile != nullptr; }
+
   private:
+    struct ProfileCollector; // defined in bench_io.cc
+
     StatFormat _format = StatFormat::Ascii;
     std::shared_ptr<StatSink> _sink; // shared: BenchIo is copyable
+    std::shared_ptr<ProfileCollector> _profile;
 };
 
 } // namespace cpelide

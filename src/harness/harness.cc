@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "prof/registry.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
 #include "stats/report.hh"
@@ -60,6 +61,15 @@ runRequest(const RunRequest &req)
         session = &local;
     opts.trace = session;
 
+    // Run-local counter registry, mirroring the run-local trace
+    // session: each sweep job profiles into its own registry, so
+    // concurrent workers never share counter state.
+    prof::ProfRegistry profReg;
+    const bool profiling = prof::profileRequested() ||
+                           !ExecOptions::fromEnv().profilePath.empty();
+    if (profiling && !opts.prof)
+        opts.prof = &profReg;
+
     Runtime rt(cfg, opts);
     std::unique_ptr<Workload> workload;
     if (!req.builder)
@@ -92,6 +102,8 @@ runRequest(const RunRequest &req)
         r.numChiplets = req.chiplets; // equivalent chiplet count
     if (session == &local)
         r.traceEvents = local.take();
+    if (opts.prof)
+        r.prof = opts.prof->snapshot();
     return r;
 }
 

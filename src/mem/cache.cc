@@ -232,6 +232,16 @@ SetAssocCache::invalidateAll()
     _dirtyList.clear();
 }
 
+void
+SetAssocCache::registerProf(prof::ProfRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(prefix + "/hits", &_hits);
+    reg.addCounter(prefix + "/misses", &_misses);
+    reg.addGauge(prefix + "/dirty-lines",
+                 [this] { return dirtyLines(); });
+}
+
 std::uint64_t
 SetAssocCache::countValid() const
 {

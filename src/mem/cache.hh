@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "prof/counter.hh"
+#include "prof/registry.hh"
 #include "sim/log.hh"
 #include "sim/types.hh"
 
@@ -138,6 +140,13 @@ class SetAssocCache
     std::uint64_t misses() const { return _misses; }
     /** @} */
 
+    /**
+     * Register this array's counters under @p prefix ("chiplet0/l2")
+     * in a run's profiling registry.
+     */
+    void registerProf(prof::ProfRegistry &reg,
+                      const std::string &prefix) const;
+
   private:
     struct Line
     {
@@ -167,8 +176,8 @@ class SetAssocCache
     std::uint64_t _epoch = 1;
     std::uint64_t _useClock = 0;
     std::uint64_t _dirtyCount = 0;
-    std::uint64_t _hits = 0;
-    std::uint64_t _misses = 0;
+    prof::Counter _hits;
+    prof::Counter _misses;
 };
 
 } // namespace cpelide

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/counter.hh"
 #include "sim/log.hh"
 #include "sim/types.hh"
 
@@ -155,7 +156,7 @@ class DataSpace
     std::vector<bool> _racy;
     Addr _nextBase = 0x10000000; // arbitrary device-VA heap base
     std::string _context;
-    std::uint64_t _staleReads = 0;
+    prof::Counter _staleReads;
     bool _panicOnStale = false;
 };
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "prof/counter.hh"
 #include "sim/types.hh"
 
 namespace cpelide
@@ -55,7 +56,7 @@ class PageTable
   private:
     int _numChiplets;
     std::unordered_map<std::uint64_t, ChipletId> _pages;
-    std::uint64_t _firstTouches = 0;
+    prof::Counter _firstTouches;
 };
 
 } // namespace cpelide

@@ -17,9 +17,12 @@
 #ifndef CPELIDE_NOC_NOC_HH
 #define CPELIDE_NOC_NOC_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "prof/registry.hh"
 #include "sim/types.hh"
 
 namespace cpelide
@@ -62,7 +65,12 @@ class Noc
   public:
     explicit Noc(int num_chiplets)
         : _dramBytes(num_chiplets, 0), _xlinkBytes(num_chiplets, 0),
-          _l2l3Bytes(num_chiplets, 0), _l2Bytes(num_chiplets, 0)
+          _l2l3Bytes(num_chiplets, 0), _l2Bytes(num_chiplets, 0),
+          _dramBytesTotal(num_chiplets, 0),
+          _xlinkBytesTotal(num_chiplets, 0),
+          _l2l3BytesTotal(num_chiplets, 0),
+          _l2BytesTotal(num_chiplets, 0),
+          _xlinkPeakKernelBytes(num_chiplets, 0)
     {}
 
     // --- Fig 10 counters --------------------------------------------------
@@ -80,6 +88,13 @@ class Noc
     void
     beginKernel()
     {
+        // Fold the finished kernel's link load into the peak meter
+        // before resetting — the profiler's proxy for peak queue
+        // pressure on each inter-chiplet link.
+        for (std::size_t c = 0; c < _xlinkBytes.size(); ++c) {
+            _xlinkPeakKernelBytes[c] =
+                std::max(_xlinkPeakKernelBytes[c], _xlinkBytes[c]);
+        }
         std::fill(_dramBytes.begin(), _dramBytes.end(), 0);
         std::fill(_xlinkBytes.begin(), _xlinkBytes.end(), 0);
         std::fill(_l2l3Bytes.begin(), _l2l3Bytes.end(), 0);
@@ -91,6 +106,7 @@ class Noc
     addDramBytes(ChipletId c, std::uint64_t bytes)
     {
         _dramBytes[c] += bytes;
+        _dramBytesTotal[c] += bytes;
     }
 
     /** @p bytes crossed chiplet @p c's inter-chiplet link. */
@@ -98,6 +114,7 @@ class Noc
     addXlinkBytes(ChipletId c, std::uint64_t bytes)
     {
         _xlinkBytes[c] += bytes;
+        _xlinkBytesTotal[c] += bytes;
     }
 
     /** @p bytes moved on chiplet @p c's L2<->L3 path. */
@@ -105,6 +122,7 @@ class Noc
     addL2l3Bytes(ChipletId c, std::uint64_t bytes)
     {
         _l2l3Bytes[c] += bytes;
+        _l2l3BytesTotal[c] += bytes;
     }
 
     /** @p bytes moved through chiplet @p c's L2 arrays. */
@@ -112,6 +130,7 @@ class Noc
     addL2Bytes(ChipletId c, std::uint64_t bytes)
     {
         _l2Bytes[c] += bytes;
+        _l2BytesTotal[c] += bytes;
     }
 
     std::uint64_t dramBytes(ChipletId c) const { return _dramBytes[c]; }
@@ -119,12 +138,47 @@ class Noc
     std::uint64_t xlinkBytes(ChipletId c) const { return _xlinkBytes[c]; }
     std::uint64_t l2l3Bytes(ChipletId c) const { return _l2l3Bytes[c]; }
 
+    /**
+     * Register the package-wide flit counters and the per-link
+     * lifetime byte meters (utilization) plus the per-kernel peak
+     * inter-chiplet link load (queue-pressure proxy).
+     */
+    void
+    registerProf(prof::ProfRegistry &reg) const
+    {
+        reg.addGauge("noc/flits/l1l2", [this] { return _flits.l1l2; });
+        reg.addGauge("noc/flits/l2l3", [this] { return _flits.l2l3; });
+        reg.addGauge("noc/flits/remote",
+                     [this] { return _flits.remote; });
+        for (std::size_t c = 0; c < _dramBytesTotal.size(); ++c) {
+            const std::string link =
+                "noc/chiplet" + std::to_string(c) + "/";
+            reg.addGauge(link + "dram-bytes",
+                         [this, c] { return _dramBytesTotal[c]; });
+            reg.addGauge(link + "xlink-bytes",
+                         [this, c] { return _xlinkBytesTotal[c]; });
+            reg.addGauge(link + "l2l3-bytes",
+                         [this, c] { return _l2l3BytesTotal[c]; });
+            reg.addGauge(link + "l2-bytes",
+                         [this, c] { return _l2BytesTotal[c]; });
+            reg.addGauge(link + "xlink-peak-kernel-bytes", [this, c] {
+                return std::max(_xlinkPeakKernelBytes[c],
+                                _xlinkBytes[c]);
+            });
+        }
+    }
+
   private:
     FlitCounts _flits;
     std::vector<std::uint64_t> _dramBytes;
     std::vector<std::uint64_t> _xlinkBytes;
     std::vector<std::uint64_t> _l2l3Bytes;
     std::vector<std::uint64_t> _l2Bytes;
+    std::vector<std::uint64_t> _dramBytesTotal;
+    std::vector<std::uint64_t> _xlinkBytesTotal;
+    std::vector<std::uint64_t> _l2l3BytesTotal;
+    std::vector<std::uint64_t> _l2BytesTotal;
+    std::vector<std::uint64_t> _xlinkPeakKernelBytes;
 };
 
 } // namespace cpelide

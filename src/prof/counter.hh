@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Typed performance-counter primitives: scalar counters, log2-bucket
+ * latency histograms, and interval-sampled time series.
+ *
+ * Counter replaces the ad-hoc `std::uint64_t` stat members that used
+ * to live in component classes (scripts/lint.py now rejects those); it
+ * is always live because it costs exactly what the raw integer did.
+ * Histogram and TimeSeries are the *extra* instrumentation layered on
+ * top — their record paths compile to empty inline bodies when
+ * CPELIDE_PROF_ENABLED is 0 (cmake -DCPELIDE_PROF=OFF), so a stripped
+ * build pays nothing for them.
+ *
+ * Everything here is deterministic: no wall clock, no allocation order
+ * dependence, values derived only from simulated events. That keeps
+ * JSONL/profile output byte-identical across CPELIDE_JOBS settings.
+ */
+
+#ifndef CPELIDE_PROF_COUNTER_HH
+#define CPELIDE_PROF_COUNTER_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+// Histogram/TimeSeries recording is compiled in by default; cmake
+// -DCPELIDE_PROF=OFF defines this to 0 and the record paths become
+// inlined no-ops (scalar Counters stay, they replace pre-existing
+// stats and cost the same as the raw integer they replaced).
+#ifndef CPELIDE_PROF_ENABLED
+#define CPELIDE_PROF_ENABLED 1
+#endif
+
+namespace cpelide::prof
+{
+
+/**
+ * A scalar event counter. Drop-in for a `std::uint64_t` member: it
+ * increments, adds, assigns and implicitly converts back to the raw
+ * value (varargs contexts like printf need an explicit .value()).
+ */
+class Counter
+{
+  public:
+    constexpr Counter() = default;
+    constexpr explicit Counter(std::uint64_t v) : _v(v) {}
+
+    Counter &operator++() { ++_v; return *this; }
+    std::uint64_t operator++(int) { return _v++; }
+    Counter &operator+=(std::uint64_t n) { _v += n; return *this; }
+    Counter &operator=(std::uint64_t v) { _v = v; return *this; }
+
+    constexpr std::uint64_t value() const { return _v; }
+    constexpr operator std::uint64_t() const { return _v; }
+
+  private:
+    std::uint64_t _v = 0;
+};
+
+/**
+ * Log2-bucket histogram for latency-like values.
+ *
+ * Bucket 0 holds exact zeros; bucket k (k >= 1) holds values in
+ * [2^(k-1), 2^k). The top bucket (index 64) therefore holds every
+ * value >= 2^63 — recording saturates there instead of overflowing.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 65;
+
+    /** Bucket index for @p v (0 for 0, bit_width otherwise). */
+    static constexpr int
+    bucketFor(std::uint64_t v)
+    {
+        return v == 0 ? 0 : std::bit_width(v);
+    }
+
+    /** Lower bound of bucket @p b (0, then 2^(b-1)). */
+    static constexpr std::uint64_t
+    bucketLo(int b)
+    {
+        return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+    }
+
+#if CPELIDE_PROF_ENABLED
+    void
+    record(std::uint64_t v)
+    {
+        ++_buckets[bucketFor(v)];
+        ++_count;
+        _sum += v;
+    }
+#else
+    void record(std::uint64_t) {}
+#endif
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t bucket(int b) const { return _buckets[b]; }
+
+  private:
+    std::uint64_t _buckets[kBuckets] = {};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0; //!< may wrap for astronomically large inputs
+};
+
+/** One sampled point of a time series (simulated tick, value). */
+struct SeriesPoint
+{
+    Tick tick = 0;
+    std::uint64_t value = 0;
+};
+
+/**
+ * An interval-sampled time series. The owner (ProfRegistry) appends a
+ * point per sampling interval — kernel boundaries in practice, so the
+ * volume is a few hundred points per run, never per-access.
+ */
+class TimeSeries
+{
+  public:
+#if CPELIDE_PROF_ENABLED
+    void
+    sample(Tick tick, std::uint64_t value)
+    {
+        _points.push_back({tick, value});
+    }
+#else
+    void sample(Tick, std::uint64_t) {}
+#endif
+
+    const std::vector<SeriesPoint> &points() const { return _points; }
+
+  private:
+    std::vector<SeriesPoint> _points;
+};
+
+} // namespace cpelide::prof
+
+#endif // CPELIDE_PROF_COUNTER_HH

@@ -1,0 +1,130 @@
+#include "prof/registry.hh"
+
+#include <utility>
+
+namespace cpelide::prof
+{
+
+void
+ProfRegistry::addCounter(std::string name, const Counter *counter)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ScalarEntry e;
+    e.name = std::move(name);
+    e.kind = ScalarKind::Counter;
+    e.counter = counter;
+    _scalars.push_back(std::move(e));
+}
+
+void
+ProfRegistry::addGauge(std::string name, Gauge gauge)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ScalarEntry e;
+    e.name = std::move(name);
+    e.kind = ScalarKind::Gauge;
+    e.gauge = std::move(gauge);
+    _scalars.push_back(std::move(e));
+}
+
+void
+ProfRegistry::addHistogram(std::string name, const Histogram *histogram)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _histograms.push_back({std::move(name), histogram});
+}
+
+void
+ProfRegistry::addSeries(std::string name, Gauge gauge)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    SeriesEntry e;
+    e.name = std::move(name);
+    e.gauge = std::move(gauge);
+    _series.push_back(std::move(e));
+}
+
+void
+ProfRegistry::publish(std::string name, std::uint64_t value)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ScalarEntry e;
+    e.name = std::move(name);
+    e.kind = ScalarKind::Published;
+    e.published = value;
+    _scalars.push_back(std::move(e));
+}
+
+void
+ProfRegistry::sample(Tick now)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (SeriesEntry &e : _series)
+        e.series.sample(now, e.gauge ? e.gauge() : 0);
+}
+
+ProfSnapshot
+ProfRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ProfSnapshot snap;
+    snap.counters.reserve(_scalars.size());
+    for (const ScalarEntry &e : _scalars) {
+        std::uint64_t v = e.published;
+        if (e.kind == ScalarKind::Counter && e.counter)
+            v = e.counter->value();
+        else if (e.kind == ScalarKind::Gauge && e.gauge)
+            v = e.gauge();
+        snap.counters.push_back({e.name, v});
+    }
+    for (const HistogramEntry &e : _histograms) {
+        HistogramSnap h;
+        h.name = e.name;
+        if (e.histogram) {
+            h.count = e.histogram->count();
+            h.sum = e.histogram->sum();
+            int top = -1;
+            for (int b = 0; b < Histogram::kBuckets; ++b) {
+                if (e.histogram->bucket(b) != 0)
+                    top = b;
+            }
+            for (int b = 0; b <= top; ++b)
+                h.buckets.push_back(e.histogram->bucket(b));
+        }
+        snap.histograms.push_back(std::move(h));
+    }
+    for (const SeriesEntry &e : _series)
+        snap.series.push_back({e.name, e.series.points()});
+    return snap;
+}
+
+namespace
+{
+
+// Written once during argument parsing, before any worker thread
+// exists; read-only afterwards.
+std::string gProfilePath;   // NOLINT(runtime/string)
+bool gProfileRequested = false;
+
+} // namespace
+
+void
+setProfileRequest(const std::string &path)
+{
+    gProfilePath = path;
+    gProfileRequested = !path.empty();
+}
+
+bool
+profileRequested()
+{
+    return gProfileRequested;
+}
+
+const std::string &
+profilePath()
+{
+    return gProfilePath;
+}
+
+} // namespace cpelide::prof

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ProfRegistry: the hierarchical, thread-safe performance-counter
+ * registry. One registry exists per run (wired through
+ * RunOptions::prof exactly like RunOptions::trace); components
+ * register their counters/histograms under slash-separated
+ * hierarchical names ("chiplet0/l2/hits", "noc/link2/bytes",
+ * "cp/elide/acquires-elided") at construction, and the harness
+ * freezes a ProfSnapshot into the RunResult when the run completes.
+ *
+ * Entry kinds:
+ *  - counter: a live pointer to a component's prof::Counter;
+ *  - gauge:   a sampling closure for state the component already
+ *             tracks in its own representation (dirty-line counts,
+ *             NoC flit totals) — no layout change needed;
+ *  - series:  a gauge sampled at every kernel boundary
+ *             (ProfRegistry::sample), yielding a time series;
+ *  - published value: a constant recorded once at end of run
+ *             (the stall-attribution bins).
+ *
+ * Thread safety: all mutation is mutex-guarded. A single run is
+ * single-threaded, but sweeps run many registries concurrently and
+ * the --profile collector reads snapshots from the merge thread.
+ */
+
+#ifndef CPELIDE_PROF_REGISTRY_HH
+#define CPELIDE_PROF_REGISTRY_HH
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "prof/counter.hh"
+#include "prof/snapshot.hh"
+
+namespace cpelide::prof
+{
+
+class ProfRegistry
+{
+  public:
+    using Gauge = std::function<std::uint64_t()>;
+
+    ProfRegistry() = default;
+    ProfRegistry(const ProfRegistry &) = delete;
+    ProfRegistry &operator=(const ProfRegistry &) = delete;
+
+    /** Register a live counter; read at snapshot time. */
+    void addCounter(std::string name, const Counter *counter);
+
+    /** Register a sampling closure; read at snapshot time. */
+    void addGauge(std::string name, Gauge gauge);
+
+    /** Register a live histogram; read at snapshot time. */
+    void addHistogram(std::string name, const Histogram *histogram);
+
+    /** Register a gauge sampled at every sample() call. */
+    void addSeries(std::string name, Gauge gauge);
+
+    /** Record a constant (e.g. an attribution bin) once, at end of run. */
+    void publish(std::string name, std::uint64_t value);
+
+    /** Append one point (at simulated @p now) to every series. */
+    void sample(Tick now);
+
+    /** Freeze everything registered so far, in registration order. */
+    ProfSnapshot snapshot() const;
+
+  private:
+    enum class ScalarKind { Counter, Gauge, Published };
+
+    struct ScalarEntry
+    {
+        std::string name;
+        ScalarKind kind = ScalarKind::Published;
+        const Counter *counter = nullptr;
+        Gauge gauge;
+        std::uint64_t published = 0;
+    };
+
+    struct HistogramEntry
+    {
+        std::string name;
+        const Histogram *histogram = nullptr;
+    };
+
+    struct SeriesEntry
+    {
+        std::string name;
+        Gauge gauge;
+        TimeSeries series;
+    };
+
+    mutable std::mutex _mutex;
+    std::vector<ScalarEntry> _scalars;
+    std::vector<HistogramEntry> _histograms;
+    std::vector<SeriesEntry> _series;
+};
+
+/**
+ * Process-wide --profile request (set by BenchIo argument parsing
+ * before any sweep thread starts, mirroring how CPELIDE_TRACE routes
+ * through the TraceArchive singleton). When set, the harness attaches
+ * a registry to every run even though the caller didn't pass one.
+ */
+void setProfileRequest(const std::string &path);
+
+/** Whether a --profile/CPELIDE_PROFILE report was requested. */
+bool profileRequested();
+
+/** The requested report path ("" when not requested). */
+const std::string &profilePath();
+
+} // namespace cpelide::prof
+
+#endif // CPELIDE_PROF_REGISTRY_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Value types of a profiling capture: the frozen contents of a
+ * ProfRegistry (counters, histograms, time series) plus the
+ * stall-cycle attribution bins. Header-only and dependency-free so
+ * RunResult can carry a ProfSnapshot without linking the registry.
+ */
+
+#ifndef CPELIDE_PROF_SNAPSHOT_HH
+#define CPELIDE_PROF_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prof/counter.hh"
+
+namespace cpelide::prof
+{
+
+/**
+ * Where a chiplet's cycles went. Every simulated chiplet cycle is
+ * charged to exactly one bin, so per chiplet the bins sum to the
+ * run's total cycles (GpuSystem asserts this at end of run).
+ */
+enum class StallBin
+{
+    Compute,     //!< critical CU busy on ALU/LDS work
+    Memory,      //!< critical path limited by cache/DRAM/NoC service
+    BarrierWait, //!< idle at a kernel boundary (CP, peers, messaging)
+    Flush,       //!< L2 writeback walk + drain on the critical path
+    Invalidate,  //!< L1/L2 flash-invalidate cost
+    Directory,   //!< HMG directory sharer-invalidation penalties
+};
+
+constexpr int kNumStallBins = 6;
+
+/** Short stable bin name used in reports and counter names. */
+constexpr const char *
+stallBinName(StallBin b)
+{
+    switch (b) {
+      case StallBin::Compute: return "compute";
+      case StallBin::Memory: return "memory";
+      case StallBin::BarrierWait: return "barrier-wait";
+      case StallBin::Flush: return "flush";
+      case StallBin::Invalidate: return "invalidate";
+      case StallBin::Directory: return "directory";
+    }
+    return "?";
+}
+
+/** One scalar value (counter, gauge, or published constant). */
+struct CounterSnap
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/** One histogram, buckets trimmed after the last non-zero entry. */
+struct HistogramSnap
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+};
+
+/** One sampled time series. */
+struct SeriesSnap
+{
+    std::string name;
+    std::vector<SeriesPoint> points;
+};
+
+/**
+ * The full capture of a run's profiling state, in registration order
+ * (which is construction order, hence deterministic).
+ */
+struct ProfSnapshot
+{
+    std::vector<CounterSnap> counters;
+    std::vector<HistogramSnap> histograms;
+    std::vector<SeriesSnap> series;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && histograms.empty() && series.empty();
+    }
+};
+
+} // namespace cpelide::prof
+
+#endif // CPELIDE_PROF_SNAPSHOT_HH

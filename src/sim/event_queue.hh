@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/counter.hh"
 #include "sim/log.hh"
 #include "sim/sim_budget.hh"
 #include "sim/types.hh"
@@ -136,7 +137,7 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, std::greater<>> _heap;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
-    std::uint64_t _eventsProcessed = 0;
+    prof::Counter _eventsProcessed;
 };
 
 } // namespace cpelide

@@ -69,6 +69,8 @@ struct ExecOptions
     std::string tracePath;
     /** CPELIDE_CHECK: run the happens-before checker on every run. */
     bool check = false;
+    /** CPELIDE_PROFILE: perf-counter profile report path ("" = off). */
+    std::string profilePath;
 
     /**
      * The knob table: one row per variable any component reads. Keep
@@ -92,6 +94,7 @@ struct ExecOptions
             {"CPELIDE_PANIC", "abort instead of throw"},
             {"CPELIDE_TRACE", "Chrome trace JSON path"},
             {"CPELIDE_CHECK", "happens-before checker"},
+            {"CPELIDE_PROFILE", "perf-counter profile path"},
         };
         return table;
     }
@@ -147,6 +150,8 @@ struct ExecOptions
         if (const char *s = raw("CPELIDE_TRACE"))
             o.tracePath = s;
         o.check = raw("CPELIDE_CHECK") != nullptr;
+        if (const char *s = raw("CPELIDE_PROFILE"))
+            o.profilePath = s;
         return o;
     }
 

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "prof/counter.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -185,14 +186,14 @@ class FaultInjector
 
     FaultPlan _plan;
     Rng _rng;
-    std::uint64_t _flushesSeen = 0;
-    std::uint64_t _flushesDropped = 0;
-    std::uint64_t _flushesDelayed = 0;
-    std::uint64_t _invalidatesSeen = 0;
-    std::uint64_t _invalidatesSkipped = 0;
-    std::uint64_t _launchesSeen = 0;
-    std::uint64_t _tableCorruptions = 0;
-    std::uint64_t _droppedDirtyLines = 0;
+    prof::Counter _flushesSeen;
+    prof::Counter _flushesDropped;
+    prof::Counter _flushesDelayed;
+    prof::Counter _invalidatesSeen;
+    prof::Counter _invalidatesSkipped;
+    prof::Counter _launchesSeen;
+    prof::Counter _tableCorruptions;
+    prof::Counter _droppedDirtyLines;
 };
 
 } // namespace cpelide

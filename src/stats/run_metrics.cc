@@ -5,6 +5,18 @@
 namespace cpelide
 {
 
+namespace
+{
+
+/**
+ * Pin processEpoch() before main(): the first trace event used to pin
+ * it lazily, skewing exec-worker track offsets when metrics were
+ * enabled mid-sweep.
+ */
+[[maybe_unused]] const auto epochPin = processEpoch();
+
+} // namespace
+
 MetricsRegistry &
 MetricsRegistry::global()
 {
@@ -47,22 +59,26 @@ std::string
 MetricsRegistry::render(const std::string &sweep) const
 {
     AsciiTable t({"job", "status", "wall (s)", "peak RSS (MiB)",
-                  "sim events", "worker"});
+                  "RSS delta (MiB)", "sim events", "worker"});
     double wallTotal = 0.0;
     for (const Row &row : rows()) {
         if (!sweep.empty() && row.sweep != sweep)
             continue;
         wallTotal += row.metrics.wallSeconds;
+        // '*' marks a shared measurement: the job overlapped others,
+        // so the process-wide numbers are not attributable to it.
+        const std::string shared = row.metrics.rssShared ? "*" : "";
         t.addRow({row.label, row.ok ? "ok" : "FAILED:" + row.status,
                   fmt(row.metrics.wallSeconds, 3),
-                  fmt(row.metrics.peakRssKb / 1024.0, 1),
+                  fmt(row.metrics.peakRssKb / 1024.0, 1) + shared,
+                  fmt(row.metrics.rssDeltaKb / 1024.0, 1) + shared,
                   std::to_string(row.metrics.simEvents),
                   row.metrics.worker < 0
                       ? "caller"
                       : std::to_string(row.metrics.worker)});
     }
     t.addRule();
-    t.addRow({"total", "", fmt(wallTotal, 3), "", "", ""});
+    t.addRow({"total", "", fmt(wallTotal, 3), "", "", "", ""});
     return t.render();
 }
 

@@ -38,6 +38,19 @@ struct RunMetrics
     double wallStartSeconds = 0.0;
     /** Process peak RSS (KiB) observed right after the job finished. */
     long peakRssKb = 0;
+    /**
+     * Growth of the process peak RSS (KiB) across the job body. When
+     * jobs run serially this is the job's own footprint; under a
+     * parallel sweep concurrent jobs share the process peak, so the
+     * delta is only an upper bound on this job's contribution and
+     * rssShared is set.
+     */
+    long rssDeltaKb = 0;
+    /**
+     * Another job overlapped this one, so peakRssKb (the process-wide
+     * peak) and rssDeltaKb cannot be attributed to this job alone.
+     */
+    bool rssShared = false;
     /** Simulator events processed (see EventQueue::eventsProcessed). */
     std::uint64_t simEvents = 0;
     /** Pool worker that ran the job; -1 = caller thread (serial path). */

@@ -12,6 +12,7 @@
 
 #include "energy/energy_model.hh"
 #include "noc/noc.hh"
+#include "prof/snapshot.hh"
 #include "sim/types.hh"
 #include "trace/trace.hh"
 
@@ -107,6 +108,23 @@ struct RunResult
     std::uint64_t sharerInvalidations = 0;
     /** @} */
 
+    /**
+     * Full-run stall attribution: every chiplet-cycle of the run binned
+     * into exactly one of the six prof::StallBin causes, summed across
+     * chiplets. The six fields always sum to (simulated chiplets) *
+     * cycles, asserted per chiplet inside GpuSystem::run. For every
+     * protocol but Monolithic that factor is numChiplets; Monolithic
+     * simulates one device but reports the *equivalent* chiplet count
+     * in numChiplets, so there the bins sum to cycles alone. @{
+     */
+    std::uint64_t stallComputeCycles = 0;
+    std::uint64_t stallMemoryCycles = 0;
+    std::uint64_t stallBarrierCycles = 0;
+    std::uint64_t stallFlushCycles = 0;
+    std::uint64_t stallInvalidateCycles = 0;
+    std::uint64_t stallDirectoryCycles = 0;
+    /** @} */
+
     /** Host-side simulator events processed (EventQueue). */
     std::uint64_t simEvents = 0;
 
@@ -142,6 +160,14 @@ struct RunResult
      * whatever worker thread produced them.
      */
     std::vector<TraceEvent> traceEvents;
+
+    /**
+     * Per-component counter/histogram/series snapshot, captured when
+     * the run was profiled (--profile= / CPELIDE_PROFILE). Empty
+     * otherwise. Never serialized to JSONL/CSV/journal — it feeds the
+     * profile report only, keeping structured output byte-stable.
+     */
+    prof::ProfSnapshot prof;
 };
 
 } // namespace cpelide

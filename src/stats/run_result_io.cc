@@ -46,6 +46,12 @@ appendRunResultFields(std::string &out, const RunResult &r)
     appendU64(out, "staleReads", r.staleReads);
     appendU64(out, "hostVisibilityViolations", r.hostVisibilityViolations);
     appendU64(out, "hbViolations", r.hbViolations);
+    appendU64(out, "stallComputeCycles", r.stallComputeCycles);
+    appendU64(out, "stallMemoryCycles", r.stallMemoryCycles);
+    appendU64(out, "stallBarrierCycles", r.stallBarrierCycles);
+    appendU64(out, "stallFlushCycles", r.stallFlushCycles);
+    appendU64(out, "stallInvalidateCycles", r.stallInvalidateCycles);
+    appendU64(out, "stallDirectoryCycles", r.stallDirectoryCycles);
 }
 
 bool
@@ -86,6 +92,18 @@ parseRunResultFields(const JsonLineParser &p, RunResult *r)
     if (!good)
         return false;
     r->numChiplets = static_cast<int>(chiplets);
+    // Stall-attribution bins postdate older journals; tolerate their
+    // absence (like the journal's kernelPhases field) and read 0.
+    const auto optU64 = [&p](const char *key, std::uint64_t *v) {
+        std::uint64_t tmp = 0;
+        *v = p.u64(key, &tmp) ? tmp : 0;
+    };
+    optU64("stallComputeCycles", &r->stallComputeCycles);
+    optU64("stallMemoryCycles", &r->stallMemoryCycles);
+    optU64("stallBarrierCycles", &r->stallBarrierCycles);
+    optU64("stallFlushCycles", &r->stallFlushCycles);
+    optU64("stallInvalidateCycles", &r->stallInvalidateCycles);
+    optU64("stallDirectoryCycles", &r->stallDirectoryCycles);
     return true;
 }
 

@@ -142,7 +142,9 @@ CsvStatSink::header()
            "l2InvalidatesElided,linesWrittenBack,syncStallCycles,"
            "directoryEvictions,sharerInvalidations,simEvents,"
            "tableMaxEntries,staleReads,hostVisibilityViolations,"
-           "hbViolations\n";
+           "hbViolations,stallComputeCycles,stallMemoryCycles,"
+           "stallBarrierCycles,stallFlushCycles,stallInvalidateCycles,"
+           "stallDirectoryCycles\n";
 }
 
 std::string
@@ -192,6 +194,12 @@ CsvStatSink::row(const StatRecord &rec)
     appendCsvU64(out, r.staleReads);
     appendCsvU64(out, r.hostVisibilityViolations);
     appendCsvU64(out, r.hbViolations);
+    appendCsvU64(out, r.stallComputeCycles);
+    appendCsvU64(out, r.stallMemoryCycles);
+    appendCsvU64(out, r.stallBarrierCycles);
+    appendCsvU64(out, r.stallFlushCycles);
+    appendCsvU64(out, r.stallInvalidateCycles);
+    appendCsvU64(out, r.stallDirectoryCycles);
     out += '\n';
     return out;
 }

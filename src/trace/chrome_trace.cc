@@ -45,6 +45,9 @@ appendEvent(std::string &out, int pid, const TraceEvent &e)
         json::appendStr(out, "ph", "X");
         json::appendU64(out, "ts", e.ts);
         json::appendU64(out, "dur", e.dur);
+    } else if (e.kind == TraceEvent::Kind::Counter) {
+        json::appendStr(out, "ph", "C");
+        json::appendU64(out, "ts", e.ts);
     } else {
         json::appendStr(out, "ph", "i");
         json::appendU64(out, "ts", e.ts);

@@ -43,6 +43,7 @@ struct TraceEvent
     {
         Span,    //!< interval [ts, ts + dur] on a track
         Instant, //!< point at ts on a track
+        Counter, //!< sampled value series at ts (Chrome "C" event)
     };
 
     Kind kind = Kind::Instant;
@@ -105,6 +106,25 @@ class TraceSession
     instantNow(std::string name, std::string cat, int tid)
     {
         return instant(std::move(name), std::move(cat), tid, _now);
+    }
+
+    /**
+     * Record a counter sample at @p ts on track @p tid. Series values
+     * go in args (one key per series line); the exporter renders them
+     * as Chrome "C" events, which Perfetto draws as stacked counter
+     * tracks (live L2 occupancy, NoC load, elision rate).
+     */
+    TraceEvent &
+    counter(std::string name, std::string cat, int tid, Tick ts)
+    {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::Counter;
+        e.name = std::move(name);
+        e.cat = std::move(cat);
+        e.tid = tid;
+        e.ts = ts;
+        _events.push_back(std::move(e));
+        return _events.back();
     }
 
     const std::vector<TraceEvent> &events() const { return _events; }

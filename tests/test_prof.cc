@@ -1,0 +1,235 @@
+/**
+ * @file
+ * prof-layer tests: Counter drop-in semantics, Histogram log2
+ * bucketing edge cases (zero, max bucket, 2^63 saturation),
+ * ProfRegistry snapshots, and the stall-cycle attribution invariant —
+ * the six bins must sum exactly to numChiplets * cycles on every
+ * workload/protocol pair (GpuSystem asserts it per chiplet; these
+ * tests re-check the aggregated RunResult fields end to end).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+#include "prof/counter.hh"
+#include "prof/registry.hh"
+#include "prof/snapshot.hh"
+
+namespace cpelide
+{
+namespace
+{
+
+TEST(Counter, DropInForUint64)
+{
+    prof::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    EXPECT_EQ(c.value(), 1u);
+    EXPECT_EQ(c++, 1u); // postfix returns the old value
+    EXPECT_EQ(c.value(), 2u);
+    c += 40;
+    EXPECT_EQ(c.value(), 42u);
+    c = 7;
+    const std::uint64_t raw = c; // implicit conversion
+    EXPECT_EQ(raw, 7u);
+}
+
+TEST(Histogram, BucketsZeroSeparatelyFromOne)
+{
+    EXPECT_EQ(prof::Histogram::bucketFor(0), 0);
+    EXPECT_EQ(prof::Histogram::bucketFor(1), 1);
+    EXPECT_EQ(prof::Histogram::bucketFor(2), 2);
+    EXPECT_EQ(prof::Histogram::bucketFor(3), 2);
+    EXPECT_EQ(prof::Histogram::bucketFor(4), 3);
+
+    prof::Histogram h;
+    h.record(0);
+    h.record(0);
+    h.record(1);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 1u);
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwo)
+{
+    // Bucket k >= 1 holds [2^(k-1), 2^k): both edges land where the
+    // doc comment promises.
+    for (int k = 1; k < 64; ++k) {
+        const std::uint64_t lo = prof::Histogram::bucketLo(k);
+        EXPECT_EQ(prof::Histogram::bucketFor(lo), k) << "k=" << k;
+        EXPECT_EQ(prof::Histogram::bucketFor(2 * lo - 1), k) << "k=" << k;
+    }
+}
+
+TEST(Histogram, SaturatesAtTopBucket)
+{
+    const std::uint64_t big = std::uint64_t{1} << 63;
+    EXPECT_EQ(prof::Histogram::bucketFor(big - 1), 63);
+    EXPECT_EQ(prof::Histogram::bucketFor(big), prof::Histogram::kBuckets - 1);
+    EXPECT_EQ(prof::Histogram::bucketFor(~std::uint64_t{0}),
+              prof::Histogram::kBuckets - 1);
+
+    prof::Histogram h;
+    h.record(big);
+    h.record(~std::uint64_t{0});
+    EXPECT_EQ(h.bucket(prof::Histogram::kBuckets - 1), 2u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ProfRegistry, SnapshotsInRegistrationOrder)
+{
+    prof::ProfRegistry reg;
+    prof::Counter a(3);
+    prof::Counter b(5);
+    reg.addCounter("cp/a", &a);
+    reg.addGauge("cp/g", [] { return std::uint64_t{11}; });
+    reg.addCounter("mem/b", &b);
+    reg.publish("stall/total", 99);
+
+    prof::Histogram h;
+    h.record(0);
+    h.record(7);
+    reg.addHistogram("mem/latency", &h);
+
+    reg.addSeries("series/x", [&a] { return a.value(); });
+    reg.sample(10);
+    a += 1;
+    reg.sample(20);
+
+    const prof::ProfSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 4u);
+    EXPECT_EQ(snap.counters[0].name, "cp/a");
+    EXPECT_EQ(snap.counters[0].value, 4u); // live pointer: sees += 1
+    EXPECT_EQ(snap.counters[1].name, "cp/g");
+    EXPECT_EQ(snap.counters[1].value, 11u);
+    EXPECT_EQ(snap.counters[2].name, "mem/b");
+    EXPECT_EQ(snap.counters[2].value, 5u);
+    EXPECT_EQ(snap.counters[3].name, "stall/total");
+    EXPECT_EQ(snap.counters[3].value, 99u);
+
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, 2u);
+    EXPECT_EQ(snap.histograms[0].sum, 7u);
+    // Trimmed after the last non-zero bucket (value 7 -> bucket 3).
+    ASSERT_EQ(snap.histograms[0].buckets.size(), 4u);
+    EXPECT_EQ(snap.histograms[0].buckets[0], 1u);
+    EXPECT_EQ(snap.histograms[0].buckets[3], 1u);
+
+    ASSERT_EQ(snap.series.size(), 1u);
+    ASSERT_EQ(snap.series[0].points.size(), 2u);
+    EXPECT_EQ(snap.series[0].points[0].tick, 10u);
+    EXPECT_EQ(snap.series[0].points[0].value, 3u);
+    EXPECT_EQ(snap.series[0].points[1].value, 4u);
+}
+
+/** Sum of the six attribution bins. */
+std::uint64_t
+stallSum(const RunResult &r)
+{
+    return r.stallComputeCycles + r.stallMemoryCycles +
+           r.stallBarrierCycles + r.stallFlushCycles +
+           r.stallInvalidateCycles + r.stallDirectoryCycles;
+}
+
+class StallAttribution
+    : public ::testing::TestWithParam<std::pair<const char *, ProtocolKind>>
+{};
+
+TEST_P(StallAttribution, BinsSumToTotalChipletCycles)
+{
+    const auto [workload, kind] = GetParam();
+    const RunResult r = runWorkload(workload, kind, 4, 0.05);
+    ASSERT_GT(r.cycles, 0u);
+    // Monolithic simulates one device; numChiplets holds the
+    // *equivalent* chiplet count (see RunResult).
+    const std::uint64_t simulated =
+        kind == ProtocolKind::Monolithic
+            ? 1
+            : static_cast<std::uint64_t>(r.numChiplets);
+    EXPECT_EQ(stallSum(r), simulated * r.cycles)
+        << workload << "/" << r.protocol;
+    // Work happened, so the compute and memory bins cannot both be 0.
+    EXPECT_GT(r.stallComputeCycles + r.stallMemoryCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, StallAttribution,
+    ::testing::Values(
+        std::make_pair("Square", ProtocolKind::Baseline),
+        std::make_pair("Square", ProtocolKind::CpElide),
+        std::make_pair("Square", ProtocolKind::Hmg),
+        std::make_pair("BabelStream", ProtocolKind::Baseline),
+        std::make_pair("BabelStream", ProtocolKind::CpElide),
+        std::make_pair("BabelStream", ProtocolKind::Hmg),
+        std::make_pair("BFS", ProtocolKind::Baseline),
+        std::make_pair("BFS", ProtocolKind::CpElide),
+        std::make_pair("BFS", ProtocolKind::Hmg),
+        std::make_pair("HACC", ProtocolKind::HmgWriteBack),
+        std::make_pair("Square", ProtocolKind::Monolithic)),
+    [](const auto &info) {
+        std::string name = std::string(info.param.first) + "_" +
+                           protocolName(info.param.second);
+        for (char &c : name) {
+            if (c == '-' || c == ' ')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(StallAttributionMultiStream, BinsSumAcrossStreams)
+{
+    // Multi-stream Baseline is the case where a chiplet's attribution
+    // cursor can run past a later kernel's window; the clamping must
+    // still conserve every cycle.
+    const RunResult r =
+        runWorkloadMultiStream("Square", ProtocolKind::Baseline, 4, 2, 0.05);
+    ASSERT_GT(r.cycles, 0u);
+    EXPECT_EQ(stallSum(r),
+              static_cast<std::uint64_t>(r.numChiplets) * r.cycles);
+}
+
+TEST(ProfiledRun, SnapshotLandsInRunResult)
+{
+    RunOptions opts;
+    opts.protocol = ProtocolKind::CpElide;
+    prof::ProfRegistry reg;
+    opts.prof = &reg;
+
+    RunRequest req;
+    req.workload = "Square";
+    req.options = opts;
+    req.chiplets = 4;
+    req.scale = 0.05;
+    const RunResult r = run(req);
+
+    ASSERT_FALSE(r.prof.empty());
+    // The stall bins are published into the registry too, and must
+    // match the RunResult fields exactly.
+    std::uint64_t published = 0, total = 0;
+    for (const prof::CounterSnap &c : r.prof.counters) {
+        if (c.name == "stall/total-chiplet-cycles")
+            total = c.value;
+        else if (c.name.rfind("stall/", 0) == 0)
+            published += c.value;
+    }
+    EXPECT_EQ(published, stallSum(r));
+    EXPECT_EQ(total, stallSum(r));
+
+    // Series were sampled at every kernel boundary.
+    bool sawSeries = false;
+    for (const prof::SeriesSnap &s : r.prof.series) {
+        if (!s.points.empty())
+            sawSeries = true;
+    }
+    EXPECT_TRUE(sawSeries);
+}
+
+} // namespace
+} // namespace cpelide
