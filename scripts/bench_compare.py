@@ -71,6 +71,11 @@ def load_run(stream) -> dict:
             runs[key] = {"_error": rec.get("error", "run failed")}
             continue
         runs[key] = {f: rec[f] for f in COMPARED_FIELDS if f in rec}
+        # Informational, never compared: which engine produced the
+        # row. --update stamps it into the baseline so a later
+        # deviation report can say whether the code moved.
+        if rec.get("engineVersion"):
+            runs[key]["_engineVersion"] = rec["engineVersion"]
     return runs
 
 
@@ -156,6 +161,14 @@ def main() -> int:
               f"{args.baseline}")
         for e in errors:
             print(f"  {e}")
+        run_versions = {v["_engineVersion"] for v in runs.values()
+                        if "_engineVersion" in v}
+        base_versions = {v.get("_engineVersion")
+                         for v in baseline.values()
+                         if isinstance(v, dict)} - {None}
+        if run_versions or base_versions:
+            print(f"  engine version: run {sorted(run_versions)}, "
+                  f"baseline {sorted(base_versions) or 'unstamped'}")
         return 1
     print(f"bench_compare: {len(runs)} record(s) match {args.baseline} "
           f"(tolerance {args.tolerance:.2%})")

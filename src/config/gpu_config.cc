@@ -1,6 +1,8 @@
 #include "config/gpu_config.hh"
 
+#include <cctype>
 #include <sstream>
+#include <utility>
 
 #include "sim/log.hh"
 
@@ -18,6 +20,29 @@ protocolName(ProtocolKind kind)
       case ProtocolKind::Monolithic: return "Monolithic";
     }
     return "?";
+}
+
+bool
+protocolFromName(const std::string &name, ProtocolKind *out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (const char c : name)
+        lower += static_cast<char>(std::tolower(c));
+    static const std::pair<const char *, ProtocolKind> kNames[] = {
+        {"baseline", ProtocolKind::Baseline},
+        {"cpelide", ProtocolKind::CpElide},
+        {"hmg", ProtocolKind::Hmg},
+        {"hmg-wb", ProtocolKind::HmgWriteBack},
+        {"monolithic", ProtocolKind::Monolithic},
+    };
+    for (const auto &[n, kind] : kNames) {
+        if (lower == n) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 void

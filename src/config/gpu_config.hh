@@ -49,6 +49,15 @@ enum class ProtocolKind
 /** Human-readable protocol name. */
 const char *protocolName(ProtocolKind kind);
 
+/**
+ * Inverse of protocolName(), accepting the exact display names
+ * ("Baseline", "CPElide", "HMG", "HMG-WB", "Monolithic") plus their
+ * lower-case spellings (the serve wire protocol is case-insensitive
+ * here so `simc --protocol=cpelide` works as typed).
+ * @return false (leaving @p out untouched) for anything else.
+ */
+bool protocolFromName(const std::string &name, ProtocolKind *out);
+
 /** All tunables of the simulated machine. */
 struct GpuConfig
 {

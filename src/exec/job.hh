@@ -78,6 +78,22 @@ struct Job
     std::function<RunResult()> body;
 };
 
+/** Result slot of one job, at the job's index in the SweepSpec. */
+struct JobOutcome
+{
+    /** Valid when ok; zero-initialized (error row) otherwise. */
+    RunResult result;
+    RunMetrics metrics;
+    bool ok = false;
+    std::string error; //!< exception text when !ok
+    /** Classified failure cause (None when ok). */
+    JobErrorKind kind = JobErrorKind::None;
+    /** Executions of the job body, including retries (>= 1). */
+    int attempts = 1;
+    /** Restored from a CPELIDE_RESUME journal, not re-run. */
+    bool fromCheckpoint = false;
+};
+
 /** An ordered batch of jobs, merged back in this order. */
 struct SweepSpec
 {
@@ -109,6 +125,18 @@ struct SweepSpec
      */
     double retryBackoffMs = -1.0;
 
+    /**
+     * Submission hook: called once per job as it completes (after
+     * retries, metrics, and journaling), with the job's spec index and
+     * final outcome — including jobs restored from a checkpoint
+     * journal. Unlike the returned vector this fires in *completion*
+     * order, from whichever worker thread finished the job, so the
+     * serve subsystem can stream results the moment they exist; the
+     * callback must therefore be thread-safe and must not touch the
+     * spec it rode in on. Null (the default) is skipped.
+     */
+    std::function<void(std::size_t, const JobOutcome &)> onOutcome;
+
     void
     add(std::string label, std::function<RunResult()> body)
     {
@@ -117,22 +145,6 @@ struct SweepSpec
         j.body = std::move(body);
         jobs.push_back(std::move(j));
     }
-};
-
-/** Result slot of one job, at the job's index in the SweepSpec. */
-struct JobOutcome
-{
-    /** Valid when ok; zero-initialized (error row) otherwise. */
-    RunResult result;
-    RunMetrics metrics;
-    bool ok = false;
-    std::string error; //!< exception text when !ok
-    /** Classified failure cause (None when ok). */
-    JobErrorKind kind = JobErrorKind::None;
-    /** Executions of the job body, including retries (>= 1). */
-    int attempts = 1;
-    /** Restored from a CPELIDE_RESUME journal, not re-run. */
-    bool fromCheckpoint = false;
 };
 
 } // namespace cpelide

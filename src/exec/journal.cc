@@ -3,7 +3,9 @@
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "sim/log.hh"
 #include "stats/json_util.hh"
@@ -191,30 +193,72 @@ SweepJournal::open(const std::string &path)
     _path = path;
     _loaded.clear();
 
-    std::ifstream in(path);
-    if (in.is_open()) {
-        std::string line;
-        std::size_t torn = 0;
-        while (std::getline(in, line)) {
-            if (line.empty())
-                continue;
-            std::uint64_t hash = 0;
-            std::string sweep, label;
-            JobOutcome outcome;
-            if (!decodeOutcome(line, &hash, &sweep, &label, &outcome)) {
-                ++torn;
-                continue;
-            }
-            outcome.fromCheckpoint = true;
-            _loaded[hash] = std::move(outcome);
+    // Read the whole file up front: a process killed mid-append leaves
+    // an unterminated final line, and the repair below needs to know
+    // exactly where the last complete line ends.
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in.is_open()) {
+            text.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
         }
-        if (torn > 0) {
-            warn("journal " + path + ": skipped " +
-                 std::to_string(torn) + " unparsable line(s)");
+    }
+
+    const bool tornTail = !text.empty() && text.back() != '\n';
+    std::size_t torn = 0;
+    bool tailParsed = false;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        const bool isTail = end == std::string::npos;
+        if (isTail)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        std::uint64_t hash = 0;
+        std::string sweep, label;
+        JobOutcome outcome;
+        if (!decodeOutcome(line, &hash, &sweep, &label, &outcome)) {
+            ++torn;
+            continue;
+        }
+        if (isTail)
+            tailParsed = true;
+        outcome.fromCheckpoint = true;
+        _loaded[hash] = std::move(outcome);
+    }
+    if (torn > 0) {
+        warn("journal " + path + ": skipped " + std::to_string(torn) +
+             " unparsable line(s)");
+    }
+
+    // Repair an unterminated tail BEFORE reopening for append:
+    // otherwise the next record is glued onto the torn fragment and
+    // both lines are lost on the following open — one crash mid-write
+    // would poison every later append. A tail that parses is a
+    // complete record missing only its '\n' (killed between the write
+    // and the newline); finish it. Anything else is a true fragment;
+    // truncate it away.
+    if (tornTail && !tailParsed) {
+        const std::size_t lastNl = text.find_last_of('\n');
+        const std::size_t keep =
+            lastNl == std::string::npos ? 0 : lastNl + 1;
+        std::error_code ec;
+        std::filesystem::resize_file(path, keep, ec);
+        if (ec) {
+            warn("journal " + path + ": cannot truncate torn tail (" +
+                 ec.message() + "); appends may be lost");
         }
     }
 
     _file = std::fopen(path.c_str(), "a");
+    if (_file && tornTail && tailParsed) {
+        std::fputc('\n', _file);
+        std::fflush(_file);
+    }
     return _file != nullptr;
 }
 

@@ -14,7 +14,10 @@
  *
  * The format round-trips every RunResult field exactly (integers
  * verbatim, doubles via %.17g) and tolerates a torn final line from a
- * killed process: unparsable lines are skipped.
+ * killed process: unparsable lines are skipped, and open() repairs an
+ * unterminated tail (newline-completing a full record, truncating a
+ * true fragment) before reopening for append, so later appends are
+ * never glued onto the wreckage of a crash.
  */
 
 #ifndef CPELIDE_EXEC_JOURNAL_HH

@@ -140,6 +140,8 @@ SweepRunner::runOne(const SweepSpec &spec, std::size_t index,
             MetricsRegistry::global().record(spec.name, job.label,
                                              cached.ok, cached.metrics,
                                              "checkpoint");
+            if (spec.onOutcome)
+                spec.onOutcome(index, cached);
             return cached;
         }
     }
@@ -173,6 +175,8 @@ SweepRunner::runOne(const SweepSpec &spec, std::size_t index,
                                      out.metrics, jobErrorName(out.kind));
     if (journal)
         journal->append(jobHash(spec, index), spec.name, job.label, out);
+    if (spec.onOutcome)
+        spec.onOutcome(index, out);
     return out;
 }
 

@@ -6,6 +6,7 @@
 #include "prof/registry.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
+#include "sim/version.hh"
 #include "stats/report.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/trace.hh"
@@ -98,6 +99,7 @@ runRequest(const RunRequest &req)
     }
 
     RunResult r = rt.deviceSynchronize(resultLabel(req));
+    r.engineVersion = cpelide::engineVersion();
     if (!req.cfg)
         r.numChiplets = req.chiplets; // equivalent chiplet count
     if (session == &local)

@@ -1,0 +1,119 @@
+#include "harness/request_codec.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit (same parameters as exec/journal.cc's job hash). */
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+fnvMixStr(std::uint64_t &h, const std::string &s)
+{
+    // Length-prefix so ("ab","c") != ("a","bc") across fields.
+    const std::uint64_t len = s.size();
+    const auto *lenBytes = reinterpret_cast<const unsigned char *>(&len);
+    for (std::size_t i = 0; i < sizeof(len); ++i) {
+        h ^= lenBytes[i];
+        h *= kFnvPrime;
+    }
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+}
+
+void
+fail(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+}
+
+} // namespace
+
+bool
+requestCodable(const RunRequest &req)
+{
+    return !req.builder && !req.cfg && !req.options && !req.trace &&
+           !req.workload.empty();
+}
+
+std::string
+canonicalRequestLine(const RunRequest &req)
+{
+    std::string out = "{";
+    json::appendStr(out, "workload", req.workload);
+    json::appendStr(out, "protocol", protocolName(req.protocol));
+    json::appendI64(out, "chiplets", req.chiplets);
+    json::appendDouble(out, "scale", req.scale);
+    json::appendI64(out, "copies", req.copies);
+    json::appendI64(out, "extraSyncSets", req.extraSyncSets);
+    json::appendStr(out, "label", req.label);
+    out += '}';
+    return out;
+}
+
+bool
+parseRequestFields(const JsonLineParser &p, RunRequest *req,
+                   std::string *error)
+{
+    RunRequest r;
+    if (!p.str("workload", &r.workload) || r.workload.empty()) {
+        fail(error, "missing or empty workload");
+        return false;
+    }
+    std::string protocol;
+    if (!p.str("protocol", &protocol)) {
+        fail(error, "missing protocol");
+        return false;
+    }
+    if (!protocolFromName(protocol, &r.protocol)) {
+        fail(error, "unknown protocol '" + protocol + "'");
+        return false;
+    }
+    std::int64_t chiplets = 0;
+    if (!p.i64("chiplets", &chiplets) || chiplets < 1 || chiplets > 64) {
+        fail(error, "chiplets must be an integer in [1, 64]");
+        return false;
+    }
+    r.chiplets = static_cast<int>(chiplets);
+    if (!p.dbl("scale", &r.scale) || !(r.scale > 0.0) || r.scale > 1.0) {
+        fail(error, "scale must be in (0, 1]");
+        return false;
+    }
+    std::int64_t copies = 1;
+    if (p.has("copies") &&
+        (!p.i64("copies", &copies) || copies < 1 || copies > chiplets)) {
+        fail(error, "copies must be an integer in [1, chiplets]");
+        return false;
+    }
+    r.copies = static_cast<int>(copies);
+    std::int64_t extraSyncSets = 0;
+    if (p.has("extraSyncSets") &&
+        (!p.i64("extraSyncSets", &extraSyncSets) || extraSyncSets < 0)) {
+        fail(error, "extraSyncSets must be a non-negative integer");
+        return false;
+    }
+    r.extraSyncSets = static_cast<int>(extraSyncSets);
+    if (p.has("label") && !p.str("label", &r.label)) {
+        fail(error, "malformed label");
+        return false;
+    }
+    *req = std::move(r);
+    return true;
+}
+
+std::uint64_t
+requestHash(const RunRequest &req, const std::string &engineVersion)
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMixStr(h, canonicalRequestLine(req));
+    fnvMixStr(h, engineVersion);
+    return h;
+}
+
+} // namespace cpelide

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Canonical RunRequest serialization and content hashing — the
+ * identity layer under the serve subsystem's result cache.
+ *
+ * A RunRequest is *codable* when every field that affects the
+ * simulation is a plain value: a named workload with no inline
+ * builder, no custom GpuConfig, no RunOptions override, and no
+ * caller-owned trace session. Codable requests round-trip through one
+ * flat JSON line whose keys are emitted in a fixed order whatever
+ * order they arrived in, so two requests that mean the same run
+ * always canonicalize to the same bytes.
+ *
+ * requestHash() is FNV-1a over (canonical line, engine version).
+ * Because the simulator is deterministic and CI proves its output
+ * byte-identical across thread counts, equal hashes imply equal
+ * RunResults for the same engine build — the soundness argument for
+ * content-addressed result caching (docs/SERVING.md).
+ */
+
+#ifndef CPELIDE_HARNESS_REQUEST_CODEC_HH
+#define CPELIDE_HARNESS_REQUEST_CODEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/harness.hh"
+#include "stats/json_util.hh"
+
+namespace cpelide
+{
+
+/**
+ * Whether @p req consists only of serializable fields (see file
+ * comment). Requests with an inline builder, custom config, options
+ * override, or trace session cannot travel over the wire or key the
+ * cache.
+ */
+bool requestCodable(const RunRequest &req);
+
+/**
+ * The canonical flat-JSON line of a codable request: fixed key order
+ * (workload, protocol, chiplets, scale, copies, extraSyncSets,
+ * label), defaulted fields included, doubles via %.17g so the exact
+ * bit pattern round-trips. Precondition: requestCodable(req).
+ */
+std::string canonicalRequestLine(const RunRequest &req);
+
+/**
+ * Read the canonical fields back from a parsed flat object (keys may
+ * appear in any order; unknown keys are ignored so the wire protocol
+ * can extend). @return false on a missing/malformed field, an unknown
+ * protocol name, or out-of-range chiplets/scale/copies, with a
+ * one-line reason in @p error (when non-null).
+ */
+bool parseRequestFields(const JsonLineParser &p, RunRequest *req,
+                        std::string *error = nullptr);
+
+/**
+ * Content hash of a codable request under the current engine build:
+ * FNV-1a over canonicalRequestLine() and @p engineVersion. Stable
+ * across processes and field arrival order; distinct for any change
+ * to a result-affecting field.
+ */
+std::uint64_t requestHash(const RunRequest &req,
+                          const std::string &engineVersion);
+
+} // namespace cpelide
+
+#endif // CPELIDE_HARNESS_REQUEST_CODEC_HH

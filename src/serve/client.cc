@@ -1,0 +1,127 @@
+#include "serve/client.hh"
+
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cpelide
+{
+
+SimClient::~SimClient()
+{
+    close();
+}
+
+bool
+SimClient::connect(const std::string &socketPath)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        return false;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    _fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (_fd < 0)
+        return false;
+    if (::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(_fd);
+        _fd = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+SimClient::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _buffer.clear();
+}
+
+bool
+SimClient::sendLine(const std::string &line)
+{
+    if (_fd < 0)
+        return false;
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(_fd, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+SimClient::send(const ServeRequest &req)
+{
+    return sendLine(encodeServeRequest(req));
+}
+
+bool
+SimClient::recvLine(std::string *line)
+{
+    if (_fd < 0)
+        return false;
+    for (;;) {
+        const std::size_t nl = _buffer.find('\n');
+        if (nl != std::string::npos) {
+            line->assign(_buffer, 0, nl);
+            _buffer.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        _buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+SimClient::recvResponse(ServeResponse *resp)
+{
+    std::string line;
+    while (recvLine(&line)) {
+        if (decodeServeResponse(line, resp))
+            return true;
+        // Not a result line (e.g. an interleaved stats answer): skip.
+    }
+    return false;
+}
+
+bool
+SimClient::request(const ServeRequest &req, ServeResponse *resp)
+{
+    return send(req) && recvResponse(resp);
+}
+
+bool
+SimClient::stats(ServeStats *out)
+{
+    if (!sendLine("{\"type\":\"stats\"}"))
+        return false;
+    std::string line;
+    while (recvLine(&line)) {
+        if (decodeServeStats(line, out))
+            return true;
+    }
+    return false;
+}
+
+} // namespace cpelide

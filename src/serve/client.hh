@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SimClient: the client side of the simd protocol, shared by the simc
+ * CLI and the serve tests.
+ *
+ * Thin and synchronous: connect() to the daemon's Unix socket, send()
+ * request lines, recvResponse()/recvStats() blocking reads of answer
+ * lines. request() and stats() wrap the common one-shot patterns.
+ * Responses arrive in completion order, not submission order — callers
+ * that pipeline multiple requests correlate by the echoed id.
+ */
+
+#ifndef CPELIDE_SERVE_CLIENT_HH
+#define CPELIDE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace cpelide
+{
+
+class SimClient
+{
+  public:
+    SimClient() = default;
+    ~SimClient();
+
+    SimClient(const SimClient &) = delete;
+    SimClient &operator=(const SimClient &) = delete;
+
+    /** Connect to the daemon at @p socketPath. */
+    bool connect(const std::string &socketPath);
+    void close();
+    bool connected() const { return _fd >= 0; }
+
+    /** Send one raw protocol line (newline appended here). */
+    bool sendLine(const std::string &line);
+    bool send(const ServeRequest &req);
+
+    /**
+     * Blocking read of the next line from the daemon.
+     * @retval false on EOF / error.
+     */
+    bool recvLine(std::string *line);
+
+    /** Blocking read of the next "result" line. */
+    bool recvResponse(ServeResponse *resp);
+
+    /** One-shot: send @p req, wait for its answer. */
+    bool request(const ServeRequest &req, ServeResponse *resp);
+
+    /** One-shot: probe the daemon's counters. */
+    bool stats(ServeStats *out);
+
+  private:
+    int _fd = -1;
+    std::string _buffer; //!< bytes read past the last returned line
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SERVE_CLIENT_HH

@@ -1,0 +1,166 @@
+#include "serve/protocol.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "stats/run_result_io.hh"
+
+namespace cpelide
+{
+
+const char *
+servePriorityName(ServePriority p)
+{
+    return p == ServePriority::Bulk ? "bulk" : "interactive";
+}
+
+bool
+serveLineType(const std::string &line, std::string *type)
+{
+    JsonLineParser p(line);
+    return p.parse() && p.str("type", type);
+}
+
+std::string
+encodeServeRequest(const ServeRequest &req)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "run");
+    json::appendU64(out, "id", req.id);
+    json::appendStr(out, "priority", servePriorityName(req.priority));
+    // Splice the canonical request fields in canonical order; the
+    // canonical line is "{fields}", so strip its braces.
+    const std::string canonical = canonicalRequestLine(req.run);
+    json::appendSep(out);
+    out.append(canonical, 1, canonical.size() - 2);
+    out += '}';
+    return out;
+}
+
+bool
+decodeServeRequest(const std::string &line, ServeRequest *out,
+                   std::string *error)
+{
+    JsonLineParser p(line);
+    if (!p.parse()) {
+        if (error)
+            *error = "unparsable request line";
+        return false;
+    }
+    ServeRequest req;
+    p.u64("id", &req.id); // best-effort: echoed even on rejection
+    if (out)
+        out->id = req.id;
+
+    std::string type;
+    if (!p.str("type", &type) || type != "run") {
+        if (error)
+            *error = "expected a \"type\":\"run\" line";
+        return false;
+    }
+    std::string priority;
+    if (p.has("priority")) {
+        if (!p.str("priority", &priority) ||
+            (priority != "interactive" && priority != "bulk")) {
+            if (error)
+                *error = "priority must be \"interactive\" or \"bulk\"";
+            return false;
+        }
+        if (priority == "bulk")
+            req.priority = ServePriority::Bulk;
+    }
+    if (!parseRequestFields(p, &req.run, error))
+        return false;
+    *out = std::move(req);
+    return true;
+}
+
+std::string
+encodeServeResponse(const ServeResponse &resp)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "result");
+    json::appendU64(out, "id", resp.id);
+    json::appendU64(out, "cached", resp.cached ? 1 : 0);
+    json::appendU64(out, "ok", resp.ok ? 1 : 0);
+    json::appendStr(out, "error", resp.error);
+    appendRunResultFields(out, resp.result);
+    json::appendStr(out, "kernelPhases",
+                    encodeKernelPhasesCompact(resp.result.kernelPhases));
+    out += '}';
+    return out;
+}
+
+bool
+decodeServeResponse(const std::string &line, ServeResponse *out)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    std::string type;
+    if (!p.str("type", &type) || type != "result")
+        return false;
+
+    ServeResponse resp;
+    std::uint64_t ok = 0, cached = 0;
+    if (!p.u64("id", &resp.id) || !p.u64("cached", &cached) ||
+        !p.u64("ok", &ok) || !p.str("error", &resp.error)) {
+        return false;
+    }
+    if (!parseRunResultFields(p, &resp.result))
+        return false;
+    std::string phases;
+    if (p.str("kernelPhases", &phases) &&
+        !decodeKernelPhasesCompact(phases, &resp.result.kernelPhases)) {
+        return false;
+    }
+    resp.ok = ok != 0;
+    resp.cached = cached != 0;
+    *out = std::move(resp);
+    return true;
+}
+
+std::string
+encodeServeStats(const ServeStats &stats)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "stats");
+    json::appendU64(out, "requests", stats.requests);
+    json::appendU64(out, "rejected", stats.rejected);
+    json::appendU64(out, "cacheHits", stats.cacheHits);
+    json::appendU64(out, "cacheMisses", stats.cacheMisses);
+    json::appendU64(out, "simulations", stats.simulations);
+    json::appendU64(out, "failures", stats.failures);
+    json::appendU64(out, "simEvents", stats.simEvents);
+    json::appendU64(out, "cacheEntries", stats.cacheEntries);
+    json::appendStr(out, "engineVersion", stats.engineVersion);
+    out += '}';
+    return out;
+}
+
+bool
+decodeServeStats(const std::string &line, ServeStats *out)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    std::string type;
+    if (!p.str("type", &type) || type != "stats")
+        return false;
+    ServeStats s;
+    const bool good =
+        p.u64("requests", &s.requests) && p.u64("rejected", &s.rejected) &&
+        p.u64("cacheHits", &s.cacheHits) &&
+        p.u64("cacheMisses", &s.cacheMisses) &&
+        p.u64("simulations", &s.simulations) &&
+        p.u64("failures", &s.failures) &&
+        p.u64("simEvents", &s.simEvents) &&
+        p.u64("cacheEntries", &s.cacheEntries) &&
+        p.str("engineVersion", &s.engineVersion);
+    if (!good)
+        return false;
+    *out = std::move(s);
+    return true;
+}
+
+} // namespace cpelide

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Wire protocol of the simd daemon: newline-delimited JSON, one flat
+ * object per line, both directions — the same codec family as the
+ * journal and the JSONL stat sinks (stats/run_result_io.hh), so a
+ * response line carries a RunResult byte-identically to how the
+ * journal would.
+ *
+ * Client -> server lines:
+ *   {"type":"run","id":N,"priority":"interactive"|"bulk",
+ *    "workload":...,"protocol":...,"chiplets":...,"scale":...,
+ *    "copies":...,"extraSyncSets":...,"label":...}
+ *   {"type":"stats"}
+ *
+ * Server -> client lines:
+ *   {"type":"result","id":N,"cached":0|1,"ok":0|1,"error":...,
+ *    <RunResult fields>, "kernelPhases":"<compact>"}
+ *   {"type":"stats", <counter fields>, "engineVersion":...}
+ *
+ * Responses stream in completion order; the echoed id is the client's
+ * correlation handle. Request ids are client-scoped (the server never
+ * interprets them beyond echoing), so clients may number however they
+ * like.
+ */
+
+#ifndef CPELIDE_SERVE_PROTOCOL_HH
+#define CPELIDE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/request_codec.hh"
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+/**
+ * Scheduling lane. Interactive requests always batch before bulk
+ * ones: a design-space sweep queued as bulk cannot starve a human
+ * poking at single points.
+ */
+enum class ServePriority
+{
+    Interactive,
+    Bulk,
+};
+
+const char *servePriorityName(ServePriority p);
+
+/** One queued simulation ask, as it travels client -> server. */
+struct ServeRequest
+{
+    std::uint64_t id = 0;
+    ServePriority priority = ServePriority::Interactive;
+    RunRequest run;
+};
+
+/** One answer, server -> client, in completion order. */
+struct ServeResponse
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    /** Served from the content-addressed cache, not simulated. */
+    bool cached = false;
+    std::string error; //!< reject/failure reason when !ok
+    RunResult result;  //!< zeroed when !ok
+};
+
+/** Daemon counters, answered to a {"type":"stats"} probe. */
+struct ServeStats
+{
+    std::uint64_t requests = 0;    //!< run requests accepted
+    std::uint64_t rejected = 0;    //!< malformed / over-quota
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t simulations = 0; //!< jobs actually executed
+    std::uint64_t failures = 0;    //!< executed jobs that failed
+    std::uint64_t simEvents = 0;   //!< total simulator events executed
+    std::uint64_t cacheEntries = 0;
+    std::string engineVersion;
+};
+
+/** The "type" field of @p line; false if the line is not parsable. */
+bool serveLineType(const std::string &line, std::string *type);
+
+std::string encodeServeRequest(const ServeRequest &req);
+
+/**
+ * Decode a "run" line. @return false with a reason in @p error on a
+ * malformed or out-of-range request (the id still decodes best-effort
+ * so the rejection can be correlated).
+ */
+bool decodeServeRequest(const std::string &line, ServeRequest *out,
+                        std::string *error);
+
+std::string encodeServeResponse(const ServeResponse &resp);
+
+bool decodeServeResponse(const std::string &line, ServeResponse *out);
+
+std::string encodeServeStats(const ServeStats &stats);
+
+bool decodeServeStats(const std::string &line, ServeStats *out);
+
+} // namespace cpelide
+
+#endif // CPELIDE_SERVE_PROTOCOL_HH

@@ -1,0 +1,226 @@
+#include "serve/result_cache.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "sim/log.hh"
+#include "stats/json_util.hh"
+#include "stats/run_result_io.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** One disk-store line (no trailing newline). */
+std::string
+encodeCacheLine(std::uint64_t key, const std::string &canonical,
+                const RunResult &result)
+{
+    std::string out = "{";
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, key);
+        json::appendStr(out, "key", buf); // string: uint64 > 2^53 is legal
+    }
+    json::appendStr(out, "request", canonical);
+    appendRunResultFields(out, result);
+    json::appendStr(out, "kernelPhases",
+                    encodeKernelPhasesCompact(result.kernelPhases));
+    out += '}';
+    return out;
+}
+
+bool
+decodeCacheLine(const std::string &line, std::uint64_t *key,
+                RunResult *result)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    std::string keyStr;
+    if (!p.str("key", &keyStr))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t k = std::strtoull(keyStr.c_str(), &end, 10);
+    if (errno != 0 || end == keyStr.c_str() || *end != '\0')
+        return false;
+    RunResult r;
+    if (!parseRunResultFields(p, &r))
+        return false;
+    std::string phases;
+    if (p.str("kernelPhases", &phases) &&
+        !decodeKernelPhasesCompact(phases, &r.kernelPhases)) {
+        return false;
+    }
+    *key = k;
+    *result = std::move(r);
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::size_t capacity, const std::string &dir)
+    : _capacity(capacity == 0 ? 1 : capacity)
+{
+    if (dir.empty())
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("result cache: cannot create '" + dir + "' (" +
+             ec.message() + "); running memory-only");
+        return;
+    }
+    _path = (std::filesystem::path(dir) / "results.jsonl").string();
+
+    // Load the store, with the same crash-mid-append repair discipline
+    // as the checkpoint journal: skip unparsable lines, finish a
+    // complete-but-unterminated tail, truncate a true fragment.
+    std::string text;
+    {
+        std::ifstream in(_path, std::ios::binary);
+        if (in.is_open()) {
+            text.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+        }
+    }
+    const bool tornTail = !text.empty() && text.back() != '\n';
+    bool tailParsed = false;
+    std::size_t torn = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        const bool isTail = end == std::string::npos;
+        if (isTail)
+            end = text.size();
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        std::uint64_t key = 0;
+        RunResult result;
+        if (!decodeCacheLine(line, &key, &result)) {
+            ++torn;
+            continue;
+        }
+        if (isTail)
+            tailParsed = true;
+        // Later lines win; the LRU keeps at most _capacity of the most
+        // recently appended entries.
+        insertLocked(key, result);
+    }
+    _loadedEntries = _map.size();
+    if (torn > 0) {
+        warn("result cache " + _path + ": skipped " +
+             std::to_string(torn) + " unparsable line(s)");
+    }
+    if (tornTail && !tailParsed) {
+        const std::size_t lastNl = text.find_last_of('\n');
+        const std::size_t keep =
+            lastNl == std::string::npos ? 0 : lastNl + 1;
+        std::filesystem::resize_file(_path, keep, ec);
+        if (ec) {
+            warn("result cache " + _path + ": cannot truncate torn "
+                 "tail (" + ec.message() + "); appends may be lost");
+        }
+    }
+
+    _file = std::fopen(_path.c_str(), "a");
+    if (!_file) {
+        warn("result cache: cannot append to '" + _path +
+             "'; running memory-only");
+        _path.clear();
+        return;
+    }
+    if (tornTail && tailParsed) {
+        std::fputc('\n', _file);
+        std::fflush(_file);
+    }
+}
+
+ResultCache::~ResultCache()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_file) {
+        std::fclose(_file);
+        _file = nullptr;
+    }
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, RunResult *out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _map.find(key);
+    if (it == _map.end()) {
+        ++_missCounter;
+        return false;
+    }
+    _lru.splice(_lru.begin(), _lru, it->second.lruPos);
+    ++_hitCounter;
+    *out = it->second.result;
+    return true;
+}
+
+void
+ResultCache::insertLocked(std::uint64_t key, const RunResult &result)
+{
+    auto it = _map.find(key);
+    if (it != _map.end()) {
+        // By construction the stored bytes already equal result's;
+        // only the recency changes.
+        _lru.splice(_lru.begin(), _lru, it->second.lruPos);
+        return;
+    }
+    _lru.push_front(key);
+    _map[key] = Entry{result, _lru.begin()};
+    while (_map.size() > _capacity) {
+        _map.erase(_lru.back());
+        _lru.pop_back();
+    }
+}
+
+void
+ResultCache::insert(std::uint64_t key, const std::string &canonical,
+                    const RunResult &result)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const bool fresh = _map.find(key) == _map.end();
+    insertLocked(key, result);
+    if (fresh && _file) {
+        const std::string line = encodeCacheLine(key, canonical, result);
+        std::fwrite(line.data(), 1, line.size(), _file);
+        std::fputc('\n', _file);
+        std::fflush(_file);
+    }
+}
+
+std::size_t
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _map.size();
+}
+
+std::uint64_t
+ResultCache::hitTally() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hitCounter.value();
+}
+
+std::uint64_t
+ResultCache::missTally() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _missCounter.value();
+}
+
+} // namespace cpelide

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Content-addressed RunResult cache: the memoization core of the simd
+ * daemon.
+ *
+ * Keys are requestHash() values — FNV-1a over the canonical
+ * RunRequest line and the engine version string — so a hit can only
+ * occur for a request that is byte-for-byte the same simulation on
+ * the same engine build. The simulator is deterministic and CI proves
+ * its output byte-identical across CPELIDE_JOBS, which is exactly the
+ * property that makes returning a stored RunResult sound: re-running
+ * could not have produced different bytes (docs/SERVING.md spells the
+ * argument out).
+ *
+ * Two tiers:
+ *  - an in-memory LRU bounded by CPELIDE_SERVE_CACHE_SIZE entries;
+ *  - an optional on-disk JSONL store (one line per result, the
+ *    journal's flat codec plus the canonical request for
+ *    auditability), append-only and loaded on open with the same
+ *    torn-tail repair as the checkpoint journal, so a daemon crash
+ *    mid-append never poisons later appends and restarts resume with
+ *    the cache warm.
+ *
+ * Thread-safe: the server's reader threads look up while pool workers
+ * insert.
+ */
+
+#ifndef CPELIDE_SERVE_RESULT_CACHE_HH
+#define CPELIDE_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "prof/counter.hh"
+#include "stats/run_result.hh"
+
+namespace cpelide
+{
+
+class ResultCache
+{
+  public:
+    /**
+     * @param capacity in-memory LRU bound (entries), >= 1.
+     * @param dir on-disk store directory ("" = memory only). Created
+     *        if missing; the store file is @p dir /results.jsonl.
+     *        The most recent @p capacity disk entries are loaded.
+     */
+    explicit ResultCache(std::size_t capacity,
+                         const std::string &dir = "");
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Fetch the result stored under @p key, bumping its recency.
+     * @retval true and fills @p out on a hit.
+     */
+    bool lookup(std::uint64_t key, RunResult *out);
+
+    /**
+     * Store @p result under @p key. @p canonical (the canonical
+     * request line) is persisted alongside for auditability — a human
+     * can grep the store for what question a row answers. Re-inserting
+     * an existing key only bumps recency (by construction the value
+     * bytes are identical).
+     */
+    void insert(std::uint64_t key, const std::string &canonical,
+                const RunResult &result);
+
+    std::size_t entries() const;
+    std::uint64_t hitTally() const;
+    std::uint64_t missTally() const;
+    /** Entries restored from the disk store at construction. */
+    std::size_t loadedEntries() const { return _loadedEntries; }
+    /** "" when memory-only. */
+    const std::string &storePath() const { return _path; }
+
+  private:
+    void insertLocked(std::uint64_t key, const RunResult &result);
+
+    mutable std::mutex _mutex;
+    std::size_t _capacity;
+
+    /** Most-recent-first key list; map entries point into it. */
+    std::list<std::uint64_t> _lru;
+    struct Entry
+    {
+        RunResult result;
+        std::list<std::uint64_t>::iterator lruPos;
+    };
+    std::unordered_map<std::uint64_t, Entry> _map;
+
+    std::string _path;
+    std::FILE *_file = nullptr;
+    std::size_t _loadedEntries = 0;
+
+    prof::Counter _hitCounter;
+    prof::Counter _missCounter;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SERVE_RESULT_CACHE_HH

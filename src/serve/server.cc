@@ -1,0 +1,399 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "exec/sweep_runner.hh"
+#include "harness/harness.hh"
+#include "sim/exec_options.hh"
+#include "sim/log.hh"
+#include "sim/version.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+constexpr const char *kDefaultSocket = "simd.sock";
+
+/** ServeResponse for a rejected/failed request (zeroed result). */
+ServeResponse
+errorResponse(std::uint64_t id, const std::string &why)
+{
+    ServeResponse resp;
+    resp.id = id;
+    resp.ok = false;
+    resp.error = why;
+    return resp;
+}
+
+} // namespace
+
+SimServer::Config
+SimServer::Config::fromEnv()
+{
+    const ExecOptions eo = ExecOptions::fromEnv();
+    Config cfg;
+    cfg.socketPath = eo.serveSocket;
+    cfg.cacheDir = eo.serveCacheDir;
+    cfg.cacheSize = eo.serveCacheSize;
+    cfg.quota = eo.serveQuota;
+    cfg.batch = eo.serveBatch;
+    return cfg;
+}
+
+SimServer::SimServer(Config cfg)
+    : _cfg(std::move(cfg)), _cache(_cfg.cacheSize, _cfg.cacheDir)
+{
+    if (_cfg.socketPath.empty())
+        _cfg.socketPath = kDefaultSocket;
+    if (_cfg.quota < 1)
+        _cfg.quota = 1;
+    if (_cfg.batch < 1)
+        _cfg.batch = 1;
+}
+
+SimServer::~SimServer()
+{
+    stop();
+}
+
+bool
+SimServer::start()
+{
+    if (_running.load())
+        return true;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (_cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        warn("simd: socket path too long: " + _cfg.socketPath);
+        return false;
+    }
+    std::strncpy(addr.sun_path, _cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (_listenFd < 0) {
+        warn("simd: cannot create socket: " +
+             std::string(std::strerror(errno)));
+        return false;
+    }
+    // A dead daemon leaves its socket file behind; rebinding over it
+    // is the expected restart path.
+    ::unlink(_cfg.socketPath.c_str());
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(_listenFd, 64) != 0) {
+        warn("simd: cannot bind/listen on " + _cfg.socketPath + ": " +
+             std::string(std::strerror(errno)));
+        ::close(_listenFd);
+        _listenFd = -1;
+        return false;
+    }
+
+    _stopping.store(false);
+    _running.store(true);
+    _acceptThread = std::thread([this] { acceptLoop(); });
+    _schedulerThread = std::thread([this] { schedulerLoop(); });
+    return true;
+}
+
+void
+SimServer::stop()
+{
+    if (!_running.load())
+        return;
+    _stopping.store(true);
+
+    // 1. No new connections.
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+
+    // 2. No new requests: shut every connection's read side (recv
+    //    returns 0) and join the readers, so nothing can enqueue after
+    //    the drain below observes the lanes empty.
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (const auto &conn : _connections) {
+            if (!conn->closed.load())
+                ::shutdown(conn->fd, SHUT_RD);
+        }
+        for (const auto &conn : _connections) {
+            if (conn->reader.joinable())
+                conn->reader.join();
+        }
+    }
+
+    // 3. Drain: the scheduler keeps batching until both lanes are
+    //    empty, answers everything, then exits.
+    _queueCv.notify_all();
+    if (_schedulerThread.joinable())
+        _schedulerThread.join();
+
+    // 4. Every queued job has answered; now the write sides may go.
+    reapConnections(/*all=*/true);
+
+    ::unlink(_cfg.socketPath.c_str());
+    _running.store(false);
+}
+
+void
+SimServer::acceptLoop()
+{
+    while (!_stopping.load()) {
+        pollfd pfd{_listenFd, POLLIN, 0};
+        const int n = ::poll(&pfd, 1, 100 /* ms */);
+        if (n < 0 && errno != EINTR)
+            break;
+        reapConnections(/*all=*/false);
+        if (n <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+        std::lock_guard<std::mutex> lock(_connMutex);
+        _connections.push_back(std::move(conn));
+    }
+}
+
+void
+SimServer::readerLoop(const std::shared_ptr<Connection> &conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t pos = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', pos);
+            if (nl == std::string::npos)
+                break;
+            const std::string line = buffer.substr(pos, nl - pos);
+            pos = nl + 1;
+            if (!line.empty())
+                handleLine(conn, line);
+        }
+        buffer.erase(0, pos);
+    }
+    conn->closed.store(true);
+}
+
+void
+SimServer::handleLine(const std::shared_ptr<Connection> &conn,
+                      const std::string &line)
+{
+    std::string type;
+    if (!serveLineType(line, &type)) {
+        _rejected.fetch_add(1);
+        respond(*conn, encodeServeResponse(
+                           errorResponse(0, "unparsable line")));
+        return;
+    }
+
+    if (type == "stats") {
+        respond(*conn, encodeServeStats(stats()));
+        return;
+    }
+
+    ServeRequest req;
+    std::string error;
+    if (!decodeServeRequest(line, &req, &error)) {
+        _rejected.fetch_add(1);
+        respond(*conn, encodeServeResponse(errorResponse(req.id, error)));
+        return;
+    }
+
+    // Quota: reject instead of queueing so a greedy client's backlog
+    // cannot crowd out everyone else's lane.
+    if (conn->inFlight.load() >= _cfg.quota) {
+        _rejected.fetch_add(1);
+        respond(*conn,
+                encodeServeResponse(errorResponse(
+                    req.id, "quota exceeded (" +
+                                std::to_string(_cfg.quota) +
+                                " requests in flight)")));
+        return;
+    }
+
+    _requests.fetch_add(1);
+    const std::uint64_t hash = requestHash(req.run, engineVersion());
+
+    // The microseconds path: a content hit never touches the pool.
+    RunResult hit;
+    if (_cache.lookup(hash, &hit)) {
+        ServeResponse resp;
+        resp.id = req.id;
+        resp.ok = true;
+        resp.cached = true;
+        resp.result = std::move(hit);
+        respond(*conn, encodeServeResponse(resp));
+        return;
+    }
+
+    conn->inFlight.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(_queueMutex);
+        PendingTask task{conn, std::move(req), hash};
+        if (task.req.priority == ServePriority::Bulk)
+            _bulk.push_back(std::move(task));
+        else
+            _interactive.push_back(std::move(task));
+    }
+    _queueCv.notify_one();
+}
+
+void
+SimServer::schedulerLoop()
+{
+    for (;;) {
+        std::vector<PendingTask> batch;
+        {
+            std::unique_lock<std::mutex> lock(_queueMutex);
+            _queueCv.wait(lock, [this] {
+                return !_interactive.empty() || !_bulk.empty() ||
+                       _stopping.load();
+            });
+            // Interactive lane drains strictly before bulk.
+            while (static_cast<int>(batch.size()) < _cfg.batch &&
+                   !_interactive.empty()) {
+                batch.push_back(std::move(_interactive.front()));
+                _interactive.pop_front();
+            }
+            while (static_cast<int>(batch.size()) < _cfg.batch &&
+                   !_bulk.empty()) {
+                batch.push_back(std::move(_bulk.front()));
+                _bulk.pop_front();
+            }
+            if (batch.empty()) {
+                if (_stopping.load())
+                    return; // drained: both lanes empty
+                continue;
+            }
+        }
+        // Synchronous: every job in the batch has answered (via
+        // onOutcome) by the time run() returns, so when this thread is
+        // back at wait() nothing is ever half-done.
+        runBatch(std::move(batch));
+    }
+}
+
+void
+SimServer::runBatch(std::vector<PendingTask> tasks)
+{
+    // One SweepSpec per batch, uniquely named so a CPELIDE_RESUME
+    // journal on the daemon process can never alias two batches.
+    SweepSpec spec{"serve#" + std::to_string(_batchSeq++), {}};
+    spec.jobs.reserve(tasks.size());
+    for (const PendingTask &task : tasks)
+        spec.jobs.push_back(makeJob(task.req.run));
+
+    // Stream each response the moment its job completes (completion
+    // order, worker-thread context) — the exec submission hook.
+    spec.onOutcome = [this, &tasks](std::size_t index,
+                                    const JobOutcome &outcome) {
+        const PendingTask &task = tasks[index];
+        _simulations.fetch_add(1);
+        ServeResponse resp;
+        resp.id = task.req.id;
+        resp.cached = false;
+        if (outcome.ok) {
+            resp.ok = true;
+            resp.result = outcome.result;
+            _simEvents.fetch_add(outcome.result.simEvents);
+            _cache.insert(task.hash, canonicalRequestLine(task.req.run),
+                          outcome.result);
+        } else {
+            resp.ok = false;
+            resp.error = std::string(jobErrorName(outcome.kind)) + ": " +
+                         outcome.error;
+            _failures.fetch_add(1);
+        }
+        respond(*task.conn, encodeServeResponse(resp));
+        task.conn->inFlight.fetch_sub(1);
+    };
+
+    SweepRunner runner(_cfg.jobs > 0 ? _cfg.jobs : jobsFromEnv());
+    runner.run(spec);
+}
+
+void
+SimServer::respond(Connection &conn, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(conn.writeMutex);
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(conn.fd, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // peer gone; results stay in the cache regardless
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+SimServer::reapConnections(bool all)
+{
+    std::vector<std::shared_ptr<Connection>> dead;
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        auto it = _connections.begin();
+        while (it != _connections.end()) {
+            const bool done =
+                all ||
+                ((*it)->closed.load() && (*it)->inFlight.load() == 0);
+            if (done) {
+                dead.push_back(std::move(*it));
+                it = _connections.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &conn : dead) {
+        if (conn->reader.joinable())
+            conn->reader.join();
+        if (conn->fd >= 0) {
+            ::close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+}
+
+ServeStats
+SimServer::stats() const
+{
+    ServeStats s;
+    s.requests = _requests.load();
+    s.rejected = _rejected.load();
+    s.cacheHits = _cache.hitTally();
+    s.cacheMisses = _cache.missTally();
+    s.simulations = _simulations.load();
+    s.failures = _failures.load();
+    s.simEvents = _simEvents.load();
+    s.cacheEntries = _cache.entries();
+    s.engineVersion = engineVersion();
+    return s;
+}
+
+} // namespace cpelide

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SimServer: the long-lived simulation service behind the simd
+ * binary.
+ *
+ * Listens on a Unix-domain stream socket speaking the NDJSON protocol
+ * (serve/protocol.hh). Per connection, a reader thread parses request
+ * lines; cache hits (serve/result_cache.hh) are answered inline in
+ * microseconds with "cached":1, misses are queued to a scheduler
+ * thread that batches them into SweepSpecs — interactive lane before
+ * bulk — and runs them through the existing exec machinery
+ * (SweepRunner pool, watchdog budgets, classified retries). Each
+ * job's response streams back the moment it completes via the
+ * SweepSpec::onOutcome submission hook; failures are classified and
+ * isolated per request, never per batch.
+ *
+ * Per-client quotas (CPELIDE_SERVE_QUOTA) bound how many requests one
+ * connection may have in flight; excess asks are rejected immediately
+ * rather than queued, so one greedy client cannot wedge the daemon.
+ *
+ * Shutdown (requestStop()/stop()) is a drain, not an abort: the
+ * listener closes, readers stop consuming new requests, every queued
+ * job still runs and answers, completed results are already persisted
+ * to the on-disk cache store — so a restart resumes with the warm
+ * cache and a re-submitted in-flight request is served from it.
+ */
+
+#ifndef CPELIDE_SERVE_SERVER_HH
+#define CPELIDE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+
+namespace cpelide
+{
+
+class SimServer
+{
+  public:
+    struct Config
+    {
+        /** Listen socket path ("" = "simd.sock" in the cwd). */
+        std::string socketPath;
+        /** Cache store directory ("" = memory-only cache). */
+        std::string cacheDir;
+        /** In-memory cache capacity (entries). */
+        std::size_t cacheSize = 4096;
+        /** Per-connection in-flight request cap. */
+        int quota = 64;
+        /** Max requests batched into one SweepSpec. */
+        int batch = 32;
+        /** SweepRunner workers (0 = CPELIDE_JOBS / hw concurrency). */
+        int jobs = 0;
+
+        /** Defaults from the CPELIDE_SERVE_* knobs (ExecOptions). */
+        static Config fromEnv();
+    };
+
+    explicit SimServer(Config cfg);
+    ~SimServer();
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /**
+     * Bind the socket (replacing a stale file from a dead daemon),
+     * then spawn the accept and scheduler threads. @return false with
+     * a warn() on bind/listen failure.
+     */
+    bool start();
+
+    /**
+     * Async stop signal: flips the stop flag the accept loop polls.
+     * Safe to call from a signal-notified context; pair with stop()
+     * to actually drain and join.
+     */
+    void requestStop() { _stopping.store(true); }
+
+    /** Drain queued work, join every thread, close and unlink. */
+    void stop();
+
+    bool running() const { return _running.load(); }
+    const std::string &socketPath() const { return _cfg.socketPath; }
+
+    /** Live counter snapshot (the "stats" protocol answer). */
+    ServeStats stats() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::mutex writeMutex;
+        std::atomic<int> inFlight{0};
+        std::atomic<bool> closed{false};
+        std::thread reader;
+    };
+
+    struct PendingTask
+    {
+        std::shared_ptr<Connection> conn;
+        ServeRequest req;
+        std::uint64_t hash = 0;
+    };
+
+    void acceptLoop();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void schedulerLoop();
+    void runBatch(std::vector<PendingTask> tasks);
+    void respond(Connection &conn, const std::string &line);
+    void reapConnections(bool all);
+
+    Config _cfg;
+    ResultCache _cache;
+
+    int _listenFd = -1;
+    std::atomic<bool> _running{false};
+    std::atomic<bool> _stopping{false};
+    std::thread _acceptThread;
+    std::thread _schedulerThread;
+
+    std::mutex _connMutex;
+    std::vector<std::shared_ptr<Connection>> _connections;
+
+    std::mutex _queueMutex;
+    std::condition_variable _queueCv;
+    std::deque<PendingTask> _interactive;
+    std::deque<PendingTask> _bulk;
+    /** Scheduler-thread-only: names each batch's SweepSpec uniquely. */
+    std::uint64_t _batchSeq = 0;
+
+    std::atomic<std::uint64_t> _requests{0};
+    std::atomic<std::uint64_t> _rejected{0};
+    std::atomic<std::uint64_t> _simulations{0};
+    std::atomic<std::uint64_t> _failures{0};
+    std::atomic<std::uint64_t> _simEvents{0};
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SERVE_SERVER_HH

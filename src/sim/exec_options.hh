@@ -22,6 +22,7 @@
 #define CPELIDE_SIM_EXEC_OPTIONS_HH
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
@@ -71,6 +72,16 @@ struct ExecOptions
     bool check = false;
     /** CPELIDE_PROFILE: perf-counter profile report path ("" = off). */
     std::string profilePath;
+    /** CPELIDE_SERVE_SOCKET: simd listen socket ("" = ./simd.sock). */
+    std::string serveSocket;
+    /** CPELIDE_SERVE_CACHE: result-cache directory ("" = memory only). */
+    std::string serveCacheDir;
+    /** CPELIDE_SERVE_CACHE_SIZE: in-memory LRU capacity (entries). */
+    std::size_t serveCacheSize = 4096;
+    /** CPELIDE_SERVE_QUOTA: per-client in-flight request cap. */
+    int serveQuota = 64;
+    /** CPELIDE_SERVE_BATCH: max requests batched into one SweepSpec. */
+    int serveBatch = 32;
 
     /**
      * The knob table: one row per variable any component reads. Keep
@@ -95,6 +106,11 @@ struct ExecOptions
             {"CPELIDE_TRACE", "Chrome trace JSON path"},
             {"CPELIDE_CHECK", "happens-before checker"},
             {"CPELIDE_PROFILE", "perf-counter profile path"},
+            {"CPELIDE_SERVE_SOCKET", "simd listen socket path"},
+            {"CPELIDE_SERVE_CACHE", "simd result-cache directory"},
+            {"CPELIDE_SERVE_CACHE_SIZE", "simd cache LRU entries"},
+            {"CPELIDE_SERVE_QUOTA", "simd per-client in-flight cap"},
+            {"CPELIDE_SERVE_BATCH", "simd max batch per sweep"},
         };
         return table;
     }
@@ -152,6 +168,28 @@ struct ExecOptions
         o.check = raw("CPELIDE_CHECK") != nullptr;
         if (const char *s = raw("CPELIDE_PROFILE"))
             o.profilePath = s;
+        if (const char *s = raw("CPELIDE_SERVE_SOCKET"))
+            o.serveSocket = s;
+        if (const char *s = raw("CPELIDE_SERVE_CACHE"))
+            o.serveCacheDir = s;
+        if (const char *s = raw("CPELIDE_SERVE_CACHE_SIZE")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.serveCacheSize = static_cast<std::size_t>(v);
+        }
+        if (const char *s = raw("CPELIDE_SERVE_QUOTA")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.serveQuota = static_cast<int>(std::min<long>(v, 4096));
+        }
+        if (const char *s = raw("CPELIDE_SERVE_BATCH")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.serveBatch = static_cast<int>(std::min<long>(v, 1024));
+        }
         return o;
     }
 

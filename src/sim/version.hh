@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Engine version string, CMake-stamped from `git describe` at
+ * configure time (see the top-level CMakeLists.txt).
+ *
+ * The version travels in every RunResult and in all structured output,
+ * and it is mixed into the serve subsystem's content-addressed cache
+ * key: results are only interchangeable between byte-identical
+ * engines, so a rebuild from different sources must never satisfy a
+ * cached query. Builds without git metadata report "unversioned" —
+ * such builds still cache within themselves, but two distinct
+ * unversioned builds sharing one cache directory is on the operator.
+ */
+
+#ifndef CPELIDE_SIM_VERSION_HH
+#define CPELIDE_SIM_VERSION_HH
+
+#ifndef CPELIDE_ENGINE_VERSION
+#define CPELIDE_ENGINE_VERSION "unversioned"
+#endif
+
+namespace cpelide
+{
+
+/** The stamped engine version ("v1.2-4-gabc123", or "unversioned"). */
+inline const char *
+engineVersion()
+{
+    return CPELIDE_ENGINE_VERSION;
+}
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_VERSION_HH

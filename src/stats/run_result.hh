@@ -77,6 +77,13 @@ struct RunResult
 {
     std::string workload;
     std::string protocol;
+    /**
+     * Version of the engine that produced this result (git describe,
+     * stamped by the harness from sim/version.hh). Journal restores
+     * keep the version of the run that originally produced the row;
+     * the serve cache refuses to mix versions (it is part of the key).
+     */
+    std::string engineVersion;
     int numChiplets = 0;
 
     /** End-to-end simulated duration in GPU cycles. */

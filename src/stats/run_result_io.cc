@@ -13,6 +13,7 @@ appendRunResultFields(std::string &out, const RunResult &r)
     using namespace json;
     appendStr(out, "workload", r.workload);
     appendStr(out, "protocol", r.protocol);
+    appendStr(out, "engineVersion", r.engineVersion);
     appendI64(out, "numChiplets", r.numChiplets);
     appendU64(out, "cycles", r.cycles);
     appendU64(out, "kernels", r.kernels);
@@ -92,6 +93,10 @@ parseRunResultFields(const JsonLineParser &p, RunResult *r)
     if (!good)
         return false;
     r->numChiplets = static_cast<int>(chiplets);
+    // Tolerated-absent: rows written before the version stamp existed
+    // restore with an empty engineVersion.
+    if (!p.str("engineVersion", &r->engineVersion))
+        r->engineVersion.clear();
     // Stall-attribution bins postdate older journals; tolerate their
     // absence (like the journal's kernelPhases field) and read 0.
     const auto optU64 = [&p](const char *key, std::uint64_t *v) {

@@ -134,7 +134,8 @@ appendCsvDouble(std::string &out, double v)
 std::string
 CsvStatSink::header()
 {
-    return "sweep,label,ok,error,workload,protocol,numChiplets,cycles,"
+    return "sweep,label,ok,error,workload,protocol,engineVersion,"
+           "numChiplets,cycles,"
            "kernels,accesses,l1Hits,l1Misses,l2Hits,l2Misses,l3Hits,"
            "l3Misses,dramAccesses,flitsL1L2,flitsL2L3,flitsRemote,"
            "energyL1i,energyL1d,energyLds,energyL2,energyNoc,energyDram,"
@@ -161,6 +162,8 @@ CsvStatSink::row(const StatRecord &rec)
     appendCsvCell(out, r.workload);
     out += ',';
     appendCsvCell(out, r.protocol);
+    out += ',';
+    appendCsvCell(out, r.engineVersion);
     appendCsvU64(out, static_cast<std::uint64_t>(r.numChiplets));
     appendCsvU64(out, r.cycles);
     appendCsvU64(out, r.kernels);

@@ -241,6 +241,81 @@ TEST(Journal, AppendThenReloadRestoresSuccessfulOutcomes)
     EXPECT_FALSE(j.lookup(3, &out));
 }
 
+TEST(Journal, TornTailAppendDoesNotPoisonLaterRecords)
+{
+    // The crash-mid-write regression: a process dies half way through
+    // appending a record, leaving an unparsable fragment with no
+    // newline. A naive append-mode reopen glues the *next* record onto
+    // the fragment, losing both. open() must repair the tail first.
+    TempPath tmp("tornappend");
+    const JobOutcome first = sampleOutcome();
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(tmp.str()));
+        j.append(1, "s", "first", first);
+    }
+    {
+        std::FILE *f = std::fopen(tmp.str().c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"hash\":\"2\",\"sweep\":\"s\",\"label\":\"to", f);
+        std::fclose(f);
+    }
+
+    // Resume and append a new record over the torn tail.
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(tmp.str()));
+        EXPECT_EQ(j.loadedRecords(), 1u);
+        j.append(3, "s", "after-crash", first);
+    }
+
+    // Both intact records must survive a further reload.
+    SweepJournal j;
+    ASSERT_TRUE(j.open(tmp.str()));
+    EXPECT_EQ(j.loadedRecords(), 2u);
+    JobOutcome out;
+    EXPECT_TRUE(j.lookup(1, &out));
+    EXPECT_TRUE(j.lookup(3, &out));
+    expectOutcomeEq(first, out);
+    EXPECT_FALSE(j.lookup(2, &out));
+}
+
+TEST(Journal, UnterminatedCompleteTailIsCompletedNotDropped)
+{
+    // Variant: the process died between the record bytes and the
+    // newline. The tail parses, so it must be kept (newline-completed),
+    // and a subsequent append must land on its own line.
+    TempPath tmp("tornnewline");
+    const JobOutcome o = sampleOutcome();
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(tmp.str()));
+        j.append(1, "s", "first", o);
+    }
+    {
+        const std::string line = encodeOutcome(2, "s", "tail", o);
+        std::FILE *f = std::fopen(tmp.str().c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs(line.c_str(), f); // no trailing '\n'
+        std::fclose(f);
+    }
+
+    {
+        SweepJournal j;
+        ASSERT_TRUE(j.open(tmp.str()));
+        EXPECT_EQ(j.loadedRecords(), 2u);
+        j.append(3, "s", "next", o);
+    }
+
+    SweepJournal j;
+    ASSERT_TRUE(j.open(tmp.str()));
+    EXPECT_EQ(j.loadedRecords(), 3u);
+    JobOutcome out;
+    EXPECT_TRUE(j.lookup(1, &out));
+    EXPECT_TRUE(j.lookup(2, &out));
+    EXPECT_TRUE(j.lookup(3, &out));
+}
+
 TEST(Journal, SweepRunnerResumeSkipsCompletedJobs)
 {
     TempPath tmp("resume");

@@ -173,9 +173,9 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_pair("BFS", ProtocolKind::Hmg),
         std::make_pair("HACC", ProtocolKind::HmgWriteBack),
         std::make_pair("Square", ProtocolKind::Monolithic)),
-    [](const auto &info) {
-        std::string name = std::string(info.param.first) + "_" +
-                           protocolName(info.param.second);
+    [](const auto &paramInfo) {
+        std::string name = std::string(paramInfo.param.first) + "_" +
+                           protocolName(paramInfo.param.second);
         for (char &c : name) {
             if (c == '-' || c == ' ')
                 c = '_';

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Canonical RunRequest serialization / hashing tests — the identity
+ * contract under the serve result cache: round-trip equality, hash
+ * stability across wire field reordering, and hash inequality for
+ * every result-affecting field (and for the engine version).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/request_codec.hh"
+#include "serve/protocol.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+RunRequest
+sampleRequest()
+{
+    RunRequest req;
+    req.workload = "Square";
+    req.protocol = ProtocolKind::CpElide;
+    req.chiplets = 4;
+    req.scale = 0.25;
+    req.copies = 2;
+    req.extraSyncSets = 3;
+    req.label = "probe";
+    return req;
+}
+
+TEST(RequestCodec, CodableRequiresPlainFields)
+{
+    RunRequest req = sampleRequest();
+    EXPECT_TRUE(requestCodable(req));
+
+    RunRequest noName = req;
+    noName.workload.clear();
+    EXPECT_FALSE(requestCodable(noName));
+
+    RunRequest withBuilder = req;
+    withBuilder.builder = [](Runtime &, double) {};
+    EXPECT_FALSE(requestCodable(withBuilder));
+
+    RunRequest withCfg = req;
+    withCfg.cfg = GpuConfig{};
+    EXPECT_FALSE(requestCodable(withCfg));
+
+    RunRequest withOptions = req;
+    withOptions.options = RunOptions{};
+    EXPECT_FALSE(requestCodable(withOptions));
+}
+
+TEST(RequestCodec, CanonicalLineRoundTrips)
+{
+    const RunRequest req = sampleRequest();
+    const std::string line = canonicalRequestLine(req);
+
+    JsonLineParser p(line);
+    ASSERT_TRUE(p.parse());
+    RunRequest back;
+    std::string error;
+    ASSERT_TRUE(parseRequestFields(p, &back, &error)) << error;
+
+    EXPECT_EQ(back.workload, req.workload);
+    EXPECT_EQ(back.protocol, req.protocol);
+    EXPECT_EQ(back.chiplets, req.chiplets);
+    EXPECT_EQ(back.scale, req.scale); // exact: %.17g contract
+    EXPECT_EQ(back.copies, req.copies);
+    EXPECT_EQ(back.extraSyncSets, req.extraSyncSets);
+    EXPECT_EQ(back.label, req.label);
+
+    // And the round-tripped request re-canonicalizes to the same bytes.
+    EXPECT_EQ(canonicalRequestLine(back), line);
+}
+
+TEST(RequestCodec, NonRepresentableScaleRoundTripsExactly)
+{
+    RunRequest req = sampleRequest();
+    req.scale = 1.0 / 3.0;
+    const std::string line = canonicalRequestLine(req);
+    JsonLineParser p(line);
+    ASSERT_TRUE(p.parse());
+    RunRequest back;
+    ASSERT_TRUE(parseRequestFields(p, &back));
+    EXPECT_EQ(back.scale, req.scale);
+}
+
+TEST(RequestCodec, HashStableAcrossFieldReordering)
+{
+    const RunRequest req = sampleRequest();
+    const std::uint64_t reference = requestHash(req, "v1");
+
+    // Same request with the wire fields deliberately shuffled: the
+    // parse + re-canonicalize path must erase the arrival order.
+    const std::string shuffled =
+        "{\"scale\":0.25,\"label\":\"probe\",\"chiplets\":4,"
+        "\"extraSyncSets\":3,\"workload\":\"Square\",\"copies\":2,"
+        "\"protocol\":\"cpelide\"}";
+    JsonLineParser p(shuffled);
+    ASSERT_TRUE(p.parse());
+    RunRequest back;
+    std::string error;
+    ASSERT_TRUE(parseRequestFields(p, &back, &error)) << error;
+    EXPECT_EQ(requestHash(back, "v1"), reference);
+
+    // Stability within a process across calls.
+    EXPECT_EQ(requestHash(req, "v1"), reference);
+}
+
+TEST(RequestCodec, DefaultedFieldsHashLikeExplicitOnes)
+{
+    // A wire request omitting copies/extraSyncSets/label means their
+    // defaults; it must hash identically to one spelling them out.
+    const std::string terse =
+        "{\"workload\":\"Square\",\"protocol\":\"baseline\","
+        "\"chiplets\":2,\"scale\":1}";
+    JsonLineParser p(terse);
+    ASSERT_TRUE(p.parse());
+    RunRequest fromWire;
+    ASSERT_TRUE(parseRequestFields(p, &fromWire));
+
+    RunRequest explicitReq;
+    explicitReq.workload = "Square";
+    explicitReq.protocol = ProtocolKind::Baseline;
+    explicitReq.chiplets = 2;
+    explicitReq.scale = 1.0;
+    explicitReq.copies = 1;
+    explicitReq.extraSyncSets = 0;
+    EXPECT_EQ(requestHash(fromWire, "v"), requestHash(explicitReq, "v"));
+}
+
+TEST(RequestCodec, HashDiffersPerResultAffectingField)
+{
+    const RunRequest base = sampleRequest();
+    const std::uint64_t reference = requestHash(base, "v1");
+
+    RunRequest w = base;
+    w.workload = "Backprop";
+    EXPECT_NE(requestHash(w, "v1"), reference) << "workload";
+
+    RunRequest pr = base;
+    pr.protocol = ProtocolKind::Baseline;
+    EXPECT_NE(requestHash(pr, "v1"), reference) << "protocol";
+
+    RunRequest ch = base;
+    ch.chiplets = 8;
+    EXPECT_NE(requestHash(ch, "v1"), reference) << "chiplets";
+
+    RunRequest sc = base;
+    sc.scale = 0.5;
+    EXPECT_NE(requestHash(sc, "v1"), reference) << "scale";
+
+    RunRequest co = base;
+    co.copies = 4;
+    EXPECT_NE(requestHash(co, "v1"), reference) << "copies";
+
+    RunRequest ex = base;
+    ex.extraSyncSets = 0;
+    EXPECT_NE(requestHash(ex, "v1"), reference) << "extraSyncSets";
+
+    // Engine version is part of the key: a rebuilt simulator must not
+    // serve results computed by a different build.
+    EXPECT_NE(requestHash(base, "v2"), reference) << "engineVersion";
+}
+
+TEST(RequestCodec, ParseRejectsOutOfRangeFields)
+{
+    const struct
+    {
+        const char *line;
+        const char *what;
+    } cases[] = {
+        {"{\"protocol\":\"baseline\",\"chiplets\":2,\"scale\":1}",
+         "missing workload"},
+        {"{\"workload\":\"\",\"protocol\":\"baseline\",\"chiplets\":2,"
+         "\"scale\":1}", "empty workload"},
+        {"{\"workload\":\"Square\",\"chiplets\":2,\"scale\":1}",
+         "missing protocol"},
+        {"{\"workload\":\"Square\",\"protocol\":\"vaporware\","
+         "\"chiplets\":2,\"scale\":1}", "unknown protocol"},
+        {"{\"workload\":\"Square\",\"protocol\":\"baseline\","
+         "\"chiplets\":0,\"scale\":1}", "chiplets too small"},
+        {"{\"workload\":\"Square\",\"protocol\":\"baseline\","
+         "\"chiplets\":65,\"scale\":1}", "chiplets too large"},
+        {"{\"workload\":\"Square\",\"protocol\":\"baseline\","
+         "\"chiplets\":2,\"scale\":0}", "scale zero"},
+        {"{\"workload\":\"Square\",\"protocol\":\"baseline\","
+         "\"chiplets\":2,\"scale\":1.5}", "scale above 1"},
+        {"{\"workload\":\"Square\",\"protocol\":\"baseline\","
+         "\"chiplets\":2,\"scale\":1,\"copies\":3}",
+         "copies above chiplets"},
+        {"{\"workload\":\"Square\",\"protocol\":\"baseline\","
+         "\"chiplets\":2,\"scale\":1,\"extraSyncSets\":-1}",
+         "negative extraSyncSets"},
+    };
+    for (const auto &c : cases) {
+        const std::string line = c.line;
+        JsonLineParser p(line);
+        ASSERT_TRUE(p.parse()) << c.what;
+        RunRequest req;
+        std::string error;
+        EXPECT_FALSE(parseRequestFields(p, &req, &error)) << c.what;
+        EXPECT_FALSE(error.empty()) << c.what;
+    }
+}
+
+TEST(RequestCodec, ProtocolNamesRoundTripCaseInsensitively)
+{
+    ProtocolKind kind;
+    ASSERT_TRUE(protocolFromName("CPElide", &kind));
+    EXPECT_EQ(kind, ProtocolKind::CpElide);
+    ASSERT_TRUE(protocolFromName("baseline", &kind));
+    EXPECT_EQ(kind, ProtocolKind::Baseline);
+    ASSERT_TRUE(protocolFromName("HMG-WB", &kind));
+    EXPECT_EQ(kind, ProtocolKind::HmgWriteBack);
+    EXPECT_FALSE(protocolFromName("", &kind));
+    EXPECT_FALSE(protocolFromName("hmgwb", &kind));
+}
+
+TEST(RequestCodec, ServeRequestWireRoundTrip)
+{
+    ServeRequest req;
+    req.id = 42;
+    req.priority = ServePriority::Bulk;
+    req.run = sampleRequest();
+
+    ServeRequest back;
+    std::string error;
+    ASSERT_TRUE(decodeServeRequest(encodeServeRequest(req), &back,
+                                   &error)) << error;
+    EXPECT_EQ(back.id, 42u);
+    EXPECT_EQ(back.priority, ServePriority::Bulk);
+    EXPECT_EQ(canonicalRequestLine(back.run),
+              canonicalRequestLine(req.run));
+}
+
+TEST(RequestCodec, ServeResponseWireRoundTrip)
+{
+    ServeResponse resp;
+    resp.id = 7;
+    resp.ok = true;
+    resp.cached = true;
+    resp.result.workload = "Square";
+    resp.result.protocol = "CPElide";
+    resp.result.engineVersion = "v-test";
+    resp.result.numChiplets = 4;
+    resp.result.cycles = 1234;
+    resp.result.simEvents = 99;
+    resp.result.energy.dram = 1.0 / 3.0;
+
+    ServeResponse back;
+    ASSERT_TRUE(decodeServeResponse(encodeServeResponse(resp), &back));
+    EXPECT_EQ(back.id, 7u);
+    EXPECT_TRUE(back.ok);
+    EXPECT_TRUE(back.cached);
+    EXPECT_EQ(back.result.workload, "Square");
+    EXPECT_EQ(back.result.engineVersion, "v-test");
+    EXPECT_EQ(back.result.cycles, 1234u);
+    EXPECT_EQ(back.result.simEvents, 99u);
+    EXPECT_EQ(back.result.energy.dram, resp.result.energy.dram);
+}
+
+} // namespace

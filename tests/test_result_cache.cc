@@ -1,0 +1,210 @@
+/**
+ * @file
+ * ResultCache tests: LRU bounds and recency, hit/miss tallies, the
+ * on-disk store's persistence across instances, and its torn-tail
+ * repair (crash mid-append must not poison later appends).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "serve/result_cache.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+/** Unique temp directory per test; removed recursively on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : _path(std::string(::testing::TempDir()) + "cpelide_cache_" +
+                tag + "_" + std::to_string(getpid()))
+    {
+        std::filesystem::remove_all(_path);
+    }
+    ~TempDir() { std::filesystem::remove_all(_path); }
+    const std::string &str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+RunResult
+sampleResult(std::uint64_t cycles)
+{
+    RunResult r;
+    r.workload = "Square";
+    r.protocol = "CPElide";
+    r.engineVersion = "v-test";
+    r.numChiplets = 4;
+    r.cycles = cycles;
+    r.simEvents = cycles * 2;
+    r.energy.dram = 1.0 / 3.0;
+    return r;
+}
+
+TEST(ResultCache, MissThenHit)
+{
+    ResultCache cache(8);
+    RunResult out;
+    EXPECT_FALSE(cache.lookup(1, &out));
+    EXPECT_EQ(cache.missTally(), 1u);
+
+    cache.insert(1, "{\"k\":1}", sampleResult(100));
+    ASSERT_TRUE(cache.lookup(1, &out));
+    EXPECT_EQ(out.cycles, 100u);
+    EXPECT_EQ(out.engineVersion, "v-test");
+    EXPECT_EQ(cache.hitTally(), 1u);
+    EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCache, LruEvictsColdestEntry)
+{
+    ResultCache cache(3);
+    for (std::uint64_t k = 1; k <= 3; ++k)
+        cache.insert(k, "{}", sampleResult(k));
+
+    // Touch 1 so 2 becomes the coldest, then overflow.
+    RunResult out;
+    ASSERT_TRUE(cache.lookup(1, &out));
+    cache.insert(4, "{}", sampleResult(4));
+
+    EXPECT_EQ(cache.entries(), 3u);
+    EXPECT_TRUE(cache.lookup(1, &out));
+    EXPECT_FALSE(cache.lookup(2, &out));
+    EXPECT_TRUE(cache.lookup(3, &out));
+    EXPECT_TRUE(cache.lookup(4, &out));
+}
+
+TEST(ResultCache, ReinsertOnlyBumpsRecency)
+{
+    ResultCache cache(2);
+    cache.insert(1, "{}", sampleResult(1));
+    cache.insert(2, "{}", sampleResult(2));
+    cache.insert(1, "{}", sampleResult(1)); // re-insert: 2 is coldest
+    cache.insert(3, "{}", sampleResult(3));
+
+    RunResult out;
+    EXPECT_TRUE(cache.lookup(1, &out));
+    EXPECT_FALSE(cache.lookup(2, &out));
+    EXPECT_TRUE(cache.lookup(3, &out));
+}
+
+TEST(ResultCache, DiskStorePersistsAcrossInstances)
+{
+    TempDir dir("persist");
+    {
+        ResultCache cache(8, dir.str());
+        EXPECT_EQ(cache.loadedEntries(), 0u);
+        cache.insert(10, "{\"workload\":\"Square\"}", sampleResult(10));
+        cache.insert(11, "{\"workload\":\"Square\"}", sampleResult(11));
+    }
+
+    ResultCache warm(8, dir.str());
+    EXPECT_EQ(warm.loadedEntries(), 2u);
+    RunResult out;
+    ASSERT_TRUE(warm.lookup(10, &out));
+    EXPECT_EQ(out.cycles, 10u);
+    EXPECT_EQ(out.energy.dram, 1.0 / 3.0); // %.17g exactness
+    ASSERT_TRUE(warm.lookup(11, &out));
+    EXPECT_EQ(out.simEvents, 22u);
+}
+
+TEST(ResultCache, LoadIsCapacityBounded)
+{
+    TempDir dir("bounded");
+    {
+        ResultCache cache(16, dir.str());
+        for (std::uint64_t k = 1; k <= 10; ++k)
+            cache.insert(k, "{}", sampleResult(k));
+    }
+
+    // A smaller warm cache keeps the most recently appended entries.
+    ResultCache warm(3, dir.str());
+    EXPECT_EQ(warm.loadedEntries(), 3u);
+    RunResult out;
+    EXPECT_FALSE(warm.lookup(1, &out));
+    EXPECT_TRUE(warm.lookup(8, &out));
+    EXPECT_TRUE(warm.lookup(9, &out));
+    EXPECT_TRUE(warm.lookup(10, &out));
+}
+
+TEST(ResultCache, TornTailFragmentDoesNotPoisonLaterAppends)
+{
+    TempDir dir("torn");
+    {
+        ResultCache cache(8, dir.str());
+        cache.insert(1, "{}", sampleResult(1));
+    }
+    const std::string store =
+        (std::filesystem::path(dir.str()) / "results.jsonl").string();
+    {
+        std::FILE *f = std::fopen(store.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"key\":\"2\",\"request\":\"{}\",\"workload", f);
+        std::fclose(f);
+    }
+
+    // Reopen over the fragment and append a fresh entry.
+    {
+        ResultCache cache(8, dir.str());
+        EXPECT_EQ(cache.loadedEntries(), 1u);
+        cache.insert(3, "{}", sampleResult(3));
+    }
+
+    // Both intact entries must survive; the fragment is gone.
+    ResultCache warm(8, dir.str());
+    EXPECT_EQ(warm.loadedEntries(), 2u);
+    RunResult out;
+    EXPECT_TRUE(warm.lookup(1, &out));
+    EXPECT_FALSE(warm.lookup(2, &out));
+    EXPECT_TRUE(warm.lookup(3, &out));
+}
+
+TEST(ResultCache, UnterminatedCompleteTailIsKept)
+{
+    TempDir dir("tornline");
+    {
+        ResultCache cache(8, dir.str());
+        cache.insert(1, "{}", sampleResult(1));
+        cache.insert(2, "{}", sampleResult(2));
+    }
+    const std::string store =
+        (std::filesystem::path(dir.str()) / "results.jsonl").string();
+    // Chop the final newline: the tail line is complete but
+    // unterminated, as if the process died inside the final write.
+    {
+        const auto size = std::filesystem::file_size(store);
+        std::filesystem::resize_file(store, size - 1);
+    }
+
+    {
+        ResultCache cache(8, dir.str());
+        EXPECT_EQ(cache.loadedEntries(), 2u);
+        cache.insert(3, "{}", sampleResult(3));
+    }
+
+    ResultCache warm(8, dir.str());
+    EXPECT_EQ(warm.loadedEntries(), 3u);
+    RunResult out;
+    EXPECT_TRUE(warm.lookup(1, &out));
+    EXPECT_TRUE(warm.lookup(2, &out));
+    EXPECT_TRUE(warm.lookup(3, &out));
+}
+
+TEST(ResultCache, MemoryOnlyWhenNoDirGiven)
+{
+    ResultCache cache(4);
+    EXPECT_TRUE(cache.storePath().empty());
+    cache.insert(1, "{}", sampleResult(1));
+    RunResult out;
+    EXPECT_TRUE(cache.lookup(1, &out));
+}
+
+} // namespace

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * In-process SimServer tests: the daemon contract end to end over a
+ * real Unix socket — repeated requests served byte-identically from
+ * the content-addressed cache without re-simulating, failures in a
+ * mixed batch isolated per request, per-client quotas, the
+ * interactive-before-bulk lanes, stats probes, malformed-line
+ * rejection, and graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+/** Short unique socket path (sun_path is ~108 bytes). */
+std::string
+testSocket(const std::string &tag)
+{
+    const std::string path = std::string(::testing::TempDir()) + "sd_" +
+                             tag + std::to_string(getpid()) + ".sock";
+    std::remove(path.c_str());
+    return path;
+}
+
+ServeRequest
+squareRequest(std::uint64_t id, int chiplets = 2)
+{
+    ServeRequest req;
+    req.id = id;
+    req.run.workload = "Square";
+    req.run.protocol = ProtocolKind::CpElide;
+    req.run.chiplets = chiplets;
+    req.run.scale = 0.05;
+    return req;
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    SimServer::Config
+    baseConfig(const std::string &tag)
+    {
+        SimServer::Config cfg;
+        cfg.socketPath = testSocket(tag);
+        cfg.cacheSize = 64;
+        cfg.quota = 64;
+        cfg.batch = 8;
+        cfg.jobs = 2;
+        return cfg;
+    }
+};
+
+TEST_F(ServeTest, RepeatRequestIsCachedAndByteIdentical)
+{
+    SimServer server(baseConfig("rep"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    const ServeRequest req = squareRequest(1);
+    ASSERT_TRUE(client.send(req));
+    std::string first;
+    ASSERT_TRUE(client.recvLine(&first));
+    ASSERT_TRUE(client.send(req));
+    std::string second;
+    ASSERT_TRUE(client.recvLine(&second));
+
+    ServeResponse r1, r2;
+    ASSERT_TRUE(decodeServeResponse(first, &r1));
+    ASSERT_TRUE(decodeServeResponse(second, &r2));
+    EXPECT_TRUE(r1.ok);
+    EXPECT_FALSE(r1.cached);
+    EXPECT_TRUE(r2.ok);
+    EXPECT_TRUE(r2.cached);
+
+    // Byte-identical modulo the cached marker itself.
+    const std::string miss = "\"cached\":0";
+    const std::size_t at = first.find(miss);
+    ASSERT_NE(at, std::string::npos);
+    std::string expected = first;
+    expected.replace(at, miss.size(), "\"cached\":1");
+    EXPECT_EQ(second, expected);
+
+    // The hit never touched the pool: one simulation, its event count
+    // flat across the two answers.
+    ServeStats stats;
+    ASSERT_TRUE(client.stats(&stats));
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.simulations, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.cacheMisses, 1u);
+    EXPECT_EQ(stats.simEvents, r1.result.simEvents);
+    EXPECT_EQ(stats.failures, 0u);
+
+    server.stop();
+}
+
+TEST_F(ServeTest, MixedBatchIsolatesFailuresPerRequest)
+{
+    SimServer server(baseConfig("mix"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    // 20 pipelined requests; every 5th names a workload that does not
+    // exist, so its job body throws inside the pool.
+    const int total = 20;
+    std::vector<bool> shouldFail(static_cast<std::size_t>(total) + 1);
+    for (int i = 1; i <= total; ++i) {
+        ServeRequest req =
+            squareRequest(static_cast<std::uint64_t>(i),
+                          1 + i % 3);
+        if (i % 5 == 0) {
+            req.run.workload = "NoSuchWorkload";
+            shouldFail[static_cast<std::size_t>(i)] = true;
+        }
+        ASSERT_TRUE(client.send(req));
+    }
+
+    std::map<std::uint64_t, ServeResponse> byId;
+    for (int i = 0; i < total; ++i) {
+        ServeResponse resp;
+        ASSERT_TRUE(client.recvResponse(&resp));
+        byId[resp.id] = resp;
+    }
+    ASSERT_EQ(byId.size(), static_cast<std::size_t>(total));
+
+    for (int i = 1; i <= total; ++i) {
+        const ServeResponse &resp = byId[static_cast<std::uint64_t>(i)];
+        if (shouldFail[static_cast<std::size_t>(i)]) {
+            EXPECT_FALSE(resp.ok) << "id " << i;
+            EXPECT_NE(resp.error.find("NoSuchWorkload"),
+                      std::string::npos) << resp.error;
+        } else {
+            EXPECT_TRUE(resp.ok) << "id " << i << ": " << resp.error;
+            EXPECT_GT(resp.result.cycles, 0u) << "id " << i;
+        }
+    }
+
+    ServeStats stats;
+    ASSERT_TRUE(client.stats(&stats));
+    EXPECT_EQ(stats.failures, 4u);
+
+    server.stop();
+}
+
+TEST_F(ServeTest, QuotaRejectsExcessInFlightRequests)
+{
+    SimServer::Config cfg = baseConfig("quota");
+    cfg.quota = 1;
+    cfg.jobs = 1;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    // Pipeline several distinct requests in one burst: with a quota of
+    // one, the reader rejects whatever arrives while the first is
+    // still in flight.
+    const int total = 6;
+    for (int i = 1; i <= total; ++i)
+        ASSERT_TRUE(client.send(squareRequest(
+            static_cast<std::uint64_t>(i), 1 + i % 4)));
+
+    int rejected = 0, served = 0;
+    for (int i = 0; i < total; ++i) {
+        ServeResponse resp;
+        ASSERT_TRUE(client.recvResponse(&resp));
+        if (resp.ok) {
+            ++served;
+        } else {
+            EXPECT_NE(resp.error.find("quota"), std::string::npos)
+                << resp.error;
+            ++rejected;
+        }
+    }
+    EXPECT_GE(served, 1);
+    EXPECT_GE(rejected, 1);
+    EXPECT_EQ(served + rejected, total);
+
+    server.stop();
+}
+
+TEST_F(ServeTest, InteractiveLaneBeatsBulk)
+{
+    SimServer::Config cfg = baseConfig("lane");
+    cfg.jobs = 1;
+    cfg.batch = 1; // one job per batch: lane order fully decides
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    // Three bulk asks, then one interactive; distinct points so the
+    // cache cannot shortcut any of them.
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        ServeRequest bulk = squareRequest(id, static_cast<int>(id));
+        bulk.priority = ServePriority::Bulk;
+        ASSERT_TRUE(client.send(bulk));
+    }
+    ServeRequest urgent = squareRequest(100, 4);
+    ASSERT_TRUE(client.send(urgent));
+
+    std::vector<std::uint64_t> arrival;
+    for (int i = 0; i < 4; ++i) {
+        ServeResponse resp;
+        ASSERT_TRUE(client.recvResponse(&resp));
+        EXPECT_TRUE(resp.ok) << resp.error;
+        arrival.push_back(resp.id);
+    }
+
+    // The interactive ask cannot come last: at worst one bulk batch
+    // was already executing when it arrived, and every later batch
+    // picks the interactive lane first.
+    const auto pos = [&](std::uint64_t id) {
+        for (std::size_t i = 0; i < arrival.size(); ++i)
+            if (arrival[i] == id)
+                return i;
+        return arrival.size();
+    };
+    EXPECT_LT(pos(100), pos(3));
+
+    server.stop();
+}
+
+TEST_F(ServeTest, MalformedLinesAreRejectedNotFatal)
+{
+    SimServer server(baseConfig("bad"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    ASSERT_TRUE(client.sendLine("this is not json"));
+    std::string line;
+    ASSERT_TRUE(client.recvLine(&line));
+    ServeResponse resp;
+    ASSERT_TRUE(decodeServeResponse(line, &resp));
+    EXPECT_FALSE(resp.ok);
+
+    ASSERT_TRUE(client.sendLine(
+        "{\"type\":\"run\",\"id\":9,\"workload\":\"Square\","
+        "\"protocol\":\"baseline\",\"chiplets\":99,\"scale\":1}"));
+    ASSERT_TRUE(client.recvLine(&line));
+    ASSERT_TRUE(decodeServeResponse(line, &resp));
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.id, 9u); // rejection still correlates
+
+    // The connection survives rejects: a good request still works.
+    ServeResponse good;
+    ASSERT_TRUE(client.request(squareRequest(10), &good));
+    EXPECT_TRUE(good.ok) << good.error;
+
+    server.stop();
+}
+
+TEST_F(ServeTest, GracefulStopDrainsQueuedWork)
+{
+    SimServer server(baseConfig("drain"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    const int total = 5;
+    for (int i = 1; i <= total; ++i)
+        ASSERT_TRUE(client.send(squareRequest(
+            static_cast<std::uint64_t>(i), 1 + i % 4)));
+
+    // Barrier: the reader answers stats inline after it has enqueued
+    // all five runs, so once the probe answers they are all in the
+    // lanes (or already answered).
+    ASSERT_TRUE(client.sendLine("{\"type\":\"stats\"}"));
+    int results = 0;
+    bool sawStats = false;
+    std::string line;
+    while (!sawStats && client.recvLine(&line)) {
+        ServeStats stats;
+        ServeResponse resp;
+        if (decodeServeStats(line, &stats)) {
+            EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(total));
+            sawStats = true;
+        } else if (decodeServeResponse(line, &resp)) {
+            EXPECT_TRUE(resp.ok) << resp.error;
+            ++results;
+        }
+    }
+    ASSERT_TRUE(sawStats);
+
+    // Stop with work still queued: every request must answer before
+    // the connection closes.
+    server.stop();
+    while (results < total && client.recvLine(&line)) {
+        ServeResponse resp;
+        ASSERT_TRUE(decodeServeResponse(line, &resp));
+        EXPECT_TRUE(resp.ok) << resp.error;
+        ++results;
+    }
+    EXPECT_EQ(results, total);
+    EXPECT_FALSE(client.recvLine(&line)); // then EOF
+    EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeTest, RestartServesFromWarmDiskCache)
+{
+    SimServer::Config cfg = baseConfig("warm");
+    cfg.cacheDir = std::string(::testing::TempDir()) + "sd_warmcache_" +
+                   std::to_string(getpid());
+    std::filesystem::remove_all(cfg.cacheDir);
+
+    {
+        SimServer server(cfg);
+        ASSERT_TRUE(server.start());
+        SimClient client;
+        ASSERT_TRUE(client.connect(server.socketPath()));
+        ServeResponse resp;
+        ASSERT_TRUE(client.request(squareRequest(1), &resp));
+        EXPECT_TRUE(resp.ok) << resp.error;
+        EXPECT_FALSE(resp.cached);
+        server.stop();
+    }
+
+    // Same point against a fresh daemon: a hit without simulating.
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(squareRequest(1), &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+    EXPECT_TRUE(resp.cached);
+    ServeStats stats;
+    ASSERT_TRUE(client.stats(&stats));
+    EXPECT_EQ(stats.simulations, 0u);
+    server.stop();
+    std::filesystem::remove_all(cfg.cacheDir);
+}
+
+} // namespace

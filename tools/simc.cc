@@ -1,0 +1,148 @@
+/**
+ * @file
+ * simc: command-line client for the simd daemon.
+ *
+ * Builds one run request from flags, submits it over the daemon's
+ * Unix socket, and prints each raw response line to stdout — exactly
+ * the bytes the daemon sent, so scripts (and the CI smoke job) can
+ * compare or parse them directly.
+ *
+ *   simc [--socket PATH] --workload NAME [--protocol NAME]
+ *        [--chiplets N] [--scale X] [--copies N]
+ *        [--extra-sync-sets N] [--label S] [--priority interactive|bulk]
+ *        [--repeat N] [--id N]
+ *   simc [--socket PATH] --stats
+ *
+ * --repeat N submits the same request N times (ids counting up from
+ * --id) and prints the N responses in arrival order; with a warm
+ * daemon the repeats come back "cached":1 without re-simulating.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "config/gpu_config.hh"
+#include "serve/client.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] --workload NAME "
+                 "[--protocol NAME] [--chiplets N] [--scale X] "
+                 "[--copies N] [--extra-sync-sets N] [--label S] "
+                 "[--priority interactive|bulk] [--repeat N] [--id N]\n"
+                 "       %s [--socket PATH] --stats\n",
+                 argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath = "simd.sock";
+    bool statsProbe = false;
+    int repeat = 1;
+    cpelide::ServeRequest req;
+    req.id = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--socket" && hasValue) {
+            socketPath = argv[++i];
+        } else if (arg == "--stats") {
+            statsProbe = true;
+        } else if (arg == "--workload" && hasValue) {
+            req.run.workload = argv[++i];
+        } else if (arg == "--protocol" && hasValue) {
+            if (!cpelide::protocolFromName(argv[++i],
+                                           &req.run.protocol)) {
+                std::fprintf(stderr, "simc: unknown protocol '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--chiplets" && hasValue) {
+            req.run.chiplets = std::atoi(argv[++i]);
+        } else if (arg == "--scale" && hasValue) {
+            req.run.scale = std::atof(argv[++i]);
+        } else if (arg == "--copies" && hasValue) {
+            req.run.copies = std::atoi(argv[++i]);
+        } else if (arg == "--extra-sync-sets" && hasValue) {
+            req.run.extraSyncSets = std::atoi(argv[++i]);
+        } else if (arg == "--label" && hasValue) {
+            req.run.label = argv[++i];
+        } else if (arg == "--priority" && hasValue) {
+            const std::string p = argv[++i];
+            if (p == "bulk") {
+                req.priority = cpelide::ServePriority::Bulk;
+            } else if (p == "interactive") {
+                req.priority = cpelide::ServePriority::Interactive;
+            } else {
+                std::fprintf(stderr, "simc: bad priority '%s'\n",
+                             p.c_str());
+                return 2;
+            }
+        } else if (arg == "--repeat" && hasValue) {
+            repeat = std::atoi(argv[++i]);
+        } else if (arg == "--id" && hasValue) {
+            req.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else {
+            usage(argv[0]);
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    cpelide::SimClient client;
+    if (!client.connect(socketPath)) {
+        std::fprintf(stderr, "simc: cannot connect to %s\n",
+                     socketPath.c_str());
+        return 1;
+    }
+
+    if (statsProbe) {
+        if (!client.sendLine("{\"type\":\"stats\"}"))
+            return 1;
+        std::string line;
+        if (!client.recvLine(&line))
+            return 1;
+        std::cout << line << "\n";
+        return 0;
+    }
+
+    if (req.run.workload.empty() || repeat < 1) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    // Pipeline all submissions, then read responses in arrival order.
+    for (int i = 0; i < repeat; ++i) {
+        cpelide::ServeRequest r = req;
+        r.id = req.id + static_cast<std::uint64_t>(i);
+        if (!client.send(r)) {
+            std::fprintf(stderr, "simc: send failed\n");
+            return 1;
+        }
+    }
+
+    int failures = 0;
+    for (int i = 0; i < repeat; ++i) {
+        std::string line;
+        if (!client.recvLine(&line)) {
+            std::fprintf(stderr, "simc: connection closed with %d "
+                         "response(s) outstanding\n", repeat - i);
+            return 1;
+        }
+        std::cout << line << "\n";
+        cpelide::ServeResponse resp;
+        if (cpelide::decodeServeResponse(line, &resp) && !resp.ok)
+            ++failures;
+    }
+    return failures > 0 ? 3 : 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * simd: the long-lived simulation daemon (src/serve).
+ *
+ * Binds a Unix-domain socket, serves NDJSON run requests through the
+ * exec engine with content-addressed result caching, and drains
+ * gracefully on SIGTERM/SIGINT: queued jobs finish and answer, the
+ * cache store is flushed, the socket file is unlinked, exit 0.
+ *
+ *   simd [--socket PATH] [--cache DIR] [--cache-size N]
+ *        [--quota N] [--batch N] [--jobs N]
+ *
+ * Flags override the CPELIDE_SERVE_* knobs (sim/exec_options.hh).
+ * Diagnostics go to stderr; stdout stays silent (nothing here is
+ * machine-parsed — the protocol lives on the socket).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "serve/server.hh"
+
+namespace
+{
+
+std::atomic<bool> gStop{false};
+cpelide::SimServer *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    // Async-signal-safe: both are lock-free atomic stores.
+    gStop.store(true);
+    if (gServer)
+        gServer->requestStop();
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] [--cache DIR] "
+                 "[--cache-size N] [--quota N] [--batch N] [--jobs N]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cpelide::SimServer::Config cfg = cpelide::SimServer::Config::fromEnv();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--socket" && hasValue) {
+            cfg.socketPath = argv[++i];
+        } else if (arg == "--cache" && hasValue) {
+            cfg.cacheDir = argv[++i];
+        } else if (arg == "--cache-size" && hasValue) {
+            cfg.cacheSize =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--quota" && hasValue) {
+            cfg.quota = std::atoi(argv[++i]);
+        } else if (arg == "--batch" && hasValue) {
+            cfg.batch = std::atoi(argv[++i]);
+        } else if (arg == "--jobs" && hasValue) {
+            cfg.jobs = std::atoi(argv[++i]);
+        } else {
+            usage(argv[0]);
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    cpelide::SimServer server(cfg);
+    gServer = &server;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!server.start())
+        return 1;
+    std::fprintf(stderr, "simd: listening on %s\n",
+                 server.socketPath().c_str());
+
+    while (!gStop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::fprintf(stderr, "simd: draining...\n");
+    server.stop();
+    const cpelide::ServeStats s = server.stats();
+    std::fprintf(stderr,
+                 "simd: done (%llu requests, %llu cache hits, "
+                 "%llu simulations, %llu failures)\n",
+                 static_cast<unsigned long long>(s.requests),
+                 static_cast<unsigned long long>(s.cacheHits),
+                 static_cast<unsigned long long>(s.simulations),
+                 static_cast<unsigned long long>(s.failures));
+    return 0;
+}
