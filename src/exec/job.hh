@@ -75,6 +75,15 @@ struct Job
     int chiplets = 0;     //!< descriptive: chiplet count
     double scale = 1.0;   //!< descriptive: iteration-count scale
 
+    /**
+     * Per-job watchdog budget override. When enabled it takes
+     * precedence over the SweepSpec budget and the environment knobs —
+     * the serve subsystem uses this to clamp a request's remaining
+     * deadline onto its job. Disabled (the default) defers to the
+     * spec/env resolution in SweepRunner.
+     */
+    SimBudget budget;
+
     std::function<RunResult()> body;
 };
 

@@ -30,39 +30,14 @@ jobErrorFromName(const std::string &name)
     return JobErrorKind::Unknown;
 }
 
-namespace
-{
-
-/** FNV-1a 64-bit, the usual offset basis / prime. */
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void
-fnvMix(std::uint64_t &h, const void *data, std::size_t len)
-{
-    const auto *bytes = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-        h ^= bytes[i];
-        h *= kFnvPrime;
-    }
-}
-
-void
-fnvMixStr(std::uint64_t &h, const std::string &s)
-{
-    // Length-prefix each field so ("ab","c") != ("a","bc").
-    const std::uint64_t len = s.size();
-    fnvMix(h, &len, sizeof(len));
-    fnvMix(h, s.data(), s.size());
-}
-
-} // namespace
+using json::fnvMix;
+using json::fnvMixStr;
 
 std::uint64_t
 jobHash(const SweepSpec &spec, std::size_t index)
 {
     const Job &job = spec.jobs.at(index);
-    std::uint64_t h = kFnvOffset;
+    std::uint64_t h = json::kFnvOffset;
     fnvMixStr(h, spec.name);
     const std::uint64_t idx = index;
     fnvMix(h, &idx, sizeof(idx));

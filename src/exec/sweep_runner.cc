@@ -147,7 +147,9 @@ SweepRunner::runOne(const SweepSpec &spec, std::size_t index,
     }
 
     const SimBudget budget =
-        spec.budget.enabled() ? spec.budget : SimBudget::fromEnv();
+        job.budget.enabled()
+            ? job.budget
+            : (spec.budget.enabled() ? spec.budget : SimBudget::fromEnv());
     const int retries =
         spec.maxRetries >= 0 ? spec.maxRetries : retriesFromEnv();
     const double backoffMs = spec.retryBackoffMs >= 0

@@ -6,26 +6,6 @@ namespace cpelide
 namespace
 {
 
-/** FNV-1a 64-bit (same parameters as exec/journal.cc's job hash). */
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-void
-fnvMixStr(std::uint64_t &h, const std::string &s)
-{
-    // Length-prefix so ("ab","c") != ("a","bc") across fields.
-    const std::uint64_t len = s.size();
-    const auto *lenBytes = reinterpret_cast<const unsigned char *>(&len);
-    for (std::size_t i = 0; i < sizeof(len); ++i) {
-        h ^= lenBytes[i];
-        h *= kFnvPrime;
-    }
-    for (const char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= kFnvPrime;
-    }
-}
-
 void
 fail(std::string *error, const std::string &why)
 {
@@ -110,9 +90,9 @@ parseRequestFields(const JsonLineParser &p, RunRequest *req,
 std::uint64_t
 requestHash(const RunRequest &req, const std::string &engineVersion)
 {
-    std::uint64_t h = kFnvOffset;
-    fnvMixStr(h, canonicalRequestLine(req));
-    fnvMixStr(h, engineVersion);
+    std::uint64_t h = json::kFnvOffset;
+    json::fnvMixStr(h, canonicalRequestLine(req));
+    json::fnvMixStr(h, engineVersion);
     return h;
 }
 

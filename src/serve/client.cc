@@ -1,13 +1,64 @@
 #include "serve/client.hh"
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "sim/exec_options.hh"
+
 namespace cpelide
 {
+
+namespace
+{
+
+/** Whether a rejection is the server shedding load (transient). */
+bool
+isShedError(const std::string &error)
+{
+    return error.rfind("shed: ", 0) == 0;
+}
+
+void
+sleepMs(double ms)
+{
+    if (ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+    }
+}
+
+} // namespace
+
+SimClient::Options
+SimClient::Options::fromEnv()
+{
+    const ExecOptions eo = ExecOptions::fromEnv();
+    Options opts;
+    opts.connectTimeoutMs = eo.serveTimeoutMs;
+    opts.recvTimeoutMs = eo.serveTimeoutMs;
+    opts.maxRetries = eo.serveRetries;
+    opts.backoffMs = eo.retryBackoffMs;
+    return opts;
+}
+
+SimClient::SimClient(Options opts)
+    : _opts(opts),
+      _jitterState(opts.jitterSeed ? opts.jitterSeed
+                                   : 0x9e3779b97f4a7c15ULL)
+{
+    if (_opts.maxRetries < 0)
+        _opts.maxRetries = 0;
+    if (_opts.backoffMs < 0.0)
+        _opts.backoffMs = 0.0;
+}
 
 SimClient::~SimClient()
 {
@@ -15,37 +66,97 @@ SimClient::~SimClient()
 }
 
 bool
-SimClient::connect(const std::string &socketPath)
+SimClient::dial()
 {
-    close();
-
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
-    if (socketPath.size() >= sizeof(addr.sun_path))
+    if (_socketPath.size() >= sizeof(addr.sun_path))
         return false;
-    std::strncpy(addr.sun_path, socketPath.c_str(),
+    std::strncpy(addr.sun_path, _socketPath.c_str(),
                  sizeof(addr.sun_path) - 1);
 
     _fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (_fd < 0)
         return false;
-    if (::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+
+    // Bounded connect: non-blocking dial, poll for completion. On a
+    // Unix socket the common outcomes are immediate (live daemon or
+    // ECONNREFUSED on a stale path); the poll covers a backlogged
+    // listener.
+    const int flags = ::fcntl(_fd, F_GETFL, 0);
+    if (_opts.connectTimeoutMs > 0.0 && flags >= 0)
+        ::fcntl(_fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+        pollfd pfd{_fd, POLLOUT, 0};
+        const int timeout =
+            static_cast<int>(_opts.connectTimeoutMs) > 0
+                ? static_cast<int>(_opts.connectTimeoutMs)
+                : -1;
+        if (::poll(&pfd, 1, timeout) == 1) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(_fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            rc = err == 0 ? 0 : -1;
+        }
+    }
+    if (_opts.connectTimeoutMs > 0.0 && flags >= 0)
+        ::fcntl(_fd, F_SETFL, flags);
+    if (rc != 0) {
         ::close(_fd);
         _fd = -1;
         return false;
+    }
+    _buffer.clear();
+    return true;
+}
+
+bool
+SimClient::connect(const std::string &socketPath)
+{
+    close();
+    _socketPath = socketPath;
+    return dial();
+}
+
+bool
+SimClient::reconnect()
+{
+    if (_socketPath.empty())
+        return false;
+    closeFd();
+    if (!dial())
+        return false;
+    ++_reconnects;
+    // Resubmit everything unanswered, in id order. Answers the dead
+    // daemon already computed come back "cached":1; the rest simulate
+    // to byte-identical output — determinism makes this safe.
+    for (const auto &entry : _pending) {
+        if (!sendLine(entry.second)) {
+            closeFd();
+            return false;
+        }
+        ++_resubmitted;
     }
     return true;
 }
 
 void
-SimClient::close()
+SimClient::closeFd()
 {
     if (_fd >= 0) {
         ::close(_fd);
         _fd = -1;
     }
     _buffer.clear();
+}
+
+void
+SimClient::close()
+{
+    closeFd();
+    _pending.clear();
 }
 
 bool
@@ -60,8 +171,11 @@ SimClient::sendLine(const std::string &line)
         const ssize_t n =
             ::send(_fd, framed.data() + sent, framed.size() - sent,
                    MSG_NOSIGNAL);
-        if (n <= 0)
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
             return false;
+        }
         sent += static_cast<std::size_t>(n);
     }
     return true;
@@ -70,12 +184,18 @@ SimClient::sendLine(const std::string &line)
 bool
 SimClient::send(const ServeRequest &req)
 {
-    return sendLine(encodeServeRequest(req));
+    const std::string line = encodeServeRequest(req);
+    if (!sendLine(line))
+        return false;
+    _pending[req.id] = line;
+    return true;
 }
 
 bool
-SimClient::recvLine(std::string *line)
+SimClient::recvLine(std::string *line, bool *timedOut)
 {
+    if (timedOut)
+        *timedOut = false;
     if (_fd < 0)
         return false;
     for (;;) {
@@ -85,10 +205,25 @@ SimClient::recvLine(std::string *line)
             _buffer.erase(0, nl + 1);
             return true;
         }
+        if (_opts.recvTimeoutMs > 0.0) {
+            pollfd pfd{_fd, POLLIN, 0};
+            const int n =
+                ::poll(&pfd, 1, static_cast<int>(_opts.recvTimeoutMs));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                if (timedOut)
+                    *timedOut = n == 0;
+                return false;
+            }
+        }
         char chunk[4096];
         const ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
-        if (n <= 0)
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
             return false;
+        }
         _buffer.append(chunk, static_cast<std::size_t>(n));
     }
 }
@@ -98,9 +233,26 @@ SimClient::recvResponse(ServeResponse *resp)
 {
     std::string line;
     while (recvLine(&line)) {
-        if (decodeServeResponse(line, resp))
+        if (decodeServeResponse(line, resp)) {
+            _pending.erase(resp->id);
             return true;
+        }
         // Not a result line (e.g. an interleaved stats answer): skip.
+    }
+    return false;
+}
+
+bool
+SimClient::recvMatching(std::uint64_t id, ServeResponse *resp)
+{
+    ServeResponse r;
+    while (recvResponse(&r)) {
+        if (r.id == id) {
+            *resp = std::move(r);
+            return true;
+        }
+        // Someone else's (e.g. a resubmitted earlier request's) answer;
+        // recvResponse already settled its pending entry.
     }
     return false;
 }
@@ -108,7 +260,61 @@ SimClient::recvResponse(ServeResponse *resp)
 bool
 SimClient::request(const ServeRequest &req, ServeResponse *resp)
 {
-    return send(req) && recvResponse(resp);
+    return send(req) && recvMatching(req.id, resp);
+}
+
+double
+SimClient::jittered(double baseMs)
+{
+    // xorshift64: cheap, deterministic under the fixed seed, decent
+    // spread — all a retry-desynchronization jitter needs.
+    _jitterState ^= _jitterState << 13;
+    _jitterState ^= _jitterState >> 7;
+    _jitterState ^= _jitterState << 17;
+    const double frac =
+        static_cast<double>(_jitterState % 1024) / 2048.0; // [0, 0.5)
+    return baseMs * (1.0 + frac);
+}
+
+bool
+SimClient::call(const ServeRequest &req, ServeResponse *resp)
+{
+    double backoffMs = _opts.backoffMs;
+    for (int attempt = 0;; ++attempt) {
+        bool transportOk = true;
+        bool submitted = false;
+        if (!connected()) {
+            if (reconnect())
+                submitted = _pending.count(req.id) > 0;
+            else
+                transportOk = false;
+        }
+        if (transportOk && !submitted)
+            transportOk = send(req);
+        if (transportOk && recvMatching(req.id, resp)) {
+            if (!resp->ok && isShedError(resp->error) &&
+                attempt < _opts.maxRetries) {
+                // Shed is the server asking us to come back later:
+                // honor its hint (at least), with our jittered backoff
+                // as the floor, and try again.
+                ++_retries;
+                const double hintMs =
+                    static_cast<double>(resp->retryAfterMs);
+                const double waitMs = jittered(backoffMs);
+                sleepMs(hintMs > waitMs ? hintMs : waitMs);
+                backoffMs *= 2.0;
+                continue;
+            }
+            return true; // final answer (possibly a non-transient !ok)
+        }
+        // Transport failure: connect refused, EOF mid-wait, timeout.
+        closeFd();
+        if (attempt >= _opts.maxRetries)
+            return false;
+        ++_retries;
+        sleepMs(jittered(backoffMs));
+        backoffMs *= 2.0;
+    }
 }
 
 bool
@@ -119,6 +325,19 @@ SimClient::stats(ServeStats *out)
     std::string line;
     while (recvLine(&line)) {
         if (decodeServeStats(line, out))
+            return true;
+    }
+    return false;
+}
+
+bool
+SimClient::health(ServeHealth *out)
+{
+    if (!sendLine("{\"type\":\"health\"}"))
+        return false;
+    std::string line;
+    while (recvLine(&line)) {
+        if (decodeServeHealth(line, out))
             return true;
     }
     return false;

@@ -1,11 +1,25 @@
 /**
  * @file
  * SimClient: the client side of the simd protocol, shared by the simc
- * CLI and the serve tests.
+ * CLI, the serve tests, and the chaos harness.
  *
- * Thin and synchronous: connect() to the daemon's Unix socket, send()
- * request lines, recvResponse()/recvStats() blocking reads of answer
- * lines. request() and stats() wrap the common one-shot patterns.
+ * Synchronous, with a resilience layer:
+ *  - connect() and recvLine() are bounded by Options timeouts
+ *    (CPELIDE_SERVE_TIMEOUT_MS), so a dead or wedged daemon turns into
+ *    a classified failure instead of a hung client;
+ *  - every "run" request sent is remembered (id -> encoded line) until
+ *    its answer arrives, so reconnect() can re-dial the daemon and
+ *    resubmit everything still unanswered — the daemon's
+ *    content-addressed cache makes resubmission idempotent (a request
+ *    the dead daemon already completed answers instantly as
+ *    "cached":1, one it never ran simulates to byte-identical output);
+ *  - call() is the retrying one-shot: transport failures (connect
+ *    refused, EOF, receive timeout) and "shed:" rejections — the
+ *    transient classes — are retried up to Options::maxRetries with
+ *    exponential backoff plus deterministic jitter, honoring the
+ *    server's retryAfterMs hint; every other error (malformed, quota,
+ *    deadline, simulation failure) is final and returned as-is.
+ *
  * Responses arrive in completion order, not submission order — callers
  * that pipeline multiple requests correlate by the echoed id.
  */
@@ -14,8 +28,10 @@
 #define CPELIDE_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
+#include "prof/counter.hh"
 #include "serve/protocol.hh"
 
 namespace cpelide
@@ -24,39 +40,116 @@ namespace cpelide
 class SimClient
 {
   public:
-    SimClient() = default;
+    struct Options
+    {
+        /** Bound on one connect() attempt (0 = OS default, blocking). */
+        double connectTimeoutMs = 5000.0;
+        /** Bound on waiting for one answer line (0 = block forever). */
+        double recvTimeoutMs = 0.0;
+        /** call(): max retries of a *transient* failure (so up to
+         *  1 + maxRetries attempts). */
+        int maxRetries = 3;
+        /** call(): base backoff before retry k, doubled each retry. */
+        double backoffMs = 50.0;
+        /** Jitter stream seed — fixed seed, deterministic schedule. */
+        std::uint64_t jitterSeed = 0x9e3779b97f4a7c15ULL;
+
+        /** Defaults from CPELIDE_SERVE_TIMEOUT_MS /
+         *  CPELIDE_SERVE_RETRIES / CPELIDE_RETRY_BACKOFF_MS. */
+        static Options fromEnv();
+    };
+
+    SimClient() : SimClient(Options{}) {}
+    explicit SimClient(Options opts);
     ~SimClient();
 
     SimClient(const SimClient &) = delete;
     SimClient &operator=(const SimClient &) = delete;
 
-    /** Connect to the daemon at @p socketPath. */
+    /** Connect to the daemon at @p socketPath (bounded by
+     *  Options::connectTimeoutMs). Forgets any pending requests. */
     bool connect(const std::string &socketPath);
+
+    /**
+     * Re-dial the last connect()ed path and resubmit every request
+     * sent but not yet answered, in id order. The content-addressed
+     * cache makes this idempotent across a daemon crash/restart.
+     */
+    bool reconnect();
+
     void close();
     bool connected() const { return _fd >= 0; }
 
     /** Send one raw protocol line (newline appended here). */
     bool sendLine(const std::string &line);
+    /** Send a run request, remembering it until its answer arrives. */
     bool send(const ServeRequest &req);
 
     /**
-     * Blocking read of the next line from the daemon.
-     * @retval false on EOF / error.
+     * Read the next line from the daemon, bounded by
+     * Options::recvTimeoutMs. @retval false on EOF / error / timeout;
+     * @p timedOut (when non-null) tells the last two apart.
      */
-    bool recvLine(std::string *line);
+    bool recvLine(std::string *line, bool *timedOut = nullptr);
 
-    /** Blocking read of the next "result" line. */
+    /** Read the next "result" line (skips interleaved other types). */
     bool recvResponse(ServeResponse *resp);
 
-    /** One-shot: send @p req, wait for its answer. */
+    /** One-shot without retries: send @p req, wait for its answer. */
     bool request(const ServeRequest &req, ServeResponse *resp);
+
+    /**
+     * One-shot *with* the resilience layer: reconnects, resubmits,
+     * and retries transient failures (transport errors and "shed:"
+     * rejections) with jittered exponential backoff. @retval true
+     * with the final answer in @p resp — which may still be !ok for a
+     * non-transient error; false only when transport never recovered
+     * within the retry budget.
+     */
+    bool call(const ServeRequest &req, ServeResponse *resp);
 
     /** One-shot: probe the daemon's counters. */
     bool stats(ServeStats *out);
 
+    /** One-shot: probe the daemon's live shape. */
+    bool health(ServeHealth *out);
+
+    /** Requests sent but not yet answered. */
+    std::size_t pending() const { return _pending.size(); }
+
+    /**
+     * Mark request @p id answered. recvResponse()/recvMatching() do
+     * this automatically; callers reading raw lines with recvLine()
+     * and decoding themselves must settle ids they saw answered, or
+     * reconnect() will (harmlessly but wastefully) resubmit them.
+     */
+    void settle(std::uint64_t id) { _pending.erase(id); }
+    std::uint64_t reconnects() const { return _reconnects.value(); }
+    std::uint64_t retries() const { return _retries.value(); }
+    std::uint64_t resubmitted() const { return _resubmitted.value(); }
+
   private:
+    /** Close the fd but keep _pending (crash path; reconnect() will
+     *  resubmit). The public close() also forgets pending. */
+    void closeFd();
+    bool dial();
+    /** Wait for the answer to @p id, skipping (and settling) other
+     *  ids' answers. */
+    bool recvMatching(std::uint64_t id, ServeResponse *resp);
+    /** Deterministic jitter in [base, 1.5*base). */
+    double jittered(double baseMs);
+
+    Options _opts;
+    std::string _socketPath;
     int _fd = -1;
     std::string _buffer; //!< bytes read past the last returned line
+    /** Unanswered "run" requests: id -> encoded line (resubmit set). */
+    std::map<std::uint64_t, std::string> _pending;
+    std::uint64_t _jitterState;
+
+    prof::Counter _reconnects;  //!< successful re-dials
+    prof::Counter _retries;     //!< transient-failure retries in call()
+    prof::Counter _resubmitted; //!< pending lines re-sent on reconnect
 };
 
 } // namespace cpelide

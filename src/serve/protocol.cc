@@ -28,6 +28,7 @@ encodeServeRequest(const ServeRequest &req)
     json::appendStr(out, "type", "run");
     json::appendU64(out, "id", req.id);
     json::appendStr(out, "priority", servePriorityName(req.priority));
+    json::appendU64(out, "deadlineMs", req.deadlineMs);
     // Splice the canonical request fields in canonical order; the
     // canonical line is "{fields}", so strip its braces.
     const std::string canonical = canonicalRequestLine(req.run);
@@ -69,6 +70,11 @@ decodeServeRequest(const std::string &line, ServeRequest *out,
         if (priority == "bulk")
             req.priority = ServePriority::Bulk;
     }
+    if (p.has("deadlineMs") && !p.u64("deadlineMs", &req.deadlineMs)) {
+        if (error)
+            *error = "deadlineMs must be a non-negative integer";
+        return false;
+    }
     if (!parseRequestFields(p, &req.run, error))
         return false;
     *out = std::move(req);
@@ -83,6 +89,7 @@ encodeServeResponse(const ServeResponse &resp)
     json::appendU64(out, "id", resp.id);
     json::appendU64(out, "cached", resp.cached ? 1 : 0);
     json::appendU64(out, "ok", resp.ok ? 1 : 0);
+    json::appendU64(out, "retryAfterMs", resp.retryAfterMs);
     json::appendStr(out, "error", resp.error);
     appendRunResultFields(out, resp.result);
     json::appendStr(out, "kernelPhases",
@@ -105,6 +112,11 @@ decodeServeResponse(const std::string &line, ServeResponse *out)
     std::uint64_t ok = 0, cached = 0;
     if (!p.u64("id", &resp.id) || !p.u64("cached", &cached) ||
         !p.u64("ok", &ok) || !p.str("error", &resp.error)) {
+        return false;
+    }
+    // Optional for wire compatibility with pre-resilience responses.
+    if (p.has("retryAfterMs") &&
+        !p.u64("retryAfterMs", &resp.retryAfterMs)) {
         return false;
     }
     if (!parseRunResultFields(p, &resp.result))
@@ -133,6 +145,10 @@ encodeServeStats(const ServeStats &stats)
     json::appendU64(out, "failures", stats.failures);
     json::appendU64(out, "simEvents", stats.simEvents);
     json::appendU64(out, "cacheEntries", stats.cacheEntries);
+    json::appendU64(out, "shed", stats.shed);
+    json::appendU64(out, "deadlineExpired", stats.deadlineExpired);
+    json::appendU64(out, "quarantined", stats.quarantined);
+    json::appendU64(out, "slowDisconnects", stats.slowDisconnects);
     json::appendStr(out, "engineVersion", stats.engineVersion);
     out += '}';
     return out;
@@ -159,7 +175,66 @@ decodeServeStats(const std::string &line, ServeStats *out)
         p.str("engineVersion", &s.engineVersion);
     if (!good)
         return false;
+    // Optional for wire compatibility with pre-resilience daemons.
+    if (p.has("shed") && !p.u64("shed", &s.shed))
+        return false;
+    if (p.has("deadlineExpired") &&
+        !p.u64("deadlineExpired", &s.deadlineExpired)) {
+        return false;
+    }
+    if (p.has("quarantined") && !p.u64("quarantined", &s.quarantined))
+        return false;
+    if (p.has("slowDisconnects") &&
+        !p.u64("slowDisconnects", &s.slowDisconnects)) {
+        return false;
+    }
     *out = std::move(s);
+    return true;
+}
+
+std::string
+encodeServeHealth(const ServeHealth &health)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "health");
+    json::appendU64(out, "queueInteractive", health.queueInteractive);
+    json::appendU64(out, "queueBulk", health.queueBulk);
+    json::appendU64(out, "executing", health.executing);
+    json::appendU64(out, "connections", health.connections);
+    json::appendU64(out, "shed", health.shed);
+    json::appendU64(out, "deadlineExpired", health.deadlineExpired);
+    json::appendU64(out, "quarantined", health.quarantined);
+    json::appendU64(out, "slowDisconnects", health.slowDisconnects);
+    json::appendU64(out, "uptimeMs", health.uptimeMs);
+    json::appendStr(out, "engineVersion", health.engineVersion);
+    out += '}';
+    return out;
+}
+
+bool
+decodeServeHealth(const std::string &line, ServeHealth *out)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    std::string type;
+    if (!p.str("type", &type) || type != "health")
+        return false;
+    ServeHealth h;
+    const bool good =
+        p.u64("queueInteractive", &h.queueInteractive) &&
+        p.u64("queueBulk", &h.queueBulk) &&
+        p.u64("executing", &h.executing) &&
+        p.u64("connections", &h.connections) &&
+        p.u64("shed", &h.shed) &&
+        p.u64("deadlineExpired", &h.deadlineExpired) &&
+        p.u64("quarantined", &h.quarantined) &&
+        p.u64("slowDisconnects", &h.slowDisconnects) &&
+        p.u64("uptimeMs", &h.uptimeMs) &&
+        p.str("engineVersion", &h.engineVersion);
+    if (!good)
+        return false;
+    *out = std::move(h);
     return true;
 }
 

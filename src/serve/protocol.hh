@@ -8,14 +8,16 @@
  *
  * Client -> server lines:
  *   {"type":"run","id":N,"priority":"interactive"|"bulk",
- *    "workload":...,"protocol":...,"chiplets":...,"scale":...,
- *    "copies":...,"extraSyncSets":...,"label":...}
+ *    "deadlineMs":N,"workload":...,"protocol":...,"chiplets":...,
+ *    "scale":...,"copies":...,"extraSyncSets":...,"label":...}
  *   {"type":"stats"}
+ *   {"type":"health"}
  *
  * Server -> client lines:
- *   {"type":"result","id":N,"cached":0|1,"ok":0|1,"error":...,
- *    <RunResult fields>, "kernelPhases":"<compact>"}
+ *   {"type":"result","id":N,"cached":0|1,"ok":0|1,"retryAfterMs":N,
+ *    "error":..., <RunResult fields>, "kernelPhases":"<compact>"}
  *   {"type":"stats", <counter fields>, "engineVersion":...}
+ *   {"type":"health", <live-shape fields>, "engineVersion":...}
  *
  * Responses stream in completion order; the echoed id is the client's
  * correlation handle. Request ids are client-scoped (the server never
@@ -53,6 +55,15 @@ struct ServeRequest
 {
     std::uint64_t id = 0;
     ServePriority priority = ServePriority::Interactive;
+    /**
+     * Soft deadline in milliseconds from the server receiving the
+     * request (0 = none). A request still queued when its deadline
+     * passes is answered with a classified "deadline" error without
+     * simulating; a request that starts in time has the remaining
+     * deadline clamped onto its job's watchdog budget, so it can never
+     * run longer than the client is still waiting.
+     */
+    std::uint64_t deadlineMs = 0;
     RunRequest run;
 };
 
@@ -63,6 +74,12 @@ struct ServeResponse
     bool ok = false;
     /** Served from the content-addressed cache, not simulated. */
     bool cached = false;
+    /**
+     * On a shed rejection: the server's hint of when capacity should
+     * exist again. 0 on every other response. Clients treat shed
+     * rejections as transient and retry after (at least) this long.
+     */
+    std::uint64_t retryAfterMs = 0;
     std::string error; //!< reject/failure reason when !ok
     RunResult result;  //!< zeroed when !ok
 };
@@ -78,6 +95,30 @@ struct ServeStats
     std::uint64_t failures = 0;    //!< executed jobs that failed
     std::uint64_t simEvents = 0;   //!< total simulator events executed
     std::uint64_t cacheEntries = 0;
+    std::uint64_t shed = 0;        //!< load-shed (queue-full) rejections
+    std::uint64_t deadlineExpired = 0; //!< answered "deadline", unsimulated
+    std::uint64_t quarantined = 0; //!< corrupt cache records skipped
+    std::uint64_t slowDisconnects = 0; //!< readers kicked for stalling
+    std::string engineVersion;
+};
+
+/**
+ * Live liveness/pressure probe, answered to a {"type":"health"} line.
+ * Unlike ServeStats (cumulative counters), this is the daemon's
+ * current shape: lane depths, in-flight work, and uptime — what a
+ * load balancer or an operator polls.
+ */
+struct ServeHealth
+{
+    std::uint64_t queueInteractive = 0; //!< queued, interactive lane
+    std::uint64_t queueBulk = 0;        //!< queued, bulk lane
+    std::uint64_t executing = 0;        //!< jobs inside the pool now
+    std::uint64_t connections = 0;      //!< open client connections
+    std::uint64_t shed = 0;             //!< cumulative shed rejections
+    std::uint64_t deadlineExpired = 0;  //!< cumulative deadline answers
+    std::uint64_t quarantined = 0;      //!< corrupt cache records
+    std::uint64_t slowDisconnects = 0;  //!< stalled readers kicked
+    std::uint64_t uptimeMs = 0;         //!< since start()
     std::string engineVersion;
 };
 
@@ -101,6 +142,10 @@ bool decodeServeResponse(const std::string &line, ServeResponse *out);
 std::string encodeServeStats(const ServeStats &stats);
 
 bool decodeServeStats(const std::string &line, ServeStats *out);
+
+std::string encodeServeHealth(const ServeHealth &health);
+
+bool decodeServeHealth(const std::string &line, ServeHealth *out);
 
 } // namespace cpelide
 

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <vector>
 
 #include "sim/log.hh"
 #include "stats/json_util.hh"
@@ -16,7 +17,23 @@ namespace cpelide
 namespace
 {
 
-/** One disk-store line (no trailing newline). */
+/**
+ * The trailing integrity field: ,"sum":"<16 hex>"} over the record
+ * bytes before it. The checksum input is the serialized line up to
+ * (and excluding) the ",\"sum\"" separator, so verification is a pure
+ * byte operation — no reparse, no canonicalization drift.
+ */
+constexpr const char *kSumSep = ",\"sum\":\"";
+
+std::string
+sumHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+/** One disk-store line (no trailing newline), checksummed. */
 std::string
 encodeCacheLine(std::uint64_t key, const std::string &canonical,
                 const RunResult &result)
@@ -31,8 +48,28 @@ encodeCacheLine(std::uint64_t key, const std::string &canonical,
     appendRunResultFields(out, result);
     json::appendStr(out, "kernelPhases",
                     encodeKernelPhasesCompact(result.kernelPhases));
-    out += '}';
+    out += kSumSep + sumHex(json::fnv1a64(out)) + "\"}";
     return out;
+}
+
+/**
+ * Integrity verdict of one raw store line. Legacy lines (no sum
+ * suffix) pass; a line whose suffix does not verify is corrupt.
+ */
+bool
+cacheLineIntact(const std::string &line)
+{
+    const std::size_t sepLen = std::string(kSumSep).size();
+    // ...,"sum":"0123456789abcdef"}
+    if (line.size() < sepLen + 18)
+        return true; // too short to carry a sum: legacy
+    const std::size_t at = line.size() - (sepLen + 18);
+    if (line.compare(at, sepLen, kSumSep) != 0 || line.back() != '}' ||
+        line[line.size() - 2] != '"') {
+        return true; // no sum suffix: legacy line, accepted as-is
+    }
+    const std::string want = line.substr(at + sepLen, 16);
+    return sumHex(json::fnv1a64(line.substr(0, at))) == want;
 }
 
 bool
@@ -93,7 +130,7 @@ ResultCache::ResultCache(std::size_t capacity, const std::string &dir)
     }
     const bool tornTail = !text.empty() && text.back() != '\n';
     bool tailParsed = false;
-    std::size_t torn = 0;
+    std::vector<std::string> quarantine;
     std::size_t pos = 0;
     while (pos < text.size()) {
         std::size_t end = text.find('\n', pos);
@@ -106,8 +143,16 @@ ResultCache::ResultCache(std::size_t capacity, const std::string &dir)
             continue;
         std::uint64_t key = 0;
         RunResult result;
-        if (!decodeCacheLine(line, &key, &result)) {
-            ++torn;
+        if (!cacheLineIntact(line) ||
+            !decodeCacheLine(line, &key, &result)) {
+            // The unterminated tail is the expected crash-mid-append
+            // artifact and is truncated below; anything else is a
+            // corrupt *complete* record — quarantined, never loaded,
+            // never fatal (the request just re-simulates).
+            if (!(isTail && tornTail)) {
+                ++_quarantineCounter;
+                quarantine.push_back(line);
+            }
             continue;
         }
         if (isTail)
@@ -117,9 +162,21 @@ ResultCache::ResultCache(std::size_t capacity, const std::string &dir)
         insertLocked(key, result);
     }
     _loadedEntries = _map.size();
-    if (torn > 0) {
-        warn("result cache " + _path + ": skipped " +
-             std::to_string(torn) + " unparsable line(s)");
+    if (!quarantine.empty()) {
+        const std::string qPath =
+            (std::filesystem::path(dir) / "quarantine.jsonl").string();
+        warn("result cache " + _path + ": quarantined " +
+             std::to_string(quarantine.size()) +
+             " corrupt record(s) to " + qPath);
+        // Rewritten (not appended) each load: the file mirrors the
+        // corrupt records currently present in the store.
+        if (std::FILE *qf = std::fopen(qPath.c_str(), "w")) {
+            for (const std::string &line : quarantine) {
+                std::fwrite(line.data(), 1, line.size(), qf);
+                std::fputc('\n', qf);
+            }
+            std::fclose(qf);
+        }
     }
     if (tornTail && !tailParsed) {
         const std::size_t lastNl = text.find_last_of('\n');
@@ -221,6 +278,13 @@ ResultCache::missTally() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     return _missCounter.value();
+}
+
+std::uint64_t
+ResultCache::quarantineTally() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _quarantineCounter.value();
 }
 
 } // namespace cpelide

@@ -21,6 +21,16 @@
  *    mid-append never poisons later appends and restarts resume with
  *    the cache warm.
  *
+ * Integrity: every store line carries a trailing "sum" field — FNV-1a
+ * over the record bytes before it — written at append time and
+ * verified on load. A record whose checksum does not match (bit rot,
+ * hand editing, a torn overwrite) is *quarantined*: never loaded,
+ * never fatal, copied to <dir>/quarantine.jsonl for inspection, and
+ * counted (quarantineTally(), surfaced through ServeStats/health).
+ * The affected request simply misses and re-simulates — determinism
+ * guarantees the byte-identical answer. Legacy lines without a sum
+ * are accepted as-is.
+ *
  * Thread-safe: the server's reader threads look up while pool workers
  * insert.
  */
@@ -76,6 +86,8 @@ class ResultCache
     std::size_t entries() const;
     std::uint64_t hitTally() const;
     std::uint64_t missTally() const;
+    /** Corrupt store records skipped (not loaded) at construction. */
+    std::uint64_t quarantineTally() const;
     /** Entries restored from the disk store at construction. */
     std::size_t loadedEntries() const { return _loadedEntries; }
     /** "" when memory-only. */
@@ -102,6 +114,7 @@ class ResultCache
 
     prof::Counter _hitCounter;
     prof::Counter _missCounter;
+    prof::Counter _quarantineCounter;
 };
 
 } // namespace cpelide

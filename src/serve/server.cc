@@ -6,11 +6,13 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "exec/sweep_runner.hh"
 #include "harness/harness.hh"
+#include "prof/registry.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
 #include "sim/version.hh"
@@ -23,6 +25,21 @@ namespace
 
 constexpr const char *kDefaultSocket = "simd.sock";
 
+/**
+ * A single request line may not exceed this. The protocol's flat
+ * lines are a few hundred bytes; a megabyte of unbroken input is a
+ * confused (or hostile) peer, and buffering it unboundedly would let
+ * one connection exhaust the daemon.
+ */
+constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+/**
+ * How long a writer blocks in one send() with zero progress before
+ * the connection is declared stalled. The bounded outbox is the
+ * primary defense; this bounds the final in-kernel-buffer write.
+ */
+constexpr int kSendTimeoutSec = 1;
+
 /** ServeResponse for a rejected/failed request (zeroed result). */
 ServeResponse
 errorResponse(std::uint64_t id, const std::string &why)
@@ -32,6 +49,14 @@ errorResponse(std::uint64_t id, const std::string &why)
     resp.ok = false;
     resp.error = why;
     return resp;
+}
+
+double
+elapsedMsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 } // namespace
@@ -46,6 +71,8 @@ SimServer::Config::fromEnv()
     cfg.cacheSize = eo.serveCacheSize;
     cfg.quota = eo.serveQuota;
     cfg.batch = eo.serveBatch;
+    cfg.maxQueue = eo.serveQueue;
+    cfg.writeBufBytes = eo.serveWriteBuf;
     return cfg;
 }
 
@@ -58,6 +85,10 @@ SimServer::SimServer(Config cfg)
         _cfg.quota = 1;
     if (_cfg.batch < 1)
         _cfg.batch = 1;
+    if (_cfg.maxQueue < 1)
+        _cfg.maxQueue = 1;
+    if (_cfg.writeBufBytes < 4096)
+        _cfg.writeBufBytes = 4096;
 }
 
 SimServer::~SimServer()
@@ -80,15 +111,32 @@ SimServer::start()
     std::strncpy(addr.sun_path, _cfg.socketPath.c_str(),
                  sizeof(addr.sun_path) - 1);
 
+    // A dead daemon leaves its socket file behind and rebinding over
+    // it is the expected restart path — but a *live* daemon's socket
+    // must never be clobbered. Probe-connect to tell them apart: a
+    // live daemon accepts, a stale file refuses.
+    if (::access(_cfg.socketPath.c_str(), F_OK) == 0) {
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe >= 0) {
+            const bool live =
+                ::connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0;
+            ::close(probe);
+            if (live) {
+                warn("simd: refusing to start: a live daemon already "
+                     "serves " + _cfg.socketPath);
+                return false;
+            }
+        }
+        ::unlink(_cfg.socketPath.c_str());
+    }
+
     _listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (_listenFd < 0) {
         warn("simd: cannot create socket: " +
              std::string(std::strerror(errno)));
         return false;
     }
-    // A dead daemon leaves its socket file behind; rebinding over it
-    // is the expected restart path.
-    ::unlink(_cfg.socketPath.c_str());
     if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0 ||
         ::listen(_listenFd, 64) != 0) {
@@ -99,6 +147,7 @@ SimServer::start()
         return false;
     }
 
+    _startTime = std::chrono::steady_clock::now();
     _stopping.store(false);
     _running.store(true);
     _acceptThread = std::thread([this] { acceptLoop(); });
@@ -142,10 +191,55 @@ SimServer::stop()
     if (_schedulerThread.joinable())
         _schedulerThread.join();
 
-    // 4. Every queued job has answered; now the write sides may go.
+    // 4. Every queued job has answered; the writers flush their
+    //    outboxes as they join, then the sockets may go.
     reapConnections(/*all=*/true);
 
     ::unlink(_cfg.socketPath.c_str());
+    _running.store(false);
+}
+
+void
+SimServer::abortStop()
+{
+    if (!_running.load())
+        return;
+    _stopping.store(true);
+
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+
+    // Kick every connection: both socket directions die and pending
+    // outboxes are discarded, so nothing queued gets answered.
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (const auto &conn : _connections)
+            dropConnection(*conn, /*countSlow=*/false);
+    }
+
+    // Discard queued work unanswered — a real SIGKILL answers nothing.
+    {
+        std::lock_guard<std::mutex> lock(_queueMutex);
+        for (PendingTask &task : _interactive)
+            task.conn->inFlight.fetch_sub(1);
+        for (PendingTask &task : _bulk)
+            task.conn->inFlight.fetch_sub(1);
+        _interactive.clear();
+        _bulk.clear();
+    }
+    _queueCv.notify_all();
+    if (_schedulerThread.joinable())
+        _schedulerThread.join();
+
+    reapConnections(/*all=*/true);
+
+    // Deliberately no unlink: a SIGKILLed daemon leaves its socket
+    // file behind, and start()'s probe-connect must take the stale
+    // path over. The chaos tests exercise exactly this residue.
     _running.store(false);
 }
 
@@ -163,9 +257,15 @@ SimServer::acceptLoop()
         const int fd = ::accept(_listenFd, nullptr, nullptr);
         if (fd < 0)
             continue;
+        // Bound how long one send() may sit on a full socket buffer;
+        // the writer treats a zero-progress expiry as a stalled peer.
+        timeval tv{};
+        tv.tv_sec = kSendTimeoutSec;
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         conn->reader = std::thread([this, conn] { readerLoop(conn); });
+        conn->writer = std::thread([this, conn] { writerLoop(conn); });
         std::lock_guard<std::mutex> lock(_connMutex);
         _connections.push_back(std::move(conn));
     }
@@ -192,6 +292,21 @@ SimServer::readerLoop(const std::shared_ptr<Connection> &conn)
                 handleLine(conn, line);
         }
         buffer.erase(0, pos);
+        if (buffer.size() > kMaxLineBytes) {
+            // An unbroken megabyte is not a protocol line. Answer a
+            // classified rejection, stop reading, and let the writer
+            // flush it before the reap closes the socket.
+            {
+                std::lock_guard<std::mutex> lock(_statMutex);
+                ++_rejected;
+            }
+            respond(*conn,
+                    encodeServeResponse(errorResponse(
+                        0, "oversized line (over " +
+                               std::to_string(kMaxLineBytes) +
+                               " bytes without a newline)")));
+            break;
+        }
     }
     conn->closed.store(true);
 }
@@ -202,7 +317,10 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
 {
     std::string type;
     if (!serveLineType(line, &type)) {
-        _rejected.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(_statMutex);
+            ++_rejected;
+        }
         respond(*conn, encodeServeResponse(
                            errorResponse(0, "unparsable line")));
         return;
@@ -212,11 +330,18 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
         respond(*conn, encodeServeStats(stats()));
         return;
     }
+    if (type == "health") {
+        respond(*conn, encodeServeHealth(health()));
+        return;
+    }
 
     ServeRequest req;
     std::string error;
     if (!decodeServeRequest(line, &req, &error)) {
-        _rejected.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(_statMutex);
+            ++_rejected;
+        }
         respond(*conn, encodeServeResponse(errorResponse(req.id, error)));
         return;
     }
@@ -224,7 +349,10 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
     // Quota: reject instead of queueing so a greedy client's backlog
     // cannot crowd out everyone else's lane.
     if (conn->inFlight.load() >= _cfg.quota) {
-        _rejected.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(_statMutex);
+            ++_rejected;
+        }
         respond(*conn,
                 encodeServeResponse(errorResponse(
                     req.id, "quota exceeded (" +
@@ -233,7 +361,10 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
         return;
     }
 
-    _requests.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(_statMutex);
+        ++_requests;
+    }
     const std::uint64_t hash = requestHash(req.run, engineVersion());
 
     // The microseconds path: a content hit never touches the pool.
@@ -248,16 +379,75 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
         return;
     }
 
-    conn->inFlight.fetch_add(1);
+    // Shedding: the global queue is bounded. At the bound an incoming
+    // bulk request is shed outright; an incoming interactive request
+    // evicts the *youngest bulk* entry instead (bulk sheds first), and
+    // is only shed itself when no bulk remains to evict. Every shed
+    // answer carries a retry hint scaled to the backlog.
+    const std::uint64_t requestId = req.id;
+    bool shedIncoming = false;
+    bool haveVictim = false;
+    PendingTask victim;
+    std::size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(_queueMutex);
-        PendingTask task{conn, std::move(req), hash};
-        if (task.req.priority == ServePriority::Bulk)
-            _bulk.push_back(std::move(task));
-        else
-            _interactive.push_back(std::move(task));
+        depth = _interactive.size() + _bulk.size();
+        if (depth >= static_cast<std::size_t>(_cfg.maxQueue)) {
+            if (req.priority == ServePriority::Bulk || _bulk.empty()) {
+                shedIncoming = true;
+            } else {
+                victim = std::move(_bulk.back());
+                _bulk.pop_back();
+                haveVictim = true;
+            }
+        }
+        if (!shedIncoming) {
+            conn->inFlight.fetch_add(1);
+            PendingTask task{conn, std::move(req), hash,
+                             std::chrono::steady_clock::now()};
+            if (task.req.priority == ServePriority::Bulk)
+                _bulk.push_back(std::move(task));
+            else
+                _interactive.push_back(std::move(task));
+        }
+    }
+    const std::uint64_t hint = retryAfterHintMs(depth);
+    if (shedIncoming || haveVictim) {
+        std::lock_guard<std::mutex> lock(_statMutex);
+        ++_shed;
+    }
+    if (haveVictim) {
+        ServeResponse resp = errorResponse(
+            victim.req.id, "shed: queue full (" + std::to_string(depth) +
+                               " queued, bound " +
+                               std::to_string(_cfg.maxQueue) +
+                               "), bulk evicted for interactive");
+        resp.retryAfterMs = hint;
+        respond(*victim.conn, encodeServeResponse(resp));
+        victim.conn->inFlight.fetch_sub(1);
+    }
+    if (shedIncoming) {
+        ServeResponse resp = errorResponse(
+            requestId, "shed: queue full (" + std::to_string(depth) +
+                           " queued, bound " +
+                           std::to_string(_cfg.maxQueue) + ")");
+        resp.retryAfterMs = hint;
+        respond(*conn, encodeServeResponse(resp));
+        return;
     }
     _queueCv.notify_one();
+}
+
+std::uint64_t
+SimServer::retryAfterHintMs(std::size_t depth) const
+{
+    // Deterministic backlog-proportional hint: one nominal batch-time
+    // (100 ms) per queued batch ahead of the caller, capped so a
+    // pathological backlog never tells a client to sleep for minutes.
+    const std::uint64_t batches =
+        depth / static_cast<std::size_t>(_cfg.batch) + 1;
+    const std::uint64_t hint = batches * 100;
+    return hint > 5000 ? 5000 : hint;
 }
 
 void
@@ -288,10 +478,38 @@ SimServer::schedulerLoop()
                 continue;
             }
         }
+        // A request whose deadline passed while it sat in the queue is
+        // answered right here — classified, correlated, unsimulated.
+        std::vector<PendingTask> live;
+        live.reserve(batch.size());
+        for (PendingTask &task : batch) {
+            const double waitedMs = elapsedMsSince(task.enqueued);
+            if (task.req.deadlineMs > 0 &&
+                waitedMs >= static_cast<double>(task.req.deadlineMs)) {
+                {
+                    std::lock_guard<std::mutex> lock(_statMutex);
+                    ++_deadlineExpired;
+                }
+                respond(*task.conn,
+                        encodeServeResponse(errorResponse(
+                            task.req.id,
+                            "deadline: expired in queue after " +
+                                std::to_string(
+                                    static_cast<std::uint64_t>(waitedMs)) +
+                                " ms (deadline " +
+                                std::to_string(task.req.deadlineMs) +
+                                " ms)")));
+                task.conn->inFlight.fetch_sub(1);
+                continue;
+            }
+            live.push_back(std::move(task));
+        }
+        if (live.empty())
+            continue;
         // Synchronous: every job in the batch has answered (via
         // onOutcome) by the time run() returns, so when this thread is
         // back at wait() nothing is ever half-done.
-        runBatch(std::move(batch));
+        runBatch(std::move(live));
     }
 }
 
@@ -302,32 +520,68 @@ SimServer::runBatch(std::vector<PendingTask> tasks)
     // journal on the daemon process can never alias two batches.
     SweepSpec spec{"serve#" + std::to_string(_batchSeq++), {}};
     spec.jobs.reserve(tasks.size());
-    for (const PendingTask &task : tasks)
-        spec.jobs.push_back(makeJob(task.req.run));
+    for (const PendingTask &task : tasks) {
+        Job job = makeJob(task.req.run);
+        if (task.req.deadlineMs > 0) {
+            // Clamp the remaining deadline onto the job's watchdog
+            // budget: the job can never run longer than the client is
+            // still waiting, and an env/spec wall budget tighter than
+            // the deadline stays in force.
+            double remainingMs =
+                static_cast<double>(task.req.deadlineMs) -
+                elapsedMsSince(task.enqueued);
+            if (remainingMs < 1.0)
+                remainingMs = 1.0;
+            SimBudget budget = SimBudget::fromEnv();
+            if (budget.maxWallMs <= 0.0 || remainingMs < budget.maxWallMs)
+                budget.maxWallMs = remainingMs;
+            job.budget = budget;
+        }
+        spec.jobs.push_back(std::move(job));
+    }
+
+    _executing.fetch_add(static_cast<int>(tasks.size()));
 
     // Stream each response the moment its job completes (completion
     // order, worker-thread context) — the exec submission hook.
     spec.onOutcome = [this, &tasks](std::size_t index,
                                     const JobOutcome &outcome) {
         const PendingTask &task = tasks[index];
-        _simulations.fetch_add(1);
         ServeResponse resp;
         resp.id = task.req.id;
         resp.cached = false;
         if (outcome.ok) {
             resp.ok = true;
             resp.result = outcome.result;
-            _simEvents.fetch_add(outcome.result.simEvents);
+            {
+                std::lock_guard<std::mutex> lock(_statMutex);
+                ++_simulations;
+                _simEvents += outcome.result.simEvents;
+            }
             _cache.insert(task.hash, canonicalRequestLine(task.req.run),
                           outcome.result);
         } else {
             resp.ok = false;
-            resp.error = std::string(jobErrorName(outcome.kind)) + ": " +
-                         outcome.error;
-            _failures.fetch_add(1);
+            // A timeout on a deadline-clamped job whose deadline has
+            // since passed is the deadline firing, not a stuck
+            // simulation — classify it as such for the client.
+            const bool deadlineHit =
+                outcome.kind == JobErrorKind::Timeout &&
+                task.req.deadlineMs > 0 &&
+                elapsedMsSince(task.enqueued) >=
+                    static_cast<double>(task.req.deadlineMs);
+            const char *kindName =
+                deadlineHit ? "deadline" : jobErrorName(outcome.kind);
+            resp.error = std::string(kindName) + ": " + outcome.error;
+            std::lock_guard<std::mutex> lock(_statMutex);
+            ++_simulations;
+            ++_failures;
+            if (deadlineHit)
+                ++_deadlineExpired;
         }
         respond(*task.conn, encodeServeResponse(resp));
         task.conn->inFlight.fetch_sub(1);
+        _executing.fetch_sub(1);
     };
 
     SweepRunner runner(_cfg.jobs > 0 ? _cfg.jobs : jobsFromEnv());
@@ -337,17 +591,93 @@ SimServer::runBatch(std::vector<PendingTask> tasks)
 void
 SimServer::respond(Connection &conn, const std::string &line)
 {
-    std::lock_guard<std::mutex> lock(conn.writeMutex);
-    std::string framed = line;
-    framed += '\n';
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n =
-            ::send(conn.fd, framed.data() + sent, framed.size() - sent,
-                   MSG_NOSIGNAL);
-        if (n <= 0)
-            return; // peer gone; results stay in the cache regardless
-        sent += static_cast<std::size_t>(n);
+    // Enqueue-only: the per-connection writer thread owns the socket
+    // write side, so a slow peer can never block the caller (which may
+    // be a pool worker inside onOutcome). Overflowing the bounded
+    // outbox means the peer stopped reading — it gets disconnected.
+    bool overflow = false;
+    {
+        std::lock_guard<std::mutex> lock(conn.writeMutex);
+        if (conn.dropped.load())
+            return; // already kicked; results stay in the cache
+        std::string framed = line;
+        framed += '\n';
+        if (conn.outboxBytes + framed.size() > _cfg.writeBufBytes) {
+            overflow = true;
+        } else {
+            conn.outboxBytes += framed.size();
+            conn.outbox.push_back(std::move(framed));
+        }
+    }
+    if (overflow) {
+        dropConnection(conn, /*countSlow=*/true);
+        return;
+    }
+    conn.writeCv.notify_one();
+}
+
+void
+SimServer::writerLoop(const std::shared_ptr<Connection> &conn)
+{
+    for (;;) {
+        std::string framed;
+        {
+            std::unique_lock<std::mutex> lock(conn->writeMutex);
+            conn->writeCv.wait(lock, [&] {
+                return !conn->outbox.empty() || conn->writerStop ||
+                       conn->dropped.load();
+            });
+            if (conn->dropped.load())
+                return;
+            if (conn->outbox.empty()) {
+                if (conn->writerStop)
+                    return; // stopped and flushed
+                continue;
+            }
+            framed = std::move(conn->outbox.front());
+            conn->outbox.pop_front();
+            conn->outboxBytes -= framed.size();
+        }
+        std::size_t sent = 0;
+        while (sent < framed.size()) {
+            const ssize_t n =
+                ::send(conn->fd, framed.data() + sent,
+                       framed.size() - sent, MSG_NOSIGNAL);
+            if (n > 0) {
+                sent += static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            // A zero-progress SO_SNDTIMEO expiry is a stalled reader;
+            // anything else is a gone peer. Either way this connection
+            // is done — and only this connection.
+            const bool stalled =
+                n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+            dropConnection(*conn, stalled);
+            return;
+        }
+    }
+}
+
+void
+SimServer::dropConnection(Connection &conn, bool countSlow)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn.writeMutex);
+        if (conn.dropped.load())
+            return;
+        conn.dropped.store(true);
+        conn.outbox.clear();
+        conn.outboxBytes = 0;
+    }
+    // Wakes the reader (recv returns 0) and fails any in-flight writer
+    // send immediately.
+    ::shutdown(conn.fd, SHUT_RDWR);
+    conn.writeCv.notify_all();
+    if (countSlow) {
+        std::lock_guard<std::mutex> lock(_statMutex);
+        ++_slowDisconnects;
     }
 }
 
@@ -371,6 +701,13 @@ SimServer::reapConnections(bool all)
         }
     }
     for (const auto &conn : dead) {
+        {
+            std::lock_guard<std::mutex> lock(conn->writeMutex);
+            conn->writerStop = true;
+        }
+        conn->writeCv.notify_all();
+        if (conn->writer.joinable())
+            conn->writer.join(); // flushes the outbox unless dropped
         if (conn->reader.joinable())
             conn->reader.join();
         if (conn->fd >= 0) {
@@ -384,16 +721,78 @@ ServeStats
 SimServer::stats() const
 {
     ServeStats s;
-    s.requests = _requests.load();
-    s.rejected = _rejected.load();
+    {
+        std::lock_guard<std::mutex> lock(_statMutex);
+        s.requests = _requests.value();
+        s.rejected = _rejected.value();
+        s.simulations = _simulations.value();
+        s.failures = _failures.value();
+        s.simEvents = _simEvents.value();
+        s.shed = _shed.value();
+        s.deadlineExpired = _deadlineExpired.value();
+        s.slowDisconnects = _slowDisconnects.value();
+    }
     s.cacheHits = _cache.hitTally();
     s.cacheMisses = _cache.missTally();
-    s.simulations = _simulations.load();
-    s.failures = _failures.load();
-    s.simEvents = _simEvents.load();
     s.cacheEntries = _cache.entries();
+    s.quarantined = _cache.quarantineTally();
     s.engineVersion = engineVersion();
     return s;
 }
 
+ServeHealth
+SimServer::health() const
+{
+    ServeHealth h;
+    {
+        std::lock_guard<std::mutex> lock(_queueMutex);
+        h.queueInteractive = _interactive.size();
+        h.queueBulk = _bulk.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        h.connections = _connections.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_statMutex);
+        h.shed = _shed.value();
+        h.deadlineExpired = _deadlineExpired.value();
+        h.slowDisconnects = _slowDisconnects.value();
+    }
+    const int executing = _executing.load();
+    h.executing = executing < 0 ? 0 : static_cast<std::uint64_t>(executing);
+    h.quarantined = _cache.quarantineTally();
+    h.uptimeMs = static_cast<std::uint64_t>(elapsedMsSince(_startTime));
+    h.engineVersion = engineVersion();
+    return h;
+}
+
+void
+SimServer::registerProf(prof::ProfRegistry &reg) const
+{
+    const auto counterGauge = [this](const prof::Counter &c) {
+        return [this, &c] {
+            std::lock_guard<std::mutex> lock(_statMutex);
+            return c.value();
+        };
+    };
+    reg.addGauge("serve/requests", counterGauge(_requests));
+    reg.addGauge("serve/rejected", counterGauge(_rejected));
+    reg.addGauge("serve/shed", counterGauge(_shed));
+    reg.addGauge("serve/deadline-expired", counterGauge(_deadlineExpired));
+    reg.addGauge("serve/slow-disconnects", counterGauge(_slowDisconnects));
+    reg.addGauge("serve/simulations", counterGauge(_simulations));
+    reg.addGauge("serve/failures", counterGauge(_failures));
+    reg.addGauge("serve/sim-events", counterGauge(_simEvents));
+    reg.addGauge("serve/cache-hits", [this] { return _cache.hitTally(); });
+    reg.addGauge("serve/cache-misses",
+                 [this] { return _cache.missTally(); });
+    reg.addGauge("serve/cache-entries", [this] {
+        return static_cast<std::uint64_t>(_cache.entries());
+    });
+    reg.addGauge("serve/quarantined",
+                 [this] { return _cache.quarantineTally(); });
+}
+
 } // namespace cpelide
+

@@ -14,21 +14,43 @@
  * SweepSpec::onOutcome submission hook; failures are classified and
  * isolated per request, never per batch.
  *
- * Per-client quotas (CPELIDE_SERVE_QUOTA) bound how many requests one
- * connection may have in flight; excess asks are rejected immediately
- * rather than queued, so one greedy client cannot wedge the daemon.
+ * Resilience (docs/SERVING.md "Resilience"):
+ *  - Per-request deadlines: a request still queued when its
+ *    deadlineMs passes is answered with a classified "deadline" error
+ *    without simulating; one that starts in time has the remaining
+ *    deadline clamped onto its job's watchdog budget.
+ *  - Load shedding: the global queue is bounded
+ *    (CPELIDE_SERVE_QUEUE); at the bound the bulk lane sheds first,
+ *    and every shed rejection carries a retryAfterMs hint.
+ *  - Non-blocking writers: each connection has a writer thread behind
+ *    a bounded outbox (CPELIDE_SERVE_WRITEBUF), so a slow or stuck
+ *    reader is disconnected instead of stalling the onOutcome hook —
+ *    one wedged client can never back up everyone else's results.
+ *  - Per-client quotas (CPELIDE_SERVE_QUOTA) bound how many requests
+ *    one connection may have in flight; excess asks are rejected
+ *    immediately rather than queued.
+ *  - A "health" probe reports lane depths, in-flight work, shed /
+ *    deadline / quarantine counters, and uptime.
+ *
+ * start() refuses to clobber a *live* daemon's socket: the path is
+ * probe-connected first and only a dead (connection-refused) file is
+ * replaced.
  *
  * Shutdown (requestStop()/stop()) is a drain, not an abort: the
  * listener closes, readers stop consuming new requests, every queued
  * job still runs and answers, completed results are already persisted
  * to the on-disk cache store — so a restart resumes with the warm
  * cache and a re-submitted in-flight request is served from it.
+ * abortStop() is the opposite — an immediate teardown that answers
+ * nothing and leaves the socket file behind, emulating a SIGKILL for
+ * the chaos tests.
  */
 
 #ifndef CPELIDE_SERVE_SERVER_HH
 #define CPELIDE_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,11 +60,17 @@
 #include <thread>
 #include <vector>
 
+#include "prof/counter.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 
 namespace cpelide
 {
+
+namespace prof
+{
+class ProfRegistry;
+}
 
 class SimServer
 {
@@ -61,6 +89,11 @@ class SimServer
         int batch = 32;
         /** SweepRunner workers (0 = CPELIDE_JOBS / hw concurrency). */
         int jobs = 0;
+        /** Global queued-request bound; at the bound, bulk sheds first. */
+        int maxQueue = 256;
+        /** Per-connection outbox bound (bytes) before a stalled
+         *  reader is disconnected. */
+        std::size_t writeBufBytes = 4u << 20;
 
         /** Defaults from the CPELIDE_SERVE_* knobs (ExecOptions). */
         static Config fromEnv();
@@ -73,9 +106,11 @@ class SimServer
     SimServer &operator=(const SimServer &) = delete;
 
     /**
-     * Bind the socket (replacing a stale file from a dead daemon),
-     * then spawn the accept and scheduler threads. @return false with
-     * a warn() on bind/listen failure.
+     * Bind the socket, then spawn the accept and scheduler threads.
+     * A pre-existing socket file is probe-connected first: a live
+     * daemon is never clobbered (start() fails with a warn()), only a
+     * stale file from a dead daemon is replaced. @return false with a
+     * warn() on probe/bind/listen failure.
      */
     bool start();
 
@@ -89,20 +124,46 @@ class SimServer
     /** Drain queued work, join every thread, close and unlink. */
     void stop();
 
+    /**
+     * Immediate teardown for crash emulation (chaos tests): close
+     * every connection without answering queued work and *leave the
+     * socket file behind*, exactly the residue a SIGKILLed daemon
+     * leaves. Completed results are already on disk, so a warm
+     * restart serves them as "cached":1.
+     */
+    void abortStop();
+
     bool running() const { return _running.load(); }
     const std::string &socketPath() const { return _cfg.socketPath; }
 
     /** Live counter snapshot (the "stats" protocol answer). */
     ServeStats stats() const;
 
+    /** Live pressure/liveness snapshot (the "health" answer). */
+    ServeHealth health() const;
+
+    /**
+     * Register the serve counters as gauges under "serve/..." so a
+     * profile report (--profile / CPELIDE_PROFILE) covers the daemon
+     * itself. The registry must not outlive this server.
+     */
+    void registerProf(prof::ProfRegistry &reg) const;
+
   private:
     struct Connection
     {
         int fd = -1;
+        /** Guards outbox/outboxBytes/writerStop; writeCv signals. */
         std::mutex writeMutex;
+        std::condition_variable writeCv;
+        std::deque<std::string> outbox;
+        std::size_t outboxBytes = 0;
+        bool writerStop = false;
         std::atomic<int> inFlight{0};
-        std::atomic<bool> closed{false};
+        std::atomic<bool> closed{false};  //!< reader finished
+        std::atomic<bool> dropped{false}; //!< kicked (stalled/overflow)
         std::thread reader;
+        std::thread writer;
     };
 
     struct PendingTask
@@ -110,6 +171,8 @@ class SimServer
         std::shared_ptr<Connection> conn;
         ServeRequest req;
         std::uint64_t hash = 0;
+        /** When the reader enqueued it (deadline accounting). */
+        std::chrono::steady_clock::time_point enqueued;
     };
 
     void acceptLoop();
@@ -118,8 +181,15 @@ class SimServer
                     const std::string &line);
     void schedulerLoop();
     void runBatch(std::vector<PendingTask> tasks);
+    /** Enqueue @p line on the connection's writer (never blocks on
+     *  the peer; overflow disconnects the connection). */
     void respond(Connection &conn, const std::string &line);
+    void writerLoop(const std::shared_ptr<Connection> &conn);
+    /** Kick a connection (stalled reader / dead peer). */
+    void dropConnection(Connection &conn, bool countSlow);
     void reapConnections(bool all);
+    /** Shed hint for a queue @p depth: when to try again. */
+    std::uint64_t retryAfterHintMs(std::size_t depth) const;
 
     Config _cfg;
     ResultCache _cache;
@@ -129,22 +199,31 @@ class SimServer
     std::atomic<bool> _stopping{false};
     std::thread _acceptThread;
     std::thread _schedulerThread;
+    std::chrono::steady_clock::time_point _startTime;
 
-    std::mutex _connMutex;
+    mutable std::mutex _connMutex;
     std::vector<std::shared_ptr<Connection>> _connections;
 
-    std::mutex _queueMutex;
+    mutable std::mutex _queueMutex;
     std::condition_variable _queueCv;
     std::deque<PendingTask> _interactive;
     std::deque<PendingTask> _bulk;
     /** Scheduler-thread-only: names each batch's SweepSpec uniquely. */
     std::uint64_t _batchSeq = 0;
 
-    std::atomic<std::uint64_t> _requests{0};
-    std::atomic<std::uint64_t> _rejected{0};
-    std::atomic<std::uint64_t> _simulations{0};
-    std::atomic<std::uint64_t> _failures{0};
-    std::atomic<std::uint64_t> _simEvents{0};
+    /** Jobs currently inside the pool (lane occupancy in health). */
+    std::atomic<int> _executing{0};
+
+    /** Cumulative counters (ServeStats), guarded by _statMutex. */
+    mutable std::mutex _statMutex;
+    prof::Counter _requests;
+    prof::Counter _rejected;
+    prof::Counter _shed;
+    prof::Counter _deadlineExpired;
+    prof::Counter _slowDisconnects;
+    prof::Counter _simulations;
+    prof::Counter _failures;
+    prof::Counter _simEvents;
 };
 
 } // namespace cpelide

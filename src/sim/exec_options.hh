@@ -82,6 +82,14 @@ struct ExecOptions
     int serveQuota = 64;
     /** CPELIDE_SERVE_BATCH: max requests batched into one SweepSpec. */
     int serveBatch = 32;
+    /** CPELIDE_SERVE_QUEUE: global queued-request cap (load shedding). */
+    int serveQueue = 256;
+    /** CPELIDE_SERVE_WRITEBUF: per-connection output buffer (bytes). */
+    std::size_t serveWriteBuf = 4u << 20;
+    /** CPELIDE_SERVE_TIMEOUT_MS: client connect/receive timeout. */
+    double serveTimeoutMs = 5000.0;
+    /** CPELIDE_SERVE_RETRIES: client retries of transient failures. */
+    int serveRetries = 3;
 
     /**
      * The knob table: one row per variable any component reads. Keep
@@ -111,6 +119,10 @@ struct ExecOptions
             {"CPELIDE_SERVE_CACHE_SIZE", "simd cache LRU entries"},
             {"CPELIDE_SERVE_QUOTA", "simd per-client in-flight cap"},
             {"CPELIDE_SERVE_BATCH", "simd max batch per sweep"},
+            {"CPELIDE_SERVE_QUEUE", "simd queued-request cap"},
+            {"CPELIDE_SERVE_WRITEBUF", "simd per-conn outbox bytes"},
+            {"CPELIDE_SERVE_TIMEOUT_MS", "client connect/recv timeout"},
+            {"CPELIDE_SERVE_RETRIES", "client transient retry cap"},
         };
         return table;
     }
@@ -189,6 +201,30 @@ struct ExecOptions
             const long v = std::strtol(s, &end, 10);
             if (end != s && *end == '\0' && v > 0)
                 o.serveBatch = static_cast<int>(std::min<long>(v, 1024));
+        }
+        if (const char *s = raw("CPELIDE_SERVE_QUEUE")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.serveQueue = static_cast<int>(std::min<long>(v, 65536));
+        }
+        if (const char *s = raw("CPELIDE_SERVE_WRITEBUF")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.serveWriteBuf = static_cast<std::size_t>(v);
+        }
+        if (const char *s = raw("CPELIDE_SERVE_TIMEOUT_MS")) {
+            char *end = nullptr;
+            const double v = std::strtod(s, &end);
+            if (end != s && *end == '\0' && v >= 0)
+                o.serveTimeoutMs = v;
+        }
+        if (const char *s = raw("CPELIDE_SERVE_RETRIES")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v >= 0)
+                o.serveRetries = static_cast<int>(std::min<long>(v, 16));
         }
         return o;
     }

@@ -44,6 +44,32 @@ appendSep(std::string &out)
 }
 
 void
+fnvMix(std::uint64_t &h, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvMixStr(std::uint64_t &h, const std::string &s)
+{
+    const std::uint64_t len = s.size();
+    fnvMix(h, &len, sizeof(len));
+    fnvMix(h, s.data(), s.size());
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMix(h, s.data(), s.size());
+    return h;
+}
+
+void
 appendStr(std::string &out, const char *key, const std::string &value)
 {
     appendSep(out);

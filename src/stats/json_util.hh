@@ -18,6 +18,7 @@
 #ifndef CPELIDE_STATS_JSON_UTIL_HH
 #define CPELIDE_STATS_JSON_UTIL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,22 @@ void appendStr(std::string &out, const char *key,
 void appendU64(std::string &out, const char *key, std::uint64_t value);
 void appendI64(std::string &out, const char *key, std::int64_t value);
 void appendDouble(std::string &out, const char *key, double value);
+
+/** FNV-1a 64-bit offset basis / prime (shared by every tree hash). */
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/** Mix @p len raw bytes into the running FNV-1a hash @p h. */
+void fnvMix(std::uint64_t &h, const void *data, std::size_t len);
+
+/**
+ * Mix a length-prefixed string into @p h, so ("ab","c") != ("a","bc")
+ * across consecutive fields.
+ */
+void fnvMixStr(std::uint64_t &h, const std::string &s);
+
+/** One-shot FNV-1a 64 over @p s (no length prefix). */
+std::uint64_t fnv1a64(const std::string &s);
 
 } // namespace json
 

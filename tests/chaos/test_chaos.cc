@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Socket-level chaos harness for the simd serving path.
+ *
+ * Two experiments, both deterministic under a fixed Rng seed:
+ *
+ *  1. SeededFaultBarrage — a storm of misbehaving connections
+ *     (instant disconnects, garbage, requests abandoned mid-line or
+ *     mid-answer, readers that stall with unread pipelined responses)
+ *     interleaved with well-behaved probes. The daemon must answer
+ *     every well-behaved request and finish the storm healthy.
+ *
+ *  2. KillMidBatchWarmRestartAnswersByteIdentical — the crash-recovery
+ *     contract end to end: SIGKILL is emulated with
+ *     SimServer::abortStop() (threads torn down, queues discarded,
+ *     socket file left behind exactly as a dead process leaves it); a
+ *     successor daemon on the same cache directory takes over the
+ *     stale socket; the client reconnects and resubmits everything
+ *     unanswered; every response — replayed from the warm cache or
+ *     re-simulated — is byte-identical to an unharmed baseline run,
+ *     modulo the "cached" marker.
+ *
+ * Protocol-level (parser) fuzzing lives in tests/test_serve_fuzz.cc;
+ * this harness attacks connections and process lifetime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/rng.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+std::string
+testSocket(const std::string &tag)
+{
+    const std::string path = std::string(::testing::TempDir()) + "chaos_" +
+                             tag + std::to_string(getpid()) + ".sock";
+    std::remove(path.c_str());
+    return path;
+}
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : _path(std::string(::testing::TempDir()) + "cpelide_chaos_" +
+                tag + "_" + std::to_string(getpid()))
+    {
+        std::filesystem::remove_all(_path);
+    }
+    ~TempDir() { std::filesystem::remove_all(_path); }
+    const std::string &str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+ServeRequest
+squareRequest(std::uint64_t id, const std::string &label = "")
+{
+    ServeRequest req;
+    req.id = id;
+    req.run.workload = "Square";
+    req.run.protocol = ProtocolKind::CpElide;
+    req.run.chiplets = 2;
+    req.run.scale = 0.05;
+    req.run.label = label;
+    return req;
+}
+
+int
+rawConnect(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+rawSend(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * A response line with its "cached" marker neutralized, so a replay
+ * from the warm cache compares equal to the original computation —
+ * the byte-identity the whole recovery scheme rests on.
+ */
+std::string
+normalized(const std::string &line)
+{
+    std::string out = line;
+    const std::size_t at = out.find("\"cached\":");
+    if (at != std::string::npos &&
+        at + std::string("\"cached\":").size() < out.size()) {
+        out[at + std::string("\"cached\":").size()] = '#';
+    }
+    return out;
+}
+
+/** Read @p n raw response lines, settling and mapping them by id. */
+bool
+collectById(SimClient &client, int n,
+            std::map<std::uint64_t, std::string> *byId)
+{
+    for (int i = 0; i < n; ++i) {
+        std::string line;
+        if (!client.recvLine(&line))
+            return false;
+        ServeResponse resp;
+        if (!decodeServeResponse(line, &resp))
+            return false;
+        client.settle(resp.id);
+        (*byId)[resp.id] = line;
+    }
+    return true;
+}
+
+TEST(Chaos, SeededFaultBarrageNeverWedgesTheServer)
+{
+    TempDir cacheDir("barrage");
+    SimServer::Config cfg;
+    cfg.socketPath = testSocket("brg");
+    cfg.cacheDir = cacheDir.str();
+    cfg.cacheSize = 64;
+    cfg.quota = 16;
+    cfg.batch = 4;
+    cfg.jobs = 2;
+    cfg.writeBufBytes = 4096; // small outbox: stalls trip quickly
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient::Options opts;
+    opts.recvTimeoutMs = 60000.0;
+    SimClient probe(opts);
+    ASSERT_TRUE(probe.connect(server.socketPath()));
+    ServeResponse warm;
+    ASSERT_TRUE(probe.request(squareRequest(1), &warm));
+    ASSERT_TRUE(warm.ok) << warm.error;
+    const std::string cachedLine = encodeServeRequest(squareRequest(1));
+
+    Rng rng(0xDECAF123u);
+    for (int round = 0; round < 40; ++round) {
+        const int fd = rawConnect(server.socketPath());
+        ASSERT_GE(fd, 0) << "stopped accepting at round " << round;
+        switch (rng.below(5)) {
+          case 0: // connect and vanish
+            break;
+          case 1: { // garbage, then vanish
+            std::string junk;
+            const std::size_t len = rng.range(1, 64);
+            for (std::size_t i = 0; i < len; ++i) {
+                char c = static_cast<char>(rng.below(256));
+                junk += c == '\n' ? ' ' : c;
+            }
+            rawSend(fd, junk + "\n");
+            break;
+          }
+          case 2: { // abandon a request mid-line
+            std::string line = encodeServeRequest(
+                squareRequest(100 + static_cast<std::uint64_t>(round)));
+            line.resize(rng.range(1, line.size() - 1));
+            rawSend(fd, line);
+            break;
+          }
+          case 3: // submit, never read the answer
+            rawSend(fd, cachedLine + "\n");
+            break;
+          case 4: { // stalled reader: pipeline cached answers, read none
+            const std::size_t repeats = rng.range(50, 200);
+            for (std::size_t i = 0; i < repeats; ++i) {
+                if (!rawSend(fd, cachedLine + "\n"))
+                    break; // daemon kicked us: that is the mechanism
+            }
+            break;
+          }
+        }
+        ::close(fd);
+
+        ServeResponse resp;
+        ASSERT_TRUE(probe.request(squareRequest(1), &resp))
+            << "probe wedged at round " << round;
+        ASSERT_TRUE(resp.ok) << resp.error;
+    }
+
+    ServeHealth health;
+    ASSERT_TRUE(probe.health(&health));
+    EXPECT_EQ(health.queueInteractive + health.queueBulk, 0u);
+    EXPECT_EQ(health.executing, 0u);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(Chaos, KillMidBatchWarmRestartAnswersByteIdentical)
+{
+    const int kRequests = 6;
+
+    // Unharmed baseline: same six requests against a daemon that never
+    // crashes, on its own cache directory.
+    std::map<std::uint64_t, std::string> baseline;
+    {
+        TempDir cacheDir("baseline");
+        SimServer::Config cfg;
+        cfg.socketPath = testSocket("bas");
+        cfg.cacheDir = cacheDir.str();
+        cfg.cacheSize = 64;
+        cfg.quota = 64;
+        cfg.batch = 2;
+        cfg.jobs = 1;
+        SimServer server(cfg);
+        ASSERT_TRUE(server.start());
+        SimClient client;
+        ASSERT_TRUE(client.connect(server.socketPath()));
+        for (int i = 1; i <= kRequests; ++i) {
+            ASSERT_TRUE(client.send(squareRequest(
+                static_cast<std::uint64_t>(i),
+                "r" + std::to_string(i))));
+        }
+        ASSERT_TRUE(collectById(client, kRequests, &baseline));
+        server.stop();
+    }
+    ASSERT_EQ(baseline.size(), static_cast<std::size_t>(kRequests));
+
+    // Chaos run: same requests, but the daemon is killed mid-batch.
+    TempDir cacheDir("victim");
+    SimServer::Config cfg;
+    cfg.socketPath = testSocket("vic");
+    cfg.cacheDir = cacheDir.str();
+    cfg.cacheSize = 64;
+    cfg.quota = 64;
+    cfg.batch = 2;
+    cfg.jobs = 1;
+
+    SimClient::Options opts;
+    opts.recvTimeoutMs = 60000.0;
+    SimClient client(opts);
+    std::map<std::uint64_t, std::string> chaos;
+
+    SimServer victim(cfg);
+    ASSERT_TRUE(victim.start());
+    ASSERT_TRUE(client.connect(victim.socketPath()));
+    for (int i = 1; i <= kRequests; ++i) {
+        ASSERT_TRUE(client.send(squareRequest(
+            static_cast<std::uint64_t>(i), "r" + std::to_string(i))));
+    }
+    // Read two answers, then "kill -9" the daemon: threads torn down,
+    // queued work discarded, socket file left on disk.
+    ASSERT_TRUE(collectById(client, 2, &chaos));
+    victim.abortStop();
+    EXPECT_FALSE(victim.running());
+    ASSERT_TRUE(std::filesystem::exists(cfg.socketPath))
+        << "abortStop must leave the socket file, like a real SIGKILL";
+
+    // Warm restart on the same cache directory: the successor probes
+    // the stale socket, finds no listener, and takes it over.
+    SimServer successor(cfg);
+    ASSERT_TRUE(successor.start())
+        << "successor refused the stale socket of a dead daemon";
+
+    // The client reconnects and resubmits everything unanswered.
+    ASSERT_EQ(client.pending(), static_cast<std::size_t>(kRequests - 2));
+    ASSERT_TRUE(client.reconnect());
+    EXPECT_EQ(client.resubmitted(),
+              static_cast<std::uint64_t>(kRequests - 2));
+    ASSERT_TRUE(collectById(client, kRequests - 2, &chaos));
+
+    // Every answer — pre-crash, cache-replayed, or re-simulated — is
+    // byte-identical to the unharmed baseline, modulo "cached".
+    ASSERT_EQ(chaos.size(), static_cast<std::size_t>(kRequests));
+    for (const auto &entry : baseline) {
+        const auto it = chaos.find(entry.first);
+        ASSERT_NE(it, chaos.end()) << "id " << entry.first;
+        EXPECT_EQ(normalized(it->second), normalized(entry.second))
+            << "id " << entry.first;
+    }
+
+    // A request the victim already answered replays from the warm
+    // cache: "cached":1 and byte-identical payload.
+    const std::uint64_t replayId = chaos.begin()->first;
+    ASSERT_TRUE(client.send(squareRequest(
+        replayId, "r" + std::to_string(replayId))));
+    std::string line;
+    ASSERT_TRUE(client.recvLine(&line));
+    ServeResponse replay;
+    ASSERT_TRUE(decodeServeResponse(line, &replay));
+    client.settle(replay.id);
+    EXPECT_TRUE(replay.cached);
+    EXPECT_EQ(normalized(line), normalized(chaos[replayId]));
+
+    successor.stop();
+}
+
+} // namespace

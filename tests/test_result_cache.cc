@@ -1,14 +1,18 @@
 /**
  * @file
  * ResultCache tests: LRU bounds and recency, hit/miss tallies, the
- * on-disk store's persistence across instances, and its torn-tail
- * repair (crash mid-append must not poison later appends).
+ * on-disk store's persistence across instances, its torn-tail repair
+ * (crash mid-append must not poison later appends), and record
+ * integrity (a corrupted store line is quarantined — never loaded,
+ * never fatal — and the affected request re-simulates).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "serve/result_cache.hh"
@@ -196,6 +200,90 @@ TEST(ResultCache, UnterminatedCompleteTailIsKept)
     EXPECT_TRUE(warm.lookup(1, &out));
     EXPECT_TRUE(warm.lookup(2, &out));
     EXPECT_TRUE(warm.lookup(3, &out));
+}
+
+TEST(ResultCache, CorruptRecordIsQuarantinedNotLoadedNotFatal)
+{
+    TempDir dir("corrupt");
+    {
+        ResultCache cache(8, dir.str());
+        cache.insert(1, "{}", sampleResult(100));
+        cache.insert(2, "{}", sampleResult(200));
+    }
+    const std::string store =
+        (std::filesystem::path(dir.str()) / "results.jsonl").string();
+
+    // Flip one payload digit inside record 1 (an *interior*, complete
+    // line — not a torn tail). The bytes still parse as JSON; only the
+    // checksum can tell the record lies.
+    {
+        std::ifstream in(store);
+        std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+        const std::size_t at = text.find("\"cycles\":100");
+        ASSERT_NE(at, std::string::npos);
+        text[at + std::string("\"cycles\":10").size()] = '9'; // 100 -> 109
+        std::ofstream out(store, std::ios::trunc);
+        out << text;
+    }
+
+    ResultCache cache(8, dir.str());
+    // The tampered record is quarantined; the intact one loads.
+    EXPECT_EQ(cache.quarantineTally(), 1u);
+    EXPECT_EQ(cache.loadedEntries(), 1u);
+    RunResult out;
+    EXPECT_FALSE(cache.lookup(1, &out)); // misses: will re-simulate
+    ASSERT_TRUE(cache.lookup(2, &out));
+    EXPECT_EQ(out.cycles, 200u);
+    // The corrupt bytes are preserved for inspection.
+    const std::string qPath =
+        (std::filesystem::path(dir.str()) / "quarantine.jsonl").string();
+    EXPECT_TRUE(std::filesystem::exists(qPath));
+
+    // Re-inserting the re-simulated result heals the cache: the store
+    // is append-only, so the corrupt line stays (and stays skipped),
+    // but the fresh append wins the key and both entries load.
+    cache.insert(1, "{}", sampleResult(100));
+    ResultCache healed(8, dir.str());
+    EXPECT_EQ(healed.quarantineTally(), 1u);
+    EXPECT_EQ(healed.loadedEntries(), 2u);
+    RunResult again;
+    ASSERT_TRUE(healed.lookup(1, &again));
+    EXPECT_EQ(again.cycles, 100u);
+    ASSERT_TRUE(healed.lookup(2, &again));
+}
+
+TEST(ResultCache, LegacyLinesWithoutChecksumStillLoad)
+{
+    TempDir dir("legacy");
+    {
+        ResultCache cache(8, dir.str());
+        cache.insert(1, "{}", sampleResult(100));
+    }
+    const std::string store =
+        (std::filesystem::path(dir.str()) / "results.jsonl").string();
+
+    // Strip the trailing ,"sum":"<16 hex>" field, leaving the record
+    // as a pre-integrity daemon would have written it.
+    {
+        std::ifstream in(store);
+        std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+        const std::size_t at = text.find(",\"sum\":\"");
+        ASSERT_NE(at, std::string::npos);
+        const std::size_t end = text.find('"', at + 9);
+        ASSERT_NE(end, std::string::npos);
+        text.erase(at, end + 1 - at);
+        std::ofstream out(store, std::ios::trunc);
+        out << text;
+    }
+
+    ResultCache cache(8, dir.str());
+    EXPECT_EQ(cache.quarantineTally(), 0u);
+    EXPECT_EQ(cache.loadedEntries(), 1u);
+    RunResult out;
+    ASSERT_TRUE(cache.lookup(1, &out));
+    EXPECT_EQ(out.cycles, 100u);
 }
 
 TEST(ResultCache, MemoryOnlyWhenNoDirGiven)

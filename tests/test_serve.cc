@@ -6,14 +6,23 @@
  * mixed batch isolated per request, per-client quotas, the
  * interactive-before-bulk lanes, stats probes, malformed-line
  * rejection, and graceful drain.
+ *
+ * Plus the resilience layer: health probes, per-request deadlines
+ * (expired-in-queue and exceeded-while-executing), queue-bound load
+ * shedding with retry hints, stalled-reader isolation (a wedged
+ * client is kicked, everyone else keeps streaming), mid-stream
+ * disconnect tolerance (the SIGPIPE regression), and live-socket
+ * clobber refusal.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/client.hh"
@@ -350,6 +359,266 @@ TEST_F(ServeTest, RestartServesFromWarmDiskCache)
     EXPECT_EQ(stats.simulations, 0u);
     server.stop();
     std::filesystem::remove_all(cfg.cacheDir);
+}
+
+TEST_F(ServeTest, HealthProbeReportsLiveShape)
+{
+    SimServer server(baseConfig("hlth"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    ServeHealth h;
+    ASSERT_TRUE(client.health(&h));
+    EXPECT_GE(h.connections, 1u);
+    EXPECT_EQ(h.queueInteractive, 0u);
+    EXPECT_EQ(h.queueBulk, 0u);
+    EXPECT_EQ(h.executing, 0u);
+    EXPECT_EQ(h.shed, 0u);
+    EXPECT_EQ(h.deadlineExpired, 0u);
+    EXPECT_FALSE(h.engineVersion.empty());
+
+    server.stop();
+}
+
+TEST_F(ServeTest, DeadlineExpiredInQueueAnswersWithoutSimulating)
+{
+    SimServer::Config cfg = baseConfig("dlq");
+    cfg.jobs = 1;
+    cfg.batch = 1;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    // A long blocker occupies the single-job scheduler; the request
+    // queued behind it carries a 1 ms deadline it cannot make.
+    ServeRequest blocker = squareRequest(1, 4);
+    blocker.run.scale = 0.5;
+    ASSERT_TRUE(client.send(blocker));
+    ServeRequest doomed = squareRequest(2, 1);
+    doomed.run.label = "doomed";
+    doomed.deadlineMs = 1;
+    ASSERT_TRUE(client.send(doomed));
+
+    std::map<std::uint64_t, ServeResponse> byId;
+    for (int i = 0; i < 2; ++i) {
+        ServeResponse resp;
+        ASSERT_TRUE(client.recvResponse(&resp));
+        byId[resp.id] = resp;
+    }
+    EXPECT_TRUE(byId[1].ok) << byId[1].error;
+    EXPECT_FALSE(byId[2].ok);
+    EXPECT_EQ(byId[2].error.rfind("deadline:", 0), 0u) << byId[2].error;
+
+    // The expired request never simulated.
+    ServeStats stats;
+    ASSERT_TRUE(client.stats(&stats));
+    EXPECT_EQ(stats.simulations, 1u);
+    EXPECT_GE(stats.deadlineExpired, 1u);
+
+    server.stop();
+}
+
+TEST_F(ServeTest, DeadlineClampsTheExecutingJobsBudget)
+{
+    SimServer::Config cfg = baseConfig("dlx");
+    cfg.jobs = 1;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    // A run far larger than its 5 ms deadline: it *starts* in time
+    // (empty queue) and the watchdog budget — clamped to the remaining
+    // deadline — cancels it mid-simulation.
+    ServeRequest req = squareRequest(7, 4);
+    req.run.scale = 1.0;
+    req.deadlineMs = 5;
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(req, &resp));
+    ASSERT_FALSE(resp.ok);
+    EXPECT_EQ(resp.error.rfind("deadline:", 0), 0u) << resp.error;
+
+    server.stop();
+}
+
+TEST_F(ServeTest, QueueBoundShedsBulkFirstWithRetryHint)
+{
+    SimServer::Config cfg = baseConfig("shed");
+    cfg.jobs = 1;
+    cfg.batch = 1;
+    cfg.maxQueue = 1;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient c1, c2;
+    ASSERT_TRUE(c1.connect(server.socketPath()));
+    ASSERT_TRUE(c2.connect(server.socketPath()));
+
+    // Occupy the scheduler, then wait (health barrier) until the
+    // blocker is executing and the queue is empty.
+    ServeRequest blocker = squareRequest(1, 4);
+    blocker.run.scale = 0.5;
+    ASSERT_TRUE(c1.send(blocker));
+    ServeHealth h;
+    do {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_TRUE(c2.health(&h));
+    } while (h.executing == 0);
+
+    // Fill the one queue slot with a bulk ask...
+    ServeRequest bulkReq = squareRequest(2, 1);
+    bulkReq.run.label = "bulk-victim";
+    bulkReq.priority = ServePriority::Bulk;
+    ASSERT_TRUE(c2.send(bulkReq));
+    do {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_TRUE(c2.health(&h));
+    } while (h.queueBulk == 0);
+
+    // ...so the next bulk ask is shed outright, with a retry hint...
+    ServeRequest shedReq = squareRequest(3, 2);
+    shedReq.run.label = "bulk-shed";
+    shedReq.priority = ServePriority::Bulk;
+    ASSERT_TRUE(c2.send(shedReq));
+
+    // ...and an interactive ask evicts the queued bulk one instead of
+    // being shed itself.
+    ServeRequest urgent = squareRequest(4, 3);
+    urgent.run.label = "urgent";
+    ASSERT_TRUE(c2.send(urgent));
+
+    std::map<std::uint64_t, ServeResponse> byId;
+    for (int i = 0; i < 3; ++i) {
+        ServeResponse resp;
+        ASSERT_TRUE(c2.recvResponse(&resp));
+        byId[resp.id] = resp;
+    }
+    EXPECT_FALSE(byId[3].ok);
+    EXPECT_EQ(byId[3].error.rfind("shed:", 0), 0u) << byId[3].error;
+    EXPECT_GT(byId[3].retryAfterMs, 0u);
+    EXPECT_FALSE(byId[2].ok); // the bulk victim, evicted for urgent
+    EXPECT_EQ(byId[2].error.rfind("shed:", 0), 0u) << byId[2].error;
+    EXPECT_GT(byId[2].retryAfterMs, 0u);
+    EXPECT_TRUE(byId[4].ok) << byId[4].error;
+
+    ServeResponse blocked;
+    ASSERT_TRUE(c1.recvResponse(&blocked));
+    EXPECT_TRUE(blocked.ok) << blocked.error;
+
+    ServeStats stats;
+    ASSERT_TRUE(c2.stats(&stats));
+    EXPECT_EQ(stats.shed, 2u);
+
+    server.stop();
+}
+
+TEST_F(ServeTest, StalledReaderIsKickedAndDelaysOnlyItself)
+{
+    SimServer::Config cfg = baseConfig("stall");
+    cfg.writeBufBytes = 4096; // tiny outbox: a stalled peer trips fast
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    // The stalled client: warms the cache with one answered request,
+    // then pipelines thousands of cache hits without ever reading.
+    // Responses pile into its socket buffer, then into its bounded
+    // outbox — at which point the daemon kicks it.
+    SimClient stalled;
+    ASSERT_TRUE(stalled.connect(server.socketPath()));
+    ServeRequest warm = squareRequest(1, 1);
+    warm.run.label = "stall";
+    ServeResponse resp;
+    ASSERT_TRUE(stalled.request(warm, &resp));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    for (int i = 0; i < 4000; ++i) {
+        ServeRequest hit = warm;
+        hit.id = static_cast<std::uint64_t>(100 + i);
+        if (!stalled.send(hit))
+            break; // kicked mid-pipeline: exactly the point
+    }
+
+    // A healthy client keeps getting answers the whole time, and
+    // eventually observes the stalled one's disconnect.
+    SimClient healthy;
+    ASSERT_TRUE(healthy.connect(server.socketPath()));
+    ServeHealth h{};
+    bool sawKick = false;
+    for (int round = 0; round < 200 && !sawKick; ++round) {
+        ServeRequest probe = squareRequest(
+            static_cast<std::uint64_t>(10000 + round), 1);
+        probe.run.label = "stall"; // cache hit: answered inline
+        ServeResponse ok;
+        ASSERT_TRUE(healthy.request(probe, &ok));
+        ASSERT_TRUE(ok.ok) << ok.error;
+        ASSERT_TRUE(healthy.health(&h));
+        sawKick = h.slowDisconnects >= 1;
+    }
+    EXPECT_TRUE(sawKick) << "stalled reader was never disconnected";
+
+    server.stop();
+}
+
+TEST_F(ServeTest, MidStreamDisconnectDoesNotKillTheDaemon)
+{
+    // The SIGPIPE regression: a client that submits work and vanishes
+    // before reading must cost the daemon nothing but an EPIPE on that
+    // one connection. (All daemon sends use MSG_NOSIGNAL; an unhandled
+    // SIGPIPE would kill this whole test process.)
+    SimServer server(baseConfig("pipe"));
+    ASSERT_TRUE(server.start());
+
+    {
+        SimClient ghost;
+        ASSERT_TRUE(ghost.connect(server.socketPath()));
+        for (std::uint64_t id = 1; id <= 3; ++id)
+            ASSERT_TRUE(ghost.send(squareRequest(id,
+                                                 static_cast<int>(id))));
+        ghost.close(); // gone before any answer
+    }
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(squareRequest(50, 4), &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeTest, StartRefusesToClobberALiveDaemon)
+{
+    SimServer::Config cfg = baseConfig("live");
+    SimServer first(cfg);
+    ASSERT_TRUE(first.start());
+
+    // Second daemon on the same path: probe-connect finds the live
+    // listener and refuses.
+    SimServer usurper(cfg);
+    EXPECT_FALSE(usurper.start());
+
+    // The incumbent is unharmed.
+    SimClient client;
+    ASSERT_TRUE(client.connect(first.socketPath()));
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(squareRequest(1), &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+    client.close();
+
+    // A crashed daemon's *stale* socket file, though, is taken over.
+    first.abortStop();
+    ASSERT_TRUE(std::filesystem::exists(cfg.socketPath));
+    SimServer successor(cfg);
+    EXPECT_TRUE(successor.start());
+    ASSERT_TRUE(client.connect(successor.socketPath()));
+    ASSERT_TRUE(client.request(squareRequest(2), &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+    successor.stop();
 }
 
 } // namespace

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Serve NDJSON parser fuzz: a deterministic, seeded barrage of
+ * malformed, oversized, truncated, and interleaved protocol lines
+ * against a live in-process daemon. The contract under fire:
+ *
+ *  - every fault is answered with a classified error or ends in a
+ *    dropped connection — never a crash, never a wedge;
+ *  - an unbroken megabyte without a newline is rejected (the reader's
+ *    line-length guard), not buffered forever;
+ *  - a request split across arbitrary write boundaries still parses
+ *    (NDJSON framing owes nothing to write sizes);
+ *  - after every round, a well-formed request on a healthy connection
+ *    still answers.
+ *
+ * The schedule fuzzer for the *GPU* protocol lives in
+ * test_protocol_fuzz.cc; this file fuzzes the serving wire format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/rng.hh"
+
+using namespace cpelide;
+
+namespace
+{
+
+std::string
+testSocket(const std::string &tag)
+{
+    const std::string path = std::string(::testing::TempDir()) + "sf_" +
+                             tag + std::to_string(getpid()) + ".sock";
+    std::remove(path.c_str());
+    return path;
+}
+
+ServeRequest
+squareRequest(std::uint64_t id)
+{
+    ServeRequest req;
+    req.id = id;
+    req.run.workload = "Square";
+    req.run.protocol = ProtocolKind::CpElide;
+    req.run.chiplets = 2;
+    req.run.scale = 0.05;
+    return req;
+}
+
+/** Raw fault-injection socket: the protocol-violating side. */
+int
+rawConnect(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Best-effort send; false once the daemon kicks the connection. */
+bool
+rawSend(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read one line with a poll timeout; false on EOF/timeout. */
+bool
+rawRecvLine(int fd, std::string *line, int timeoutMs)
+{
+    std::string buffer;
+    for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            line->assign(buffer, 0, nl);
+            return true;
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, timeoutMs) <= 0)
+            return false;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** A random byte soup line — whatever the Rng serves. */
+std::string
+garbageLine(Rng &rng)
+{
+    const std::size_t len = rng.range(1, 200);
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        // Anything but '\n' (that would just frame two shorter lines).
+        char c = static_cast<char>(rng.below(256));
+        if (c == '\n')
+            c = ' ';
+        out += c;
+    }
+    return out;
+}
+
+/** A valid request line with a few characters mutated or dropped. */
+std::string
+mutatedRequestLine(Rng &rng, std::uint64_t id)
+{
+    std::string line = encodeServeRequest(squareRequest(id));
+    const int edits = static_cast<int>(rng.range(1, 4));
+    for (int e = 0; e < edits && !line.empty(); ++e) {
+        const std::size_t at = rng.below(line.size());
+        if (rng.chance(0.5)) {
+            char c = static_cast<char>(rng.below(256));
+            if (c == '\n')
+                c = '}';
+            line[at] = c;
+        } else {
+            line.erase(at, 1);
+        }
+    }
+    return line;
+}
+
+TEST(ServeFuzz, SeededBarrageNeverWedgesTheDaemon)
+{
+    SimServer::Config cfg;
+    cfg.socketPath = testSocket("brg");
+    cfg.cacheSize = 64;
+    cfg.quota = 16;
+    cfg.batch = 4;
+    cfg.jobs = 2;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    // The control connection: must stay healthy through every round.
+    SimClient::Options opts;
+    opts.recvTimeoutMs = 60000.0; // bounded so a wedge fails, not hangs
+    SimClient control(opts);
+    ASSERT_TRUE(control.connect(server.socketPath()));
+    // Warm the cache so control probes answer inline.
+    ServeResponse warm;
+    ASSERT_TRUE(control.request(squareRequest(1), &warm));
+    ASSERT_TRUE(warm.ok) << warm.error;
+
+    Rng rng(0xF00DFACEu);
+    const int rounds = 48;
+    for (int round = 0; round < rounds; ++round) {
+        const int fd = rawConnect(server.socketPath());
+        ASSERT_GE(fd, 0) << "daemon stopped accepting at round " << round;
+        switch (rng.below(4)) {
+          case 0: { // garbage line: classified rejection
+            ASSERT_TRUE(rawSend(fd, garbageLine(rng) + "\n"));
+            std::string line;
+            if (rawRecvLine(fd, &line, 30000)) {
+                ServeResponse resp;
+                if (decodeServeResponse(line, &resp)) {
+                    EXPECT_FALSE(resp.ok);
+                }
+            }
+            break;
+          }
+          case 1: { // mutated request: error or (rarely) a real answer
+            ASSERT_TRUE(
+                rawSend(fd, mutatedRequestLine(rng, 1000 +
+                                               static_cast<std::uint64_t>(
+                                                   round)) + "\n"));
+            break; // close without reading: the daemon eats the EPIPE
+          }
+          case 2: { // truncated request, then vanish mid-line
+            std::string line = encodeServeRequest(
+                squareRequest(2000 + static_cast<std::uint64_t>(round)));
+            line.resize(rng.range(1, line.size() - 1));
+            ASSERT_TRUE(rawSend(fd, line));
+            break;
+          }
+          case 3: { // interleaved: arbitrary write boundaries still parse
+            std::string line =
+                encodeServeRequest(squareRequest(1)) + "\n";
+            std::size_t cut = 1 + rng.below(line.size() - 1);
+            ASSERT_TRUE(rawSend(fd, line.substr(0, cut)));
+            ASSERT_TRUE(rawSend(fd, line.substr(cut)));
+            std::string answer;
+            ASSERT_TRUE(rawRecvLine(fd, &answer, 30000))
+                << "split request never answered at round " << round;
+            ServeResponse resp;
+            ASSERT_TRUE(decodeServeResponse(answer, &resp));
+            EXPECT_TRUE(resp.ok) << resp.error;
+            EXPECT_TRUE(resp.cached); // id 1 was warmed above
+            break;
+          }
+        }
+        ::close(fd);
+
+        // The daemon must still answer a clean request after the fault.
+        ServeResponse probe;
+        ASSERT_TRUE(control.request(squareRequest(1), &probe))
+            << "control connection wedged at round " << round;
+        ASSERT_TRUE(probe.ok) << probe.error;
+    }
+
+    ServeStats stats;
+    ASSERT_TRUE(control.stats(&stats));
+    EXPECT_GT(stats.rejected, 0u);
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(ServeFuzz, OversizedLineIsRejectedAndConnectionDropped)
+{
+    SimServer::Config cfg;
+    cfg.socketPath = testSocket("ovr");
+    cfg.cacheSize = 8;
+    cfg.jobs = 1;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    const int fd = rawConnect(server.socketPath());
+    ASSERT_GE(fd, 0);
+    // Just over the reader's 1 MiB line guard, no newline anywhere.
+    // The guard has to fire while we are still sending or shortly
+    // after; the daemon answers a classified error and stops reading.
+    const std::string block(64 * 1024, 'a');
+    for (int i = 0; i < 17 + 1; ++i) {
+        if (!rawSend(fd, block))
+            break; // already kicked: also a pass
+    }
+    std::string line;
+    if (rawRecvLine(fd, &line, 30000)) {
+        ServeResponse resp;
+        ASSERT_TRUE(decodeServeResponse(line, &resp));
+        EXPECT_FALSE(resp.ok);
+        EXPECT_NE(resp.error.find("oversized"), std::string::npos)
+            << resp.error;
+    }
+    ::close(fd);
+
+    // The daemon survives and serves the next client.
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(squareRequest(9), &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+
+    server.stop();
+}
+
+} // namespace

@@ -4,24 +4,33 @@
  *
  * Builds one run request from flags, submits it over the daemon's
  * Unix socket, and prints each raw response line to stdout — exactly
- * the bytes the daemon sent, so scripts (and the CI smoke job) can
- * compare or parse them directly.
+ * the bytes the daemon sent, so scripts (and the CI smoke/chaos jobs)
+ * can compare or parse them directly.
  *
  *   simc [--socket PATH] --workload NAME [--protocol NAME]
  *        [--chiplets N] [--scale X] [--copies N]
  *        [--extra-sync-sets N] [--label S] [--priority interactive|bulk]
- *        [--repeat N] [--id N]
+ *        [--repeat N] [--id N] [--deadline-ms N]
+ *        [--timeout-ms MS] [--retries N]
  *   simc [--socket PATH] --stats
+ *   simc [--socket PATH] --health
  *
  * --repeat N submits the same request N times (ids counting up from
  * --id) and prints the N responses in arrival order; with a warm
  * daemon the repeats come back "cached":1 without re-simulating.
+ *
+ * --timeout-ms bounds connect and each response wait; --retries N
+ * lets simc survive a daemon crash mid-batch: it reconnects (waiting
+ * out the restart) and resubmits every unanswered request, which the
+ * daemon's content-addressed cache answers idempotently.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "config/gpu_config.hh"
 #include "serve/client.hh"
@@ -36,9 +45,11 @@ usage(const char *argv0)
                  "usage: %s [--socket PATH] --workload NAME "
                  "[--protocol NAME] [--chiplets N] [--scale X] "
                  "[--copies N] [--extra-sync-sets N] [--label S] "
-                 "[--priority interactive|bulk] [--repeat N] [--id N]\n"
-                 "       %s [--socket PATH] --stats\n",
-                 argv0, argv0);
+                 "[--priority interactive|bulk] [--repeat N] [--id N] "
+                 "[--deadline-ms N] [--timeout-ms MS] [--retries N]\n"
+                 "       %s [--socket PATH] --stats\n"
+                 "       %s [--socket PATH] --health\n",
+                 argv0, argv0, argv0);
 }
 
 } // namespace
@@ -48,7 +59,9 @@ main(int argc, char **argv)
 {
     std::string socketPath = "simd.sock";
     bool statsProbe = false;
+    bool healthProbe = false;
     int repeat = 1;
+    cpelide::SimClient::Options opts = cpelide::SimClient::Options::fromEnv();
     cpelide::ServeRequest req;
     req.id = 1;
 
@@ -59,6 +72,8 @@ main(int argc, char **argv)
             socketPath = argv[++i];
         } else if (arg == "--stats") {
             statsProbe = true;
+        } else if (arg == "--health") {
+            healthProbe = true;
         } else if (arg == "--workload" && hasValue) {
             req.run.workload = argv[++i];
         } else if (arg == "--protocol" && hasValue) {
@@ -93,22 +108,32 @@ main(int argc, char **argv)
             repeat = std::atoi(argv[++i]);
         } else if (arg == "--id" && hasValue) {
             req.id = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--deadline-ms" && hasValue) {
+            req.deadlineMs =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--timeout-ms" && hasValue) {
+            opts.connectTimeoutMs = std::atof(argv[++i]);
+            opts.recvTimeoutMs = opts.connectTimeoutMs;
+        } else if (arg == "--retries" && hasValue) {
+            opts.maxRetries = std::atoi(argv[++i]);
         } else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
         }
     }
 
-    cpelide::SimClient client;
+    cpelide::SimClient client(opts);
     if (!client.connect(socketPath)) {
         std::fprintf(stderr, "simc: cannot connect to %s\n",
                      socketPath.c_str());
         return 1;
     }
 
-    if (statsProbe) {
-        if (!client.sendLine("{\"type\":\"stats\"}"))
+    if (statsProbe || healthProbe) {
+        if (!client.sendLine(statsProbe ? "{\"type\":\"stats\"}"
+                                        : "{\"type\":\"health\"}")) {
             return 1;
+        }
         std::string line;
         if (!client.recvLine(&line))
             return 1;
@@ -132,17 +157,44 @@ main(int argc, char **argv)
     }
 
     int failures = 0;
-    for (int i = 0; i < repeat; ++i) {
+    int reconnectBudget = opts.maxRetries;
+    for (int i = 0; i < repeat;) {
         std::string line;
         if (!client.recvLine(&line)) {
+            // EOF or timeout mid-batch. With a retry budget, assume a
+            // daemon crash/restart: wait out the restart with backoff,
+            // reconnect, and resubmit everything unanswered (the warm
+            // cache answers already-computed requests instantly).
+            bool recovered = false;
+            double backoffMs = opts.backoffMs > 0.0 ? opts.backoffMs : 50.0;
+            while (reconnectBudget > 0) {
+                --reconnectBudget;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(backoffMs));
+                backoffMs *= 2.0;
+                if (client.reconnect()) {
+                    std::fprintf(stderr,
+                                 "simc: reconnected, resubmitted %d "
+                                 "request(s)\n",
+                                 static_cast<int>(client.pending()));
+                    recovered = true;
+                    break;
+                }
+            }
+            if (recovered)
+                continue;
             std::fprintf(stderr, "simc: connection closed with %d "
                          "response(s) outstanding\n", repeat - i);
             return 1;
         }
         std::cout << line << "\n";
+        ++i;
         cpelide::ServeResponse resp;
-        if (cpelide::decodeServeResponse(line, &resp) && !resp.ok)
-            ++failures;
+        if (cpelide::decodeServeResponse(line, &resp)) {
+            client.settle(resp.id);
+            if (!resp.ok)
+                ++failures;
+        }
     }
     return failures > 0 ? 3 : 0;
 }

@@ -9,10 +9,14 @@
  *
  *   simd [--socket PATH] [--cache DIR] [--cache-size N]
  *        [--quota N] [--batch N] [--jobs N]
+ *        [--queue N] [--writebuf BYTES]
  *
  * Flags override the CPELIDE_SERVE_* knobs (sim/exec_options.hh).
- * Diagnostics go to stderr; stdout stays silent (nothing here is
- * machine-parsed — the protocol lives on the socket).
+ * When CPELIDE_PROFILE is set, the daemon writes its serve counters
+ * (requests, shed, deadline-expired, quarantined, ...) as a profile
+ * report to that path on exit. Diagnostics go to stderr; stdout stays
+ * silent (nothing here is machine-parsed — the protocol lives on the
+ * socket).
  */
 
 #include <atomic>
@@ -23,7 +27,9 @@
 #include <string>
 #include <thread>
 
+#include "prof/registry.hh"
 #include "serve/server.hh"
+#include "sim/exec_options.hh"
 
 namespace
 {
@@ -45,8 +51,31 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--cache DIR] "
-                 "[--cache-size N] [--quota N] [--batch N] [--jobs N]\n",
+                 "[--cache-size N] [--quota N] [--batch N] [--jobs N] "
+                 "[--queue N] [--writebuf BYTES]\n",
                  argv0);
+}
+
+/** Write the daemon's own counters as a profile report. */
+void
+writeServeProfile(const cpelide::SimServer &server,
+                  const std::string &path)
+{
+    cpelide::prof::ProfRegistry reg;
+    server.registerProf(reg);
+    const cpelide::prof::ProfSnapshot snap = reg.snapshot();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "simd: cannot write profile to %s\n",
+                     path.c_str());
+        return;
+    }
+    std::string out = "== profile: serve daemon ==\n";
+    for (const cpelide::prof::CounterSnap &c : snap.counters)
+        out += c.name + " " + std::to_string(c.value) + "\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "simd: profile written to %s\n", path.c_str());
 }
 
 } // namespace
@@ -72,6 +101,11 @@ main(int argc, char **argv)
             cfg.batch = std::atoi(argv[++i]);
         } else if (arg == "--jobs" && hasValue) {
             cfg.jobs = std::atoi(argv[++i]);
+        } else if (arg == "--queue" && hasValue) {
+            cfg.maxQueue = std::atoi(argv[++i]);
+        } else if (arg == "--writebuf" && hasValue) {
+            cfg.writeBufBytes =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
         } else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
@@ -85,6 +119,8 @@ main(int argc, char **argv)
     sa.sa_handler = onSignal;
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
+    // A client vanishing mid-write must surface as an EPIPE send error
+    // on that one connection, never as a process-killing signal.
     std::signal(SIGPIPE, SIG_IGN);
 
     if (!server.start())
@@ -100,10 +136,19 @@ main(int argc, char **argv)
     const cpelide::ServeStats s = server.stats();
     std::fprintf(stderr,
                  "simd: done (%llu requests, %llu cache hits, "
-                 "%llu simulations, %llu failures)\n",
+                 "%llu simulations, %llu failures, %llu shed, "
+                 "%llu deadline-expired, %llu quarantined)\n",
                  static_cast<unsigned long long>(s.requests),
                  static_cast<unsigned long long>(s.cacheHits),
                  static_cast<unsigned long long>(s.simulations),
-                 static_cast<unsigned long long>(s.failures));
+                 static_cast<unsigned long long>(s.failures),
+                 static_cast<unsigned long long>(s.shed),
+                 static_cast<unsigned long long>(s.deadlineExpired),
+                 static_cast<unsigned long long>(s.quarantined));
+
+    const std::string profilePath =
+        cpelide::ExecOptions::fromEnv().profilePath;
+    if (!profilePath.empty())
+        writeServeProfile(server, profilePath);
     return 0;
 }
