@@ -24,6 +24,11 @@ Checks (each prints every violation; exit status 1 if any fired):
     a statistic. Result/snapshot records (src/stats/) and the prof
     primitives themselves are exempt.
 
+ 5. legacy-api: the pre-RunRequest harness entry points were deleted;
+    their names must not reappear anywhere (code or comments — a
+    comment pointing at a dead symbol is how they creep back in).
+    Callers build a RunRequest and use run() / makeJob().
+
 Run from the repository root (CI does):  python3 scripts/lint.py
 """
 
@@ -50,14 +55,25 @@ SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
 # prof-counters rule. Exempt: the prof primitives themselves, and
 # src/stats/ (result records are frozen snapshots, not live counters).
 # _dirtyCount is live L2 occupancy — decremented when a line is
-# cleaned, so it is a gauge, not a monotonic stat.
+# cleaned, so it is a gauge, not a monotonic stat. SkewBuffer's
+# _horizonStalls lives under the buffer's own mutex (prof::Counter is
+# single-threaded) and is harvested into WeaveExecutor's real counter
+# after every chunk.
 COUNTER_EXEMPT_PREFIXES = ("src/prof/", "src/stats/")
-COUNTER_ALLOWED = {("src/mem/cache.hh", "_dirtyCount")}
+COUNTER_ALLOWED = {("src/mem/cache.hh", "_dirtyCount"),
+                   ("src/sim/skew_buffer.hh", "_horizonStalls")}
 COUNTER_DECL_RE = re.compile(r"\bstd::uint64_t\s+(_\w+)")
 COUNTER_WORD_RE = re.compile(
     r"(count|hits|misses|processed|seen|dropped|issued|elided|elisions|"
     r"evict|invalidat|flush|lookups|accesses|violations|cancel|retries|"
     r"stalls|writebacks|acquires|releases)", re.I)
+
+# legacy-api rule: the deleted pre-RunRequest harness surface. Scans
+# code AND comments — a comment naming a dead symbol is drift too.
+LEGACY_DIRS = ["src", "tests", "bench", "examples", "tools"]
+LEGACY_RE = re.compile(
+    r"\b(runWorkload(?:Cfg|MultiStream)?|"
+    r"workload(?:Cfg)?Job|multiStreamJob)\b")
 
 
 def rel(path: pathlib.Path) -> str:
@@ -127,6 +143,22 @@ def check_no_cout() -> list:
     return errors
 
 
+def check_legacy_api() -> list:
+    errors = []
+    for subdir in LEGACY_DIRS:
+        if not (ROOT / subdir).is_dir():
+            continue
+        for path in source_files(subdir):
+            for n, line in enumerate(path.read_text().splitlines(), 1):
+                m = LEGACY_RE.search(line)
+                if m:
+                    errors.append(f"{rel(path)}:{n}: legacy harness entry "
+                                  f"point '{m.group(1)}' (deleted); build a "
+                                  "RunRequest and use run()/makeJob() "
+                                  "(src/harness/harness.hh)")
+    return errors
+
+
 def check_prof_counters() -> list:
     errors = []
     for path in source_files("src"):
@@ -153,6 +185,7 @@ def main() -> int:
         ("single-getenv", check_single_getenv),
         ("no-cout", check_no_cout),
         ("prof-counters", check_prof_counters),
+        ("legacy-api", check_legacy_api),
     ]
     failed = False
     for name, fn in checks:

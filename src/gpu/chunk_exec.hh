@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Chunk-execution primitives shared by the serial path
+ * (GpuSystem::runChunk) and the weave replay (gpu/weave.cc): the
+ * memory-system trace sinks and the per-chunk timing accumulator.
+ *
+ * Keeping both paths on the same sink and the same accumulation code
+ * is what makes the bound/weave byte-identity guarantee structural:
+ * the parallel path replays the identical access sequence through the
+ * identical arithmetic, so the two cannot drift apart as the timing
+ * model evolves.
+ */
+
+#ifndef CPELIDE_GPU_CHUNK_EXEC_HH
+#define CPELIDE_GPU_CHUNK_EXEC_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coherence/mem_system.hh"
+#include "config/gpu_config.hh"
+#include "core/elide_engine.hh"
+#include "cp/kernel.hh"
+#include "cp/local_cp.hh"
+#include "mem/data_space.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** TraceSink accumulating CU time through the memory system. */
+class ExecSink : public TraceSink
+{
+  public:
+    ExecSink(MemSystem &mem, AccessContext ctx, double mlp)
+        : _mem(mem), _ctx(ctx), _invMlp(1.0 / mlp)
+    {}
+
+    void
+    touch(DsId ds, std::uint64_t line, bool write) override
+    {
+        const Cycles lat = _mem.access(_ctx, ds, line, write);
+        _time += static_cast<double>(lat) * _invMlp;
+        ++_touches;
+    }
+
+    void
+    touchBypass(DsId ds, std::uint64_t line, bool write) override
+    {
+        const Cycles lat = _mem.accessBypass(_ctx, ds, line, write);
+        _time += static_cast<double>(lat) * _invMlp;
+        ++_touches;
+    }
+
+    double time() const { return _time; }
+    std::uint64_t touches() const { return _touches; }
+
+    void
+    reset(AccessContext ctx)
+    {
+        _ctx = ctx;
+        _time = 0;
+        _touches = 0;
+    }
+
+  private:
+    MemSystem &_mem;
+    AccessContext _ctx;
+    double _invMlp;
+    double _time = 0;
+    std::uint64_t _touches = 0;
+};
+
+/**
+ * Sink decorator enforcing the annotation contract: every touch()
+ * must land inside the declared range of a declared argument for the
+ * executing chiplet. Bypass accesses are exempt.
+ */
+class ValidatingSink : public TraceSink
+{
+  public:
+    ValidatingSink(TraceSink &inner, DataSpace &space,
+                   const KernelDesc &desc, const LaunchDecl &decl,
+                   std::size_t sched_idx, ChipletId chiplet)
+        : _inner(inner), _space(space), _desc(desc), _decl(decl),
+          _schedIdx(sched_idx), _chiplet(chiplet)
+    {}
+
+    void
+    touch(DsId ds, std::uint64_t line, bool write) override
+    {
+        const Addr addr = _space.alloc(ds).lineAddr(line);
+        bool declared = false;
+        bool inRange = false;
+        for (std::size_t i = 0; i < _desc.args.size(); ++i) {
+            if (_desc.args[i].ds != ds)
+                continue;
+            declared = true;
+            const KernelArgAccess &acc = _decl.args[i];
+            if (write && acc.mode != AccessMode::ReadWrite)
+                continue; // writing a ReadOnly annotation: keep looking
+            const AddrRange &r = acc.perChiplet[_schedIdx];
+            if (r.lo <= addr && addr + kLineBytes <= r.hi) {
+                inRange = true;
+                break;
+            }
+        }
+        if (!declared || !inRange) {
+            checkFailed("annotation violation: kernel '" + _desc.name +
+                  "' chiplet " + std::to_string(_chiplet) +
+                  (write ? " writes " : " reads ") +
+                  _space.alloc(ds).name + " line " +
+                  std::to_string(line) +
+                  (declared ? " outside its declared range"
+                            : " which is not annotated"));
+        }
+        _inner.touch(ds, line, write);
+    }
+
+    void
+    touchBypass(DsId ds, std::uint64_t line, bool write) override
+    {
+        _inner.touchBypass(ds, line, write);
+    }
+
+  private:
+    TraceSink &_inner;
+    DataSpace &_space;
+    const KernelDesc &_desc;
+    const LaunchDecl &_decl;
+    std::size_t _schedIdx;
+    ChipletId _chiplet;
+};
+
+/**
+ * Per-chunk timing accumulator: round-robin WG-to-CU dispatch, CU
+ * latency accumulation through an ExecSink, per-WG LDS/I-fetch energy,
+ * and the chunk-level roofline (CU critical path vs per-chiplet
+ * bandwidth limits). Drives the identical arithmetic whether the
+ * touches come live from a trace generator (serial path) or from a
+ * skew-buffer replay (weave path); the per-WG accounting folds in at
+ * the next beginWg()/finish(), preserving the serial operation order.
+ */
+class ChunkTimer
+{
+  public:
+    ChunkTimer(const GpuConfig &cfg, MemSystem &mem,
+               const KernelDesc &desc, const WgChunk &chunk)
+        : _cfg(cfg), _mem(mem), _desc(desc), _chunk(chunk),
+          _cuTime(static_cast<std::size_t>(cfg.cusPerChiplet), 0.0),
+          _cuCompute(static_cast<std::size_t>(cfg.cusPerChiplet), 0.0),
+          _sink(mem, {chunk.chiplet, 0}, desc.mlp)
+    {}
+
+    /** The sink the chunk's touches must flow through. */
+    ExecSink &sink() { return _sink; }
+
+    /** Start workgroup @p wg (folds in the previous one, if open). */
+    void
+    beginWg(int wg)
+    {
+        endWg();
+        _cu = dispatchCu(_chunk, wg, _cfg.cusPerChiplet);
+        _sink.reset({_chunk.chiplet, _cu});
+        _inWg = true;
+    }
+
+    /**
+     * Chunk execution time (CU critical path vs bandwidth rooflines),
+     * closing the open workgroup first. @p compute_out (optional)
+     * receives the busiest CU's pure ALU+LDS cycles.
+     */
+    Cycles
+    finish(Cycles *compute_out)
+    {
+        endWg();
+        const double cuCritical =
+            *std::max_element(_cuTime.begin(), _cuTime.end());
+        if (compute_out) {
+            // ALU + LDS cycles of the busiest CU: the part of this
+            // chunk's time that is pure compute even with a perfect
+            // memory system.
+            *compute_out = static_cast<Cycles>(
+                *std::max_element(_cuCompute.begin(), _cuCompute.end()));
+        }
+        const Noc &noc = _mem.noc();
+        const ChipletId c = _chunk.chiplet;
+        const double dram = static_cast<double>(noc.dramBytes(c)) /
+                            _cfg.dramBytesPerCycle;
+        const double xlink = static_cast<double>(noc.xlinkBytes(c)) /
+                             _cfg.xlinkBytesPerCycle;
+        const double l2l3 = static_cast<double>(noc.l2l3Bytes(c)) /
+                            _cfg.l2l3BytesPerCycle;
+        const double l2 = static_cast<double>(noc.l2Bytes(c)) /
+                          _cfg.l2BytesPerCycle;
+        return static_cast<Cycles>(
+            std::max({cuCritical, dram, xlink, l2l3, l2}));
+    }
+
+  private:
+    /** Fold the open workgroup's time and energy into its CU. */
+    void
+    endWg()
+    {
+        if (!_inWg)
+            return;
+        _inWg = false;
+        const std::size_t cu = static_cast<std::size_t>(_cu);
+        _cuTime[cu] +=
+            _sink.time() +
+            static_cast<double>(_desc.computeCyclesPerWg) +
+            static_cast<double>(_desc.ldsAccessesPerWg);
+        _cuCompute[cu] +=
+            static_cast<double>(_desc.computeCyclesPerWg) +
+            static_cast<double>(_desc.ldsAccessesPerWg);
+        EnergyModel &energy = _mem.energy();
+        energy.countLds(_desc.ldsAccessesPerWg);
+        // Instruction fetch: roughly one 64 B I-line per 4 ALU cycles
+        // plus one per memory instruction.
+        energy.countL1i(_desc.computeCyclesPerWg / 4 + _sink.touches());
+    }
+
+    const GpuConfig &_cfg;
+    MemSystem &_mem;
+    const KernelDesc &_desc;
+    const WgChunk _chunk;
+    std::vector<double> _cuTime;
+    std::vector<double> _cuCompute;
+    ExecSink _sink;
+    CuId _cu = 0;
+    bool _inWg = false;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_GPU_CHUNK_EXEC_HH

@@ -8,6 +8,8 @@
 
 #include "check/hb_checker.hh"
 #include "cp/local_cp.hh"
+#include "gpu/chunk_exec.hh"
+#include "gpu/weave.hh"
 #include "prof/snapshot.hh"
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
@@ -32,6 +34,17 @@ GpuSystem::GpuSystem(const GpuConfig &cfg, const RunOptions &opts)
         _mem->setChecker(_check.get());
         _cp->setChecker(_check.get());
     }
+    // Bound/weave parallelism (gpu/weave.hh): explicit simThreads
+    // wins, otherwise CPELIDE_SIM_THREADS; 1 (the default) keeps the
+    // serial path with no executor at all. A single-chiplet package
+    // has nothing to overlap.
+    int simThreads = opts.simThreads > 0
+                         ? opts.simThreads
+                         : ExecOptions::fromEnv().simThreads;
+    if (simThreads > 1 && cfg.numChiplets > 1) {
+        _weave = std::make_unique<WeaveExecutor>(_cfg, *_mem, _space,
+                                                 simThreads);
+    }
     if (opts.prof)
         registerProf(*opts.prof);
 }
@@ -47,6 +60,8 @@ GpuSystem::registerProf(prof::ProfRegistry &reg)
                  [this] { return _events.eventsProcessed(); });
     _mem->registerProf(reg);
     _cp->registerProf(reg);
+    if (_weave)
+        _weave->registerProf(reg);
     // Interval-sampled series: the registry reads these closures at
     // every sample(tick) call (each kernel boundary), giving Perfetto
     // live occupancy/load curves next to the phase spans.
@@ -80,115 +95,6 @@ GpuSystem::enqueue(KernelDesc desc)
     _pending.push_back(std::move(desc));
 }
 
-namespace
-{
-
-/** TraceSink accumulating CU time through the memory system. */
-class ExecSink : public TraceSink
-{
-  public:
-    ExecSink(MemSystem &mem, AccessContext ctx, double mlp)
-        : _mem(mem), _ctx(ctx), _invMlp(1.0 / mlp)
-    {}
-
-    void
-    touch(DsId ds, std::uint64_t line, bool write) override
-    {
-        const Cycles lat = _mem.access(_ctx, ds, line, write);
-        _time += static_cast<double>(lat) * _invMlp;
-        ++_touches;
-    }
-
-    void
-    touchBypass(DsId ds, std::uint64_t line, bool write) override
-    {
-        const Cycles lat = _mem.accessBypass(_ctx, ds, line, write);
-        _time += static_cast<double>(lat) * _invMlp;
-        ++_touches;
-    }
-
-    double time() const { return _time; }
-    std::uint64_t touches() const { return _touches; }
-
-    void
-    reset(AccessContext ctx)
-    {
-        _ctx = ctx;
-        _time = 0;
-        _touches = 0;
-    }
-
-  private:
-    MemSystem &_mem;
-    AccessContext _ctx;
-    double _invMlp;
-    double _time = 0;
-    std::uint64_t _touches = 0;
-};
-
-/**
- * Sink decorator enforcing the annotation contract: every touch()
- * must land inside the declared range of a declared argument for the
- * executing chiplet. Bypass accesses are exempt.
- */
-class ValidatingSink : public TraceSink
-{
-  public:
-    ValidatingSink(TraceSink &inner, DataSpace &space,
-                   const KernelDesc &desc, const LaunchDecl &decl,
-                   std::size_t sched_idx, ChipletId chiplet)
-        : _inner(inner), _space(space), _desc(desc), _decl(decl),
-          _schedIdx(sched_idx), _chiplet(chiplet)
-    {}
-
-    void
-    touch(DsId ds, std::uint64_t line, bool write) override
-    {
-        const Addr addr = _space.alloc(ds).lineAddr(line);
-        bool declared = false;
-        bool inRange = false;
-        for (std::size_t i = 0; i < _desc.args.size(); ++i) {
-            if (_desc.args[i].ds != ds)
-                continue;
-            declared = true;
-            const KernelArgAccess &acc = _decl.args[i];
-            if (write && acc.mode != AccessMode::ReadWrite)
-                continue; // writing a ReadOnly annotation: keep looking
-            const AddrRange &r = acc.perChiplet[_schedIdx];
-            if (r.lo <= addr && addr + kLineBytes <= r.hi) {
-                inRange = true;
-                break;
-            }
-        }
-        if (!declared || !inRange) {
-            checkFailed("annotation violation: kernel '" + _desc.name +
-                  "' chiplet " + std::to_string(_chiplet) +
-                  (write ? " writes " : " reads ") +
-                  _space.alloc(ds).name + " line " +
-                  std::to_string(line) +
-                  (declared ? " outside its declared range"
-                            : " which is not annotated"));
-        }
-        _inner.touch(ds, line, write);
-    }
-
-    void
-    touchBypass(DsId ds, std::uint64_t line, bool write) override
-    {
-        _inner.touchBypass(ds, line, write);
-    }
-
-  private:
-    TraceSink &_inner;
-    DataSpace &_space;
-    const KernelDesc &_desc;
-    const LaunchDecl &_decl;
-    std::size_t _schedIdx;
-    ChipletId _chiplet;
-};
-
-} // namespace
-
 Cycles
 GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
                     const LaunchDecl *decl, std::size_t sched_idx,
@@ -198,63 +104,32 @@ GpuSystem::runChunk(const KernelDesc &desc, const WgChunk &chunk,
         *compute_out = 0;
     if (chunk.count() <= 0)
         return 0;
-    std::vector<double> cuTime(
-        static_cast<std::size_t>(_cfg.cusPerChiplet), 0.0);
-    std::vector<double> cuCompute(
-        static_cast<std::size_t>(_cfg.cusPerChiplet), 0.0);
-    ExecSink sink(*_mem, {chunk.chiplet, 0}, desc.mlp);
-    EnergyModel &energy = _mem->energy();
-
     if (_debug) {
         _space.setContext("chunk@chiplet" +
                           std::to_string(chunk.chiplet));
     }
+    ChunkTimer timer(_cfg, *_mem, desc, chunk);
     for (int wg = chunk.wgBegin; wg < chunk.wgEnd; ++wg) {
-        const CuId cu = dispatchCu(chunk, wg, _cfg.cusPerChiplet);
-        sink.reset({chunk.chiplet, cu});
+        timer.beginWg(wg);
         if (decl) {
-            ValidatingSink vsink(sink, _space, desc, *decl, sched_idx,
-                                 chunk.chiplet);
+            ValidatingSink vsink(timer.sink(), _space, desc, *decl,
+                                 sched_idx, chunk.chiplet);
             desc.trace(wg, vsink);
         } else {
-            desc.trace(wg, sink);
+            desc.trace(wg, timer.sink());
         }
-        cuTime[cu] += sink.time() +
-                      static_cast<double>(desc.computeCyclesPerWg) +
-                      static_cast<double>(desc.ldsAccessesPerWg);
-        cuCompute[cu] += static_cast<double>(desc.computeCyclesPerWg) +
-                         static_cast<double>(desc.ldsAccessesPerWg);
-        energy.countLds(desc.ldsAccessesPerWg);
-        // Instruction fetch: roughly one 64 B I-line per 4 ALU cycles
-        // plus one per memory instruction.
-        energy.countL1i(desc.computeCyclesPerWg / 4 + sink.touches());
     }
-
-    const double cuCritical =
-        *std::max_element(cuTime.begin(), cuTime.end());
-    if (compute_out) {
-        // ALU + LDS cycles of the busiest CU: the part of this chunk's
-        // time that is pure compute even with a perfect memory system.
-        *compute_out = static_cast<Cycles>(
-            *std::max_element(cuCompute.begin(), cuCompute.end()));
-    }
-    const Noc &noc = _mem->noc();
-    const ChipletId c = chunk.chiplet;
-    const double dram =
-        static_cast<double>(noc.dramBytes(c)) / _cfg.dramBytesPerCycle;
-    const double xlink =
-        static_cast<double>(noc.xlinkBytes(c)) / _cfg.xlinkBytesPerCycle;
-    const double l2l3 =
-        static_cast<double>(noc.l2l3Bytes(c)) / _cfg.l2l3BytesPerCycle;
-    const double l2 =
-        static_cast<double>(noc.l2Bytes(c)) / _cfg.l2BytesPerCycle;
-    return static_cast<Cycles>(
-        std::max({cuCritical, dram, xlink, l2l3, l2}));
+    return timer.finish(compute_out);
 }
 
 RunResult
 GpuSystem::run(const std::string &label)
 {
+    // Parallel-mode hardening: simulated time may only advance from
+    // this (weave) thread; a bound worker reaching the queue panics.
+    if (_weave)
+        _events.pinOwner();
+
     std::vector<ChipletId> allChiplets;
     for (ChipletId c = 0; c < _cfg.numChiplets; ++c)
         allChiplets.push_back(c);
@@ -412,18 +287,37 @@ GpuSystem::run(const std::string &label)
         LaunchDecl validationDecl;
         if (_opts.validateAnnotations)
             validationDecl = _cp->buildDecl(desc, chunks, _space);
+        const LaunchDecl *decl =
+            _opts.validateAnnotations ? &validationDecl : nullptr;
+
+        // Per-chunk measurements, from the serial loop or the
+        // bound/weave executor — the weave replays the identical
+        // access sequence in the identical chunk order, so the
+        // outcomes (and every shared counter they read) are
+        // byte-identical. The attribution/trace pass below is common
+        // to both. A kernel with at most one non-empty chunk has
+        // nothing to overlap and stays serial.
+        std::vector<ChunkOutcome> outcomes(chunks.size());
+        std::size_t nonEmpty = 0;
+        for (const WgChunk &ch : chunks)
+            nonEmpty += ch.count() > 0 ? 1 : 0;
+        if (_weave && nonEmpty > 1) {
+            outcomes = _weave->runChunks(desc, chunks, decl, _debug);
+        } else {
+            for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+                const std::uint64_t dirBefore =
+                    _mem->directoryStallCycles();
+                outcomes[ci].time = runChunk(desc, chunks[ci], decl, ci,
+                                             &outcomes[ci].compute);
+                outcomes[ci].dirStall =
+                    _mem->directoryStallCycles() - dirBefore;
+            }
+        }
+
         Tick kernelEnd = syncDone;
         for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
             const WgChunk &ch = chunks[ci];
-            Cycles compute = 0;
-            const std::uint64_t dirBefore = _mem->directoryStallCycles();
-            const Cycles t = runChunk(
-                desc, ch,
-                _opts.validateAnnotations ? &validationDecl : nullptr,
-                ci, &compute);
-            const std::uint64_t dirDelta =
-                _mem->directoryStallCycles() - dirBefore;
-            const Tick busy = syncDone + t;
+            const Tick busy = syncDone + outcomes[ci].time;
             const std::size_t cs = static_cast<std::size_t>(ch.chiplet);
             chipletBusy[cs] = busy;
             kernelEnd = std::max(kernelEnd, busy);
@@ -432,8 +326,10 @@ GpuSystem::run(const std::string &label)
             // paths (HMG), and whatever remains is memory/bandwidth.
             if (busy > attrCursor[cs]) {
                 const Tick len = busy - attrCursor[cs];
-                const Tick comp = std::min<Tick>(len, compute);
-                const Tick dir = std::min<Tick>(len - comp, dirDelta);
+                const Tick comp =
+                    std::min<Tick>(len, outcomes[ci].compute);
+                const Tick dir =
+                    std::min<Tick>(len - comp, outcomes[ci].dirStall);
                 bin(cs, prof::StallBin::Compute, comp);
                 bin(cs, prof::StallBin::Directory, dir);
                 bin(cs, prof::StallBin::Memory, len - comp - dir);

@@ -30,6 +30,8 @@
 namespace cpelide
 {
 
+class WeaveExecutor;
+
 /** Per-run options beyond GpuConfig. */
 struct RunOptions
 {
@@ -91,6 +93,13 @@ struct RunOptions
      * RunResult::prof. Not owned; must outlive the GpuSystem.
      */
     prof::ProfRegistry *prof = nullptr;
+    /**
+     * Intra-run bound/weave workers (see gpu/weave.hh): 1 = the
+     * serial path, >1 = parallel trace generation with serial-order
+     * replay, 0 (the default) = resolve from CPELIDE_SIM_THREADS.
+     * Results are byte-identical at any value.
+     */
+    int simThreads = 0;
 };
 
 class GpuSystem
@@ -158,6 +167,10 @@ class GpuSystem
     std::unique_ptr<MemSystem> _mem;
     std::unique_ptr<GlobalCp> _cp;
     std::unique_ptr<HbChecker> _check;
+    /** Bound/weave executor, or null on the serial path (see
+     * gpu/weave.hh). Declared after _mem: it references *_mem and
+     * must be destroyed (workers joined) first. */
+    std::unique_ptr<WeaveExecutor> _weave;
     EventQueue _events;
     std::vector<KernelDesc> _pending;
 

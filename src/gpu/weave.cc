@@ -1,0 +1,240 @@
+#include "gpu/weave.hh"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "exec/thread_pool.hh"
+#include "gpu/chunk_exec.hh"
+#include "prof/registry.hh"
+#include "sim/skew_buffer.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** Ops per handoff batch: amortizes the buffer mutex without letting
+ * the weave thread idle long behind a generator. */
+constexpr std::size_t kBatchOps = 2048;
+
+/** Skew horizon: ops a bound worker may run ahead of the weave per
+ * chiplet before back-pressure blocks it (bounds memory, not
+ * correctness — replay order is canonical at any horizon). */
+constexpr std::size_t kHorizonOps = std::size_t{1} << 16;
+
+/** TraceSink parking a chunk's stream into its skew buffer. */
+class BoundSink : public TraceSink
+{
+  public:
+    explicit BoundSink(SkewBuffer &buf) : _buf(buf)
+    {
+        _batch.reserve(kBatchOps);
+    }
+
+    void
+    touch(DsId ds, std::uint64_t line, bool write) override
+    {
+        append({ReplayOp::Kind::Touch, write, ds, line});
+    }
+
+    void
+    touchBypass(DsId ds, std::uint64_t line, bool write) override
+    {
+        append({ReplayOp::Kind::Bypass, write, ds, line});
+    }
+
+    /** Mark the start of workgroup @p wg. */
+    void
+    wgBegin(int wg)
+    {
+        append({ReplayOp::Kind::WgBegin, false, -1,
+                static_cast<std::uint64_t>(wg)});
+    }
+
+    /** Terminate the stream (Kind::ChunkEnd or Kind::Error). */
+    void
+    finish(ReplayOp::Kind kind)
+    {
+        _batch.push_back({kind, false, -1, 0});
+        flush();
+    }
+
+  private:
+    void
+    append(ReplayOp op)
+    {
+        _batch.push_back(op);
+        if (_batch.size() >= kBatchOps)
+            flush();
+    }
+
+    void
+    flush()
+    {
+        if (_batch.empty())
+            return;
+        _buf.push(std::move(_batch));
+        _batch = {};
+        _batch.reserve(kBatchOps);
+    }
+
+    SkewBuffer &_buf;
+    std::vector<ReplayOp> _batch;
+};
+
+} // namespace
+
+WeaveExecutor::WeaveExecutor(const GpuConfig &cfg, MemSystem &mem,
+                             DataSpace &space, int sim_threads)
+    : _cfg(cfg), _mem(mem), _space(space)
+{
+    const int workers =
+        std::min(std::max(sim_threads - 1, 1), cfg.numChiplets);
+    _pool = std::make_unique<ThreadPool>(workers);
+}
+
+WeaveExecutor::~WeaveExecutor() = default;
+
+int
+WeaveExecutor::boundWorkers() const
+{
+    return _pool->threadCount();
+}
+
+void
+WeaveExecutor::registerProf(prof::ProfRegistry &reg)
+{
+    reg.addCounter("weave/parallel-kernels", &_parallelKernels);
+    reg.addCounter("weave/replayed-ops", &_replayedOps);
+    reg.addCounter("weave/horizon-stalls", &_horizonStalls);
+    reg.addHistogram("weave/chunk-ops", &_chunkOps);
+}
+
+std::vector<ChunkOutcome>
+WeaveExecutor::runChunks(const KernelDesc &desc,
+                         const std::vector<WgChunk> &chunks,
+                         const LaunchDecl *decl, bool debug)
+{
+    ++_parallelKernels;
+    const std::size_t n = chunks.size();
+    std::vector<std::unique_ptr<SkewBuffer>> bufs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (chunks[i].count() > 0)
+            bufs[i] = std::make_unique<SkewBuffer>(kHorizonOps);
+    }
+
+    // Bound phase: one task per non-empty chunk generates that
+    // chiplet's stream into its buffer. Generation is pure — the
+    // sinks below never read or write simulator state — so the only
+    // shared objects are the buffers themselves. A generator that
+    // throws (annotation violation) delivers the ops it generated
+    // *before* the throw plus an Error marker, reproducing the serial
+    // path's partial side effects exactly.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!bufs[i])
+            continue;
+        SkewBuffer *buf = bufs[i].get();
+        const WgChunk ch = chunks[i];
+        const std::size_t schedIdx = i;
+        _pool->submit([this, buf, ch, schedIdx, &desc, decl] {
+            BoundSink sink(*buf);
+            try {
+                for (int wg = ch.wgBegin; wg < ch.wgEnd; ++wg) {
+                    sink.wgBegin(wg);
+                    if (decl) {
+                        ValidatingSink vsink(sink, _space, desc, *decl,
+                                             schedIdx, ch.chiplet);
+                        desc.trace(wg, vsink);
+                    } else {
+                        desc.trace(wg, sink);
+                    }
+                }
+                sink.finish(ReplayOp::Kind::ChunkEnd);
+            } catch (const SkewAborted &) {
+                // The weave thread bailed; nothing left to deliver.
+            } catch (...) {
+                buf->setError(std::current_exception());
+                try {
+                    sink.finish(ReplayOp::Kind::Error);
+                } catch (const SkewAborted &) {
+                }
+            }
+        });
+    }
+
+    // Weave phase: replay in canonical chunk order on this thread.
+    // On any exception, abort the buffers first so blocked producers
+    // unwind, then drain the pool before rethrowing — no task may
+    // outlive this call.
+    std::vector<ChunkOutcome> outcomes(n);
+    try {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (bufs[i])
+                replayChunk(desc, chunks[i], *bufs[i], debug,
+                            &outcomes[i]);
+        }
+    } catch (...) {
+        for (std::unique_ptr<SkewBuffer> &b : bufs) {
+            if (b)
+                b->abort();
+        }
+        _pool->wait();
+        throw;
+    }
+    _pool->wait();
+    for (const std::unique_ptr<SkewBuffer> &b : bufs) {
+        if (b)
+            _horizonStalls += b->horizonStalls();
+    }
+    return outcomes;
+}
+
+void
+WeaveExecutor::replayChunk(const KernelDesc &desc, const WgChunk &chunk,
+                           SkewBuffer &buf, bool debug,
+                           ChunkOutcome *out)
+{
+    if (debug) {
+        _space.setContext("chunk@chiplet" +
+                          std::to_string(chunk.chiplet));
+    }
+    const std::uint64_t dirBefore = _mem.directoryStallCycles();
+    ChunkTimer timer(_cfg, _mem, desc, chunk);
+    std::uint64_t ops = 0;
+    bool done = false;
+    while (!done) {
+        const std::vector<ReplayOp> batch = buf.pop();
+        for (const ReplayOp &op : batch) {
+            switch (op.kind) {
+            case ReplayOp::Kind::Touch:
+                timer.sink().touch(op.ds, op.line, op.write);
+                ++ops;
+                break;
+            case ReplayOp::Kind::Bypass:
+                timer.sink().touchBypass(op.ds, op.line, op.write);
+                ++ops;
+                break;
+            case ReplayOp::Kind::WgBegin:
+                timer.beginWg(static_cast<int>(op.line));
+                break;
+            case ReplayOp::Kind::ChunkEnd:
+                done = true;
+                break;
+            case ReplayOp::Kind::Error:
+                // Everything before the generator's throw has been
+                // replayed; surface the error with identical partial
+                // state to the serial path.
+                std::rethrow_exception(buf.error());
+            }
+        }
+    }
+    _replayedOps += ops;
+    _chunkOps.record(ops);
+    out->time = timer.finish(&out->compute);
+    out->dirStall = _mem.directoryStallCycles() - dirBefore;
+}
+
+} // namespace cpelide

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * WeaveExecutor: intra-run bound/weave parallelism (DESIGN.md,
+ * "Bound/weave parallelism").
+ *
+ * A kernel's chunks are simulated in two overlapped phases. In the
+ * *bound* phase, one pool worker per chiplet runs that chiplet's
+ * trace generators ahead of simulated time, parking every would-be
+ * memory interaction in the chiplet's bounded skew buffer
+ * (sim/skew_buffer.hh) — trace generation is pure (a WG's accesses
+ * depend only on its id), so this is safe to run concurrently and
+ * observes no shared simulator state. In the *weave* phase, the
+ * calling thread drains the buffers in canonical chunk order and
+ * replays the parked ops through the shared memory system — the
+ * identical access sequence the serial path would perform, through
+ * the identical ChunkTimer arithmetic (gpu/chunk_exec.hh). Results
+ * are therefore byte-identical to serial at any thread count, by
+ * construction; the speedup comes from overlapping chunk i's replay
+ * with chunks i+1..N's generation.
+ *
+ * CPELIDE_SIM_THREADS = N gives N-1 bound workers (capped at the
+ * chiplet count) plus the weave on the calling thread; N = 1 keeps
+ * the fully serial path (no WeaveExecutor is constructed at all).
+ */
+
+#ifndef CPELIDE_GPU_WEAVE_HH
+#define CPELIDE_GPU_WEAVE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config/gpu_config.hh"
+#include "cp/kernel.hh"
+#include "cp/local_cp.hh"
+#include "prof/counter.hh"
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+class DataSpace;
+class MemSystem;
+class SkewBuffer;
+class ThreadPool;
+struct LaunchDecl;
+
+namespace prof
+{
+class ProfRegistry;
+}
+
+/**
+ * One chunk's measurements, identical between the serial loop and
+ * the weave replay; GpuSystem::run feeds them to the shared stall
+ * attribution and trace-span pass.
+ */
+struct ChunkOutcome
+{
+    Cycles time = 0;    //!< execution time (CU critical path/roofline)
+    Cycles compute = 0; //!< busiest CU's pure ALU+LDS cycles
+    /** Directory stall cycles this chunk's accesses added (HMG). */
+    std::uint64_t dirStall = 0;
+};
+
+class WeaveExecutor
+{
+  public:
+    /**
+     * @param sim_threads the CPELIDE_SIM_THREADS value (>= 2); the
+     * bound pool gets sim_threads - 1 workers, capped at the chiplet
+     * count since there is at most one chunk per chiplet.
+     */
+    WeaveExecutor(const GpuConfig &cfg, MemSystem &mem,
+                  DataSpace &space, int sim_threads);
+    ~WeaveExecutor();
+
+    WeaveExecutor(const WeaveExecutor &) = delete;
+    WeaveExecutor &operator=(const WeaveExecutor &) = delete;
+
+    /**
+     * Bound + weave all of one kernel's chunks; outcomes in chunk
+     * order. Exceptions (annotation violations, budget exhaustion,
+     * panics) propagate exactly as from the serial loop: ops
+     * generated before a bound-side throw are replayed first, a
+     * weave-side throw aborts the buffers and drains the workers
+     * before rethrowing.
+     */
+    std::vector<ChunkOutcome> runChunks(const KernelDesc &desc,
+                                        const std::vector<WgChunk> &chunks,
+                                        const LaunchDecl *decl,
+                                        bool debug);
+
+    /** Wire the bound/weave counters into the run's registry. */
+    void registerProf(prof::ProfRegistry &reg);
+
+    /** Bound workers in the pool. */
+    int boundWorkers() const;
+
+  private:
+    /** Weave one chunk's stream out of @p buf (canonical order). */
+    void replayChunk(const KernelDesc &desc, const WgChunk &chunk,
+                     SkewBuffer &buf, bool debug, ChunkOutcome *out);
+
+    const GpuConfig &_cfg;
+    MemSystem &_mem;
+    DataSpace &_space;
+    std::unique_ptr<ThreadPool> _pool;
+
+    /** Kernels that took the parallel path (deterministic). */
+    prof::Counter _parallelKernels;
+    /** Ops replayed by the weave thread (deterministic). */
+    prof::Counter _replayedOps;
+    /** Bound pushes that blocked on the horizon (scheduling-dependent,
+     * like the exec-worker trace track — never byte-identity gated). */
+    prof::Counter _horizonStalls;
+    /** Per-chunk replayed-op counts (deterministic). */
+    prof::Histogram _chunkOps;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_GPU_WEAVE_HH

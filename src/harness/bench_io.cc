@@ -186,6 +186,25 @@ BenchIo::fromArgs(int &argc, char **argv)
             profilePath = arg + 10;
             continue;
         }
+        if (std::strncmp(arg, "--sim-threads", 13) == 0) {
+            char *end = nullptr;
+            const long v = arg[13] == '='
+                               ? std::strtol(arg + 14, &end, 10)
+                               : 0;
+            if (arg[13] != '=' || end == arg + 14 || *end != '\0' ||
+                v < 1 || v > 256) {
+                std::fprintf(stderr,
+                             "%s: bad flag '%s' "
+                             "(expected --sim-threads=N, 1 <= N <= 256)\n",
+                             argv[0], arg);
+                std::exit(2);
+            }
+            // Route through the environment so every layer resolves
+            // the knob exactly like CPELIDE_SIM_THREADS (the typed
+            // ExecOptions table stays the single parser).
+            setenv("CPELIDE_SIM_THREADS", arg + 14, 1);
+            continue;
+        }
         if (std::strncmp(arg, "--format", 8) != 0) {
             argv[kept++] = argv[i];
             continue;

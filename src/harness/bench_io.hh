@@ -38,11 +38,13 @@ class BenchIo
 {
   public:
     /**
-     * Parse and strip "--format=NAME" and "--profile=PATH" from the
+     * Parse and strip "--format=NAME", "--profile=PATH" and
+     * "--sim-threads=N" (the CPELIDE_SIM_THREADS knob via setenv, so
+     * the typed ExecOptions table stays the single parser) from the
      * argument vector (adjusting @p argc so later flag handling never
      * sees them). An unknown format name or any other
-     * "--format..."/"--profile..." spelling is fatal: exits with a
-     * usage message on stderr.
+     * "--format..."/"--profile..."/"--sim-threads..." spelling is
+     * fatal: exits with a usage message on stderr.
      */
     static BenchIo fromArgs(int &argc, char **argv);
 

@@ -37,9 +37,30 @@ resultLabel(const RunRequest &req)
  * on pool workers stay deterministic because runSweep() appends
  * harvested events in spec order, never completion order.
  */
+/**
+ * Warn (once per process) when a request names two different
+ * protocols; the options override wins either way, but silently
+ * ignoring the top-level field has burned callers before.
+ */
+void
+warnProtocolConflict(const RunRequest &req)
+{
+    if (!requestProtocolConflict(req))
+        return;
+    static const bool warned = [&req] {
+        warn(std::string("RunRequest sets protocol=") +
+             protocolName(req.protocol) + " but options->protocol=" +
+             protocolName(req.options->protocol) +
+             "; the options override wins");
+        return true;
+    }();
+    (void)warned;
+}
+
 RunResult
 runRequest(const RunRequest &req)
 {
+    warnProtocolConflict(req);
     const ProtocolKind kind =
         req.options ? req.options->protocol : req.protocol;
     const GpuConfig cfg =
@@ -55,6 +76,11 @@ runRequest(const RunRequest &req)
         opts.protocol = req.protocol;
         opts.extraSyncSets = req.extraSyncSets;
     }
+    // Bound/weave workers: an explicit options->simThreads wins, then
+    // the request field; 0 lets the GpuSystem fall back to
+    // CPELIDE_SIM_THREADS.
+    if (opts.simThreads <= 0)
+        opts.simThreads = req.simThreads;
 
     TraceSession local;
     TraceSession *session = req.trace;
@@ -154,81 +180,11 @@ makeJob(const RunRequest &req)
     return j;
 }
 
-RunResult
-runWorkload(const std::string &workload_name, ProtocolKind kind,
-            int chiplets, double scale, int extra_sync_sets)
+bool
+requestProtocolConflict(const RunRequest &req)
 {
-    RunRequest req;
-    req.workload = workload_name;
-    req.protocol = kind;
-    req.chiplets = chiplets;
-    req.scale = scale;
-    req.extraSyncSets = extra_sync_sets;
-    return run(req);
-}
-
-RunResult
-runWorkloadCfg(const std::string &workload_name, const GpuConfig &cfg,
-               const RunOptions &opts, double scale)
-{
-    RunRequest req;
-    req.workload = workload_name;
-    req.cfg = cfg;
-    req.options = opts;
-    req.scale = scale;
-    return run(req);
-}
-
-RunResult
-runWorkloadMultiStream(const std::string &workload_name,
-                       ProtocolKind kind, int chiplets, int copies,
-                       double scale)
-{
-    RunRequest req;
-    req.workload = workload_name;
-    req.protocol = kind;
-    req.chiplets = chiplets;
-    req.copies = copies;
-    req.scale = scale;
-    return run(req);
-}
-
-Job
-workloadJob(const std::string &workload_name, ProtocolKind kind,
-            int chiplets, double scale, int extra_sync_sets)
-{
-    RunRequest req;
-    req.workload = workload_name;
-    req.protocol = kind;
-    req.chiplets = chiplets;
-    req.scale = scale;
-    req.extraSyncSets = extra_sync_sets;
-    return makeJob(req);
-}
-
-Job
-workloadCfgJob(const std::string &workload_name, const GpuConfig &cfg,
-               const RunOptions &opts, double scale)
-{
-    RunRequest req;
-    req.workload = workload_name;
-    req.cfg = cfg;
-    req.options = opts;
-    req.scale = scale;
-    return makeJob(req);
-}
-
-Job
-multiStreamJob(const std::string &workload_name, ProtocolKind kind,
-               int chiplets, int copies, double scale)
-{
-    RunRequest req;
-    req.workload = workload_name;
-    req.protocol = kind;
-    req.chiplets = chiplets;
-    req.copies = copies;
-    req.scale = scale;
-    return makeJob(req);
+    return req.options && req.protocol != ProtocolKind::Baseline &&
+           req.options->protocol != req.protocol;
 }
 
 std::vector<JobOutcome>

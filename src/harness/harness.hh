@@ -25,8 +25,8 @@ namespace cpelide
 /**
  * One simulation, fully described. The single entry point into the
  * harness: benches, examples, and tests all build a RunRequest and
- * hand it to run() (one-shot) or makeJob() (sweep fan-out), replacing
- * the old runWorkload / runWorkloadCfg / runWorkloadMultiStream trio.
+ * hand it to run() (one-shot) or makeJob() (sweep fan-out); the old
+ * per-shape wrapper trio is gone (scripts/lint.py bans the names).
  *
  * Exactly one of @ref workload (a named workload from
  * workloads/workload.hh) or @ref builder (an inline kernel-building
@@ -56,12 +56,21 @@ struct RunRequest
     int copies = 1;
     /** Section VI scaling-study knob (see GlobalCp). */
     int extraSyncSets = 0;
+    /**
+     * Intra-run bound/weave workers (see gpu/weave.hh): 1 = the
+     * serial path, >1 = parallel trace generation with serial-order
+     * replay, 0 (the default) = CPELIDE_SIM_THREADS. Results are
+     * byte-identical at any value — which is why this field is
+     * excluded from the request hash (harness/request_codec.hh).
+     */
+    int simThreads = 0;
     /** Custom configuration (otherwise derived from protocol/chiplets). */
     std::optional<GpuConfig> cfg;
     /**
      * Full RunOptions override (fault injection, annotation
      * validation, stream bindings...). When set, its protocol wins
-     * over @ref protocol.
+     * over @ref protocol; run() warns once per process when the two
+     * are both set and disagree (see requestProtocolConflict).
      */
     std::optional<RunOptions> options;
     /**
@@ -97,27 +106,13 @@ RunResult run(const RunRequest &req);
 Job makeJob(const RunRequest &req);
 
 /**
- * Legacy entry points, kept for one PR as thin wrappers over
- * run()/makeJob(). New code should build a RunRequest. @{
+ * Whether @p req sets both a top-level protocol and an options
+ * override that name *different* protocols — the one ambiguity the
+ * RunRequest surface allows. The options override wins (it is the
+ * more specific statement); run()/makeJob() warn once per process
+ * when this predicate holds instead of resolving it silently.
  */
-RunResult runWorkload(const std::string &workload_name,
-                      ProtocolKind kind, int chiplets,
-                      double scale = 1.0, int extra_sync_sets = 0);
-RunResult runWorkloadCfg(const std::string &workload_name,
-                         const GpuConfig &cfg, const RunOptions &opts,
-                         double scale = 1.0);
-RunResult runWorkloadMultiStream(const std::string &workload_name,
-                                 ProtocolKind kind, int chiplets,
-                                 int copies, double scale = 1.0);
-Job workloadJob(const std::string &workload_name, ProtocolKind kind,
-                int chiplets, double scale = 1.0,
-                int extra_sync_sets = 0);
-Job workloadCfgJob(const std::string &workload_name,
-                   const GpuConfig &cfg, const RunOptions &opts,
-                   double scale = 1.0);
-Job multiStreamJob(const std::string &workload_name, ProtocolKind kind,
-                   int chiplets, int copies, double scale = 1.0);
-/** @} */
+bool requestProtocolConflict(const RunRequest &req);
 
 /**
  * Run @p spec on a SweepRunner sized by CPELIDE_JOBS and return the

@@ -16,6 +16,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "prof/counter.hh"
@@ -49,6 +50,7 @@ class EventQueue
     void
     schedule(Tick when, Callback cb)
     {
+        assertOwner("schedule");
         panicIf(when < _now,
                 "EventQueue::schedule: when (" + std::to_string(when) +
                     ") < now (" + std::to_string(_now) + ")");
@@ -85,6 +87,7 @@ class EventQueue
     bool
     step()
     {
+        assertOwner("step");
         if (_heap.empty())
             return false;
         BudgetGuard::charge();
@@ -106,6 +109,23 @@ class EventQueue
     }
 
     /**
+     * Bounded-horizon drain: run every event with when <= @p horizon,
+     * then advance time to the horizon itself (a work unit, exactly
+     * like advanceTo). This is the weave-phase primitive — the merge
+     * loop drains each skew window up to its horizon, then advances
+     * it — and is also useful for tests stepping a model in slices.
+     * Returns the final time (== max(now, horizon)).
+     */
+    Tick
+    runUntil(Tick horizon)
+    {
+        while (!_heap.empty() && _heap.top().when <= horizon)
+            step();
+        advanceTo(horizon);
+        return _now;
+    }
+
+    /**
      * Advance time with no event attached (used when functional
      * simulation determines a duration outside the queue).
      * @pre when >= now()
@@ -114,13 +134,40 @@ class EventQueue
     advanceTo(Tick when)
     {
         if (when > _now) {
+            assertOwner("advanceTo");
             BudgetGuard::charge();
             _now = when;
             ++_eventsProcessed;
         }
     }
 
+    /**
+     * Pin the queue to the calling thread: any schedule/step/advance
+     * from another thread then panics. The bound/weave executor runs
+     * with the queue pinned to the weave thread, turning a bound
+     * worker driving simulated time — a determinism bug by
+     * construction — into an immediate failure instead of a silently
+     * skewed result.
+     */
+    void
+    pinOwner()
+    {
+        _owner = std::this_thread::get_id();
+        _pinned = true;
+    }
+
+    /** Release the owner pin (tests that legitimately migrate). */
+    void unpin() { _pinned = false; }
+
   private:
+    void
+    assertOwner(const char *op) const
+    {
+        panicIf(_pinned && std::this_thread::get_id() != _owner,
+                std::string("EventQueue::") + op +
+                    " from a thread other than the pinned owner");
+    }
+
     struct Event
     {
         Tick when;
@@ -138,6 +185,8 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     prof::Counter _eventsProcessed;
+    std::thread::id _owner;
+    bool _pinned = false;
 };
 
 } // namespace cpelide

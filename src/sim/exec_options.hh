@@ -46,6 +46,10 @@ struct ExecOptions
 {
     /** CPELIDE_JOBS: sweep worker threads (default: hw concurrency). */
     int jobs = 1;
+    /** CPELIDE_SIM_THREADS: intra-run bound/weave workers (1 = the
+     * serial path; see gpu/weave.hh). Results are byte-identical at
+     * any value; keep jobs x simThreads <= cores. */
+    int simThreads = 1;
     /** CPELIDE_METRICS: dump per-job metrics to stderr after sweeps. */
     bool metrics = false;
     /** CPELIDE_SCALE: uniform workload iteration scale in (0, 1]. */
@@ -101,6 +105,7 @@ struct ExecOptions
     {
         static const std::vector<EnvKnob> table = {
             {"CPELIDE_JOBS", "sweep worker threads"},
+            {"CPELIDE_SIM_THREADS", "intra-run bound/weave workers"},
             {"CPELIDE_METRICS", "per-job metrics dump"},
             {"CPELIDE_SCALE", "workload iteration scale"},
             {"CPELIDE_DEBUG", "per-launch sync log"},
@@ -139,6 +144,12 @@ struct ExecOptions
             const long v = std::strtol(s, &end, 10);
             if (end != s && *end == '\0' && v > 0)
                 o.jobs = static_cast<int>(std::min<long>(v, 256));
+        }
+        if (const char *s = raw("CPELIDE_SIM_THREADS")) {
+            char *end = nullptr;
+            const long v = std::strtol(s, &end, 10);
+            if (end != s && *end == '\0' && v > 0)
+                o.simThreads = static_cast<int>(std::min<long>(v, 256));
         }
         o.metrics = raw("CPELIDE_METRICS") != nullptr;
         if (const char *s = raw("CPELIDE_SCALE")) {

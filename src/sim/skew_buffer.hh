@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SkewBuffer: the bounded handoff queue between a bound-phase worker
+ * and the weave thread (see gpu/weave.hh and DESIGN.md).
+ *
+ * In the bound phase, one worker per chiplet runs that chiplet's
+ * trace generators ahead of simulated time, parking every would-be
+ * memory interaction as a ReplayOp in its chiplet's skew buffer. The
+ * weave thread drains the buffers in canonical chunk order and
+ * replays the ops through the shared memory system, reproducing the
+ * serial execution sequence exactly.
+ *
+ * The buffer is single-producer / single-consumer at batch
+ * granularity, and *bounded*: its capacity (in ops) is the skew
+ * horizon — how far a worker may run ahead of the weave before it
+ * blocks. A full buffer applies back-pressure instead of growing, so
+ * memory stays O(horizon x chiplets) however large the kernel is. A
+ * batch larger than the horizon is still accepted when the buffer is
+ * empty (no deadlock on oversized batches).
+ *
+ * Shutdown protocol: the producer always terminates its stream with a
+ * ChunkEnd or Error marker, so a consumer that keeps popping always
+ * terminates. A consumer that bails early (an exception mid-replay)
+ * calls abort() instead, which unblocks and fails the producer's next
+ * push with SkewAborted — the worker unwinds without delivering the
+ * rest of its stream.
+ */
+
+#ifndef CPELIDE_SIM_SKEW_BUFFER_HH
+#define CPELIDE_SIM_SKEW_BUFFER_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cpelide
+{
+
+/** Thrown from SkewBuffer::push after the consumer called abort(). */
+struct SkewAborted
+{
+};
+
+/** One parked interaction, replayed by the weave thread in order. */
+struct ReplayOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Touch,    //!< cached access: ds/line/write
+        Bypass,   //!< system-scope (LLC-direct) access: ds/line/write
+        WgBegin,  //!< workgroup `line` starts (closes the previous WG)
+        ChunkEnd, //!< the chunk's stream is complete
+        Error,    //!< trace generation threw; see SkewBuffer::error()
+    };
+
+    Kind kind = Kind::Touch;
+    bool write = false;
+    DsId ds = -1;
+    /** Line index for Touch/Bypass; the workgroup id for WgBegin. */
+    std::uint64_t line = 0;
+};
+
+/** Bounded SPSC queue of ReplayOp batches (see file comment). */
+class SkewBuffer
+{
+  public:
+    /** @param horizon_ops op capacity before push() blocks. */
+    explicit SkewBuffer(std::size_t horizon_ops)
+        : _horizon(std::max<std::size_t>(1, horizon_ops))
+    {}
+
+    SkewBuffer(const SkewBuffer &) = delete;
+    SkewBuffer &operator=(const SkewBuffer &) = delete;
+
+    /**
+     * Append one batch (producer side). Blocks while the buffer is
+     * over the horizon; throws SkewAborted once the consumer aborted.
+     */
+    void
+    push(std::vector<ReplayOp> &&batch)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        if (!_aborted && _ops > 0 && _ops + batch.size() > _horizon)
+            ++_horizonStalls;
+        while (!_aborted && _ops > 0 && _ops + batch.size() > _horizon)
+            _spaceCv.wait(lock);
+        if (_aborted)
+            throw SkewAborted{};
+        _ops += batch.size();
+        _peakOps = std::max(_peakOps, _ops);
+        _batches.push_back(std::move(batch));
+        _dataCv.notify_one();
+    }
+
+    /**
+     * Take the oldest batch (consumer side), blocking until one is
+     * available. The producer's terminal ChunkEnd/Error marker
+     * guarantees termination for a consumer that drains the stream.
+     */
+    std::vector<ReplayOp>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        while (_batches.empty())
+            _dataCv.wait(lock);
+        std::vector<ReplayOp> batch = std::move(_batches.front());
+        _batches.pop_front();
+        _ops -= batch.size();
+        _spaceCv.notify_one();
+        return batch;
+    }
+
+    /**
+     * Consumer bail-out: drop buffered data and make every subsequent
+     * push() throw SkewAborted so the producer unwinds promptly.
+     */
+    void
+    abort()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _aborted = true;
+        _batches.clear();
+        _ops = 0;
+        _spaceCv.notify_all();
+    }
+
+    /** Producer side: record why the stream ends in an Error marker. */
+    void
+    setError(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _error = std::move(e);
+    }
+
+    /** The producer's stored exception (consumer, after Error). */
+    std::exception_ptr
+    error() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _error;
+    }
+
+    /**
+     * Times a push() blocked on a full buffer. Scheduling-dependent
+     * (like the exec-worker trace track): reported for tuning, never
+     * part of any byte-identity surface.
+     */
+    std::uint64_t
+    horizonStalls() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _horizonStalls;
+    }
+
+    /** High-water mark of buffered ops (scheduling-dependent). */
+    std::size_t
+    peakOps() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _peakOps;
+    }
+
+  private:
+    const std::size_t _horizon;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _dataCv;  //!< consumer waits: batch ready
+    std::condition_variable _spaceCv; //!< producer waits: under horizon
+    std::deque<std::vector<ReplayOp>> _batches;
+    std::size_t _ops = 0;
+    std::size_t _peakOps = 0;
+    std::uint64_t _horizonStalls = 0;
+    bool _aborted = false;
+    std::exception_ptr _error;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_SKEW_BUFFER_HH

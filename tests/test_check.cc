@@ -205,8 +205,10 @@ TEST(HbCheck, SilentOnSuiteWorkloads)
             RunOptions opts;
             opts.protocol = kind;
             opts.check = true;
-            const RunResult r = runWorkloadCfg(
-                name, GpuConfig::radeonVii(4), opts, 0.05);
+            const RunResult r = run({.workload = name,
+                                     .scale = 0.05,
+                                     .cfg = GpuConfig::radeonVii(4),
+                                     .options = opts});
             EXPECT_EQ(r.hbViolations, 0u)
                 << name << " on " << protocolName(kind);
         }

@@ -34,7 +34,7 @@ smallGrid()
     for (const char *name : {"Square", "Backprop"}) {
         for (ProtocolKind kind :
              {ProtocolKind::Baseline, ProtocolKind::CpElide}) {
-            spec.jobs.push_back(workloadJob(name, kind, 2, 0.05));
+            spec.jobs.push_back(makeJob({.workload = name, .protocol = kind, .chiplets = 2, .scale = 0.05}));
         }
     }
     return spec;
@@ -129,13 +129,11 @@ TEST(SweepRunner, ParallelResultsIdenticalToSerial)
 TEST(SweepRunner, ThrowingJobIsIsolated)
 {
     SweepSpec spec{"test_failure", {}};
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
     spec.add("boom", []() -> RunResult {
         throw std::runtime_error("boom");
     });
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::CpElide, .chiplets = 2, .scale = 0.05}));
 
     const auto out = SweepRunner(3).run(spec);
     ASSERT_EQ(out.size(), 3u);
@@ -152,7 +150,7 @@ TEST(SweepRunner, UnknownWorkloadBecomesErrorRow)
 {
     SweepSpec spec{"test_unknown", {}};
     spec.jobs.push_back(
-        workloadJob("NoSuchWorkload", ProtocolKind::Baseline, 2, 0.05));
+        makeJob({.workload = "NoSuchWorkload", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
     const auto out = SweepRunner(2).run(spec);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_FALSE(out[0].ok);
@@ -204,8 +202,7 @@ TEST(SweepRunner, RunawayJobBecomesStructuredTimeout)
     // budget even under a sanitizer's ~10x slowdown; the spinning job
     // burns the whole budget either way.
     spec.budget.maxWallMs = 2000.0;
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
     spec.add("spin_forever", []() -> RunResult {
         EventQueue q;
         std::function<void()> again = [&] {
@@ -215,8 +212,7 @@ TEST(SweepRunner, RunawayJobBecomesStructuredTimeout)
         q.run(); // never returns on its own; the budget unwinds it
         return RunResult{};
     });
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::CpElide, .chiplets = 2, .scale = 0.05}));
 
     const auto out = SweepRunner(2).run(spec);
     ASSERT_EQ(out.size(), 3u);
@@ -228,10 +224,8 @@ TEST(SweepRunner, RunawayJobBecomesStructuredTimeout)
 
     // The healthy rows are byte-identical to an unbudgeted run.
     SweepSpec clean{"test_timeout_clean", {}};
-    clean.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                     2, 0.05));
-    clean.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
-                                     2, 0.05));
+    clean.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
+    clean.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::CpElide, .chiplets = 2, .scale = 0.05}));
     const auto ref = SweepRunner(1).run(clean);
     expectSameResult(ref[0].result, out[0].result);
     expectSameResult(ref[1].result, out[2].result);
@@ -241,8 +235,7 @@ TEST(SweepRunner, EventBudgetBecomesStructuredBudgetRow)
 {
     SweepSpec spec{"test_budget", {}};
     spec.budget.maxEvents = 1000;
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
     const auto out = SweepRunner(1).run(spec);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_FALSE(out[0].ok);
@@ -341,8 +334,7 @@ TEST(SweepRunner, MetricsRecordedPerJob)
 {
     MetricsRegistry::global().clear();
     SweepSpec spec{"test_metrics", {}};
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
     const auto out = SweepRunner(2).run(spec);
     ASSERT_EQ(out.size(), 1u);
     ASSERT_TRUE(out[0].ok);
@@ -365,10 +357,8 @@ TEST(SweepRunner, SerialJobsOwnTheirRssMeasurement)
     // With one worker nothing overlaps, so the per-job RSS numbers
     // are attributable: no shared marks, non-negative deltas.
     SweepSpec spec{"test_rss_serial", {}};
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::CpElide, .chiplets = 2, .scale = 0.05}));
     const auto out = SweepRunner(1).run(spec);
     ASSERT_EQ(out.size(), 2u);
     for (const JobOutcome &o : out) {

@@ -134,11 +134,13 @@ TEST(FaultInjection, PassiveInjectorChangesNothing)
     const GpuConfig cfg = GpuConfig::radeonVii(2);
     RunOptions opts;
     opts.protocol = ProtocolKind::Baseline;
-    const RunResult clean = runWorkloadCfg("Square", cfg, opts, 0.05);
+    const RunResult clean = run(
+        {.workload = "Square", .scale = 0.05, .cfg = cfg, .options = opts});
 
     FaultInjector fi{FaultPlan{}};
     opts.faultInjector = &fi;
-    const RunResult passive = runWorkloadCfg("Square", cfg, opts, 0.05);
+    const RunResult passive = run(
+        {.workload = "Square", .scale = 0.05, .cfg = cfg, .options = opts});
 
     EXPECT_EQ(fi.faultsInjected(), 0u);
     EXPECT_GT(fi.flushesSeen(), 0u);

@@ -1,4 +1,4 @@
-/** @file Bench-harness plumbing tests (runWorkload variants, scaling). */
+/** @file Bench-harness plumbing tests (the RunRequest surface, scaling). */
 
 #include <gtest/gtest.h>
 
@@ -11,10 +11,12 @@ namespace cpelide
 namespace
 {
 
-TEST(Harness, RunWorkloadProducesLabeledResult)
+TEST(Harness, RunRequestProducesLabeledResult)
 {
-    const RunResult r =
-        runWorkload("Square", ProtocolKind::CpElide, 2, 0.1);
+    const RunResult r = run({.workload = "Square",
+                             .protocol = ProtocolKind::CpElide,
+                             .chiplets = 2,
+                             .scale = 0.1});
     EXPECT_EQ(r.workload, "Square");
     EXPECT_EQ(r.protocol, std::string("CPElide"));
     EXPECT_EQ(r.numChiplets, 2);
@@ -24,8 +26,10 @@ TEST(Harness, RunWorkloadProducesLabeledResult)
 
 TEST(Harness, MonolithicUsesEquivalentConfig)
 {
-    const RunResult r =
-        runWorkload("Square", ProtocolKind::Monolithic, 4, 0.1);
+    const RunResult r = run({.workload = "Square",
+                             .protocol = ProtocolKind::Monolithic,
+                             .chiplets = 4,
+                             .scale = 0.1});
     EXPECT_EQ(r.protocol, std::string("Monolithic"));
     // Reported as the equivalent chiplet count for normalization.
     EXPECT_EQ(r.numChiplets, 4);
@@ -34,20 +38,26 @@ TEST(Harness, MonolithicUsesEquivalentConfig)
 
 TEST(Harness, ScaleShrinksWork)
 {
-    const RunResult big =
-        runWorkload("BabelStream", ProtocolKind::CpElide, 2, 0.6);
-    const RunResult small =
-        runWorkload("BabelStream", ProtocolKind::CpElide, 2, 0.2);
+    const RunResult big = run({.workload = "BabelStream",
+                               .protocol = ProtocolKind::CpElide,
+                               .chiplets = 2,
+                               .scale = 0.6});
+    const RunResult small = run({.workload = "BabelStream",
+                                 .protocol = ProtocolKind::CpElide,
+                                 .chiplets = 2,
+                                 .scale = 0.2});
     EXPECT_GT(big.kernels, small.kernels);
     EXPECT_GT(big.accesses, small.accesses);
 }
 
 TEST(Harness, DeterministicAcrossRuns)
 {
-    const RunResult a =
-        runWorkload("BFS", ProtocolKind::Hmg, 4, 0.15);
-    const RunResult b =
-        runWorkload("BFS", ProtocolKind::Hmg, 4, 0.15);
+    const RunRequest req = {.workload = "BFS",
+                            .protocol = ProtocolKind::Hmg,
+                            .chiplets = 4,
+                            .scale = 0.15};
+    const RunResult a = run(req);
+    const RunResult b = run(req);
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.accesses, b.accesses);
     EXPECT_EQ(a.flits.total(), b.flits.total());
@@ -56,10 +66,15 @@ TEST(Harness, DeterministicAcrossRuns)
 
 TEST(Harness, MultiStreamReplaysCopiesConcurrently)
 {
-    const RunResult one =
-        runWorkload("Square", ProtocolKind::CpElide, 4, 0.2);
-    const RunResult two = runWorkloadMultiStream(
-        "Square", ProtocolKind::CpElide, 4, 2, 0.2);
+    const RunResult one = run({.workload = "Square",
+                               .protocol = ProtocolKind::CpElide,
+                               .chiplets = 4,
+                               .scale = 0.2});
+    const RunResult two = run({.workload = "Square",
+                               .protocol = ProtocolKind::CpElide,
+                               .chiplets = 4,
+                               .scale = 0.2,
+                               .copies = 2});
     EXPECT_EQ(two.kernels, 2 * one.kernels);
     EXPECT_EQ(two.accesses, 2 * one.accesses);
     // Each job has half the machine, so ~2x the single-job time, but
@@ -71,10 +86,15 @@ TEST(Harness, MultiStreamReplaysCopiesConcurrently)
 
 TEST(Harness, ExtraSyncSetsNeverSpeedUp)
 {
-    const RunResult plain =
-        runWorkload("Hotspot3D", ProtocolKind::CpElide, 4, 0.2, 0);
-    const RunResult mimic16 =
-        runWorkload("Hotspot3D", ProtocolKind::CpElide, 4, 0.2, 3);
+    const RunResult plain = run({.workload = "Hotspot3D",
+                                 .protocol = ProtocolKind::CpElide,
+                                 .chiplets = 4,
+                                 .scale = 0.2});
+    const RunResult mimic16 = run({.workload = "Hotspot3D",
+                                   .protocol = ProtocolKind::CpElide,
+                                   .chiplets = 4,
+                                   .scale = 0.2,
+                                   .extraSyncSets = 3});
     EXPECT_GE(mimic16.cycles, plain.cycles);
 }
 
@@ -97,11 +117,42 @@ TEST(Harness, CustomConfigRunHonorsFreeSyncAblation)
     cfg.finalize();
     RunOptions opts;
     opts.protocol = ProtocolKind::Baseline;
-    const RunResult ideal = runWorkloadCfg("Square", cfg, opts, 0.2);
-    const RunResult real =
-        runWorkload("Square", ProtocolKind::Baseline, 4, 0.2);
+    const RunResult ideal = run({.workload = "Square",
+                                 .scale = 0.2,
+                                 .cfg = cfg,
+                                 .options = opts});
+    const RunResult real = run({.workload = "Square",
+                                .protocol = ProtocolKind::Baseline,
+                                .chiplets = 4,
+                                .scale = 0.2});
     EXPECT_LT(ideal.syncStallCycles, real.syncStallCycles);
     EXPECT_LE(ideal.cycles, real.cycles);
+}
+
+TEST(Harness, ProtocolConflictDetectedOnlyOnDisagreement)
+{
+    RunOptions opts;
+    opts.protocol = ProtocolKind::Hmg;
+
+    // Top-level protocol left at its Baseline default: the options
+    // override is the only statement, no conflict.
+    RunRequest quiet;
+    quiet.workload = "Square";
+    quiet.options = opts;
+    EXPECT_FALSE(requestProtocolConflict(quiet));
+
+    // Both set and agreeing: no conflict.
+    RunRequest agree = quiet;
+    agree.protocol = ProtocolKind::Hmg;
+    EXPECT_FALSE(requestProtocolConflict(agree));
+
+    // Both set and disagreeing: run() warns once, options win.
+    RunRequest clash = quiet;
+    clash.protocol = ProtocolKind::CpElide;
+    clash.scale = 0.05;
+    EXPECT_TRUE(requestProtocolConflict(clash));
+    const RunResult r = run(clash);
+    EXPECT_EQ(r.protocol, std::string("HMG"));
 }
 
 TEST(Harness, WarnsAboutUnknownCpelideEnvVars)

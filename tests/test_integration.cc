@@ -16,12 +16,22 @@ namespace cpelide
 namespace
 {
 
+/** All integration runs use 4 chiplets at half scale. */
+RunResult
+runHalf(const std::string &workload, ProtocolKind kind)
+{
+    return run({.workload = workload,
+                .protocol = kind,
+                .chiplets = 4,
+                .scale = 0.5});
+}
+
 TEST(Integration, CpElideBeatsBaselineOnSquare)
 {
     const RunResult b =
-        runWorkload("Square", ProtocolKind::Baseline, 4, 0.5);
+        runHalf("Square", ProtocolKind::Baseline);
     const RunResult c =
-        runWorkload("Square", ProtocolKind::CpElide, 4, 0.5);
+        runHalf("Square", ProtocolKind::CpElide);
     EXPECT_LT(c.cycles, b.cycles);
     EXPECT_LT(c.flits.total(), b.flits.total());
     EXPECT_LT(c.energy.total(), b.energy.total());
@@ -30,26 +40,26 @@ TEST(Integration, CpElideBeatsBaselineOnSquare)
 TEST(Integration, MonolithicBeatsChipletBaseline)
 {
     const RunResult mono =
-        runWorkload("Square", ProtocolKind::Monolithic, 4, 0.5);
+        runHalf("Square", ProtocolKind::Monolithic);
     const RunResult base =
-        runWorkload("Square", ProtocolKind::Baseline, 4, 0.5);
+        runHalf("Square", ProtocolKind::Baseline);
     EXPECT_LT(mono.cycles, base.cycles);
 }
 
 TEST(Integration, HmgWriteThroughHasMoreL2L3TrafficThanCpElide)
 {
-    const RunResult h = runWorkload("Square", ProtocolKind::Hmg, 4, 0.5);
+    const RunResult h = runHalf("Square", ProtocolKind::Hmg);
     const RunResult c =
-        runWorkload("Square", ProtocolKind::CpElide, 4, 0.5);
+        runHalf("Square", ProtocolKind::CpElide);
     EXPECT_GT(h.flits.l2l3, c.flits.l2l3);
 }
 
 TEST(Integration, LowReuseWorkloadSeesNoCpElidePenalty)
 {
     const RunResult b =
-        runWorkload("Pathfinder", ProtocolKind::Baseline, 4, 0.5);
+        runHalf("Pathfinder", ProtocolKind::Baseline);
     const RunResult c =
-        runWorkload("Pathfinder", ProtocolKind::CpElide, 4, 0.5);
+        runHalf("Pathfinder", ProtocolKind::CpElide);
     // "CPElide does not hurt performance for applications with little
     // or no reuse": allow a 2% tolerance.
     EXPECT_LT(static_cast<double>(c.cycles),
@@ -59,9 +69,9 @@ TEST(Integration, LowReuseWorkloadSeesNoCpElidePenalty)
 TEST(Integration, GraphWorkloadKeepsAdjacencyResident)
 {
     const RunResult b =
-        runWorkload("Color-max", ProtocolKind::Baseline, 4, 0.5);
+        runHalf("Color-max", ProtocolKind::Baseline);
     const RunResult c =
-        runWorkload("Color-max", ProtocolKind::CpElide, 4, 0.5);
+        runHalf("Color-max", ProtocolKind::CpElide);
     EXPECT_GT(c.l2.hitRate(), b.l2.hitRate());
     // The graph fits in the shared LLC, so the baseline's refetches
     // show up as L2<->L3 traffic rather than DRAM accesses.

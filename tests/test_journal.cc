@@ -172,8 +172,8 @@ TEST(Journal, DecodeRejectsTornLines)
 TEST(Journal, JobHashIdentityProperties)
 {
     SweepSpec a{"sweep_a", {}};
-    a.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline, 2));
-    a.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide, 2));
+    a.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2}));
+    a.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::CpElide, .chiplets = 2}));
 
     // Deterministic within a process and sensitive to every identity
     // component.
@@ -185,11 +185,11 @@ TEST(Journal, JobHashIdentityProperties)
     EXPECT_NE(jobHash(a, 0), jobHash(b, 0));
 
     SweepSpec c = a;
-    c.jobs[0] = workloadJob("Square", ProtocolKind::Baseline, 4);
+    c.jobs[0] = makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 4});
     EXPECT_NE(jobHash(a, 0), jobHash(c, 0));
 
     SweepSpec d = a;
-    d.jobs[0] = workloadJob("Square", ProtocolKind::Baseline, 2, 0.5);
+    d.jobs[0] = makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.5});
     EXPECT_NE(jobHash(a, 0), jobHash(d, 0));
 }
 
@@ -323,7 +323,7 @@ TEST(Journal, SweepRunnerResumeSkipsCompletedJobs)
     for (const char *name : {"Square", "Backprop"}) {
         for (ProtocolKind kind :
              {ProtocolKind::Baseline, ProtocolKind::CpElide}) {
-            spec.jobs.push_back(workloadJob(name, kind, 2, 0.05));
+            spec.jobs.push_back(makeJob({.workload = name, .protocol = kind, .chiplets = 2, .scale = 0.05}));
         }
     }
 
@@ -352,10 +352,8 @@ TEST(Journal, PartialJournalRunsOnlyMissingJobs)
 {
     TempPath tmp("partial");
     SweepSpec spec{"partial_grid", {}};
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::CpElide,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::CpElide, .chiplets = 2, .scale = 0.05}));
 
     // Journal only job 0, as if the run died before job 1 finished.
     SweepRunner probe(1);
@@ -378,8 +376,7 @@ TEST(Journal, EnvResumeKnobIsHonored)
 {
     TempPath tmp("envresume");
     SweepSpec spec{"env_grid", {}};
-    spec.jobs.push_back(workloadJob("Square", ProtocolKind::Baseline,
-                                    2, 0.05));
+    spec.jobs.push_back(makeJob({.workload = "Square", .protocol = ProtocolKind::Baseline, .chiplets = 2, .scale = 0.05}));
 
     ASSERT_EQ(setenv("CPELIDE_RESUME", tmp.str().c_str(), 1), 0);
     const auto first = SweepRunner(1).run(spec);

@@ -25,9 +25,14 @@ struct Trio
 Trio
 run(const std::string &name, int chiplets = 4)
 {
-    return {runWorkload(name, ProtocolKind::Baseline, chiplets, kScale),
-            runWorkload(name, ProtocolKind::CpElide, chiplets, kScale),
-            runWorkload(name, ProtocolKind::Hmg, chiplets, kScale)};
+    const auto one = [&](ProtocolKind kind) {
+        return cpelide::run({.workload = name,
+                             .protocol = kind,
+                             .chiplets = chiplets,
+                             .scale = kScale});
+    };
+    return {one(ProtocolKind::Baseline), one(ProtocolKind::CpElide),
+            one(ProtocolKind::Hmg)};
 }
 
 double
@@ -92,12 +97,15 @@ TEST(PaperClaims, MonolithicUpperBoundsEveryConfig)
     // chiplet Baseline loses to (and CPElide can approach but not
     // meaningfully beat).
     for (const char *name : {"Square", "Hotspot3D", "Backprop"}) {
-        const RunResult mono =
-            runWorkload(name, ProtocolKind::Monolithic, 4, kScale);
-        const RunResult base =
-            runWorkload(name, ProtocolKind::Baseline, 4, kScale);
-        const RunResult elide =
-            runWorkload(name, ProtocolKind::CpElide, 4, kScale);
+        const auto one = [name](ProtocolKind kind) {
+            return cpelide::run({.workload = name,
+                                 .protocol = kind,
+                                 .chiplets = 4,
+                                 .scale = kScale});
+        };
+        const RunResult mono = one(ProtocolKind::Monolithic);
+        const RunResult base = one(ProtocolKind::Baseline);
+        const RunResult elide = one(ProtocolKind::CpElide);
         EXPECT_LT(mono.cycles, base.cycles) << name;
         EXPECT_LE(static_cast<double>(mono.cycles),
                   1.05 * static_cast<double>(elide.cycles))

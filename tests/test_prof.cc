@@ -145,7 +145,10 @@ class StallAttribution
 TEST_P(StallAttribution, BinsSumToTotalChipletCycles)
 {
     const auto [workload, kind] = GetParam();
-    const RunResult r = runWorkload(workload, kind, 4, 0.05);
+    const RunResult r = run({.workload = workload,
+                             .protocol = kind,
+                             .chiplets = 4,
+                             .scale = 0.05});
     ASSERT_GT(r.cycles, 0u);
     // Monolithic simulates one device; numChiplets holds the
     // *equivalent* chiplet count (see RunResult).
@@ -188,8 +191,11 @@ TEST(StallAttributionMultiStream, BinsSumAcrossStreams)
     // Multi-stream Baseline is the case where a chiplet's attribution
     // cursor can run past a later kernel's window; the clamping must
     // still conserve every cycle.
-    const RunResult r =
-        runWorkloadMultiStream("Square", ProtocolKind::Baseline, 4, 2, 0.05);
+    const RunResult r = run({.workload = "Square",
+                             .protocol = ProtocolKind::Baseline,
+                             .chiplets = 4,
+                             .scale = 0.05,
+                             .copies = 2});
     ASSERT_GT(r.cycles, 0u);
     EXPECT_EQ(stallSum(r),
               static_cast<std::uint64_t>(r.numChiplets) * r.cycles);

@@ -60,8 +60,10 @@ class WorkloadConformance
 
 TEST_P(WorkloadConformance, CpElideIsCoherentAndBounded)
 {
-    const RunResult r =
-        runWorkload(GetParam(), ProtocolKind::CpElide, 2, 0.25);
+    const RunResult r = run({.workload = GetParam(),
+                             .protocol = ProtocolKind::CpElide,
+                             .chiplets = 2,
+                             .scale = 0.25});
     EXPECT_EQ(r.staleReads, 0u) << GetParam();
     EXPECT_GT(r.kernels, 0u);
     EXPECT_GT(r.accesses, 0u);
@@ -71,11 +73,15 @@ TEST_P(WorkloadConformance, CpElideIsCoherentAndBounded)
 
 TEST_P(WorkloadConformance, BaselineAndHmgAreCoherent)
 {
-    const RunResult b =
-        runWorkload(GetParam(), ProtocolKind::Baseline, 2, 0.2);
+    const RunResult b = run({.workload = GetParam(),
+                             .protocol = ProtocolKind::Baseline,
+                             .chiplets = 2,
+                             .scale = 0.2});
     EXPECT_EQ(b.staleReads, 0u);
-    const RunResult h =
-        runWorkload(GetParam(), ProtocolKind::Hmg, 2, 0.2);
+    const RunResult h = run({.workload = GetParam(),
+                             .protocol = ProtocolKind::Hmg,
+                             .chiplets = 2,
+                             .scale = 0.2});
     EXPECT_EQ(h.staleReads, 0u);
     // The same trace is replayed in both configurations.
     EXPECT_EQ(b.accesses, h.accesses);

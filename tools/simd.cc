@@ -52,7 +52,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--cache DIR] "
                  "[--cache-size N] [--quota N] [--batch N] [--jobs N] "
-                 "[--queue N] [--writebuf BYTES]\n",
+                 "[--sim-threads N] [--queue N] [--writebuf BYTES]\n",
                  argv0);
 }
 
@@ -101,6 +101,12 @@ main(int argc, char **argv)
             cfg.batch = std::atoi(argv[++i]);
         } else if (arg == "--jobs" && hasValue) {
             cfg.jobs = std::atoi(argv[++i]);
+        } else if (arg == "--sim-threads" && hasValue) {
+            // Bound/weave workers per simulation (results are
+            // byte-identical at any value, so this never enters the
+            // request hash). Routed through the environment so every
+            // run resolves it exactly like CPELIDE_SIM_THREADS.
+            setenv("CPELIDE_SIM_THREADS", argv[++i], 1);
         } else if (arg == "--queue" && hasValue) {
             cfg.maxQueue = std::atoi(argv[++i]);
         } else if (arg == "--writebuf" && hasValue) {
