@@ -11,11 +11,15 @@ Checks (each prints every violation; exit status 1 if any fired):
  2. single-getenv: ExecOptions::raw() (src/sim/exec_options.hh) is the
     tree's only environment read. A stray getenv/secure_getenv would
     bypass the typed knob table and the unknown-variable warning.
+    Tests and tools are scanned too (tests toggle knobs with setenv
+    but must not *read* the environment directly).
 
  3. no-cout: simulation code must not write to stdout; structured
     output belongs to the stat sinks and the bench harness (stdout is
     machine-parsed sweep output — a stray print corrupts it). Only
-    src/harness/ and src/stats/ may touch std::cout.
+    src/harness/ and src/stats/ may touch std::cout. tools/ is scanned
+    too; tools/simc.cc is exempt (it is the *client* CLI — its stdout
+    IS the NDJSON response stream, there is no simulator underneath).
 
  4. prof-counters: live stat counters in src/ must be prof::Counter,
     not ad-hoc std::uint64_t members, so they can register with the
@@ -29,25 +33,76 @@ Checks (each prints every violation; exit status 1 if any fired):
     comment pointing at a dead symbol is how they creep back in).
     Callers build a RunRequest and use run() / makeJob().
 
+ 6. unordered-iter: no iteration over std::unordered_map/set in src/.
+    Hash iteration order is libstdc++-version- and seed-dependent, so
+    any result that flows out of a range-for or .begin() over an
+    unordered container is a nondeterminism bug by construction.
+    Keyed lookups (find/count/at/[]) are fine. Audited exemptions
+    (iteration whose result is re-sorted before anything observable)
+    live in UNORDERED_ITER_ALLOWED.
+
+ 7. wall-clock: simulation results must be a pure function of the
+    request, so src/ must not read the wall clock via system_clock,
+    clock_gettime, gettimeofday, time(), or localtime/gmtime.
+    steady_clock is allowed: it is monotonic and feeds only host-side
+    metrics (watchdog budgets, RunMetrics wall seconds, serve
+    deadlines), never simulated time.
+
+ 8. rng: all randomness in src/ flows through the deterministic,
+    seedable engine in src/sim/rng.hh. std::rand, std::mt19937,
+    random_device & friends are banned — hardware entropy or
+    library-dependent engines would break bit-reproducibility.
+
+ 9. mutex-discipline: concurrent code uses the annotated cpelide::Mutex
+    / MutexGuard (src/sim/thread_annotations.hh), never raw std::mutex
+    / std::lock_guard / std::unique_lock / std::scoped_lock — the raw
+    types carry no capability attributes, so clang's -Wthread-safety
+    cannot see locks taken through them. Additionally, every Mutex
+    member must be referenced by at least one CPELIDE_GUARDED_BY /
+    CPELIDE_PT_GUARDED_BY / CPELIDE_REQUIRES in its declaring file or
+    that file's .hh/.cc pair: a mutex that guards nothing statically
+    is either dead weight or silently unverified locking.
+
+10. exemptions-valid: every allowlist entry above must still name an
+    existing file (and, for (file, member) entries, a member that
+    still appears in it). A stale exemption is a hole that outlives
+    the code it excused.
+
 Run from the repository root (CI does):  python3 scripts/lint.py
+
+Options:
+  --root PATH   lint PATH instead of the repository (fixture tests)
+  --only A,B    run only the named checks (fixture tests run one rule
+                against a tree that intentionally violates others)
 """
 
+import argparse
 import pathlib
 import re
 import sys
 
-ROOT = pathlib.Path(__file__).resolve().parent.parent
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ROOT = REPO_ROOT
+
+# The lint fixture trees intentionally violate the rules; they are
+# linted one-by-one via --root/--only and must never trip a scan of
+# the real tree.
+FIXTURE_PREFIX = "tests/lint/fixtures/"
 
 # Directories scanned for the getenv rule (tests intentionally use
 # setenv to toggle knobs, but must still not *read* the environment
 # directly).
-GETENV_DIRS = ["src", "bench", "examples"]
+GETENV_DIRS = ["src", "bench", "examples", "tests", "tools"]
 GETENV_ALLOWED = {"src/sim/exec_options.hh"}
 GETENV_RE = re.compile(r"\b(?:secure_)?getenv\s*\(")
 
 # Only the harness (human/CLI frontend) and the stat sinks (structured
-# stdout writers) may use std::cout inside src/.
+# stdout writers) may use std::cout inside src/. tools/simc.cc is the
+# daemon *client*: its stdout is the NDJSON response stream the caller
+# asked for — there is no simulation output to corrupt.
+COUT_DIRS = ["src", "tools"]
 COUT_ALLOWED_PREFIXES = ("src/harness/", "src/stats/")
+COUT_ALLOWED = {"tools/simc.cc"}
 COUT_RE = re.compile(r"\bstd::cout\b")
 
 SOURCE_SUFFIXES = {".cc", ".cpp", ".hh", ".h"}
@@ -75,15 +130,74 @@ LEGACY_RE = re.compile(
     r"\b(runWorkload(?:Cfg|MultiStream)?|"
     r"workload(?:Cfg)?Job|multiStreamJob)\b")
 
+# unordered-iter rule. HbChecker::finalize() iterates _lines but
+# copies the survivors into a vector and sorts by (ds, line) before
+# anything is reported, so hash order never reaches an observable
+# result — the audited sorted-snapshot idiom.
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|"
+                               r"multiset)\s*<")
+UNORDERED_ITER_ALLOWED = {("src/check/hb_checker.cc", "_lines")}
+
+# wall-clock rule. No exemptions today: steady_clock (allowed) covers
+# every legitimate host-time need in src/.
+WALLCLOCK_DIRS = ["src"]
+WALLCLOCK_ALLOWED = set()
+WALLCLOCK_RE = re.compile(
+    r"\b(?:std::chrono::)?system_clock\b|"
+    r"\bclock_gettime\s*\(|"
+    r"\bgettimeofday\s*\(|"
+    # time() itself only with its time_t-ish argument spelled out —
+    # bare 'time()' is a common accessor name for *simulated* time.
+    r"\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0|&\w+)\s*\)|"
+    r"\b(?:std::)?(?:localtime|gmtime|ctime)(?:_r)?\s*\(")
+
+# rng rule: the engine itself is the single sanctioned home.
+RNG_DIRS = ["src"]
+RNG_ALLOWED = {"src/sim/rng.hh"}
+RNG_RE = re.compile(
+    r"\bstd::rand\b|\bstd::srand\b|\bs?rand\s*\(\s*\)|"
+    r"\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|ranlux\w+|knuth_b|"
+    r"random_device|default_random_engine)\b|"
+    r"\b[dlm]rand48\s*\(|\brandom\s*\(\s*\)")
+
+# mutex-discipline rule. The annotated wrapper types are the only
+# place the raw primitives may appear.
+MUTEX_DIRS = ["src", "tools"]
+MUTEX_RAW_ALLOWED = {"src/sim/thread_annotations.hh"}
+MUTEX_RAW_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# A class-scope Mutex member: 'Mutex name;' optionally 'mutable', at
+# line start. Local 'static Mutex m;' (function scope) does not match.
+MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;",
+                             re.M)
+
 
 def rel(path: pathlib.Path) -> str:
     return path.relative_to(ROOT).as_posix()
 
 
 def source_files(subdir: str):
-    for path in sorted((ROOT / subdir).rglob("*")):
-        if path.suffix in SOURCE_SUFFIXES and path.is_file():
-            yield path
+    base = ROOT / subdir
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        if rel(path).startswith(FIXTURE_PREFIX):
+            continue
+        yield path
+
+
+def paired_file(path: pathlib.Path):
+    """The .cc of a .hh (or vice versa), when it exists."""
+    other = {".hh": [".cc"], ".h": [".cc", ".cpp"],
+             ".cc": [".hh", ".h"], ".cpp": [".h", ".hh"]}
+    for suffix in other.get(path.suffix, []):
+        candidate = path.with_suffix(suffix)
+        if candidate.is_file():
+            return candidate
+    return None
 
 
 def expected_guard(path: pathlib.Path) -> str:
@@ -131,23 +245,24 @@ def check_single_getenv() -> list:
 
 def check_no_cout() -> list:
     errors = []
-    for path in source_files("src"):
-        if rel(path).startswith(COUT_ALLOWED_PREFIXES):
-            continue
-        for n, line in enumerate(path.read_text().splitlines(), 1):
-            if COUT_RE.search(line):
-                errors.append(f"{rel(path)}:{n}: std::cout in simulation "
-                              "code; route output through a stat sink or "
-                              "the harness (stderr via log.hh for "
-                              "diagnostics)")
+    for subdir in COUT_DIRS:
+        for path in source_files(subdir):
+            if rel(path).startswith(COUT_ALLOWED_PREFIXES):
+                continue
+            if rel(path) in COUT_ALLOWED:
+                continue
+            for n, line in enumerate(path.read_text().splitlines(), 1):
+                if COUT_RE.search(line):
+                    errors.append(f"{rel(path)}:{n}: std::cout in "
+                                  "simulation code; route output through a "
+                                  "stat sink or the harness (stderr via "
+                                  "log.hh for diagnostics)")
     return errors
 
 
 def check_legacy_api() -> list:
     errors = []
     for subdir in LEGACY_DIRS:
-        if not (ROOT / subdir).is_dir():
-            continue
         for path in source_files(subdir):
             for n, line in enumerate(path.read_text().splitlines(), 1):
                 m = LEGACY_RE.search(line)
@@ -179,16 +294,207 @@ def check_prof_counters() -> list:
     return errors
 
 
+def unordered_decl_names(text: str) -> set:
+    """Names declared with std::unordered_* type in @p text.
+
+    Walks the template brackets to find the declarator after the
+    closing '>'. Heuristic by design: reference/pointer parameters and
+    alias declarations yield no name (and aliases therefore escape —
+    declare unordered members with the spelled-out type).
+    """
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        i, depth = m.end(), 1
+        while i < len(text) and depth:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        nm = re.match(r"\s*(\w+)", text[i:])
+        if nm:
+            names.add(nm.group(1))
+    return names
+
+
+def check_unordered_iter() -> list:
+    errors = []
+    # Collect names file-by-file, then flag iteration in the declaring
+    # file and its .hh/.cc pair (the only scopes where an unqualified
+    # member/local name can refer to that declaration).
+    for path in source_files("src"):
+        text = path.read_text()
+        names = unordered_decl_names(text)
+        pair = paired_file(path)
+        if pair is not None:
+            names |= unordered_decl_names(pair.read_text())
+        if not names:
+            continue
+        for n, line in enumerate(text.splitlines(), 1):
+            for name in names:
+                if (rel(path), name) in UNORDERED_ITER_ALLOWED:
+                    continue
+                hit = (
+                    re.search(rf"for\s*\([^;)]*:\s*\*?&?"
+                              rf"(?:\w+(?:\.|->))?{name}\s*\)", line)
+                    or re.search(rf"\b{name}\s*(?:\.|->)\s*c?r?begin\s*\(",
+                                 line))
+                if hit:
+                    errors.append(
+                        f"{rel(path)}:{n}: iteration over unordered "
+                        f"container '{name}' — hash order is not "
+                        "deterministic; use an ordered container, or "
+                        "sort a snapshot and add an audited exemption")
+    return errors
+
+
+def check_wall_clock() -> list:
+    errors = []
+    for subdir in WALLCLOCK_DIRS:
+        for path in source_files(subdir):
+            if rel(path) in WALLCLOCK_ALLOWED:
+                continue
+            for n, line in enumerate(path.read_text().splitlines(), 1):
+                m = WALLCLOCK_RE.search(line)
+                if m:
+                    errors.append(
+                        f"{rel(path)}:{n}: wall-clock read "
+                        f"'{m.group(0).strip()}' in simulation code; "
+                        "simulated time comes from the EventQueue, and "
+                        "host-side metrics use the monotonic "
+                        "steady_clock")
+    return errors
+
+
+def check_rng() -> list:
+    errors = []
+    for subdir in RNG_DIRS:
+        for path in source_files(subdir):
+            if rel(path) in RNG_ALLOWED:
+                continue
+            for n, line in enumerate(path.read_text().splitlines(), 1):
+                m = RNG_RE.search(line)
+                if m:
+                    errors.append(
+                        f"{rel(path)}:{n}: non-deterministic randomness "
+                        f"'{m.group(0).strip()}'; all randomness flows "
+                        "through the seedable cpelide::Rng "
+                        "(src/sim/rng.hh)")
+    return errors
+
+
+def check_mutex_discipline() -> list:
+    errors = []
+    annotation_re = re.compile(
+        r"CPELIDE_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\s*\(\s*"
+        r"(?:\w+(?:\.|->))?(\w+)")
+    for subdir in MUTEX_DIRS:
+        for path in source_files(subdir):
+            rpath = rel(path)
+            text = path.read_text()
+            if rpath not in MUTEX_RAW_ALLOWED:
+                for n, line in enumerate(text.splitlines(), 1):
+                    m = MUTEX_RAW_RE.search(line)
+                    if m:
+                        errors.append(
+                            f"{rpath}:{n}: raw '{m.group(0)}' — use the "
+                            "annotated cpelide::Mutex/MutexGuard "
+                            "(src/sim/thread_annotations.hh) so "
+                            "-Wthread-safety can check the locking")
+            # Every Mutex member must guard something, statically.
+            members = set(MUTEX_MEMBER_RE.findall(text))
+            if not members:
+                continue
+            referenced = set(annotation_re.findall(text))
+            pair = paired_file(path)
+            if pair is not None:
+                referenced |= set(annotation_re.findall(pair.read_text()))
+            for name in sorted(members - referenced):
+                errors.append(
+                    f"{rpath}: Mutex member '{name}' is never named by "
+                    "a CPELIDE_GUARDED_BY/CPELIDE_REQUIRES annotation; "
+                    "annotate what it guards (or delete it)")
+    return errors
+
+
+def check_exemptions_valid() -> list:
+    errors = []
+
+    def require_file(rpath: str, rule: str):
+        if not (ROOT / rpath).is_file():
+            errors.append(f"lint.py: {rule} exemption '{rpath}' names a "
+                          "file that no longer exists — remove the stale "
+                          "entry")
+            return None
+        return (ROOT / rpath).read_text()
+
+    for rpath in sorted(GETENV_ALLOWED):
+        require_file(rpath, "single-getenv")
+    for rpath in sorted(COUT_ALLOWED):
+        require_file(rpath, "no-cout")
+    for rpath in sorted(WALLCLOCK_ALLOWED):
+        require_file(rpath, "wall-clock")
+    for rpath in sorted(RNG_ALLOWED):
+        require_file(rpath, "rng")
+    for rpath in sorted(MUTEX_RAW_ALLOWED):
+        require_file(rpath, "mutex-discipline")
+    for rpath, member in sorted(COUNTER_ALLOWED):
+        text = require_file(rpath, "prof-counters")
+        if text is not None and member not in text:
+            errors.append(f"lint.py: prof-counters exemption "
+                          f"('{rpath}', '{member}') names a member that "
+                          "no longer appears in the file — remove the "
+                          "stale entry")
+    for rpath, member in sorted(UNORDERED_ITER_ALLOWED):
+        text = require_file(rpath, "unordered-iter")
+        if text is not None and member not in text:
+            errors.append(f"lint.py: unordered-iter exemption "
+                          f"('{rpath}', '{member}') names a member that "
+                          "no longer appears in the file — remove the "
+                          "stale entry")
+    return errors
+
+
+CHECKS = [
+    ("include-guards", check_include_guards),
+    ("single-getenv", check_single_getenv),
+    ("no-cout", check_no_cout),
+    ("prof-counters", check_prof_counters),
+    ("legacy-api", check_legacy_api),
+    ("unordered-iter", check_unordered_iter),
+    ("wall-clock", check_wall_clock),
+    ("rng", check_rng),
+    ("mutex-discipline", check_mutex_discipline),
+    ("exemptions-valid", check_exemptions_valid),
+]
+
+
 def main() -> int:
-    checks = [
-        ("include-guards", check_include_guards),
-        ("single-getenv", check_single_getenv),
-        ("no-cout", check_no_cout),
-        ("prof-counters", check_prof_counters),
-        ("legacy-api", check_legacy_api),
-    ]
+    global ROOT
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="lint this tree instead of the repository "
+                             "(fixture tests)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated subset of checks to run")
+    args = parser.parse_args()
+    if args.root is not None:
+        ROOT = pathlib.Path(args.root).resolve()
+        if not ROOT.is_dir():
+            print(f"lint: --root {args.root}: not a directory")
+            return 2
+    selected = CHECKS
+    if args.only is not None:
+        wanted = [w.strip() for w in args.only.split(",") if w.strip()]
+        known = {name for name, _ in CHECKS}
+        for w in wanted:
+            if w not in known:
+                print(f"lint: --only {w}: unknown check "
+                      f"(known: {', '.join(sorted(known))})")
+                return 2
+        selected = [(name, fn) for name, fn in CHECKS if name in wanted]
     failed = False
-    for name, fn in checks:
+    for name, fn in selected:
         errors = fn()
         if errors:
             failed = True

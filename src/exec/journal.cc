@@ -154,7 +154,7 @@ decodeOutcome(const std::string &line, std::uint64_t *hash,
 
 SweepJournal::~SweepJournal()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     if (_file) {
         std::fclose(_file);
         _file = nullptr;
@@ -164,7 +164,7 @@ SweepJournal::~SweepJournal()
 bool
 SweepJournal::open(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     _path = path;
     _loaded.clear();
 
@@ -240,7 +240,7 @@ SweepJournal::open(const std::string &path)
 bool
 SweepJournal::lookup(std::uint64_t hash, JobOutcome *out) const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     auto it = _loaded.find(hash);
     if (it == _loaded.end() || !it->second.ok)
         return false;
@@ -252,7 +252,7 @@ void
 SweepJournal::append(std::uint64_t hash, const std::string &sweep,
                      const std::string &label, const JobOutcome &outcome)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     if (!_file)
         return;
     const std::string line = encodeOutcome(hash, sweep, label, outcome);

@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "exec/job.hh"
+#include "sim/thread_annotations.hh"
 
 namespace cpelide
 {
@@ -73,29 +73,49 @@ class SweepJournal
      * Load @p path (missing file = empty journal) and open it for
      * appending. @return false if the file cannot be created.
      */
-    bool open(const std::string &path);
+    bool open(const std::string &path) CPELIDE_EXCLUDES(_mutex);
 
-    bool isOpen() const { return _file != nullptr; }
-    const std::string &path() const { return _path; }
+    bool
+    isOpen() const CPELIDE_EXCLUDES(_mutex)
+    {
+        MutexGuard lock(_mutex);
+        return _file != nullptr;
+    }
+
+    std::string
+    path() const CPELIDE_EXCLUDES(_mutex)
+    {
+        MutexGuard lock(_mutex);
+        return _path;
+    }
 
     /** Records loaded from the file at open(). */
-    std::size_t loadedRecords() const { return _loaded.size(); }
+    std::size_t
+    loadedRecords() const CPELIDE_EXCLUDES(_mutex)
+    {
+        MutexGuard lock(_mutex);
+        return _loaded.size();
+    }
 
     /**
      * Look up a previously journaled *successful* outcome.
      * @retval true and fills @p out (with fromCheckpoint set).
      */
-    bool lookup(std::uint64_t hash, JobOutcome *out) const;
+    bool lookup(std::uint64_t hash, JobOutcome *out) const
+        CPELIDE_EXCLUDES(_mutex);
 
     /** Append one completed job's record and flush it to disk. */
     void append(std::uint64_t hash, const std::string &sweep,
-                const std::string &label, const JobOutcome &outcome);
+                const std::string &label, const JobOutcome &outcome)
+        CPELIDE_EXCLUDES(_mutex);
 
   private:
-    mutable std::mutex _mutex;
-    std::string _path;
-    std::FILE *_file = nullptr;
-    std::unordered_map<std::uint64_t, JobOutcome> _loaded;
+    mutable Mutex _mutex;
+    std::string _path CPELIDE_GUARDED_BY(_mutex);
+    std::FILE *_file CPELIDE_GUARDED_BY(_mutex) = nullptr;
+    /** Keyed lookups only — never iterated (determinism lint). */
+    std::unordered_map<std::uint64_t, JobOutcome>
+        _loaded CPELIDE_GUARDED_BY(_mutex);
 };
 
 } // namespace cpelide

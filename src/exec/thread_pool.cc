@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         _stop = true;
     }
     _workCv.notify_all();
@@ -39,13 +39,13 @@ ThreadPool::submit(Task task)
 {
     std::size_t target;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         target = _nextDeque++ % _workers.size();
         ++_queued;
         ++_outstanding;
     }
     {
-        std::lock_guard<std::mutex> lock(_workers[target]->mutex);
+        MutexGuard lock(_workers[target]->mutex);
         _workers[target]->tasks.push_back(std::move(task));
     }
     _workCv.notify_one();
@@ -54,8 +54,9 @@ ThreadPool::submit(Task task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(_mutex);
-    _idleCv.wait(lock, [this] { return _outstanding == 0; });
+    MutexGuard lock(_mutex);
+    while (_outstanding != 0)
+        lock.wait(_idleCv);
 }
 
 int
@@ -70,7 +71,7 @@ ThreadPool::takeTask(int index, Task &out)
     // Own deque first (front), then steal from the back of the others.
     Worker &own = *_workers[static_cast<std::size_t>(index)];
     {
-        std::lock_guard<std::mutex> lock(own.mutex);
+        MutexGuard lock(own.mutex);
         if (!own.tasks.empty()) {
             out = std::move(own.tasks.front());
             own.tasks.pop_front();
@@ -81,7 +82,7 @@ ThreadPool::takeTask(int index, Task &out)
     for (int k = 1; k < n; ++k) {
         Worker &victim = *_workers[static_cast<std::size_t>(
             (index + k) % n)];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        MutexGuard lock(victim.mutex);
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.back());
             victim.tasks.pop_back();
@@ -99,22 +100,22 @@ ThreadPool::workerLoop(int index)
         Task task;
         if (takeTask(index, task)) {
             {
-                std::lock_guard<std::mutex> lock(_mutex);
+                MutexGuard lock(_mutex);
                 --_queued;
             }
             task();
             bool idle;
             {
-                std::lock_guard<std::mutex> lock(_mutex);
+                MutexGuard lock(_mutex);
                 idle = --_outstanding == 0;
             }
             if (idle)
                 _idleCv.notify_all();
             continue;
         }
-        std::unique_lock<std::mutex> lock(_mutex);
-        _workCv.wait(lock,
-                     [this] { return _stop || _queued > 0; });
+        MutexGuard lock(_mutex);
+        while (!_stop && _queued == 0)
+            lock.wait(_workCv);
         if (_stop && _queued == 0)
             return;
     }

@@ -7,7 +7,8 @@
  * worker steals from the back of a victim's deque. Simulation jobs
  * are coarse (milliseconds to minutes each), so the deques are
  * mutex-protected rather than lock-free — contention is negligible
- * next to job runtime, and the code stays auditable.
+ * next to job runtime, and the code stays auditable (every guarded
+ * member is compiler-checked under -Wthread-safety).
  */
 
 #ifndef CPELIDE_EXEC_THREAD_POOL_HH
@@ -17,9 +18,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/thread_annotations.hh"
 
 namespace cpelide
 {
@@ -41,10 +43,10 @@ class ThreadPool
     int threadCount() const { return static_cast<int>(_workers.size()); }
 
     /** Enqueue @p task; runs on some worker, in no particular order. */
-    void submit(Task task);
+    void submit(Task task) CPELIDE_EXCLUDES(_mutex);
 
     /** Block until every submitted task has finished. */
-    void wait();
+    void wait() CPELIDE_EXCLUDES(_mutex);
 
     /**
      * Index of the pool worker running the calling thread, or -1 when
@@ -55,23 +57,28 @@ class ThreadPool
   private:
     struct Worker
     {
-        std::mutex mutex;
-        std::deque<Task> tasks;
+        Mutex mutex;
+        std::deque<Task> tasks CPELIDE_GUARDED_BY(mutex);
     };
 
-    void workerLoop(int index);
-    bool takeTask(int index, Task &out);
+    void workerLoop(int index) CPELIDE_EXCLUDES(_mutex);
+    bool takeTask(int index, Task &out) CPELIDE_EXCLUDES(_mutex);
 
+    /** Immutable after construction (sized in the constructor, before
+     *  any worker thread starts). */
     std::vector<std::unique_ptr<Worker>> _workers;
     std::vector<std::thread> _threads;
 
-    std::mutex _mutex; //!< guards the counters and both condvars
+    Mutex _mutex; //!< guards the counters and both condvars
     std::condition_variable _workCv;
     std::condition_variable _idleCv;
-    std::size_t _queued = 0;      //!< submitted, not yet popped
-    std::size_t _outstanding = 0; //!< submitted, not yet finished
-    std::size_t _nextDeque = 0;   //!< round-robin submit cursor
-    bool _stop = false;
+    /** Submitted, not yet popped. */
+    std::size_t _queued CPELIDE_GUARDED_BY(_mutex) = 0;
+    /** Submitted, not yet finished. */
+    std::size_t _outstanding CPELIDE_GUARDED_BY(_mutex) = 0;
+    /** Round-robin submit cursor. */
+    std::size_t _nextDeque CPELIDE_GUARDED_BY(_mutex) = 0;
+    bool _stop CPELIDE_GUARDED_BY(_mutex) = false;
 };
 
 } // namespace cpelide

@@ -13,7 +13,7 @@ Watchdog::global()
 Watchdog::~Watchdog()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         _stop = true;
     }
     _cv.notify_all();
@@ -26,7 +26,7 @@ Watchdog::watch(std::shared_ptr<BudgetGuard::State> state)
 {
     if (!state || state->maxWallMs <= 0.0)
         return 0; // nothing to monitor
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     const std::uint64_t ticket = _nextTicket++;
     _watched.emplace(ticket, std::move(state));
     if (!_thread.joinable())
@@ -40,23 +40,23 @@ Watchdog::unwatch(std::uint64_t ticket)
 {
     if (ticket == 0)
         return;
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     _watched.erase(ticket);
 }
 
 std::uint64_t
 Watchdog::cancellations() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _cancellations;
 }
 
 void
 Watchdog::monitorLoop()
 {
-    std::unique_lock<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     while (!_stop) {
-        _cv.wait_for(lock, kScanPeriod);
+        lock.waitFor(_cv, kScanPeriod);
         for (auto &[ticket, state] : _watched) {
             if (state->cancel.load(std::memory_order_relaxed))
                 continue;

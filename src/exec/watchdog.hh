@@ -19,13 +19,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
-#include <unordered_map>
 
 #include "prof/counter.hh"
 #include "sim/sim_budget.hh"
+#include "sim/thread_annotations.hh"
 
 namespace cpelide
 {
@@ -46,30 +46,36 @@ class Watchdog
      * Start monitoring @p state (no-op handle when the state has no
      * wall limit). @return a ticket to pass to unwatch().
      */
-    std::uint64_t watch(std::shared_ptr<BudgetGuard::State> state);
+    std::uint64_t watch(std::shared_ptr<BudgetGuard::State> state)
+        CPELIDE_EXCLUDES(_mutex);
 
     /** Stop monitoring a ticket returned by watch(). */
-    void unwatch(std::uint64_t ticket);
+    void unwatch(std::uint64_t ticket) CPELIDE_EXCLUDES(_mutex);
 
     /** Jobs the watchdog has cancelled so far (tests). */
-    std::uint64_t cancellations() const;
+    std::uint64_t cancellations() const CPELIDE_EXCLUDES(_mutex);
 
     /** Scan period; short so tests with ~100 ms budgets stay snappy. */
     static constexpr std::chrono::milliseconds kScanPeriod{10};
 
   private:
     /** RAII registration used by SweepRunner. */
-    void monitorLoop();
+    void monitorLoop() CPELIDE_EXCLUDES(_mutex);
 
-    mutable std::mutex _mutex;
+    mutable Mutex _mutex;
     std::condition_variable _cv;
-    std::unordered_map<std::uint64_t,
-                       std::shared_ptr<BudgetGuard::State>>
-        _watched;
-    std::uint64_t _nextTicket = 1;
-    prof::Counter _cancellations; //!< guarded by _mutex
+    /** Ordered map: the scan visits tickets in registration order,
+     *  not hash order (determinism lint, rule unordered-iter). */
+    std::map<std::uint64_t, std::shared_ptr<BudgetGuard::State>>
+        _watched CPELIDE_GUARDED_BY(_mutex);
+    std::uint64_t _nextTicket CPELIDE_GUARDED_BY(_mutex) = 1;
+    prof::Counter _cancellations CPELIDE_GUARDED_BY(_mutex);
+    /** Started once under _mutex (watch()), joined by the destructor
+     *  after the monitor loop observed _stop — joining under the lock
+     *  would deadlock against the loop, so the handle itself is not
+     *  guarded; no other thread touches it. */
     std::thread _thread;
-    bool _stop = false;
+    bool _stop CPELIDE_GUARDED_BY(_mutex) = false;
 };
 
 /** Scoped watch/unwatch of one job's budget state. */

@@ -8,7 +8,7 @@ namespace cpelide::prof
 void
 ProfRegistry::addCounter(std::string name, const Counter *counter)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     ScalarEntry e;
     e.name = std::move(name);
     e.kind = ScalarKind::Counter;
@@ -19,7 +19,7 @@ ProfRegistry::addCounter(std::string name, const Counter *counter)
 void
 ProfRegistry::addGauge(std::string name, Gauge gauge)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     ScalarEntry e;
     e.name = std::move(name);
     e.kind = ScalarKind::Gauge;
@@ -30,14 +30,14 @@ ProfRegistry::addGauge(std::string name, Gauge gauge)
 void
 ProfRegistry::addHistogram(std::string name, const Histogram *histogram)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     _histograms.push_back({std::move(name), histogram});
 }
 
 void
 ProfRegistry::addSeries(std::string name, Gauge gauge)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     SeriesEntry e;
     e.name = std::move(name);
     e.gauge = std::move(gauge);
@@ -47,7 +47,7 @@ ProfRegistry::addSeries(std::string name, Gauge gauge)
 void
 ProfRegistry::publish(std::string name, std::uint64_t value)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     ScalarEntry e;
     e.name = std::move(name);
     e.kind = ScalarKind::Published;
@@ -58,7 +58,7 @@ ProfRegistry::publish(std::string name, std::uint64_t value)
 void
 ProfRegistry::sample(Tick now)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     for (SeriesEntry &e : _series)
         e.series.sample(now, e.gauge ? e.gauge() : 0);
 }
@@ -66,7 +66,7 @@ ProfRegistry::sample(Tick now)
 ProfSnapshot
 ProfRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     ProfSnapshot snap;
     snap.counters.reserve(_scalars.size());
     for (const ScalarEntry &e : _scalars) {

@@ -27,12 +27,12 @@
 #define CPELIDE_PROF_REGISTRY_HH
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "prof/counter.hh"
 #include "prof/snapshot.hh"
+#include "sim/thread_annotations.hh"
 
 namespace cpelide::prof
 {
@@ -47,25 +47,28 @@ class ProfRegistry
     ProfRegistry &operator=(const ProfRegistry &) = delete;
 
     /** Register a live counter; read at snapshot time. */
-    void addCounter(std::string name, const Counter *counter);
+    void addCounter(std::string name, const Counter *counter)
+        CPELIDE_EXCLUDES(_mutex);
 
     /** Register a sampling closure; read at snapshot time. */
-    void addGauge(std::string name, Gauge gauge);
+    void addGauge(std::string name, Gauge gauge) CPELIDE_EXCLUDES(_mutex);
 
     /** Register a live histogram; read at snapshot time. */
-    void addHistogram(std::string name, const Histogram *histogram);
+    void addHistogram(std::string name, const Histogram *histogram)
+        CPELIDE_EXCLUDES(_mutex);
 
     /** Register a gauge sampled at every sample() call. */
-    void addSeries(std::string name, Gauge gauge);
+    void addSeries(std::string name, Gauge gauge) CPELIDE_EXCLUDES(_mutex);
 
     /** Record a constant (e.g. an attribution bin) once, at end of run. */
-    void publish(std::string name, std::uint64_t value);
+    void publish(std::string name, std::uint64_t value)
+        CPELIDE_EXCLUDES(_mutex);
 
     /** Append one point (at simulated @p now) to every series. */
-    void sample(Tick now);
+    void sample(Tick now) CPELIDE_EXCLUDES(_mutex);
 
     /** Freeze everything registered so far, in registration order. */
-    ProfSnapshot snapshot() const;
+    ProfSnapshot snapshot() const CPELIDE_EXCLUDES(_mutex);
 
   private:
     enum class ScalarKind { Counter, Gauge, Published };
@@ -92,10 +95,10 @@ class ProfRegistry
         TimeSeries series;
     };
 
-    mutable std::mutex _mutex;
-    std::vector<ScalarEntry> _scalars;
-    std::vector<HistogramEntry> _histograms;
-    std::vector<SeriesEntry> _series;
+    mutable Mutex _mutex;
+    std::vector<ScalarEntry> _scalars CPELIDE_GUARDED_BY(_mutex);
+    std::vector<HistogramEntry> _histograms CPELIDE_GUARDED_BY(_mutex);
+    std::vector<SeriesEntry> _series CPELIDE_GUARDED_BY(_mutex);
 };
 
 /**

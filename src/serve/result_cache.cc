@@ -108,6 +108,11 @@ ResultCache::ResultCache(std::size_t capacity, const std::string &dir)
     if (dir.empty())
         return;
 
+    // No other thread can see a half-built cache, but insertLocked()
+    // requires the capability, and holding it for real keeps the
+    // constructor honest under -Wthread-safety (and costs nothing).
+    MutexGuard lock(_mutex);
+
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
@@ -204,7 +209,7 @@ ResultCache::ResultCache(std::size_t capacity, const std::string &dir)
 
 ResultCache::~ResultCache()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     if (_file) {
         std::fclose(_file);
         _file = nullptr;
@@ -214,7 +219,7 @@ ResultCache::~ResultCache()
 bool
 ResultCache::lookup(std::uint64_t key, RunResult *out)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     auto it = _map.find(key);
     if (it == _map.end()) {
         ++_missCounter;
@@ -248,7 +253,7 @@ void
 ResultCache::insert(std::uint64_t key, const std::string &canonical,
                     const RunResult &result)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     const bool fresh = _map.find(key) == _map.end();
     insertLocked(key, result);
     if (fresh && _file) {
@@ -262,28 +267,28 @@ ResultCache::insert(std::uint64_t key, const std::string &canonical,
 std::size_t
 ResultCache::entries() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _map.size();
 }
 
 std::uint64_t
 ResultCache::hitTally() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _hitCounter.value();
 }
 
 std::uint64_t
 ResultCache::missTally() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _missCounter.value();
 }
 
 std::uint64_t
 ResultCache::quarantineTally() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _quarantineCounter.value();
 }
 

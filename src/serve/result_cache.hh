@@ -41,11 +41,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "prof/counter.hh"
+#include "sim/thread_annotations.hh"
 #include "stats/run_result.hh"
 
 namespace cpelide
@@ -71,7 +71,8 @@ class ResultCache
      * Fetch the result stored under @p key, bumping its recency.
      * @retval true and fills @p out on a hit.
      */
-    bool lookup(std::uint64_t key, RunResult *out);
+    bool lookup(std::uint64_t key, RunResult *out)
+        CPELIDE_EXCLUDES(_mutex);
 
     /**
      * Store @p result under @p key. @p canonical (the canonical
@@ -81,40 +82,45 @@ class ResultCache
      * bytes are identical).
      */
     void insert(std::uint64_t key, const std::string &canonical,
-                const RunResult &result);
+                const RunResult &result) CPELIDE_EXCLUDES(_mutex);
 
-    std::size_t entries() const;
-    std::uint64_t hitTally() const;
-    std::uint64_t missTally() const;
+    std::size_t entries() const CPELIDE_EXCLUDES(_mutex);
+    std::uint64_t hitTally() const CPELIDE_EXCLUDES(_mutex);
+    std::uint64_t missTally() const CPELIDE_EXCLUDES(_mutex);
     /** Corrupt store records skipped (not loaded) at construction. */
-    std::uint64_t quarantineTally() const;
+    std::uint64_t quarantineTally() const CPELIDE_EXCLUDES(_mutex);
     /** Entries restored from the disk store at construction. */
     std::size_t loadedEntries() const { return _loadedEntries; }
     /** "" when memory-only. */
     const std::string &storePath() const { return _path; }
 
   private:
-    void insertLocked(std::uint64_t key, const RunResult &result);
+    void insertLocked(std::uint64_t key, const RunResult &result)
+        CPELIDE_REQUIRES(_mutex);
 
-    mutable std::mutex _mutex;
+    mutable Mutex _mutex;
+    /** Immutable after the constructor; read concurrently unguarded. */
     std::size_t _capacity;
 
     /** Most-recent-first key list; map entries point into it. */
-    std::list<std::uint64_t> _lru;
+    std::list<std::uint64_t> _lru CPELIDE_GUARDED_BY(_mutex);
     struct Entry
     {
         RunResult result;
         std::list<std::uint64_t>::iterator lruPos;
     };
-    std::unordered_map<std::uint64_t, Entry> _map;
+    /** Keyed lookups only — never iterated (determinism lint). */
+    std::unordered_map<std::uint64_t, Entry> _map CPELIDE_GUARDED_BY(_mutex);
 
+    /** Set in the constructor, immutable afterwards (storePath()). */
     std::string _path;
-    std::FILE *_file = nullptr;
+    std::FILE *_file CPELIDE_GUARDED_BY(_mutex) = nullptr;
+    /** Set in the constructor, immutable afterwards. */
     std::size_t _loadedEntries = 0;
 
-    prof::Counter _hitCounter;
-    prof::Counter _missCounter;
-    prof::Counter _quarantineCounter;
+    prof::Counter _hitCounter CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _missCounter CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _quarantineCounter CPELIDE_GUARDED_BY(_mutex);
 };
 
 } // namespace cpelide

@@ -55,7 +55,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +62,7 @@
 #include "prof/counter.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
+#include "sim/thread_annotations.hh"
 
 namespace cpelide
 {
@@ -122,7 +122,7 @@ class SimServer
     void requestStop() { _stopping.store(true); }
 
     /** Drain queued work, join every thread, close and unlink. */
-    void stop();
+    void stop() CPELIDE_EXCLUDES(_connMutex, _queueMutex);
 
     /**
      * Immediate teardown for crash emulation (chaos tests): close
@@ -131,34 +131,36 @@ class SimServer
      * leaves. Completed results are already on disk, so a warm
      * restart serves them as "cached":1.
      */
-    void abortStop();
+    void abortStop() CPELIDE_EXCLUDES(_connMutex, _queueMutex);
 
     bool running() const { return _running.load(); }
     const std::string &socketPath() const { return _cfg.socketPath; }
 
     /** Live counter snapshot (the "stats" protocol answer). */
-    ServeStats stats() const;
+    ServeStats stats() const CPELIDE_EXCLUDES(_statMutex);
 
     /** Live pressure/liveness snapshot (the "health" answer). */
-    ServeHealth health() const;
+    ServeHealth health() const
+        CPELIDE_EXCLUDES(_queueMutex, _connMutex, _statMutex);
 
     /**
      * Register the serve counters as gauges under "serve/..." so a
      * profile report (--profile / CPELIDE_PROFILE) covers the daemon
      * itself. The registry must not outlive this server.
      */
-    void registerProf(prof::ProfRegistry &reg) const;
+    void registerProf(prof::ProfRegistry &reg) const
+        CPELIDE_EXCLUDES(_statMutex);
 
   private:
     struct Connection
     {
         int fd = -1;
         /** Guards outbox/outboxBytes/writerStop; writeCv signals. */
-        std::mutex writeMutex;
+        Mutex writeMutex;
         std::condition_variable writeCv;
-        std::deque<std::string> outbox;
-        std::size_t outboxBytes = 0;
-        bool writerStop = false;
+        std::deque<std::string> outbox CPELIDE_GUARDED_BY(writeMutex);
+        std::size_t outboxBytes CPELIDE_GUARDED_BY(writeMutex) = 0;
+        bool writerStop CPELIDE_GUARDED_BY(writeMutex) = false;
         std::atomic<int> inFlight{0};
         std::atomic<bool> closed{false};  //!< reader finished
         std::atomic<bool> dropped{false}; //!< kicked (stalled/overflow)
@@ -175,19 +177,27 @@ class SimServer
         std::chrono::steady_clock::time_point enqueued;
     };
 
-    void acceptLoop();
-    void readerLoop(const std::shared_ptr<Connection> &conn);
+    void acceptLoop() CPELIDE_EXCLUDES(_connMutex);
+    void readerLoop(const std::shared_ptr<Connection> &conn)
+        CPELIDE_EXCLUDES(_statMutex);
     void handleLine(const std::shared_ptr<Connection> &conn,
-                    const std::string &line);
-    void schedulerLoop();
-    void runBatch(std::vector<PendingTask> tasks);
+                    const std::string &line)
+        CPELIDE_EXCLUDES(_queueMutex, _statMutex);
+    void schedulerLoop() CPELIDE_EXCLUDES(_queueMutex, _statMutex);
+    void runBatch(std::vector<PendingTask> tasks)
+        CPELIDE_EXCLUDES(_statMutex);
     /** Enqueue @p line on the connection's writer (never blocks on
      *  the peer; overflow disconnects the connection). */
-    void respond(Connection &conn, const std::string &line);
-    void writerLoop(const std::shared_ptr<Connection> &conn);
-    /** Kick a connection (stalled reader / dead peer). */
-    void dropConnection(Connection &conn, bool countSlow);
-    void reapConnections(bool all);
+    void respond(Connection &conn, const std::string &line)
+        CPELIDE_EXCLUDES(conn.writeMutex);
+    void writerLoop(const std::shared_ptr<Connection> &conn)
+        CPELIDE_EXCLUDES(conn->writeMutex);
+    /** Kick a connection (stalled reader / dead peer). Lock order:
+     *  abortStop() calls this under _connMutex, so _connMutex always
+     *  precedes writeMutex; no path takes them the other way round. */
+    void dropConnection(Connection &conn, bool countSlow)
+        CPELIDE_EXCLUDES(conn.writeMutex, _statMutex);
+    void reapConnections(bool all) CPELIDE_EXCLUDES(_connMutex);
     /** Shed hint for a queue @p depth: when to try again. */
     std::uint64_t retryAfterHintMs(std::size_t depth) const;
 
@@ -201,13 +211,14 @@ class SimServer
     std::thread _schedulerThread;
     std::chrono::steady_clock::time_point _startTime;
 
-    mutable std::mutex _connMutex;
-    std::vector<std::shared_ptr<Connection>> _connections;
+    mutable Mutex _connMutex;
+    std::vector<std::shared_ptr<Connection>>
+        _connections CPELIDE_GUARDED_BY(_connMutex);
 
-    mutable std::mutex _queueMutex;
+    mutable Mutex _queueMutex;
     std::condition_variable _queueCv;
-    std::deque<PendingTask> _interactive;
-    std::deque<PendingTask> _bulk;
+    std::deque<PendingTask> _interactive CPELIDE_GUARDED_BY(_queueMutex);
+    std::deque<PendingTask> _bulk CPELIDE_GUARDED_BY(_queueMutex);
     /** Scheduler-thread-only: names each batch's SweepSpec uniquely. */
     std::uint64_t _batchSeq = 0;
 
@@ -215,15 +226,15 @@ class SimServer
     std::atomic<int> _executing{0};
 
     /** Cumulative counters (ServeStats), guarded by _statMutex. */
-    mutable std::mutex _statMutex;
-    prof::Counter _requests;
-    prof::Counter _rejected;
-    prof::Counter _shed;
-    prof::Counter _deadlineExpired;
-    prof::Counter _slowDisconnects;
-    prof::Counter _simulations;
-    prof::Counter _failures;
-    prof::Counter _simEvents;
+    mutable Mutex _statMutex;
+    prof::Counter _requests CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _rejected CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _shed CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _deadlineExpired CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _slowDisconnects CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _simulations CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _failures CPELIDE_GUARDED_BY(_statMutex);
+    prof::Counter _simEvents CPELIDE_GUARDED_BY(_statMutex);
 };
 
 } // namespace cpelide

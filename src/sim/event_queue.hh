@@ -22,10 +22,23 @@
 #include "prof/counter.hh"
 #include "sim/log.hh"
 #include "sim/sim_budget.hh"
+#include "sim/thread_annotations.hh"
 #include "sim/types.hh"
 
 namespace cpelide
 {
+
+/**
+ * Phantom capability standing for "the thread that pinned the queue".
+ * EventQueue is single-threaded by design; the pin (pinOwner) is a
+ * runtime tripwire, and this capability lets -Wthread-safety express
+ * the same contract statically: assertOwner() asserts it, so every
+ * mutating entry point is marked as requiring the owner thread
+ * without any lock existing at runtime.
+ */
+class CPELIDE_CAPABILITY("EventQueue owner") EventQueueOwnerCap
+{
+};
 
 /**
  * A time-ordered queue of callbacks. Events scheduled for the same tick
@@ -150,7 +163,7 @@ class EventQueue
      * skewed result.
      */
     void
-    pinOwner()
+    pinOwner() CPELIDE_EXCLUDES(_ownerCap)
     {
         _owner = std::this_thread::get_id();
         _pinned = true;
@@ -161,7 +174,7 @@ class EventQueue
 
   private:
     void
-    assertOwner(const char *op) const
+    assertOwner(const char *op) const CPELIDE_ASSERT_CAPABILITY(_ownerCap)
     {
         panicIf(_pinned && std::this_thread::get_id() != _owner,
                 std::string("EventQueue::") + op +
@@ -187,6 +200,8 @@ class EventQueue
     prof::Counter _eventsProcessed;
     std::thread::id _owner;
     bool _pinned = false;
+    /** Zero-state phantom capability (see EventQueueOwnerCap). */
+    EventQueueOwnerCap _ownerCap;
 };
 
 } // namespace cpelide

@@ -20,11 +20,11 @@
 #define CPELIDE_SIM_LOG_HH
 
 #include <cstdio>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "sim/exec_options.hh"
+#include "sim/thread_annotations.hh"
 
 namespace cpelide
 {
@@ -33,10 +33,10 @@ namespace cpelide
  * Serializes diagnostic output: concurrent Runtime instances (the
  * exec sweep engine) must not interleave their warn/panic lines.
  */
-inline std::mutex &
+inline Mutex &
 logMutex()
 {
-    static std::mutex m;
+    static Mutex m;
     return m;
 }
 
@@ -89,7 +89,7 @@ panic(const std::string &msg)
 {
     if (panicAborts()) {
         {
-            std::lock_guard<std::mutex> lock(logMutex());
+            MutexGuard lock(logMutex());
             std::fprintf(stderr, "panic: %s\n", msg.c_str());
         }
         std::abort();
@@ -106,7 +106,7 @@ checkFailed(const std::string &msg)
 {
     if (panicAborts()) {
         {
-            std::lock_guard<std::mutex> lock(logMutex());
+            MutexGuard lock(logMutex());
             std::fprintf(stderr, "invariant violation: %s\n",
                          msg.c_str());
         }
@@ -126,7 +126,7 @@ fatal(const std::string &msg)
 inline void
 warn(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
+    MutexGuard lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 

@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "sim/thread_annotations.hh"
 #include "sim/types.hh"
 
 namespace cpelide
@@ -85,13 +85,13 @@ class SkewBuffer
      * over the horizon; throws SkewAborted once the consumer aborted.
      */
     void
-    push(std::vector<ReplayOp> &&batch)
+    push(std::vector<ReplayOp> &&batch) CPELIDE_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         if (!_aborted && _ops > 0 && _ops + batch.size() > _horizon)
             ++_horizonStalls;
         while (!_aborted && _ops > 0 && _ops + batch.size() > _horizon)
-            _spaceCv.wait(lock);
+            lock.wait(_spaceCv);
         if (_aborted)
             throw SkewAborted{};
         _ops += batch.size();
@@ -106,11 +106,11 @@ class SkewBuffer
      * guarantees termination for a consumer that drains the stream.
      */
     std::vector<ReplayOp>
-    pop()
+    pop() CPELIDE_EXCLUDES(_mutex)
     {
-        std::unique_lock<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         while (_batches.empty())
-            _dataCv.wait(lock);
+            lock.wait(_dataCv);
         std::vector<ReplayOp> batch = std::move(_batches.front());
         _batches.pop_front();
         _ops -= batch.size();
@@ -123,9 +123,9 @@ class SkewBuffer
      * push() throw SkewAborted so the producer unwinds promptly.
      */
     void
-    abort()
+    abort() CPELIDE_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         _aborted = true;
         _batches.clear();
         _ops = 0;
@@ -134,17 +134,17 @@ class SkewBuffer
 
     /** Producer side: record why the stream ends in an Error marker. */
     void
-    setError(std::exception_ptr e)
+    setError(std::exception_ptr e) CPELIDE_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         _error = std::move(e);
     }
 
     /** The producer's stored exception (consumer, after Error). */
     std::exception_ptr
-    error() const
+    error() const CPELIDE_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         return _error;
     }
 
@@ -154,32 +154,32 @@ class SkewBuffer
      * part of any byte-identity surface.
      */
     std::uint64_t
-    horizonStalls() const
+    horizonStalls() const CPELIDE_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         return _horizonStalls;
     }
 
     /** High-water mark of buffered ops (scheduling-dependent). */
     std::size_t
-    peakOps() const
+    peakOps() const CPELIDE_EXCLUDES(_mutex)
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        MutexGuard lock(_mutex);
         return _peakOps;
     }
 
   private:
     const std::size_t _horizon;
 
-    mutable std::mutex _mutex;
+    mutable Mutex _mutex;
     std::condition_variable _dataCv;  //!< consumer waits: batch ready
     std::condition_variable _spaceCv; //!< producer waits: under horizon
-    std::deque<std::vector<ReplayOp>> _batches;
-    std::size_t _ops = 0;
-    std::size_t _peakOps = 0;
-    std::uint64_t _horizonStalls = 0;
-    bool _aborted = false;
-    std::exception_ptr _error;
+    std::deque<std::vector<ReplayOp>> _batches CPELIDE_GUARDED_BY(_mutex);
+    std::size_t _ops CPELIDE_GUARDED_BY(_mutex) = 0;
+    std::size_t _peakOps CPELIDE_GUARDED_BY(_mutex) = 0;
+    std::uint64_t _horizonStalls CPELIDE_GUARDED_BY(_mutex) = 0;
+    bool _aborted CPELIDE_GUARDED_BY(_mutex) = false;
+    std::exception_ptr _error CPELIDE_GUARDED_BY(_mutex);
 };
 
 } // namespace cpelide

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Clang thread-safety capability annotations and the annotated mutex
+ * primitives the concurrent tree is built on (docs/STATIC_ANALYSIS.md).
+ *
+ * Under clang with -Wthread-safety (CI: cmake -DCPELIDE_THREAD_SAFETY=ON,
+ * promoted to an error), every access to a CPELIDE_GUARDED_BY member
+ * and every call to a CPELIDE_REQUIRES method is proven to hold the
+ * right lock *at compile time* — a static complement to the TSan job,
+ * which can only catch the interleavings a run happens to exercise.
+ * Under gcc (or any non-clang compiler) every macro expands to
+ * nothing and Mutex/MutexGuard behave exactly like std::mutex with
+ * std::lock_guard.
+ *
+ * House rules (enforced by scripts/lint.py, rule mutex-discipline):
+ *  - concurrent code in src/ declares cpelide::Mutex members, not raw
+ *    std::mutex, and locks them with MutexGuard, not std::lock_guard /
+ *    std::unique_lock — the raw types carry no capability attributes,
+ *    so clang cannot check them;
+ *  - every Mutex member must be named in at least one
+ *    CPELIDE_GUARDED_BY / CPELIDE_REQUIRES annotation (a mutex that
+ *    guards nothing statically is a coverage hole);
+ *  - CPELIDE_NO_THREAD_SAFETY_ANALYSIS requires a justifying comment.
+ */
+
+#ifndef CPELIDE_SIM_THREAD_ANNOTATIONS_HH
+#define CPELIDE_SIM_THREAD_ANNOTATIONS_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CPELIDE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CPELIDE_THREAD_ANNOTATION
+#define CPELIDE_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Type attribute: this class is a lockable capability. */
+#define CPELIDE_CAPABILITY(name) \
+    CPELIDE_THREAD_ANNOTATION(capability(name))
+
+/** Type attribute: RAII object that holds a capability for its scope. */
+#define CPELIDE_SCOPED_CAPABILITY \
+    CPELIDE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be read/written while holding the named mutex. */
+#define CPELIDE_GUARDED_BY(x) CPELIDE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be dereferenced while holding the named mutex. */
+#define CPELIDE_PT_GUARDED_BY(x) \
+    CPELIDE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the capability to be held on entry (and exit). */
+#define CPELIDE_REQUIRES(...) \
+    CPELIDE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability; caller must release it. */
+#define CPELIDE_ACQUIRE(...) \
+    CPELIDE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases a held capability. */
+#define CPELIDE_RELEASE(...) \
+    CPELIDE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function attempts the capability; holds it iff it returns @p b. */
+#define CPELIDE_TRY_ACQUIRE(...) \
+    CPELIDE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (the function takes it). */
+#define CPELIDE_EXCLUDES(...) \
+    CPELIDE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Dynamic assertion point: analysis treats the capability as held
+ *  after the call (the runtime check is the enforcement). */
+#define CPELIDE_ASSERT_CAPABILITY(x) \
+    CPELIDE_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define CPELIDE_RETURN_CAPABILITY(x) \
+    CPELIDE_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Opt one function out of the analysis. Every use must carry a
+ * comment justifying why the discipline cannot be expressed
+ * statically (scripts/lint.py audits this).
+ */
+#define CPELIDE_NO_THREAD_SAFETY_ANALYSIS \
+    CPELIDE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cpelide
+{
+
+/**
+ * std::mutex wearing the capability attribute, so clang can track
+ * which lock protects which data. Same cost, same semantics.
+ */
+class CPELIDE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CPELIDE_ACQUIRE() { _m.lock(); }
+    void unlock() CPELIDE_RELEASE() { _m.unlock(); }
+    bool try_lock() CPELIDE_TRY_ACQUIRE(true) { return _m.try_lock(); }
+
+    /** The wrapped mutex, for std::condition_variable plumbing only
+     *  (MutexGuard::wait*); never lock it directly — that would step
+     *  outside the analysis. */
+    std::mutex &native() { return _m; }
+
+  private:
+    std::mutex _m;
+};
+
+/**
+ * Scoped lock (RAII) over a Mutex — the tree's only way to take one.
+ * Clang knows the capability is held for exactly this object's
+ * lifetime. Condition-variable waits go through wait()/waitFor():
+ * the capability is released and reacquired inside the call, which
+ * the analysis models as "held throughout" — the standard treatment
+ * (the wait cannot return without the lock).
+ */
+class CPELIDE_SCOPED_CAPABILITY MutexGuard
+{
+  public:
+    explicit MutexGuard(Mutex &m) CPELIDE_ACQUIRE(m) : _lock(m.native())
+    {}
+
+    ~MutexGuard() CPELIDE_RELEASE() {} // _lock's destructor unlocks
+
+    MutexGuard(const MutexGuard &) = delete;
+    MutexGuard &operator=(const MutexGuard &) = delete;
+
+    /** Block on @p cv; the guarded mutex is atomically released for
+     *  the wait and reacquired before returning. */
+    void wait(std::condition_variable &cv) { cv.wait(_lock); }
+
+    /** Timed wait (watchdog scan cadence). */
+    template <class Rep, class Period>
+    void
+    waitFor(std::condition_variable &cv,
+            const std::chrono::duration<Rep, Period> &d)
+    {
+        cv.wait_for(_lock, d);
+    }
+
+  private:
+    std::unique_lock<std::mutex> _lock;
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SIM_THREAD_ANNOTATIONS_HH

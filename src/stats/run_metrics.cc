@@ -29,7 +29,7 @@ MetricsRegistry::record(const std::string &sweep,
                         const std::string &label, bool ok,
                         const RunMetrics &m, const std::string &status)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     _rows.push_back(
         Row{sweep, label, ok, m, status.empty() ? "ok" : status});
 }
@@ -37,21 +37,21 @@ MetricsRegistry::record(const std::string &sweep,
 std::vector<MetricsRegistry::Row>
 MetricsRegistry::rows() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _rows;
 }
 
 std::size_t
 MetricsRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _rows.size();
 }
 
 void
 MetricsRegistry::clear()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     _rows.clear();
 }
 

@@ -10,9 +10,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sim/thread_annotations.hh"
 
 namespace cpelide
 {
@@ -81,23 +82,23 @@ class MetricsRegistry
 
     void record(const std::string &sweep, const std::string &label,
                 bool ok, const RunMetrics &m,
-                const std::string &status = "");
+                const std::string &status = "") CPELIDE_EXCLUDES(_mutex);
 
     /** Snapshot of everything recorded so far, in record order. */
-    std::vector<Row> rows() const;
+    std::vector<Row> rows() const CPELIDE_EXCLUDES(_mutex);
 
     /** Rows recorded so far. */
-    std::size_t size() const;
+    std::size_t size() const CPELIDE_EXCLUDES(_mutex);
 
     /** Drop all rows (tests). */
-    void clear();
+    void clear() CPELIDE_EXCLUDES(_mutex);
 
     /** ASCII table of the rows belonging to @p sweep ("" = all). */
     std::string render(const std::string &sweep = "") const;
 
   private:
-    mutable std::mutex _mutex;
-    std::vector<Row> _rows;
+    mutable Mutex _mutex;
+    std::vector<Row> _rows CPELIDE_GUARDED_BY(_mutex);
 };
 
 } // namespace cpelide

@@ -118,7 +118,7 @@ int
 TraceArchive::append(const std::string &name, int num_chiplets,
                      std::vector<TraceEvent> events)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     TraceProcess p;
     p.pid = _nextPid++;
     p.name = name;
@@ -132,7 +132,7 @@ void
 TraceArchive::addWorkerSpan(int worker, const std::string &label,
                             double start_seconds, double dur_seconds)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     TraceEvent e;
     e.kind = TraceEvent::Kind::Span;
     e.name = label;
@@ -146,7 +146,7 @@ TraceArchive::addWorkerSpan(int worker, const std::string &label,
 std::vector<TraceProcess>
 TraceArchive::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     std::vector<TraceProcess> procs;
     if (!_workerSpans.empty()) {
         TraceProcess w;
@@ -186,14 +186,14 @@ TraceArchive::writeTo(const std::string &path) const
 std::size_t
 TraceArchive::processCount() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     return _processes.size();
 }
 
 void
 TraceArchive::clear()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    MutexGuard lock(_mutex);
     _processes.clear();
     _workerSpans.clear();
     _nextPid = 1;

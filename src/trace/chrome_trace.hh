@@ -20,11 +20,11 @@
 #ifndef CPELIDE_TRACE_CHROME_TRACE_HH
 #define CPELIDE_TRACE_CHROME_TRACE_HH
 
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/thread_annotations.hh"
 #include "trace/trace.hh"
 
 namespace cpelide
@@ -62,7 +62,7 @@ class TraceArchive
      * 1 in append order). @return the assigned pid.
      */
     int append(const std::string &name, int num_chiplets,
-               std::vector<TraceEvent> events);
+               std::vector<TraceEvent> events) CPELIDE_EXCLUDES(_mutex);
 
     /**
      * Record one job's wall-clock execution on the exec-worker
@@ -71,26 +71,27 @@ class TraceArchive
      * nondeterministic track; sim tracks never depend on it.
      */
     void addWorkerSpan(int worker, const std::string &label,
-                       double start_seconds, double dur_seconds);
+                       double start_seconds, double dur_seconds)
+        CPELIDE_EXCLUDES(_mutex);
 
     /** Render everything appended so far. */
-    std::string renderJson() const;
+    std::string renderJson() const CPELIDE_EXCLUDES(_mutex);
 
     /** Rewrite @p path with renderJson(). @return false on I/O error. */
-    bool writeTo(const std::string &path) const;
+    bool writeTo(const std::string &path) const CPELIDE_EXCLUDES(_mutex);
 
-    std::size_t processCount() const;
+    std::size_t processCount() const CPELIDE_EXCLUDES(_mutex);
 
     /** Drop all recorded processes (tests). */
-    void clear();
+    void clear() CPELIDE_EXCLUDES(_mutex);
 
   private:
-    std::vector<TraceProcess> snapshot() const;
+    std::vector<TraceProcess> snapshot() const CPELIDE_EXCLUDES(_mutex);
 
-    mutable std::mutex _mutex;
-    std::vector<TraceProcess> _processes;
-    std::vector<TraceEvent> _workerSpans;
-    int _nextPid = 1;
+    mutable Mutex _mutex;
+    std::vector<TraceProcess> _processes CPELIDE_GUARDED_BY(_mutex);
+    std::vector<TraceEvent> _workerSpans CPELIDE_GUARDED_BY(_mutex);
+    int _nextPid CPELIDE_GUARDED_BY(_mutex) = 1;
 };
 
 } // namespace cpelide

@@ -1,0 +1,2 @@
+// Intentionally bare tree: every lint allowlist entry points at a file
+// that does not exist under this root, so exemptions-valid must fail.

@@ -1,0 +1,3 @@
+// The clean case for exemptions-valid is the real repository root
+// (the driver runs the rule without --root); this tree is unused but
+// kept so the fixture layout stays uniform.

@@ -1,0 +1,6 @@
+#ifndef WRONG_GUARD
+#define WRONG_GUARD
+
+int badGuard();
+
+#endif // WRONG_GUARD

@@ -1,0 +1,6 @@
+#ifndef CPELIDE_A_HH
+#define CPELIDE_A_HH
+
+int goodGuard();
+
+#endif // CPELIDE_A_HH

@@ -1,0 +1,2 @@
+// Callers used to go through runWorkloadCfg; keep for reference.
+int entry() { return 0; }

@@ -1,0 +1,2 @@
+// Callers build a RunRequest and use run()/makeJob().
+int entry() { return 0; }

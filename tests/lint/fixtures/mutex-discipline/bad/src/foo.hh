@@ -1,0 +1,16 @@
+#ifndef CPELIDE_FOO_HH
+#define CPELIDE_FOO_HH
+
+#include <mutex>
+
+#include "sim/thread_annotations.hh"
+
+class Shared
+{
+  private:
+    std::mutex _raw;
+    Mutex _orphanMutex;
+    int _value = 0;
+};
+
+#endif // CPELIDE_FOO_HH

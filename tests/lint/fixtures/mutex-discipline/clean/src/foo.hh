@@ -1,0 +1,13 @@
+#ifndef CPELIDE_FOO_HH
+#define CPELIDE_FOO_HH
+
+#include "sim/thread_annotations.hh"
+
+class Shared
+{
+  private:
+    mutable Mutex _mutex;
+    int _value CPELIDE_GUARDED_BY(_mutex) = 0;
+};
+
+#endif // CPELIDE_FOO_HH

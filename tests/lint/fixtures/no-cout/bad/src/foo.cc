@@ -1,0 +1,3 @@
+#include <iostream>
+
+void report(int v) { std::cout << v << "\n"; }

@@ -1,0 +1,3 @@
+#include <cstdio>
+
+void report(int v) { std::fprintf(stderr, "warn: %d\n", v); }

@@ -1,0 +1,12 @@
+#ifndef CPELIDE_FOO_HH
+#define CPELIDE_FOO_HH
+
+#include <cstdint>
+
+class Cache
+{
+  private:
+    std::uint64_t _hits = 0;
+};
+
+#endif // CPELIDE_FOO_HH

@@ -1,0 +1,12 @@
+#ifndef CPELIDE_FOO_HH
+#define CPELIDE_FOO_HH
+
+#include "prof/counter.hh"
+
+class Cache
+{
+  private:
+    prof::Counter _hits;
+};
+
+#endif // CPELIDE_FOO_HH

@@ -1,0 +1,3 @@
+#include <random>
+
+int roll() { static std::mt19937 gen(42); return static_cast<int>(gen()); }

@@ -1,0 +1,3 @@
+#include "sim/rng.hh"
+
+int roll(cpelide::Rng &rng) { return static_cast<int>(rng.next()); }

@@ -1,0 +1,3 @@
+#include <cstdlib>
+
+const char *knob() { return std::getenv("CPELIDE_FOO"); }

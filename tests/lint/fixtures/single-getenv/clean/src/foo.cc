@@ -1,0 +1,1 @@
+int knob() { return 42; }

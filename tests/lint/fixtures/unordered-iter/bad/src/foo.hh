@@ -1,0 +1,22 @@
+#ifndef CPELIDE_FOO_HH
+#define CPELIDE_FOO_HH
+
+#include <unordered_map>
+
+class Table
+{
+  public:
+    int
+    sum() const
+    {
+        int total = 0;
+        for (const auto &[k, v] : _cells)
+            total += v;
+        return total;
+    }
+
+  private:
+    std::unordered_map<int, int> _cells;
+};
+
+#endif // CPELIDE_FOO_HH

@@ -1,0 +1,20 @@
+#ifndef CPELIDE_FOO_HH
+#define CPELIDE_FOO_HH
+
+#include <unordered_map>
+
+class Table
+{
+  public:
+    int
+    at(int k) const
+    {
+        auto it = _cells.find(k);
+        return it == _cells.end() ? 0 : it->second;
+    }
+
+  private:
+    std::unordered_map<int, int> _cells;
+};
+
+#endif // CPELIDE_FOO_HH

@@ -1,0 +1,6 @@
+#include <chrono>
+
+long stamp()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+#include <chrono>
+
+long stamp()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/lint.py (the test_lint ctest entry).
+
+Every lint rule gets a pair of fixture trees under
+tests/lint/fixtures/<rule>/: `bad` contains exactly the violation the
+rule exists to catch (the rule must fire, exit 1, and name itself),
+`clean` contains the idiomatic fix (the rule must stay quiet, exit 0).
+Each fixture is linted with --only <rule> so a tree built to violate
+one rule cannot trip on another, and with --root so the real tree is
+never in play. Two exceptions to the pattern:
+
+ - exemptions-valid's clean case is the repository itself: the rule
+   validates the allowlists in lint.py against real files, so only the
+   real root can prove the current exemptions resolve.
+ - The suite ends with a full (all-rules) run on the repository, which
+   also proves the fixtures' deliberate violations are fenced off from
+   real-tree scans.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+LINT = REPO / "scripts" / "lint.py"
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+
+RULES = [
+    "include-guards",
+    "single-getenv",
+    "no-cout",
+    "prof-counters",
+    "legacy-api",
+    "unordered-iter",
+    "wall-clock",
+    "rng",
+    "mutex-discipline",
+    "exemptions-valid",
+]
+
+
+def run_lint(args):
+    return subprocess.run([sys.executable, str(LINT)] + args,
+                          capture_output=True, text=True)
+
+
+def main() -> int:
+    failures = []
+
+    for rule in RULES:
+        bad = FIXTURES / rule / "bad"
+        result = run_lint(["--root", str(bad), "--only", rule])
+        if result.returncode != 1:
+            failures.append(
+                f"{rule}: bad fixture should exit 1, got "
+                f"{result.returncode}\n{result.stdout}{result.stderr}")
+        elif f"lint: {rule}:" not in result.stdout or \
+                "violation" not in result.stdout:
+            failures.append(
+                f"{rule}: bad fixture fired but the output does not "
+                f"name the rule\n{result.stdout}")
+
+        if rule == "exemptions-valid":
+            result = run_lint(["--only", rule])
+            where = "repository root"
+        else:
+            clean = FIXTURES / rule / "clean"
+            result = run_lint(["--root", str(clean), "--only", rule])
+            where = "clean fixture"
+        if result.returncode != 0:
+            failures.append(
+                f"{rule}: {where} should pass, got exit "
+                f"{result.returncode}\n{result.stdout}{result.stderr}")
+
+    result = run_lint([])
+    if result.returncode != 0:
+        failures.append(
+            "full lint on the repository should pass (and must not see "
+            f"the fixture trees)\n{result.stdout}{result.stderr}")
+
+    if failures:
+        print(f"test_lint: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"--- {f}")
+        return 1
+    print(f"test_lint: {len(RULES)} rule fixtures + full-tree run: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
