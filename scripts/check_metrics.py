@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Validate the simd metrics exposition, both formats.
+
+CI's daemon-smoke job scrapes a live daemon twice,
+
+    simc --metrics                      > metrics.json
+    simc --metrics --format prometheus  > metrics.prom
+
+and hands both files here:
+
+    python3 scripts/check_metrics.py metrics.json metrics.prom
+
+Checks, mirroring src/serve/metrics.cc (the series/window tables here
+must match serveMetricsSeriesNames()/serveMetricsWindowNames()):
+
+ - JSON: one object with type=metrics/format=json, every scalar key
+   and every <series>_{count,rate,p50us,p95us,p99us}_<window> key
+   present; quantiles monotone (p50 <= p95 <= p99) per series/window;
+   window counts monotone across horizons (1s <= 10s <= 60s); outcome
+   counters summing exactly to spansCompleted; a live pid.
+ - Prometheus: every line is a comment or `name[{labels}] value` with
+   a float value; every sample family is preceded by its `# TYPE`;
+   all expected families, outcome labels, lanes, and quantile labels
+   present; counters non-negative.
+ - Cross-format: the run-request counter agrees between the two
+   scrapes (only run requests bump it — the scrapes themselves do
+   not), proving both formats render the same snapshot state.
+
+Exit 0 when everything holds; exit 1 with one line per violation.
+"""
+
+import json
+import re
+import sys
+
+SERIES = ["e2e", "queueWait", "simTime", "cacheServe",
+          "laneInteractive", "laneBulk"]
+WINDOWS = ["1s", "10s", "60s"]
+SERIES_FIELDS = ["count", "rate", "p50us", "p95us", "p99us"]
+
+SCALAR_KEYS = [
+    "engineVersion", "pid", "uptimeMs",
+    "requests", "rejected", "cacheHits", "cacheMisses", "simulations",
+    "failures", "simEvents", "cacheEntries", "shed", "deadlineExpired",
+    "quarantined", "slowDisconnects",
+    "queueInteractive", "queueBulk", "executing", "connections",
+    "spansStarted", "spansCompleted",
+    "outcomeOk", "outcomeCached", "outcomeFailed", "outcomeShed",
+    "outcomeDeadline", "outcomeAbandoned", "slowLogged",
+]
+
+OUTCOME_LABELS = ["ok", "cached", "failed", "shed", "deadline",
+                  "abandoned"]
+QUANTILES = ["0.5", "0.95", "0.99"]
+
+PROM_COUNTERS = [
+    "cpelide_serve_requests_total",
+    "cpelide_serve_rejected_total",
+    "cpelide_serve_cache_hits_total",
+    "cpelide_serve_cache_misses_total",
+    "cpelide_serve_simulations_total",
+    "cpelide_serve_failures_total",
+    "cpelide_serve_sim_events_total",
+    "cpelide_serve_shed_total",
+    "cpelide_serve_deadline_expired_total",
+    "cpelide_serve_quarantined_total",
+    "cpelide_serve_slow_disconnects_total",
+    "cpelide_serve_spans_started_total",
+    "cpelide_serve_spans_completed_total",
+    "cpelide_serve_slow_logged_total",
+]
+
+PROM_GAUGES = [
+    "cpelide_serve_executing",
+    "cpelide_serve_connections",
+    "cpelide_serve_cache_entries",
+    "cpelide_serve_uptime_seconds",
+    "cpelide_serve_process_pid",
+]
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram|summary)$")
+
+
+def check_json(text, errors):
+    try:
+        m = json.loads(text)
+    except ValueError as e:
+        errors.append(f"json: not parseable: {e}")
+        return None
+    if not isinstance(m, dict):
+        errors.append("json: not an object")
+        return None
+    if m.get("type") != "metrics" or m.get("format") != "json":
+        errors.append("json: missing type=metrics/format=json markers")
+    for key in SCALAR_KEYS:
+        if key not in m:
+            errors.append(f"json: missing key '{key}'")
+    for s in SERIES:
+        for w in WINDOWS:
+            for f in SERIES_FIELDS:
+                if f"{s}_{f}_{w}" not in m:
+                    errors.append(f"json: missing key '{s}_{f}_{w}'")
+    if errors:
+        return m
+
+    if not str(m["engineVersion"]):
+        errors.append("json: empty engineVersion")
+    if m["pid"] <= 0:
+        errors.append(f"json: pid {m['pid']} is not a live pid")
+
+    outcomes = sum(m[f"outcome{o.capitalize()}"]
+                   for o in OUTCOME_LABELS)
+    if outcomes != m["spansCompleted"]:
+        errors.append(f"json: outcome counters sum to {outcomes}, "
+                      f"spansCompleted is {m['spansCompleted']} — "
+                      "torn snapshot")
+    if m["spansCompleted"] > m["spansStarted"]:
+        errors.append("json: more spans completed than started")
+
+    for s in SERIES:
+        for w in WINDOWS:
+            p50, p95, p99 = (m[f"{s}_p50us_{w}"], m[f"{s}_p95us_{w}"],
+                             m[f"{s}_p99us_{w}"])
+            if not (p50 <= p95 <= p99):
+                errors.append(f"json: {s}/{w} quantiles not monotone: "
+                              f"p50={p50} p95={p95} p99={p99}")
+            if m[f"{s}_count_{w}"] < 0 or m[f"{s}_rate_{w}"] < 0:
+                errors.append(f"json: {s}/{w} negative count/rate")
+        c1, c10, c60 = (m[f"{s}_count_1s"], m[f"{s}_count_10s"],
+                        m[f"{s}_count_60s"])
+        if not (c1 <= c10 <= c60):
+            errors.append(f"json: {s} window counts not monotone "
+                          f"across horizons: 1s={c1} 10s={c10} "
+                          f"60s={c60}")
+    return m
+
+
+def check_prom(text, errors):
+    samples = {}   # family -> list of (labels, value)
+    typed = set()
+    if text and not text.endswith("\n"):
+        errors.append("prom: body does not end with a newline")
+    for n, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append(f"prom:{n}: empty line")
+            continue
+        if line.startswith("#"):
+            t = TYPE_RE.match(line)
+            if t:
+                typed.add(t.group(1))
+            continue
+        sm = SAMPLE_RE.match(line)
+        if not sm:
+            errors.append(f"prom:{n}: not `name[{{labels}}] value`: "
+                          f"{line!r}")
+            continue
+        name, labels, value = sm.group(1), sm.group(2) or "", sm.group(3)
+        try:
+            v = float(value)
+        except ValueError:
+            errors.append(f"prom:{n}: non-numeric value {value!r}")
+            continue
+        if name not in typed:
+            errors.append(f"prom:{n}: sample '{name}' has no preceding "
+                          "# TYPE comment")
+        samples.setdefault(name, []).append((labels, v))
+
+    for name in PROM_COUNTERS:
+        vals = samples.get(name)
+        if not vals:
+            errors.append(f"prom: missing counter family '{name}'")
+        elif any(v < 0 for _, v in vals):
+            errors.append(f"prom: counter '{name}' went negative")
+    for name in PROM_GAUGES:
+        if name not in samples:
+            errors.append(f"prom: missing gauge family '{name}'")
+
+    out_labels = {lb for lb, _ in
+                  samples.get("cpelide_serve_outcomes_total", [])}
+    for o in OUTCOME_LABELS:
+        if f'{{outcome="{o}"}}' not in out_labels:
+            errors.append(f"prom: missing outcome label '{o}'")
+
+    depth_labels = {lb for lb, _ in
+                    samples.get("cpelide_serve_queue_depth", [])}
+    for lane in ("interactive", "bulk"):
+        if f'{{lane="{lane}"}}' not in depth_labels:
+            errors.append(f"prom: missing queue_depth lane '{lane}'")
+
+    lat = {lb for lb, _ in
+           samples.get("cpelide_serve_latency_microseconds", [])}
+    cnt = {lb for lb, _ in samples.get("cpelide_serve_window_count", [])}
+    for s in SERIES:
+        for w in WINDOWS:
+            base = f'series="{s}",window="{w}"'
+            if ("{" + base + "}") not in cnt:
+                errors.append(f"prom: missing window_count for "
+                              f"{s}/{w}")
+            for q in QUANTILES:
+                want = "{" + base + f',quantile="{q}"' + "}"
+                if want not in lat:
+                    errors.append(f"prom: missing latency quantile "
+                                  f"{q} for {s}/{w}")
+
+    if "cpelide_serve_build_info" not in samples:
+        errors.append("prom: missing cpelide_serve_build_info")
+    return samples
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: check_metrics.py METRICS_JSON METRICS_PROM")
+        return 2
+    errors = []
+    with open(sys.argv[1]) as f:
+        m = check_json(f.read(), errors)
+    with open(sys.argv[2]) as f:
+        samples = check_prom(f.read(), errors)
+
+    # Both scrapes came from the same idle daemon (the metrics verbs
+    # themselves never bump the run-request counter), so the two
+    # formats must agree on it.
+    if m is not None and "requests" in m:
+        prom_reqs = samples.get("cpelide_serve_requests_total")
+        if prom_reqs and prom_reqs[0][1] != m["requests"]:
+            errors.append(
+                f"cross: requests disagree between formats: "
+                f"json={m['requests']} prom={prom_reqs[0][1]}")
+
+    if errors:
+        print(f"check_metrics: {len(errors)} violation(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("check_metrics: both formats ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

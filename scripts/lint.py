@@ -46,7 +46,9 @@ Checks (each prints every violation; exit status 1 if any fired):
     clock_gettime, gettimeofday, time(), or localtime/gmtime.
     steady_clock is allowed: it is monotonic and feeds only host-side
     metrics (watchdog budgets, RunMetrics wall seconds, serve
-    deadlines), never simulated time.
+    deadlines), never simulated time. Audited exemptions (wall reads
+    that stamp operator-facing logs, never results) live in
+    WALLCLOCK_ALLOWED.
 
  8. rng: all randomness in src/ flows through the deterministic,
     seedable engine in src/sim/rng.hh. std::rand, std::mt19937,
@@ -138,10 +140,12 @@ UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|"
                                r"multiset)\s*<")
 UNORDERED_ITER_ALLOWED = {("src/check/hb_checker.cc", "_lines")}
 
-# wall-clock rule. No exemptions today: steady_clock (allowed) covers
-# every legitimate host-time need in src/.
+# wall-clock rule. The serve telemetry slow log stamps each JSONL
+# record with a Unix epoch so operators can correlate it with external
+# logs; the stamp annotates a diagnostic line and can never reach a
+# simulation result (telemetry only observes the request lifecycle).
 WALLCLOCK_DIRS = ["src"]
-WALLCLOCK_ALLOWED = set()
+WALLCLOCK_ALLOWED = {"src/serve/telemetry.cc"}
 WALLCLOCK_RE = re.compile(
     r"\b(?:std::chrono::)?system_clock\b|"
     r"\bclock_gettime\s*\(|"

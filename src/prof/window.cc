@@ -1,0 +1,104 @@
+#include "prof/window.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace cpelide::prof
+{
+
+WindowedHistogram::WindowedHistogram(std::uint64_t slotWidthNs, int slots)
+    : _slotWidthNs(slotWidthNs < 1 ? 1 : slotWidthNs),
+      _ring(static_cast<std::size_t>(slots < 1 ? 1 : slots))
+{
+}
+
+void
+WindowedHistogram::record(std::uint64_t nowNs, std::uint64_t value)
+{
+    const std::uint64_t epoch = nowNs / _slotWidthNs;
+    Slot &slot = _ring[epoch % _ring.size()];
+    if (slot.epoch != epoch) {
+        // The ring wrapped past this slot since it was last written:
+        // it now represents a fresh slot-width of time.
+        slot.epoch = epoch;
+        slot.count = 0;
+        slot.sum = 0;
+        std::memset(slot.buckets, 0, sizeof(slot.buckets));
+    }
+    ++slot.buckets[Histogram::bucketFor(value)];
+    ++slot.count;
+    slot.sum += value;
+}
+
+WindowStats
+WindowedHistogram::window(std::uint64_t nowNs,
+                          std::uint64_t windowNs) const
+{
+    WindowStats out;
+    if (windowNs < 1)
+        windowNs = 1;
+    const std::uint64_t lo = nowNs >= windowNs ? nowNs - windowNs : 0;
+
+    std::uint64_t buckets[Histogram::kBuckets] = {};
+    for (const Slot &slot : _ring) {
+        if (slot.epoch == kNoEpoch)
+            continue;
+        const std::uint64_t slotStart = slot.epoch * _slotWidthNs;
+        // Include a slot overlapping (lo, nowNs]: its end must land
+        // after the window opens and it must not start in the future.
+        if (slotStart + _slotWidthNs <= lo || slotStart > nowNs)
+            continue;
+        out.count += slot.count;
+        out.sum += slot.sum;
+        for (int b = 0; b < Histogram::kBuckets; ++b)
+            buckets[b] += slot.buckets[b];
+    }
+    out.ratePerSec =
+        static_cast<double>(out.count) /
+        (static_cast<double>(windowNs) / 1e9);
+    out.p50 = quantileFromBuckets(buckets, out.count, 0.50);
+    out.p95 = quantileFromBuckets(buckets, out.count, 0.95);
+    out.p99 = quantileFromBuckets(buckets, out.count, 0.99);
+    return out;
+}
+
+double
+WindowedHistogram::quantileFromBuckets(
+    const std::uint64_t (&buckets)[Histogram::kBuckets],
+    std::uint64_t count, double q)
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-th sample, 1-based; q=0 still asks for rank 1.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+
+    std::uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (cum + buckets[b] < rank) {
+            cum += buckets[b];
+            continue;
+        }
+        if (b == 0)
+            return 0.0; // the zero bucket holds exact zeros
+        const double lo = static_cast<double>(Histogram::bucketLo(b));
+        // Bucket b covers [lo, 2*lo); walk toward the upper bound in
+        // proportion to the rank's position inside the bucket.
+        const double frac = static_cast<double>(rank - cum) /
+                            static_cast<double>(buckets[b]);
+        return lo + lo * frac;
+    }
+    return 0.0; // unreachable when the bucket sums match count
+}
+
+} // namespace cpelide::prof

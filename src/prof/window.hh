@@ -1,0 +1,98 @@
+/**
+ * @file
+ * WindowedHistogram: a rolling time-window view over the log2-bucket
+ * Histogram, for service-side latency quantiles and rates.
+ *
+ * The structure is a ring of epoch-tagged slots, each one a plain
+ * log2-bucket histogram covering one slot width (1 s by default).
+ * record(nowNs, v) lands v in the slot nowNs falls into, lazily
+ * resetting a slot the ring has wrapped past; window(nowNs, windowNs)
+ * aggregates every slot overlapping [nowNs - windowNs, nowNs] into
+ * counts, a rate, and p50/p95/p99 estimates. Quantiles interpolate
+ * linearly inside a log2 bucket up to its upper bound, the same
+ * convention Prometheus' histogram_quantile uses, so a quantile is an
+ * upper-bound estimate never more than one bucket width off.
+ *
+ * Unlike the rest of src/prof this type exists *for* wall-clock data —
+ * but it never reads a clock itself: every timestamp is supplied by
+ * the caller (src/serve, where the audited wall-clock reads live), so
+ * the type stays pure, deterministic, and unit-testable with synthetic
+ * time. Not thread-safe; the owner serializes access (the serve
+ * telemetry layer wraps it in its one snapshot lock).
+ */
+
+#ifndef CPELIDE_PROF_WINDOW_HH
+#define CPELIDE_PROF_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prof/counter.hh"
+
+namespace cpelide::prof
+{
+
+/** Aggregate of one window: counts, rate, quantile estimates. */
+struct WindowStats
+{
+    std::uint64_t count = 0; //!< samples recorded inside the window
+    std::uint64_t sum = 0;   //!< sum of those samples
+    double ratePerSec = 0.0; //!< count / window length
+    double p50 = 0.0;        //!< 0 when the window is empty
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+class WindowedHistogram
+{
+  public:
+    /**
+     * @p slotWidthNs is the ring granularity (and the finest window
+     * worth asking for); @p slots bounds the furthest look-back to
+     * slots * slotWidthNs. The defaults (1 s x 64) cover the 1s/10s/60s
+     * windows the serve metrics expose.
+     */
+    explicit WindowedHistogram(std::uint64_t slotWidthNs = 1000000000ull,
+                               int slots = 64);
+
+    /** Record @p value at time @p nowNs. Timestamps must not move
+     *  backwards by more than the ring covers (callers use a
+     *  monotonic clock, so they never move backwards at all). */
+    void record(std::uint64_t nowNs, std::uint64_t value);
+
+    /** Aggregate every slot overlapping [nowNs - windowNs, nowNs]. */
+    WindowStats window(std::uint64_t nowNs,
+                       std::uint64_t windowNs) const;
+
+    /**
+     * Quantile estimate over raw log2 buckets: the value at rank
+     * ceil(q * count), interpolated linearly inside its bucket toward
+     * the bucket's upper bound. Exposed for the unit tests; 0 when
+     * @p count is 0.
+     */
+    static double quantileFromBuckets(
+        const std::uint64_t (&buckets)[Histogram::kBuckets],
+        std::uint64_t count, double q);
+
+    std::uint64_t slotWidthNs() const { return _slotWidthNs; }
+    int slots() const { return static_cast<int>(_ring.size()); }
+
+  private:
+    struct Slot
+    {
+        /** nowNs / slotWidthNs when last written; kNoEpoch = never. */
+        std::uint64_t epoch = kNoEpoch;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t buckets[Histogram::kBuckets] = {};
+    };
+
+    static constexpr std::uint64_t kNoEpoch = ~0ull;
+
+    std::uint64_t _slotWidthNs;
+    std::vector<Slot> _ring;
+};
+
+} // namespace cpelide::prof
+
+#endif // CPELIDE_PROF_WINDOW_HH

@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "sim/exec_options.hh"
+#include "sim/log.hh"
+#include "stats/json_util.hh"
 
 namespace cpelide
 {
@@ -129,6 +131,7 @@ SimClient::reconnect()
     if (!dial())
         return false;
     ++_reconnects;
+    std::uint64_t resent = 0;
     // Resubmit everything unanswered, in id order. Answers the dead
     // daemon already computed come back "cached":1; the rest simulate
     // to byte-identical output — determinism makes this safe.
@@ -138,7 +141,9 @@ SimClient::reconnect()
             return false;
         }
         ++_resubmitted;
+        ++resent;
     }
+    logReconnect(resent);
     return true;
 }
 
@@ -263,6 +268,40 @@ SimClient::request(const ServeRequest &req, ServeResponse *resp)
     return send(req) && recvMatching(req.id, resp);
 }
 
+void
+SimClient::logRetry(const char *failureClass, int attempt,
+                    double backoffMs, std::uint64_t id,
+                    std::uint64_t retryAfterMs)
+{
+    if (!_opts.logRetries)
+        return;
+    std::string body = "{";
+    json::appendStr(body, "event", "retry");
+    json::appendStr(body, "class", failureClass);
+    json::appendI64(body, "attempt", attempt);
+    json::appendDouble(body, "backoffMs", backoffMs);
+    json::appendU64(body, "id", id);
+    if (retryAfterMs > 0)
+        json::appendU64(body, "retryAfterMs", retryAfterMs);
+    body += "}";
+    MutexGuard lock(logMutex());
+    std::fprintf(stderr, "simclient: %s\n", body.c_str());
+}
+
+void
+SimClient::logReconnect(std::uint64_t resubmitted)
+{
+    if (!_opts.logRetries)
+        return;
+    std::string body = "{";
+    json::appendStr(body, "event", "reconnect");
+    json::appendStr(body, "socket", _socketPath);
+    json::appendU64(body, "resubmitted", resubmitted);
+    body += "}";
+    MutexGuard lock(logMutex());
+    std::fprintf(stderr, "simclient: %s\n", body.c_str());
+}
+
 double
 SimClient::jittered(double baseMs)
 {
@@ -301,7 +340,11 @@ SimClient::call(const ServeRequest &req, ServeResponse *resp)
                 const double hintMs =
                     static_cast<double>(resp->retryAfterMs);
                 const double waitMs = jittered(backoffMs);
-                sleepMs(hintMs > waitMs ? hintMs : waitMs);
+                const double sleepForMs =
+                    hintMs > waitMs ? hintMs : waitMs;
+                logRetry("shed", attempt + 1, sleepForMs, req.id,
+                         resp->retryAfterMs);
+                sleepMs(sleepForMs);
                 backoffMs *= 2.0;
                 continue;
             }
@@ -312,7 +355,9 @@ SimClient::call(const ServeRequest &req, ServeResponse *resp)
         if (attempt >= _opts.maxRetries)
             return false;
         ++_retries;
-        sleepMs(jittered(backoffMs));
+        const double waitMs = jittered(backoffMs);
+        logRetry("transport", attempt + 1, waitMs, req.id, 0);
+        sleepMs(waitMs);
         backoffMs *= 2.0;
     }
 }
@@ -338,6 +383,32 @@ SimClient::health(ServeHealth *out)
     std::string line;
     while (recvLine(&line)) {
         if (decodeServeHealth(line, out))
+            return true;
+    }
+    return false;
+}
+
+bool
+SimClient::metrics(ServeMetrics *out)
+{
+    if (!sendLine("{\"type\":\"metrics\"}"))
+        return false;
+    std::string line;
+    while (recvLine(&line)) {
+        if (decodeServeMetricsJson(line, out))
+            return true;
+    }
+    return false;
+}
+
+bool
+SimClient::metricsPrometheus(std::string *body)
+{
+    if (!sendLine("{\"type\":\"metrics\",\"format\":\"prometheus\"}"))
+        return false;
+    std::string line;
+    while (recvLine(&line)) {
+        if (decodeServeMetricsPrometheusLine(line, body))
             return true;
     }
     return false;

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "prof/counter.hh"
+#include "serve/metrics.hh"
 #include "serve/protocol.hh"
 
 namespace cpelide
@@ -53,6 +54,10 @@ class SimClient
         double backoffMs = 50.0;
         /** Jitter stream seed — fixed seed, deterministic schedule. */
         std::uint64_t jitterSeed = 0x9e3779b97f4a7c15ULL;
+        /** Emit one structured stderr line per retry/reconnect
+         *  (attempt, class, backoff, request id) so client-side
+         *  failures are diagnosable; false silences them. */
+        bool logRetries = true;
 
         /** Defaults from CPELIDE_SERVE_TIMEOUT_MS /
          *  CPELIDE_SERVE_RETRIES / CPELIDE_RETRY_BACKOFF_MS. */
@@ -114,6 +119,12 @@ class SimClient
     /** One-shot: probe the daemon's live shape. */
     bool health(ServeHealth *out);
 
+    /** One-shot: the consistent metrics snapshot (JSON form). */
+    bool metrics(ServeMetrics *out);
+
+    /** One-shot: the Prometheus exposition body, unescaped. */
+    bool metricsPrometheus(std::string *body);
+
     /** Requests sent but not yet answered. */
     std::size_t pending() const { return _pending.size(); }
 
@@ -138,6 +149,12 @@ class SimClient
     bool recvMatching(std::uint64_t id, ServeResponse *resp);
     /** Deterministic jitter in [base, 1.5*base). */
     double jittered(double baseMs);
+    /** One structured stderr line: {"event":"retry",...}. */
+    void logRetry(const char *failureClass, int attempt,
+                  double backoffMs, std::uint64_t id,
+                  std::uint64_t retryAfterMs);
+    /** One structured stderr line: {"event":"reconnect",...}. */
+    void logReconnect(std::uint64_t resubmitted);
 
     Options _opts;
     std::string _socketPath;

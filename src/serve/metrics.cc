@@ -1,0 +1,386 @@
+#include "serve/metrics.hh"
+
+#include <cstdio>
+
+#include "stats/json_util.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+struct SeriesRef
+{
+    const char *name;
+    SeriesWindows TelemetrySnap::*member;
+};
+
+struct WindowRef
+{
+    const char *name;
+    prof::WindowStats SeriesWindows::*member;
+};
+
+const SeriesRef kSeries[] = {
+    {"e2e", &TelemetrySnap::e2e},
+    {"queueWait", &TelemetrySnap::queueWait},
+    {"simTime", &TelemetrySnap::simTime},
+    {"cacheServe", &TelemetrySnap::cacheServe},
+    {"laneInteractive", &TelemetrySnap::laneInteractive},
+    {"laneBulk", &TelemetrySnap::laneBulk},
+};
+
+const WindowRef kWindows[] = {
+    {"1s", &SeriesWindows::w1s},
+    {"10s", &SeriesWindows::w10s},
+    {"60s", &SeriesWindows::w60s},
+};
+
+std::string
+seriesKey(const char *series, const char *field, const char *window)
+{
+    std::string key = series;
+    key += '_';
+    key += field;
+    key += '_';
+    key += window;
+    return key;
+}
+
+/** Compact fixed-precision double for the Prometheus body. */
+std::string
+promNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+promLine(std::string &out, const std::string &name,
+         const std::string &labels, double value)
+{
+    out += name;
+    if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+    }
+    out += ' ';
+    out += promNumber(value);
+    out += '\n';
+}
+
+void
+promType(std::string &out, const std::string &name, const char *type)
+{
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+} // namespace
+
+const std::vector<std::string> &
+serveMetricsSeriesNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const SeriesRef &s : kSeries)
+            v.push_back(s.name);
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+serveMetricsWindowNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const WindowRef &w : kWindows)
+            v.push_back(w.name);
+        return v;
+    }();
+    return names;
+}
+
+std::string
+encodeServeMetricsJson(const ServeMetrics &m)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "metrics");
+    json::appendStr(out, "format", "json");
+    json::appendStr(out, "engineVersion", m.stats.engineVersion);
+    json::appendU64(out, "pid", m.health.pid);
+    json::appendU64(out, "uptimeMs", m.health.uptimeMs);
+
+    json::appendU64(out, "requests", m.stats.requests);
+    json::appendU64(out, "rejected", m.stats.rejected);
+    json::appendU64(out, "cacheHits", m.stats.cacheHits);
+    json::appendU64(out, "cacheMisses", m.stats.cacheMisses);
+    json::appendU64(out, "simulations", m.stats.simulations);
+    json::appendU64(out, "failures", m.stats.failures);
+    json::appendU64(out, "simEvents", m.stats.simEvents);
+    json::appendU64(out, "cacheEntries", m.stats.cacheEntries);
+    json::appendU64(out, "shed", m.stats.shed);
+    json::appendU64(out, "deadlineExpired", m.stats.deadlineExpired);
+    json::appendU64(out, "quarantined", m.stats.quarantined);
+    json::appendU64(out, "slowDisconnects", m.stats.slowDisconnects);
+
+    json::appendU64(out, "queueInteractive", m.health.queueInteractive);
+    json::appendU64(out, "queueBulk", m.health.queueBulk);
+    json::appendU64(out, "executing", m.health.executing);
+    json::appendU64(out, "connections", m.health.connections);
+
+    json::appendU64(out, "spansStarted", m.telemetry.spansStarted);
+    json::appendU64(out, "spansCompleted", m.telemetry.spansCompleted);
+    json::appendU64(out, "outcomeOk", m.telemetry.outcomeOk);
+    json::appendU64(out, "outcomeCached", m.telemetry.outcomeCached);
+    json::appendU64(out, "outcomeFailed", m.telemetry.outcomeFailed);
+    json::appendU64(out, "outcomeShed", m.telemetry.outcomeShed);
+    json::appendU64(out, "outcomeDeadline",
+                    m.telemetry.outcomeDeadline);
+    json::appendU64(out, "outcomeAbandoned",
+                    m.telemetry.outcomeAbandoned);
+    json::appendU64(out, "slowLogged", m.telemetry.slowLogged);
+
+    for (const SeriesRef &s : kSeries) {
+        const SeriesWindows &sw = m.telemetry.*(s.member);
+        for (const WindowRef &w : kWindows) {
+            const prof::WindowStats &ws = sw.*(w.member);
+            json::appendU64(
+                out, seriesKey(s.name, "count", w.name).c_str(),
+                ws.count);
+            json::appendDouble(
+                out, seriesKey(s.name, "rate", w.name).c_str(),
+                ws.ratePerSec);
+            json::appendDouble(
+                out, seriesKey(s.name, "p50us", w.name).c_str(),
+                ws.p50);
+            json::appendDouble(
+                out, seriesKey(s.name, "p95us", w.name).c_str(),
+                ws.p95);
+            json::appendDouble(
+                out, seriesKey(s.name, "p99us", w.name).c_str(),
+                ws.p99);
+        }
+    }
+    out += '}';
+    return out;
+}
+
+bool
+decodeServeMetricsJson(const std::string &line, ServeMetrics *out)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    std::string type;
+    if (!p.str("type", &type) || type != "metrics")
+        return false;
+
+    ServeMetrics m;
+    const bool good =
+        p.str("engineVersion", &m.stats.engineVersion) &&
+        p.u64("pid", &m.health.pid) &&
+        p.u64("uptimeMs", &m.health.uptimeMs) &&
+        p.u64("requests", &m.stats.requests) &&
+        p.u64("rejected", &m.stats.rejected) &&
+        p.u64("cacheHits", &m.stats.cacheHits) &&
+        p.u64("cacheMisses", &m.stats.cacheMisses) &&
+        p.u64("simulations", &m.stats.simulations) &&
+        p.u64("failures", &m.stats.failures) &&
+        p.u64("simEvents", &m.stats.simEvents) &&
+        p.u64("cacheEntries", &m.stats.cacheEntries) &&
+        p.u64("shed", &m.stats.shed) &&
+        p.u64("deadlineExpired", &m.stats.deadlineExpired) &&
+        p.u64("quarantined", &m.stats.quarantined) &&
+        p.u64("slowDisconnects", &m.stats.slowDisconnects) &&
+        p.u64("queueInteractive", &m.health.queueInteractive) &&
+        p.u64("queueBulk", &m.health.queueBulk) &&
+        p.u64("executing", &m.health.executing) &&
+        p.u64("connections", &m.health.connections) &&
+        p.u64("spansStarted", &m.telemetry.spansStarted) &&
+        p.u64("spansCompleted", &m.telemetry.spansCompleted) &&
+        p.u64("outcomeOk", &m.telemetry.outcomeOk) &&
+        p.u64("outcomeCached", &m.telemetry.outcomeCached) &&
+        p.u64("outcomeFailed", &m.telemetry.outcomeFailed) &&
+        p.u64("outcomeShed", &m.telemetry.outcomeShed) &&
+        p.u64("outcomeDeadline", &m.telemetry.outcomeDeadline) &&
+        p.u64("outcomeAbandoned", &m.telemetry.outcomeAbandoned) &&
+        p.u64("slowLogged", &m.telemetry.slowLogged);
+    if (!good)
+        return false;
+    m.health.engineVersion = m.stats.engineVersion;
+    m.health.shed = m.stats.shed;
+    m.health.deadlineExpired = m.stats.deadlineExpired;
+    m.health.quarantined = m.stats.quarantined;
+    m.health.slowDisconnects = m.stats.slowDisconnects;
+
+    for (const SeriesRef &s : kSeries) {
+        SeriesWindows &sw = m.telemetry.*(s.member);
+        for (const WindowRef &w : kWindows) {
+            prof::WindowStats &ws = sw.*(w.member);
+            const bool ok =
+                p.u64(seriesKey(s.name, "count", w.name).c_str(),
+                      &ws.count) &&
+                p.dbl(seriesKey(s.name, "rate", w.name).c_str(),
+                      &ws.ratePerSec) &&
+                p.dbl(seriesKey(s.name, "p50us", w.name).c_str(),
+                      &ws.p50) &&
+                p.dbl(seriesKey(s.name, "p95us", w.name).c_str(),
+                      &ws.p95) &&
+                p.dbl(seriesKey(s.name, "p99us", w.name).c_str(),
+                      &ws.p99);
+            if (!ok)
+                return false;
+        }
+    }
+    *out = std::move(m);
+    return true;
+}
+
+std::string
+serveMetricsPrometheus(const ServeMetrics &m)
+{
+    std::string out;
+
+    const struct
+    {
+        const char *name;
+        std::uint64_t value;
+    } counters[] = {
+        {"cpelide_serve_requests_total", m.stats.requests},
+        {"cpelide_serve_rejected_total", m.stats.rejected},
+        {"cpelide_serve_cache_hits_total", m.stats.cacheHits},
+        {"cpelide_serve_cache_misses_total", m.stats.cacheMisses},
+        {"cpelide_serve_simulations_total", m.stats.simulations},
+        {"cpelide_serve_failures_total", m.stats.failures},
+        {"cpelide_serve_sim_events_total", m.stats.simEvents},
+        {"cpelide_serve_shed_total", m.stats.shed},
+        {"cpelide_serve_deadline_expired_total",
+         m.stats.deadlineExpired},
+        {"cpelide_serve_quarantined_total", m.stats.quarantined},
+        {"cpelide_serve_slow_disconnects_total",
+         m.stats.slowDisconnects},
+        {"cpelide_serve_spans_started_total",
+         m.telemetry.spansStarted},
+        {"cpelide_serve_spans_completed_total",
+         m.telemetry.spansCompleted},
+        {"cpelide_serve_slow_logged_total", m.telemetry.slowLogged},
+    };
+    for (const auto &c : counters) {
+        promType(out, c.name, "counter");
+        promLine(out, c.name, "", static_cast<double>(c.value));
+    }
+
+    promType(out, "cpelide_serve_outcomes_total", "counter");
+    const struct
+    {
+        const char *label;
+        std::uint64_t value;
+    } outcomes[] = {
+        {"ok", m.telemetry.outcomeOk},
+        {"cached", m.telemetry.outcomeCached},
+        {"failed", m.telemetry.outcomeFailed},
+        {"shed", m.telemetry.outcomeShed},
+        {"deadline", m.telemetry.outcomeDeadline},
+        {"abandoned", m.telemetry.outcomeAbandoned},
+    };
+    for (const auto &o : outcomes) {
+        promLine(out, "cpelide_serve_outcomes_total",
+                 std::string("outcome=\"") + o.label + "\"",
+                 static_cast<double>(o.value));
+    }
+
+    promType(out, "cpelide_serve_queue_depth", "gauge");
+    promLine(out, "cpelide_serve_queue_depth", "lane=\"interactive\"",
+             static_cast<double>(m.health.queueInteractive));
+    promLine(out, "cpelide_serve_queue_depth", "lane=\"bulk\"",
+             static_cast<double>(m.health.queueBulk));
+
+    const struct
+    {
+        const char *name;
+        double value;
+    } gauges[] = {
+        {"cpelide_serve_executing",
+         static_cast<double>(m.health.executing)},
+        {"cpelide_serve_connections",
+         static_cast<double>(m.health.connections)},
+        {"cpelide_serve_cache_entries",
+         static_cast<double>(m.stats.cacheEntries)},
+        {"cpelide_serve_uptime_seconds",
+         static_cast<double>(m.health.uptimeMs) / 1e3},
+        {"cpelide_serve_process_pid",
+         static_cast<double>(m.health.pid)},
+    };
+    for (const auto &g : gauges) {
+        promType(out, g.name, "gauge");
+        promLine(out, g.name, "", g.value);
+    }
+
+    promType(out, "cpelide_serve_latency_microseconds", "gauge");
+    promType(out, "cpelide_serve_window_count", "gauge");
+    promType(out, "cpelide_serve_window_rate_per_second", "gauge");
+    for (const SeriesRef &s : kSeries) {
+        const SeriesWindows &sw = m.telemetry.*(s.member);
+        for (const WindowRef &w : kWindows) {
+            const prof::WindowStats &ws = sw.*(w.member);
+            const std::string base = std::string("series=\"") +
+                                     s.name + "\",window=\"" + w.name +
+                                     "\"";
+            promLine(out, "cpelide_serve_window_count", base,
+                     static_cast<double>(ws.count));
+            promLine(out, "cpelide_serve_window_rate_per_second", base,
+                     ws.ratePerSec);
+            const struct
+            {
+                const char *q;
+                double value;
+            } quantiles[] = {
+                {"0.5", ws.p50}, {"0.95", ws.p95}, {"0.99", ws.p99}};
+            for (const auto &q : quantiles) {
+                promLine(out, "cpelide_serve_latency_microseconds",
+                         base + ",quantile=\"" + q.q + "\"", q.value);
+            }
+        }
+    }
+
+    promType(out, "cpelide_serve_build_info", "gauge");
+    promLine(out, "cpelide_serve_build_info",
+             "version=\"" + m.stats.engineVersion + "\"", 1.0);
+    return out;
+}
+
+std::string
+encodeServeMetricsPrometheusLine(const ServeMetrics &m)
+{
+    std::string out = "{";
+    json::appendStr(out, "type", "metrics");
+    json::appendStr(out, "format", "prometheus");
+    json::appendStr(out, "body", serveMetricsPrometheus(m));
+    out += '}';
+    return out;
+}
+
+bool
+decodeServeMetricsPrometheusLine(const std::string &line,
+                                 std::string *body)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    std::string type, format;
+    if (!p.str("type", &type) || type != "metrics" ||
+        !p.str("format", &format) || format != "prometheus") {
+        return false;
+    }
+    return p.str("body", body);
+}
+
+} // namespace cpelide

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The {"type":"metrics"} exposition of the simd daemon: one consistent
+ * snapshot of counters, gauges, and windowed latency series, rendered
+ * as a flat JSON line or as Prometheus text format.
+ *
+ * Wire shapes (content negotiated by the request's "format" field):
+ *   {"type":"metrics"}                      -> JSON snapshot line
+ *   {"type":"metrics","format":"json"}      -> same
+ *   {"type":"metrics","format":"prometheus"}->
+ *     {"type":"metrics","format":"prometheus","body":"<text>"}
+ * The Prometheus body is real multi-line text format; it travels
+ * escaped inside the JSON string to preserve the protocol's
+ * one-line-per-message framing (simc --metrics --format prometheus
+ * unescapes and prints it raw for a scraper or a file).
+ *
+ * The JSON snapshot is a flat one-level object (JsonLineParser
+ * compatible): scalar counters/gauges under their stats/health names,
+ * plus, per series and window, `<series>_{count,rate,p50us,p95us,
+ * p99us}_<window>` keys — e.g. "e2e_p95us_10s". Series names and
+ * windows are enumerated by serveMetricsSeriesNames() /
+ * serveMetricsWindowNames(), which scripts/check_metrics.py mirrors.
+ */
+
+#ifndef CPELIDE_SERVE_METRICS_HH
+#define CPELIDE_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/telemetry.hh"
+
+namespace cpelide
+{
+
+/** Everything the metrics verb exposes, taken as one snapshot. */
+struct ServeMetrics
+{
+    ServeStats stats;        //!< cumulative daemon counters
+    ServeHealth health;      //!< current shape (queues, conns, uptime)
+    TelemetrySnap telemetry; //!< span outcomes + windowed series
+};
+
+/** The windowed series names, in exposition order. */
+const std::vector<std::string> &serveMetricsSeriesNames();
+
+/** The window names ("1s", "10s", "60s"), in exposition order. */
+const std::vector<std::string> &serveMetricsWindowNames();
+
+/** Flat JSON snapshot line (see file comment for the key scheme). */
+std::string encodeServeMetricsJson(const ServeMetrics &m);
+
+/** Decode a JSON snapshot line (simtop, tests). */
+bool decodeServeMetricsJson(const std::string &line, ServeMetrics *out);
+
+/** The raw multi-line Prometheus text format body. */
+std::string serveMetricsPrometheus(const ServeMetrics &m);
+
+/** The framed one-line answer carrying the Prometheus body. */
+std::string encodeServeMetricsPrometheusLine(const ServeMetrics &m);
+
+/**
+ * Unwrap a framed Prometheus answer into its multi-line body.
+ * @retval false if @p line is not a {"type":"metrics","format":
+ * "prometheus"} message.
+ */
+bool decodeServeMetricsPrometheusLine(const std::string &line,
+                                      std::string *body);
+
+} // namespace cpelide
+
+#endif // CPELIDE_SERVE_METRICS_HH

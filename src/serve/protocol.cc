@@ -206,6 +206,7 @@ encodeServeHealth(const ServeHealth &health)
     json::appendU64(out, "quarantined", health.quarantined);
     json::appendU64(out, "slowDisconnects", health.slowDisconnects);
     json::appendU64(out, "uptimeMs", health.uptimeMs);
+    json::appendU64(out, "pid", health.pid);
     json::appendStr(out, "engineVersion", health.engineVersion);
     out += '}';
     return out;
@@ -233,6 +234,9 @@ decodeServeHealth(const std::string &line, ServeHealth *out)
         p.u64("uptimeMs", &h.uptimeMs) &&
         p.str("engineVersion", &h.engineVersion);
     if (!good)
+        return false;
+    // Optional for wire compatibility with pre-telemetry daemons.
+    if (p.has("pid") && !p.u64("pid", &h.pid))
         return false;
     *out = std::move(h);
     return true;

@@ -12,12 +12,14 @@
  *    "scale":...,"copies":...,"extraSyncSets":...,"label":...}
  *   {"type":"stats"}
  *   {"type":"health"}
+ *   {"type":"metrics"[,"format":"json"|"prometheus"]}
  *
  * Server -> client lines:
  *   {"type":"result","id":N,"cached":0|1,"ok":0|1,"retryAfterMs":N,
  *    "error":..., <RunResult fields>, "kernelPhases":"<compact>"}
  *   {"type":"stats", <counter fields>, "engineVersion":...}
  *   {"type":"health", <live-shape fields>, "engineVersion":...}
+ *   {"type":"metrics", ...} (serve/metrics.hh owns both shapes)
  *
  * Responses stream in completion order; the echoed id is the client's
  * correlation handle. Request ids are client-scoped (the server never
@@ -119,6 +121,7 @@ struct ServeHealth
     std::uint64_t quarantined = 0;      //!< corrupt cache records
     std::uint64_t slowDisconnects = 0;  //!< stalled readers kicked
     std::uint64_t uptimeMs = 0;         //!< since start()
+    std::uint64_t pid = 0;              //!< daemon process id
     std::string engineVersion;
 };
 

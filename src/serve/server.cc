@@ -16,6 +16,8 @@
 #include "sim/exec_options.hh"
 #include "sim/log.hh"
 #include "sim/version.hh"
+#include "stats/json_util.hh"
+#include "trace/chrome_trace.hh"
 
 namespace cpelide
 {
@@ -61,6 +63,15 @@ elapsedMsSince(std::chrono::steady_clock::time_point t0)
 
 } // namespace
 
+std::uint64_t
+SimServer::nowNs() const
+{
+    const auto d = std::chrono::steady_clock::now() - _startTime;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+    return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
 SimServer::Config
 SimServer::Config::fromEnv()
 {
@@ -73,11 +84,27 @@ SimServer::Config::fromEnv()
     cfg.batch = eo.serveBatch;
     cfg.maxQueue = eo.serveQueue;
     cfg.writeBufBytes = eo.serveWriteBuf;
+    cfg.slowlogMs = eo.serveSlowlogMs;
+    cfg.slowlogPath = eo.serveSlowlogPath;
+    cfg.tracePath = eo.tracePath;
+    cfg.traceSpans = !eo.tracePath.empty();
     return cfg;
 }
 
+ServeTelemetry::Config
+SimServer::telemetryConfig(const Config &cfg)
+{
+    ServeTelemetry::Config tc;
+    tc.slowlogMs = cfg.slowlogMs;
+    tc.slowlogPath = cfg.slowlogPath;
+    tc.traceSpans = cfg.traceSpans || !cfg.tracePath.empty();
+    return tc;
+}
+
 SimServer::SimServer(Config cfg)
-    : _cfg(std::move(cfg)), _cache(_cfg.cacheSize, _cfg.cacheDir)
+    : _cfg(std::move(cfg)), _cache(_cfg.cacheSize, _cfg.cacheDir),
+      _telemetry(telemetryConfig(_cfg)),
+      _startTime(std::chrono::steady_clock::now())
 {
     if (_cfg.socketPath.empty())
         _cfg.socketPath = kDefaultSocket;
@@ -195,6 +222,16 @@ SimServer::stop()
     //    outboxes as they join, then the sockets may go.
     reapConnections(/*all=*/true);
 
+    // 5. Export the serve-side span chains: one trace process with the
+    //    accept/queue/cache/lane/writer tracks, alongside the per-run
+    //    processes the harness already appended for each simulation.
+    if (!_cfg.tracePath.empty()) {
+        TraceArchive::global().append(
+            "simd serve", ServeTelemetry::trackNames(),
+            _telemetry.traceEvents());
+        TraceArchive::global().writeTo(_cfg.tracePath);
+    }
+
     ::unlink(_cfg.socketPath.c_str());
     _running.store(false);
 }
@@ -222,15 +259,22 @@ SimServer::abortStop()
     }
 
     // Discard queued work unanswered — a real SIGKILL answers nothing.
+    std::vector<std::uint64_t> orphanSpans;
     {
         MutexGuard lock(_queueMutex);
-        for (PendingTask &task : _interactive)
+        for (PendingTask &task : _interactive) {
             task.conn->inFlight.fetch_sub(1);
-        for (PendingTask &task : _bulk)
+            orphanSpans.push_back(task.spanId);
+        }
+        for (PendingTask &task : _bulk) {
             task.conn->inFlight.fetch_sub(1);
+            orphanSpans.push_back(task.spanId);
+        }
         _interactive.clear();
         _bulk.clear();
     }
+    for (const std::uint64_t spanId : orphanSpans)
+        _telemetry.abandoned(spanId, nowNs());
     _queueCv.notify_all();
     if (_schedulerThread.joinable())
         _schedulerThread.join();
@@ -334,6 +378,20 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
         respond(*conn, encodeServeHealth(health()));
         return;
     }
+    if (type == "metrics") {
+        // Content negotiation: a "format" field of "prometheus" gets
+        // the text exposition (escaped into the one-line framing);
+        // anything else (or nothing) gets the flat JSON snapshot.
+        std::string format;
+        JsonLineParser p(line);
+        if (p.parse())
+            p.str("format", &format);
+        const ServeMetrics m = metrics();
+        respond(*conn, format == "prometheus"
+                           ? encodeServeMetricsPrometheusLine(m)
+                           : encodeServeMetricsJson(m));
+        return;
+    }
 
     ServeRequest req;
     std::string error;
@@ -365,19 +423,29 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
         MutexGuard lock(_statMutex);
         ++_requests;
     }
+    // Open the request's telemetry span: the accept timestamp anchors
+    // the end-to-end latency the writer-flush finalize measures.
+    const std::uint64_t spanId = _telemetry.begin(
+        req.id, req.priority,
+        req.run.label.empty() ? req.run.workload : req.run.label,
+        nowNs());
     const std::uint64_t hash = requestHash(req.run, engineVersion());
 
     // The microseconds path: a content hit never touches the pool.
     RunResult hit;
     if (_cache.lookup(hash, &hit)) {
+        _telemetry.cacheLookup(spanId, /*hit=*/true, nowNs());
         ServeResponse resp;
         resp.id = req.id;
         resp.ok = true;
         resp.cached = true;
         resp.result = std::move(hit);
-        respond(*conn, encodeServeResponse(resp));
+        _telemetry.responded(spanId, ServeTelemetry::Outcome::Cached,
+                             nowNs());
+        respond(*conn, encodeServeResponse(resp), spanId);
         return;
     }
+    _telemetry.cacheLookup(spanId, /*hit=*/false, nowNs());
 
     // Shedding: the global queue is bounded. At the bound an incoming
     // bulk request is shed outright; an incoming interactive request
@@ -404,13 +472,15 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
         if (!shedIncoming) {
             conn->inFlight.fetch_add(1);
             PendingTask task{conn, std::move(req), hash,
-                             std::chrono::steady_clock::now()};
+                             std::chrono::steady_clock::now(), spanId};
             if (task.req.priority == ServePriority::Bulk)
                 _bulk.push_back(std::move(task));
             else
                 _interactive.push_back(std::move(task));
         }
     }
+    if (!shedIncoming)
+        _telemetry.enqueued(spanId, nowNs());
     const std::uint64_t hint = retryAfterHintMs(depth);
     if (shedIncoming || haveVictim) {
         MutexGuard lock(_statMutex);
@@ -423,7 +493,10 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
                                std::to_string(_cfg.maxQueue) +
                                "), bulk evicted for interactive");
         resp.retryAfterMs = hint;
-        respond(*victim.conn, encodeServeResponse(resp));
+        _telemetry.responded(victim.spanId,
+                             ServeTelemetry::Outcome::Shed, nowNs());
+        respond(*victim.conn, encodeServeResponse(resp),
+                victim.spanId);
         victim.conn->inFlight.fetch_sub(1);
     }
     if (shedIncoming) {
@@ -432,7 +505,9 @@ SimServer::handleLine(const std::shared_ptr<Connection> &conn,
                            " queued, bound " +
                            std::to_string(_cfg.maxQueue) + ")");
         resp.retryAfterMs = hint;
-        respond(*conn, encodeServeResponse(resp));
+        _telemetry.responded(spanId, ServeTelemetry::Outcome::Shed,
+                             nowNs());
+        respond(*conn, encodeServeResponse(resp), spanId);
         return;
     }
     _queueCv.notify_one();
@@ -493,6 +568,9 @@ SimServer::schedulerLoop()
                     MutexGuard lock(_statMutex);
                     ++_deadlineExpired;
                 }
+                _telemetry.responded(
+                    task.spanId, ServeTelemetry::Outcome::Deadline,
+                    nowNs());
                 respond(*task.conn,
                         encodeServeResponse(errorResponse(
                             task.req.id,
@@ -501,7 +579,8 @@ SimServer::schedulerLoop()
                                     static_cast<std::uint64_t>(waitedMs)) +
                                 " ms (deadline " +
                                 std::to_string(task.req.deadlineMs) +
-                                " ms)")));
+                                " ms)")),
+                        task.spanId);
                 task.conn->inFlight.fetch_sub(1);
                 continue;
             }
@@ -524,7 +603,17 @@ SimServer::runBatch(std::vector<PendingTask> tasks)
     SweepSpec spec{"serve#" + std::to_string(_batchSeq++), {}};
     spec.jobs.reserve(tasks.size());
     for (const PendingTask &task : tasks) {
+        _telemetry.dequeued(task.spanId, nowNs());
         Job job = makeJob(task.req.run);
+        // Bracket the job body so the span records the actual sim
+        // interval on the worker thread (start here, end in
+        // onOutcome so a thrown/failed body still closes it).
+        const std::uint64_t spanId = task.spanId;
+        auto inner = std::move(job.body);
+        job.body = [this, spanId, inner = std::move(inner)] {
+            _telemetry.simStart(spanId, nowNs());
+            return inner();
+        };
         if (task.req.deadlineMs > 0) {
             // Clamp the remaining deadline onto the job's watchdog
             // budget: the job can never run longer than the client is
@@ -550,6 +639,10 @@ SimServer::runBatch(std::vector<PendingTask> tasks)
     spec.onOutcome = [this, &tasks](std::size_t index,
                                     const JobOutcome &outcome) {
         const PendingTask &task = tasks[index];
+        _telemetry.simEnd(task.spanId, outcome.ok, nowNs());
+        ServeTelemetry::Outcome spanOutcome =
+            outcome.ok ? ServeTelemetry::Outcome::Ok
+                       : ServeTelemetry::Outcome::Failed;
         ServeResponse resp;
         resp.id = task.req.id;
         resp.cached = false;
@@ -576,13 +669,16 @@ SimServer::runBatch(std::vector<PendingTask> tasks)
             const char *kindName =
                 deadlineHit ? "deadline" : jobErrorName(outcome.kind);
             resp.error = std::string(kindName) + ": " + outcome.error;
+            if (deadlineHit)
+                spanOutcome = ServeTelemetry::Outcome::Deadline;
             MutexGuard lock(_statMutex);
             ++_simulations;
             ++_failures;
             if (deadlineHit)
                 ++_deadlineExpired;
         }
-        respond(*task.conn, encodeServeResponse(resp));
+        _telemetry.responded(task.spanId, spanOutcome, nowNs());
+        respond(*task.conn, encodeServeResponse(resp), task.spanId);
         task.conn->inFlight.fetch_sub(1);
         _executing.fetch_sub(1);
     };
@@ -592,28 +688,37 @@ SimServer::runBatch(std::vector<PendingTask> tasks)
 }
 
 void
-SimServer::respond(Connection &conn, const std::string &line)
+SimServer::respond(Connection &conn, const std::string &line,
+                   std::uint64_t spanId)
 {
     // Enqueue-only: the per-connection writer thread owns the socket
     // write side, so a slow peer can never block the caller (which may
     // be a pool worker inside onOutcome). Overflowing the bounded
     // outbox means the peer stopped reading — it gets disconnected.
     bool overflow = false;
+    bool dead = false;
     {
         MutexGuard lock(conn.writeMutex);
-        if (conn.dropped.load())
-            return; // already kicked; results stay in the cache
-        std::string framed = line;
-        framed += '\n';
-        if (conn.outboxBytes + framed.size() > _cfg.writeBufBytes) {
-            overflow = true;
+        if (conn.dropped.load()) {
+            dead = true; // already kicked; results stay in the cache
         } else {
-            conn.outboxBytes += framed.size();
-            conn.outbox.push_back(std::move(framed));
+            std::string framed = line;
+            framed += '\n';
+            if (conn.outboxBytes + framed.size() > _cfg.writeBufBytes) {
+                overflow = true;
+            } else {
+                conn.outboxBytes += framed.size();
+                conn.outbox.push_back({std::move(framed), spanId});
+            }
         }
     }
-    if (overflow) {
-        dropConnection(conn, /*countSlow=*/true);
+    if (dead || overflow) {
+        // The answer will never reach this peer; close the span now
+        // so it still lands in the windows and outcome counters.
+        if (spanId != 0)
+            _telemetry.abandoned(spanId, nowNs());
+        if (overflow)
+            dropConnection(conn, /*countSlow=*/true);
         return;
     }
     conn.writeCv.notify_one();
@@ -623,7 +728,7 @@ void
 SimServer::writerLoop(const std::shared_ptr<Connection> &conn)
 {
     for (;;) {
-        std::string framed;
+        OutboxItem item;
         {
             MutexGuard lock(conn->writeMutex);
             while (conn->outbox.empty() && !conn->writerStop &&
@@ -637,15 +742,15 @@ SimServer::writerLoop(const std::shared_ptr<Connection> &conn)
                     return; // stopped and flushed
                 continue;
             }
-            framed = std::move(conn->outbox.front());
+            item = std::move(conn->outbox.front());
             conn->outbox.pop_front();
-            conn->outboxBytes -= framed.size();
+            conn->outboxBytes -= item.data.size();
         }
         std::size_t sent = 0;
-        while (sent < framed.size()) {
+        while (sent < item.data.size()) {
             const ssize_t n =
-                ::send(conn->fd, framed.data() + sent,
-                       framed.size() - sent, MSG_NOSIGNAL);
+                ::send(conn->fd, item.data.data() + sent,
+                       item.data.size() - sent, MSG_NOSIGNAL);
             if (n > 0) {
                 sent += static_cast<std::size_t>(n);
                 continue;
@@ -657,23 +762,38 @@ SimServer::writerLoop(const std::shared_ptr<Connection> &conn)
             // is done — and only this connection.
             const bool stalled =
                 n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+            if (item.spanId != 0)
+                _telemetry.abandoned(item.spanId, nowNs());
             dropConnection(*conn, stalled);
             return;
         }
+        // The last byte entered the kernel buffer: the request's
+        // server-side life is over — finalize its span.
+        if (item.spanId != 0)
+            _telemetry.flushed(item.spanId, nowNs());
     }
 }
 
 void
 SimServer::dropConnection(Connection &conn, bool countSlow)
 {
+    std::vector<std::uint64_t> discardedSpans;
     {
         MutexGuard lock(conn.writeMutex);
         if (conn.dropped.load())
             return;
         conn.dropped.store(true);
+        for (const OutboxItem &item : conn.outbox) {
+            if (item.spanId != 0)
+                discardedSpans.push_back(item.spanId);
+        }
         conn.outbox.clear();
         conn.outboxBytes = 0;
     }
+    // Finalize outside writeMutex (telemetry's lock is a leaf, but
+    // there is no reason to nest it here).
+    for (const std::uint64_t spanId : discardedSpans)
+        _telemetry.abandoned(spanId, nowNs());
     // Wakes the reader (recv returns 0) and fails any in-flight writer
     // send immediately.
     ::shutdown(conn.fd, SHUT_RDWR);
@@ -766,8 +886,19 @@ SimServer::health() const
     h.executing = executing < 0 ? 0 : static_cast<std::uint64_t>(executing);
     h.quarantined = _cache.quarantineTally();
     h.uptimeMs = static_cast<std::uint64_t>(elapsedMsSince(_startTime));
+    h.pid = static_cast<std::uint64_t>(::getpid());
     h.engineVersion = engineVersion();
     return h;
+}
+
+ServeMetrics
+SimServer::metrics() const
+{
+    ServeMetrics m;
+    m.stats = stats();
+    m.health = health();
+    m.telemetry = _telemetry.snapshot(nowNs());
+    return m;
 }
 
 void

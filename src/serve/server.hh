@@ -60,9 +60,12 @@
 #include <vector>
 
 #include "prof/counter.hh"
+#include "serve/metrics.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
+#include "serve/telemetry.hh"
 #include "sim/thread_annotations.hh"
+#include "trace/trace.hh"
 
 namespace cpelide
 {
@@ -94,6 +97,18 @@ class SimServer
         /** Per-connection outbox bound (bytes) before a stalled
          *  reader is disconnected. */
         std::size_t writeBufBytes = 4u << 20;
+        /** Slow-request log threshold, ms end-to-end (0 = off). */
+        std::uint64_t slowlogMs = 0;
+        /** Slow-log JSONL destination ("" = stderr). */
+        std::string slowlogPath;
+        /** Chrome trace output path; when set, stop() appends the
+         *  serve span-chain process to the TraceArchive and rewrites
+         *  the file. */
+        std::string tracePath;
+        /** Collect span-chain trace events even without a tracePath
+         *  (tests read them via telemetryEvents()). fromEnv() sets
+         *  this iff CPELIDE_TRACE is set. */
+        bool traceSpans = false;
 
         /** Defaults from the CPELIDE_SERVE_* knobs (ExecOptions). */
         static Config fromEnv();
@@ -144,6 +159,22 @@ class SimServer
         CPELIDE_EXCLUDES(_queueMutex, _connMutex, _statMutex);
 
     /**
+     * The "metrics" answer: stats + health + the telemetry cut. The
+     * telemetry portion (outcome counters and every windowed series)
+     * is one transactionally-consistent snapshot taken under the
+     * telemetry lock.
+     */
+    ServeMetrics metrics() const
+        CPELIDE_EXCLUDES(_queueMutex, _connMutex, _statMutex);
+
+    /** Span-chain trace events collected so far (tests; requires
+     *  Config::traceSpans or a tracePath). */
+    std::vector<TraceEvent> telemetryEvents() const
+    {
+        return _telemetry.traceEvents();
+    }
+
+    /**
      * Register the serve counters as gauges under "serve/..." so a
      * profile report (--profile / CPELIDE_PROFILE) covers the daemon
      * itself. The registry must not outlive this server.
@@ -152,13 +183,22 @@ class SimServer
         CPELIDE_EXCLUDES(_statMutex);
 
   private:
+    /** One framed response line plus its telemetry correlation. */
+    struct OutboxItem
+    {
+        std::string data;
+        /** Span to finalize when the last byte hits the socket
+         *  (0 = untracked, e.g. stats/health/metrics answers). */
+        std::uint64_t spanId = 0;
+    };
+
     struct Connection
     {
         int fd = -1;
         /** Guards outbox/outboxBytes/writerStop; writeCv signals. */
         Mutex writeMutex;
         std::condition_variable writeCv;
-        std::deque<std::string> outbox CPELIDE_GUARDED_BY(writeMutex);
+        std::deque<OutboxItem> outbox CPELIDE_GUARDED_BY(writeMutex);
         std::size_t outboxBytes CPELIDE_GUARDED_BY(writeMutex) = 0;
         bool writerStop CPELIDE_GUARDED_BY(writeMutex) = false;
         std::atomic<int> inFlight{0};
@@ -175,6 +215,8 @@ class SimServer
         std::uint64_t hash = 0;
         /** When the reader enqueued it (deadline accounting). */
         std::chrono::steady_clock::time_point enqueued;
+        /** Telemetry span id threaded through the lifecycle. */
+        std::uint64_t spanId = 0;
     };
 
     void acceptLoop() CPELIDE_EXCLUDES(_connMutex);
@@ -187,8 +229,11 @@ class SimServer
     void runBatch(std::vector<PendingTask> tasks)
         CPELIDE_EXCLUDES(_statMutex);
     /** Enqueue @p line on the connection's writer (never blocks on
-     *  the peer; overflow disconnects the connection). */
-    void respond(Connection &conn, const std::string &line)
+     *  the peer; overflow disconnects the connection). @p spanId
+     *  correlates the line with its telemetry span (0 = none); the
+     *  writer finalizes the span at flush. */
+    void respond(Connection &conn, const std::string &line,
+                 std::uint64_t spanId = 0)
         CPELIDE_EXCLUDES(conn.writeMutex);
     void writerLoop(const std::shared_ptr<Connection> &conn)
         CPELIDE_EXCLUDES(conn->writeMutex);
@@ -200,9 +245,15 @@ class SimServer
     void reapConnections(bool all) CPELIDE_EXCLUDES(_connMutex);
     /** Shed hint for a queue @p depth: when to try again. */
     std::uint64_t retryAfterHintMs(std::size_t depth) const;
+    /** Monotonic nanoseconds since _startTime (telemetry clock). */
+    std::uint64_t nowNs() const;
+    /** Telemetry configuration derived from a server Config. */
+    static ServeTelemetry::Config telemetryConfig(const Config &cfg);
 
     Config _cfg;
     ResultCache _cache;
+    /** Request-lifecycle spans + windowed metrics (own leaf lock). */
+    ServeTelemetry _telemetry;
 
     int _listenFd = -1;
     std::atomic<bool> _running{false};

@@ -1,0 +1,371 @@
+#include "serve/telemetry.hh"
+
+// The slow log stamps each line with a Unix wall-clock time so an
+// operator can line entries up with external logs; this file is the
+// audited wall-clock exemption in scripts/lint.py (WALLCLOCK_ALLOWED).
+// Every other timestamp here is caller-supplied monotonic time.
+#include <chrono>
+
+#include "stats/json_util.hh"
+
+namespace cpelide
+{
+
+namespace
+{
+
+/** Duration helper: 0 when either end is missing or out of order. */
+std::uint64_t
+spanNs(std::uint64_t from, std::uint64_t to)
+{
+    return (from == 0 || to == 0 || to < from) ? 0 : to - from;
+}
+
+std::uint64_t
+toUs(std::uint64_t ns)
+{
+    return ns / 1000;
+}
+
+SeriesWindows
+seriesSnap(const prof::WindowedHistogram &h, std::uint64_t nowNs)
+{
+    SeriesWindows s;
+    s.w1s = h.window(nowNs, kServeWindow1sNs);
+    s.w10s = h.window(nowNs, kServeWindow10sNs);
+    s.w60s = h.window(nowNs, kServeWindow60sNs);
+    return s;
+}
+
+} // namespace
+
+const char *
+ServeTelemetry::outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Ok: return "ok";
+      case Outcome::Cached: return "cached";
+      case Outcome::Failed: return "failed";
+      case Outcome::Shed: return "shed";
+      case Outcome::Deadline: return "deadline";
+    }
+    return "unknown";
+}
+
+std::vector<std::pair<int, std::string>>
+ServeTelemetry::trackNames()
+{
+    return {
+        {kServeTrackAccept, "accept"},
+        {kServeTrackQueue, "queue"},
+        {kServeTrackCache, "cache"},
+        {kServeTrackLaneInteractive, "lane interactive"},
+        {kServeTrackLaneBulk, "lane bulk"},
+        {kServeTrackWriters, "writers"},
+    };
+}
+
+ServeTelemetry::ServeTelemetry(Config cfg) : _cfg(std::move(cfg))
+{
+    if (!_cfg.slowlogPath.empty()) {
+        _slowlog = std::fopen(_cfg.slowlogPath.c_str(), "a");
+        // On open failure fall back to stderr rather than silently
+        // dropping slow-request evidence.
+    }
+}
+
+ServeTelemetry::~ServeTelemetry()
+{
+    if (_slowlog)
+        std::fclose(_slowlog);
+}
+
+std::uint64_t
+ServeTelemetry::begin(std::uint64_t clientId, ServePriority lane,
+                      const std::string &label, std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    const std::uint64_t spanId = _nextSpanId++;
+    Span span;
+    span.clientId = clientId;
+    span.lane = lane;
+    span.label = label;
+    span.tAccept = nowNs;
+    _open.emplace(spanId, std::move(span));
+    ++_spansStarted;
+    return spanId;
+}
+
+void
+ServeTelemetry::cacheLookup(std::uint64_t spanId, bool hit,
+                            std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it == _open.end())
+        return;
+    it->second.cacheChecked = true;
+    it->second.cacheHit = hit;
+    it->second.tCache = nowNs;
+}
+
+void
+ServeTelemetry::enqueued(std::uint64_t spanId, std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it != _open.end())
+        it->second.tEnqueued = nowNs;
+}
+
+void
+ServeTelemetry::dequeued(std::uint64_t spanId, std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it != _open.end())
+        it->second.tDequeued = nowNs;
+}
+
+void
+ServeTelemetry::simStart(std::uint64_t spanId, std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it == _open.end())
+        return;
+    // A retried job starts again; the span keeps the latest attempt.
+    it->second.tSimStart = nowNs;
+    it->second.tSimEnd = 0;
+}
+
+void
+ServeTelemetry::simEnd(std::uint64_t spanId, bool ok,
+                       std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it == _open.end())
+        return;
+    it->second.tSimEnd = nowNs;
+    it->second.simOk = ok;
+}
+
+void
+ServeTelemetry::responded(std::uint64_t spanId, Outcome outcome,
+                          std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it == _open.end())
+        return;
+    it->second.outcome = outcome;
+    it->second.tResponded = nowNs;
+}
+
+void
+ServeTelemetry::flushed(std::uint64_t spanId, std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it == _open.end())
+        return;
+    const Span span = std::move(it->second);
+    _open.erase(it);
+    finalize(spanId, span, nowNs, /*flushedToPeer=*/true);
+}
+
+void
+ServeTelemetry::abandoned(std::uint64_t spanId, std::uint64_t nowNs)
+{
+    MutexGuard lock(_mutex);
+    auto it = _open.find(spanId);
+    if (it == _open.end())
+        return;
+    const Span span = std::move(it->second);
+    _open.erase(it);
+    finalize(spanId, span, nowNs, /*flushedToPeer=*/false);
+}
+
+void
+ServeTelemetry::finalize(std::uint64_t spanId, const Span &span,
+                         std::uint64_t endNs, bool flushedToPeer)
+{
+    ++_spansCompleted;
+    if (!flushedToPeer) {
+        ++_outcomeAbandoned;
+    } else {
+        switch (span.outcome) {
+          case Outcome::Ok: ++_outcomeOk; break;
+          case Outcome::Cached: ++_outcomeCached; break;
+          case Outcome::Failed: ++_outcomeFailed; break;
+          case Outcome::Shed: ++_outcomeShed; break;
+          case Outcome::Deadline: ++_outcomeDeadline; break;
+        }
+    }
+
+    const std::uint64_t e2eNs = spanNs(span.tAccept, endNs);
+    _e2e.record(endNs, toUs(e2eNs));
+    if (span.tEnqueued && span.tDequeued) {
+        _queueWait.record(endNs,
+                          toUs(spanNs(span.tEnqueued, span.tDequeued)));
+    }
+    if (span.tSimStart && span.tSimEnd) {
+        _simTime.record(endNs,
+                        toUs(spanNs(span.tSimStart, span.tSimEnd)));
+    }
+    if (span.cacheHit) {
+        _cacheServe.record(
+            endNs, toUs(spanNs(span.tAccept, span.tResponded)));
+    }
+    // Lane throughput: only the count/rate of these windows is read.
+    if (span.lane == ServePriority::Bulk)
+        _laneBulk.record(endNs, 0);
+    else
+        _laneInteractive.record(endNs, 0);
+
+    if (_cfg.traceSpans)
+        emitTrace(spanId, span, endNs);
+
+    const double e2eMs = static_cast<double>(e2eNs) / 1e6;
+    if (_cfg.slowlogMs > 0 &&
+        e2eMs >= static_cast<double>(_cfg.slowlogMs)) {
+        emitSlowLog(spanId, span, e2eMs);
+        ++_slowLogged;
+    }
+}
+
+void
+ServeTelemetry::emitTrace(std::uint64_t spanId, const Span &span,
+                          std::uint64_t endNs)
+{
+    // Seven events per request, bounded by maxTraceEvents overall.
+    if (_traceEvents.size() + 8 > _cfg.maxTraceEvents) {
+        ++_traceDropped;
+        return;
+    }
+    const std::string tag = "req#" + std::to_string(spanId);
+    auto stamp = [&](TraceEvent &e) {
+        e.cat = "serve";
+        e.arg("span", spanId);
+        e.arg("id", span.clientId);
+        _traceEvents.push_back(std::move(e));
+    };
+
+    // Timestamps export as microseconds (1 trace tick = 1 us).
+    TraceEvent accept;
+    accept.kind = TraceEvent::Kind::Instant;
+    accept.name = "accept " + tag;
+    accept.tid = kServeTrackAccept;
+    accept.ts = toUs(span.tAccept);
+    stamp(accept);
+
+    if (span.cacheChecked) {
+        TraceEvent cache;
+        cache.kind = TraceEvent::Kind::Instant;
+        cache.name = (span.cacheHit ? "hit " : "miss ") + tag;
+        cache.tid = kServeTrackCache;
+        cache.ts = toUs(span.tCache);
+        stamp(cache);
+    }
+    if (span.tEnqueued && span.tDequeued) {
+        TraceEvent queue;
+        queue.kind = TraceEvent::Kind::Span;
+        queue.name = "queue " + tag;
+        queue.tid = kServeTrackQueue;
+        queue.ts = toUs(span.tEnqueued);
+        queue.dur = toUs(spanNs(span.tEnqueued, span.tDequeued));
+        stamp(queue);
+    }
+    if (span.tSimStart && span.tSimEnd) {
+        TraceEvent sim;
+        sim.kind = TraceEvent::Kind::Span;
+        sim.name = "sim " + tag + " " + span.label;
+        sim.tid = span.lane == ServePriority::Bulk
+                      ? kServeTrackLaneBulk
+                      : kServeTrackLaneInteractive;
+        sim.ts = toUs(span.tSimStart);
+        sim.dur = toUs(spanNs(span.tSimStart, span.tSimEnd));
+        sim.arg("ok", span.simOk ? 1 : 0);
+        stamp(sim);
+    }
+    if (span.tResponded) {
+        TraceEvent write;
+        write.kind = TraceEvent::Kind::Span;
+        write.name = "write " + tag;
+        write.tid = kServeTrackWriters;
+        write.ts = toUs(span.tResponded);
+        write.dur = toUs(spanNs(span.tResponded, endNs));
+        stamp(write);
+    }
+}
+
+void
+ServeTelemetry::emitSlowLog(std::uint64_t spanId, const Span &span,
+                            double e2eMs)
+{
+    // The one wall-clock read: a Unix epoch stamp so slow-log lines
+    // correlate with the rest of an operator's logging.
+    const std::uint64_t unixMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
+    std::string line = "{";
+    json::appendStr(line, "event", "slow");
+    json::appendU64(line, "unixMs", unixMs);
+    json::appendU64(line, "span", spanId);
+    json::appendU64(line, "id", span.clientId);
+    json::appendStr(line, "lane", servePriorityName(span.lane));
+    json::appendStr(line, "outcome",
+                    span.tResponded ? outcomeName(span.outcome)
+                                    : "abandoned");
+    json::appendStr(line, "label", span.label);
+    json::appendU64(line, "cached", span.cacheHit ? 1 : 0);
+    json::appendDouble(line, "e2eMs", e2eMs);
+    json::appendDouble(
+        line, "queueMs",
+        static_cast<double>(spanNs(span.tEnqueued, span.tDequeued)) /
+            1e6);
+    json::appendDouble(
+        line, "simMs",
+        static_cast<double>(spanNs(span.tSimStart, span.tSimEnd)) /
+            1e6);
+    line += "}\n";
+
+    std::FILE *dst = _slowlog ? _slowlog : stderr;
+    std::fputs(line.c_str(), dst);
+    std::fflush(dst);
+}
+
+TelemetrySnap
+ServeTelemetry::snapshot(std::uint64_t nowNs) const
+{
+    MutexGuard lock(_mutex);
+    TelemetrySnap snap;
+    snap.spansStarted = _spansStarted.value();
+    snap.spansCompleted = _spansCompleted.value();
+    snap.outcomeOk = _outcomeOk.value();
+    snap.outcomeCached = _outcomeCached.value();
+    snap.outcomeFailed = _outcomeFailed.value();
+    snap.outcomeShed = _outcomeShed.value();
+    snap.outcomeDeadline = _outcomeDeadline.value();
+    snap.outcomeAbandoned = _outcomeAbandoned.value();
+    snap.slowLogged = _slowLogged.value();
+    snap.e2e = seriesSnap(_e2e, nowNs);
+    snap.queueWait = seriesSnap(_queueWait, nowNs);
+    snap.simTime = seriesSnap(_simTime, nowNs);
+    snap.cacheServe = seriesSnap(_cacheServe, nowNs);
+    snap.laneInteractive = seriesSnap(_laneInteractive, nowNs);
+    snap.laneBulk = seriesSnap(_laneBulk, nowNs);
+    return snap;
+}
+
+std::vector<TraceEvent>
+ServeTelemetry::traceEvents() const
+{
+    MutexGuard lock(_mutex);
+    return _traceEvents;
+}
+
+} // namespace cpelide

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ServeTelemetry: per-request lifecycle spans and windowed latency
+ * metrics for the simd daemon (docs/OBSERVABILITY.md "Service
+ * telemetry").
+ *
+ * The server threads a server-assigned span id through each request's
+ * life — accept, cache lookup, queue admission, dequeue, sim
+ * start/finish, respond, writer flush — and reports each transition
+ * here with a monotonic timestamp (nanoseconds since server start,
+ * read by the server; this class never touches a clock except for the
+ * slow-log's wall-clock stamp, the one audited wall-clock exemption in
+ * scripts/lint.py). Span ids exist because client request ids are
+ * connection-scoped: two clients may both send id 1, and the span id
+ * is the server-wide correlation handle that keeps their chains apart.
+ *
+ * On finalize (writer flushed the response, or the connection died
+ * first) a span updates, under ONE mutex, everything the metrics verb
+ * exposes: the rolling 1s/10s/60s windows (queue wait, sim time,
+ * cache-hit serve time, end-to-end latency, per-lane throughput), the
+ * cumulative outcome counters, the Chrome-trace span chain (tracks:
+ * accept, queue, cache, lane interactive, lane bulk, writers), and —
+ * when the end-to-end latency crosses Config::slowlogMs — one
+ * structured JSONL slow-request log line. Because a single lock guards
+ * it all, snapshot() is transactionally consistent: outcome counters
+ * always sum to the completed-span count.
+ */
+
+#ifndef CPELIDE_SERVE_TELEMETRY_HH
+#define CPELIDE_SERVE_TELEMETRY_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prof/counter.hh"
+#include "prof/window.hh"
+#include "serve/protocol.hh"
+#include "sim/thread_annotations.hh"
+#include "trace/trace.hh"
+
+namespace cpelide
+{
+
+/** Chrome-trace track ids of the serve process (exported tid+1). */
+constexpr int kServeTrackAccept = 0;
+constexpr int kServeTrackQueue = 1;
+constexpr int kServeTrackCache = 2;
+constexpr int kServeTrackLaneInteractive = 3;
+constexpr int kServeTrackLaneBulk = 4;
+constexpr int kServeTrackWriters = 5;
+
+/** The three exposition windows, in nanoseconds. */
+constexpr std::uint64_t kServeWindow1sNs = 1000000000ull;
+constexpr std::uint64_t kServeWindow10sNs = 10000000000ull;
+constexpr std::uint64_t kServeWindow60sNs = 60000000000ull;
+
+/** One latency/throughput series over the three windows. */
+struct SeriesWindows
+{
+    prof::WindowStats w1s;
+    prof::WindowStats w10s;
+    prof::WindowStats w60s;
+};
+
+/**
+ * One consistent cut of the telemetry state: cumulative outcome
+ * counters plus every windowed series, all read under the same lock.
+ */
+struct TelemetrySnap
+{
+    std::uint64_t spansStarted = 0;   //!< begin() calls
+    std::uint64_t spansCompleted = 0; //!< finalized (flushed/abandoned)
+    std::uint64_t outcomeOk = 0;
+    std::uint64_t outcomeCached = 0;
+    std::uint64_t outcomeFailed = 0;
+    std::uint64_t outcomeShed = 0;
+    std::uint64_t outcomeDeadline = 0;
+    std::uint64_t outcomeAbandoned = 0;
+    std::uint64_t slowLogged = 0; //!< slow-log lines emitted
+
+    SeriesWindows e2e;             //!< accept -> flush, microseconds
+    SeriesWindows queueWait;       //!< enqueue -> dequeue, microseconds
+    SeriesWindows simTime;         //!< sim start -> end, microseconds
+    SeriesWindows cacheServe;      //!< accept -> respond on a hit, us
+    SeriesWindows laneInteractive; //!< completions (count/rate only)
+    SeriesWindows laneBulk;        //!< completions (count/rate only)
+};
+
+class ServeTelemetry
+{
+  public:
+    struct Config
+    {
+        /** E2e latency (ms) at or above which a request is slow-logged
+         *  (0 = slow log off). CPELIDE_SERVE_SLOWLOG_MS. */
+        std::uint64_t slowlogMs = 0;
+        /** Slow-log JSONL destination ("" = stderr).
+         *  CPELIDE_SERVE_SLOWLOG. */
+        std::string slowlogPath;
+        /** Collect Chrome-trace span-chain events (the server enables
+         *  this when CPELIDE_TRACE is set). */
+        bool traceSpans = false;
+        /** Trace-event memory bound; events past it are dropped (and
+         *  counted), so a long-lived daemon cannot grow unboundedly. */
+        std::size_t maxTraceEvents = 200000;
+    };
+
+    /** How a span's request was ultimately answered. */
+    enum class Outcome
+    {
+        Ok,       //!< simulated successfully
+        Cached,   //!< served from the content-addressed cache
+        Failed,   //!< simulated and failed (classified error)
+        Shed,     //!< load-shed (queue full)
+        Deadline, //!< deadline expired (queued or mid-run)
+    };
+
+    explicit ServeTelemetry(Config cfg);
+    ~ServeTelemetry();
+
+    ServeTelemetry(const ServeTelemetry &) = delete;
+    ServeTelemetry &operator=(const ServeTelemetry &) = delete;
+
+    /** Open a span for an accepted request; @return its span id
+     *  (never 0 — 0 is the "no span" sentinel). */
+    std::uint64_t begin(std::uint64_t clientId, ServePriority lane,
+                        const std::string &label, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+
+    void cacheLookup(std::uint64_t spanId, bool hit,
+                     std::uint64_t nowNs) CPELIDE_EXCLUDES(_mutex);
+    void enqueued(std::uint64_t spanId, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+    void dequeued(std::uint64_t spanId, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+    void simStart(std::uint64_t spanId, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+    void simEnd(std::uint64_t spanId, bool ok, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+    /** The response was built and handed to the writer outbox. */
+    void responded(std::uint64_t spanId, Outcome outcome,
+                   std::uint64_t nowNs) CPELIDE_EXCLUDES(_mutex);
+    /** The writer pushed the last byte into the socket: finalize. */
+    void flushed(std::uint64_t spanId, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+    /** The connection died before the flush: finalize without one. */
+    void abandoned(std::uint64_t spanId, std::uint64_t nowNs)
+        CPELIDE_EXCLUDES(_mutex);
+
+    /** One consistent cut of counters + windows (one lock). */
+    TelemetrySnap snapshot(std::uint64_t nowNs) const
+        CPELIDE_EXCLUDES(_mutex);
+
+    /** Copy of the span-chain trace events collected so far (the
+     *  server appends them as the "simd serve" trace process). */
+    std::vector<TraceEvent> traceEvents() const
+        CPELIDE_EXCLUDES(_mutex);
+
+    /** (raw tid, name) pairs naming the serve tracks. */
+    static std::vector<std::pair<int, std::string>> trackNames();
+
+    static const char *outcomeName(Outcome o);
+
+  private:
+    struct Span
+    {
+        std::uint64_t clientId = 0;
+        ServePriority lane = ServePriority::Interactive;
+        bool cacheChecked = false;
+        bool cacheHit = false;
+        Outcome outcome = Outcome::Ok;
+        bool simOk = false;
+        std::string label;
+        // Lifecycle timestamps, ns since server start. tAccept is
+        // always valid (begin() sets it); for the rest, 0 means the
+        // stage was never reached — a cache hit has no tEnqueued, a
+        // shed request no tSimStart.
+        std::uint64_t tAccept = 0;
+        std::uint64_t tCache = 0;
+        std::uint64_t tEnqueued = 0;
+        std::uint64_t tDequeued = 0;
+        std::uint64_t tSimStart = 0;
+        std::uint64_t tSimEnd = 0;
+        std::uint64_t tResponded = 0;
+    };
+
+    void finalize(std::uint64_t spanId, const Span &span,
+                  std::uint64_t endNs, bool flushedToPeer)
+        CPELIDE_REQUIRES(_mutex);
+    void emitTrace(std::uint64_t spanId, const Span &span,
+                   std::uint64_t endNs) CPELIDE_REQUIRES(_mutex);
+    void emitSlowLog(std::uint64_t spanId, const Span &span,
+                     double e2eMs) CPELIDE_REQUIRES(_mutex);
+
+    Config _cfg;
+    std::FILE *_slowlog = nullptr; //!< owned iff slowlogPath nonempty
+
+    mutable Mutex _mutex;
+    std::uint64_t _nextSpanId CPELIDE_GUARDED_BY(_mutex) = 1;
+    std::map<std::uint64_t, Span> _open CPELIDE_GUARDED_BY(_mutex);
+
+    prof::Counter _spansStarted CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _spansCompleted CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _outcomeOk CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _outcomeCached CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _outcomeFailed CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _outcomeShed CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _outcomeDeadline CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _outcomeAbandoned CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _slowLogged CPELIDE_GUARDED_BY(_mutex);
+    prof::Counter _traceDropped CPELIDE_GUARDED_BY(_mutex);
+
+    prof::WindowedHistogram _e2e CPELIDE_GUARDED_BY(_mutex);
+    prof::WindowedHistogram _queueWait CPELIDE_GUARDED_BY(_mutex);
+    prof::WindowedHistogram _simTime CPELIDE_GUARDED_BY(_mutex);
+    prof::WindowedHistogram _cacheServe CPELIDE_GUARDED_BY(_mutex);
+    prof::WindowedHistogram _laneInteractive CPELIDE_GUARDED_BY(_mutex);
+    prof::WindowedHistogram _laneBulk CPELIDE_GUARDED_BY(_mutex);
+
+    std::vector<TraceEvent> _traceEvents CPELIDE_GUARDED_BY(_mutex);
+};
+
+} // namespace cpelide
+
+#endif // CPELIDE_SERVE_TELEMETRY_HH

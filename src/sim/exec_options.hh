@@ -94,6 +94,11 @@ struct ExecOptions
     double serveTimeoutMs = 5000.0;
     /** CPELIDE_SERVE_RETRIES: client retries of transient failures. */
     int serveRetries = 3;
+    /** CPELIDE_SERVE_SLOWLOG_MS: slow-request log threshold, ms
+     *  end-to-end (0 = slow log off). */
+    std::uint64_t serveSlowlogMs = 0;
+    /** CPELIDE_SERVE_SLOWLOG: slow-log JSONL path ("" = stderr). */
+    std::string serveSlowlogPath;
 
     /**
      * The knob table: one row per variable any component reads. Keep
@@ -128,6 +133,8 @@ struct ExecOptions
             {"CPELIDE_SERVE_WRITEBUF", "simd per-conn outbox bytes"},
             {"CPELIDE_SERVE_TIMEOUT_MS", "client connect/recv timeout"},
             {"CPELIDE_SERVE_RETRIES", "client transient retry cap"},
+            {"CPELIDE_SERVE_SLOWLOG_MS", "simd slow-log threshold ms"},
+            {"CPELIDE_SERVE_SLOWLOG", "simd slow-log JSONL path"},
         };
         return table;
     }
@@ -237,6 +244,14 @@ struct ExecOptions
             if (end != s && *end == '\0' && v >= 0)
                 o.serveRetries = static_cast<int>(std::min<long>(v, 16));
         }
+        if (const char *s = raw("CPELIDE_SERVE_SLOWLOG_MS")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(s, &end, 10);
+            if (end != s && *end == '\0')
+                o.serveSlowlogMs = v;
+        }
+        if (const char *s = raw("CPELIDE_SERVE_SLOWLOG"))
+            o.serveSlowlogPath = s;
         return o;
     }
 

@@ -128,6 +128,21 @@ TraceArchive::append(const std::string &name, int num_chiplets,
     return _processes.back().pid;
 }
 
+int
+TraceArchive::append(const std::string &name,
+                     std::vector<std::pair<int, std::string>> threadNames,
+                     std::vector<TraceEvent> events)
+{
+    MutexGuard lock(_mutex);
+    TraceProcess p;
+    p.pid = _nextPid++;
+    p.name = name;
+    p.threadNames = std::move(threadNames);
+    p.events = std::move(events);
+    _processes.push_back(std::move(p));
+    return _processes.back().pid;
+}
+
 void
 TraceArchive::addWorkerSpan(int worker, const std::string &label,
                             double start_seconds, double dur_seconds)

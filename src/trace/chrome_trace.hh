@@ -65,6 +65,16 @@ class TraceArchive
                std::vector<TraceEvent> events) CPELIDE_EXCLUDES(_mutex);
 
     /**
+     * Append a process with explicit (raw tid, name) track names
+     * instead of the chiplet scheme — the serve-side span-chain
+     * process (accept/queue/cache/lanes/writers tracks) uses this.
+     * @return the assigned pid.
+     */
+    int append(const std::string &name,
+               std::vector<std::pair<int, std::string>> threadNames,
+               std::vector<TraceEvent> events) CPELIDE_EXCLUDES(_mutex);
+
+    /**
      * Record one job's wall-clock execution on the exec-worker
      * pseudo-process (pid 0). Worker -1 (the serial caller thread)
      * renders as "caller". Wall-clock: this is the one deliberately

@@ -1,0 +1,8 @@
+// The exemption names src/serve/telemetry.cc exactly; a sibling file
+// in the same directory still fires.
+#include <chrono>
+
+long stamp()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

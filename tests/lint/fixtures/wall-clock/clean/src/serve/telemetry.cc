@@ -1,0 +1,8 @@
+// The audited WALLCLOCK_ALLOWED entry: this path may stamp
+// operator-facing log lines with the wall clock.
+#include <chrono>
+
+long slowLogStamp()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

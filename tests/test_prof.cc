@@ -18,6 +18,7 @@
 #include "prof/counter.hh"
 #include "prof/registry.hh"
 #include "prof/snapshot.hh"
+#include "prof/window.hh"
 
 namespace cpelide
 {
@@ -235,6 +236,98 @@ TEST(ProfiledRun, SnapshotLandsInRunResult)
             sawSeries = true;
     }
     EXPECT_TRUE(sawSeries);
+}
+
+// --- WindowedHistogram: caller-supplied clock, no wall time here. ---
+
+constexpr std::uint64_t kSec = 1000000000ull;
+
+TEST(WindowedHistogram, EmptyWindowIsAllZero)
+{
+    prof::WindowedHistogram wh;
+    const prof::WindowStats s = wh.window(5 * kSec, kSec);
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(s.ratePerSec, 0.0);
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_EQ(s.p95, 0.0);
+    EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(WindowedHistogram, WindowRotationExpiresOldSamples)
+{
+    prof::WindowedHistogram wh;
+    wh.record(kSec / 2, 100); // lands in the [0s, 1s) slot
+
+    // Visible right away in every horizon...
+    EXPECT_EQ(wh.window(kSec / 2, kSec).count, 1u);
+    EXPECT_EQ(wh.window(kSec / 2, 10 * kSec).count, 1u);
+
+    // ...gone from the 1 s window once that slot ages out, while the
+    // 10 s window still holds it.
+    const std::uint64_t later = 2 * kSec + kSec / 2;
+    EXPECT_EQ(wh.window(later, kSec).count, 0u);
+    EXPECT_EQ(wh.window(later, 10 * kSec).count, 1u);
+    EXPECT_EQ(wh.window(later, 10 * kSec).sum, 100u);
+
+    // And gone from the 10 s window too, eventually.
+    EXPECT_EQ(wh.window(12 * kSec, 10 * kSec).count, 0u);
+}
+
+TEST(WindowedHistogram, RingWrapLazilyResetsTheReusedSlot)
+{
+    // 4 slots of 1 s: epoch 0 and epoch 4 share a slot index, so the
+    // second record must reset what the first left there.
+    prof::WindowedHistogram wh(kSec, 4);
+    wh.record(0, 111);
+    wh.record(4 * kSec, 222);
+    const prof::WindowStats s = wh.window(4 * kSec, 60 * kSec);
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.sum, 222u);
+}
+
+TEST(WindowedHistogram, QuantilesInterpolateInsideTheBucket)
+{
+    prof::WindowedHistogram wh;
+    // 100 samples of 1000 all land in the [512, 1024) bucket; the
+    // quantile walks toward the upper bound in rank proportion.
+    for (int i = 0; i < 100; ++i)
+        wh.record(kSec / 4, 1000);
+    const prof::WindowStats s = wh.window(kSec / 2, kSec);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.p50, 512.0 + 512.0 * 0.50); // rank 50/100
+    EXPECT_DOUBLE_EQ(s.p95, 512.0 + 512.0 * 0.95);
+    EXPECT_DOUBLE_EQ(s.p99, 512.0 + 512.0 * 0.99);
+    EXPECT_EQ(s.ratePerSec, 100.0); // 100 samples / 1 s window
+}
+
+TEST(WindowedHistogram, QuantilesAreMonotoneAcrossMixedValues)
+{
+    prof::WindowedHistogram wh;
+    // A spread of magnitudes across several slots.
+    for (std::uint64_t i = 1; i <= 500; ++i)
+        wh.record((i % 8) * kSec, i * 37 % 100000);
+    const std::uint64_t now = 8 * kSec;
+    const prof::WindowStats s = wh.window(now, 60 * kSec);
+    EXPECT_EQ(s.count, 500u);
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    // Wider horizons can only see more.
+    EXPECT_LE(wh.window(now, kSec).count, wh.window(now, 10 * kSec).count);
+    EXPECT_LE(wh.window(now, 10 * kSec).count,
+              wh.window(now, 60 * kSec).count);
+}
+
+TEST(WindowedHistogram, ZeroValuesStayInTheZeroBucket)
+{
+    prof::WindowedHistogram wh;
+    for (int i = 0; i < 10; ++i)
+        wh.record(0, 0);
+    const prof::WindowStats s = wh.window(0, kSec);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_EQ(s.p99, 0.0);
 }
 
 } // namespace

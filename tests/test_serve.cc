@@ -17,9 +17,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -619,6 +622,240 @@ TEST_F(ServeTest, StartRefusesToClobberALiveDaemon)
     ASSERT_TRUE(client.request(squareRequest(2), &resp));
     EXPECT_TRUE(resp.ok) << resp.error;
     successor.stop();
+}
+
+TEST_F(ServeTest, HealthReportsTheDaemonPid)
+{
+    SimServer server(baseConfig("pid"));
+    ASSERT_TRUE(server.start());
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeHealth h;
+    ASSERT_TRUE(client.health(&h));
+    // The server runs in this process, so the answer is our own pid.
+    EXPECT_EQ(h.pid, static_cast<std::uint64_t>(getpid()));
+    server.stop();
+}
+
+TEST_F(ServeTest, MetricsSnapshotStaysConsistentUnderConcurrentLoad)
+{
+    SimServer server(baseConfig("met"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+
+    // A second connection hammers the metrics verb while the load
+    // runs: every answer is one snapshot taken under the telemetry
+    // lock, so the outcome counters must always sum to the completed
+    // span count — never a torn read.
+    std::atomic<bool> stopProbe{false};
+    std::thread prober([&] {
+        SimClient probe;
+        if (!probe.connect(server.socketPath()))
+            return;
+        while (!stopProbe.load()) {
+            ServeMetrics m;
+            if (!probe.metrics(&m))
+                break;
+            const std::uint64_t outcomes =
+                m.telemetry.outcomeOk + m.telemetry.outcomeCached +
+                m.telemetry.outcomeFailed + m.telemetry.outcomeShed +
+                m.telemetry.outcomeDeadline +
+                m.telemetry.outcomeAbandoned;
+            EXPECT_EQ(outcomes, m.telemetry.spansCompleted);
+            EXPECT_LE(m.telemetry.spansCompleted,
+                      m.telemetry.spansStarted);
+        }
+    });
+
+    const int total = 24;
+    for (int i = 0; i < total; ++i)
+        ASSERT_TRUE(client.send(squareRequest(
+            static_cast<std::uint64_t>(i + 1), 1 + i % 4)));
+    for (int i = 0; i < total; ++i) {
+        ServeResponse resp;
+        ASSERT_TRUE(client.recvResponse(&resp));
+        EXPECT_TRUE(resp.ok) << resp.error;
+    }
+    stopProbe.store(true);
+    prober.join();
+
+    // A span finalizes when its writer flushes the response bytes, a
+    // hair after the client reads them: poll until all have settled.
+    ServeMetrics m;
+    bool settled = false;
+    for (int round = 0; round < 1000 && !settled; ++round) {
+        ASSERT_TRUE(client.metrics(&m));
+        settled = m.telemetry.spansCompleted ==
+                  static_cast<std::uint64_t>(total);
+        if (!settled)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(settled);
+
+    EXPECT_EQ(m.telemetry.spansStarted,
+              static_cast<std::uint64_t>(total));
+    EXPECT_EQ(m.telemetry.outcomeOk + m.telemetry.outcomeCached,
+              static_cast<std::uint64_t>(total));
+    EXPECT_EQ(m.stats.requests, static_cast<std::uint64_t>(total));
+    EXPECT_EQ(m.health.pid, static_cast<std::uint64_t>(getpid()));
+    EXPECT_FALSE(m.health.engineVersion.empty());
+
+    // Everything completed within the last minute, so the 60 s e2e
+    // window holds every span; horizons and quantiles are monotone.
+    EXPECT_EQ(m.telemetry.e2e.w60s.count,
+              static_cast<std::uint64_t>(total));
+    EXPECT_LE(m.telemetry.e2e.w1s.count, m.telemetry.e2e.w10s.count);
+    EXPECT_LE(m.telemetry.e2e.w10s.count, m.telemetry.e2e.w60s.count);
+    EXPECT_LE(m.telemetry.e2e.w60s.p50, m.telemetry.e2e.w60s.p95);
+    EXPECT_LE(m.telemetry.e2e.w60s.p95, m.telemetry.e2e.w60s.p99);
+    EXPECT_GT(m.telemetry.e2e.w60s.p99, 0.0);
+    // All asks rode the default interactive lane.
+    EXPECT_EQ(m.telemetry.laneInteractive.w60s.count,
+              static_cast<std::uint64_t>(total));
+    EXPECT_EQ(m.telemetry.laneBulk.w60s.count, 0u);
+
+    server.stop();
+}
+
+TEST_F(ServeTest, PrometheusExpositionIsWellFormed)
+{
+    SimServer server(baseConfig("prom"));
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(squareRequest(1), &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+
+    std::string body;
+    ASSERT_TRUE(client.metricsPrometheus(&body));
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.back(), '\n');
+    EXPECT_NE(
+        body.find("# TYPE cpelide_serve_requests_total counter"),
+        std::string::npos);
+    EXPECT_NE(body.find("cpelide_serve_latency_microseconds{"),
+              std::string::npos);
+    EXPECT_NE(body.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_NE(body.find("cpelide_serve_queue_depth{"),
+              std::string::npos);
+
+    // Every line is a comment or `name[{labels}] value` with a
+    // numeric value — the exposition-format skeleton.
+    std::size_t start = 0;
+    while (start < body.size()) {
+        std::size_t end = body.find('\n', start);
+        ASSERT_NE(end, std::string::npos); // body ends with \n
+        const std::string line = body.substr(start, end - start);
+        start = end + 1;
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#')
+            continue;
+        EXPECT_TRUE((line[0] >= 'a' && line[0] <= 'z') || line[0] == '_')
+            << line;
+        const std::size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        char *endp = nullptr;
+        std::strtod(line.c_str() + sp + 1, &endp);
+        EXPECT_EQ(*endp, '\0') << line;
+    }
+
+    server.stop();
+}
+
+TEST_F(ServeTest, SlowLogEmitsJsonlRecords)
+{
+    SimServer::Config cfg = baseConfig("slow");
+    cfg.slowlogMs = 1; // everything that actually simulates is slower
+    cfg.slowlogPath = std::string(::testing::TempDir()) + "sd_slow_" +
+                      std::to_string(getpid()) + ".jsonl";
+    std::remove(cfg.slowlogPath.c_str());
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeRequest req = squareRequest(1, 4);
+    req.run.scale = 0.2;
+    req.run.label = "slowish";
+    ServeResponse resp;
+    ASSERT_TRUE(client.request(req, &resp));
+    EXPECT_TRUE(resp.ok) << resp.error;
+    server.stop(); // joins the writers: the record is on disk
+
+    std::ifstream in(cfg.slowlogPath);
+    ASSERT_TRUE(in.good()) << cfg.slowlogPath;
+    bool sawRecord = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"event\":\"slow\"") == std::string::npos)
+            continue;
+        sawRecord = true;
+        EXPECT_NE(line.find("\"label\":\"slowish\""),
+                  std::string::npos) << line;
+        EXPECT_NE(line.find("\"outcome\":\"ok\""), std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"e2eMs\":"), std::string::npos) << line;
+    }
+    EXPECT_TRUE(sawRecord);
+    std::remove(cfg.slowlogPath.c_str());
+}
+
+TEST_F(ServeTest, SpanChainTracesARequestEndToEnd)
+{
+    SimServer::Config cfg = baseConfig("span");
+    cfg.traceSpans = true;
+    SimServer server(cfg);
+    ASSERT_TRUE(server.start());
+
+    SimClient client;
+    ASSERT_TRUE(client.connect(server.socketPath()));
+    ServeRequest req = squareRequest(1, 2);
+    req.run.label = "traced";
+    ServeResponse first, second;
+    ASSERT_TRUE(client.request(req, &first));
+    EXPECT_TRUE(first.ok) << first.error;
+    req.id = 2;
+    ASSERT_TRUE(client.request(req, &second));
+    EXPECT_TRUE(second.ok) << second.error;
+    EXPECT_TRUE(second.cached);
+    server.stop();
+
+    // One trace, correlated by the span tag: the miss walks
+    // accept -> miss -> queue -> sim -> write, the repeat walks
+    // accept -> hit -> write — each stage on its named track.
+    bool sawAccept = false, sawMiss = false, sawQueue = false;
+    bool sawSim = false, sawWrite = false, sawHit = false;
+    for (const TraceEvent &e : server.telemetryEvents()) {
+        if (e.name == "accept req#1")
+            sawAccept = true;
+        if (e.name == "miss req#1")
+            sawMiss = true;
+        if (e.name == "queue req#1") {
+            sawQueue = true;
+            EXPECT_EQ(e.tid, kServeTrackQueue);
+        }
+        if (e.name.rfind("sim req#1", 0) == 0) {
+            sawSim = true;
+            EXPECT_EQ(e.tid, kServeTrackLaneInteractive);
+            EXPECT_NE(e.name.find("traced"), std::string::npos);
+        }
+        if (e.name == "write req#1") {
+            sawWrite = true;
+            EXPECT_EQ(e.tid, kServeTrackWriters);
+        }
+        if (e.name == "hit req#2")
+            sawHit = true;
+    }
+    EXPECT_TRUE(sawAccept);
+    EXPECT_TRUE(sawMiss);
+    EXPECT_TRUE(sawQueue);
+    EXPECT_TRUE(sawSim);
+    EXPECT_TRUE(sawWrite);
+    EXPECT_TRUE(sawHit);
 }
 
 } // namespace

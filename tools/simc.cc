@@ -14,6 +14,13 @@
  *        [--timeout-ms MS] [--retries N]
  *   simc [--socket PATH] --stats
  *   simc [--socket PATH] --health
+ *   simc [--socket PATH] --metrics [--format json|prometheus]
+ *
+ * --health prints the daemon's raw answer line to stdout and a
+ * human-readable summary (pid, engine version, uptime) to stderr.
+ * --metrics prints the one-snapshot telemetry answer: the raw JSON
+ * line by default, or the unescaped Prometheus exposition body with
+ * --format prometheus (pipe it straight to a scrape file).
  *
  * --repeat N submits the same request N times (ids counting up from
  * --id) and prints the N responses in arrival order; with a warm
@@ -48,8 +55,10 @@ usage(const char *argv0)
                  "[--priority interactive|bulk] [--repeat N] [--id N] "
                  "[--deadline-ms N] [--timeout-ms MS] [--retries N]\n"
                  "       %s [--socket PATH] --stats\n"
-                 "       %s [--socket PATH] --health\n",
-                 argv0, argv0, argv0);
+                 "       %s [--socket PATH] --health\n"
+                 "       %s [--socket PATH] --metrics "
+                 "[--format json|prometheus]\n",
+                 argv0, argv0, argv0, argv0);
 }
 
 } // namespace
@@ -60,6 +69,8 @@ main(int argc, char **argv)
     std::string socketPath = "simd.sock";
     bool statsProbe = false;
     bool healthProbe = false;
+    bool metricsProbe = false;
+    std::string metricsFormat = "json";
     int repeat = 1;
     cpelide::SimClient::Options opts = cpelide::SimClient::Options::fromEnv();
     cpelide::ServeRequest req;
@@ -74,6 +85,16 @@ main(int argc, char **argv)
             statsProbe = true;
         } else if (arg == "--health") {
             healthProbe = true;
+        } else if (arg == "--metrics") {
+            metricsProbe = true;
+        } else if (arg == "--format" && hasValue) {
+            metricsFormat = argv[++i];
+            if (metricsFormat != "json" &&
+                metricsFormat != "prometheus") {
+                std::fprintf(stderr, "simc: bad format '%s'\n",
+                             metricsFormat.c_str());
+                return 2;
+            }
         } else if (arg == "--workload" && hasValue) {
             req.run.workload = argv[++i];
         } else if (arg == "--protocol" && hasValue) {
@@ -129,6 +150,23 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (metricsProbe) {
+        if (metricsFormat == "prometheus") {
+            std::string body;
+            if (!client.metricsPrometheus(&body))
+                return 1;
+            std::cout << body;
+        } else {
+            if (!client.sendLine("{\"type\":\"metrics\"}"))
+                return 1;
+            std::string line;
+            if (!client.recvLine(&line))
+                return 1;
+            std::cout << line << "\n";
+        }
+        return 0;
+    }
+
     if (statsProbe || healthProbe) {
         if (!client.sendLine(statsProbe ? "{\"type\":\"stats\"}"
                                         : "{\"type\":\"health\"}")) {
@@ -138,6 +176,17 @@ main(int argc, char **argv)
         if (!client.recvLine(&line))
             return 1;
         std::cout << line << "\n";
+        if (healthProbe) {
+            cpelide::ServeHealth h;
+            if (cpelide::decodeServeHealth(line, &h)) {
+                std::fprintf(
+                    stderr,
+                    "simc: daemon pid %llu, engine %s, up %.1fs\n",
+                    static_cast<unsigned long long>(h.pid),
+                    h.engineVersion.c_str(),
+                    static_cast<double>(h.uptimeMs) / 1000.0);
+            }
+        }
         return 0;
     }
 

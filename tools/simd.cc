@@ -10,8 +10,12 @@
  *   simd [--socket PATH] [--cache DIR] [--cache-size N]
  *        [--quota N] [--batch N] [--jobs N]
  *        [--queue N] [--writebuf BYTES]
+ *        [--slowlog-ms N] [--slowlog PATH] [--trace PATH]
  *
  * Flags override the CPELIDE_SERVE_* knobs (sim/exec_options.hh).
+ * --slowlog-ms N logs every request slower than N ms end-to-end as a
+ * JSONL record (to --slowlog PATH, or stderr); --trace PATH writes
+ * the request span-chain as a Chrome trace on drain.
  * When CPELIDE_PROFILE is set, the daemon writes its serve counters
  * (requests, shed, deadline-expired, quarantined, ...) as a profile
  * report to that path on exit. Diagnostics go to stderr; stdout stays
@@ -52,7 +56,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--cache DIR] "
                  "[--cache-size N] [--quota N] [--batch N] [--jobs N] "
-                 "[--sim-threads N] [--queue N] [--writebuf BYTES]\n",
+                 "[--sim-threads N] [--queue N] [--writebuf BYTES] "
+                 "[--slowlog-ms N] [--slowlog PATH] [--trace PATH]\n",
                  argv0);
 }
 
@@ -112,6 +117,14 @@ main(int argc, char **argv)
         } else if (arg == "--writebuf" && hasValue) {
             cfg.writeBufBytes =
                 static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--slowlog-ms" && hasValue) {
+            cfg.slowlogMs =
+                static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--slowlog" && hasValue) {
+            cfg.slowlogPath = argv[++i];
+        } else if (arg == "--trace" && hasValue) {
+            cfg.tracePath = argv[++i];
+            cfg.traceSpans = true;
         } else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;

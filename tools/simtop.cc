@@ -1,0 +1,244 @@
+/**
+ * @file
+ * simtop: a live terminal monitor for the simd daemon, in the spirit
+ * of top(1).
+ *
+ * Polls the daemon's {"type":"metrics"} verb — one transactionally
+ * consistent snapshot of counters, lane depths, cache hit rate, and
+ * the windowed latency quantiles — and redraws an ANSI dashboard:
+ *
+ *   simtop [--socket PATH] [--interval-ms N] [--once] [--history N]
+ *
+ * --once prints a single frame without clearing the screen (CI smoke
+ * uses it to prove the dashboard renders against a live daemon);
+ * --history N sets the width of the e2e-rate sparkline (default 60
+ * samples, one per poll). A daemon restart mid-watch shows as a
+ * "disconnected" banner until the poll reconnects.
+ *
+ * Output is printf-based (stdout); nothing here is machine-parsed —
+ * scripts scrape `simc --metrics` instead.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+
+#include "serve/client.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t gStop = 0;
+
+void
+onSignal(int)
+{
+    gStop = 1;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] [--interval-ms N] "
+                 "[--once] [--history N]\n",
+                 argv0);
+}
+
+/** Unicode block sparkline of @p samples, newest rightmost. */
+std::string
+sparkline(const std::deque<double> &samples)
+{
+    static const char *const kBlocks[] = {" ", "▁", "▂",
+                                          "▃", "▄", "▅",
+                                          "▆", "▇", "█"};
+    double peak = 0.0;
+    for (double v : samples)
+        peak = std::max(peak, v);
+    std::string out;
+    for (double v : samples) {
+        int idx = 0;
+        if (peak > 0.0 && v > 0.0) {
+            idx = 1 + static_cast<int>(v / peak * 7.0);
+            idx = std::min(idx, 8);
+        }
+        out += kBlocks[idx];
+    }
+    return out;
+}
+
+void
+printSeriesRow(const char *name, const cpelide::SeriesWindows &s)
+{
+    // One row per window so quantile drift across horizons is visible
+    // at a glance (1s spikes that the 60s view smooths away).
+    const struct
+    {
+        const char *label;
+        const cpelide::prof::WindowStats *w;
+    } rows[] = {{"1s", &s.w1s}, {"10s", &s.w10s}, {"60s", &s.w60s}};
+    for (const auto &r : rows) {
+        std::printf("  %-10s %-4s %10llu %10.1f %10.0f %10.0f %10.0f\n",
+                    name, r.label,
+                    static_cast<unsigned long long>(r.w->count),
+                    r.w->ratePerSec, r.w->p50, r.w->p95, r.w->p99);
+    }
+}
+
+void
+printFrame(const std::string &socketPath, const cpelide::ServeMetrics &m,
+           const std::deque<double> &rateHistory, bool clearScreen)
+{
+    if (clearScreen)
+        std::printf("\x1b[2J\x1b[H");
+
+    const cpelide::ServeStats &st = m.stats;
+    const cpelide::ServeHealth &h = m.health;
+    const cpelide::TelemetrySnap &t = m.telemetry;
+
+    std::printf("simtop — simd @ %s   pid %llu   engine %s   up %.1fs\n",
+                socketPath.c_str(),
+                static_cast<unsigned long long>(h.pid),
+                h.engineVersion.c_str(),
+                static_cast<double>(h.uptimeMs) / 1000.0);
+
+    const std::uint64_t lookups = st.cacheHits + st.cacheMisses;
+    const double hitPct =
+        lookups > 0
+            ? 100.0 * static_cast<double>(st.cacheHits) /
+                  static_cast<double>(lookups)
+            : 0.0;
+    std::printf("requests %llu   rejected %llu   cache %.1f%% hit "
+                "(%llu/%llu, %llu entries)\n",
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.rejected), hitPct,
+                static_cast<unsigned long long>(st.cacheHits),
+                static_cast<unsigned long long>(lookups),
+                static_cast<unsigned long long>(st.cacheEntries));
+    std::printf("queue interactive %llu  bulk %llu   executing %llu   "
+                "connections %llu\n",
+                static_cast<unsigned long long>(h.queueInteractive),
+                static_cast<unsigned long long>(h.queueBulk),
+                static_cast<unsigned long long>(h.executing),
+                static_cast<unsigned long long>(h.connections));
+    std::printf("shed %llu   deadline %llu   quarantined %llu   "
+                "slow-disconnects %llu   slow-logged %llu\n",
+                static_cast<unsigned long long>(st.shed),
+                static_cast<unsigned long long>(st.deadlineExpired),
+                static_cast<unsigned long long>(st.quarantined),
+                static_cast<unsigned long long>(st.slowDisconnects),
+                static_cast<unsigned long long>(t.slowLogged));
+    std::printf("spans %llu/%llu   outcomes ok %llu cached %llu "
+                "failed %llu shed %llu deadline %llu abandoned %llu\n",
+                static_cast<unsigned long long>(t.spansCompleted),
+                static_cast<unsigned long long>(t.spansStarted),
+                static_cast<unsigned long long>(t.outcomeOk),
+                static_cast<unsigned long long>(t.outcomeCached),
+                static_cast<unsigned long long>(t.outcomeFailed),
+                static_cast<unsigned long long>(t.outcomeShed),
+                static_cast<unsigned long long>(t.outcomeDeadline),
+                static_cast<unsigned long long>(t.outcomeAbandoned));
+
+    std::printf("\n  %-10s %-4s %10s %10s %10s %10s %10s\n", "series",
+                "win", "count", "rate/s", "p50us", "p95us", "p99us");
+    printSeriesRow("e2e", t.e2e);
+    printSeriesRow("queue", t.queueWait);
+    printSeriesRow("sim", t.simTime);
+    printSeriesRow("cache", t.cacheServe);
+    std::printf("  %-10s %-4s %10llu %10.1f\n", "lane-int", "10s",
+                static_cast<unsigned long long>(t.laneInteractive.w10s.count),
+                t.laneInteractive.w10s.ratePerSec);
+    std::printf("  %-10s %-4s %10llu %10.1f\n", "lane-bulk", "10s",
+                static_cast<unsigned long long>(t.laneBulk.w10s.count),
+                t.laneBulk.w10s.ratePerSec);
+
+    if (!rateHistory.empty()) {
+        std::printf("\ne2e rate/s (1s window, newest right)\n  %s\n",
+                    sparkline(rateHistory).c_str());
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath = "simd.sock";
+    int intervalMs = 1000;
+    bool once = false;
+    std::size_t historyLen = 60;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--socket" && hasValue) {
+            socketPath = argv[++i];
+        } else if (arg == "--interval-ms" && hasValue) {
+            intervalMs = std::atoi(argv[++i]);
+            if (intervalMs < 1)
+                intervalMs = 1;
+        } else if (arg == "--once") {
+            once = true;
+        } else if (arg == "--history" && hasValue) {
+            const long n = std::atol(argv[++i]);
+            historyLen = n > 0 ? static_cast<std::size_t>(n) : 1;
+        } else {
+            usage(argv[0]);
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    cpelide::SimClient::Options opts =
+        cpelide::SimClient::Options::fromEnv();
+    // Monitoring must not wedge on a wedged daemon: bound every poll.
+    if (opts.recvTimeoutMs <= 0.0)
+        opts.recvTimeoutMs = 2000.0;
+    opts.logRetries = false; // a down daemon is shown in the banner
+    cpelide::SimClient client(opts);
+    if (!client.connect(socketPath)) {
+        std::fprintf(stderr, "simtop: cannot connect to %s\n",
+                     socketPath.c_str());
+        return 1;
+    }
+
+    std::deque<double> rateHistory;
+    bool everPolled = false;
+    while (!gStop) {
+        cpelide::ServeMetrics m;
+        if (client.connected() && client.metrics(&m)) {
+            everPolled = true;
+            rateHistory.push_back(m.telemetry.e2e.w1s.ratePerSec);
+            while (rateHistory.size() > historyLen)
+                rateHistory.pop_front();
+            printFrame(socketPath, m, rateHistory, !once);
+        } else if (once) {
+            std::fprintf(stderr, "simtop: metrics probe failed\n");
+            return 1;
+        } else {
+            if (!once)
+                std::printf("\x1b[2J\x1b[H");
+            std::printf("simtop — simd @ %s   [disconnected, "
+                        "retrying...]\n",
+                        socketPath.c_str());
+            std::fflush(stdout);
+            client.reconnect();
+        }
+        if (once)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+    return everPolled ? 0 : 1;
+}
